@@ -1,0 +1,183 @@
+(* Benchmark harness.
+
+   Two sections:
+
+   1. Bechamel micro-benchmarks — one Test.make per table/figure of the
+      paper, measuring the per-update answering cost of a representative
+      engine/workload configuration of that figure (plus a few
+      infrastructure micro-benches: trie insertion, hash-join probes,
+      Cypher parse+plan).
+
+   2. The figure harness — regenerates every table and figure of §6 as a
+      paper-style text table via Tric_harness.Figures (workload generator,
+      parameter sweep, all baselines, timeout truncation).
+
+   Environment: TRIC_SCALE (divide the paper's sizes; default 50),
+   TRIC_BUDGET (seconds per engine run; default 20), TRIC_SEED. *)
+
+open Bechamel
+module W = Tric_workloads
+module E = Tric_engine
+module H = Tric_harness
+
+(* -- Micro-bench helpers ----------------------------------------------------- *)
+
+(* A prepared engine mid-stream: queries indexed, half the stream applied;
+   the benched function applies the next update (cycling over the second
+   half, which is long enough that bechamel never wraps in practice). *)
+let update_dispatch_bench ~name ~engine_name ~source ~edges ~qdb =
+  let d =
+    W.Dataset.make source
+      {
+        W.Dataset.edges;
+        qdb;
+        avg_len = 5;
+        selectivity = 0.25;
+        overlap = 0.35;
+        seed = 7;
+      }
+  in
+  let engine = E.Engines.by_name engine_name in
+  List.iter engine.E.Matcher.add_query d.W.Dataset.queries;
+  let stream = d.W.Dataset.stream in
+  let n = Tric_graph.Stream.length stream in
+  let half = n / 2 in
+  for i = 0 to half - 1 do
+    ignore (engine.E.Matcher.handle_update (Tric_graph.Stream.get stream i))
+  done;
+  let pos = ref half in
+  Test.make ~name (Staged.stage (fun () ->
+      let i = !pos in
+      pos := if i + 1 >= n then half else i + 1;
+      ignore (engine.E.Matcher.handle_update (Tric_graph.Stream.get stream i))))
+
+let run_and_report fmt tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  Format.fprintf fmt "%-42s %14s@." "micro-benchmark" "ns/op";
+  Format.fprintf fmt "%s@." (String.make 58 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          Format.fprintf fmt "%-42s %14.1f@." (Test.Elt.name elt) ns)
+        (Test.elements test))
+    tests;
+  Format.fprintf fmt "@."
+
+(* -- Micro-benchmarks -------------------------------------------------------- *)
+
+let infra_benches () =
+  (* Relation insert + probe. *)
+  let rel = Tric_rel.Relation.create ~cache:true ~width:2 () in
+  let labels = Array.init 1000 (fun i -> Tric_graph.Label.intern (Printf.sprintf "L%d" i)) in
+  let cnt = ref 0 in
+  let insert_bench =
+    Test.make ~name:"relation: insert w=2"
+      (Staged.stage (fun () ->
+           incr cnt;
+           ignore
+             (Tric_rel.Relation.insert rel
+                [| labels.(!cnt mod 1000); labels.((!cnt * 7) mod 1000) |])))
+  in
+  let probe = Tric_rel.Relation.index_on rel ~col:0 in
+  let probe_bench =
+    Test.make ~name:"relation: cached index probe"
+      (Staged.stage (fun () ->
+           incr cnt;
+           ignore (probe labels.(!cnt mod 1000))))
+  in
+  (* Covering-path extraction + trie insertion. *)
+  let patterns =
+    let d =
+      W.Dataset.make W.Dataset.Snb
+        { W.Dataset.edges = 2_000; qdb = 256; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 3 }
+    in
+    Array.of_list d.W.Dataset.queries
+  in
+  let pi = ref 0 in
+  let cover_bench =
+    Test.make ~name:"cover: extract covering paths"
+      (Staged.stage (fun () ->
+           incr pi;
+           ignore (Tric_query.Cover.extract patterns.(!pi mod Array.length patterns))))
+  in
+  let forest = Tric_core.Trie.create ~cache:false in
+  let ti = ref 0 in
+  let qi = ref 0 in
+  let trie_bench =
+    Test.make ~name:"trie: index one covering path"
+      (Staged.stage (fun () ->
+           incr ti;
+           let p = patterns.(!ti mod Array.length patterns) in
+           incr qi;
+           List.iteri
+             (fun i path ->
+               ignore
+                 (Tric_core.Trie.insert_path forest
+                    (Tric_query.Path.keys p path)
+                    ~qid:!qi ~path_index:i))
+             (Tric_query.Cover.extract p)))
+  in
+  (* Cypher parse + plan. *)
+  let db = Tric_graphdb.Db.create () in
+  ignore (Tric_graphdb.Db.add_stream_edge db (Tric_graph.Edge.of_strings "knows" "a" "b"));
+  let parse_bench =
+    Test.make ~name:"cypher: parse"
+      (Staged.stage (fun () ->
+           ignore
+             (Tric_graphdb.Cypher.parse
+                "MATCH (f:V)-[:hasMod]->(p:V)-[:posted]->(x:V {name: 'pst1'}) RETURN f, p, x")))
+  in
+  let plan_bench =
+    Test.make ~name:"cypher: plan (uncached)"
+      (Staged.stage (fun () ->
+           ignore
+             (Tric_graphdb.Planner.plan
+                (Tric_graphdb.Db.store db)
+                (Tric_graphdb.Cypher.parse
+                   "MATCH (f:V)-[:knows]->(p:V) RETURN f, p"))))
+  in
+  [ insert_bench; probe_bench; cover_bench; trie_bench; parse_bench; plan_bench ]
+
+(* One Test.make per figure: the per-update dispatch cost of a
+   representative configuration of that figure (TRIC+ and its strongest
+   competitor, at reduced size so micro-benching stays cheap). *)
+let figure_benches () =
+  [
+    update_dispatch_bench ~name:"fig12a/SNB update: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+    update_dispatch_bench ~name:"fig12a/SNB update: INC+" ~engine_name:"INC+"
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+    update_dispatch_bench ~name:"fig12c/SNB small QDB: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:20;
+    update_dispatch_bench ~name:"fig13a/SNB large graph: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Snb ~edges:8_000 ~qdb:100;
+    update_dispatch_bench ~name:"fig14a/TAXI update: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Taxi ~edges:2_000 ~qdb:100;
+    update_dispatch_bench ~name:"fig14b/BioGRID stress: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Biogrid ~edges:2_000 ~qdb:100;
+  ]
+
+let () =
+  let fmt = Format.std_formatter in
+  let cfg = H.Config.from_env () in
+  Format.fprintf fmt
+    "TRIC benchmark harness — EDBT 2020 reproduction@.scale 1/%d, budget %.0fs/engine (env TRIC_SCALE / TRIC_BUDGET)@.@."
+    cfg.H.Config.scale cfg.H.Config.budget_s;
+  Format.fprintf fmt "=== Section 1: Bechamel micro-benchmarks ===@.@.";
+  run_and_report fmt (infra_benches ());
+  run_and_report fmt (figure_benches ());
+  Format.fprintf fmt "=== Section 2: paper figures and tables (scaled) ===@.";
+  H.Figures.run_all cfg fmt;
+  Format.fprintf fmt "@.done.@."

@@ -1,0 +1,152 @@
+(* Command-line driver: list and run the paper's experiments, or run an
+   interactive demo of the engines. *)
+
+open Cmdliner
+module H = Tric_harness
+module Engine = Tric_engine
+module W = Tric_workloads
+
+let config scale budget seed =
+  let base = H.Config.from_env () in
+  {
+    H.Config.scale = Option.value ~default:base.H.Config.scale scale;
+    budget_s = Option.value ~default:base.H.Config.budget_s budget;
+    seed = Option.value ~default:base.H.Config.seed seed;
+  }
+
+let scale_arg =
+  Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc:"Divide the paper's sizes by $(docv) (default 25, env TRIC_SCALE).")
+
+let budget_arg =
+  Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per engine run (default 10, env TRIC_BUDGET).")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed (default 7, env TRIC_SEED).")
+
+let list_cmd =
+  let run () =
+    let fmt = Format.std_formatter in
+    Format.fprintf fmt "%-18s %-12s %s@." "id" "paper" "title";
+    List.iter
+      (fun (e : H.Figures.t) ->
+        Format.fprintf fmt "%-18s %-12s %s@." e.H.Figures.id e.H.Figures.paper_ref
+          e.H.Figures.title)
+      H.Figures.all;
+    Format.fprintf fmt "@.Run one with: tric_cli run <id>@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all reproducible experiments.") Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (or 'all').")
+  in
+  let run id scale budget seed =
+    let cfg = config scale budget seed in
+    let fmt = Format.std_formatter in
+    match id with
+    | "all" ->
+      H.Figures.run_all cfg fmt;
+      `Ok ()
+    | id -> (
+      match H.Figures.find id with
+      | Some e ->
+        H.Figures.run_one cfg fmt e;
+        `Ok ()
+      | None -> `Error (false, Printf.sprintf "unknown experiment %S (see 'tric_cli list')" id))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment (or all) and print the paper-style table.")
+    Term.(ret (const run $ id_arg $ scale_arg $ budget_arg $ seed_arg))
+
+let demo_cmd =
+  let run seed =
+    let seed = Option.value ~default:7 seed in
+    let fmt = Format.std_formatter in
+    let d =
+      W.Dataset.make W.Dataset.Snb
+        { W.Dataset.edges = 2_000; qdb = 50; avg_len = 4; selectivity = 0.3; overlap = 0.35; seed }
+    in
+    Format.fprintf fmt
+      "Demo: %d continuous queries over a %d-update SNB-like stream, all engines.@.@."
+      (List.length d.W.Dataset.queries)
+      (Tric_graph.Stream.length d.W.Dataset.stream);
+    List.iter
+      (fun name ->
+        let r =
+          Engine.Runner.run ~budget_s:30.0 ~engine:(Engine.Engines.by_name name)
+            ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
+        in
+        Format.fprintf fmt "%a@." Engine.Runner.pp_result r)
+      Engine.Engines.paper_names
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Small end-to-end demo across all engines.")
+    Term.(const run $ seed_arg)
+
+let source_conv =
+  let parse = function
+    | "snb" | "SNB" -> Ok W.Dataset.Snb
+    | "taxi" | "TAXI" -> Ok W.Dataset.Taxi
+    | "biogrid" | "BioGRID" -> Ok W.Dataset.Biogrid
+    | s -> Error (`Msg (Printf.sprintf "unknown source %S (snb|taxi|biogrid)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (W.Dataset.source_name s) in
+  Arg.conv (parse, print)
+
+let generate_cmd =
+  let source_arg =
+    Arg.(value & pos 0 source_conv W.Dataset.Snb & info [] ~docv:"SOURCE" ~doc:"snb, taxi or biogrid.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let edges_arg = Arg.(value & opt int 10_000 & info [ "edges" ] ~docv:"N" ~doc:"Stream size.") in
+  let qdb_arg = Arg.(value & opt int 500 & info [ "qdb" ] ~docv:"N" ~doc:"Query-set size.") in
+  let run source out edges qdb seed =
+    let d =
+      W.Dataset.make source
+        {
+          W.Dataset.edges;
+          qdb;
+          avg_len = 5;
+          selectivity = 0.25;
+          overlap = 0.35;
+          seed = Option.value ~default:7 seed;
+        }
+    in
+    W.Dataset.save d out;
+    Format.printf "wrote %s: %d updates, %d queries@." out
+      (Tric_graph.Stream.length d.W.Dataset.stream)
+      (List.length d.W.Dataset.queries)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a benchmark dataset and save it to a file.")
+    Term.(const run $ source_arg $ out_arg $ edges_arg $ qdb_arg $ seed_arg)
+
+let replay_cmd =
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Dataset file.") in
+  let engine_arg =
+    Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+, GraphDB, ISO).")
+  in
+  let run file engine_name budget =
+    match Engine.Engines.by_name engine_name with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | engine ->
+      let d = W.Dataset.load file in
+      let r =
+        Engine.Runner.run ?budget_s:budget ~engine ~queries:d.W.Dataset.queries
+          ~stream:d.W.Dataset.stream ()
+      in
+      Format.printf "%a@." Engine.Runner.pp_result r;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a saved dataset through one engine and report timings.")
+    Term.(ret (const run $ file_arg $ engine_arg $ budget_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "tric_cli" ~version:"1.0.0"
+       ~doc:"Continuous multi-query processing over graph streams (EDBT 2020 reproduction).")
+    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval main)

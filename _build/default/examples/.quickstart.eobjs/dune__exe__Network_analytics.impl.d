@@ -1,0 +1,1 @@
+examples/network_analytics.ml: Format Label List Stream Tric_analytics Tric_engine Tric_graph Tric_graphdb Tric_query Update

@@ -1,0 +1,1 @@
+examples/protein_interactions.ml: Array Embedding Format List Parse Pattern Printf Tric_core Tric_graph Tric_query Tric_rel Tric_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Embedding Format List Parse Pattern Tric_core Tric_graph Tric_query Tric_rel

@@ -1,0 +1,1 @@
+examples/spam_detection.ml: Embedding Format List Parse Tric_core Tric_graph Tric_query Tric_rel

@@ -1,0 +1,1 @@
+examples/traffic_monitoring.ml: Format List Parse Tric_core Tric_engine Tric_graph Tric_query Tric_workloads

@@ -1,0 +1,60 @@
+(* Quickstart: register two continuous queries, stream a handful of graph
+   updates, and print the notifications TRIC produces.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Tric_query
+open Tric_rel
+module Tric = Tric_core.Tric
+
+let () =
+  (* 1. Create a TRIC engine (cache:true gives TRIC+, the recommended
+        configuration). *)
+  let engine = Tric.create ~cache:true () in
+
+  (* 2. Register continuous query graph patterns.  Terms starting with '?'
+        are variables; everything else is a constant vertex label.  The
+        same variable name denotes the same vertex within one query. *)
+  let checkin_query =
+    (* "Notify me when two people who know each other check in at the same
+       place" — the paper's Fig. 3. *)
+    Parse.pattern ~name:"friends-checkin" ~id:1
+      "?p1 -knows-> ?p2; ?p1 -checksIn-> ?plc; ?p2 -checksIn-> ?plc"
+  in
+  let moderator_query =
+    (* "Notify me when a moderator of any forum posts pst1" (paper Fig. 4,
+       Q4 without the containedIn hop). *)
+    Parse.pattern ~name:"moderator-posts" ~id:2 "?f -hasMod-> ?p -posted-> pst1"
+  in
+  Tric.add_query engine checkin_query;
+  Tric.add_query engine moderator_query;
+
+  (* 3. Stream updates.  [handle_update] returns, per satisfied query, the
+        new embeddings this update created. *)
+  let stream =
+    [
+      "P1 -knows-> P2";
+      "P1 -checksIn-> rio";
+      "forum1 -hasMod-> P3";
+      "P2 -checksIn-> rio"; (* completes query 1 *)
+      "P3 -posted-> pst1"; (* completes query 2 *)
+      "P4 -knows-> P1";
+      "P4 -checksIn-> rio"; (* completes query 1 again, via P4-P1 *)
+    ]
+  in
+  List.iter
+    (fun text ->
+      let update = Parse.update text in
+      Format.printf "update %a@." Tric_graph.Update.pp update;
+      List.iter
+        (fun (qid, embeddings) ->
+          let name = Pattern.name (if qid = 1 then checkin_query else moderator_query) in
+          List.iter
+            (fun emb -> Format.printf "  -> notification [%s]: %a@." name Embedding.pp emb)
+            embeddings)
+        (Tric.handle_update engine update))
+    stream;
+
+  (* 4. Probe the full current result of a query at any time. *)
+  Format.printf "@.query 1 currently has %d total match(es)@."
+    (List.length (Tric.current_matches engine 1))

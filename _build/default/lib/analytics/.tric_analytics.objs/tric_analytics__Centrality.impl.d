@@ -1,0 +1,1 @@
+lib/analytics/centrality.ml: Edge Graph Label List Option Queue Tric_graph Update

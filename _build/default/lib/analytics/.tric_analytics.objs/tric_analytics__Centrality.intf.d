@@ -1,0 +1,1 @@
+lib/analytics/centrality.mli: Graph Label Tric_graph Update

@@ -1,0 +1,1 @@
+lib/analytics/components.ml: Edge Label List Tric_graph Update

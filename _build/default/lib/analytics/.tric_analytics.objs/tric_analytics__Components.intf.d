@@ -1,0 +1,1 @@
+lib/analytics/components.mli: Label Tric_graph Update

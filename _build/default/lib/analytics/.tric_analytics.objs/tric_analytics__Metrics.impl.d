@@ -1,0 +1,1 @@
+lib/analytics/metrics.ml: Edge Hashtbl Label Option Tric_graph Update

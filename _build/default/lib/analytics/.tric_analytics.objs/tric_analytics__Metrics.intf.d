@@ -1,0 +1,1 @@
+lib/analytics/metrics.mli: Label Tric_graph Update

@@ -1,0 +1,1 @@
+lib/analytics/reachability.ml: Edge Graph Hashtbl Label List Tric_graph Update

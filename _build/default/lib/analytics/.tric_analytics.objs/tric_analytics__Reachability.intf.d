@@ -1,0 +1,1 @@
+lib/analytics/reachability.mli: Label Tric_graph Update

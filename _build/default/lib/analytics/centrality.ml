@@ -1,0 +1,113 @@
+open Tric_graph
+
+(* Brandes (2001) for unweighted directed graphs. *)
+let betweenness g =
+  let vertices = Graph.vertices g in
+  let score : float ref Label.Tbl.t = Label.Tbl.create (List.length vertices) in
+  let cell v =
+    match Label.Tbl.find_opt score v with
+    | Some c -> c
+    | None ->
+      let c = ref 0.0 in
+      Label.Tbl.add score v c;
+      c
+  in
+  List.iter (fun v -> ignore (cell v)) vertices;
+  List.iter
+    (fun s ->
+      (* BFS from s accumulating shortest-path counts. *)
+      let sigma = Label.Tbl.create 64 and dist = Label.Tbl.create 64 in
+      let preds : Label.t list ref Label.Tbl.t = Label.Tbl.create 64 in
+      let order = ref [] in
+      Label.Tbl.add sigma s 1.0;
+      Label.Tbl.add dist s 0;
+      let queue = Queue.create () in
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        order := v :: !order;
+        let dv = Label.Tbl.find dist v in
+        let sv = Label.Tbl.find sigma v in
+        List.iter
+          (fun (e : Edge.t) ->
+            let w = e.dst in
+            (match Label.Tbl.find_opt dist w with
+            | None ->
+              Label.Tbl.add dist w (dv + 1);
+              Queue.add w queue
+            | Some _ -> ());
+            if Label.Tbl.find dist w = dv + 1 then begin
+              Label.Tbl.replace sigma w
+                (Option.value ~default:0.0 (Label.Tbl.find_opt sigma w) +. sv);
+              match Label.Tbl.find_opt preds w with
+              | Some cell -> cell := v :: !cell
+              | None -> Label.Tbl.add preds w (ref [ v ])
+            end)
+          (Graph.out_edges g v)
+      done;
+      (* Back-propagation of dependencies. *)
+      let delta = Label.Tbl.create 64 in
+      let dep v = Option.value ~default:0.0 (Label.Tbl.find_opt delta v) in
+      List.iter
+        (fun w ->
+          (match Label.Tbl.find_opt preds w with
+          | Some cell ->
+            let sw = Label.Tbl.find sigma w in
+            List.iter
+              (fun v ->
+                let sv = Label.Tbl.find sigma v in
+                let contribution = sv /. sw *. (1.0 +. dep w) in
+                Label.Tbl.replace delta v (dep v +. contribution))
+              !cell
+          | None -> ());
+          if not (Label.equal w s) then cell w := !(cell w) +. dep w)
+        !order)
+    vertices;
+  Label.Tbl.fold (fun v c acc -> (v, !c) :: acc) score []
+  |> List.sort (fun (va, a) (vb, b) ->
+         let c = compare b a in
+         if c <> 0 then c else Label.compare va vb)
+
+let top_k g k =
+  let all = betweenness g in
+  List.filteri (fun i _ -> i < k) all
+
+module Watch = struct
+  type event = {
+    entered : Label.t list;
+    left : Label.t list;
+    at_update : int;
+  }
+
+  type t = {
+    g : Graph.t;
+    k : int;
+    period : int;
+    mutable updates : int;
+    mutable top : (Label.t * float) list;
+  }
+
+  let create ?(period = 100) ~k () =
+    if k <= 0 then invalid_arg "Centrality.Watch.create: k <= 0";
+    if period <= 0 then invalid_arg "Centrality.Watch.create: period <= 0";
+    { g = Graph.create (); k; period; updates = 0; top = [] }
+
+  let recompute t =
+    let fresh = top_k t.g t.k in
+    let old_set = Label.Set.of_list (List.map fst t.top) in
+    let new_set = Label.Set.of_list (List.map fst fresh) in
+    t.top <- fresh;
+    let entered = Label.Set.elements (Label.Set.diff new_set old_set) in
+    let left = Label.Set.elements (Label.Set.diff old_set new_set) in
+    if entered = [] && left = [] then None
+    else Some { entered; left; at_update = t.updates }
+
+  let force_recompute t = recompute t
+
+  let handle_update t u =
+    ignore (Update.apply t.g u);
+    t.updates <- t.updates + 1;
+    if t.updates mod t.period = 0 then recompute t else None
+
+  let current_top t = t.top
+end

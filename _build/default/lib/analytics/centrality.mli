@@ -1,0 +1,32 @@
+(** Betweenness centrality — the third query class of the paper's outlook
+    (§7).
+
+    Exact unweighted betweenness via Brandes' algorithm over the current
+    graph (directed, all edge labels), plus a continuous top-k watch that
+    recomputes on a configurable update period and reports changes to the
+    top-k set — full incremental betweenness is an open research problem;
+    periodic recomputation is the standard production compromise. *)
+
+open Tric_graph
+
+val betweenness : Graph.t -> (Label.t * float) list
+(** All vertices with their betweenness score, descending.  O(V·E). *)
+
+val top_k : Graph.t -> int -> (Label.t * float) list
+
+module Watch : sig
+  type t
+
+  type event = {
+    entered : Label.t list;  (** vertices that joined the top-k *)
+    left : Label.t list;
+    at_update : int;
+  }
+
+  val create : ?period:int -> k:int -> unit -> t
+  (** [period] updates between recomputations (default 100). *)
+
+  val handle_update : t -> Update.t -> event option
+  val current_top : t -> (Label.t * float) list
+  val force_recompute : t -> event option
+end

@@ -1,0 +1,94 @@
+open Tric_graph
+
+type t = {
+  mutable parent : int Label.Tbl.t; (* vertex -> parent (union-find) *)
+  mutable size : int Label.Tbl.t; (* root -> component size *)
+  mutable components : int;
+  edges : unit Edge.Tbl.t; (* retained for rebuild after deletions *)
+  seen : unit Label.Tbl.t; (* vertices ever observed, kept across rebuilds *)
+  mutable dirty : bool;
+}
+
+let create () =
+  {
+    parent = Label.Tbl.create 1024;
+    size = Label.Tbl.create 1024;
+    components = 0;
+    edges = Edge.Tbl.create 1024;
+    seen = Label.Tbl.create 1024;
+    dirty = false;
+  }
+
+let ensure_vertex t v =
+  Label.Tbl.replace t.seen v ();
+  if not (Label.Tbl.mem t.parent v) then begin
+    Label.Tbl.add t.parent v (Label.to_int v);
+    Label.Tbl.add t.size v 1;
+    t.components <- t.components + 1
+  end
+
+let rec find t v =
+  let p = Label.Tbl.find t.parent v in
+  if p = Label.to_int v then v
+  else begin
+    let root = find t (Label.of_int p) in
+    Label.Tbl.replace t.parent v (Label.to_int root) (* path compression *);
+    root
+  end
+
+let union t u v =
+  ensure_vertex t u;
+  ensure_vertex t v;
+  let ru = find t u and rv = find t v in
+  if not (Label.equal ru rv) then begin
+    let su = Label.Tbl.find t.size ru and sv = Label.Tbl.find t.size rv in
+    let big, small = if su >= sv then (ru, rv) else (rv, ru) in
+    Label.Tbl.replace t.parent small (Label.to_int big);
+    Label.Tbl.replace t.size big (su + sv);
+    Label.Tbl.remove t.size small;
+    t.components <- t.components - 1
+  end
+
+let rebuild t =
+  Label.Tbl.reset t.parent;
+  Label.Tbl.reset t.size;
+  t.components <- 0;
+  (* Snapshot first: ensure_vertex refreshes [seen] and Hashtbl iteration
+     must not observe concurrent writes. *)
+  let vertices = Label.Tbl.fold (fun v () acc -> v :: acc) t.seen [] in
+  List.iter (fun v -> ensure_vertex t v) vertices;
+  Edge.Tbl.iter (fun (e : Edge.t) () -> union t e.src e.dst) t.edges;
+  t.dirty <- false
+
+let refresh t = if t.dirty then rebuild t
+
+let handle_update t u =
+  let e = Update.edge u in
+  match u with
+  | Update.Add _ ->
+    if not (Edge.Tbl.mem t.edges e) then begin
+      Edge.Tbl.add t.edges e ();
+      if not t.dirty then union t e.src e.dst
+    end
+  | Update.Remove _ ->
+    if Edge.Tbl.mem t.edges e then begin
+      Edge.Tbl.remove t.edges e;
+      t.dirty <- true
+    end
+
+let same_component t u v =
+  refresh t;
+  if not (Label.Tbl.mem t.parent u) || not (Label.Tbl.mem t.parent v) then Label.equal u v
+  else Label.equal (find t u) (find t v)
+
+let component_size t v =
+  refresh t;
+  if not (Label.Tbl.mem t.parent v) then 1 else Label.Tbl.find t.size (find t v)
+
+let num_components t =
+  refresh t;
+  t.components
+
+let num_vertices t =
+  refresh t;
+  Label.Tbl.length t.parent

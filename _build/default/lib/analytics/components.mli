@@ -1,0 +1,22 @@
+(** Incremental connected components (weak/undirected connectivity).
+
+    Edge additions are handled with a union-find in near-constant
+    amortised time; a deletion marks the structure dirty and the next
+    query rebuilds from the retained edge set (deletions cannot be undone
+    in a plain union-find). *)
+
+open Tric_graph
+
+type t
+
+val create : unit -> t
+val handle_update : t -> Update.t -> unit
+
+val same_component : t -> Label.t -> Label.t -> bool
+(** Unknown vertices are in singleton components of their own. *)
+
+val component_size : t -> Label.t -> int
+val num_components : t -> int
+(** Over vertices seen so far. *)
+
+val num_vertices : t -> int

@@ -1,0 +1,148 @@
+open Tric_graph
+
+type t = {
+  edges : unit Edge.Tbl.t; (* exact triples, for stream idempotence *)
+  neighbours : Label.Set.t ref Label.Tbl.t; (* simple undirected view *)
+  multiplicity : (int * int, int) Hashtbl.t; (* ordered pair -> directed edge count *)
+  tri : int ref Label.Tbl.t; (* per-vertex triangle count *)
+  mutable total_triangles : int;
+  mutable pairs : int;
+}
+
+let create () =
+  {
+    edges = Edge.Tbl.create 1024;
+    neighbours = Label.Tbl.create 1024;
+    multiplicity = Hashtbl.create 1024;
+    tri = Label.Tbl.create 1024;
+    total_triangles = 0;
+    pairs = 0;
+  }
+
+let nset t v =
+  match Label.Tbl.find_opt t.neighbours v with
+  | Some s -> !s
+  | None -> Label.Set.empty
+
+let nset_cell t v =
+  match Label.Tbl.find_opt t.neighbours v with
+  | Some s -> s
+  | None ->
+    let s = ref Label.Set.empty in
+    Label.Tbl.add t.neighbours v s;
+    s
+
+let tri_cell t v =
+  match Label.Tbl.find_opt t.tri v with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Label.Tbl.add t.tri v c;
+    c
+
+let pair_key u v =
+  let a = Label.to_int u and b = Label.to_int v in
+  if a <= b then (a, b) else (b, a)
+
+(* The simple-view pair (u,v) appears/disappears when the total count of
+   directed edges between u and v (either direction, any label) crosses
+   0. *)
+let bump_multiplicity t u v delta =
+  let key = pair_key u v in
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.multiplicity key) in
+  let updated = current + delta in
+  if updated < 0 then false
+  else begin
+    if updated = 0 then Hashtbl.remove t.multiplicity key
+    else Hashtbl.replace t.multiplicity key updated;
+    (current = 0 && updated > 0) || (current > 0 && updated = 0)
+  end
+
+let on_pair_added t u v =
+  let common = Label.Set.inter (nset t u) (nset t v) in
+  let k = Label.Set.cardinal common in
+  if k > 0 then begin
+    t.total_triangles <- t.total_triangles + k;
+    Label.Set.iter (fun w -> incr (tri_cell t w)) common;
+    tri_cell t u := !(tri_cell t u) + k;
+    tri_cell t v := !(tri_cell t v) + k
+  end;
+  (nset_cell t u) := Label.Set.add v !(nset_cell t u);
+  (nset_cell t v) := Label.Set.add u !(nset_cell t v);
+  t.pairs <- t.pairs + 1
+
+let on_pair_removed t u v =
+  (nset_cell t u) := Label.Set.remove v !(nset_cell t u);
+  (nset_cell t v) := Label.Set.remove u !(nset_cell t v);
+  t.pairs <- t.pairs - 1;
+  let common = Label.Set.inter (nset t u) (nset t v) in
+  let k = Label.Set.cardinal common in
+  if k > 0 then begin
+    t.total_triangles <- t.total_triangles - k;
+    Label.Set.iter (fun w -> decr (tri_cell t w)) common;
+    tri_cell t u := !(tri_cell t u) - k;
+    tri_cell t v := !(tri_cell t v) - k
+  end
+
+let handle_update t u =
+  let e = Update.edge u in
+  (* Streams have set semantics over exact triples: a duplicate addition
+     or a removal of an absent edge is a no-op. *)
+  let effective =
+    match u with
+    | Update.Add _ ->
+      if Edge.Tbl.mem t.edges e then false
+      else begin
+        Edge.Tbl.add t.edges e ();
+        true
+      end
+    | Update.Remove _ ->
+      if Edge.Tbl.mem t.edges e then begin
+        Edge.Tbl.remove t.edges e;
+        true
+      end
+      else false
+  in
+  if effective then begin
+    (* Register both endpoints as vertices even for self-loops. *)
+    ignore (nset_cell t e.src);
+    ignore (nset_cell t e.dst);
+    if not (Label.equal e.src e.dst) then begin
+      match u with
+      | Update.Add _ ->
+        if bump_multiplicity t e.src e.dst 1 then on_pair_added t e.src e.dst
+      | Update.Remove _ ->
+        if bump_multiplicity t e.src e.dst (-1) then on_pair_removed t e.src e.dst
+    end
+  end
+
+let num_vertices t = Label.Tbl.length t.neighbours
+let num_adjacent_pairs t = t.pairs
+let degree t v = Label.Set.cardinal (nset t v)
+let triangles t = t.total_triangles
+
+let triangles_of t v =
+  match Label.Tbl.find_opt t.tri v with Some c -> !c | None -> 0
+
+let local_clustering t v =
+  let d = degree t v in
+  if d < 2 then 0.0
+  else 2.0 *. float_of_int (triangles_of t v) /. float_of_int (d * (d - 1))
+
+let wedges t =
+  Label.Tbl.fold
+    (fun _ s acc ->
+      let d = Label.Set.cardinal !s in
+      acc + (d * (d - 1) / 2))
+    t.neighbours 0
+
+let global_clustering t =
+  let w = wedges t in
+  if w = 0 then 0.0 else 3.0 *. float_of_int t.total_triangles /. float_of_int w
+
+let average_clustering t =
+  let n = num_vertices t in
+  if n = 0 then 0.0
+  else
+    Label.Tbl.fold (fun v _ acc -> acc +. local_clustering t v) t.neighbours 0.0
+    /. float_of_int n

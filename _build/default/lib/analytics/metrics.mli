@@ -1,0 +1,40 @@
+(** Incremental structural metrics over a graph stream.
+
+    The paper's outlook (§7) names query classes "that aim at clustering
+    coefficient, shortest path, and betweenness centrality"; this module
+    provides the clustering-coefficient class: triangle counts and local /
+    global clustering coefficients, maintained incrementally under edge
+    additions and deletions.
+
+    Metrics are computed on the {e undirected simple} view of the
+    multigraph: parallel and anti-parallel edges between two vertices
+    count as one adjacency, self-loops are ignored (the standard
+    convention for clustering coefficients). *)
+
+open Tric_graph
+
+type t
+
+val create : unit -> t
+val handle_update : t -> Update.t -> unit
+
+val num_vertices : t -> int
+val num_adjacent_pairs : t -> int
+(** Distinct unordered adjacent vertex pairs (simple-view edges). *)
+
+val degree : t -> Label.t -> int
+(** Distinct-neighbour (simple-view) degree; 0 for unknown vertices. *)
+
+val triangles : t -> int
+(** Total triangles in the simple view. *)
+
+val triangles_of : t -> Label.t -> int
+
+val local_clustering : t -> Label.t -> float
+(** [2·tri(v) / (deg(v)·(deg(v)-1))]; 0 when deg < 2. *)
+
+val global_clustering : t -> float
+(** Transitivity: [3·triangles / wedges]; 0 when there are no wedges. *)
+
+val average_clustering : t -> float
+(** Watts–Strogatz average of local coefficients over all vertices. *)

@@ -1,0 +1,105 @@
+open Tric_graph
+
+type watch = {
+  wid : int;
+  src : Label.t;
+  dst : Label.t;
+  k : int;
+}
+
+type event =
+  | Reached of watch
+  | Lost of watch
+
+type t = {
+  g : Graph.t;
+  watches : (int, watch * bool ref) Hashtbl.t; (* bool: currently reached *)
+  mutable next_id : int;
+}
+
+let create () = { g = Graph.create (); watches = Hashtbl.create 64; next_id = 1 }
+
+(* Bounded BFS over all edge labels. *)
+let distance t ~src ~dst ~max_k =
+  if Label.equal src dst then Some 0
+  else begin
+    let seen = Label.Tbl.create 64 in
+    Label.Tbl.add seen src ();
+    let frontier = ref [ src ] in
+    let rec go depth =
+      if depth > max_k || !frontier = [] then None
+      else begin
+        let next = ref [] in
+        let found = ref false in
+        List.iter
+          (fun v ->
+            List.iter
+              (fun (e : Edge.t) ->
+                if Label.equal e.dst dst then found := true;
+                if not (Label.Tbl.mem seen e.dst) then begin
+                  Label.Tbl.add seen e.dst ();
+                  next := e.dst :: !next
+                end)
+              (Graph.out_edges t.g v))
+          !frontier;
+        if !found then Some depth
+        else begin
+          frontier := !next;
+          go (depth + 1)
+        end
+      end
+    in
+    go 1
+  end
+
+let check t (w : watch) = distance t ~src:w.src ~dst:w.dst ~max_k:w.k <> None
+
+let watch t ~src ~dst ~k =
+  if k < 0 then invalid_arg "Reachability.watch: k < 0";
+  let w = { wid = t.next_id; src; dst; k } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.add t.watches w.wid (w, ref (check t w));
+  w
+
+let unwatch t w =
+  if Hashtbl.mem t.watches w.wid then begin
+    Hashtbl.remove t.watches w.wid;
+    true
+  end
+  else false
+
+let watch_src w = w.src
+let watch_dst w = w.dst
+let watch_k w = w.k
+
+let handle_update t u =
+  let changed = Update.apply t.g u in
+  if not changed then []
+  else begin
+    let events = ref [] in
+    Hashtbl.iter
+      (fun _ (w, reached) ->
+        (* An addition can only turn unreached -> reached; a deletion only
+           the converse.  Skip the BFS when the transition is
+           impossible. *)
+        match u with
+        | Update.Add _ ->
+          if (not !reached) && check t w then begin
+            reached := true;
+            events := Reached w :: !events
+          end
+        | Update.Remove _ ->
+          if !reached && not (check t w) then begin
+            reached := false;
+            events := Lost w :: !events
+          end)
+      t.watches;
+    List.rev !events
+  end
+
+let is_reached t w =
+  match Hashtbl.find_opt t.watches w.wid with
+  | Some (_, reached) -> !reached
+  | None -> false
+
+let num_watches t = Hashtbl.length t.watches

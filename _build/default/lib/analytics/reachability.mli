@@ -1,0 +1,35 @@
+(** Continuous bounded-distance (shortest-path) queries.
+
+    The shortest-path query class of the paper's outlook (§7): a
+    subscription [(src, dst, k)] asks to be notified when a directed path
+    of at most [k] edges from [src] to [dst] appears in the evolving
+    graph, and again if a deletion later breaks it ([`Lost]) and a new
+    path restores it. *)
+
+open Tric_graph
+
+type t
+type watch
+
+type event =
+  | Reached of watch  (** dist(src→dst) became ≤ k *)
+  | Lost of watch  (** previously reached; a deletion broke every path ≤ k *)
+
+val create : unit -> t
+
+val watch : t -> src:Label.t -> dst:Label.t -> k:int -> watch
+(** @raise Invalid_argument if [k < 0]. *)
+
+val unwatch : t -> watch -> bool
+val watch_src : watch -> Label.t
+val watch_dst : watch -> Label.t
+val watch_k : watch -> int
+
+val handle_update : t -> Update.t -> event list
+(** Feed one update; fires state transitions of affected watches. *)
+
+val is_reached : t -> watch -> bool
+val distance : t -> src:Label.t -> dst:Label.t -> max_k:int -> int option
+(** Bounded BFS over the current graph: [Some d] with [d <= max_k]. *)
+
+val num_watches : t -> int

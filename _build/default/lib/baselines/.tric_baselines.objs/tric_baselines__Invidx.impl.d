@@ -1,0 +1,1 @@
+lib/baselines/invidx.ml: Array Cover Edge Ekey Embedding Embjoin Fun Hashtbl Label List Path Pattern Printf Relation Tric_graph Tric_query Tric_rel Tuple Update

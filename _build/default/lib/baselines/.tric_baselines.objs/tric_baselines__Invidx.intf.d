@@ -1,0 +1,1 @@
+lib/baselines/invidx.mli: Ekey Embedding Path Pattern Tric_graph Tric_query Tric_rel Update

@@ -1,0 +1,345 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type mode =
+  | Full
+  | Seeded
+
+type query_info = {
+  pattern : Pattern.t;
+  paths : Path.t array;
+  path_vids : int array array;
+  path_keys : Ekey.t array array;
+  width : int;
+}
+
+type t = {
+  cache : bool;
+  mode : mode;
+  queries : (int, query_info) Hashtbl.t; (* queryInd *)
+  edge_ind : int list ref Ekey.Tbl.t; (* key -> query ids *)
+  source_ind : Ekey.t list ref Label.Tbl.t; (* const source vertex -> keys *)
+  target_ind : Ekey.t list ref Label.Tbl.t; (* const target vertex -> keys *)
+  base : Relation.t Ekey.Tbl.t; (* matV[e] per distinct key *)
+  seen : unit Edge.Tbl.t; (* updates already applied (duplicate detection) *)
+}
+
+let create ?(cache = false) ~mode () =
+  {
+    cache;
+    mode;
+    queries = Hashtbl.create 256;
+    edge_ind = Ekey.Tbl.create 256;
+    source_ind = Label.Tbl.create 256;
+    target_ind = Label.Tbl.create 256;
+    base = Ekey.Tbl.create 256;
+    seen = Edge.Tbl.create 1024;
+  }
+
+let name t =
+  match (t.mode, t.cache) with
+  | Full, false -> "INV"
+  | Full, true -> "INV+"
+  | Seeded, false -> "INC"
+  | Seeded, true -> "INC+"
+
+let multi_add tbl_find tbl_add key v =
+  match tbl_find key with
+  | Some cell -> cell := v :: !cell
+  | None -> tbl_add key (ref [ v ])
+
+let add_query t pattern =
+  let qid = Pattern.id pattern in
+  if Hashtbl.mem t.queries qid then
+    invalid_arg (Printf.sprintf "%s.add_query: duplicate query id %d" (name t) qid);
+  let paths = Array.of_list (Cover.extract pattern) in
+  let path_keys = Array.map (fun p -> Array.of_list (Path.keys pattern p)) paths in
+  Array.iter
+    (Array.iter (fun key ->
+         multi_add (Ekey.Tbl.find_opt t.edge_ind) (Ekey.Tbl.add t.edge_ind) key qid;
+         (* sourceInd/targetInd map constant vertices to the distinct keys
+            they anchor; a key shared by several queries is entered once. *)
+         let multi_add_key find add c =
+           match find c with
+           | Some cell -> if not (List.exists (Ekey.equal key) !cell) then cell := key :: !cell
+           | None -> add c (ref [ key ])
+         in
+         (match Ekey.src_const key with
+         | Some c ->
+           multi_add_key (Label.Tbl.find_opt t.source_ind) (Label.Tbl.add t.source_ind) c
+         | None -> ());
+         (match Ekey.dst_const key with
+         | Some c ->
+           multi_add_key (Label.Tbl.find_opt t.target_ind) (Label.Tbl.add t.target_ind) c
+         | None -> ());
+         if not (Ekey.Tbl.mem t.base key) then
+           Ekey.Tbl.add t.base key (Relation.create ~cache:t.cache ~width:2 ())))
+    path_keys;
+  Hashtbl.add t.queries qid
+    {
+      pattern;
+      paths;
+      path_vids = Array.map Path.vids paths;
+      path_keys;
+      width = Pattern.num_vertices pattern;
+    }
+
+let remove_query t qid =
+  Hashtbl.mem t.queries qid
+  &&
+  (Hashtbl.remove t.queries qid;
+   true)
+
+let num_queries t = Hashtbl.length t.queries
+
+(* -- Path materialization -------------------------------------------------- *)
+
+(* Full left-to-right materialization of one covering path (INV): join the
+   base views of its keys in path order, carrying partial embeddings.
+   Returns [] as soon as a prefix dies (the paper's pruning). *)
+let materialize_full t info pidx =
+  let keys = info.path_keys.(pidx) and vids = info.path_vids.(pidx) in
+  let first_base = Ekey.Tbl.find t.base keys.(0) in
+  let init =
+    Relation.fold
+      (fun tu acc ->
+        match
+          Embedding.of_tuple ~width:info.width ~vids:[| vids.(0); vids.(1) |] tu
+        with
+        | Some e -> e :: acc
+        | None -> acc)
+      first_base []
+  in
+  let extend_step embs i =
+    match embs with
+    | [] -> []
+    | _ ->
+      let base = Ekey.Tbl.find t.base keys.(i) in
+      let probe = Relation.index_on base ~col:0 in
+      List.concat_map
+        (fun emb ->
+          match Embedding.get emb vids.(i) with
+          | None -> assert false
+          | Some hinge ->
+            List.filter_map
+              (fun tu -> Embedding.bind emb vids.(i + 1) (Tuple.get tu 1))
+              (probe hinge))
+        embs
+  in
+  let rec go embs i = if i >= Array.length keys then embs else go (extend_step embs i) (i + 1) in
+  Embjoin.dedup (go init 1)
+
+(* Update-seeded materialization of one covering path (INC): only chains
+   through the incoming edge are enumerated.  For every position of the
+   path whose key matches the update, seed there and extend right (probing
+   base views on their source column) and left (probing on target). *)
+let materialize_seeded t info pidx (e : Edge.t) =
+  let keys = info.path_keys.(pidx) and vids = info.path_vids.(pidx) in
+  let n = Array.length keys in
+  let results = ref [] in
+  for i = 0 to n - 1 do
+    if Ekey.matches keys.(i) e then begin
+      let seed =
+        match Embedding.bind (Embedding.empty info.width) vids.(i) e.src with
+        | None -> None
+        | Some emb -> Embedding.bind emb vids.(i + 1) e.dst
+      in
+      match seed with
+      | None -> ()
+      | Some seed ->
+        (* Extend rightwards. *)
+        let right =
+          let rec go embs j =
+            if j >= n || embs = [] then embs
+            else begin
+              let base = Ekey.Tbl.find t.base keys.(j) in
+              let probe = Relation.index_on base ~col:0 in
+              let embs =
+                List.concat_map
+                  (fun emb ->
+                    match Embedding.get emb vids.(j) with
+                    | None -> assert false
+                    | Some hinge ->
+                      List.filter_map
+                        (fun tu -> Embedding.bind emb vids.(j + 1) (Tuple.get tu 1))
+                        (probe hinge))
+                  embs
+              in
+              go embs (j + 1)
+            end
+          in
+          go [ seed ] (i + 1)
+        in
+        (* Extend leftwards. *)
+        let full =
+          let rec go embs j =
+            if j < 0 || embs = [] then embs
+            else begin
+              let base = Ekey.Tbl.find t.base keys.(j) in
+              let probe = Relation.index_on base ~col:1 in
+              let embs =
+                List.concat_map
+                  (fun emb ->
+                    match Embedding.get emb vids.(j + 1) with
+                    | None -> assert false
+                    | Some hinge ->
+                      List.filter_map
+                        (fun tu -> Embedding.bind emb vids.(j) (Tuple.first tu))
+                        (probe hinge))
+                  embs
+              in
+              go embs (j - 1)
+            end
+          in
+          go right (i - 1)
+        in
+        results := full @ !results
+    end
+  done;
+  Embjoin.dedup !results
+
+(* -- Answering ------------------------------------------------------------- *)
+
+let feed_base_views t tuple keys =
+  List.iter
+    (fun k ->
+      match Ekey.Tbl.find_opt t.base k with
+      | Some base -> ignore (Relation.insert base tuple)
+      | None -> ())
+    keys
+
+let path_affected keys (e : Edge.t) = Array.exists (fun k -> Ekey.matches k e) keys
+
+let embedding_uses_edge q emb (e : Edge.t) =
+  Array.exists
+    (fun (pe : Pattern.pedge) ->
+      Label.equal pe.elabel e.label
+      && (match Embedding.get emb pe.src with
+         | Some s -> Label.equal s e.src
+         | None -> false)
+      &&
+      match Embedding.get emb pe.dst with
+      | Some d -> Label.equal d e.dst
+      | None -> false)
+    (Pattern.edges q)
+
+let answer_query t info (e : Edge.t) =
+  let k = Array.length info.paths in
+  (* Paper §5.1 Step 1: every key of the query must have a non-empty view,
+     otherwise the query cannot be satisfied and is skipped. *)
+  let all_views_nonempty =
+    Array.for_all
+      (Array.for_all (fun key -> not (Relation.is_empty (Ekey.Tbl.find t.base key))))
+      info.path_keys
+  in
+  if not all_views_nonempty then []
+  else begin
+    match t.mode with
+    | Full ->
+      let per_path = Array.init k (fun i -> materialize_full t info i) in
+      if Array.exists (fun l -> l = []) per_path then []
+      else
+        Embjoin.join_many (Array.to_list per_path)
+        |> List.filter Embedding.is_total
+        |> List.filter (fun emb -> embedding_uses_edge info.pattern emb e)
+    | Seeded ->
+      let full_cache = Array.make k None in
+      let full i =
+        match full_cache.(i) with
+        | Some l -> l
+        | None ->
+          let l = materialize_full t info i in
+          full_cache.(i) <- Some l;
+          l
+      in
+      let results = ref [] in
+      for i = 0 to k - 1 do
+        if path_affected info.path_keys.(i) e then begin
+          let delta = materialize_seeded t info i e in
+          if delta <> [] then begin
+            let operands =
+              delta :: List.filter_map (fun j -> if j = i then None else Some (full j)) (List.init k Fun.id)
+            in
+            results := Embjoin.join_many operands @ !results
+          end
+        end
+      done;
+      !results |> Embjoin.dedup |> List.filter Embedding.is_total
+  end
+
+let handle_update t u =
+  match u with
+  | Update.Remove e ->
+    Edge.Tbl.remove t.seen e;
+    let tuple = Tuple.of_edge e in
+    List.iter
+      (fun k ->
+        match Ekey.Tbl.find_opt t.base k with
+        | Some base -> ignore (Relation.remove base tuple)
+        | None -> ())
+      (Ekey.keys_of_edge e);
+    []
+  | Update.Add e ->
+    if Edge.Tbl.mem t.seen e then []
+    else begin
+      Edge.Tbl.add t.seen e ();
+      let keys = Ekey.keys_of_edge e in
+      feed_base_views t (Tuple.of_edge e) keys;
+      (* Affected queries via edgeInd, deduplicated. *)
+      let affected =
+        List.concat_map
+          (fun k ->
+            match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
+          keys
+        |> List.sort_uniq compare
+      in
+      List.filter_map
+        (fun qid ->
+          match Hashtbl.find_opt t.queries qid with
+          | None -> None
+          | Some info ->
+            (match answer_query t info e with [] -> None | l -> Some (qid, l)))
+        affected
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    end
+
+let current_matches t qid =
+  let info = Hashtbl.find t.queries qid in
+  let k = Array.length info.paths in
+  let per_path = List.init k (fun i -> materialize_full t info i) in
+  List.filter Embedding.is_total (Embjoin.join_many per_path)
+
+let covering_paths t qid =
+  let info = Hashtbl.find t.queries qid in
+  Array.to_list info.paths
+
+type stats = {
+  queries : int;
+  base_views : int;
+  base_tuples : int;
+  index_rebuilds : int;
+  source_index_keys : int;
+  target_index_keys : int;
+}
+
+let stats t =
+  let base_tuples, rebuilds =
+    Ekey.Tbl.fold
+      (fun _ r (n, rb) -> (n + Relation.cardinality r, rb + Relation.stats_rebuilds r))
+      t.base (0, 0)
+  in
+  {
+    queries = num_queries t;
+    base_views = Ekey.Tbl.length t.base;
+    base_tuples;
+    index_rebuilds = rebuilds;
+    source_index_keys = Label.Tbl.length t.source_ind;
+    target_index_keys = Label.Tbl.length t.target_ind;
+  }
+
+let keys_with_source t v =
+  match Label.Tbl.find_opt t.source_ind v with Some cell -> !cell | None -> []
+
+let keys_with_target t v =
+  match Label.Tbl.find_opt t.target_ind v with Some cell -> !cell | None -> []

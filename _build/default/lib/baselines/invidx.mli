@@ -1,0 +1,58 @@
+(** The advanced baselines INV and INC (§5.1, §5.2) and their caching
+    variants.
+
+    Both index queries with inverted indexes only — no clustering: [edgeInd]
+    maps a generic edge key to the query ids using it; [queryInd] keeps each
+    query's covering paths; a materialized view per distinct key stores the
+    updates seen.  They differ in the join strategy used to materialize an
+    affected covering path:
+
+    - {b Full} (INV): re-join the base views of the whole path from
+      scratch, using every tuple;
+    - {b Seeded} (INC): start from the incoming update and extend left and
+      right, so only tuples connected to the update are touched — but paths
+      of the query not containing the update, and the final cross-path
+      join, are still computed in full.
+
+    [cache:true] (INV+/INC+) keeps the hash-join build tables alive, as in
+    {!Tric_rel.Relation}. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type mode =
+  | Full
+  | Seeded
+
+type t
+
+val create : ?cache:bool -> mode:mode -> unit -> t
+val name : t -> string
+(** "INV", "INV+", "INC" or "INC+". *)
+
+val add_query : t -> Pattern.t -> unit
+val remove_query : t -> int -> bool
+val num_queries : t -> int
+
+val handle_update : t -> Update.t -> (int * Embedding.t list) list
+val current_matches : t -> int -> Embedding.t list
+val covering_paths : t -> int -> Path.t list
+
+type stats = {
+  queries : int;
+  base_views : int;
+  base_tuples : int;
+  index_rebuilds : int;
+  source_index_keys : int;  (** distinct constant source vertices (Fig. 11) *)
+  target_index_keys : int;  (** distinct constant target vertices (Fig. 11) *)
+}
+
+val stats : t -> stats
+
+val keys_with_source : t -> Tric_graph.Label.t -> Ekey.t list
+(** The paper's [sourceInd] (Fig. 11): every indexed edge key whose source
+    is the given constant vertex.  Used to walk path structure from an
+    update's endpoints. *)
+
+val keys_with_target : t -> Tric_graph.Label.t -> Ekey.t list

@@ -1,0 +1,1 @@
+lib/core/tric.ml: Array Cover Edge Ekey Embedding Embjoin Format Fun Hashtbl Label List Path Pattern Printf Relation Tric_graph Tric_query Tric_rel Trie Tuple Update

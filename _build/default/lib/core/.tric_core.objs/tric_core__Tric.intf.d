@@ -1,0 +1,1 @@
+lib/core/tric.mli: Cover Embedding Format Path Pattern Tric_graph Tric_query Tric_rel Trie Update

@@ -1,0 +1,1 @@
+lib/core/trie.ml: Ekey Format List Relation Tric_query Tric_rel Tuple

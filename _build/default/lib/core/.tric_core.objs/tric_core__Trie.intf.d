@@ -1,0 +1,1 @@
+lib/core/trie.mli: Ekey Format Relation Tric_query Tric_rel

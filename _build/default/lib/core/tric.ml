@@ -1,0 +1,371 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type query_info = {
+  pattern : Pattern.t;
+  paths : Path.t array;
+  path_vids : int array array; (* per path: chain vertex-id sequence *)
+  terminals : Trie.node array;
+  width : int; (* pattern vertex count *)
+  (* The per-covering-path result as partial embeddings — the paper's
+     matV[P_i], kept in join-ready form and maintained incrementally
+     (recomputed from the terminal views when [emb_epoch] falls behind the
+     engine's deletion epoch). *)
+  mutable path_embs : Embedding.t list array;
+  mutable emb_epoch : int;
+}
+
+type t = {
+  cache : bool;
+  strategy : Cover.strategy;
+  forest : Trie.t;
+  queries : (int, query_info) Hashtbl.t;
+  mutable epoch : int; (* bumped by deletions to invalidate path_embs *)
+}
+
+let create ?(cache = false) ?(strategy = Cover.Upstream) () =
+  { cache; strategy; forest = Trie.create ~cache; queries = Hashtbl.create 256; epoch = 0 }
+
+let name t = if t.cache then "TRIC+" else "TRIC"
+
+let add_query t pattern =
+  let qid = Pattern.id pattern in
+  if Hashtbl.mem t.queries qid then
+    invalid_arg (Printf.sprintf "Tric.add_query: duplicate query id %d" qid);
+  let paths = Array.of_list (Cover.extract ~strategy:t.strategy pattern) in
+  let terminals =
+    Array.mapi
+      (fun i p -> Trie.insert_path t.forest (Path.keys pattern p) ~qid ~path_index:i)
+      paths
+  in
+  let path_vids = Array.map Path.vids paths in
+  let width = Pattern.num_vertices pattern in
+  let path_embs =
+    Array.mapi
+      (fun i terminal ->
+        Relation.fold
+          (fun tu acc ->
+            match Embedding.of_tuple ~width ~vids:path_vids.(i) tu with
+            | Some e -> e :: acc
+            | None -> acc)
+          (Trie.node_view terminal) [])
+      terminals
+  in
+  Hashtbl.add t.queries qid
+    { pattern; paths; path_vids; terminals; width; path_embs; emb_epoch = t.epoch }
+
+let remove_query t qid =
+  (* Registrations at terminal nodes are left in place but reports filter on
+     the live query table, so a removed id can never be reported again.
+     Shared trie structure is intentionally retained (other queries use
+     it). *)
+  Hashtbl.mem t.queries qid
+  &&
+  (Hashtbl.remove t.queries qid;
+   true)
+
+let num_queries t = Hashtbl.length t.queries
+
+(* -- Answering: additions ------------------------------------------------- *)
+
+(* All trie nodes whose key matches the edge, shallowest first so that by
+   the time a node joins the update against its parent's view, the parent's
+   view is fully up to date. *)
+let matched_nodes t (e : Edge.t) =
+  let nodes =
+    List.concat_map (fun k -> Trie.nodes_with_key t.forest k) (Ekey.keys_of_edge e)
+  in
+  List.sort (fun a b -> compare (Trie.node_depth a) (Trie.node_depth b)) nodes
+
+(* Delta propagation (Fig. 10): push the parent's freshly inserted tuples
+   into each child by joining them with the child's base view, pruning
+   branches where the delta dies out.  Records inserted tuples per node. *)
+let rec propagate t ~record node delta =
+  List.iter
+    (fun child ->
+      match Trie.base_view t.forest (Trie.node_key child) with
+      | None -> ()
+      | Some base ->
+        if not (Relation.is_empty base) then begin
+          let extensions =
+            if t.cache then begin
+              (* TRIC+: probe the maintained index of the base view. *)
+              let probe = Relation.index_on base ~col:0 in
+              List.concat_map
+                (fun tu ->
+                  List.map
+                    (fun btu -> Tuple.extend tu (Tuple.get btu 1))
+                    (probe (Tuple.last tu)))
+                delta
+            end
+            else begin
+              (* TRIC: classic hash join — build on the smaller side (the
+                 delta), scan the base view probing it. *)
+              let built : Tuple.t list ref Label.Tbl.t =
+                Label.Tbl.create (2 * List.length delta)
+              in
+              List.iter
+                (fun tu ->
+                  let key = Tuple.last tu in
+                  match Label.Tbl.find_opt built key with
+                  | Some cell -> cell := tu :: !cell
+                  | None -> Label.Tbl.add built key (ref [ tu ]))
+                delta;
+              let out = ref [] in
+              Relation.scan_probing base ~col:0
+                (fun hinge ->
+                  match Label.Tbl.find_opt built hinge with
+                  | Some cell -> !cell
+                  | None -> [])
+                (fun btu tu -> out := Tuple.extend tu (Tuple.get btu 1) :: !out);
+              !out
+            end
+          in
+          let inserted = Relation.insert_all (Trie.node_view child) extensions in
+          if inserted <> [] then begin
+            record child inserted;
+            propagate t ~record child inserted
+          end
+        end)
+    (Trie.node_children node)
+
+let handle_addition t (e : Edge.t) =
+  (* Feed the base views of the four generalised keys. *)
+  let tuple = Tuple.of_edge e in
+  List.iter
+    (fun k ->
+      match Trie.base_view t.forest k with
+      | Some base -> ignore (Relation.insert base tuple)
+      | None -> ())
+    (Ekey.keys_of_edge e);
+  (* Visit matching trie nodes shallow-first. *)
+  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record node tuples =
+    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
+    | Some (_, cell) -> cell := tuples @ !cell
+    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
+  in
+  List.iter
+    (fun node ->
+      let delta =
+        match Trie.node_parent node with
+        | None -> [ tuple ]
+        | Some parent ->
+          let hinge_col = Trie.node_depth node in
+          let parents =
+            if t.cache then
+              (* TRIC+: maintained index on the parent view's hinge. *)
+              Relation.index_on (Trie.node_view parent) ~col:hinge_col e.src
+            else
+              (* TRIC: build on the single-tuple update, scan the parent. *)
+              Relation.probe_scan (Trie.node_view parent) ~col:hinge_col e.src
+          in
+          List.map (fun ptu -> Tuple.extend ptu e.dst) parents
+      in
+      let inserted = Relation.insert_all (Trie.node_view node) delta in
+      if inserted <> [] then begin
+        record node inserted;
+        propagate t ~record node inserted
+      end)
+    (matched_nodes t e);
+  inserted_at
+
+(* Turn a view's tuples into partial embeddings of the query (enforcing
+   repeated-variable equalities within the path). *)
+let embeddings_of_tuples ~width ~vids tuples =
+  List.filter_map (fun tu -> Embedding.of_tuple ~width ~vids tu) tuples
+
+let embeddings_of_view ~width ~vids view =
+  Relation.fold
+    (fun tu acc ->
+      match Embedding.of_tuple ~width ~vids tu with Some e -> e :: acc | None -> acc)
+    view []
+
+(* Rebuild a query's cached per-path embedding lists from the terminal
+   views (needed after deletions invalidated them). *)
+let refresh_embs t info =
+  if info.emb_epoch <> t.epoch then begin
+    info.path_embs <-
+      Array.mapi
+        (fun i terminal ->
+          embeddings_of_view ~width:info.width ~vids:info.path_vids.(i)
+            (Trie.node_view terminal))
+        info.terminals;
+    info.emb_epoch <- t.epoch;
+    true
+  end
+  else false
+
+(* Final per-query join (Fig. 8, lines 8-13): for every covering path that
+   gained tuples, join its delta against the full (cached) results of the
+   other paths, delta first. *)
+let query_new_matches t info deltas =
+  let k = Array.length info.paths in
+  let refreshed = refresh_embs t info in
+  let delta_embs =
+    Array.mapi
+      (fun i delta -> embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta)
+      deltas
+  in
+  (* Fold the deltas into the cached path results first, so "other path"
+     operands see this round's tuples too.  (A refresh already rebuilt the
+     lists from the views, which contain the deltas.) *)
+  if not refreshed then
+    Array.iteri
+      (fun i d -> if d <> [] then info.path_embs.(i) <- d @ info.path_embs.(i))
+      delta_embs;
+  let results = ref [] in
+  Array.iteri
+    (fun i delta_emb ->
+      if delta_emb <> [] then begin
+        let operands =
+          delta_emb
+          :: List.filter_map
+               (fun j -> if j = i then None else Some info.path_embs.(j))
+               (List.init k Fun.id)
+        in
+        results := Embjoin.join_many operands @ !results
+      end)
+    delta_embs;
+  List.filter Embedding.is_total (Embjoin.dedup !results)
+
+let report_of_inserted t inserted_at =
+  (* Gather, per live query, the delta tuples that reached each of its
+     registered terminal nodes. *)
+  let per_query : (int, Tuple.t list array) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _nid (node, cell) ->
+      List.iter
+        (fun (qid, pidx) ->
+          match Hashtbl.find_opt t.queries qid with
+          | None -> ()
+          | Some info ->
+            let deltas =
+              match Hashtbl.find_opt per_query qid with
+              | Some d -> d
+              | None ->
+                let d = Array.make (Array.length info.paths) [] in
+                Hashtbl.add per_query qid d;
+                d
+            in
+            deltas.(pidx) <- !cell @ deltas.(pidx))
+        (Trie.registrations node))
+    inserted_at;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun qid deltas ->
+      let info = Hashtbl.find t.queries qid in
+      match query_new_matches t info deltas with
+      | [] -> ()
+      | matches -> out := (qid, matches) :: !out)
+    per_query;
+  List.sort (fun (a, _) (b, _) -> compare a b) !out
+
+(* -- Answering: removals (§4.3) ------------------------------------------- *)
+
+let rec propagate_removal node doomed =
+  (* A child tuple extends exactly one parent tuple (its prefix), so child
+     casualties are the extensions of doomed parent tuples. *)
+  List.iter
+    (fun child ->
+      let view = Trie.node_view child in
+      let prefix_len = Trie.node_depth child + 1 in
+      let doomed_child =
+        Relation.fold
+          (fun tu acc ->
+            let matches_prefix =
+              List.exists
+                (fun d ->
+                  let rec eq i = i >= prefix_len || (Label.equal (Tuple.get tu i) (Tuple.get d i) && eq (i + 1)) in
+                  eq 0)
+                doomed
+            in
+            if matches_prefix then tu :: acc else acc)
+          view []
+      in
+      if doomed_child <> [] then begin
+        List.iter (fun tu -> ignore (Relation.remove view tu)) doomed_child;
+        propagate_removal child doomed_child
+      end)
+    (Trie.node_children node)
+
+let handle_removal t (e : Edge.t) =
+  let tuple = Tuple.of_edge e in
+  List.iter
+    (fun k ->
+      match Trie.base_view t.forest k with
+      | Some base -> ignore (Relation.remove base tuple)
+      | None -> ())
+    (Ekey.keys_of_edge e);
+  List.iter
+    (fun node ->
+      let d = Trie.node_depth node in
+      let view = Trie.node_view node in
+      let doomed =
+        Relation.fold
+          (fun tu acc ->
+            if Label.equal (Tuple.get tu d) e.src && Label.equal (Tuple.get tu (d + 1)) e.dst
+            then tu :: acc
+            else acc)
+          view []
+      in
+      if doomed <> [] then begin
+        List.iter (fun tu -> ignore (Relation.remove view tu)) doomed;
+        propagate_removal node doomed
+      end)
+    (matched_nodes t e)
+
+let handle_update t u =
+  match u with
+  | Update.Add e ->
+    let inserted_at = handle_addition t e in
+    if Hashtbl.length inserted_at = 0 then [] else report_of_inserted t inserted_at
+  | Update.Remove e ->
+    handle_removal t e;
+    t.epoch <- t.epoch + 1;
+    []
+
+(* -- Probes ---------------------------------------------------------------- *)
+
+let current_matches t qid =
+  let info = Hashtbl.find t.queries qid in
+  ignore (refresh_embs t info);
+  List.filter Embedding.is_total (Embjoin.join_many (Array.to_list info.path_embs))
+
+let covering_paths t qid =
+  let info = Hashtbl.find t.queries qid in
+  Array.to_list info.paths
+
+let forest t = t.forest
+
+type stats = {
+  queries : int;
+  tries : int;
+  trie_nodes : int;
+  base_views : int;
+  view_tuples : int;
+  index_rebuilds : int;
+}
+
+let stats t =
+  let view_tuples, rebuilds =
+    Trie.fold_nodes
+      (fun n (tuples, rb) ->
+        ( tuples + Relation.cardinality (Trie.node_view n),
+          rb + Relation.stats_rebuilds (Trie.node_view n) ))
+      t.forest (0, 0)
+  in
+  {
+    queries = num_queries t;
+    tries = Trie.num_tries t.forest;
+    trie_nodes = Trie.num_nodes t.forest;
+    base_views = Trie.num_base_views t.forest;
+    view_tuples;
+    index_rebuilds = rebuilds;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "queries=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d" s.queries
+    s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds

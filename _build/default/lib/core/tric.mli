@@ -1,0 +1,69 @@
+(** TRIC — TRIe-based Clustering (§4), the paper's contribution.
+
+    Indexing (Fig. 5): each query graph pattern is decomposed into covering
+    paths ({!Tric_query.Cover}); the paths' generic key words are inserted
+    into the shared trie forest ({!Trie}); the query id is registered at
+    each terminal node.
+
+    Answering (Figs. 8 and 10): an incoming update feeds the base views of
+    its four generalised keys, then every trie node carrying one of those
+    keys is visited shallow-first; the update is joined against the parent's
+    materialized view and the resulting delta is propagated down the
+    sub-trie (pruning branches whose delta dies out).  Queries registered at
+    nodes that gained tuples are candidates; their covering-path views are
+    joined — delta view first — to produce the update's new embeddings.
+
+    [cache:true] gives TRIC+ (§4.2 "Caching"): hash-join build structures
+    are kept and maintained incrementally instead of being rebuilt per join
+    operation. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t
+
+val create : ?cache:bool -> ?strategy:Cover.strategy -> unit -> t
+(** [cache] defaults to [false] (plain TRIC).  [strategy] is the covering-
+    path extraction strategy, for ablation; default {!Cover.Upstream}. *)
+
+val name : t -> string
+(** ["TRIC"] or ["TRIC+"]. *)
+
+val add_query : t -> Pattern.t -> unit
+(** Index a query.  Its id ({!Pattern.id}) must be fresh.
+    @raise Invalid_argument on a duplicate id. *)
+
+val remove_query : t -> int -> bool
+(** Deregister a query id.  Trie nodes and views shared with other queries
+    are kept; returns [false] if the id is unknown. *)
+
+val num_queries : t -> int
+
+val handle_update : t -> Update.t -> (int * Embedding.t list) list
+(** Process one stream update.  For an addition, returns, per satisfied
+    query id (ascending), the new total embeddings created by this update.
+    For a removal, updates all views (§4.3) and returns []. *)
+
+val current_matches : t -> int -> Embedding.t list
+(** Probe: the query's full current result, recomputed by joining its
+    covering-path views.  @raise Not_found on unknown id. *)
+
+val covering_paths : t -> int -> Path.t list
+(** The covering paths the engine extracted for a query.
+    @raise Not_found on unknown id. *)
+
+val forest : t -> Trie.t
+(** The underlying trie forest (inspection/tests). *)
+
+type stats = {
+  queries : int;
+  tries : int;
+  trie_nodes : int;
+  base_views : int;
+  view_tuples : int;  (** total tuples across node views *)
+  index_rebuilds : int;  (** ephemeral hash-join builds (0-ish for TRIC+) *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

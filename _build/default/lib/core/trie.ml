@@ -1,0 +1,148 @@
+open Tric_query
+open Tric_rel
+
+type node = {
+  nid : int;
+  key : Ekey.t;
+  depth : int;
+  parent : node option;
+  children_tbl : node Ekey.Tbl.t;
+  mutable children : node list; (* insertion order, for deterministic walks *)
+  view : Relation.t;
+  mutable regs : (int * int) list;
+}
+
+let node_id n = n.nid
+let node_key n = n.key
+let node_depth n = n.depth
+let node_view n = n.view
+let node_parent n = n.parent
+let node_children n = List.rev n.children
+let registrations n = List.rev n.regs
+
+type t = {
+  cache : bool;
+  root_ind : node Ekey.Tbl.t;
+  edge_ind : node list ref Ekey.Tbl.t;
+  base : Relation.t Ekey.Tbl.t;
+  mutable node_count : int;
+}
+
+let create ~cache =
+  {
+    cache;
+    root_ind = Ekey.Tbl.create 256;
+    edge_ind = Ekey.Tbl.create 256;
+    base = Ekey.Tbl.create 256;
+    node_count = 0;
+  }
+
+let ensure_base t key =
+  match Ekey.Tbl.find_opt t.base key with
+  | Some r -> r
+  | None ->
+    let r = Relation.create ~cache:t.cache ~width:2 () in
+    Ekey.Tbl.add t.base key r;
+    r
+
+let register_in_edge_ind t key node =
+  match Ekey.Tbl.find_opt t.edge_ind key with
+  | Some cell -> cell := node :: !cell
+  | None -> Ekey.Tbl.add t.edge_ind key (ref [ node ])
+
+(* Seed a fresh node's view from its parent's view joined with the key's
+   base view, so late-added queries see retained state. *)
+let seed t node =
+  let base = ensure_base t node.key in
+  if not (Relation.is_empty base) then begin
+    match node.parent with
+    | None ->
+      Relation.iter (fun tu -> ignore (Relation.insert node.view tu)) base
+    | Some p ->
+      if not (Relation.is_empty p.view) then begin
+        let probe = Relation.index_on base ~col:0 in
+        Relation.iter
+          (fun ptu ->
+            let hinge = Tuple.last ptu in
+            List.iter
+              (fun btu ->
+                ignore (Relation.insert node.view (Tuple.extend ptu (Tuple.get btu 1))))
+              (probe hinge))
+          p.view
+      end
+  end
+
+let new_node t ~key ~parent =
+  let depth = match parent with None -> 0 | Some p -> p.depth + 1 in
+  let n =
+    {
+      nid = t.node_count;
+      key;
+      depth;
+      parent;
+      children_tbl = Ekey.Tbl.create 4;
+      children = [];
+      view = Relation.create ~cache:t.cache ~width:(depth + 2) ();
+      regs = [];
+    }
+  in
+  t.node_count <- t.node_count + 1;
+  ignore (ensure_base t key);
+  register_in_edge_ind t key n;
+  seed t n;
+  (match parent with
+  | None -> Ekey.Tbl.add t.root_ind key n
+  | Some p ->
+    Ekey.Tbl.add p.children_tbl key n;
+    p.children <- n :: p.children);
+  n
+
+let insert_path t keys ~qid ~path_index =
+  match keys with
+  | [] -> invalid_arg "Trie.insert_path: empty path"
+  | first :: rest ->
+    let root =
+      match Ekey.Tbl.find_opt t.root_ind first with
+      | Some n -> n
+      | None -> new_node t ~key:first ~parent:None
+    in
+    let rec descend node = function
+      | [] -> node
+      | key :: tl ->
+        let child =
+          match Ekey.Tbl.find_opt node.children_tbl key with
+          | Some c -> c
+          | None -> new_node t ~key ~parent:(Some node)
+        in
+        descend child tl
+    in
+    let terminal = descend root rest in
+    terminal.regs <- (qid, path_index) :: terminal.regs;
+    terminal
+
+let base_view t key = Ekey.Tbl.find_opt t.base key
+
+let nodes_with_key t key =
+  match Ekey.Tbl.find_opt t.edge_ind key with Some cell -> !cell | None -> []
+
+let roots t = Ekey.Tbl.fold (fun _ n acc -> n :: acc) t.root_ind []
+let num_tries t = Ekey.Tbl.length t.root_ind
+let num_nodes t = t.node_count
+let num_base_views t = Ekey.Tbl.length t.base
+
+let fold_nodes f t init =
+  let rec go n acc = List.fold_left (fun acc c -> go c acc) (f n acc) n.children in
+  List.fold_left (fun acc r -> go r acc) init (roots t)
+
+let pp fmt t =
+  let rec pp_node fmt n =
+    Format.fprintf fmt "@[<v 2>%a |view|=%d regs=%a" Ekey.pp n.key
+      (Relation.cardinality n.view)
+      (Format.pp_print_list (fun f (q, p) -> Format.fprintf f "(Q%d,P%d)" q p))
+      (registrations n);
+    List.iter (fun c -> Format.fprintf fmt "@,%a" pp_node c) (node_children n);
+    Format.fprintf fmt "@]"
+  in
+  Format.fprintf fmt "@[<v>forest: %d tries, %d nodes" (num_tries t) (num_nodes t);
+  List.iter (fun r -> Format.fprintf fmt "@,%a" pp_node r) (roots t);
+  Format.fprintf fmt "@]"

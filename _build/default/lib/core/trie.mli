@@ -1,0 +1,58 @@
+(** The trie forest of TRIC (§4.1 Step 2, Fig. 6).
+
+    Each trie indexes covering paths as words over generic edge keys
+    ({!Tric_query.Ekey}).  A node at depth [d] represents the chain of the
+    [d+1] keys on its root path and owns the materialized view of that
+    chain — a relation of width [d+2] (the chain's vertices).  Two covering
+    paths (from any queries) with a common prefix share the prefix's nodes
+    {e and} their views: this sharing is the clustering the paper's speedups
+    come from.
+
+    The forest also owns:
+    - [rootInd]: key of a first path edge → trie root;
+    - [edgeInd]: key → every node carrying that key, across all tries (the
+      flattened form of the paper's "edgeInd + DFS locate" — it enumerates
+      exactly the nodes the paper's traversal finds);
+    - the base views [matV[e]]: key → width-2 relation of all updates that
+      matched the key so far. *)
+
+open Tric_query
+open Tric_rel
+
+type node
+
+val node_id : node -> int
+val node_key : node -> Ekey.t
+val node_depth : node -> int
+(** Root depth is 0; the node's view has width [depth + 2]. *)
+
+val node_view : node -> Relation.t
+val node_parent : node -> node option
+val node_children : node -> node list
+
+val registrations : node -> (int * int) list
+(** [(query id, covering-path index)] pairs registered at this node — the
+    paper's query identifiers stored "at the last node of the trie path". *)
+
+type t
+
+val create : cache:bool -> t
+(** [cache] is propagated to every view (TRIC+ vs TRIC). *)
+
+val insert_path : t -> Ekey.t list -> qid:int -> path_index:int -> node
+(** Index one covering path: walk/extend the forest along the key word,
+    register [(qid, path_index)] at the terminal node, make sure base views
+    exist for all keys, and seed any freshly created node's view from its
+    parent's view and the key's base view (so that queries added mid-stream
+    observe state already retained for earlier queries).
+    @raise Invalid_argument on an empty key list. *)
+
+val base_view : t -> Ekey.t -> Relation.t option
+val nodes_with_key : t -> Ekey.t -> node list
+val roots : t -> node list
+val num_nodes : t -> int
+val num_tries : t -> int
+val num_base_views : t -> int
+
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

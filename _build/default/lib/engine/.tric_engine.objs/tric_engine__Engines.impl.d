@@ -1,0 +1,1 @@
+lib/engine/engines.ml: Hashtbl List Matcher Naive Obj Printf Tric_baselines Tric_core Tric_graphdb Tric_query Window

@@ -1,0 +1,1 @@
+lib/engine/journal.ml: Fun Logs Matcher Parse Pattern Printf String Sys Tric_graph Tric_query

@@ -1,0 +1,1 @@
+lib/engine/matcher.ml: Embedding List Naive Obj Pattern Report Tric_baselines Tric_core Tric_graph Tric_graphdb Tric_query Tric_rel Update

@@ -1,0 +1,1 @@
+lib/engine/naive.ml: Array Edge Embedding Graph Hashtbl Label List Pattern Report Term Tric_graph Tric_query Tric_rel Update

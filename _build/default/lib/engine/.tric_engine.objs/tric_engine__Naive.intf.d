@@ -1,0 +1,1 @@
+lib/engine/naive.mli: Embedding Graph Pattern Report Tric_graph Tric_query Tric_rel Update

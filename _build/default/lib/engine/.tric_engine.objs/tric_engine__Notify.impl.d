@@ -1,0 +1,1 @@
+lib/engine/notify.ml: Embedding Hashtbl List Matcher Pattern Printf Stream String Tric_graph Tric_query Tric_rel Update

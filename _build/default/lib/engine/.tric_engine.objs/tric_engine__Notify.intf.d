@@ -1,0 +1,1 @@
+lib/engine/notify.mli: Embedding Matcher Pattern Stream Tric_graph Tric_query Tric_rel Update

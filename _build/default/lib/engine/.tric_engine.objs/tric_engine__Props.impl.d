@@ -1,0 +1,1 @@
+lib/engine/props.ml: Embedding Hashtbl Label List Matcher Pattern String Tric_graph Tric_query Tric_rel

@@ -1,0 +1,1 @@
+lib/engine/props.mli: Embedding Label Matcher Pattern Report Tric_graph Tric_query Tric_rel Update

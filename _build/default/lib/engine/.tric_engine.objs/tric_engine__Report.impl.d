@@ -1,0 +1,1 @@
+lib/engine/report.ml: Embedding Format List Tric_rel

@@ -1,0 +1,1 @@
+lib/engine/report.mli: Embedding Format Tric_rel

@@ -1,0 +1,1 @@
+lib/engine/runner.ml: Array Format Hashtbl List Logs Matcher Stream Tric_graph Unix

@@ -1,0 +1,1 @@
+lib/engine/runner.mli: Format Matcher Pattern Stream Tric_graph Tric_query

@@ -1,0 +1,1 @@
+lib/engine/window.ml: Edge Matcher Queue Tric_graph Update

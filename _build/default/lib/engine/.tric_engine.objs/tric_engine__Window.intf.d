@@ -1,0 +1,1 @@
+lib/engine/window.mli: Matcher Pattern Report Tric_graph Tric_query Update

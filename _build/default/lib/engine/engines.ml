@@ -1,0 +1,63 @@
+let tric ?(cache = false) () = Matcher.of_tric (Tric_core.Tric.create ~cache ())
+
+let inv ?(cache = false) () =
+  Matcher.of_invidx (Tric_baselines.Invidx.create ~cache ~mode:Tric_baselines.Invidx.Full ())
+
+let inc ?(cache = false) () =
+  Matcher.of_invidx
+    (Tric_baselines.Invidx.create ~cache ~mode:Tric_baselines.Invidx.Seeded ())
+
+let graphdb () = Matcher.of_graphdb (Tric_graphdb.Continuous.create ())
+let naive () = Matcher.of_naive (Naive.create ())
+
+let iso () =
+  let instances : (int, Tric_core.Tric.t) Hashtbl.t = Hashtbl.create 256 in
+  Matcher.make ~name:"ISO"
+    ~description:"one isolated TRIC per query (single-query paradigm, no sharing)"
+    ~add_query:(fun p ->
+      let t = Tric_core.Tric.create () in
+      Tric_core.Tric.add_query t p;
+      Hashtbl.add instances (Tric_query.Pattern.id p) t)
+    ~remove_query:(fun qid ->
+      Hashtbl.mem instances qid
+      &&
+      (Hashtbl.remove instances qid;
+       true))
+    ~num_queries:(fun () -> Hashtbl.length instances)
+    ~handle_update:(fun u ->
+      Hashtbl.fold (fun _ t acc -> Tric_core.Tric.handle_update t u @ acc) instances []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+    ~current_matches:(fun qid -> Tric_core.Tric.current_matches (Hashtbl.find instances qid) qid)
+    ~memory_words:(fun () -> Obj.reachable_words (Obj.repr instances))
+    ()
+
+let tric_naive_cover () =
+  Matcher.of_tric (Tric_core.Tric.create ~strategy:Tric_query.Cover.Naive ())
+
+let windowed ~window inner =
+  let w = Window.create ~window inner in
+  Matcher.make
+    ~name:(Printf.sprintf "%s/win%d" inner.Matcher.name window)
+    ~description:"sliding-window wrapper" ~stats:inner.Matcher.stats
+    ~add_query:(Window.add_query w)
+    ~remove_query:inner.Matcher.remove_query ~num_queries:inner.Matcher.num_queries
+    ~handle_update:(Window.handle_update w)
+    ~current_matches:inner.Matcher.current_matches
+    ~memory_words:(fun () -> Obj.reachable_words (Obj.repr w))
+    ()
+
+let by_name = function
+  | "TRIC" -> tric ()
+  | "TRIC+" -> tric ~cache:true ()
+  | "INV" -> inv ()
+  | "INV+" -> inv ~cache:true ()
+  | "INC" -> inc ()
+  | "INC+" -> inc ~cache:true ()
+  | "GraphDB" | "Neo4j" -> graphdb ()
+  | "NAIVE" -> naive ()
+  | "ISO" -> iso ()
+  | "TRIC-naivecover" -> tric_naive_cover ()
+  | name -> invalid_arg (Printf.sprintf "Engines.by_name: unknown engine %S" name)
+
+let paper_names = [ "TRIC"; "TRIC+"; "INV"; "INV+"; "INC"; "INC+"; "GraphDB" ]
+let trie_names = [ "TRIC"; "TRIC+" ]

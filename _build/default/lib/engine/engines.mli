@@ -1,0 +1,33 @@
+(** Engine registry: fresh instances of the paper's seven engines (and the
+    oracle) by name. *)
+
+val tric : ?cache:bool -> unit -> Matcher.t
+val inv : ?cache:bool -> unit -> Matcher.t
+val inc : ?cache:bool -> unit -> Matcher.t
+val graphdb : unit -> Matcher.t
+val naive : unit -> Matcher.t
+
+val iso : unit -> Matcher.t
+(** Ablation engine: one isolated TRIC instance per query — the
+    single-query evaluation paradigm of prior work ([15] in the paper),
+    with no sharing of index structures or materialized views across
+    queries.  Quantifies what multi-query clustering buys. *)
+
+val tric_naive_cover : unit -> Matcher.t
+(** Ablation engine: TRIC with the paper's literal (non-upstream-extended)
+    covering-path extraction — fewer shared prefixes. *)
+
+val windowed : window:int -> Matcher.t -> Matcher.t
+(** Wrap any engine in a count-based sliding window (see {!Window}),
+    presented as a {!Matcher.t} so it runs through the harness. *)
+
+val by_name : string -> Matcher.t
+(** "TRIC" | "TRIC+" | "INV" | "INV+" | "INC" | "INC+" | "GraphDB" |
+    "NAIVE".  @raise Invalid_argument on anything else. *)
+
+val paper_names : string list
+(** The seven engines of the paper's evaluation, in its plotting order:
+    TRIC, TRIC+, INV, INV+, INC, INC+, GraphDB. *)
+
+val trie_names : string list
+(** [["TRIC"; "TRIC+"]]. *)

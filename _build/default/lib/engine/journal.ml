@@ -1,0 +1,65 @@
+open Tric_query
+
+let log_src = Logs.Src.create "tric.journal" ~doc:"write-ahead journal"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  inner : Matcher.t;
+  oc : out_channel;
+  mutable count : int;
+  replayed : int;
+}
+
+let replay_line engine lineno line =
+  if line = "" || line.[0] = '#' then ()
+  else
+    match String.split_on_char '\t' line with
+    | [ "Q"; id; qname; pattern ] -> (
+      match int_of_string_opt id with
+      | Some id -> engine.Matcher.add_query (Parse.pattern ~name:qname ~id pattern)
+      | None -> failwith (Printf.sprintf "Journal: bad query id on line %d" lineno))
+    | [ "U"; u ] -> ignore (engine.Matcher.handle_update (Parse.update u))
+    | _ -> failwith (Printf.sprintf "Journal: malformed line %d" lineno)
+
+let open_ ~path make_engine =
+  let engine = make_engine () in
+  let replayed = ref 0 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            incr replayed;
+            replay_line engine !replayed line
+          done
+        with End_of_file -> ())
+  end;
+  if !replayed > 0 then
+    Log.info (fun m -> m "recovered %d journal records from %s" !replayed path);
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { inner = engine; oc; count = !replayed; replayed = !replayed }
+
+let log t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  t.count <- t.count + 1
+
+let add_query t pattern =
+  log t
+    (Printf.sprintf "Q\t%d\t%s\t%s" (Pattern.id pattern) (Pattern.name pattern)
+       (Parse.pattern_to_string pattern));
+  t.inner.Matcher.add_query pattern
+
+let handle_update t (u : Tric_graph.Update.t) =
+  log t (Printf.sprintf "U\t%s" (Parse.update_to_string u));
+  t.inner.Matcher.handle_update u
+
+let engine t = t.inner
+let entries t = t.count
+let recovered t = t.replayed
+let close t = close_out t.oc

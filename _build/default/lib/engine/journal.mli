@@ -1,0 +1,40 @@
+(** Durable continuous-query state via a write-ahead journal.
+
+    The engines keep everything in memory (as the paper's system does); a
+    production deployment must survive restarts without losing its
+    subscriptions or re-notifying for matches it already delivered.  The
+    journal logs every query registration and every stream update, in
+    order, to an append-only text file; recovery replays the journal into
+    a fresh engine, suppressing notifications for the replayed prefix.
+
+    Records use the same line format as {!Tric_workloads.Dataset}
+    persistence: [Q\t<id>\t<name>\t<pattern>] and [U\t<update>]. *)
+
+
+open Tric_graph
+open Tric_query
+
+type t
+
+val open_ : path:string -> (unit -> Matcher.t) -> t
+(** [open_ ~path make_engine] opens (creating if missing) the journal at
+    [path].  If it already holds records, a fresh engine from
+    [make_engine] is rebuilt by replay — queries re-registered, updates
+    re-applied, nothing re-notified.
+    @raise Failure on a corrupt journal. *)
+
+val add_query : t -> Pattern.t -> unit
+(** Log, flush, then register with the engine. *)
+
+val handle_update : t -> Update.t -> Report.t
+(** Log, flush, then apply — so a crash after the call can only replay
+    the update, never lose it. *)
+
+val engine : t -> Matcher.t
+val entries : t -> int
+(** Records in the journal (including recovered ones). *)
+
+val recovered : t -> int
+(** How many records were replayed at open time. *)
+
+val close : t -> unit

@@ -1,0 +1,113 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t = {
+  name : string;
+  add_query : Pattern.t -> unit;
+  remove_query : int -> bool;
+  num_queries : unit -> int;
+  handle_update : Update.t -> Report.t;
+  current_matches : int -> Embedding.t list;
+  memory_words : unit -> int;
+  stats : unit -> (string * int) list;
+  description : string;
+}
+
+let make ~name ?(description = "") ?(stats = fun () -> []) ~add_query ~remove_query
+    ~num_queries ~handle_update ~current_matches ~memory_words () =
+  {
+    name;
+    add_query;
+    remove_query;
+    num_queries;
+    handle_update;
+    current_matches;
+    memory_words;
+    stats;
+    description;
+  }
+
+let reachable_words x () = Obj.reachable_words (Obj.repr x)
+
+let of_tric e =
+  {
+    name = Tric_core.Tric.name e;
+    add_query = Tric_core.Tric.add_query e;
+    remove_query = Tric_core.Tric.remove_query e;
+    num_queries = (fun () -> Tric_core.Tric.num_queries e);
+    handle_update = Tric_core.Tric.handle_update e;
+    current_matches = Tric_core.Tric.current_matches e;
+    memory_words = reachable_words e;
+    stats =
+      (fun () ->
+        let s = Tric_core.Tric.stats e in
+        [
+          ("queries", s.Tric_core.Tric.queries);
+          ("tries", s.Tric_core.Tric.tries);
+          ("trie_nodes", s.Tric_core.Tric.trie_nodes);
+          ("base_views", s.Tric_core.Tric.base_views);
+          ("view_tuples", s.Tric_core.Tric.view_tuples);
+          ("index_rebuilds", s.Tric_core.Tric.index_rebuilds);
+        ]);
+    description = "trie-clustered covering paths (the paper's contribution)";
+  }
+
+let of_invidx e =
+  let module I = Tric_baselines.Invidx in
+  {
+    name = I.name e;
+    add_query = I.add_query e;
+    remove_query = I.remove_query e;
+    num_queries = (fun () -> I.num_queries e);
+    handle_update = I.handle_update e;
+    current_matches = I.current_matches e;
+    memory_words = reachable_words e;
+    stats =
+      (fun () ->
+        let s = I.stats e in
+        [
+          ("queries", s.I.queries);
+          ("base_views", s.I.base_views);
+          ("base_tuples", s.I.base_tuples);
+          ("index_rebuilds", s.I.index_rebuilds);
+        ]);
+    description = "inverted-index baseline (no clustering)";
+  }
+
+let of_graphdb e =
+  let module C = Tric_graphdb.Continuous in
+  {
+    name = C.name e;
+    add_query = C.add_query e;
+    remove_query = C.remove_query e;
+    num_queries = (fun () -> C.num_queries e);
+    handle_update = C.handle_update e;
+    current_matches = C.current_matches e;
+    memory_words = reachable_words e;
+    stats =
+      (fun () ->
+        let db = C.db e in
+        [
+          ("nodes", Tric_graphdb.Store.num_nodes (Tric_graphdb.Db.store db));
+          ("rels", Tric_graphdb.Store.num_rels (Tric_graphdb.Db.store db));
+          ("plan_cache_hits", Tric_graphdb.Db.plan_cache_hits db);
+          ("plan_cache_misses", Tric_graphdb.Db.plan_cache_misses db);
+        ]);
+    description = "embedded graph database with per-update query re-execution";
+  }
+
+let of_naive e =
+  {
+    name = "NAIVE";
+    add_query = Naive.add_query e;
+    remove_query = Naive.remove_query e;
+    num_queries = (fun () -> Naive.num_queries e);
+    handle_update = Naive.handle_update e;
+    current_matches = Naive.current_matches e;
+    memory_words = reachable_words e;
+    stats = (fun () -> [ ("queries", Naive.num_queries e) ]);
+    description = "brute-force oracle (tests only)";
+  }
+
+let add_queries t = List.iter t.add_query

@@ -1,0 +1,43 @@
+(** Uniform handle over the seven engines (and the naive oracle).
+
+    Everything the stream runner, the benchmark harness and the
+    differential tests need, as a record of closures so heterogeneous
+    engine types can sit in one list. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t = {
+  name : string;
+  add_query : Pattern.t -> unit;
+  remove_query : int -> bool;
+  num_queries : unit -> int;
+  handle_update : Update.t -> Report.t;
+  current_matches : int -> Embedding.t list;
+  memory_words : unit -> int;
+      (** Live heap words reachable from the engine state. *)
+  stats : unit -> (string * int) list;
+      (** Engine-specific counters (index sizes, tuples, rebuilds...). *)
+  description : string;
+}
+
+val of_tric : Tric_core.Tric.t -> t
+val of_invidx : Tric_baselines.Invidx.t -> t
+val of_graphdb : Tric_graphdb.Continuous.t -> t
+val of_naive : Naive.t -> t
+
+val make :
+  name:string ->
+  ?description:string ->
+  ?stats:(unit -> (string * int) list) ->
+  add_query:(Pattern.t -> unit) ->
+  remove_query:(int -> bool) ->
+  num_queries:(unit -> int) ->
+  handle_update:(Update.t -> Report.t) ->
+  current_matches:(int -> Embedding.t list) ->
+  memory_words:(unit -> int) ->
+  unit ->
+  t
+
+val add_queries : t -> Pattern.t list -> unit

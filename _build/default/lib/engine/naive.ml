@@ -1,0 +1,129 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t = {
+  g : Graph.t;
+  queries : (int, Pattern.t) Hashtbl.t;
+}
+
+let create () = { g = Graph.create (); queries = Hashtbl.create 64 }
+
+let add_query t p =
+  if Hashtbl.mem t.queries (Pattern.id p) then
+    invalid_arg "Naive.add_query: duplicate query id";
+  Hashtbl.add t.queries (Pattern.id p) p
+
+let remove_query t qid =
+  Hashtbl.mem t.queries qid
+  &&
+  (Hashtbl.remove t.queries qid;
+   true)
+
+let num_queries t = Hashtbl.length t.queries
+let graph t = t.g
+
+(* Backtracking extension: repeatedly pick an unmapped pattern edge with a
+   bound endpoint and try every consistent graph edge. *)
+let rec extend g q emb mapped acc =
+  let unmapped =
+    Array.to_list (Pattern.edges q)
+    |> List.filter (fun (pe : Pattern.pedge) -> not (List.mem pe.eid mapped))
+  in
+  match
+    List.find_opt
+      (fun (pe : Pattern.pedge) ->
+        Embedding.is_bound emb pe.src || Embedding.is_bound emb pe.dst)
+      unmapped
+  with
+  | None ->
+    if unmapped = [] then acc := emb :: !acc
+    (* Connected patterns never hit the else branch (some edge always
+       touches the bound region once one edge is mapped). *)
+    else ()
+  | Some pe ->
+    let candidates =
+      match (Embedding.get emb pe.src, Embedding.get emb pe.dst) with
+      | Some s, Some d ->
+        if Graph.mem_edge g (Edge.make ~label:pe.elabel ~src:s ~dst:d) then [ (s, d) ]
+        else []
+      | Some s, None ->
+        List.map (fun d -> (s, d)) (Graph.succ g ~label:pe.elabel s)
+      | None, Some d ->
+        List.map (fun s -> (s, d)) (Graph.pred g ~label:pe.elabel d)
+      | None, None -> assert false
+    in
+    List.iter
+      (fun (s, d) ->
+        if Term.matches (Pattern.term q pe.src) s && Term.matches (Pattern.term q pe.dst) d
+        then
+          match Embedding.bind emb pe.src s with
+          | None -> ()
+          | Some emb ->
+            (match Embedding.bind emb pe.dst d with
+            | None -> ()
+            | Some emb -> extend g q emb (pe.eid :: mapped) acc))
+      candidates
+
+let anchored_embeddings g q (e : Edge.t) =
+  let width = Pattern.num_vertices q in
+  let acc = ref [] in
+  Array.iter
+    (fun (pe : Pattern.pedge) ->
+      if
+        Label.equal pe.elabel e.label
+        && Term.matches (Pattern.term q pe.src) e.src
+        && Term.matches (Pattern.term q pe.dst) e.dst
+      then begin
+        match Embedding.bind (Embedding.empty width) pe.src e.src with
+        | None -> ()
+        | Some emb ->
+          (match Embedding.bind emb pe.dst e.dst with
+          | None -> ()
+          | Some emb -> extend g q emb [ pe.eid ] acc)
+      end)
+    (Pattern.edges q);
+  List.sort_uniq Embedding.compare !acc
+
+let embeddings_in g q =
+  let width = Pattern.num_vertices q in
+  let first = Pattern.edge q 0 in
+  let acc = ref [] in
+  List.iter
+    (fun (ge : Edge.t) ->
+      if
+        Term.matches (Pattern.term q first.src) ge.src
+        && Term.matches (Pattern.term q first.dst) ge.dst
+      then begin
+        match Embedding.bind (Embedding.empty width) first.src ge.src with
+        | None -> ()
+        | Some emb ->
+          (match Embedding.bind emb first.dst ge.dst with
+          | None -> ()
+          | Some emb -> extend g q emb [ first.eid ] acc)
+      end)
+    (Graph.edges_with_label g first.elabel);
+  List.sort_uniq Embedding.compare !acc
+
+let handle_update t u =
+  match u with
+  | Update.Remove e ->
+    ignore (Graph.remove_edge t.g e);
+    Report.empty
+  | Update.Add e ->
+    if not (Graph.add_edge t.g e) then Report.empty
+    else begin
+      let out = ref [] in
+      Hashtbl.iter
+        (fun qid q ->
+          match anchored_embeddings t.g q e with
+          | [] -> ()
+          | l -> out := (qid, l) :: !out)
+        t.queries;
+      Report.normalise !out
+    end
+
+let current_matches t qid =
+  match Hashtbl.find_opt t.queries qid with
+  | None -> raise Not_found
+  | Some q -> embeddings_in t.g q

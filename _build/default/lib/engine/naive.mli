@@ -1,0 +1,23 @@
+(** Brute-force reference matcher (test oracle).
+
+    Keeps the whole graph, and on each addition enumerates — by plain
+    backtracking over adjacency — every total homomorphic embedding of each
+    registered query that uses the new edge.  It shares no code with the
+    engines under test, so agreement is meaningful evidence. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t
+
+val create : unit -> t
+val add_query : t -> Pattern.t -> unit
+val remove_query : t -> int -> bool
+val num_queries : t -> int
+val handle_update : t -> Update.t -> Report.t
+val current_matches : t -> int -> Embedding.t list
+val graph : t -> Graph.t
+
+val embeddings_in : Graph.t -> Pattern.t -> Embedding.t list
+(** All total embeddings of a pattern in a static graph. *)

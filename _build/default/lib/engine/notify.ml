@@ -1,0 +1,69 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type subscription = {
+  sid : int;
+  sname : string;
+  spattern : Pattern.t;
+}
+
+type event = {
+  subscription : subscription;
+  update : Update.t;
+  embeddings : Embedding.t list;
+  seqno : int;
+}
+
+type t = {
+  engine : Matcher.t;
+  subs : (int, subscription * (event -> unit)) Hashtbl.t;
+  mutable next_id : int;
+  mutable seqno : int;
+}
+
+let create engine = { engine; subs = Hashtbl.create 64; next_id = 1; seqno = 0 }
+
+let subscribe t ?name ~pattern callback =
+  let sid = t.next_id in
+  t.next_id <- sid + 1;
+  let pattern = Pattern.with_id pattern sid in
+  let sname =
+    match name with
+    | Some n -> n
+    | None ->
+      if String.equal (Pattern.name pattern) "" then Printf.sprintf "sub-%d" sid
+      else Pattern.name pattern
+  in
+  let sub = { sid; sname; spattern = pattern } in
+  t.engine.Matcher.add_query pattern;
+  Hashtbl.add t.subs sid (sub, callback);
+  sub
+
+let unsubscribe t sub =
+  if Hashtbl.mem t.subs sub.sid then begin
+    Hashtbl.remove t.subs sub.sid;
+    ignore (t.engine.Matcher.remove_query sub.sid);
+    true
+  end
+  else false
+
+let subscription_name sub = sub.sname
+let subscription_pattern sub = sub.spattern
+let num_subscriptions t = Hashtbl.length t.subs
+
+let publish t update =
+  let seqno = t.seqno in
+  t.seqno <- seqno + 1;
+  let report = t.engine.Matcher.handle_update update in
+  List.fold_left
+    (fun delivered (qid, embeddings) ->
+      match Hashtbl.find_opt t.subs qid with
+      | None -> delivered
+      | Some (subscription, callback) ->
+        callback { subscription; update; embeddings; seqno };
+        delivered + 1)
+    0 report
+
+let publish_stream t stream =
+  Stream.fold (fun acc u -> acc + publish t u) 0 stream

@@ -1,0 +1,40 @@
+(** Publish/subscribe layer.
+
+    The paper's setting is a pub/sub system: users (or services on their
+    behalf) subscribe with query graph patterns and are notified when the
+    evolving graph satisfies them (§1, §3.2).  This module is that last
+    mile: it owns an engine, hands out subscription handles, and delivers
+    per-subscription callbacks as the stream flows. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t
+type subscription
+
+type event = {
+  subscription : subscription;
+  update : Update.t;  (** the update that triggered the notification *)
+  embeddings : Embedding.t list;  (** the new matches, never empty *)
+  seqno : int;  (** position of the update in the published stream *)
+}
+
+val create : Matcher.t -> t
+(** The engine must be freshly created (the notifier owns its query ids). *)
+
+val subscribe : t -> ?name:string -> pattern:Pattern.t -> (event -> unit) -> subscription
+(** Register a continuous query.  The pattern's own id is ignored; the
+    notifier assigns a fresh one.  Two subscriptions may use identical
+    patterns — clustering in the engine makes the duplicate nearly free. *)
+
+val unsubscribe : t -> subscription -> bool
+val subscription_name : subscription -> string
+val subscription_pattern : subscription -> Pattern.t
+val num_subscriptions : t -> int
+
+val publish : t -> Update.t -> int
+(** Feed one update; run the callbacks of every satisfied subscription.
+    Returns the number of notifications delivered. *)
+
+val publish_stream : t -> Stream.t -> int

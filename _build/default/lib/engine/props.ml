@@ -1,0 +1,103 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type constr = {
+  vid : int;
+  key : string;
+  value : string;
+}
+
+type query_info = {
+  constraints : constr list;
+  (* Embeddings already delivered, so a later property assertion only
+     fires matches that were blocked on it.  Only kept for constrained
+     queries. *)
+  delivered : unit Embedding.Tbl.t option;
+}
+
+type t = {
+  inner : Matcher.t;
+  props : (int * string, string) Hashtbl.t; (* (vertex label id, key) -> value *)
+  queries : (int, query_info) Hashtbl.t;
+  by_key : (string, int list ref) Hashtbl.t; (* property key -> constrained qids *)
+}
+
+let create inner =
+  { inner; props = Hashtbl.create 256; queries = Hashtbl.create 64; by_key = Hashtbl.create 16 }
+
+let add_query t ?(constraints = []) pattern =
+  List.iter
+    (fun c ->
+      if c.vid < 0 || c.vid >= Pattern.num_vertices pattern then
+        invalid_arg "Props.add_query: constraint on unknown vertex id")
+    constraints;
+  t.inner.Matcher.add_query pattern;
+  let qid = Pattern.id pattern in
+  let delivered = if constraints = [] then None else Some (Embedding.Tbl.create 64) in
+  Hashtbl.replace t.queries qid { constraints; delivered };
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt t.by_key c.key with
+      | Some cell -> if not (List.mem qid !cell) then cell := qid :: !cell
+      | None -> Hashtbl.add t.by_key c.key (ref [ qid ]))
+    constraints
+
+let get_prop t vertex key = Hashtbl.find_opt t.props (Label.to_int vertex, key)
+
+let constraint_holds t emb c =
+  match Embedding.get emb c.vid with
+  | None -> false
+  | Some v -> (
+    match get_prop t v c.key with Some value -> String.equal value c.value | None -> false)
+
+let satisfies t info emb = List.for_all (constraint_holds t emb) info.constraints
+
+(* Filter a report through the constraint phase, recording deliveries of
+   constrained queries. *)
+let filter_report t report =
+  List.filter_map
+    (fun (qid, embeddings) ->
+      match Hashtbl.find_opt t.queries qid with
+      | None -> Some (qid, embeddings)
+      | Some info -> (
+        let ok = List.filter (fun e -> satisfies t info e) embeddings in
+        (match info.delivered with
+        | Some tbl -> List.iter (fun e -> Embedding.Tbl.replace tbl e ()) ok
+        | None -> ());
+        match ok with [] -> None | _ -> Some (qid, ok)))
+    report
+
+let handle_update t u = filter_report t (t.inner.Matcher.handle_update u)
+
+let set_prop t vertex key value =
+  Hashtbl.replace t.props (Label.to_int vertex, key) value;
+  let qids = match Hashtbl.find_opt t.by_key key with Some cell -> !cell | None -> [] in
+  List.filter_map
+    (fun qid ->
+      match Hashtbl.find_opt t.queries qid with
+      | None -> None
+      | Some info -> (
+        let fresh =
+          t.inner.Matcher.current_matches qid
+          |> List.filter (fun e ->
+                 satisfies t info e
+                 &&
+                 match info.delivered with
+                 | Some tbl ->
+                   if Embedding.Tbl.mem tbl e then false
+                   else begin
+                     Embedding.Tbl.replace tbl e ();
+                     true
+                   end
+                 | None -> true)
+        in
+        match fresh with [] -> None | _ -> Some (qid, fresh)))
+    qids
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let current_matches t qid =
+  let matches = t.inner.Matcher.current_matches qid in
+  match Hashtbl.find_opt t.queries qid with
+  | None -> matches
+  | Some info -> List.filter (fun e -> satisfies t info e) matches

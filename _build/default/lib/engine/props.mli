@@ -1,0 +1,46 @@
+(** Property-graph continuous queries (§4.3).
+
+    The paper sketches the extension to property graphs: "the addition of
+    extra constraints within the nodes of the tries and the usage of a
+    separate data structure to appropriately index these constraints.
+    Then, query answering would include an extra phase for determining the
+    satisfaction of the additional constraints."
+
+    This wrapper is that design: a property store indexed separately from
+    the structural engine, per-query equality constraints on pattern
+    vertices, and an extra filtering phase over the engine's reports.  A
+    notification fires when {e both} the structure and the property
+    constraints hold — whether the structural match or the property
+    assertion arrives last. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type constr = {
+  vid : int;  (** pattern vertex the constraint applies to *)
+  key : string;
+  value : string;
+}
+
+type t
+
+val create : Matcher.t -> t
+(** Wrap a freshly created engine. *)
+
+val add_query : t -> ?constraints:constr list -> Pattern.t -> unit
+(** @raise Invalid_argument if a constraint names an unknown vertex id. *)
+
+val set_prop : t -> Label.t -> string -> string -> Report.t
+(** [set_prop t vertex key value] asserts a property.  Returns the
+    notifications this assertion unlocks: structural matches that were
+    already present and now satisfy their query's constraints. *)
+
+val get_prop : t -> Label.t -> string -> string option
+
+val handle_update : t -> Update.t -> Report.t
+(** Structural update: the wrapped engine answers, then embeddings are
+    filtered through the constraint phase. *)
+
+val current_matches : t -> int -> Embedding.t list
+(** Constraint-filtered full current result. *)

@@ -1,0 +1,35 @@
+open Tric_rel
+
+type t = (int * Embedding.t list) list
+
+let empty = []
+let satisfied_ids r = List.map fst r
+let total_matches r = List.fold_left (fun n (_, l) -> n + List.length l) 0 r
+
+let matches_of r qid =
+  match List.assoc_opt qid r with Some l -> l | None -> []
+
+let normalise r =
+  r
+  |> List.filter_map (fun (qid, l) ->
+         match List.sort_uniq Embedding.compare l with
+         | [] -> None
+         | l -> Some (qid, l))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let equal a b =
+  let a = normalise a and b = normalise b in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (qa, la) (qb, lb) ->
+         qa = qb && List.length la = List.length lb && List.for_all2 Embedding.equal la lb)
+       a b
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (qid, l) ->
+      Format.fprintf fmt "Q%d: %d match(es)@," qid (List.length l);
+      List.iter (fun e -> Format.fprintf fmt "   %a@," Embedding.pp e) l)
+    r;
+  Format.fprintf fmt "@]"

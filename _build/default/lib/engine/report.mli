@@ -1,0 +1,24 @@
+(** Per-update match reports.
+
+    The answer to one stream update: for every query satisfied {e by this
+    update}, the new total embeddings it created (each uses the incoming
+    edge at least once). *)
+
+open Tric_rel
+
+type t = (int * Embedding.t list) list
+(** Sorted by query id; embedding lists are non-empty and deduplicated. *)
+
+val empty : t
+val satisfied_ids : t -> int list
+val total_matches : t -> int
+val matches_of : t -> int -> Embedding.t list
+
+val normalise : t -> t
+(** Sort by qid, dedup and sort embeddings — canonical form for comparing
+    engines in tests. *)
+
+val equal : t -> t -> bool
+(** Equality of normalised reports. *)
+
+val pp : Format.formatter -> t -> unit

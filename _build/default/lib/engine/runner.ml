@@ -1,0 +1,112 @@
+open Tric_graph
+
+type result = {
+  engine : string;
+  total_updates : int;
+  updates_processed : int;
+  timed_out : bool;
+  index_time_s : float;
+  answer_time_s : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+  matches : int;
+  satisfied_queries : int;
+  memory_words : int;
+  checkpoints : (int * float) list;
+}
+
+let log_src = Logs.Src.create "tric.runner" ~doc:"stream replay harness"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let now () = Unix.gettimeofday ()
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true) ~engine
+    ~queries ~stream () =
+  let t0 = now () in
+  List.iter engine.Matcher.add_query queries;
+  let index_time_s = now () -. t0 in
+  let total = Stream.length stream in
+  let latencies = Array.make total 0.0 in
+  let satisfied = Hashtbl.create 256 in
+  let matches = ref 0 in
+  let processed = ref 0 in
+  let answer_time = ref 0.0 in
+  let timed_out = ref false in
+  let cps = ref (List.sort compare checkpoints) in
+  let reached = ref [] in
+  (try
+     Stream.iter
+       (fun u ->
+         if !answer_time > budget_s then begin
+           timed_out := true;
+           Log.info (fun m ->
+               m "%s exceeded %.1fs budget after %d/%d updates" engine.Matcher.name
+                 budget_s !processed total);
+           raise Exit
+         end;
+         let t = now () in
+         let report = engine.Matcher.handle_update u in
+         let dt = now () -. t in
+         latencies.(!processed) <- dt *. 1000.0;
+         answer_time := !answer_time +. dt;
+         incr processed;
+         List.iter
+           (fun (qid, embs) ->
+             Hashtbl.replace satisfied qid ();
+             matches := !matches + List.length embs)
+           report;
+         (match !cps with
+         | cp :: rest when !processed >= cp ->
+           reached := (!processed, !answer_time) :: !reached;
+           cps := rest
+         | _ -> ()))
+       stream
+   with Exit -> ());
+  let used = Array.sub latencies 0 !processed in
+  Array.sort compare used;
+  let mean_ms =
+    if !processed = 0 then 0.0 else !answer_time *. 1000.0 /. float_of_int !processed
+  in
+  {
+    engine = engine.Matcher.name;
+    total_updates = total;
+    updates_processed = !processed;
+    timed_out = !timed_out;
+    index_time_s;
+    answer_time_s = !answer_time;
+    mean_ms;
+    p50_ms = percentile used 0.5;
+    p95_ms = percentile used 0.95;
+    max_ms = percentile used 1.0;
+    matches = !matches;
+    satisfied_queries = Hashtbl.length satisfied;
+    memory_words = (if measure_memory then engine.Matcher.memory_words () else 0);
+    checkpoints = List.rev !reached;
+  }
+
+let segment_means_ms r =
+  let rec go prev_n prev_t = function
+    | [] -> []
+    | (n, t) :: tl ->
+      let mean =
+        if n > prev_n then (t -. prev_t) *. 1000.0 /. float_of_int (n - prev_n) else 0.0
+      in
+      (n, mean) :: go n t tl
+  in
+  go 0 0.0 r.checkpoints
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-8s %7d/%d upd%s  index %.3fs  answer %.3fs  mean %.4f ms/upd  p95 %.4f  matches %d (%d queries)  mem %dw"
+    r.engine r.updates_processed r.total_updates
+    (if r.timed_out then "*" else "")
+    r.index_time_s r.answer_time_s r.mean_ms r.p95_ms r.matches r.satisfied_queries
+    r.memory_words

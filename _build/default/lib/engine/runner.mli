@@ -1,0 +1,49 @@
+(** Stream replay harness.
+
+    Feeds a dataset (query set + update stream) through an engine,
+    measuring query-insertion time and per-update answering latency, with
+    a wall-clock budget that truncates runs the way the paper's 24-hour
+    threshold truncates its slow baselines (the asterisks in Figs. 12–14). *)
+
+open Tric_graph
+open Tric_query
+
+type result = {
+  engine : string;
+  total_updates : int;
+  updates_processed : int;  (** < total when the budget ran out *)
+  timed_out : bool;
+  index_time_s : float;  (** time to insert all queries *)
+  answer_time_s : float;  (** total answering time *)
+  mean_ms : float;  (** answering time per update, milliseconds *)
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+  matches : int;  (** total new embeddings reported *)
+  satisfied_queries : int;  (** distinct query ids satisfied at least once *)
+  memory_words : int;  (** engine-reachable heap words after the run *)
+  checkpoints : (int * float) list;
+      (** (updates processed, cumulative answering seconds) at each
+          requested checkpoint that was reached *)
+}
+
+val run :
+  ?budget_s:float ->
+  ?checkpoints:int list ->
+  ?measure_memory:bool ->
+  engine:Matcher.t ->
+  queries:Pattern.t list ->
+  stream:Stream.t ->
+  unit ->
+  result
+(** [budget_s] defaults to infinity; [checkpoints] (update counts, sorted
+    ascending) default to none; [measure_memory] defaults to [true] (it
+    walks the heap — disable inside tight sweeps). *)
+
+val segment_means_ms : result -> (int * float) list
+(** Per-checkpoint-window mean answering time: for consecutive checkpoints
+    [(n1,t1); (n2,t2); ...] returns [(n1, mean ms of updates 0..n1);
+    (n2, mean ms of updates n1..n2); ...] — the series the paper's
+    answering-time-vs-graph-size figures plot. *)
+
+val pp_result : Format.formatter -> result -> unit

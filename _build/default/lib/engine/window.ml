@@ -1,0 +1,68 @@
+open Tric_graph
+
+(* The window is a doubly-linked order maintained as a queue of edges plus
+   a liveness table.  Refreshing a duplicate marks the old queue cell dead
+   (lazy deletion) instead of scanning the queue. *)
+type t = {
+  window : int;
+  inner : Matcher.t;
+  order : Edge.t Queue.t;
+  live : int Edge.Tbl.t; (* edge -> number of queue cells, live iff > 0 *)
+  mutable live_count : int;
+}
+
+let create ~window inner =
+  if window <= 0 then invalid_arg "Window.create: window <= 0";
+  { window; inner; order = Queue.create (); live = Edge.Tbl.create 256; live_count = 0 }
+
+let add_query t = t.inner.Matcher.add_query
+
+let cells t e = match Edge.Tbl.find_opt t.live e with Some n -> n | None -> 0
+
+(* Pop queue cells until one corresponds to a live edge; retract it. *)
+let rec evict_oldest t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some e ->
+    let n = cells t e in
+    if n > 1 then begin
+      (* Stale cell: the edge was refreshed later in the queue. *)
+      Edge.Tbl.replace t.live e (n - 1);
+      evict_oldest t
+    end
+    else if n = 1 then begin
+      Edge.Tbl.remove t.live e;
+      t.live_count <- t.live_count - 1;
+      ignore (t.inner.Matcher.handle_update (Update.remove e))
+    end
+    else evict_oldest t
+
+let handle_update t u =
+  match u with
+  | Update.Remove e ->
+    if cells t e > 0 then begin
+      (* Queue cells stay behind as stale entries; evict_oldest skips
+         them. *)
+      Edge.Tbl.remove t.live e;
+      t.live_count <- t.live_count - 1
+    end;
+    t.inner.Matcher.handle_update u
+  | Update.Add e ->
+    let already_live = cells t e > 0 in
+    if already_live then begin
+      (* Refresh: enqueue a newer cell; the older becomes stale. *)
+      Queue.add e t.order;
+      Edge.Tbl.replace t.live e (cells t e + 1);
+      (* No new matches: the edge is already in the engine. *)
+      t.inner.Matcher.handle_update u
+    end
+    else begin
+      if t.live_count >= t.window then evict_oldest t;
+      Queue.add e t.order;
+      Edge.Tbl.replace t.live e 1;
+      t.live_count <- t.live_count + 1;
+      t.inner.Matcher.handle_update u
+    end
+
+let live_edges t = t.live_count
+let engine t = t.inner

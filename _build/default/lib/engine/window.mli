@@ -1,0 +1,29 @@
+(** Sliding-window evaluation.
+
+    Related work the paper discusses ([15], [28], [41]) evaluates
+    continuous queries over a {e window} of recent updates rather than the
+    whole history; the paper's §4.3 deletion support is exactly what makes
+    windows exact instead of approximate.  This wrapper keeps the last
+    [window] edge additions alive in the wrapped engine and retracts the
+    oldest edge (as a §4.3 deletion) whenever the window slides past it —
+    so a query is satisfied iff its embedding lies entirely within the
+    window, with no false positives. *)
+
+open Tric_graph
+open Tric_query
+
+type t
+
+val create : window:int -> Matcher.t -> t
+(** [window] is the number of most-recent distinct edges retained.
+    @raise Invalid_argument if [window <= 0]. *)
+
+val add_query : t -> Pattern.t -> unit
+
+val handle_update : t -> Update.t -> Report.t
+(** Feed one update.  Additions beyond capacity evict (delete) the oldest
+    live edge first.  A duplicate of a live edge refreshes its position in
+    the window.  Explicit removals pass through and free their slot. *)
+
+val live_edges : t -> int
+val engine : t -> Matcher.t

@@ -1,0 +1,1 @@
+lib/graph/edge.ml: Format Hashtbl Label Set

@@ -1,0 +1,1 @@
+lib/graph/edge.mli: Format Hashtbl Label Set

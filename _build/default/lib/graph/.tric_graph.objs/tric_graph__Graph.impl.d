@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Edge Format Label List

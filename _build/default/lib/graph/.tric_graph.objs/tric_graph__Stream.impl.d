@@ -1,0 +1,1 @@
+lib/graph/stream.ml: Array Format Graph List Seq Update

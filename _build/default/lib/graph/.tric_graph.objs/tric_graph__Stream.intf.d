@@ -1,0 +1,1 @@
+lib/graph/stream.mli: Edge Format Graph Update

@@ -1,0 +1,1 @@
+lib/graph/update.ml: Edge Format Graph

@@ -1,0 +1,1 @@
+lib/graph/update.mli: Edge Format Graph

@@ -1,0 +1,35 @@
+type t = { label : Label.t; src : Label.t; dst : Label.t }
+
+let make ~label ~src ~dst = { label; src; dst }
+
+let of_strings label src dst =
+  { label = Label.intern label; src = Label.intern src; dst = Label.intern dst }
+
+let equal a b =
+  Label.equal a.label b.label && Label.equal a.src b.src && Label.equal a.dst b.dst
+
+let compare a b =
+  let c = Label.compare a.label b.label in
+  if c <> 0 then c
+  else
+    let c = Label.compare a.src b.src in
+    if c <> 0 then c else Label.compare a.dst b.dst
+
+let hash e =
+  let h = Label.hash e.label in
+  let h = (h * 1000003) + Label.hash e.src in
+  ((h * 1000003) + Label.hash e.dst) land max_int
+
+let pp fmt e =
+  Format.fprintf fmt "%a=(%a,%a)" Label.pp e.label Label.pp e.src Label.pp e.dst
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)

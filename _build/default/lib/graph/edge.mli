@@ -1,0 +1,21 @@
+(** Directed labelled edges.
+
+    An edge [e = (s, t)] with label [l] (Definition 3.1).  Since vertex
+    identity is the vertex label (see DESIGN.md), an edge is fully described
+    by the triple [(label, src, dst)]. *)
+
+type t = { label : Label.t; src : Label.t; dst : Label.t }
+
+val make : label:Label.t -> src:Label.t -> dst:Label.t -> t
+
+val of_strings : string -> string -> string -> t
+(** [of_strings label src dst] interns the three strings.  Convenient in
+    tests and examples: [of_strings "knows" "P1" "P2"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

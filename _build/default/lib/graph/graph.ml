@@ -1,0 +1,131 @@
+(* Adjacency is stored per vertex as label-keyed out/in lists, plus a global
+   edge set for O(1) membership and a per-edge-label index for planner seed
+   selection. *)
+
+type adjacency = {
+  mutable out_adj : (Label.t * Label.t) list; (* (edge label, target) *)
+  mutable in_adj : (Label.t * Label.t) list; (* (edge label, source) *)
+}
+
+type t = {
+  vertices : adjacency Label.Tbl.t;
+  edge_set : unit Edge.Tbl.t;
+  by_elabel : Edge.t list ref Label.Tbl.t;
+  mutable edge_count : int;
+}
+
+let create ?(initial_capacity = 1024) () =
+  {
+    vertices = Label.Tbl.create initial_capacity;
+    edge_set = Edge.Tbl.create initial_capacity;
+    by_elabel = Label.Tbl.create 64;
+    edge_count = 0;
+  }
+
+let adjacency g v =
+  match Label.Tbl.find_opt g.vertices v with
+  | Some a -> a
+  | None ->
+    let a = { out_adj = []; in_adj = [] } in
+    Label.Tbl.add g.vertices v a;
+    a
+
+let add_edge g (e : Edge.t) =
+  if Edge.Tbl.mem g.edge_set e then false
+  else begin
+    Edge.Tbl.add g.edge_set e ();
+    let sa = adjacency g e.src in
+    sa.out_adj <- (e.label, e.dst) :: sa.out_adj;
+    let ta = adjacency g e.dst in
+    ta.in_adj <- (e.label, e.src) :: ta.in_adj;
+    (match Label.Tbl.find_opt g.by_elabel e.label with
+    | Some cell -> cell := e :: !cell
+    | None -> Label.Tbl.add g.by_elabel e.label (ref [ e ]));
+    g.edge_count <- g.edge_count + 1;
+    true
+  end
+
+let remove_pair pair l = List.filter (fun p -> p <> pair) l
+
+let remove_edge g (e : Edge.t) =
+  if not (Edge.Tbl.mem g.edge_set e) then false
+  else begin
+    Edge.Tbl.remove g.edge_set e;
+    (match Label.Tbl.find_opt g.vertices e.src with
+    | Some a -> a.out_adj <- remove_pair (e.label, e.dst) a.out_adj
+    | None -> ());
+    (match Label.Tbl.find_opt g.vertices e.dst with
+    | Some a -> a.in_adj <- remove_pair (e.label, e.src) a.in_adj
+    | None -> ());
+    (match Label.Tbl.find_opt g.by_elabel e.label with
+    | Some cell -> cell := List.filter (fun e' -> not (Edge.equal e e')) !cell
+    | None -> ());
+    g.edge_count <- g.edge_count - 1;
+    true
+  end
+
+let mem_edge g e = Edge.Tbl.mem g.edge_set e
+let mem_vertex g v = Label.Tbl.mem g.vertices v
+let num_edges g = g.edge_count
+let num_vertices g = Label.Tbl.length g.vertices
+
+let out_edges g v =
+  match Label.Tbl.find_opt g.vertices v with
+  | None -> []
+  | Some a -> List.map (fun (l, t) -> Edge.make ~label:l ~src:v ~dst:t) a.out_adj
+
+let in_edges g v =
+  match Label.Tbl.find_opt g.vertices v with
+  | None -> []
+  | Some a -> List.map (fun (l, s) -> Edge.make ~label:l ~src:s ~dst:v) a.in_adj
+
+let succ g ~label v =
+  match Label.Tbl.find_opt g.vertices v with
+  | None -> []
+  | Some a ->
+    List.filter_map
+      (fun (l, t) -> if Label.equal l label then Some t else None)
+      a.out_adj
+
+let pred g ~label v =
+  match Label.Tbl.find_opt g.vertices v with
+  | None -> []
+  | Some a ->
+    List.filter_map
+      (fun (l, s) -> if Label.equal l label then Some s else None)
+      a.in_adj
+
+let out_degree g v =
+  match Label.Tbl.find_opt g.vertices v with
+  | None -> 0
+  | Some a -> List.length a.out_adj
+
+let in_degree g v =
+  match Label.Tbl.find_opt g.vertices v with
+  | None -> 0
+  | Some a -> List.length a.in_adj
+
+let iter_edges f g = Edge.Tbl.iter (fun e () -> f e) g.edge_set
+let fold_edges f g init = Edge.Tbl.fold (fun e () acc -> f e acc) g.edge_set init
+let iter_vertices f g = Label.Tbl.iter (fun v _ -> f v) g.vertices
+let vertices g = Label.Tbl.fold (fun v _ acc -> v :: acc) g.vertices []
+let edges g = fold_edges (fun e acc -> e :: acc) g []
+
+let edges_with_label g l =
+  match Label.Tbl.find_opt g.by_elabel l with None -> [] | Some cell -> !cell
+
+let count_label g l =
+  match Label.Tbl.find_opt g.by_elabel l with
+  | None -> 0
+  | Some cell -> List.length !cell
+
+let clear g =
+  Label.Tbl.reset g.vertices;
+  Edge.Tbl.reset g.edge_set;
+  Label.Tbl.reset g.by_elabel;
+  g.edge_count <- 0
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph |V|=%d |E|=%d" (num_vertices g) (num_edges g);
+  iter_edges (fun e -> Format.fprintf fmt "@,  %a" Edge.pp e) g;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** Attribute multigraph (Definition 3.1).
+
+    A mutable directed labelled multigraph over interned labels.  Vertices
+    are created implicitly by edge insertion.  Parallel edges with distinct
+    labels between the same vertex pair are allowed; inserting an identical
+    [(label, src, dst)] triple twice is idempotent.
+
+    The continuous-query engines do not need the full graph (the paper's
+    model "retains solely the necessary parts of G"), but the naive test
+    oracle, the embedded graph database and the workload generators do. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add_edge : t -> Edge.t -> bool
+(** [add_edge g e] inserts [e]; returns [false] if the exact triple was
+    already present (no change). *)
+
+val remove_edge : t -> Edge.t -> bool
+(** [remove_edge g e] removes the triple; returns [false] if absent.
+    Vertices are never removed. *)
+
+val mem_edge : t -> Edge.t -> bool
+val mem_vertex : t -> Label.t -> bool
+val num_edges : t -> int
+val num_vertices : t -> int
+
+val out_edges : t -> Label.t -> Edge.t list
+(** All edges whose source is the given vertex (empty if unknown vertex). *)
+
+val in_edges : t -> Label.t -> Edge.t list
+
+val succ : t -> label:Label.t -> Label.t -> Label.t list
+(** [succ g ~label v] are the targets of [label]-edges leaving [v]. *)
+
+val pred : t -> label:Label.t -> Label.t -> Label.t list
+
+val out_degree : t -> Label.t -> int
+val in_degree : t -> Label.t -> int
+val iter_edges : (Edge.t -> unit) -> t -> unit
+val fold_edges : (Edge.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_vertices : (Label.t -> unit) -> t -> unit
+val vertices : t -> Label.t list
+val edges : t -> Edge.t list
+
+val edges_with_label : t -> Label.t -> Edge.t list
+(** All edges carrying a given edge label (used by planner seed selection). *)
+
+val count_label : t -> Label.t -> int
+(** Number of edges carrying a given edge label. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Interned labels.
+
+    The data model of the paper (Definition 3.1) identifies vertices and
+    edge types by their labels: materialized views hold tuples of labels and
+    joins equate labels.  Labels are therefore interned once into small
+    integers so that equality, hashing and tuple storage are cheap. *)
+
+type t
+(** An interned label.  Two labels are equal iff their source strings are
+    equal. *)
+
+val intern : string -> t
+(** [intern s] returns the label for [s], creating it on first use. *)
+
+val to_string : t -> string
+(** [to_string l] is the string [l] was interned from. *)
+
+val to_int : t -> int
+(** [to_int l] is the dense non-negative integer backing [l].  Stable for
+    the lifetime of the process; useful as an array index. *)
+
+val of_int : int -> t
+(** [of_int i] is the label whose [to_int] is [i].
+    @raise Invalid_argument if no such label has been interned. *)
+
+val fresh : string -> t
+(** [fresh prefix] interns a label guaranteed distinct from every label
+    interned so far, with a readable name starting with [prefix]. *)
+
+val count : unit -> int
+(** Number of labels interned so far. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,53 @@
+type t = Update.t array
+
+let of_updates l = Array.of_list l
+let of_edges l = Array.of_list (List.map Update.add l)
+let of_array a = Array.copy a
+let empty = [||]
+let length = Array.length
+let get s i = s.(i)
+let append s u = Array.append s [| u |]
+let concat = Array.append
+let prefix s n = Array.sub s 0 (min n (Array.length s))
+let iter = Array.iter
+let iteri = Array.iteri
+let fold = Array.fold_left
+let to_list = Array.to_list
+
+let filter pred s = Array.of_seq (Seq.filter pred (Array.to_seq s))
+let map = Array.map
+
+let interleave streams =
+  let arrays = Array.of_list streams in
+  let n = Array.length arrays in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrays in
+  let cursors = Array.make n 0 in
+  let out = ref [] in
+  let emitted = ref 0 in
+  while !emitted < total do
+    for i = 0 to n - 1 do
+      if cursors.(i) < Array.length arrays.(i) then begin
+        out := arrays.(i).(cursors.(i)) :: !out;
+        cursors.(i) <- cursors.(i) + 1;
+        incr emitted
+      end
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+let final_graph ?initial s =
+  let g =
+    match initial with
+    | None -> Graph.create ()
+    | Some g0 ->
+      let g = Graph.create ~initial_capacity:(Graph.num_edges g0) () in
+      Graph.iter_edges (fun e -> ignore (Graph.add_edge g e)) g0;
+      g
+  in
+  iter (fun u -> ignore (Update.apply g u)) s;
+  g
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>stream (%d updates)" (length s);
+  iter (fun u -> Format.fprintf fmt "@,  %a" Update.pp u) s;
+  Format.fprintf fmt "@]"

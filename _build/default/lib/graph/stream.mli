@@ -1,0 +1,36 @@
+(** Graph streams (Definition 3.3): an ordered sequence of updates. *)
+
+type t
+
+val of_updates : Update.t list -> t
+val of_edges : Edge.t list -> t
+(** Each edge becomes an addition, in order. *)
+
+val of_array : Update.t array -> t
+val empty : t
+val length : t -> int
+val get : t -> int -> Update.t
+val append : t -> Update.t -> t
+val concat : t -> t -> t
+
+val prefix : t -> int -> t
+(** [prefix s n] is the first [min n (length s)] updates. *)
+
+val iter : (Update.t -> unit) -> t -> unit
+val iteri : (int -> Update.t -> unit) -> t -> unit
+val fold : ('a -> Update.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Update.t list
+val filter : (Update.t -> bool) -> t -> t
+val map : (Update.t -> Update.t) -> t -> t
+
+val interleave : t list -> t
+(** Fair round-robin merge of several streams into one, preserving each
+    stream's internal order — the paper's "(one or many) streams of graph
+    updates" (§1) reduced to the single-stream model the engines
+    consume. *)
+
+val final_graph : ?initial:Graph.t -> t -> Graph.t
+(** Replay the whole stream onto a (copy of the) initial graph.  Used by the
+    query-set generator to plant satisfiable patterns. *)
+
+val pp : Format.formatter -> t -> unit

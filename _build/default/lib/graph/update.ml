@@ -1,0 +1,21 @@
+type t =
+  | Add of Edge.t
+  | Remove of Edge.t
+
+let add e = Add e
+let remove e = Remove e
+let edge = function Add e | Remove e -> e
+let is_addition = function Add _ -> true | Remove _ -> false
+
+let apply g = function
+  | Add e -> Graph.add_edge g e
+  | Remove e -> Graph.remove_edge g e
+
+let equal a b =
+  match (a, b) with
+  | Add x, Add y | Remove x, Remove y -> Edge.equal x y
+  | Add _, Remove _ | Remove _, Add _ -> false
+
+let pp fmt = function
+  | Add e -> Format.fprintf fmt "+%a" Edge.pp e
+  | Remove e -> Format.fprintf fmt "-%a" Edge.pp e

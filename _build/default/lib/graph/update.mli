@@ -1,0 +1,19 @@
+(** Graph updates (Definition 3.2, extended with deletions per §4.3). *)
+
+type t =
+  | Add of Edge.t
+  | Remove of Edge.t
+
+val add : Edge.t -> t
+val remove : Edge.t -> t
+
+val edge : t -> Edge.t
+(** The edge an update carries, regardless of polarity. *)
+
+val is_addition : t -> bool
+
+val apply : Graph.t -> t -> bool
+(** Apply to a graph; returns whether the graph changed. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/graphdb/continuous.ml: Array Buffer Cypher Db Edge Ekey Embedding Executor Graph Hashtbl Label List Pattern Plan Printf Store Term Tric_graph Tric_query Tric_rel Update Value

@@ -1,0 +1,1 @@
+lib/graphdb/continuous.mli: Db Embedding Graph Pattern Tric_graph Tric_query Tric_rel Update

@@ -1,0 +1,1 @@
+lib/graphdb/cypher.ml: Format List Option Printf String Value

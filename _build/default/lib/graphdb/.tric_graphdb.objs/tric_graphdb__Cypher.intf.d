@@ -1,0 +1,1 @@
+lib/graphdb/cypher.mli: Format Value

@@ -1,0 +1,1 @@
+lib/graphdb/db.ml: Array Cypher Executor Hashtbl List Plan Planner Store Tric_graph Value

@@ -1,0 +1,1 @@
+lib/graphdb/db.mli: Executor Plan Store Tric_graph Value

@@ -1,0 +1,1 @@
+lib/graphdb/executor.ml: Array Cypher Hashtbl List Option Plan Store String Value

@@ -1,0 +1,1 @@
+lib/graphdb/executor.mli: Plan Store Value

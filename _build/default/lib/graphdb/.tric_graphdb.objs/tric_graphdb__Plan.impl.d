@@ -1,0 +1,1 @@
+lib/graphdb/plan.ml: Array Cypher Format List String Value

@@ -1,0 +1,1 @@
+lib/graphdb/plan.mli: Cypher Format Value

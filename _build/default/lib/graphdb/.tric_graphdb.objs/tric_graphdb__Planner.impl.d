@@ -1,0 +1,1 @@
+lib/graphdb/planner.ml: Array Cypher Format Hashtbl List Option Plan Printf Store String Value

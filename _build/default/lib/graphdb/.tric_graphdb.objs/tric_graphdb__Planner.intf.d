@@ -1,0 +1,1 @@
+lib/graphdb/planner.mli: Cypher Plan Store

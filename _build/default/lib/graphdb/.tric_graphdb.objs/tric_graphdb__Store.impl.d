@@ -1,0 +1,1 @@
+lib/graphdb/store.ml: Array Fun Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/graphdb/store.mli: Value

@@ -1,0 +1,1 @@
+lib/graphdb/value.ml: Format Hashtbl Stdlib String

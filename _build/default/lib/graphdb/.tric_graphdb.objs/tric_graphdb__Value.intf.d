@@ -1,0 +1,1 @@
+lib/graphdb/value.mli: Format

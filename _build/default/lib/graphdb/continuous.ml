@@ -1,0 +1,224 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type query_info = {
+  pattern : Pattern.t;
+  text : string;
+  width : int;
+}
+
+type t = {
+  database : Db.t;
+  queries : (int, query_info) Hashtbl.t;
+  edge_ind : int list ref Ekey.Tbl.t;
+}
+
+let create ?max_writes_per_txn () =
+  {
+    database = Db.create ?max_writes_per_txn ();
+    queries = Hashtbl.create 256;
+    edge_ind = Ekey.Tbl.create 256;
+  }
+
+let name _ = "GraphDB"
+let db t = t.database
+
+(* Translate a query graph pattern to Cypher.  Pattern vertex [i] becomes
+   variable [v<i>]; constant vertices constrain the vertex-name property
+   (which is indexed).  All vertex names are returned, in vid order, so
+   rows convert directly to embeddings. *)
+let cypher_of_pattern p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "MATCH ";
+  let mentioned = Hashtbl.create 16 in
+  let node_text vid =
+    if Hashtbl.mem mentioned vid then Printf.sprintf "(v%d)" vid
+    else begin
+      Hashtbl.add mentioned vid ();
+      match Pattern.term p vid with
+      | Term.Const c ->
+        Printf.sprintf "(v%d:%s {name: '%s'})" vid Db.vertex_label (Label.to_string c)
+      | Term.Var _ -> Printf.sprintf "(v%d:%s)" vid Db.vertex_label
+    end
+  in
+  Array.iteri
+    (fun i (e : Pattern.pedge) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (node_text e.src);
+      Buffer.add_string buf (Printf.sprintf "-[:%s]->" (Label.to_string e.elabel));
+      Buffer.add_string buf (node_text e.dst))
+    (Pattern.edges p);
+  Buffer.add_string buf " RETURN ";
+  for vid = 0 to Pattern.num_vertices p - 1 do
+    if vid > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (Printf.sprintf "v%d" vid)
+  done;
+  Buffer.contents buf
+
+let add_query t pattern =
+  let qid = Pattern.id pattern in
+  if Hashtbl.mem t.queries qid then
+    invalid_arg (Printf.sprintf "Continuous.add_query: duplicate query id %d" qid);
+  Array.iter
+    (fun (pe : Pattern.pedge) ->
+      let key = Ekey.of_pedge pattern pe in
+      match Ekey.Tbl.find_opt t.edge_ind key with
+      | Some cell -> if not (List.mem qid !cell) then cell := qid :: !cell
+      | None -> Ekey.Tbl.add t.edge_ind key (ref [ qid ]))
+    (Pattern.edges pattern);
+  Hashtbl.add t.queries qid
+    { pattern; text = cypher_of_pattern pattern; width = Pattern.num_vertices pattern }
+
+let remove_query t qid =
+  Hashtbl.mem t.queries qid
+  &&
+  (Hashtbl.remove t.queries qid;
+   true)
+
+let num_queries t = Hashtbl.length t.queries
+let cypher_of t qid = (Hashtbl.find t.queries qid).text
+
+let pattern_of_cypher ?(name = "") ~id text =
+  let q = Cypher.parse text in
+  if q.Cypher.conditions <> [] then
+    raise (Cypher.Parse_error "pattern_of_cypher: WHERE clauses are not supported");
+  let b = Pattern.Builder.create ~name ~id () in
+  let anon = ref 0 in
+  let term_of (n : Cypher.node_pat) =
+    match List.assoc_opt "name" n.Cypher.nprops with
+    | Some (Value.String s) -> Term.const s
+    | Some _ -> raise (Cypher.Parse_error "pattern_of_cypher: non-string name property")
+    | None -> (
+      match n.Cypher.nvar with
+      | Some v -> Term.var v
+      | None ->
+        incr anon;
+        Term.var (Printf.sprintf "_anon%d" !anon))
+  in
+  List.iter
+    (fun ((first, hops) : Cypher.chain) ->
+      let prev = ref (term_of first) in
+      if hops = [] then
+        raise (Cypher.Parse_error "pattern_of_cypher: node without relationships");
+      List.iter
+        (fun ((rel : Cypher.rel_pat), node) ->
+          if rel.Cypher.hops <> None then
+            raise
+              (Cypher.Parse_error
+                 "pattern_of_cypher: variable-length relationships are not expressible as query graph patterns");
+          let target = term_of node in
+          let sv, dv =
+            match rel.Cypher.direction with
+            | Cypher.Out -> (!prev, target)
+            | Cypher.In -> (target, !prev)
+          in
+          let s = Pattern.Builder.vertex b sv and d = Pattern.Builder.vertex b dv in
+          Pattern.Builder.edge b ~label:(Label.intern rel.Cypher.rtype_p) s d;
+          prev := target)
+        hops)
+    q.Cypher.chains;
+  Pattern.Builder.build b
+
+let embeddings_of_rows t info rows plan =
+  let store = Db.store t.database in
+  let slots =
+    Array.init info.width (fun vid ->
+        match Plan.slot_of_var plan (Printf.sprintf "v%d" vid) with
+        | Some s -> s
+        | None -> invalid_arg "Continuous: plan lost a variable")
+  in
+  List.filter_map
+    (fun (row : Executor.row) ->
+      let emb = ref (Some (Embedding.empty info.width)) in
+      Array.iteri
+        (fun vid slot ->
+          match !emb with
+          | None -> ()
+          | Some e -> (
+            match Store.get_prop store row.(slot) "name" with
+            | Some (Value.String name) -> emb := Embedding.bind e vid (Label.intern name)
+            | Some _ | None -> emb := None))
+        slots;
+      !emb)
+    rows
+
+let embedding_uses_edge q emb (e : Edge.t) =
+  Array.exists
+    (fun (pe : Pattern.pedge) ->
+      Label.equal pe.elabel e.label
+      && (match Embedding.get emb pe.src with
+         | Some s -> Label.equal s e.src
+         | None -> false)
+      &&
+      match Embedding.get emb pe.dst with
+      | Some d -> Label.equal d e.dst
+      | None -> false)
+    (Pattern.edges q)
+
+let execute t info =
+  let plan = Db.plan_of t.database info.text in
+  let rows = Executor.run (Db.store t.database) plan in
+  embeddings_of_rows t info rows plan
+
+let handle_update t u =
+  match u with
+  | Update.Remove e ->
+    ignore (Db.remove_stream_edge t.database e);
+    []
+  | Update.Add e ->
+    if not (Db.add_stream_edge t.database e) then []
+    else begin
+      let affected =
+        List.concat_map
+          (fun k ->
+            match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
+          (Ekey.keys_of_edge e)
+        |> List.sort_uniq compare
+      in
+      List.filter_map
+        (fun qid ->
+          match Hashtbl.find_opt t.queries qid with
+          | None -> None
+          | Some info -> (
+            let embeddings =
+              execute t info
+              |> List.filter (fun emb -> embedding_uses_edge info.pattern emb e)
+              |> List.sort_uniq Embedding.compare
+            in
+            match embeddings with [] -> None | l -> Some (qid, l)))
+        affected
+    end
+
+let current_matches t qid =
+  let info = Hashtbl.find t.queries qid in
+  List.sort_uniq Embedding.compare (execute t info)
+
+let load_graph t g =
+  let txn = Db.txn_begin t.database in
+  (* Create all vertices first, then relationships, resolving by name. *)
+  let refs = Hashtbl.create (Graph.num_vertices g) in
+  Graph.iter_vertices
+    (fun v ->
+      let name = Label.to_string v in
+      let nref =
+        match
+          Store.index_lookup (Db.store t.database) ~label:Db.vertex_label ~property:"name"
+            (Value.String name)
+        with
+        | nid :: _ -> Db.existing nid
+        | [] -> Db.txn_create_node txn ~labels:[ Db.vertex_label ]
+                  ~props:[ ("name", Value.String name) ] ()
+        | exception Not_found ->
+          Db.txn_create_node txn ~labels:[ Db.vertex_label ]
+            ~props:[ ("name", Value.String name) ] ()
+      in
+      Hashtbl.replace refs v nref)
+    g;
+  Graph.iter_edges
+    (fun e ->
+      Db.txn_create_rel txn ~rtype:(Label.to_string e.label) (Hashtbl.find refs e.src)
+        (Hashtbl.find refs e.dst))
+    g;
+  ignore (Db.txn_commit txn);
+  Db.invalidate_plans t.database

@@ -1,0 +1,42 @@
+(** The Neo4j-style continuous multi-query baseline (§5.3).
+
+    Queries are translated to Cypher at registration, indexed in [queryInd]
+    (id → compiled plan) and [edgeInd] (generic edge key → query ids).  Each
+    stream update is (1) applied to the database, (2) matched against
+    [edgeInd] to find the affected queries, which are then (3) retrieved and
+    (4) re-executed in full — the characteristic cost profile of bolting
+    continuous semantics onto a conventional graph database. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t
+
+val create : ?max_writes_per_txn:int -> unit -> t
+val name : t -> string
+(** ["GraphDB"]. *)
+
+val db : t -> Db.t
+
+val add_query : t -> Pattern.t -> unit
+val remove_query : t -> int -> bool
+val num_queries : t -> int
+
+val cypher_of : t -> int -> string
+(** The Cypher text a query was compiled to.  @raise Not_found. *)
+
+val pattern_of_cypher : ?name:string -> id:int -> string -> Pattern.t
+(** The reverse translation: parse a Cypher MATCH query into a query graph
+    pattern usable with {e any} engine (so users can express continuous
+    queries in Cypher and still run them through TRIC).  Node variables
+    become pattern variables; [{name: '...'}] maps become constants;
+    anonymous nodes become fresh variables; WHERE clauses and property
+    returns are rejected.
+    @raise Cypher.Parse_error on malformed or unsupported input. *)
+
+val handle_update : t -> Update.t -> (int * Embedding.t list) list
+val current_matches : t -> int -> Embedding.t list
+
+val load_graph : t -> Graph.t -> unit
+(** Bulk-load an initial graph through batched transactions. *)

@@ -1,0 +1,413 @@
+type direction =
+  | Out
+  | In
+
+type node_pat = {
+  nvar : string option;
+  nlabel : string option;
+  nprops : (string * Value.t) list;
+}
+
+type rel_pat = {
+  rvar : string option;
+  rtype_p : string;
+  direction : direction;
+  hops : (int * int) option;
+}
+
+type chain = node_pat * (rel_pat * node_pat) list
+
+type operand =
+  | Prop of string * string
+  | Lit of Value.t
+
+type condition =
+  | Eq of operand * operand
+  | Neq of operand * operand
+
+type return_item =
+  | Ret_var of string
+  | Ret_prop of string * string
+
+type query = {
+  chains : chain list;
+  conditions : condition list;
+  returns : return_item list;
+}
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* -- Lexer ------------------------------------------------------------------ *)
+
+type token =
+  | MATCH
+  | WHERE
+  | RETURN
+  | AND
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | DOT
+  | ARROW_RIGHT (* -> *)
+  | DASH (* - *)
+  | LEFT_ARROW_DASH (* <- *)
+  | STAR
+  | DOTDOT
+  | EQUALS
+  | NEQ
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | TRUE
+  | FALSE
+  | NULL
+  | EOF
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '#'
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "MATCH" | "match" -> Some MATCH
+  | "WHERE" | "where" -> Some WHERE
+  | "RETURN" | "return" -> Some RETURN
+  | "AND" | "and" -> Some AND
+  | "TRUE" | "true" -> Some TRUE
+  | "FALSE" | "false" -> Some FALSE
+  | "NULL" | "null" -> Some NULL
+  | _ -> None
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push tok = tokens := tok :: !tokens in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      push (match keyword word with Some k -> k | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      (* A fractional part requires '.' followed by a digit — a lone '.'
+         or '..' (hop ranges) belongs to the next token. *)
+      if !i + 1 < n && s.[!i] = '.' && is_digit s.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do
+          incr i
+        done;
+        push (FLOAT (float_of_string (String.sub s start (!i - start))))
+      end
+      else push (INT (int_of_string (String.sub s start (!i - start))))
+    end
+    else begin
+      match c with
+      | '\'' | '"' ->
+        let quote = c in
+        incr i;
+        let start = !i in
+        while !i < n && s.[!i] <> quote do
+          incr i
+        done;
+        if !i >= n then fail "unterminated string literal";
+        push (STRING (String.sub s start (!i - start)));
+        incr i
+      | '(' -> push LPAREN; incr i
+      | ')' -> push RPAREN; incr i
+      | '[' -> push LBRACKET; incr i
+      | ']' -> push RBRACKET; incr i
+      | '{' -> push LBRACE; incr i
+      | '}' -> push RBRACE; incr i
+      | ':' -> push COLON; incr i
+      | ',' -> push COMMA; incr i
+      | '*' -> push STAR; incr i
+      | '.' ->
+        if !i + 1 < n && s.[!i + 1] = '.' then begin
+          push DOTDOT;
+          i := !i + 2
+        end
+        else begin
+          push DOT;
+          incr i
+        end
+      | '=' -> push EQUALS; incr i
+      | '<' ->
+        if !i + 1 < n && s.[!i + 1] = '-' then begin
+          push LEFT_ARROW_DASH;
+          i := !i + 2
+        end
+        else if !i + 1 < n && s.[!i + 1] = '>' then begin
+          push NEQ;
+          i := !i + 2
+        end
+        else fail "unexpected '<' at offset %d" !i
+      | '-' ->
+        if !i + 1 < n && s.[!i + 1] = '>' then begin
+          push ARROW_RIGHT;
+          i := !i + 2
+        end
+        else begin
+          push DASH;
+          incr i
+        end
+      | _ -> fail "unexpected character %C at offset %d" c !i
+    end
+  done;
+  push EOF;
+  List.rev !tokens
+
+(* -- Parser ----------------------------------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> fail "unexpected end of input" | _ :: tl -> st.toks <- tl
+
+let expect st tok what =
+  if peek st = tok then advance st else fail "expected %s" what
+
+let ident st =
+  match peek st with
+  | IDENT x ->
+    advance st;
+    x
+  | _ -> fail "expected identifier"
+
+let literal st =
+  match peek st with
+  | STRING x -> advance st; Value.String x
+  | INT x -> advance st; Value.Int x
+  | FLOAT x -> advance st; Value.Float x
+  | TRUE -> advance st; Value.Bool true
+  | FALSE -> advance st; Value.Bool false
+  | NULL -> advance st; Value.Null
+  | _ -> fail "expected literal"
+
+let prop_map st =
+  expect st LBRACE "'{'";
+  let rec entries acc =
+    let key = ident st in
+    expect st COLON "':'";
+    let v = literal st in
+    let acc = (key, v) :: acc in
+    if peek st = COMMA then begin
+      advance st;
+      entries acc
+    end
+    else acc
+  in
+  let entries = if peek st = RBRACE then [] else List.rev (entries []) in
+  expect st RBRACE "'}'";
+  entries
+
+let node_pat st =
+  expect st LPAREN "'('";
+  let nvar = match peek st with IDENT x -> advance st; Some x | _ -> None in
+  let nlabel =
+    if peek st = COLON then begin
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  let nprops = if peek st = LBRACE then prop_map st else [] in
+  expect st RPAREN "')'";
+  { nvar; nlabel; nprops }
+
+(* rel_pat, entered after seeing DASH or LEFT_ARROW_DASH. *)
+let int_lit st =
+  match peek st with
+  | INT n ->
+    advance st;
+    n
+  | _ -> fail "expected integer in hop range"
+
+let rel_body st =
+  expect st LBRACKET "'['";
+  let rvar = match peek st with IDENT x -> advance st; Some x | _ -> None in
+  expect st COLON "':' (relationship type is mandatory)";
+  let rtype_p = ident st in
+  let hops =
+    if peek st = STAR then begin
+      advance st;
+      match peek st with
+      | RBRACKET -> Some (1, max_int) (* unbounded [*] — capped by executor *)
+      | INT _ ->
+        let lo = int_lit st in
+        if peek st = DOTDOT then begin
+          advance st;
+          let hi = int_lit st in
+          if lo < 0 || hi < lo then fail "invalid hop range *%d..%d" lo hi;
+          Some (lo, hi)
+        end
+        else Some (lo, lo)
+      | _ -> fail "expected hop range after '*'"
+    end
+    else None
+  in
+  expect st RBRACKET "']'";
+  (rvar, rtype_p, hops)
+
+let chain st =
+  let first = node_pat st in
+  let rec hops acc =
+    match peek st with
+    | DASH ->
+      advance st;
+      let rvar, rtype_p, rhops = rel_body st in
+      expect st ARROW_RIGHT "'->'";
+      let target = node_pat st in
+      hops (({ rvar; rtype_p; direction = Out; hops = rhops }, target) :: acc)
+    | LEFT_ARROW_DASH ->
+      advance st;
+      let rvar, rtype_p, rhops = rel_body st in
+      expect st DASH "'-'";
+      let target = node_pat st in
+      hops (({ rvar; rtype_p; direction = In; hops = rhops }, target) :: acc)
+    | _ -> List.rev acc
+  in
+  (first, hops [])
+
+let operand st =
+  match peek st with
+  | IDENT v ->
+    advance st;
+    expect st DOT "'.'";
+    let key = ident st in
+    Prop (v, key)
+  | _ -> Lit (literal st)
+
+let condition st =
+  let lhs = operand st in
+  match peek st with
+  | EQUALS ->
+    advance st;
+    Eq (lhs, operand st)
+  | NEQ ->
+    advance st;
+    Neq (lhs, operand st)
+  | _ -> fail "expected '=' or '<>'"
+
+let return_item st =
+  let v = ident st in
+  if peek st = DOT then begin
+    advance st;
+    Ret_prop (v, ident st)
+  end
+  else Ret_var v
+
+let parse s =
+  let st = { toks = tokenize s } in
+  expect st MATCH "MATCH";
+  let rec chains acc =
+    let c = chain st in
+    if peek st = COMMA then begin
+      advance st;
+      chains (c :: acc)
+    end
+    else List.rev (c :: acc)
+  in
+  let chains = chains [] in
+  let conditions =
+    if peek st = WHERE then begin
+      advance st;
+      let rec conds acc =
+        let c = condition st in
+        if peek st = AND then begin
+          advance st;
+          conds (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      conds []
+    end
+    else []
+  in
+  expect st RETURN "RETURN";
+  let rec rets acc =
+    let r = return_item st in
+    if peek st = COMMA then begin
+      advance st;
+      rets (r :: acc)
+    end
+    else List.rev (r :: acc)
+  in
+  let returns = rets [] in
+  if peek st <> EOF then fail "trailing tokens after RETURN";
+  { chains; conditions; returns }
+
+(* -- Printer ---------------------------------------------------------------- *)
+
+let pp_node fmt (n : node_pat) =
+  Format.fprintf fmt "(%s%s%s)"
+    (Option.value ~default:"" n.nvar)
+    (match n.nlabel with Some l -> ":" ^ l | None -> "")
+    (match n.nprops with
+    | [] -> ""
+    | props ->
+      " {"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (Value.to_string v)) props)
+      ^ "}")
+
+let pp_operand fmt = function
+  | Prop (v, k) -> Format.fprintf fmt "%s.%s" v k
+  | Lit v -> Value.pp fmt v
+
+let pp fmt q =
+  Format.fprintf fmt "MATCH ";
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+    (fun fmt (first, hops) ->
+      pp_node fmt first;
+      List.iter
+        (fun (r, n) ->
+          (let range =
+             match r.hops with
+             | None -> ""
+             | Some (_, hi) when hi = max_int -> "*"
+             | Some (lo, hi) when lo = hi -> Printf.sprintf "*%d" lo
+             | Some (lo, hi) -> Printf.sprintf "*%d..%d" lo hi
+           in
+           match r.direction with
+           | Out -> Format.fprintf fmt "-[:%s%s]->" r.rtype_p range
+           | In -> Format.fprintf fmt "<-[:%s%s]-" r.rtype_p range);
+          pp_node fmt n)
+        hops)
+    fmt q.chains;
+  (match q.conditions with
+  | [] -> ()
+  | conds ->
+    Format.fprintf fmt " WHERE ";
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.pp_print_string f " AND ")
+      (fun fmt -> function
+        | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_operand a pp_operand b
+        | Neq (a, b) -> Format.fprintf fmt "%a <> %a" pp_operand a pp_operand b)
+      fmt conds);
+  Format.fprintf fmt " RETURN ";
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+    (fun fmt -> function
+      | Ret_var v -> Format.pp_print_string fmt v
+      | Ret_prop (v, k) -> Format.fprintf fmt "%s.%s" v k)
+    fmt q.returns

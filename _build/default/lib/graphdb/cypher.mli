@@ -1,0 +1,62 @@
+(** A Cypher-like query language: AST, lexer and recursive-descent parser.
+
+    The supported subset is what the continuous-query baseline needs (and a
+    bit more): [MATCH] over node/relationship patterns with labels, types
+    and inline property maps, an optional [WHERE] with conjunctive
+    equalities/inequalities, and [RETURN] of variables or properties.
+
+    {[
+      MATCH (f:V)-[:hasMod]->(p:V), (p)-[:posted]->(x:V {name: 'pst1'})
+      WHERE f.age = 42
+      RETURN f, p, x.name
+    ]}
+
+    Variable-length relationships are supported with Neo4j's syntax:
+    [(a)-[:knows*1..3]->(b)] matches paths of 1 to 3 [knows] hops. *)
+
+type direction =
+  | Out  (** [-[:T]->] *)
+  | In  (** [<-[:T]-] *)
+
+type node_pat = {
+  nvar : string option;
+  nlabel : string option;
+  nprops : (string * Value.t) list;
+}
+
+type rel_pat = {
+  rvar : string option;
+  rtype_p : string;
+  direction : direction;
+  hops : (int * int) option;
+      (** variable-length range: [-[:T*min..max]->]; [None] = exactly one *)
+}
+
+type chain = node_pat * (rel_pat * node_pat) list
+(** One comma-separated MATCH pattern: a node followed by relationship
+    hops. *)
+
+type operand =
+  | Prop of string * string  (** [var.key] *)
+  | Lit of Value.t
+
+type condition =
+  | Eq of operand * operand
+  | Neq of operand * operand
+
+type return_item =
+  | Ret_var of string
+  | Ret_prop of string * string
+
+type query = {
+  chains : chain list;
+  conditions : condition list;
+  returns : return_item list;
+}
+
+exception Parse_error of string
+
+val parse : string -> query
+(** @raise Parse_error on malformed input. *)
+
+val pp : Format.formatter -> query -> unit

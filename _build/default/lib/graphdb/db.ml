@@ -1,0 +1,148 @@
+type t = {
+  store : Store.t;
+  max_writes_per_txn : int;
+  plans : (string, Plan.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable commit_chunks : int;
+}
+
+let vertex_label = "V"
+
+let create ?(max_writes_per_txn = 20_000) () =
+  let store = Store.create () in
+  Store.create_index store ~label:vertex_label ~property:"name";
+  {
+    store;
+    max_writes_per_txn;
+    plans = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+    commit_chunks = 0;
+  }
+
+let store t = t.store
+
+let plan_of t text =
+  match Hashtbl.find_opt t.plans text with
+  | Some p ->
+    t.hits <- t.hits + 1;
+    p
+  | None ->
+    t.misses <- t.misses + 1;
+    let p = Planner.plan t.store (Cypher.parse text) in
+    Hashtbl.add t.plans text p;
+    p
+
+let query t text = Executor.run_projected t.store (plan_of t text)
+let invalidate_plans t = Hashtbl.reset t.plans
+let plan_cache_hits t = t.hits
+let plan_cache_misses t = t.misses
+
+(* -- Transactions ----------------------------------------------------------- *)
+
+type noderef =
+  | Existing of Store.node_id
+  | Pending of int
+
+type write =
+  | W_create_node of int * string list * (string * Value.t) list
+  | W_create_rel of string * noderef * noderef
+
+type txn = {
+  db : t;
+  mutable writes : write list; (* reversed *)
+  mutable pending_count : int;
+  mutable committed : bool;
+}
+
+let txn_begin db = { db; writes = []; pending_count = 0; committed = false }
+let existing nid = Existing nid
+
+let txn_create_node txn ?(labels = []) ?(props = []) () =
+  let slot = txn.pending_count in
+  txn.pending_count <- slot + 1;
+  txn.writes <- W_create_node (slot, labels, props) :: txn.writes;
+  Pending slot
+
+let txn_create_rel txn ~rtype src dst =
+  txn.writes <- W_create_rel (rtype, src, dst) :: txn.writes
+
+let txn_commit txn =
+  if txn.committed then invalid_arg "Db.txn_commit: already committed";
+  txn.committed <- true;
+  let db = txn.db in
+  let writes = List.rev txn.writes in
+  let resolved = Array.make (max 1 txn.pending_count) (-1) in
+  let resolve = function
+    | Existing nid -> nid
+    | Pending slot ->
+      let nid = resolved.(slot) in
+      if nid < 0 then invalid_arg "Db.txn_commit: relationship references uncreated node";
+      nid
+  in
+  let created = ref [] in
+  let in_chunk = ref 0 in
+  let tick () =
+    incr in_chunk;
+    if !in_chunk >= db.max_writes_per_txn then begin
+      db.commit_chunks <- db.commit_chunks + 1;
+      in_chunk := 0
+    end
+  in
+  List.iter
+    (fun w ->
+      (match w with
+      | W_create_node (slot, labels, props) ->
+        let nid = Store.create_node db.store ~labels ~props () in
+        resolved.(slot) <- nid;
+        created := nid :: !created
+      | W_create_rel (rtype, src, dst) ->
+        ignore (Store.create_rel db.store ~rtype (resolve src) (resolve dst)));
+      tick ())
+    writes;
+  if !in_chunk > 0 then db.commit_chunks <- db.commit_chunks + 1;
+  List.rev !created
+
+let txn_abort txn = txn.committed <- true
+let commits t = t.commit_chunks
+
+(* -- Name-keyed stream graph ------------------------------------------------ *)
+
+let find_or_create_vertex t name =
+  match
+    Store.index_lookup t.store ~label:vertex_label ~property:"name" (Value.String name)
+  with
+  | nid :: _ -> nid
+  | [] | (exception Not_found) ->
+    Store.create_node t.store ~labels:[ vertex_label ]
+      ~props:[ ("name", Value.String name) ]
+      ()
+
+let add_stream_edge t (e : Tric_graph.Edge.t) =
+  let src = find_or_create_vertex t (Tric_graph.Label.to_string e.src) in
+  let dst = find_or_create_vertex t (Tric_graph.Label.to_string e.dst) in
+  let rtype = Tric_graph.Label.to_string e.label in
+  if Store.has_rel t.store ~rtype src dst then false
+  else begin
+    ignore (Store.create_rel t.store ~rtype src dst);
+    true
+  end
+
+let remove_stream_edge t (e : Tric_graph.Edge.t) =
+  let lookup name =
+    match
+      Store.index_lookup t.store ~label:vertex_label ~property:"name" (Value.String name)
+    with
+    | nid :: _ -> Some nid
+    | [] -> None
+    | exception Not_found -> None
+  in
+  match (lookup (Tric_graph.Label.to_string e.src), lookup (Tric_graph.Label.to_string e.dst)) with
+  | Some src, Some dst ->
+    let rtype = Tric_graph.Label.to_string e.label in
+    let doomed =
+      List.filter (fun (r : Store.rel) -> r.rdst = dst) (Store.out_rels_typed t.store src rtype)
+    in
+    List.fold_left (fun changed (r : Store.rel) -> Store.delete_rel t.store r.rid || changed) false doomed
+  | _ -> false

@@ -1,0 +1,69 @@
+(** The embedded database façade: store + plan cache + write transactions.
+
+    Mirrors the paper's Neo4j configuration (§5.3): property indexes on the
+    schema's lookup keys, a plan cache keyed by query text (the effect of
+    Cypher's parameters syntax), and batched write transactions with a
+    configurable writes-per-transaction limit (the paper found 20K writes
+    per transaction optimal). *)
+
+type t
+
+val create : ?max_writes_per_txn:int -> unit -> t
+(** [max_writes_per_txn] defaults to 20_000. *)
+
+val store : t -> Store.t
+
+(** {1 Queries} *)
+
+val query : t -> string -> Executor.cell list list
+(** Parse (cached), plan (cached) and execute.
+    @raise Cypher.Parse_error / @raise Planner.Plan_error *)
+
+val plan_of : t -> string -> Plan.t
+(** The cached plan for a query text (planning it on first use). *)
+
+val invalidate_plans : t -> unit
+(** Drop the plan cache (e.g. after bulk loads change the statistics). *)
+
+val plan_cache_hits : t -> int
+val plan_cache_misses : t -> int
+
+(** {1 Transactions}
+
+    A transaction buffers writes; [commit] applies them to the store in
+    chunks of at most [max_writes_per_txn].  Node handles created inside a
+    transaction are {!noderef}s resolved at commit. *)
+
+type txn
+type noderef
+
+val txn_begin : t -> txn
+val existing : Store.node_id -> noderef
+
+val txn_create_node : txn -> ?labels:string list -> ?props:(string * Value.t) list -> unit -> noderef
+val txn_create_rel : txn -> rtype:string -> noderef -> noderef -> unit
+
+val txn_commit : txn -> Store.node_id list
+(** Applies buffered writes; returns the ids of the nodes created, in
+    creation order.  A transaction can be committed once.
+    @raise Invalid_argument on double commit. *)
+
+val txn_abort : txn -> unit
+val commits : t -> int
+(** Number of store-level commit chunks executed so far. *)
+
+(** {1 Convenience for name-keyed graphs} *)
+
+val vertex_label : string
+(** The node label used for stream vertices: ["V"]. *)
+
+val find_or_create_vertex : t -> string -> Store.node_id
+(** Look up the [:V] node with the given [name] property via the property
+    index, creating node (and index on first use) as needed. *)
+
+val add_stream_edge : t -> Tric_graph.Edge.t -> bool
+(** Apply a stream edge addition: find/create endpoint vertices and the
+    typed relationship.  Returns [false] (no change) if the exact edge is
+    already present — stream semantics deduplicate identical triples. *)
+
+val remove_stream_edge : t -> Tric_graph.Edge.t -> bool

@@ -1,0 +1,235 @@
+type row = Store.node_id array
+
+type cell =
+  | Node of Store.node_id
+  | Prop_value of Value.t
+
+let unbound = -1
+
+let satisfies store nid (c : Plan.constraints) =
+  (match c.clabel with
+  | None -> true
+  | Some l -> List.exists (String.equal l) (Store.node_labels store nid))
+  && List.for_all
+       (fun (k, v) ->
+         match Store.get_prop store nid k with
+         | Some v' -> Value.equal v v'
+         | None -> false)
+       c.cprops
+
+let seed_candidates store (step : Plan.step) =
+  match step with
+  | Plan.Seed_index { label; key; value; extra; _ } ->
+    let hits =
+      match Store.index_lookup store ~label ~property:key value with
+      | hits -> hits
+      | exception Not_found ->
+        (* Index dropped between planning and execution: fall back to a
+           label scan filtered by the property. *)
+        List.filter
+          (fun nid ->
+            match Store.get_prop store nid key with
+            | Some v -> Value.equal v value
+            | None -> false)
+          (Store.nodes_with_label store label)
+    in
+    List.filter (fun nid -> satisfies store nid extra) hits
+  | Plan.Seed_label { label; extra; _ } ->
+    List.filter (fun nid -> satisfies store nid extra) (Store.nodes_with_label store label)
+  | Plan.Seed_all { extra; _ } ->
+    List.filter (fun nid -> satisfies store nid extra) (Store.all_nodes store)
+  | Plan.Seed_rel _ | Plan.Expand _ | Plan.Expand_var _ -> invalid_arg "seed_candidates"
+
+let apply_step store width rows (step : Plan.step) =
+  match step with
+  | Plan.Seed_index { slot; _ } | Plan.Seed_label { slot; _ } | Plan.Seed_all { slot; _ } ->
+    let candidates = seed_candidates store step in
+    List.concat_map
+      (fun (r : row) ->
+        if r.(slot) <> unbound then
+          (* Variable already bound (shared across components): check. *)
+          if List.mem r.(slot) candidates then [ r ] else []
+        else
+          List.map
+            (fun nid ->
+              let r' = Array.copy r in
+              r'.(slot) <- nid;
+              r')
+            candidates)
+      rows
+  | Plan.Seed_rel { rtype; src_slot; dst_slot; src_c; dst_c } ->
+    ignore width;
+    List.concat_map
+      (fun (r : row) ->
+        (* Enumerate all relationships of the type by walking every node's
+           outgoing adjacency — the cost profile of an unindexed
+           relationship scan. *)
+        let out = ref [] in
+        List.iter
+          (fun src ->
+            List.iter
+              (fun (rel : Store.rel) ->
+                if String.equal rel.rtype rtype then begin
+                  let s = rel.rsrc and d = rel.rdst in
+                  (* Bind src first, then check dst against the updated
+                     row, so a self-referencing hop (src and dst share a
+                     slot) only accepts loop relationships. *)
+                  let r' = Array.copy r in
+                  let ok_s =
+                    if r'.(src_slot) = unbound then begin
+                      r'.(src_slot) <- s;
+                      true
+                    end
+                    else r'.(src_slot) = s
+                  in
+                  let ok_d =
+                    ok_s
+                    &&
+                    if r'.(dst_slot) = unbound then begin
+                      r'.(dst_slot) <- d;
+                      true
+                    end
+                    else r'.(dst_slot) = d
+                  in
+                  if ok_d && satisfies store s src_c && satisfies store d dst_c then
+                    out := r' :: !out
+                end)
+              (Store.out_rels store src))
+          (Store.all_nodes store);
+        !out)
+      rows
+  | Plan.Expand_var { from_slot; rtype; direction; to_slot; to_c; min_hops; max_hops } ->
+    (* Cap unbounded ranges: Neo4j applies a similar safety valve. *)
+    let max_hops = min max_hops 16 in
+    List.concat_map
+      (fun (r : row) ->
+        let from_nid = r.(from_slot) in
+        if from_nid = unbound then []
+        else begin
+          (* Per-level reachability: level k holds the nodes reachable by
+             some walk of exactly k hops (a node shortcut-reachable in 1
+             hop still qualifies for *2..2 via a longer path).  Walks may
+             revisit vertices; the level count is bounded by [max_hops]. *)
+          let qualifying = Hashtbl.create 32 in
+          if min_hops = 0 then Hashtbl.replace qualifying from_nid ();
+          let level = ref [ from_nid ] in
+          (try
+             for depth = 1 to max_hops do
+               let next = Hashtbl.create 16 in
+               List.iter
+                 (fun v ->
+                   let neighbours =
+                     match direction with
+                     | Cypher.Out ->
+                       List.map (fun (rel : Store.rel) -> rel.rdst)
+                         (Store.out_rels_typed store v rtype)
+                     | Cypher.In ->
+                       List.map (fun (rel : Store.rel) -> rel.rsrc)
+                         (Store.in_rels_typed store v rtype)
+                   in
+                   List.iter (fun w -> Hashtbl.replace next w ()) neighbours)
+                 !level;
+               level := Hashtbl.fold (fun w () acc -> w :: acc) next [];
+               if depth >= min_hops then
+                 List.iter (fun w -> Hashtbl.replace qualifying w ()) !level;
+               if !level = [] then raise Exit
+             done
+           with Exit -> ());
+          let reach = Hashtbl.fold (fun w () acc -> w :: acc) qualifying [] in
+          if r.(to_slot) <> unbound then
+            if List.mem r.(to_slot) reach then [ r ] else []
+          else
+            List.filter_map
+              (fun nid ->
+                if satisfies store nid to_c then begin
+                  let r' = Array.copy r in
+                  r'.(to_slot) <- nid;
+                  Some r'
+                end
+                else None)
+              reach
+        end)
+      rows
+  | Plan.Expand { from_slot; rtype; direction; to_slot; to_c } ->
+    List.concat_map
+      (fun (r : row) ->
+        let from_nid = r.(from_slot) in
+        if from_nid = unbound then []
+        else
+          let neighbours =
+            match direction with
+            | Cypher.Out ->
+              List.map (fun (rel : Store.rel) -> rel.rdst)
+                (Store.out_rels_typed store from_nid rtype)
+            | Cypher.In ->
+              List.map (fun (rel : Store.rel) -> rel.rsrc)
+                (Store.in_rels_typed store from_nid rtype)
+          in
+          if r.(to_slot) <> unbound then
+            if List.mem r.(to_slot) neighbours then [ r ] else []
+          else
+            List.filter_map
+              (fun nid ->
+                if satisfies store nid to_c then begin
+                  let r' = Array.copy r in
+                  r'.(to_slot) <- nid;
+                  Some r'
+                end
+                else None)
+              neighbours)
+      rows
+
+let check_condition store (r : row) = function
+  | Plan.Cc_eq_prop_lit (slot, key, v) -> (
+    match Store.get_prop store r.(slot) key with
+    | Some v' -> Value.equal v v'
+    | None -> false)
+  | Plan.Cc_neq_prop_lit (slot, key, v) -> (
+    match Store.get_prop store r.(slot) key with
+    | Some v' -> not (Value.equal v v')
+    | None -> false)
+  | Plan.Cc_eq_prop_prop (s1, k1, s2, k2) -> (
+    match (Store.get_prop store r.(s1) k1, Store.get_prop store r.(s2) k2) with
+    | Some a, Some b -> Value.equal a b
+    | _ -> false)
+  | Plan.Cc_neq_prop_prop (s1, k1, s2, k2) -> (
+    match (Store.get_prop store r.(s1) k1, Store.get_prop store r.(s2) k2) with
+    | Some a, Some b -> not (Value.equal a b)
+    | _ -> false)
+
+let run store (plan : Plan.t) =
+  let width = Array.length plan.slots in
+  let rows =
+    List.fold_left
+      (fun rows step -> apply_step store width rows step)
+      [ Array.make width unbound ]
+      plan.steps
+  in
+  let rows =
+    List.filter
+      (fun r ->
+        Array.for_all (fun x -> x <> unbound) r
+        && List.for_all (check_condition store r) plan.conditions)
+      rows
+  in
+  (* Parallel relationships can create duplicate bindings: dedup. *)
+  let seen = Hashtbl.create (List.length rows * 2) in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r then false
+      else begin
+        Hashtbl.add seen r ();
+        true
+      end)
+    rows
+
+let run_projected store (plan : Plan.t) =
+  List.map
+    (fun (r : row) ->
+      List.map
+        (function
+          | Plan.R_node slot -> Node r.(slot)
+          | Plan.R_prop (slot, key) ->
+            Prop_value (Option.value ~default:Value.Null (Store.get_prop store r.(slot) key)))
+        plan.returns)
+    (run store plan)

@@ -1,0 +1,19 @@
+(** Plan interpreter.
+
+    Rows are node-id vectors indexed by plan slot.  Seeds produce rows,
+    expansions extend or verify them against the store's adjacency lists,
+    residual conditions filter, and RETURN projects. *)
+
+type row = Store.node_id array
+(** One binding of every plan slot (internal representation; -1 = unbound,
+    only transiently). *)
+
+type cell =
+  | Node of Store.node_id
+  | Prop_value of Value.t
+
+val run : Store.t -> Plan.t -> row list
+(** All distinct total bindings of the plan's slots (before projection). *)
+
+val run_projected : Store.t -> Plan.t -> cell list list
+(** Bindings projected through the plan's RETURN items. *)

@@ -1,0 +1,78 @@
+type constraints = {
+  clabel : string option;
+  cprops : (string * Value.t) list;
+}
+
+let no_constraints = { clabel = None; cprops = [] }
+
+type step =
+  | Seed_index of { slot : int; label : string; key : string; value : Value.t; extra : constraints }
+  | Seed_label of { slot : int; label : string; extra : constraints }
+  | Seed_all of { slot : int; extra : constraints }
+  | Seed_rel of {
+      rtype : string;
+      src_slot : int;
+      dst_slot : int;
+      src_c : constraints;
+      dst_c : constraints;
+    }
+  | Expand of {
+      from_slot : int;
+      rtype : string;
+      direction : Cypher.direction;
+      to_slot : int;
+      to_c : constraints;
+    }
+  | Expand_var of {
+      from_slot : int;
+      rtype : string;
+      direction : Cypher.direction;
+      to_slot : int;
+      to_c : constraints;
+      min_hops : int;
+      max_hops : int;
+    }
+
+type compiled_condition =
+  | Cc_eq_prop_lit of int * string * Value.t
+  | Cc_neq_prop_lit of int * string * Value.t
+  | Cc_eq_prop_prop of int * string * int * string
+  | Cc_neq_prop_prop of int * string * int * string
+
+type ret =
+  | R_node of int
+  | R_prop of int * string
+
+type t = {
+  slots : string array;
+  steps : step list;
+  conditions : compiled_condition list;
+  returns : ret list;
+}
+
+let slot_of_var t v =
+  let n = Array.length t.slots in
+  let rec go i = if i >= n then None else if String.equal t.slots.(i) v then Some i else go (i + 1) in
+  go 0
+
+let pp_step fmt = function
+  | Seed_index { slot; label; key; value; _ } ->
+    Format.fprintf fmt "SeedIndex slot=%d :%s.%s=%a" slot label key Value.pp value
+  | Seed_label { slot; label; _ } -> Format.fprintf fmt "SeedLabel slot=%d :%s" slot label
+  | Seed_all { slot; _ } -> Format.fprintf fmt "SeedAll slot=%d" slot
+  | Seed_rel { rtype; src_slot; dst_slot; _ } ->
+    Format.fprintf fmt "SeedRel [:%s] %d->%d" rtype src_slot dst_slot
+  | Expand { from_slot; rtype; direction; to_slot; _ } ->
+    Format.fprintf fmt "Expand %d %s[:%s]%s %d" from_slot
+      (match direction with Cypher.Out -> "-" | Cypher.In -> "<-")
+      rtype
+      (match direction with Cypher.Out -> "->" | Cypher.In -> "-")
+      to_slot
+  | Expand_var { from_slot; rtype; to_slot; min_hops; max_hops; _ } ->
+    Format.fprintf fmt "ExpandVar %d -[:%s*%d..%d]- %d" from_slot rtype min_hops
+      max_hops to_slot
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan slots=[%s]" (String.concat ";" (Array.to_list t.slots));
+  List.iter (fun s -> Format.fprintf fmt "@,  %a" pp_step s) t.steps;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,68 @@
+(** Physical query plans of the embedded database.
+
+    A plan is a sequence of steps over a row of node slots: a {e seed} step
+    produces initial rows (index lookup, label scan, relationship scan or
+    full scan — chosen by the planner from store statistics) and each
+    {e expand} step extends rows along relationships, Neo4j's exploratory
+    execution model.  Residual [WHERE] conditions run last. *)
+
+type constraints = {
+  clabel : string option;
+  cprops : (string * Value.t) list;
+}
+
+val no_constraints : constraints
+
+type step =
+  | Seed_index of { slot : int; label : string; key : string; value : Value.t; extra : constraints }
+  | Seed_label of { slot : int; label : string; extra : constraints }
+  | Seed_all of { slot : int; extra : constraints }
+  | Seed_rel of {
+      rtype : string;
+      src_slot : int;
+      dst_slot : int;
+      src_c : constraints;
+      dst_c : constraints;
+    }
+  | Expand of {
+      from_slot : int;
+      rtype : string;
+      direction : Cypher.direction;
+      to_slot : int;
+      to_c : constraints;
+    }
+      (** If [to_slot] is already bound in a row this verifies the
+          relationship exists (expand-into); otherwise it binds the slot. *)
+  | Expand_var of {
+      from_slot : int;
+      rtype : string;
+      direction : Cypher.direction;
+      to_slot : int;
+      to_c : constraints;
+      min_hops : int;
+      max_hops : int;
+    }
+      (** The variable-length form ([-[:T*min..max]->]): breadth-first
+          expansion binding every node whose distance from the source lies
+          within the hop range ([min_hops = 0] includes the source
+          itself).  Unbounded ranges are capped by the executor. *)
+
+type compiled_condition =
+  | Cc_eq_prop_lit of int * string * Value.t
+  | Cc_neq_prop_lit of int * string * Value.t
+  | Cc_eq_prop_prop of int * string * int * string
+  | Cc_neq_prop_prop of int * string * int * string
+
+type ret =
+  | R_node of int  (** slot *)
+  | R_prop of int * string
+
+type t = {
+  slots : string array;  (** slot index → variable name *)
+  steps : step list;
+  conditions : compiled_condition list;
+  returns : ret list;
+}
+
+val slot_of_var : t -> string -> int option
+val pp : Format.formatter -> t -> unit

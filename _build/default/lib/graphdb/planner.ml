@@ -1,0 +1,266 @@
+exception Plan_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
+
+type var_info = {
+  mutable label : string option;
+  mutable props : (string * Value.t) list;
+}
+
+type hop = {
+  h_src : string;
+  h_rtype : string;
+  h_dst : string; (* normalised to Out direction: src -[:rtype]-> dst *)
+  h_range : (int * int) option; (* variable-length hop range *)
+}
+
+(* Collect variables (assigning fresh names to anonymous nodes) and
+   normalised hops from the MATCH chains. *)
+let collect (q : Cypher.query) =
+  let vars : (string, var_info) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let anon = ref 0 in
+  let note (n : Cypher.node_pat) =
+    let name =
+      match n.nvar with
+      | Some v -> v
+      | None ->
+        incr anon;
+        Printf.sprintf "$anon%d" !anon
+    in
+    let info =
+      match Hashtbl.find_opt vars name with
+      | Some i -> i
+      | None ->
+        let i = { label = None; props = [] } in
+        Hashtbl.add vars name i;
+        order := name :: !order;
+        i
+    in
+    (match n.nlabel with
+    | Some l -> (
+      match info.label with
+      | None -> info.label <- Some l
+      | Some l' when String.equal l l' -> ()
+      | Some l' -> fail "conflicting labels %s and %s for %s" l' l name)
+    | None -> ());
+    List.iter
+      (fun (k, v) -> if not (List.mem_assoc k info.props) then info.props <- (k, v) :: info.props)
+      n.nprops;
+    name
+  in
+  let hops = ref [] in
+  List.iter
+    (fun ((first, rest) : Cypher.chain) ->
+      let prev = ref (note first) in
+      List.iter
+        (fun ((r : Cypher.rel_pat), n) ->
+          let name = note n in
+          (match r.direction with
+          | Cypher.Out ->
+            hops :=
+              { h_src = !prev; h_rtype = r.rtype_p; h_dst = name; h_range = r.hops }
+              :: !hops
+          | Cypher.In ->
+            hops :=
+              { h_src = name; h_rtype = r.rtype_p; h_dst = !prev; h_range = r.hops }
+              :: !hops);
+          prev := name)
+        rest)
+    q.chains;
+  (vars, List.rev !order, List.rev !hops)
+
+let constraints_of (info : var_info) : Plan.constraints =
+  { clabel = info.label; cprops = info.props }
+
+(* Estimated rows a seed on this variable produces. *)
+let seed_cost store (info : var_info) =
+  match (info.label, info.props) with
+  | Some l, (key, _) :: _ when Store.has_index store ~label:l ~property:key -> 1
+  | Some l, _ :: _ -> max 1 (Store.count_nodes_with_label store l / 4)
+  | Some l, [] -> max 1 (Store.count_nodes_with_label store l)
+  | None, _ :: _ -> max 1 (Store.num_nodes store / 4)
+  | None, [] -> max 2 (Store.num_nodes store)
+
+let seed_step store name slot (info : var_info) : Plan.step =
+  match (info.label, info.props) with
+  | Some l, (key, v) :: rest when Store.has_index store ~label:l ~property:key ->
+    Seed_index { slot; label = l; key; value = v; extra = { clabel = None; cprops = rest } }
+  | Some l, props -> Seed_label { slot; label = l; extra = { clabel = None; cprops = props } }
+  | None, props ->
+    ignore name;
+    Seed_all { slot; extra = { clabel = None; cprops = props } }
+
+let plan store (q : Cypher.query) =
+  let vars, order, hops = collect q in
+  if order = [] then fail "empty MATCH pattern";
+  let slots = Array.of_list order in
+  let slot_of name =
+    let rec go i =
+      if i >= Array.length slots then fail "unknown variable %s" name
+      else if String.equal slots.(i) name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let steps = ref [] in
+  let remaining = ref hops in
+  let emit s = steps := s :: !steps in
+  (* Pick the cheapest seed among unbound variables mentioned by remaining
+     hops (or all variables if there are no hops), also considering
+     relationship-type scans. *)
+  let seed_component () =
+    let candidates =
+      List.filter (fun v -> not (Hashtbl.mem bound v)) order
+    in
+    match candidates with
+    | [] -> fail "internal: no candidate seed"
+    | _ ->
+      let best_var =
+        List.fold_left
+          (fun best v ->
+            let c = seed_cost store (Hashtbl.find vars v) in
+            match best with
+            | Some (_, bc) when bc <= c -> best
+            | _ -> Some (v, c))
+          None candidates
+      in
+      let v, vcost = Option.get best_var in
+      (* A relationship scan can beat a node seed when both endpoints are
+         unconstrained. *)
+      let rel_candidate =
+        List.fold_left
+          (fun best h ->
+            if Hashtbl.mem bound h.h_src || Hashtbl.mem bound h.h_dst || h.h_range <> None
+            then best
+            else
+              let c = max 1 (Store.count_rels_of_type store h.h_rtype) in
+              match best with Some (_, bc) when bc <= c -> best | _ -> Some (h, c))
+          None !remaining
+      in
+      (match rel_candidate with
+      | Some (h, rc) when rc < vcost ->
+        let src_info = Hashtbl.find vars h.h_src and dst_info = Hashtbl.find vars h.h_dst in
+        emit
+          (Plan.Seed_rel
+             {
+               rtype = h.h_rtype;
+               src_slot = slot_of h.h_src;
+               dst_slot = slot_of h.h_dst;
+               src_c = constraints_of src_info;
+               dst_c = constraints_of dst_info;
+             });
+        Hashtbl.replace bound h.h_src ();
+        Hashtbl.replace bound h.h_dst ();
+        remaining := List.filter (fun h' -> h' <> h) !remaining
+      | _ ->
+        emit (seed_step store v (slot_of v) (Hashtbl.find vars v));
+        Hashtbl.replace bound v ())
+  in
+  let expandable () =
+    List.filter (fun h -> Hashtbl.mem bound h.h_src || Hashtbl.mem bound h.h_dst) !remaining
+  in
+  let hop_score h =
+    (* Prefer hops into already-bound or constrained targets. *)
+    let target, _src_bound =
+      if Hashtbl.mem bound h.h_src then (h.h_dst, true) else (h.h_src, false)
+    in
+    if Hashtbl.mem bound target then 0
+    else
+      let info = Hashtbl.find vars target in
+      match (info.label, info.props) with
+      | _, _ :: _ -> 1
+      | Some _, [] -> 2
+      | None, [] -> 3
+  in
+  seed_component ();
+  let rec consume () =
+    if !remaining <> [] then begin
+      match expandable () with
+      | [] ->
+        (* Disconnected component: new seed. *)
+        seed_component ();
+        consume ()
+      | frontier ->
+        let h =
+          List.fold_left
+            (fun best cand ->
+              match best with
+              | Some b when hop_score b <= hop_score cand -> best
+              | _ -> Some cand)
+            None frontier
+          |> Option.get
+        in
+        let from_v, to_v, direction =
+          if Hashtbl.mem bound h.h_src then (h.h_src, h.h_dst, Cypher.Out)
+          else (h.h_dst, h.h_src, Cypher.In)
+        in
+        let to_info = Hashtbl.find vars to_v in
+        (match h.h_range with
+        | None ->
+          emit
+            (Plan.Expand
+               {
+                 from_slot = slot_of from_v;
+                 rtype = h.h_rtype;
+                 direction;
+                 to_slot = slot_of to_v;
+                 to_c = constraints_of to_info;
+               })
+        | Some (min_hops, max_hops) ->
+          emit
+            (Plan.Expand_var
+               {
+                 from_slot = slot_of from_v;
+                 rtype = h.h_rtype;
+                 direction;
+                 to_slot = slot_of to_v;
+                 to_c = constraints_of to_info;
+                 min_hops;
+                 max_hops;
+               }));
+        Hashtbl.replace bound to_v ();
+        remaining := List.filter (fun h' -> h' <> h) !remaining;
+        consume ()
+    end
+  in
+  consume ();
+  (* Any variable never bound (isolated node pattern) still needs a seed. *)
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem bound v) then begin
+        emit (seed_step store v (slot_of v) (Hashtbl.find vars v));
+        Hashtbl.replace bound v ()
+      end)
+    order;
+  let compile_operand_pair mk_ll mk_lp a b =
+    match (a, b) with
+    | Cypher.Prop (v, k), Cypher.Lit value -> mk_ll (slot_of v) k value
+    | Cypher.Lit value, Cypher.Prop (v, k) -> mk_ll (slot_of v) k value
+    | Cypher.Prop (v1, k1), Cypher.Prop (v2, k2) -> mk_lp (slot_of v1) k1 (slot_of v2) k2
+    | Cypher.Lit _, Cypher.Lit _ -> fail "condition between two literals"
+  in
+  let conditions =
+    List.map
+      (function
+        | Cypher.Eq (a, b) ->
+          compile_operand_pair
+            (fun s k v -> Plan.Cc_eq_prop_lit (s, k, v))
+            (fun s1 k1 s2 k2 -> Plan.Cc_eq_prop_prop (s1, k1, s2, k2))
+            a b
+        | Cypher.Neq (a, b) ->
+          compile_operand_pair
+            (fun s k v -> Plan.Cc_neq_prop_lit (s, k, v))
+            (fun s1 k1 s2 k2 -> Plan.Cc_neq_prop_prop (s1, k1, s2, k2))
+            a b)
+      q.conditions
+  in
+  let returns =
+    List.map
+      (function
+        | Cypher.Ret_var v -> Plan.R_node (slot_of v)
+        | Cypher.Ret_prop (v, k) -> Plan.R_prop (slot_of v, k))
+      q.returns
+  in
+  { Plan.slots; steps = List.rev !steps; conditions; returns }

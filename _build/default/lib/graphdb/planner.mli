@@ -1,0 +1,14 @@
+(** Cost-based plan construction.
+
+    Seeds are chosen from store statistics: an indexed property equality is
+    cheapest, then a label scan or a relationship-type scan (whichever the
+    statistics say is smaller), then a full node scan.  Expansions are
+    added breadth-first from the bound region, preferring hops whose target
+    carries constraints.  Disconnected pattern components each get their
+    own seed (cartesian product, as in Neo4j). *)
+
+exception Plan_error of string
+
+val plan : Store.t -> Cypher.query -> Plan.t
+(** @raise Plan_error on patterns that cannot be planned (e.g. a WHERE or
+    RETURN referencing an unknown variable). *)

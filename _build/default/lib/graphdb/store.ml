@@ -1,0 +1,173 @@
+type node_id = int
+type rel_id = int
+
+type rel = {
+  rid : rel_id;
+  rtype : string;
+  rsrc : node_id;
+  rdst : node_id;
+}
+
+type node_rec = {
+  labels : string list;
+  props : (string, Value.t) Hashtbl.t;
+  mutable out_rels : rel list;
+  mutable in_rels : rel list;
+}
+
+type index = (Value.t, node_id list ref) Hashtbl.t
+
+type t = {
+  mutable nodes : node_rec option array;
+  mutable node_count : int;
+  rels : (rel_id, rel) Hashtbl.t;
+  mutable rel_count : int;
+  mutable next_rid : int;
+  label_index : (string, node_id list ref) Hashtbl.t;
+  prop_indexes : (string * string, index) Hashtbl.t;
+  rel_type_counts : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    nodes = Array.make 1024 None;
+    node_count = 0;
+    rels = Hashtbl.create 4096;
+    rel_count = 0;
+    next_rid = 0;
+    label_index = Hashtbl.create 64;
+    prop_indexes = Hashtbl.create 16;
+    rel_type_counts = Hashtbl.create 64;
+  }
+
+let node t nid =
+  if nid < 0 || nid >= t.node_count then invalid_arg "Store: unknown node id";
+  match t.nodes.(nid) with
+  | Some n -> n
+  | None -> invalid_arg "Store: unknown node id"
+
+let bump tbl key delta =
+  match Hashtbl.find_opt tbl key with
+  | Some cell -> cell := !cell + delta
+  | None -> Hashtbl.add tbl key (ref delta)
+
+let multi_add tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some cell -> cell := v :: !cell
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let index_insert t nid labels key value =
+  List.iter
+    (fun label ->
+      match Hashtbl.find_opt t.prop_indexes (label, key) with
+      | Some idx -> multi_add idx value nid
+      | None -> ())
+    labels
+
+let create_node t ?(labels = []) ?(props = []) () =
+  let nid = t.node_count in
+  if nid >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) None in
+    Array.blit t.nodes 0 bigger 0 (Array.length t.nodes);
+    t.nodes <- bigger
+  end;
+  let n = { labels; props = Hashtbl.create 4; out_rels = []; in_rels = [] } in
+  t.nodes.(nid) <- Some n;
+  t.node_count <- nid + 1;
+  List.iter (fun l -> multi_add t.label_index l nid) labels;
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace n.props k v;
+      index_insert t nid labels k v)
+    props;
+  nid
+
+let set_prop t nid key value =
+  let n = node t nid in
+  (* Remove stale index entries for the previous value. *)
+  (match Hashtbl.find_opt n.props key with
+  | Some old ->
+    List.iter
+      (fun label ->
+        match Hashtbl.find_opt t.prop_indexes (label, key) with
+        | Some idx -> (
+          match Hashtbl.find_opt idx old with
+          | Some cell -> cell := List.filter (fun id -> id <> nid) !cell
+          | None -> ())
+        | None -> ())
+      n.labels
+  | None -> ());
+  Hashtbl.replace n.props key value;
+  index_insert t nid n.labels key value
+
+let create_rel t ~rtype src dst =
+  let s = node t src and d = node t dst in
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let r = { rid; rtype; rsrc = src; rdst = dst } in
+  Hashtbl.add t.rels rid r;
+  s.out_rels <- r :: s.out_rels;
+  d.in_rels <- r :: d.in_rels;
+  t.rel_count <- t.rel_count + 1;
+  bump t.rel_type_counts rtype 1;
+  rid
+
+let delete_rel t rid =
+  match Hashtbl.find_opt t.rels rid with
+  | None -> false
+  | Some r ->
+    Hashtbl.remove t.rels rid;
+    let s = node t r.rsrc and d = node t r.rdst in
+    s.out_rels <- List.filter (fun r' -> r'.rid <> rid) s.out_rels;
+    d.in_rels <- List.filter (fun r' -> r'.rid <> rid) d.in_rels;
+    t.rel_count <- t.rel_count - 1;
+    bump t.rel_type_counts r.rtype (-1);
+    true
+
+let num_nodes t = t.node_count
+let num_rels t = t.rel_count
+let node_labels t nid = (node t nid).labels
+let get_prop t nid key = Hashtbl.find_opt (node t nid).props key
+let out_rels t nid = (node t nid).out_rels
+let in_rels t nid = (node t nid).in_rels
+
+let out_rels_typed t nid rtype =
+  List.filter (fun r -> String.equal r.rtype rtype) (node t nid).out_rels
+
+let in_rels_typed t nid rtype =
+  List.filter (fun r -> String.equal r.rtype rtype) (node t nid).in_rels
+
+let rel_by_id t rid = Hashtbl.find_opt t.rels rid
+
+let has_rel t ~rtype src dst =
+  List.exists (fun r -> r.rdst = dst && String.equal r.rtype rtype) (node t src).out_rels
+
+let nodes_with_label t label =
+  match Hashtbl.find_opt t.label_index label with Some cell -> !cell | None -> []
+
+let all_nodes t = List.init t.node_count Fun.id
+
+let create_index t ~label ~property =
+  if not (Hashtbl.mem t.prop_indexes (label, property)) then begin
+    let idx : index = Hashtbl.create 1024 in
+    Hashtbl.add t.prop_indexes (label, property) idx;
+    (* Backfill from existing nodes. *)
+    List.iter
+      (fun nid ->
+        match get_prop t nid property with
+        | Some v -> multi_add idx v nid
+        | None -> ())
+      (nodes_with_label t label)
+  end
+
+let index_lookup t ~label ~property value =
+  match Hashtbl.find_opt t.prop_indexes (label, property) with
+  | None -> raise Not_found
+  | Some idx -> ( match Hashtbl.find_opt idx value with Some cell -> !cell | None -> [])
+
+let has_index t ~label ~property = Hashtbl.mem t.prop_indexes (label, property)
+
+let count_rels_of_type t rtype =
+  match Hashtbl.find_opt t.rel_type_counts rtype with Some c -> !c | None -> 0
+
+let count_nodes_with_label t label = List.length (nodes_with_label t label)

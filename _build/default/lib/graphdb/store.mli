@@ -1,0 +1,68 @@
+(** The property-graph store of the embedded database.
+
+    Nodes carry node labels and a property map; relationships carry a type
+    and a property map.  The store maintains:
+    - adjacency lists per node (outgoing and incoming);
+    - a node-label index (label → node ids);
+    - optional property indexes per (node label, property key), as the
+      paper's Neo4j configuration "builds indexes on all labels of the
+      schema allowing for faster look up times of nodes";
+    - degree and cardinality statistics for the planner. *)
+
+type node_id = int
+type rel_id = int
+
+type rel = {
+  rid : rel_id;
+  rtype : string;
+  rsrc : node_id;
+  rdst : node_id;
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Writes} *)
+
+val create_node : t -> ?labels:string list -> ?props:(string * Value.t) list -> unit -> node_id
+val set_prop : t -> node_id -> string -> Value.t -> unit
+
+val create_rel : t -> rtype:string -> node_id -> node_id -> rel_id
+(** Parallel relationships of the same type between the same endpoints are
+    allowed (multigraph), as in Neo4j. *)
+
+val delete_rel : t -> rel_id -> bool
+
+(** {1 Reads} *)
+
+val num_nodes : t -> int
+val num_rels : t -> int
+val node_labels : t -> node_id -> string list
+val get_prop : t -> node_id -> string -> Value.t option
+val out_rels : t -> node_id -> rel list
+val in_rels : t -> node_id -> rel list
+val out_rels_typed : t -> node_id -> string -> rel list
+val in_rels_typed : t -> node_id -> string -> rel list
+val rel_by_id : t -> rel_id -> rel option
+
+val has_rel : t -> rtype:string -> node_id -> node_id -> bool
+
+val nodes_with_label : t -> string -> node_id list
+val all_nodes : t -> node_id list
+
+(** {1 Indexes} *)
+
+val create_index : t -> label:string -> property:string -> unit
+(** Build (and thereafter maintain) an equality index over the given
+    property of nodes with the given label. *)
+
+val index_lookup : t -> label:string -> property:string -> Value.t -> node_id list
+(** @raise Not_found if no such index exists. *)
+
+val has_index : t -> label:string -> property:string -> bool
+
+(** {1 Statistics (planner inputs)} *)
+
+val count_rels_of_type : t -> string -> int
+val count_nodes_with_label : t -> string -> int

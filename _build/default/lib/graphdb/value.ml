@@ -1,0 +1,27 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ -> false
+
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.pp_print_float fmt f
+  | String s -> Format.fprintf fmt "%S" s
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Config Engines Format List Matcher Printf Runner String Tablefmt Tric_engine Tric_graph Tric_workloads Unix

@@ -1,0 +1,26 @@
+type t = {
+  scale : int;
+  budget_s : float;
+  seed : int;
+}
+
+let default = { scale = 25; budget_s = 10.0; seed = 7 }
+
+let from_env () =
+  let int_var name default =
+    match Sys.getenv_opt name with
+    | Some v -> ( match int_of_string_opt v with Some i when i > 0 -> i | _ -> default)
+    | None -> default
+  in
+  let float_var name default =
+    match Sys.getenv_opt name with
+    | Some v -> ( match float_of_string_opt v with Some f when f > 0.0 -> f | _ -> default)
+    | None -> default
+  in
+  {
+    scale = int_var "TRIC_SCALE" default.scale;
+    budget_s = float_var "TRIC_BUDGET" default.budget_s;
+    seed = int_var "TRIC_SEED" default.seed;
+  }
+
+let scaled t n = max 1 (n / t.scale)

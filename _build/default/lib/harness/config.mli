@@ -1,0 +1,22 @@
+(** Harness configuration.
+
+    The paper's experiments run hours on a 64 GB server; ours reproduce
+    their {e shape} at laptop scale.  One knob divides every size (graph
+    edges and query-database cardinality): [scale].  A second bounds each
+    engine's wall-clock per experiment run — the equivalent of the paper's
+    24-hour execution-time threshold; engines that exceed it are reported
+    truncated ("*", as in the paper's plots). *)
+
+type t = {
+  scale : int;  (** divide the paper's sizes by this; default 25 *)
+  budget_s : float;  (** per-engine wall-clock budget; default 10 s *)
+  seed : int;
+}
+
+val default : t
+
+val from_env : unit -> t
+(** Reads [TRIC_SCALE], [TRIC_BUDGET] (seconds) and [TRIC_SEED]. *)
+
+val scaled : t -> int -> int
+(** [scaled t n] is [max 1 (n / t.scale)]. *)

@@ -1,0 +1,23 @@
+(** The experiment registry: one runnable experiment per table and figure
+    of the paper's evaluation (§6), plus ablations of DESIGN.md's design
+    choices.
+
+    Sizes are the paper's divided by {!Config.scale}; each engine run is
+    truncated at {!Config.budget_s} seconds (the paper's 24-hour threshold,
+    scaled), and truncated cells are marked with ["*"] exactly as the
+    paper's plots mark timed-out algorithms. *)
+
+type t = {
+  id : string;  (** e.g. "fig12a" *)
+  paper_ref : string;  (** e.g. "Fig. 12(a)" *)
+  title : string;
+  engines : string list;
+  run : Config.t -> Format.formatter -> unit;
+}
+
+val all : t list
+(** Paper experiments in figure order, then ablations. *)
+
+val find : string -> t option
+val run_all : Config.t -> Format.formatter -> unit
+val run_one : Config.t -> Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+let print fmt ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let print_row r =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (widths.(i) - String.length cell) ' ' in
+        if i = 0 then Format.fprintf fmt "%s%s" cell pad
+        else Format.fprintf fmt "  %s%s" pad cell)
+      r;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  Format.fprintf fmt "%s@."
+    (String.concat "--" (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter print_row rows
+
+let ms v =
+  if v = 0.0 then "0"
+  else if v < 0.01 then Printf.sprintf "%.4f" v
+  else if v < 1.0 then Printf.sprintf "%.3f" v
+  else if v < 100.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.0f" v
+
+let mb_of_words w = Printf.sprintf "%.1fMB" (float_of_int w *. 8.0 /. 1_048_576.0)

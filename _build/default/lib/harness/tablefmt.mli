@@ -1,0 +1,10 @@
+(** Plain-text table rendering for experiment output. *)
+
+val print : Format.formatter -> header:string list -> rows:string list list -> unit
+(** Column-aligned table with a header rule. *)
+
+val ms : float -> string
+(** Milliseconds with adaptive precision ("0.042", "1.73", "215"). *)
+
+val mb_of_words : int -> string
+(** Heap words → megabytes string. *)

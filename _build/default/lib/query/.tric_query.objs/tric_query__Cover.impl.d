@@ -1,0 +1,1 @@
+lib/query/cover.ml: Array Hashtbl Int List Path Pattern Set Term

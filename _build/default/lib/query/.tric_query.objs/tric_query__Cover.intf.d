@@ -1,0 +1,1 @@
+lib/query/cover.mli: Path Pattern

@@ -1,0 +1,1 @@
+lib/query/ekey.ml: Edge Format Hashtbl Label Pattern Set Term Tric_graph

@@ -1,0 +1,1 @@
+lib/query/ekey.mli: Edge Format Hashtbl Label Pattern Set Tric_graph

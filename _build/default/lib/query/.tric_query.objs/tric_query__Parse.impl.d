@@ -1,0 +1,1 @@
+lib/query/parse.ml: Array Format List Pattern Printf String Term Tric_graph

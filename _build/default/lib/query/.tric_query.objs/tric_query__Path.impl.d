@@ -1,0 +1,1 @@
+lib/query/path.ml: Array Ekey Format Pattern Term Tric_graph

@@ -1,0 +1,1 @@
+lib/query/path.mli: Ekey Format Pattern

@@ -1,0 +1,1 @@
+lib/query/term.mli: Format Label Tric_graph

@@ -1,0 +1,177 @@
+type strategy =
+  | Upstream
+  | Naive
+
+module Int_set = Set.Make (Int)
+
+(* Pick the first edge of [candidates] satisfying [pref], else the first
+   candidate; candidates are in eid order so choices are deterministic. *)
+let pick_preferred pref candidates =
+  match List.find_opt pref candidates with
+  | Some e -> Some e
+  | None -> ( match candidates with [] -> None | e :: _ -> Some e)
+
+(* Greedy forward walk from [v].  Takes globally-uncovered edges while any
+   leave the current vertex; never traverses an edge already on this walk.
+   [taken] is the reversed list of edges walked so far. *)
+let forward_walk q ~covered ~start ~taken0 =
+  let on_walk = Hashtbl.create 8 in
+  List.iter (fun (e : Pattern.pedge) -> Hashtbl.replace on_walk e.eid ()) taken0;
+  let rec go v acc =
+    let candidates =
+      List.filter
+        (fun (e : Pattern.pedge) ->
+          (not (Hashtbl.mem on_walk e.eid)) && not covered.(e.eid))
+        (Pattern.out_edges_of q v)
+    in
+    match candidates with
+    | [] -> acc
+    | e :: _ ->
+      Hashtbl.replace on_walk e.eid ();
+      go e.dst (e :: acc)
+  in
+  go start taken0
+
+(* Walk backwards from [v] through predecessor edges, visiting each vertex
+   at most once, preferring uncovered predecessor edges.  The walk stops at
+   a constant-labelled vertex: a constant is the most selective possible
+   path head, and extending past it would push the anchor towards the tail
+   of the path, making every materialized prefix of the path unselective.
+   Returns the edges of the backward chain in forward order (farthest
+   ancestor first). *)
+let backward_walk q ~covered ~start =
+  let visited = ref (Int_set.singleton start) in
+  let is_const v = match Pattern.term q v with Term.Const _ -> true | Term.Var _ -> false in
+  let rec go v acc =
+    if is_const v then acc
+    else begin
+      let candidates =
+        List.filter
+          (fun (e : Pattern.pedge) -> not (Int_set.mem e.src !visited))
+          (Pattern.in_edges_of q v)
+      in
+      match pick_preferred (fun (e : Pattern.pedge) -> not covered.(e.eid)) candidates with
+      | None -> acc
+      | Some e ->
+        visited := Int_set.add e.src !visited;
+        go e.src (e :: acc)
+    end
+  in
+  go start []
+
+let mark_covered covered path_edges =
+  List.iter (fun (e : Pattern.pedge) -> covered.(e.eid) <- true) path_edges
+
+let extract_upstream q =
+  let m = Pattern.num_edges q in
+  let covered = Array.make m false in
+  let paths = ref [] in
+  let rec next_uncovered i = if i >= m then None else if covered.(i) then next_uncovered (i + 1) else Some i in
+  let rec loop () =
+    match next_uncovered 0 with
+    | None -> ()
+    | Some eid ->
+      let e = Pattern.edge q eid in
+      let prefix = backward_walk q ~covered ~start:e.src in
+      (* prefix is in forward order; walk forward from e.dst. *)
+      let taken0 = e :: List.rev prefix in
+      let walked = forward_walk q ~covered ~start:e.dst ~taken0 in
+      let path_edges = List.rev walked in
+      mark_covered covered path_edges;
+      paths := Path.of_edges path_edges :: !paths;
+      loop ()
+  in
+  loop ();
+  List.rev !paths
+
+(* The paper's literal procedure: DFS walks from every vertex in id order,
+   each walk taking uncovered edges greedily, repeated until all edges are
+   covered; then sub-path removal.  (Vertex coverage follows from edge
+   coverage since patterns have no isolated vertices.) *)
+let extract_naive q =
+  let m = Pattern.num_edges q in
+  let covered = Array.make m false in
+  let all_covered () = Array.for_all (fun b -> b) covered in
+  let paths = ref [] in
+  let n = Pattern.num_vertices q in
+  let rec rounds () =
+    if not (all_covered ()) then begin
+      let progress = ref false in
+      for v = 0 to n - 1 do
+        if not (all_covered ()) then begin
+          let walked = forward_walk q ~covered ~start:v ~taken0:[] in
+          match walked with
+          | [] -> ()
+          | _ ->
+            let path_edges = List.rev walked in
+            if List.exists (fun (e : Pattern.pedge) -> not covered.(e.eid)) path_edges
+            then begin
+              mark_covered covered path_edges;
+              paths := Path.of_edges path_edges :: !paths;
+              progress := true
+            end
+        end
+      done;
+      if !progress then rounds ()
+    end
+  in
+  rounds ();
+  let paths = List.rev !paths in
+  (* Sub-path removal. *)
+  List.filteri
+    (fun i p ->
+      not
+        (List.exists
+           (fun (j, p') -> i <> j && Path.is_subpath p p' && not (i < j && Path.equal p p'))
+           (List.mapi (fun j p' -> (j, p')) paths)))
+    paths
+
+let extract ?(strategy = Upstream) q =
+  match strategy with Upstream -> extract_upstream q | Naive -> extract_naive q
+
+let covers q paths =
+  let m = Pattern.num_edges q and n = Pattern.num_vertices q in
+  let e_cov = Array.make m false and v_cov = Array.make n false in
+  let valid = ref true in
+  List.iter
+    (fun p ->
+      Array.iter
+        (fun (e : Pattern.pedge) ->
+          if e.eid < 0 || e.eid >= m || Pattern.edge q e.eid <> e then valid := false
+          else begin
+            e_cov.(e.eid) <- true;
+            v_cov.(e.src) <- true;
+            v_cov.(e.dst) <- true
+          end)
+        (Path.edges p))
+    paths;
+  let no_subpaths =
+    let arr = Array.of_list paths in
+    let k = Array.length arr in
+    let ok = ref true in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        if i <> j && Path.is_subpath arr.(i) arr.(j) && not (Path.equal arr.(i) arr.(j))
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  !valid
+  && Array.for_all (fun b -> b) e_cov
+  && Array.for_all (fun b -> b) v_cov
+  && no_subpaths
+
+let intersections paths =
+  let arr = Array.of_list paths in
+  let vid_set p = Array.fold_left (fun s v -> Int_set.add v s) Int_set.empty (Path.vids p) in
+  let sets = Array.map vid_set arr in
+  let out = ref [] in
+  let k = Array.length arr in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let shared = Int_set.elements (Int_set.inter sets.(i) sets.(j)) in
+      if shared <> [] then out := (i, j, shared) :: !out
+    done
+  done;
+  List.rev !out

@@ -1,0 +1,33 @@
+(** Covering-path extraction (Definition 4.2, §4.1 Step 1).
+
+    Decomposes a query graph pattern into a set of directed paths that
+    together cover every vertex and every edge of the pattern.  The paper
+    solves the (NP-hard, in its minimising form) covering-path problem with
+    a greedy depth-first procedure; we implement that procedure plus a
+    slightly stronger default that extends every path as far upstream as
+    possible before walking forward, which maximises shared prefixes across
+    queries (the quantity the tries exploit). *)
+
+type strategy =
+  | Upstream
+      (** For each yet-uncovered edge, walk backwards through predecessors
+          to the farthest start, then forward greedily.  Reproduces the
+          covering sets of the paper's Fig. 4. *)
+  | Naive
+      (** The paper's literal description: depth-first walks started from
+          every vertex in id order until everything is covered, then
+          sub-path removal.  Kept as an ablation baseline. *)
+
+val extract : ?strategy:strategy -> Pattern.t -> Path.t list
+(** Covering paths in deterministic order.  Every pattern with at least one
+    edge admits a cover (single edges are paths). *)
+
+val covers : Pattern.t -> Path.t list -> bool
+(** Verification: every vertex and every edge of the pattern appears in at
+    least one path, every path edge belongs to the pattern, and no path is
+    a sub-path of another. *)
+
+val intersections : Path.t list -> (int * int * int list) list
+(** For each unordered pair of paths (by index in the input list) the
+    vertex ids they share — the "path intersection" information kept for
+    the final per-query join (§4.1). *)

@@ -1,0 +1,84 @@
+open Tric_graph
+
+type kind =
+  | Kconst of Label.t
+  | Kvar
+
+type t = { label : Label.t; src : kind; dst : kind }
+
+let kind_of_term = function
+  | Term.Const c -> Kconst c
+  | Term.Var _ -> Kvar
+
+let of_pedge q (e : Pattern.pedge) =
+  {
+    label = e.elabel;
+    src = kind_of_term (Pattern.term q e.src);
+    dst = kind_of_term (Pattern.term q e.dst);
+  }
+
+let kind_matches k l =
+  match k with Kconst c -> Label.equal c l | Kvar -> true
+
+let matches key (e : Edge.t) =
+  Label.equal key.label e.label && kind_matches key.src e.src
+  && kind_matches key.dst e.dst
+
+let keys_of_edge (e : Edge.t) =
+  [
+    { label = e.label; src = Kconst e.src; dst = Kconst e.dst };
+    { label = e.label; src = Kconst e.src; dst = Kvar };
+    { label = e.label; src = Kvar; dst = Kconst e.dst };
+    { label = e.label; src = Kvar; dst = Kvar };
+  ]
+
+let src_const k = match k.src with Kconst c -> Some c | Kvar -> None
+let dst_const k = match k.dst with Kconst c -> Some c | Kvar -> None
+
+let kind_equal a b =
+  match (a, b) with
+  | Kconst x, Kconst y -> Label.equal x y
+  | Kvar, Kvar -> true
+  | Kconst _, Kvar | Kvar, Kconst _ -> false
+
+let kind_compare a b =
+  match (a, b) with
+  | Kconst x, Kconst y -> Label.compare x y
+  | Kvar, Kvar -> 0
+  | Kconst _, Kvar -> -1
+  | Kvar, Kconst _ -> 1
+
+let kind_hash = function Kconst c -> 2 + Label.hash c | Kvar -> 1
+
+let equal a b =
+  Label.equal a.label b.label && kind_equal a.src b.src && kind_equal a.dst b.dst
+
+let compare a b =
+  let c = Label.compare a.label b.label in
+  if c <> 0 then c
+  else
+    let c = kind_compare a.src b.src in
+    if c <> 0 then c else kind_compare a.dst b.dst
+
+let hash k =
+  let h = Label.hash k.label in
+  let h = (h * 1000003) + kind_hash k.src in
+  ((h * 1000003) + kind_hash k.dst) land max_int
+
+let pp_kind fmt = function
+  | Kconst c -> Label.pp fmt c
+  | Kvar -> Format.pp_print_string fmt "?var"
+
+let pp fmt k =
+  Format.fprintf fmt "%a=(%a,%a)" Label.pp k.label pp_kind k.src pp_kind k.dst
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)

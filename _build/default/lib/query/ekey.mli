@@ -1,0 +1,39 @@
+(** Generic edge keys.
+
+    §4.1 "Variable Handling": before indexing, variable vertices are
+    substituted with the generic [?var].  The residue of a pattern edge is
+    its {e key}: the edge label plus, for each endpoint, either the constant
+    label or the fact that it is a variable.  Keys are what trie nodes and
+    the inverted indexes of the baselines are keyed by: two query edges with
+    the same key share index entries and materialized views.
+
+    An incoming graph edge [(l, s, t)] is covered by exactly four keys —
+    [(l,s,t)], [(l,?,t)], [(l,s,?)], [(l,?,?)] — so "which views does this
+    update feed" is four hash probes. *)
+
+open Tric_graph
+
+type kind =
+  | Kconst of Label.t
+  | Kvar
+
+type t = { label : Label.t; src : kind; dst : kind }
+
+val of_pedge : Pattern.t -> Pattern.pedge -> t
+(** The key of a pattern edge (variables anonymised). *)
+
+val matches : t -> Edge.t -> bool
+(** Does a concrete graph edge feed this key's view? *)
+
+val keys_of_edge : Edge.t -> t list
+(** The four generalisations of a concrete edge, most specific first. *)
+
+val src_const : t -> Label.t option
+val dst_const : t -> Label.t option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,123 @@
+exception Syntax_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+type token =
+  | Tterm of Term.t
+  | Tarrow of string (* edge label *)
+  | Tsemi
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '#' || c = '.' || c = ':'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let read_ident () =
+    let start = !i in
+    while !i < n && is_ident_char s.[!i] do
+      incr i
+    done;
+    if !i = start then fail "expected identifier at offset %d in %S" start s;
+    String.sub s start (!i - start)
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ';' then begin
+      tokens := Tsemi :: !tokens;
+      incr i
+    end
+    else if c = '?' then begin
+      incr i;
+      tokens := Tterm (Term.var (read_ident ())) :: !tokens
+    end
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '"' do
+        incr i
+      done;
+      if !i >= n then fail "unterminated string in %S" s;
+      tokens := Tterm (Term.const (String.sub s start (!i - start))) :: !tokens;
+      incr i
+    end
+    else if c = '-' then begin
+      incr i;
+      let label = read_ident () in
+      if !i + 1 < n && s.[!i] = '-' && s.[!i + 1] = '>' then i := !i + 2
+      else fail "expected '->' after edge label %S in %S" label s;
+      tokens := Tarrow label :: !tokens
+    end
+    else if is_ident_char c then tokens := Tterm (Term.const (read_ident ())) :: !tokens
+    else fail "unexpected character %C at offset %d in %S" c !i s
+  done;
+  List.rev !tokens
+
+let pattern ?(name = "") ~id s =
+  let b = Pattern.Builder.create ~name ~id () in
+  let rec clause = function
+    | Tterm t :: rest ->
+      let v = Pattern.Builder.vertex b t in
+      chain v rest
+    | _ -> fail "clause must start with a term in %S" s
+  and chain v = function
+    | Tarrow label :: Tterm t :: rest ->
+      let v' = Pattern.Builder.vertex b t in
+      Pattern.Builder.edge b ~label:(Tric_graph.Label.intern label) v v';
+      chain v' rest
+    | Tsemi :: rest -> clause rest
+    | [] -> ()
+    | _ -> fail "expected '-label-> term' in %S" s
+  in
+  (match tokenize s with [] -> fail "empty pattern %S" s | toks -> clause toks);
+  Pattern.Builder.build b
+
+let edge s =
+  match tokenize s with
+  | [ Tterm (Term.Const src); Tarrow label; Tterm (Term.Const dst) ] ->
+    Tric_graph.Edge.make ~label:(Tric_graph.Label.intern label) ~src ~dst
+  | [ Tterm (Term.Var _); _; _ ] | [ _; _; Tterm (Term.Var _) ] ->
+    fail "concrete edge may not contain variables: %S" s
+  | _ -> fail "expected 'src -label-> dst': %S" s
+
+let is_plain_ident s =
+  s <> ""
+  && (not (s.[0] = '?'))
+  && String.for_all is_ident_char s
+
+let term_to_string = function
+  | Term.Var name -> "?" ^ name
+  | Term.Const c ->
+    let s = Tric_graph.Label.to_string c in
+    if is_plain_ident s then s else "\"" ^ s ^ "\""
+
+let pattern_to_string p =
+  Pattern.edges p
+  |> Array.to_list
+  |> List.map (fun (e : Pattern.pedge) ->
+         Printf.sprintf "%s -%s-> %s"
+           (term_to_string (Pattern.term p e.src))
+           (Tric_graph.Label.to_string e.elabel)
+           (term_to_string (Pattern.term p e.dst)))
+  |> String.concat "; "
+
+let update_to_string u =
+  let e = Tric_graph.Update.edge u in
+  Printf.sprintf "%s %s -%s-> %s"
+    (if Tric_graph.Update.is_addition u then "+" else "-")
+    (Tric_graph.Label.to_string e.src)
+    (Tric_graph.Label.to_string e.label)
+    (Tric_graph.Label.to_string e.dst)
+
+let update s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[0] = '-' && String.length s > 1 && s.[1] = ' ' then
+    Tric_graph.Update.remove (edge (String.sub s 1 (String.length s - 1)))
+  else if String.length s > 0 && s.[0] = '+' then
+    Tric_graph.Update.add (edge (String.sub s 1 (String.length s - 1)))
+  else Tric_graph.Update.add (edge s)

@@ -1,0 +1,34 @@
+(** A tiny textual syntax for query graph patterns.
+
+    Grammar (whitespace-insensitive):
+    {[
+      pattern ::= clause (';' clause)*
+      clause  ::= term arrow term (arrow term)*
+      arrow   ::= '-' ident '->'
+      term    ::= '?' ident        (variable)
+                | ident            (constant)
+                | '"' chars '"'    (constant, quoted)
+    ]}
+
+    Example — query Q4 of the paper's Fig. 4:
+    {[ "?f1 -hasMod-> ?p1 -posted-> pst1 -containedIn-> ?c" ]} *)
+
+exception Syntax_error of string
+
+val pattern : ?name:string -> id:int -> string -> Pattern.t
+(** @raise Syntax_error on malformed input. *)
+
+val edge : string -> Tric_graph.Edge.t
+(** Parse a concrete edge ["P1 -knows-> P2"] (no variables allowed).
+    @raise Syntax_error on malformed input or variables. *)
+
+val update : string -> Tric_graph.Update.t
+(** Like {!edge}, with an optional leading ['+'] (addition, default) or
+    ['-'] (removal). *)
+
+val pattern_to_string : Pattern.t -> string
+(** Render a pattern back into the surface syntax, one clause per edge;
+    [pattern (pattern_to_string p)] is structurally identical to [p]. *)
+
+val update_to_string : Tric_graph.Update.t -> string
+(** Render an update; inverse of {!update}. *)

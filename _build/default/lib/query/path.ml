@@ -1,0 +1,57 @@
+type t = { pedges : Pattern.pedge array }
+
+let of_edges l =
+  match l with
+  | [] -> invalid_arg "Path.of_edges: empty"
+  | first :: rest ->
+    let rec check (prev : Pattern.pedge) = function
+      | [] -> ()
+      | (e : Pattern.pedge) :: tl ->
+        if prev.dst <> e.src then invalid_arg "Path.of_edges: edges do not chain";
+        check e tl
+    in
+    check first rest;
+    { pedges = Array.of_list l }
+
+let edges p = p.pedges
+let length p = Array.length p.pedges
+
+let vids p =
+  let n = Array.length p.pedges in
+  Array.init (n + 1) (fun i -> if i = 0 then p.pedges.(0).src else p.pedges.(i - 1).dst)
+
+let source p = p.pedges.(0).src
+let target p = p.pedges.(Array.length p.pedges - 1).dst
+let keys q p = Array.to_list (Array.map (Ekey.of_pedge q) p.pedges)
+
+let eids p = Array.map (fun (e : Pattern.pedge) -> e.eid) p.pedges
+
+let is_subpath p q =
+  let a = eids p and b = eids q in
+  let la = Array.length a and lb = Array.length b in
+  if la > lb then false
+  else begin
+    let matches_at off =
+      let rec go i = i >= la || (a.(i) = b.(off + i) && go (i + 1)) in
+      go 0
+    in
+    let rec scan off = off + la <= lb && (matches_at off || scan (off + 1)) in
+    scan 0
+  end
+
+let mem_eid p eid = Array.exists (fun (e : Pattern.pedge) -> e.eid = eid) p.pedges
+
+let equal p q =
+  Array.length p.pedges = Array.length q.pedges
+  && Array.for_all2 (fun (a : Pattern.pedge) (b : Pattern.pedge) -> a.eid = b.eid)
+       p.pedges q.pedges
+
+let pp pat fmt p =
+  let open Format in
+  fprintf fmt "{%a" Term.pp (Pattern.term pat (source p));
+  Array.iter
+    (fun (e : Pattern.pedge) ->
+      fprintf fmt " -%a-> %a" Tric_graph.Label.pp e.elabel Term.pp
+        (Pattern.term pat e.dst))
+    p.pedges;
+  fprintf fmt "}"

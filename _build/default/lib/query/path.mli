@@ -1,0 +1,33 @@
+(** Directed paths through a query graph pattern (Definition 4.1).
+
+    A path is a non-empty sequence of pattern edges such that the target
+    vertex of each edge is the source vertex of the next.  A path is a walk:
+    it may revisit a vertex (the covering path of a cycle query does), but
+    it never traverses the same pattern edge twice. *)
+
+type t
+
+val of_edges : Pattern.pedge list -> t
+(** @raise Invalid_argument if empty or consecutive edges do not chain. *)
+
+val edges : t -> Pattern.pedge array
+val length : t -> int
+(** Number of edges. *)
+
+val vids : t -> int array
+(** The vertex-id sequence [v0; v1; ...; vn] ([n = length]). *)
+
+val source : t -> int
+val target : t -> int
+
+val keys : Pattern.t -> t -> Ekey.t list
+(** Generic edge keys, in path order — the trie-insertion word of §4.1
+    Step 2. *)
+
+val is_subpath : t -> t -> bool
+(** [is_subpath p q]: is [p]'s edge sequence a contiguous subsequence of
+    [q]'s (by edge id)?  Sub-paths are dropped from covering sets. *)
+
+val mem_eid : t -> int -> bool
+val equal : t -> t -> bool
+val pp : Pattern.t -> Format.formatter -> t -> unit

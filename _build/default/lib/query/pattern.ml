@@ -1,0 +1,130 @@
+open Tric_graph
+
+type pedge = { eid : int; elabel : Label.t; src : int; dst : int }
+
+type t = {
+  id : int;
+  name : string;
+  terms : Term.t array;
+  edges : pedge array;
+  out_adj : pedge list array; (* vid -> out edges *)
+  in_adj : pedge list array;
+}
+
+let id q = q.id
+let name q = q.name
+let num_vertices q = Array.length q.terms
+let num_edges q = Array.length q.edges
+let term q vid = q.terms.(vid)
+let terms q = Array.copy q.terms
+let edges q = q.edges
+let edge q eid = q.edges.(eid)
+let out_edges_of q vid = q.out_adj.(vid)
+let in_edges_of q vid = q.in_adj.(vid)
+let out_degree q vid = List.length q.out_adj.(vid)
+let in_degree q vid = List.length q.in_adj.(vid)
+let with_id q id = { q with id }
+
+let vertex_of_term q t =
+  let n = Array.length q.terms in
+  let rec find i =
+    if i >= n then None else if Term.equal q.terms.(i) t then Some i else find (i + 1)
+  in
+  find 0
+
+let is_connected q =
+  let n = num_vertices q in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter (fun e -> visit e.dst) q.out_adj.(v);
+        List.iter (fun e -> visit e.src) q.in_adj.(v)
+      end
+    in
+    visit 0;
+    Array.for_all (fun b -> b) seen
+  end
+
+let pp fmt q =
+  Format.fprintf fmt "@[<v>Q%d (%s):" q.id q.name;
+  Array.iter
+    (fun e ->
+      Format.fprintf fmt "@,  %a -%a-> %a" Term.pp q.terms.(e.src) Label.pp
+        e.elabel Term.pp q.terms.(e.dst))
+    q.edges;
+  Format.fprintf fmt "@]"
+
+module Builder = struct
+  type t = {
+    bid : int;
+    bname : string;
+    mutable bterms : Term.t list; (* reversed *)
+    mutable count : int;
+    mutable bedges : pedge list; (* reversed *)
+    mutable ecount : int;
+    by_term : (Term.t, int) Hashtbl.t;
+    triples : (Label.t * int * int, unit) Hashtbl.t;
+  }
+
+  let create ?(name = "") ~id () =
+    {
+      bid = id;
+      bname = name;
+      bterms = [];
+      count = 0;
+      bedges = [];
+      ecount = 0;
+      by_term = Hashtbl.create 16;
+      triples = Hashtbl.create 16;
+    }
+
+  let vertex b t =
+    match Hashtbl.find_opt b.by_term t with
+    | Some vid -> vid
+    | None ->
+      let vid = b.count in
+      b.count <- b.count + 1;
+      b.bterms <- t :: b.bterms;
+      Hashtbl.add b.by_term t vid;
+      vid
+
+  let edge b ~label src dst =
+    if src < 0 || src >= b.count || dst < 0 || dst >= b.count then
+      invalid_arg "Pattern.Builder.edge: unknown vertex id";
+    if not (Hashtbl.mem b.triples (label, src, dst)) then begin
+      Hashtbl.add b.triples (label, src, dst) ();
+      b.bedges <- { eid = b.ecount; elabel = label; src; dst } :: b.bedges;
+      b.ecount <- b.ecount + 1
+    end
+
+  let edge_t b label src dst =
+    let s = vertex b src and d = vertex b dst in
+    edge b ~label:(Label.intern label) s d
+
+  let build b =
+    if b.ecount = 0 then invalid_arg "Pattern.Builder.build: pattern has no edges";
+    let terms = Array.of_list (List.rev b.bterms) in
+    let edges = Array.of_list (List.rev b.bedges) in
+    let n = Array.length terms in
+    let out_adj = Array.make n [] and in_adj = Array.make n [] in
+    (* Keep adjacency lists in eid order for deterministic covering paths. *)
+    Array.iter
+      (fun e ->
+        out_adj.(e.src) <- e :: out_adj.(e.src);
+        in_adj.(e.dst) <- e :: in_adj.(e.dst))
+      edges;
+    Array.iteri (fun i l -> out_adj.(i) <- List.rev l) out_adj;
+    Array.iteri (fun i l -> in_adj.(i) <- List.rev l) in_adj;
+    let touched = Array.make n false in
+    Array.iter
+      (fun (e : pedge) ->
+        touched.(e.src) <- true;
+        touched.(e.dst) <- true)
+      edges;
+    if not (Array.for_all (fun b -> b) touched) then
+      invalid_arg "Pattern.Builder.build: vertex on no edge";
+    { id = b.bid; name = b.bname; terms; edges; out_adj; in_adj }
+end

@@ -1,0 +1,67 @@
+(** Query graph patterns (Definition 3.4).
+
+    A pattern is a directed labelled multigraph whose vertices carry terms
+    (constants or variables).  Vertices are identified by dense integer ids
+    [0 .. num_vertices-1]; edges by dense ids [0 .. num_edges-1] in
+    insertion order.  Two vertices with equal terms are the same vertex
+    (a constant names one entity; a variable name is one placeholder). *)
+
+open Tric_graph
+
+type pedge = {
+  eid : int;  (** dense edge id, insertion order *)
+  elabel : Label.t;
+  src : int;  (** source vertex id *)
+  dst : int;  (** target vertex id *)
+}
+
+type t
+
+val id : t -> int
+(** The query identifier ([Qi]'s id in the query database). *)
+
+val name : t -> string
+val num_vertices : t -> int
+val num_edges : t -> int
+val term : t -> int -> Term.t
+val terms : t -> Term.t array
+val edges : t -> pedge array
+val edge : t -> int -> pedge
+val out_edges_of : t -> int -> pedge list
+val in_edges_of : t -> int -> pedge list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val with_id : t -> int -> t
+(** Same pattern under a different query id. *)
+
+val vertex_of_term : t -> Term.t -> int option
+
+val is_connected : t -> bool
+(** Weak connectivity (ignoring edge direction).  The paper's query classes
+    (chains, stars, cycles) are all connected. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Imperative construction. *)
+module Builder : sig
+  type pattern := t
+  type t
+
+  val create : ?name:string -> id:int -> unit -> t
+
+  val vertex : t -> Term.t -> int
+  (** Id of the vertex holding this term, creating it if new. *)
+
+  val edge : t -> label:Label.t -> int -> int -> unit
+  (** [edge b ~label src dst] adds a pattern edge between existing vertex
+      ids.  Duplicate [(label, src, dst)] triples are ignored.
+      @raise Invalid_argument on an unknown vertex id. *)
+
+  val edge_t : t -> string -> Term.t -> Term.t -> unit
+  (** [edge_t b label src dst] — convenience: interns the label and adds
+      (creating) both term vertices. *)
+
+  val build : t -> pattern
+  (** @raise Invalid_argument if the pattern has no edges or has a vertex on
+      no edge. *)
+end

@@ -1,0 +1,37 @@
+open Tric_graph
+
+type t =
+  | Const of Label.t
+  | Var of string
+
+let const s = Const (Label.intern s)
+
+let var name =
+  let name =
+    if String.length name > 0 && name.[0] = '?' then
+      String.sub name 1 (String.length name - 1)
+    else name
+  in
+  Var name
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> Label.equal x y
+  | Var x, Var y -> String.equal x y
+  | Const _, Var _ | Var _, Const _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Const x, Const y -> Label.compare x y
+  | Var x, Var y -> String.compare x y
+  | Const _, Var _ -> -1
+  | Var _, Const _ -> 1
+
+let matches t l =
+  match t with Const c -> Label.equal c l | Var _ -> true
+
+let pp fmt = function
+  | Const c -> Format.fprintf fmt "%a" Label.pp c
+  | Var v -> Format.fprintf fmt "?%s" v

@@ -1,0 +1,29 @@
+(** Query vertex terms: literals or variables (Definition 3.4).
+
+    A query vertex is either a [Const] — a specific entity of the graph,
+    identified by its label — or a [Var] — a named placeholder.  Variable
+    names are scoped to a single query graph pattern; the same name denotes
+    the same vertex. *)
+
+open Tric_graph
+
+type t =
+  | Const of Label.t
+  | Var of string
+
+val const : string -> t
+(** [const s] is [Const (Label.intern s)]. *)
+
+val var : string -> t
+(** [var name] is [Var name].  By convention names start with ["?"] in
+    printed form but the leading ["?"] is optional here. *)
+
+val is_var : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val matches : t -> Label.t -> bool
+(** [matches term l]: a [Const c] matches only [c]; a [Var] matches any
+    label. *)
+
+val pp : Format.formatter -> t -> unit

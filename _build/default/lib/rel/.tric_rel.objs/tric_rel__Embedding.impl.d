@@ -1,0 +1,1 @@
+lib/rel/embedding.ml: Array Buffer Format Fun Hashtbl Label List Set Stdlib Tric_graph Tuple

@@ -1,0 +1,1 @@
+lib/rel/embedding.mli: Format Hashtbl Label Set Tric_graph Tuple

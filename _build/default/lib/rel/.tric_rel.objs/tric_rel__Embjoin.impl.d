@@ -1,0 +1,1 @@
+lib/rel/embjoin.ml: Embedding Hashtbl Int List Option Set

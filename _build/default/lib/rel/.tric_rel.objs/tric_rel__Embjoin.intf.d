@@ -1,0 +1,1 @@
+lib/rel/embjoin.mli: Embedding

@@ -1,0 +1,1 @@
+lib/rel/relation.ml: Array Format Hashtbl Label List Tric_graph Tuple

@@ -1,0 +1,1 @@
+lib/rel/tuple.ml: Array Edge Format Hashtbl Label Stdlib Tric_graph

@@ -1,0 +1,1 @@
+lib/rel/tuple.mli: Edge Format Hashtbl Label Tric_graph

@@ -1,0 +1,90 @@
+open Tric_graph
+
+(* -1 encodes "unbound"; label ids are non-negative. *)
+type t = int array
+
+let unbound = -1
+let empty width = Array.make width unbound
+let width = Array.length
+let get e vid = if e.(vid) = unbound then None else Some (Label.of_int e.(vid))
+let is_bound e vid = e.(vid) <> unbound
+let is_total e = Array.for_all (fun x -> x <> unbound) e
+
+let bind e vid l =
+  let li = Label.to_int l in
+  if e.(vid) = unbound then begin
+    let e' = Array.copy e in
+    e'.(vid) <- li;
+    Some e'
+  end
+  else if e.(vid) = li then Some e
+  else None
+
+let bind_tuple e ~vids tuple =
+  if Array.length vids <> Tuple.width tuple then
+    invalid_arg "Embedding.bind_tuple: length mismatch";
+  let e' = Array.copy e in
+  let ok = ref true in
+  Array.iteri
+    (fun i vid ->
+      let li = Label.to_int (Tuple.get tuple i) in
+      if e'.(vid) = unbound then e'.(vid) <- li else if e'.(vid) <> li then ok := false)
+    vids;
+  if !ok then Some e' else None
+
+let of_tuple ~width ~vids tuple = bind_tuple (empty width) ~vids tuple
+
+let merge a b =
+  if Array.length a <> Array.length b then invalid_arg "Embedding.merge: width mismatch";
+  let out = Array.copy a in
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if x <> unbound then
+        if out.(i) = unbound then out.(i) <- x else if out.(i) <> x then ok := false)
+    b;
+  if !ok then Some out else None
+
+let bound_vids e =
+  let acc = ref [] in
+  for i = Array.length e - 1 downto 0 do
+    if e.(i) <> unbound then acc := i :: !acc
+  done;
+  !acc
+
+let key e vids =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun vid ->
+      assert (e.(vid) <> unbound);
+      Buffer.add_string buf (string_of_int e.(vid));
+      Buffer.add_char buf '|')
+    vids;
+  Buffer.contents buf
+
+let equal (a : t) b = a = b
+let hash (e : t) = Hashtbl.hash e
+let compare (a : t) b = Stdlib.compare a b
+
+let to_alist e =
+  List.filter_map
+    (fun vid -> match get e vid with Some l -> Some (vid, l) | None -> None)
+    (List.init (Array.length e) Fun.id)
+
+let pp fmt e =
+  Format.fprintf fmt "{";
+  List.iter (fun (vid, l) -> Format.fprintf fmt "v%d=%a " vid Label.pp l) (to_alist e);
+  Format.fprintf fmt "}"
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

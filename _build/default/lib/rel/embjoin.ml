@@ -1,0 +1,92 @@
+module Int_set = Set.Make (Int)
+
+let bound_set = function
+  | [] -> Int_set.empty
+  | e :: _ -> Int_set.of_list (Embedding.bound_vids e)
+
+let dedup es =
+  let seen = Hashtbl.create (List.length es * 2) in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.add seen e ();
+        true
+      end)
+    es
+
+let join left right =
+  match (left, right) with
+  | [], _ | _, [] -> []
+  | _ ->
+    let shared = Int_set.elements (Int_set.inter (bound_set left) (bound_set right)) in
+    if shared = [] then
+      (* Cartesian product; rare (paths of a connected pattern normally
+         intersect) but required for completeness. *)
+      dedup
+        (List.concat_map
+           (fun a -> List.filter_map (fun b -> Embedding.merge a b) right)
+           left)
+    else begin
+      (* Build on the smaller side. *)
+      let build, probe, flip =
+        if List.length left <= List.length right then (left, right, false)
+        else (right, left, true)
+      in
+      let table = Hashtbl.create (List.length build * 2) in
+      List.iter
+        (fun e ->
+          let k = Embedding.key e shared in
+          Hashtbl.replace table k (e :: (Option.value ~default:[] (Hashtbl.find_opt table k))))
+        build;
+      let results =
+        List.concat_map
+          (fun e ->
+            let k = Embedding.key e shared in
+            match Hashtbl.find_opt table k with
+            | None -> []
+            | Some mates ->
+              List.filter_map
+                (fun m -> if flip then Embedding.merge m e else Embedding.merge e m)
+                mates)
+          probe
+      in
+      dedup results
+    end
+
+let join_many operands =
+  match operands with
+  | [] -> []
+  | first :: rest ->
+    if List.exists (fun l -> l = []) operands then []
+    else begin
+      let remaining = ref (List.mapi (fun i l -> (i, l, bound_set l)) rest) in
+      let acc = ref first in
+      let acc_vids = ref (bound_set first) in
+      while !remaining <> [] do
+        (* Join-order heuristic: maximise shared vids (selective joins
+           first), break ties towards the smaller operand (cheaper build
+           side) — cardinality-aware ordering in the spirit of the
+           paper's workload-statistics outlook. *)
+        let score (_, l, vids) =
+          (Int_set.cardinal (Int_set.inter vids !acc_vids), -List.length l)
+        in
+        let best =
+          List.fold_left
+            (fun best cand ->
+              match best with
+              | None -> Some cand
+              | Some b -> if score cand > score b then Some cand else best)
+            None !remaining
+        in
+        match best with
+        | None -> remaining := []
+        | Some ((i, l, vids) as chosen) ->
+          ignore chosen;
+          acc := join !acc l;
+          acc_vids := Int_set.union !acc_vids vids;
+          remaining := List.filter (fun (j, _, _) -> j <> i) !remaining;
+          if !acc = [] then remaining := []
+      done;
+      !acc
+    end

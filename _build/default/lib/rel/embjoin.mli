@@ -1,0 +1,21 @@
+(** Hash joins over sets of partial embeddings.
+
+    The final phase of query answering (Fig. 8 lines 8–13) joins the
+    per-covering-path results of a query into complete answers.  Each
+    covering path contributes a list of partial embeddings all binding the
+    same vid set; two path results join on their shared vids (the paper's
+    "path intersections"). *)
+
+val join : Embedding.t list -> Embedding.t list -> Embedding.t list
+(** Hash join on the shared bound vids of the two sides (computed from
+    their first elements; all embeddings of one side must bind the same
+    vids).  With no shared vids this is the cartesian product.  Returns
+    merged embeddings, deduplicated. *)
+
+val join_many : Embedding.t list list -> Embedding.t list
+(** Multi-way join.  Greedy order: start from the first non-empty list and
+    repeatedly join the operand sharing the most vids with the accumulated
+    binding set (ties by input order), falling back to a cartesian operand
+    only when none shares.  Empty input list yields []. *)
+
+val dedup : Embedding.t list -> Embedding.t list

@@ -1,0 +1,114 @@
+open Tric_graph
+
+type probe = Label.t -> Tuple.t list
+
+type t = {
+  width : int;
+  cache : bool;
+  tuples : unit Tuple.Tbl.t;
+  indexes : (int, Tuple.t list ref Label.Tbl.t) Hashtbl.t; (* cache mode only *)
+  mutable rebuilds : int;
+}
+
+let create ?(cache = false) ~width () =
+  {
+    width;
+    cache;
+    tuples = Tuple.Tbl.create 64;
+    indexes = Hashtbl.create 4;
+    rebuilds = 0;
+  }
+
+let width r = r.width
+let cardinality r = Tuple.Tbl.length r.tuples
+let is_empty r = cardinality r = 0
+let mem r t = Tuple.Tbl.mem r.tuples t
+
+let index_add idx col t =
+  let key = Tuple.get t col in
+  match Label.Tbl.find_opt idx key with
+  | Some cell -> cell := t :: !cell
+  | None -> Label.Tbl.add idx key (ref [ t ])
+
+let index_remove idx col t =
+  let key = Tuple.get t col in
+  match Label.Tbl.find_opt idx key with
+  | Some cell -> cell := List.filter (fun t' -> not (Tuple.equal t t')) !cell
+  | None -> ()
+
+let insert r t =
+  if Array.length t <> r.width then invalid_arg "Relation.insert: width mismatch";
+  if Tuple.Tbl.mem r.tuples t then false
+  else begin
+    Tuple.Tbl.add r.tuples t ();
+    Hashtbl.iter (fun col idx -> index_add idx col t) r.indexes;
+    true
+  end
+
+let insert_all r ts = List.filter (fun t -> insert r t) ts
+
+let remove r t =
+  if Tuple.Tbl.mem r.tuples t then begin
+    Tuple.Tbl.remove r.tuples t;
+    Hashtbl.iter (fun col idx -> index_remove idx col t) r.indexes;
+    true
+  end
+  else false
+
+let iter f r = Tuple.Tbl.iter (fun t () -> f t) r.tuples
+let fold f r init = Tuple.Tbl.fold (fun t () acc -> f t acc) r.tuples init
+let to_list r = fold (fun t acc -> t :: acc) r []
+
+let remove_if r pred =
+  let doomed = fold (fun t acc -> if pred t then t :: acc else acc) r [] in
+  List.iter (fun t -> ignore (remove r t)) doomed;
+  List.length doomed
+
+let build_table r col =
+  let idx = Label.Tbl.create (max 16 (cardinality r)) in
+  iter (fun t -> index_add idx col t) r;
+  idx
+
+let probe_of idx key = match Label.Tbl.find_opt idx key with Some cell -> !cell | None -> []
+
+let index_on r ~col =
+  if col < 0 || col >= r.width then invalid_arg "Relation.index_on: bad column";
+  if r.cache then begin
+    let idx =
+      match Hashtbl.find_opt r.indexes col with
+      | Some idx -> idx
+      | None ->
+        let idx = build_table r col in
+        r.rebuilds <- r.rebuilds + 1;
+        Hashtbl.add r.indexes col idx;
+        idx
+    in
+    probe_of idx
+  end
+  else begin
+    let idx = build_table r col in
+    r.rebuilds <- r.rebuilds + 1;
+    probe_of idx
+  end
+
+let probe_scan r ~col value =
+  fold (fun t acc -> if Label.equal (Tuple.get t col) value then t :: acc else acc) r []
+
+let scan_probing r ~col probe f =
+  iter
+    (fun t ->
+      match probe (Tuple.get t col) with
+      | [] -> ()
+      | hits -> List.iter (fun hit -> f t hit) hits)
+    r
+
+let stats_rebuilds r = r.rebuilds
+
+let clear r =
+  Tuple.Tbl.reset r.tuples;
+  Hashtbl.reset r.indexes
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>relation w=%d |%d|" r.width (cardinality r);
+  iter (fun t -> Format.fprintf fmt "@,  %a" Tuple.pp t) r;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,75 @@
+(** Materialized views.
+
+    A relation is a deduplicated bag of fixed-width tuples with optional
+    {e cached} hash indexes on columns.
+
+    Caching is the "+" distinction of the paper (§4.2 "Caching"): during a
+    hash join the build phase constructs a hash table keyed by the join
+    column.  A non-caching engine (TRIC, INV, INC) rebuilds that table on
+    every join operation and discards it; a caching engine (TRIC+, INV+,
+    INC+) keeps it alive and maintains it incrementally on insertion.
+    [index_on] exposes exactly that behaviour switch. *)
+
+open Tric_graph
+
+type t
+
+val create : ?cache:bool -> width:int -> unit -> t
+(** [cache] defaults to [false]. *)
+
+val width : t -> int
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+
+val insert : t -> Tuple.t -> bool
+(** [true] iff the tuple was new.  @raise Invalid_argument on width
+    mismatch. *)
+
+val insert_all : t -> Tuple.t list -> Tuple.t list
+(** Inserts all; returns the newly inserted ones, in input order. *)
+
+val remove : t -> Tuple.t -> bool
+(** Used by edge deletion (§4.3). *)
+
+val remove_if : t -> (Tuple.t -> bool) -> int
+(** Removes all matching tuples; returns how many were removed. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+
+type probe = Label.t -> Tuple.t list
+(** Probe phase of a hash join: all tuples whose indexed column holds the
+    given label. *)
+
+val index_on : t -> col:int -> probe
+(** The build phase of one hash join on column [col].
+
+    Without caching, this scans the relation and builds an ephemeral hash
+    table — O(cardinality) on {e every} call, the cost the "+" engines
+    avoid.  With caching, the table is built on first use, maintained
+    incrementally by {!insert}/{!remove}, and returned for free
+    afterwards.  The returned probe must not outlive the next mutation in
+    non-caching mode (engines use it within a single join operation). *)
+
+val probe_scan : t -> col:int -> Tric_graph.Label.t -> Tuple.t list
+(** One-shot probe without building any index: scan the relation and
+    filter on the column.  This is the paper's hash join with the build
+    side being the {e other} (smaller) operand — what the non-caching
+    engines do when joining a large view against a single update. *)
+
+val scan_probing :
+  t -> col:int -> (Tric_graph.Label.t -> 'a list) -> (Tuple.t -> 'a -> unit) -> unit
+(** [scan_probing r ~col probe f]: scan the relation once, and for every
+    tuple call [f] with each hit of [probe] on the tuple's [col] value —
+    the probe phase of a hash join whose build side is the (small) table
+    behind [probe]. *)
+
+val stats_rebuilds : t -> int
+(** How many ephemeral index builds this relation has performed — the work
+    caching saves.  In caching mode this stays at the number of distinct
+    indexed columns. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

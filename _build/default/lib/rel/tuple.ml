@@ -1,0 +1,50 @@
+open Tric_graph
+
+type t = Label.t array
+
+let make a = a
+let of_edge (e : Edge.t) = [| e.src; e.dst |]
+let width = Array.length
+let get t i = t.(i)
+let last t = t.(Array.length t - 1)
+let first t = t.(0)
+
+let extend t v =
+  let n = Array.length t in
+  let out = Array.make (n + 1) v in
+  Array.blit t 0 out 0 n;
+  out
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Label.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Stdlib.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Label.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash t = Array.fold_left (fun h l -> ((h * 1000003) + Label.hash l) land max_int) 17 t
+
+let pp fmt t =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Label.pp)
+    (Array.to_list t)
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key)

@@ -1,0 +1,29 @@
+(** Materialized-view tuples.
+
+    A tuple is a fixed-width vector of labels.  In a chain view of width
+    [k+1] the positions are the vertices [v0 .. vk] of the chain (§4.1
+    "Materialization"): consecutive edges share a vertex so a chain of [k]
+    edges needs [k+1] columns. *)
+
+open Tric_graph
+
+type t = Label.t array
+
+val make : Label.t array -> t
+val of_edge : Edge.t -> t
+(** The width-2 tuple [(src, dst)] of a concrete edge. *)
+
+val width : t -> int
+val get : t -> int -> Label.t
+val last : t -> Label.t
+val first : t -> Label.t
+
+val extend : t -> Label.t -> t
+(** [extend t v] appends one column. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/workloads/biogrid.ml: Edge List Printf Rng Stream Tric_graph Update

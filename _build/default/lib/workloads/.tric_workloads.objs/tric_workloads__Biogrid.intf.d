@@ -1,0 +1,1 @@
+lib/workloads/biogrid.mli: Tric_graph

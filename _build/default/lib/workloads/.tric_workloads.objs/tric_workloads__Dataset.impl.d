@@ -1,0 +1,1 @@
+lib/workloads/dataset.ml: Biogrid Fun Graph List Printf Querygen Rng Snb Stream String Taxi Tric_graph Tric_query

@@ -1,0 +1,1 @@
+lib/workloads/dataset.mli: Graph Pattern Stream Tric_graph Tric_query

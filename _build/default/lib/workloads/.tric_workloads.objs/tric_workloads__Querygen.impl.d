@@ -1,0 +1,1 @@
+lib/workloads/querygen.ml: Array Edge Graph Label List Pattern Printf Rng Term Tric_graph Tric_query

@@ -1,0 +1,1 @@
+lib/workloads/querygen.mli: Edge Graph Pattern Rng Tric_graph Tric_query

@@ -1,0 +1,1 @@
+lib/workloads/snb.mli: Tric_graph

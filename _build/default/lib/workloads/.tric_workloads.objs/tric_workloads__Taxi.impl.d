@@ -1,0 +1,1 @@
+lib/workloads/taxi.ml: Edge List Printf Rng Stream Tric_graph Update

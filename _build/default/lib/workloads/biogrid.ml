@@ -1,0 +1,26 @@
+open Tric_graph
+
+let edge_labels = [ "interacts" ]
+
+let protein i = Printf.sprintf "prot%d" i
+
+(* Protein population follows the paper's measured BioGRID growth
+   (Fig. 14(b)/(c) axes): |GV| ~ 30 * |GE|^0.55 — 6.4K proteins at 10K
+   interactions, 17.2K at 100K, 63K at 1M. *)
+let target_vertices e = int_of_float (30.0 *. (float_of_int (max 1 e) ** 0.55))
+
+let generate ~seed ~edges =
+  let rng = Rng.create seed in
+  let out = ref [] in
+  let proteins = ref 25 in
+  let endpoint emitted =
+    if !proteins < target_vertices emitted then begin
+      incr proteins;
+      protein (!proteins - 1)
+    end
+    else protein (Rng.zipf rng ~n:!proteins ~s:0.85)
+  in
+  for i = 1 to edges do
+    out := Update.add (Edge.of_strings "interacts" (endpoint i) (endpoint i)) :: !out
+  done;
+  Stream.of_updates (List.rev !out)

@@ -1,0 +1,12 @@
+(** BioGRID-like protein-interaction stream.
+
+    The stress test of §6.1/§6.3: a single vertex type (protein) and a
+    single edge label ([interacts]), so {e every} update affects the whole
+    query database.  Protein population grows slowly (vertex/edge ratio
+    ≈ 0.06 at 1M edges, matching the paper's 63K/1M); interaction partners
+    follow preferential attachment. *)
+
+val edge_labels : string list
+(** [["interacts"]]. *)
+
+val generate : seed:int -> edges:int -> Tric_graph.Stream.t

@@ -1,0 +1,107 @@
+open Tric_graph
+
+type source =
+  | Snb
+  | Taxi
+  | Biogrid
+
+type params = {
+  edges : int;
+  qdb : int;
+  avg_len : int;
+  selectivity : float;
+  overlap : float;
+  seed : int;
+}
+
+let default_params =
+  { edges = 100_000; qdb = 5_000; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 7 }
+
+type t = {
+  name : string;
+  stream : Stream.t;
+  queries : Tric_query.Pattern.t list;
+  final : Graph.t;
+}
+
+let source_name = function Snb -> "SNB" | Taxi -> "TAXI" | Biogrid -> "BioGRID"
+
+let edge_labels = function
+  | Snb -> Snb.edge_labels
+  | Taxi -> Taxi.edge_labels
+  | Biogrid -> Biogrid.edge_labels
+
+let generator = function
+  | Snb -> Snb.generate
+  | Taxi -> Taxi.generate
+  | Biogrid -> Biogrid.generate
+
+let make source p =
+  let stream = (generator source) ~seed:p.seed ~edges:p.edges in
+  let final = Stream.final_graph stream in
+  let rng = Rng.create (p.seed * 31 + 17) in
+  let config =
+    {
+      Querygen.qdb = p.qdb;
+      avg_len = p.avg_len;
+      selectivity = p.selectivity;
+      overlap = p.overlap;
+      const_prob = Querygen.default.const_prob;
+    }
+  in
+  let queries, planted = Querygen.generate rng ~graph:final ~config ~first_id:1 in
+  let stream = Stream.concat stream (Stream.of_edges planted) in
+  List.iter (fun e -> ignore (Graph.add_edge final e)) planted;
+  { name = source_name source; stream; queries; final }
+
+(* -- Persistence ------------------------------------------------------------ *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# tric dataset\nN\t%s\n" t.name;
+      List.iter
+        (fun q ->
+          Printf.fprintf oc "Q\t%d\t%s\t%s\n" (Tric_query.Pattern.id q)
+            (Tric_query.Pattern.name q)
+            (Tric_query.Parse.pattern_to_string q))
+        t.queries;
+      Stream.iter
+        (fun u -> Printf.fprintf oc "U\t%s\n" (Tric_query.Parse.update_to_string u))
+        t.stream)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let name = ref "dataset" in
+      let queries = ref [] in
+      let updates = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = input_line ic in
+           if line = "" || line.[0] = '#' then ()
+           else
+             match String.split_on_char '\t' line with
+             | [ "N"; n ] -> name := n
+             | [ "Q"; id; qname; pattern ] -> (
+               match int_of_string_opt id with
+               | Some id ->
+                 queries := Tric_query.Parse.pattern ~name:qname ~id pattern :: !queries
+               | None -> failwith (Printf.sprintf "Dataset.load: bad query id, line %d" !lineno))
+             | [ "U"; u ] -> updates := Tric_query.Parse.update u :: !updates
+             | _ -> failwith (Printf.sprintf "Dataset.load: malformed line %d" !lineno)
+         done
+       with End_of_file -> ());
+      let stream = Stream.of_updates (List.rev !updates) in
+      {
+        name = !name;
+        stream;
+        queries = List.rev !queries;
+        final = Stream.final_graph stream;
+      })

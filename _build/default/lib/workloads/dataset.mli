@@ -1,0 +1,45 @@
+(** Benchmark dataset assembly: stream + query database + final graph.
+
+    Ties a stream generator to the query-set generator: generate the
+    stream, replay it to the final graph, plant the query database in that
+    graph, and append the planted cycle-closing edges to the stream. *)
+
+open Tric_graph
+open Tric_query
+
+type source =
+  | Snb
+  | Taxi
+  | Biogrid
+
+type params = {
+  edges : int;
+  qdb : int;
+  avg_len : int;
+  selectivity : float;
+  overlap : float;
+  seed : int;
+}
+
+val default_params : params
+(** The paper's baseline configuration, scaled by nothing: 100K edges,
+    5K queries, l=5, σ=0.25, o=0.35, seed 7. *)
+
+type t = {
+  name : string;
+  stream : Stream.t;  (** includes planted closing edges at the end *)
+  queries : Pattern.t list;
+  final : Graph.t;  (** final graph after the full stream *)
+}
+
+val source_name : source -> string
+val edge_labels : source -> string list
+val make : source -> params -> t
+
+val save : t -> string -> unit
+(** Persist queries and stream to a text file (one record per line), so a
+    generated benchmark can be re-run bit-identically elsewhere. *)
+
+val load : string -> t
+(** Inverse of {!save}; the final graph is rebuilt by replaying the
+    stream.  @raise Failure on a malformed file. *)

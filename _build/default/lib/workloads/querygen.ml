@@ -1,0 +1,275 @@
+open Tric_graph
+open Tric_query
+
+type config = {
+  qdb : int;
+  avg_len : int;
+  selectivity : float;
+  overlap : float;
+  const_prob : float;
+}
+
+let default =
+  { qdb = 5000; avg_len = 5; selectivity = 0.25; overlap = 0.35; const_prob = 0.4 }
+
+(* Intermediate pattern representation: edges over terms, in path order
+   where relevant.  Easy to mutate (for the unsatisfiable transform) and
+   to share prefixes of (for overlap). *)
+type proto = (Label.t * Term.t * Term.t) list
+
+let build ~id (proto : proto) =
+  let b = Pattern.Builder.create ~id () in
+  List.iter
+    (fun (label, s, d) ->
+      let sv = Pattern.Builder.vertex b s and dv = Pattern.Builder.vertex b d in
+      Pattern.Builder.edge b ~label sv dv)
+    proto;
+  Pattern.Builder.build b
+
+(* Overlap pools. *)
+type pool = {
+  mutable chains : (Edge.t list * proto) list; (* concrete prefix + its proto *)
+  mutable stars : (Label.t * Term.t) list; (* concrete center + its term *)
+  mutable cycles : proto list;
+}
+
+let term_of_vertex rng ~const_prob ~pos v =
+  if Rng.bool rng const_prob then Term.Const v else Term.var (Printf.sprintf "x%d" pos)
+
+(* Random directed walk of up to [len] edges: extend forward from a random
+   edge, then backward if the forward walk got stuck early.  Never reuses
+   an edge. *)
+let random_walk rng g edges_arr len =
+  let first = Rng.pick rng edges_arr in
+  let used = ref [ first ] in
+  let fresh candidates = List.filter (fun e -> not (List.exists (Edge.equal e) !used)) candidates in
+  let rec forward (last : Edge.t) acc n =
+    if n <= 0 then acc
+    else
+      match fresh (Graph.out_edges g last.dst) with
+      | [] -> acc
+      | candidates ->
+        let e = Rng.pick_list rng candidates in
+        used := e :: !used;
+        forward e (e :: acc) (n - 1)
+  in
+  let rec backward (first : Edge.t) acc n =
+    if n <= 0 then acc
+    else
+      match fresh (Graph.in_edges g first.src) with
+      | [] -> acc
+      | candidates ->
+        let e = Rng.pick_list rng candidates in
+        used := e :: !used;
+        backward e (e :: acc) (n - 1)
+  in
+  let fwd = List.rev (forward first [ first ] (len - 1)) in
+  let missing = len - List.length fwd in
+  if missing <= 0 then fwd
+  else
+    match fwd with
+    | [] -> assert false
+    | head :: _ -> backward head [] missing @ fwd
+
+(* Assign terms to a concrete walk: endpoints keep constants with
+   [const_prob], intermediates are mostly variables — but at most
+   [max_vars] vertices per query stay variables (beyond that, vertices are
+   pinned to their concrete label), bounding the homomorphism count the
+   way the paper's SNB-derived query templates do.  Repeated concrete
+   vertices reuse their first term so the proto stays satisfiable as
+   planted. *)
+let max_vars = 3
+
+let proto_of_walk rng ~const_prob (walk : Edge.t list) : proto =
+  let n = List.length walk in
+  let vertices =
+    match walk with
+    | [] -> invalid_arg "proto_of_walk: empty walk"
+    | first :: _ -> first.src :: List.map (fun (e : Edge.t) -> e.dst) walk
+  in
+  let assigned : (Label.t * Term.t) list ref = ref [] in
+  let vars = ref 0 in
+  let terms =
+    List.mapi
+      (fun pos v ->
+        match List.assoc_opt v !assigned with
+        | Some t -> t
+        | None ->
+          let p = if pos = 0 || pos = n then const_prob else 0.35 in
+          let t =
+            if !vars >= max_vars then Term.Const v
+            else term_of_vertex rng ~const_prob:p ~pos v
+          in
+          (match t with Term.Var _ -> incr vars | Term.Const _ -> ());
+          assigned := (v, t) :: !assigned;
+          t)
+      vertices
+  in
+  let terms = Array.of_list terms in
+  (* Keep the chain anchored: a prefix of two unconstrained hops over hub
+     labels materializes quadratically many chains (in this engine and in
+     any view-based one), so if the first two vertices are both variables,
+     pin the head to its concrete label. *)
+  (match walk with
+  | first :: _ ->
+    if Array.length terms >= 2 && Term.is_var terms.(0) && Term.is_var terms.(1) then
+      terms.(0) <- Term.Const first.src
+  | [] -> ());
+  List.mapi (fun i (e : Edge.t) -> (e.label, terms.(i), terms.(i + 1))) walk
+
+let gen_chain rng g edges_arr ~len ~const_prob pool ~reuse =
+  let reuse_entry =
+    if reuse && pool.chains <> [] then Some (Rng.pick_list rng pool.chains) else None
+  in
+  match reuse_entry with
+  | Some (prefix_walk, prefix_proto) ->
+    (* Continue the pooled concrete prefix forward with fresh structure. *)
+    let keep = max 1 (List.length prefix_walk / 2) in
+    let prefix_walk = List.filteri (fun i _ -> i < keep) prefix_walk in
+    let prefix_proto = List.filteri (fun i _ -> i < keep) prefix_proto in
+    let last = List.nth prefix_walk (keep - 1) in
+    let rec continue_from (v : Label.t) acc n used =
+      if n <= 0 then List.rev acc
+      else
+        match
+          List.filter
+            (fun (e : Edge.t) -> not (List.exists (Edge.equal e) used))
+            (Graph.out_edges g v)
+        with
+        | [] -> List.rev acc
+        | candidates ->
+          let e = Rng.pick_list rng candidates in
+          continue_from e.dst (e :: acc) (n - 1) (e :: used)
+    in
+    let continuation = continue_from last.dst [] (len - keep) prefix_walk in
+    let cont_proto =
+      match continuation with
+      | [] -> []
+      | _ ->
+        (* Terms for the continuation: the hinge is the prefix's last term;
+           later vertices get fresh decisions offset past the prefix. *)
+        let hinge_term =
+          match List.rev prefix_proto with (_, _, d) :: _ -> d | [] -> assert false
+        in
+        let n = List.length continuation in
+        let rec terms_for i prev acc = function
+          | [] -> List.rev acc
+          | (e : Edge.t) :: tl ->
+            let p = if i = n - 1 then const_prob else 0.35 in
+            let t = term_of_vertex rng ~const_prob:p ~pos:(100 + keep + i) e.dst in
+            terms_for (i + 1) t ((e.label, prev, t) :: acc) tl
+        in
+        terms_for 0 hinge_term [] continuation
+    in
+    (prefix_proto @ cont_proto, [])
+  | None ->
+    let walk = random_walk rng g edges_arr len in
+    let proto = proto_of_walk rng ~const_prob walk in
+    pool.chains <- (walk, proto) :: pool.chains;
+    (proto, [])
+
+let gen_star rng g edges_arr ~len ~const_prob pool ~reuse =
+  let center, center_term =
+    if reuse && pool.stars <> [] then Rng.pick_list rng pool.stars
+    else begin
+      (* Sample for a well-connected vertex. *)
+      let best = ref (Rng.pick rng edges_arr).Edge.src in
+      for _ = 1 to 15 do
+        let v = (Rng.pick rng edges_arr).Edge.src in
+        if Graph.out_degree g v + Graph.in_degree g v
+           > Graph.out_degree g !best + Graph.in_degree g !best
+        then best := v
+      done;
+      let term =
+        if Rng.bool rng 0.5 then Term.Const !best else Term.var "c"
+      in
+      pool.stars <- (!best, term) :: pool.stars;
+      (!best, term)
+    end
+  in
+  let incident =
+    Array.of_list (Graph.out_edges g center @ Graph.in_edges g center)
+  in
+  Rng.shuffle rng incident;
+  let take = min len (Array.length incident) in
+  let proto = ref [] in
+  (* At most two leaves stay variables: a star with many unconstrained
+     leaves around a popular vertex matches combinatorially many
+     homomorphisms. *)
+  let var_leaves = ref 0 in
+  let leaf_term pos v =
+    if !var_leaves >= 2 then Term.Const v
+    else begin
+      let t = term_of_vertex rng ~const_prob:(max const_prob 0.6) ~pos v in
+      (match t with Term.Var _ -> incr var_leaves | Term.Const _ -> ());
+      t
+    end
+  in
+  for i = 0 to take - 1 do
+    let e = incident.(i) in
+    if Label.equal e.src center then
+      proto := (e.label, center_term, leaf_term (i + 1) e.dst) :: !proto
+    else proto := (e.label, leaf_term (i + 1) e.src, center_term) :: !proto
+  done;
+  (List.rev !proto, [])
+
+let gen_cycle rng g edges_arr ~len pool ~reuse =
+  if reuse && pool.cycles <> [] then (Rng.pick_list rng pool.cycles, [])
+  else begin
+    let walk = random_walk rng g edges_arr (max 1 (len - 1)) in
+    let first = List.hd walk and last = List.nth walk (List.length walk - 1) in
+    let close_label = (Rng.pick_list rng walk).Edge.label in
+    let closing = Edge.make ~label:close_label ~src:last.dst ~dst:first.src in
+    let planted = if Graph.mem_edge g closing then [] else [ closing ] in
+    let k = List.length walk in
+    (* Long all-variable cycles materialize every closed walk of the label
+       word — anchor most cycles (and every long one) at their planted
+       start vertex, as realistic "cycles through entity X" subscriptions
+       do. *)
+    let anchored = k + 1 > 3 || Rng.bool rng 0.6 in
+    let term i =
+      let i = if i = k + 1 then 0 else i in
+      if i = 0 && anchored then Term.Const first.src
+      else Term.var (Printf.sprintf "x%d" i)
+    in
+    let proto =
+      List.mapi (fun i (e : Edge.t) -> (e.label, term i, term (i + 1))) walk
+      @ [ (close_label, term k, term 0) ]
+    in
+    pool.cycles <- proto :: pool.cycles;
+    (proto, planted)
+  end
+
+(* Redirect the last edge of the proto to a fresh constant that never
+   occurs in any stream, making the query unsatisfiable while leaving its
+   other edges realistic (they still get affected by updates).  Only the
+   last edge's target is safe to redirect: a middle vertex may be the
+   hinge connecting the pattern, and replacing it would split the query
+   into components and strip its selective anchor. *)
+let make_unsatisfiable _rng proto =
+  let absent = Term.Const (Label.fresh "absent") in
+  let n = List.length proto in
+  List.mapi (fun i (l, s, d) -> if i = n - 1 then (l, s, absent) else (l, s, d)) proto
+
+let generate rng ~graph ~config ~first_id =
+  let edges_arr = Array.of_list (Graph.edges graph) in
+  if Array.length edges_arr = 0 then invalid_arg "Querygen.generate: empty graph";
+  let pool = { chains = []; stars = []; cycles = [] } in
+  let planted = ref [] in
+  let patterns = ref [] in
+  for i = 0 to config.qdb - 1 do
+    let len = max 1 (config.avg_len - 1 + Rng.int rng 3) in
+    let reuse = Rng.bool rng config.overlap in
+    let const_prob = config.const_prob in
+    let proto, extra =
+      match Rng.int rng 3 with
+      | 0 -> gen_chain rng graph edges_arr ~len ~const_prob pool ~reuse
+      | 1 -> gen_star rng graph edges_arr ~len ~const_prob pool ~reuse
+      | _ -> gen_cycle rng graph edges_arr ~len pool ~reuse
+    in
+    let satisfiable = Rng.bool rng config.selectivity in
+    let proto = if satisfiable then proto else make_unsatisfiable rng proto in
+    planted := extra @ !planted;
+    patterns := build ~id:(first_id + i) proto :: !patterns
+  done;
+  (List.rev !patterns, List.rev !planted)

@@ -1,0 +1,40 @@
+(** Query-set generation (§6.1 "Query Set Configuration").
+
+    Builds a query database of chains, stars and cycles (equiprobable, as
+    in the paper) planted in the final graph of a stream so that the
+    benchmark parameters hold:
+
+    - [avg_len] ([l]): average edges per query graph pattern;
+    - [selectivity] (σ): fraction of queries ultimately satisfied by the
+      stream — satisfied queries are extracted from actual final-graph
+      structure; the rest are the same shapes made unsatisfiable by
+      redirecting one endpoint to a fresh, never-occurring constant;
+    - [overlap] (o): fraction of queries that reuse the structure of an
+      earlier query (a chain prefix, a star center, or a cycle's label
+      word verbatim), producing exactly the shared sub-patterns TRIC
+      clusters on.
+
+    Cycle queries need a closing edge that streams rarely produce, so the
+    generator returns {e planted edges} to append to the stream (they
+    complete the planted cycles). *)
+
+open Tric_graph
+open Tric_query
+
+type config = {
+  qdb : int;
+  avg_len : int;
+  selectivity : float;
+  overlap : float;
+  const_prob : float;  (** probability a chain/star endpoint stays a constant *)
+}
+
+val default : config
+(** The paper's baseline: qdb=5000, avg_len=5, selectivity=0.25,
+    overlap=0.35, const_prob=0.4. *)
+
+val generate :
+  Rng.t -> graph:Graph.t -> config:config -> first_id:int -> Pattern.t list * Edge.t list
+(** [generate rng ~graph ~config ~first_id] returns the query patterns
+    (ids [first_id ..]) and the planted closing edges to append to the
+    stream.  [graph] is the stream's final graph. *)

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  (* splitmix64 *)
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Keep the value within OCaml's 63-bit int range before reducing. *)
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound (* 2^53 *)
+
+let bool t p = float t 1.0 < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+(* Approximate Zipf sampling via the inverse-CDF of the continuous
+   bounded Pareto analogue; exact enough for workload skew. *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n <= 0";
+  if n = 1 then 0
+  else begin
+    let u = float t 1.0 in
+    if s = 1.0 then
+      let k = (Float.of_int n +. 1.0) ** u in
+      min (n - 1) (max 0 (int_of_float (k -. 1.0)))
+    else begin
+      let one_minus_s = 1.0 -. s in
+      let nf = Float.of_int n in
+      let h x = (x ** one_minus_s) /. one_minus_s in
+      (* Invert the normalised integral of x^-s over [1, n+1]. *)
+      let total = h (nf +. 1.0) -. h 1.0 in
+      let x = ((u *. total) +. h 1.0) *. one_minus_s in
+      let k = x ** (1.0 /. one_minus_s) in
+      min (n - 1) (max 0 (int_of_float (k -. 1.0)))
+    end
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,35 @@
+(** Deterministic splitmix64 PRNG.
+
+    Workload generation must be reproducible across runs and independent of
+    the OCaml stdlib's generator (which other code may perturb), so the
+    generators carry their own state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator.  Equal seeds give equal sequences. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element.  @raise Invalid_argument on empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n): rank [k] has probability proportional
+    to [1 / (k+1)^s].  Uses rejection-inversion; cheap enough for stream
+    generation. *)
+
+val shuffle : t -> 'a array -> unit

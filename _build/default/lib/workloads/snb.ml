@@ -1,0 +1,128 @@
+open Tric_graph
+
+let edge_labels =
+  [
+    "knows"; "hasMod"; "posted"; "containedIn"; "hasTag"; "hasCreator"; "reply";
+    "likes"; "checksIn"; "hasInterest";
+  ]
+
+type state = {
+  rng : Rng.t;
+  mutable persons : int;
+  mutable forums : int;
+  mutable posts : int;
+  mutable comments : int;
+  mutable created : int; (* vertices introduced so far *)
+  mutable out : Update.t list; (* reversed *)
+  mutable emitted : int;
+  budget : int;
+}
+
+let places = 40
+let tags = 120
+
+let person i = Printf.sprintf "P%d" i
+let forum i = Printf.sprintf "forum%d" i
+let post i = Printf.sprintf "post%d" i
+let comment i = Printf.sprintf "com%d" i
+let place i = Printf.sprintf "plc%d" i
+let tag i = Printf.sprintf "tag%d" i
+
+(* Vertex population follows the paper's measured SNB growth (Fig. 12(a)
+   and 13(a) axes): |GV| ~ 1.8 * |GE|^0.9 — 57K vertices at 100K edges,
+   452K at 1M (paper: 463K), 3.6M at 10M (paper: 3.5M). *)
+let target_vertices e = int_of_float (1.8 *. (float_of_int (max 1 e) ** 0.9))
+
+let emit st label src dst =
+  if st.emitted < st.budget then begin
+    st.out <- Update.add (Edge.of_strings label src dst) :: st.out;
+    st.emitted <- st.emitted + 1
+  end
+
+(* Zipf-skewed entity choice: low indexes (early users/forums) are the
+   popular ones. *)
+let some_person st = person (Rng.zipf st.rng ~n:st.persons ~s:0.8)
+
+(* Recency-biased post choice: interactions target recent content. *)
+let recent_post st =
+  let age = Rng.zipf st.rng ~n:st.posts ~s:1.2 in
+  post (st.posts - 1 - age)
+
+let new_person st =
+  let p = person st.persons in
+  st.persons <- st.persons + 1;
+  st.created <- st.created + 1;
+  emit st "knows" p (some_person st);
+  if Rng.bool st.rng 0.3 then emit st "hasInterest" p (tag (Rng.int st.rng tags))
+
+let new_forum st =
+  let f = forum st.forums in
+  st.forums <- st.forums + 1;
+  st.created <- st.created + 1;
+  emit st "hasMod" f (some_person st)
+
+let post_event st =
+  let p = some_person st in
+  let po = post st.posts in
+  st.posts <- st.posts + 1;
+  st.created <- st.created + 1;
+  emit st "posted" p po;
+  emit st "containedIn" po (forum (Rng.zipf st.rng ~n:st.forums ~s:1.1));
+  if Rng.bool st.rng 0.3 then emit st "hasTag" po (tag (Rng.zipf st.rng ~n:tags ~s:1.0))
+
+let comment_event st =
+  if st.posts > 0 then begin
+    let c = comment st.comments in
+    st.comments <- st.comments + 1;
+    st.created <- st.created + 1;
+    emit st "hasCreator" c (some_person st);
+    emit st "reply" c (recent_post st)
+  end
+
+let like_event st = if st.posts > 0 then emit st "likes" (some_person st) (recent_post st)
+let knows_event st = emit st "knows" (some_person st) (some_person st)
+
+let checkin_event st =
+  emit st "checksIn" (some_person st) (place (Rng.zipf st.rng ~n:places ~s:1.0))
+
+let generate ~seed ~edges =
+  let st =
+    {
+      rng = Rng.create seed;
+      persons = 0;
+      forums = 0;
+      posts = 0;
+      comments = 0;
+      created = 0;
+      out = [];
+      emitted = 0;
+      budget = edges;
+    }
+  in
+  (* Bootstrap population. *)
+  st.persons <- 10;
+  st.forums <- 3;
+  st.created <- 13;
+  for i = 0 to 2 do
+    emit st "hasMod" (forum i) (person i)
+  done;
+  while st.emitted < st.budget do
+    if st.created < target_vertices st.emitted then begin
+      (* Growth phase: introduce a vertex. *)
+      let roll = Rng.int st.rng 100 in
+      if roll < 18 then new_person st
+      else if roll < 20 then new_forum st
+      else if roll < 70 then post_event st
+      else comment_event st
+    end
+    else begin
+      (* Interaction phase: activity among existing entities. *)
+      let roll = Rng.int st.rng 100 in
+      if roll < 40 then like_event st
+      else if roll < 65 then knows_event st
+      else if roll < 80 then checkin_event st
+      else if roll < 90 then comment_event st
+      else post_event st
+    end
+  done;
+  Stream.of_updates (List.rev st.out)

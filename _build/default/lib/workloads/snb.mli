@@ -1,0 +1,16 @@
+(** SNB-like social-network activity stream.
+
+    A deterministic stand-in for the LDBC Social Network Benchmark data
+    generator (§6.1): simulates the evolution of a social graph through
+    person/forum/post/comment/place/tag activity, with Zipf-skewed actor
+    popularity and recency-biased interaction targets.  The stream-level
+    characteristics the paper's experiments consume — label schema, label
+    frequency skew, vertex/edge growth ratio (|GV| ≈ 0.57 |GE| at 100K
+    edges) — match the SNB configurations used in the paper. *)
+
+val edge_labels : string list
+(** The schema: knows, hasMod, posted, containedIn, hasTag, hasCreator,
+    reply, likes, checksIn, hasInterest. *)
+
+val generate : seed:int -> edges:int -> Tric_graph.Stream.t
+(** An addition-only stream of exactly [edges] updates. *)

@@ -1,0 +1,52 @@
+open Tric_graph
+
+let edge_labels = [ "drove"; "operated"; "pickedUpAt"; "droppedOffAt"; "paidWith" ]
+
+let zones = 260 (* NYC taxi zone count, roughly *)
+let paytypes = [| "cash"; "card"; "disputed"; "noCharge" |]
+
+let zone i = Printf.sprintf "zone%d" i
+let medallion i = Printf.sprintf "med%d" i
+let license i = Printf.sprintf "lic%d" i
+let ride i = Printf.sprintf "ride%d" i
+
+(* Vertex population follows the paper's TAXI axes (Fig. 14(a)): |GV| ~
+   4.4 * |GE|^0.8 — 44K vertices at 100K edges, 280K at 1M.  Rides provide
+   the baseline growth; the fleet (medallions and licenses) absorbs the
+   remaining deficit, which is largest early in the stream. *)
+let target_vertices e = int_of_float (4.4 *. (float_of_int (max 1 e) ** 0.8))
+
+let generate ~seed ~edges =
+  let rng = Rng.create seed in
+  let out = ref [] in
+  let emitted = ref 0 in
+  let emit label src dst =
+    if !emitted < edges then begin
+      out := Update.add (Edge.of_strings label src dst) :: !out;
+      incr emitted
+    end
+  in
+  let medallions = ref 40 and licenses = ref 60 and rides = ref 0 in
+  let created = ref (!medallions + !licenses) in
+  while !emitted < edges do
+    (* Fleet growth absorbs the vertex deficit beyond one ride per event. *)
+    if !created + 1 < target_vertices !emitted then
+      if Rng.bool rng 0.5 then begin
+        incr medallions;
+        incr created
+      end
+      else begin
+        incr licenses;
+        incr created
+      end;
+    let r = ride !rides in
+    incr rides;
+    incr created;
+    let m = medallion (Rng.zipf rng ~n:!medallions ~s:0.8) in
+    emit "drove" m r;
+    emit "pickedUpAt" r (zone (Rng.zipf rng ~n:zones ~s:1.05));
+    emit "droppedOffAt" r (zone (Rng.zipf rng ~n:zones ~s:1.05));
+    if Rng.bool rng 0.7 then emit "operated" (license (Rng.zipf rng ~n:!licenses ~s:0.8)) r;
+    if Rng.bool rng 0.35 then emit "paidWith" r (Rng.pick rng paytypes)
+  done;
+  Stream.of_updates (List.rev !out)

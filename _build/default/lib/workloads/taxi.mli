@@ -1,0 +1,12 @@
+(** NYC-taxi-like ride event stream.
+
+    A deterministic stand-in for the DEBS 2015 Grand Challenge taxi data
+    (§6.1): each ride event creates a ride vertex connected to its
+    medallion, (sometimes) driver license, Zipf-skewed pickup and drop-off
+    zones and payment type.  Few edge labels, heavy zone skew, vertex/edge
+    ratio ≈ 0.28 — as in the paper's TAXI configuration. *)
+
+val edge_labels : string list
+(** drove, operated, pickedUpAt, droppedOffAt, paidWith. *)
+
+val generate : seed:int -> edges:int -> Tric_graph.Stream.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Edge Format Label List Parse Pattern Printf Random Term Tric_engine Tric_graph Tric_query Update

@@ -1,0 +1,1 @@
+test/test_analytics.ml: Alcotest Centrality Components Edge Graph Helpers Label List Metrics Reachability Tric_analytics Tric_graph

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Helpers Invidx List Random Tric_baselines Tric_engine Tric_graph Tric_query

@@ -1,0 +1,1 @@
+test/test_durability.ml: Alcotest Edge Filename Fun Helpers Label List Stream Sys Tric_engine Tric_graph Update

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Edge Helpers Label List Option Random Stream Tric_core Tric_engine Tric_graph Tric_query Tric_rel Unix Update

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Format Fun Helpers Label List Option Random Stream String Sys Tric_core Tric_engine Tric_graph Tric_graphdb Tric_query Tric_rel Tric_workloads Update

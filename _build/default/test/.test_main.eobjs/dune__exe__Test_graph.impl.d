@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Edge Graph Label List Stream Tric_graph Update

@@ -1,0 +1,1 @@
+test/test_graphdb.ml: Alcotest Continuous Cypher Db Executor Helpers List Plan Printf Random Store Tric_engine Tric_graph Tric_graphdb Value

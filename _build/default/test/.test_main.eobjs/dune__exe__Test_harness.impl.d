@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format List String Tric_engine Tric_harness Unix

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Cover Edge Ekey Label List Parse Path Pattern Term Tric_graph Tric_query Update

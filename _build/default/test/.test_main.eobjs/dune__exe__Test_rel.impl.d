@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Array Embedding Embjoin Label List Option Relation Tric_graph Tric_rel Tuple

@@ -1,0 +1,1 @@
+test/test_tric.ml: Alcotest Ekey Format Helpers List Path Random Tric Tric_core Tric_engine Tric_graph Tric_query Trie

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Biogrid Dataset Edge Graph Hashtbl Label List Rng Snb Stream Taxi Tric_core Tric_engine Tric_graph Tric_query Tric_workloads Update

@@ -1,0 +1,91 @@
+(* Shared helpers for the test suites. *)
+
+open Tric_graph
+open Tric_query
+
+let pattern ?(name = "") ~id s = Parse.pattern ~name ~id s
+let edge s = Parse.edge s
+let update s = Parse.update s
+let updates l = List.map update l
+
+(* Deterministic PRNG so failures reproduce. *)
+let rng seed = Random.State.make [| seed |]
+
+(* A random small pattern over the given label vocabularies.  Shapes follow
+   the paper's query classes: chain, star (out or in), cycle. *)
+let random_pattern st ~id ~elabels ~vconsts ~size =
+  let b = Pattern.Builder.create ~name:"rand" ~id () in
+  let pick a = a.(Random.State.int st (Array.length a)) in
+  let fresh_var =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Term.var (Printf.sprintf "x%d" !c)
+  in
+  let term () =
+    if Random.State.int st 100 < 30 then Term.const (pick vconsts) else fresh_var ()
+  in
+  let elabel () = Label.intern (pick elabels) in
+  (match Random.State.int st 3 with
+  | 0 ->
+    (* chain *)
+    let prev = ref (Pattern.Builder.vertex b (term ())) in
+    for _ = 1 to size do
+      let v = Pattern.Builder.vertex b (term ()) in
+      Pattern.Builder.edge b ~label:(elabel ()) !prev v;
+      prev := v
+    done
+  | 1 ->
+    (* star: half out, half in *)
+    let center = Pattern.Builder.vertex b (fresh_var ()) in
+    for i = 1 to size do
+      let v = Pattern.Builder.vertex b (term ()) in
+      if i mod 2 = 0 then Pattern.Builder.edge b ~label:(elabel ()) center v
+      else Pattern.Builder.edge b ~label:(elabel ()) v center
+    done
+  | _ ->
+    (* cycle *)
+    let first = Pattern.Builder.vertex b (fresh_var ()) in
+    let prev = ref first in
+    for _ = 1 to max 1 (size - 1) do
+      let v = Pattern.Builder.vertex b (fresh_var ()) in
+      Pattern.Builder.edge b ~label:(elabel ()) !prev v;
+      prev := v
+    done;
+    Pattern.Builder.edge b ~label:(elabel ()) !prev first);
+  Pattern.Builder.build b
+
+let random_edge st ~elabels ~vconsts =
+  let pick a = a.(Random.State.int st (Array.length a)) in
+  Edge.of_strings (pick elabels) (pick vconsts) (pick vconsts)
+
+(* Label vocabulary used by randomized tests. *)
+let elabels = [| "a"; "b"; "c" |]
+let vconsts = [| "v1"; "v2"; "v3"; "v4"; "v5"; "v6" |]
+
+let check_reports_agree ~msg expected actual =
+  if not (Tric_engine.Report.equal expected actual) then
+    Alcotest.failf "%s:@.expected:@.%a@.actual:@.%a" msg Tric_engine.Report.pp
+      (Tric_engine.Report.normalise expected)
+      Tric_engine.Report.pp
+      (Tric_engine.Report.normalise actual)
+
+(* Run the same queries and stream through the oracle and an engine under
+   test, comparing reports update by update. *)
+let differential ~engine ~queries ~stream =
+  let oracle = Tric_engine.Matcher.of_naive (Tric_engine.Naive.create ()) in
+  List.iter
+    (fun q ->
+      oracle.Tric_engine.Matcher.add_query q;
+      engine.Tric_engine.Matcher.add_query q)
+    queries;
+  List.iteri
+    (fun i u ->
+      let expected = oracle.Tric_engine.Matcher.handle_update u in
+      let actual = engine.Tric_engine.Matcher.handle_update u in
+      check_reports_agree
+        ~msg:
+          (Format.asprintf "update #%d %a (engine %s)" i Update.pp u
+             engine.Tric_engine.Matcher.name)
+        expected actual)
+    stream

@@ -1,0 +1,150 @@
+(* Continuous analytics tests (§7 query classes): clustering coefficient,
+   connected components, bounded-distance watches, betweenness. *)
+
+open Tric_graph
+open Tric_analytics
+
+let upd = Helpers.update
+let add m texts = List.iter (fun s -> Metrics.handle_update m (upd s)) texts
+
+let test_metrics_triangles () =
+  let m = Metrics.create () in
+  add m [ "a -x-> b"; "b -x-> c" ];
+  Alcotest.(check int) "no triangle yet" 0 (Metrics.triangles m);
+  add m [ "c -x-> a" ];
+  Alcotest.(check int) "one triangle" 1 (Metrics.triangles m);
+  Alcotest.(check int) "per-vertex" 1 (Metrics.triangles_of m (Label.intern "a"));
+  (* Anti-parallel and parallel edges do not create new simple-view
+     adjacency: still one triangle. *)
+  add m [ "a -x-> c"; "a -y-> b" ];
+  Alcotest.(check int) "multigraph collapses" 1 (Metrics.triangles m);
+  Alcotest.(check int) "pairs" 3 (Metrics.num_adjacent_pairs m);
+  (* A second triangle through a new vertex. *)
+  add m [ "a -x-> d"; "d -x-> b" ];
+  Alcotest.(check int) "two triangles" 2 (Metrics.triangles m);
+  (* Deleting one of the parallel a-b edges keeps the adjacency; deleting
+     both breaks both triangles through (a,b). *)
+  Metrics.handle_update m (upd "- a -y-> b");
+  Alcotest.(check int) "still adjacent" 2 (Metrics.triangles m);
+  Metrics.handle_update m (upd "- a -x-> b");
+  (* Both a-b edges are gone now, so triangles abc and abd both
+     collapse. *)
+  Alcotest.(check int) "pair loss kills both triangles" 0 (Metrics.triangles m);
+  Alcotest.(check int) "degree a" 2 (Metrics.degree m (Label.intern "a"))
+
+let test_metrics_clustering () =
+  let m = Metrics.create () in
+  (* K3: all coefficients 1. *)
+  add m [ "a -x-> b"; "b -x-> c"; "c -x-> a" ];
+  Alcotest.(check (float 1e-9)) "local" 1.0 (Metrics.local_clustering m (Label.intern "a"));
+  Alcotest.(check (float 1e-9)) "global" 1.0 (Metrics.global_clustering m);
+  Alcotest.(check (float 1e-9)) "average" 1.0 (Metrics.average_clustering m);
+  (* Attach a pendant vertex: its coefficient is 0, a's degree grows. *)
+  add m [ "a -x-> p" ];
+  Alcotest.(check (float 1e-9)) "pendant" 0.0 (Metrics.local_clustering m (Label.intern "p"));
+  let a = Metrics.local_clustering m (Label.intern "a") in
+  Alcotest.(check (float 1e-9)) "a drops to 1/3" (1.0 /. 3.0) a;
+  (* Self-loops are ignored. *)
+  let before = Metrics.triangles m in
+  add m [ "a -x-> a" ];
+  Alcotest.(check int) "self-loop ignored" before (Metrics.triangles m)
+
+let test_metrics_duplicate_idempotent () =
+  let m = Metrics.create () in
+  add m [ "a -x-> b"; "a -x-> b"; "b -x-> c"; "c -x-> a" ];
+  Alcotest.(check int) "duplicate add is no-op" 1 (Metrics.triangles m);
+  Metrics.handle_update m (upd "- a -x-> b");
+  Alcotest.(check int) "single remove kills pair" 0 (Metrics.triangles m);
+  Metrics.handle_update m (upd "- a -x-> b");
+  Alcotest.(check int) "double remove is no-op" 0 (Metrics.triangles m)
+
+let test_components () =
+  let c = Components.create () in
+  let h s = Components.handle_update c (upd s) in
+  h "a -x-> b";
+  h "c -x-> d";
+  Alcotest.(check int) "two components" 2 (Components.num_components c);
+  Alcotest.(check bool) "separate" false
+    (Components.same_component c (Label.intern "a") (Label.intern "c"));
+  h "b -x-> c";
+  Alcotest.(check int) "merged" 1 (Components.num_components c);
+  Alcotest.(check int) "size 4" 4 (Components.component_size c (Label.intern "d"));
+  (* Deletion splits again (rebuild path). *)
+  h "- b -x-> c";
+  Alcotest.(check int) "split back" 2 (Components.num_components c);
+  Alcotest.(check bool) "direction ignored" true
+    (Components.same_component c (Label.intern "b") (Label.intern "a"));
+  (* Unknown vertices are singletons. *)
+  Alcotest.(check int) "unknown singleton" 1 (Components.component_size c (Label.intern "zz"))
+
+let test_reachability () =
+  let r = Reachability.create () in
+  let w =
+    Reachability.watch r ~src:(Label.intern "s") ~dst:(Label.intern "t") ~k:2
+  in
+  Alcotest.(check bool) "initially unreached" false (Reachability.is_reached r w);
+  let events = Reachability.handle_update r (upd "s -x-> m") in
+  Alcotest.(check int) "no event" 0 (List.length events);
+  let events = Reachability.handle_update r (upd "m -x-> t") in
+  (match events with
+  | [ Reachability.Reached w' ] ->
+    Alcotest.(check bool) "right watch" true (Reachability.watch_k w' = 2)
+  | _ -> Alcotest.fail "expected Reached");
+  Alcotest.(check bool) "now reached" true (Reachability.is_reached r w);
+  (* Breaking the only path fires Lost. *)
+  let events = Reachability.handle_update r (upd "- s -x-> m") in
+  (match events with
+  | [ Reachability.Lost _ ] -> ()
+  | _ -> Alcotest.fail "expected Lost");
+  (* Distance bound matters: a 3-hop path does not satisfy k=2. *)
+  List.iter
+    (fun s -> ignore (Reachability.handle_update r (upd s)))
+    [ "s -x-> a"; "a -x-> b" ];
+  let events = Reachability.handle_update r (upd "b -x-> t") in
+  Alcotest.(check int) "3 hops > k" 0 (List.length events);
+  Alcotest.(check (option int)) "but distance 3 exists" (Some 3)
+    (Reachability.distance r ~src:(Label.intern "s") ~dst:(Label.intern "t") ~max_k:5);
+  Alcotest.(check bool) "unwatch" true (Reachability.unwatch r w)
+
+let test_betweenness () =
+  (* Path a -> b -> c: b lies on the single shortest path a..c. *)
+  let g = Graph.create () in
+  List.iter
+    (fun (l, s, d) -> ignore (Graph.add_edge g (Edge.of_strings l s d)))
+    [ ("x", "a", "b"); ("x", "b", "c") ];
+  let scores = Centrality.betweenness g in
+  let score v = List.assoc (Label.intern v) scores in
+  Alcotest.(check (float 1e-9)) "b central" 1.0 (score "b");
+  Alcotest.(check (float 1e-9)) "a peripheral" 0.0 (score "a");
+  (* Diamond a->b->d, a->c->d: b and c each carry half of a..d. *)
+  let g2 = Graph.create () in
+  List.iter
+    (fun (s, d) -> ignore (Graph.add_edge g2 (Edge.of_strings "x" s d)))
+    [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ];
+  let scores2 = Centrality.betweenness g2 in
+  let score2 v = List.assoc (Label.intern v) scores2 in
+  Alcotest.(check (float 1e-9)) "split betweenness" 0.5 (score2 "b");
+  Alcotest.(check (float 1e-9)) "split betweenness c" 0.5 (score2 "c");
+  Alcotest.(check int) "top_k" 2 (List.length (Centrality.top_k g2 2))
+
+let test_centrality_watch () =
+  let w = Centrality.Watch.create ~period:3 ~k:1 () in
+  let h s = Centrality.Watch.handle_update w (upd s) in
+  Alcotest.(check bool) "no event yet" true (h "a -x-> b" = None);
+  Alcotest.(check bool) "still none" true (h "b -x-> c" = None);
+  (match h "c -x-> d" with
+  | Some ev ->
+    Alcotest.(check bool) "someone entered top-1" true (ev.Centrality.Watch.entered <> [])
+  | None -> Alcotest.fail "period hit must recompute");
+  Alcotest.(check int) "top cached" 1 (List.length (Centrality.Watch.current_top w))
+
+let suite =
+  [
+    Alcotest.test_case "metrics triangles" `Quick test_metrics_triangles;
+    Alcotest.test_case "metrics clustering" `Quick test_metrics_clustering;
+    Alcotest.test_case "metrics idempotence" `Quick test_metrics_duplicate_idempotent;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "reachability watches" `Quick test_reachability;
+    Alcotest.test_case "betweenness (Brandes)" `Quick test_betweenness;
+    Alcotest.test_case "centrality watch" `Quick test_centrality_watch;
+  ]

@@ -1,0 +1,234 @@
+(* Engine-layer tests: report algebra, the engines registry, the stream
+   runner (budget, checkpoints, statistics), deletion behaviour across
+   engines, and mid-stream query registration. *)
+
+open Tric_graph
+module E = Tric_engine
+
+let emb pairs =
+  List.fold_left
+    (fun e (vid, v) -> Option.get (Tric_rel.Embedding.bind e vid (Label.intern v)))
+    (Tric_rel.Embedding.empty 3) pairs
+
+let test_report_algebra () =
+  let r = [ (2, [ emb [ (0, "b") ] ]); (1, [ emb [ (0, "a") ]; emb [ (0, "a") ] ]) ] in
+  let n = E.Report.normalise r in
+  Alcotest.(check (list int)) "sorted ids" [ 1; 2 ] (E.Report.satisfied_ids n);
+  Alcotest.(check int) "dedup inside query" 2 (E.Report.total_matches n);
+  Alcotest.(check int) "matches_of known" 1 (List.length (E.Report.matches_of n 2));
+  Alcotest.(check int) "matches_of unknown" 0 (List.length (E.Report.matches_of n 9));
+  Alcotest.(check bool) "equal mod order" true
+    (E.Report.equal r (List.rev (E.Report.normalise r)));
+  Alcotest.(check bool) "inequal" false (E.Report.equal r [ (1, [ emb [ (0, "zzz") ] ]) ])
+
+let test_registry () =
+  List.iter
+    (fun name ->
+      let e = E.Engines.by_name name in
+      Alcotest.(check string) ("registry name " ^ name) name e.E.Matcher.name)
+    E.Engines.paper_names;
+  Alcotest.check_raises "unknown engine"
+    (Invalid_argument "Engines.by_name: unknown engine \"nope\"") (fun () ->
+      ignore (E.Engines.by_name "nope"));
+  (* Every engine handle reports a positive memory footprint and query
+     count consistency. *)
+  List.iter
+    (fun name ->
+      let e = E.Engines.by_name name in
+      e.E.Matcher.add_query (Helpers.pattern ~id:1 "?x -a-> ?y");
+      Alcotest.(check int) (name ^ " query count") 1 (e.E.Matcher.num_queries ());
+      Alcotest.(check bool) (name ^ " memory > 0") true (e.E.Matcher.memory_words () > 0);
+      Alcotest.(check bool) (name ^ " remove") true (e.E.Matcher.remove_query 1);
+      Alcotest.(check bool) (name ^ " remove again") false (e.E.Matcher.remove_query 1))
+    ("ISO" :: E.Engines.paper_names)
+
+let test_runner_basics () =
+  let queries = [ Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z" ] in
+  let stream =
+    Stream.of_updates (Helpers.updates [ "u -a-> v"; "v -b-> w"; "u -a-> v"; "x -b-> y" ])
+  in
+  let r = E.Runner.run ~engine:(E.Engines.tric ()) ~queries ~stream () in
+  Alcotest.(check int) "all processed" 4 r.E.Runner.updates_processed;
+  Alcotest.(check bool) "no timeout" false r.E.Runner.timed_out;
+  Alcotest.(check int) "one match" 1 r.E.Runner.matches;
+  Alcotest.(check int) "one satisfied query" 1 r.E.Runner.satisfied_queries;
+  Alcotest.(check bool) "memory measured" true (r.E.Runner.memory_words > 0);
+  Alcotest.(check bool) "p50 <= p95 <= max" true
+    (r.E.Runner.p50_ms <= r.E.Runner.p95_ms && r.E.Runner.p95_ms <= r.E.Runner.max_ms)
+
+let test_runner_checkpoints () =
+  let queries = [ Helpers.pattern ~id:1 "?x -a-> ?y" ] in
+  let stream =
+    Stream.of_edges (List.init 10 (fun i -> Edge.of_strings "a" (string_of_int i) "t"))
+  in
+  let r =
+    E.Runner.run ~checkpoints:[ 3; 7; 10 ] ~engine:(E.Engines.tric ()) ~queries ~stream ()
+  in
+  Alcotest.(check (list int)) "checkpoints reached" [ 3; 7; 10 ]
+    (List.map fst r.E.Runner.checkpoints);
+  let segs = E.Runner.segment_means_ms r in
+  Alcotest.(check int) "segments" 3 (List.length segs);
+  List.iter (fun (_, m) -> Alcotest.(check bool) "segment mean >= 0" true (m >= 0.0)) segs;
+  (* Cumulative times are monotone. *)
+  let times = List.map snd r.E.Runner.checkpoints in
+  Alcotest.(check bool) "monotone" true (List.sort compare times = times)
+
+let test_runner_budget () =
+  (* A deliberately slow engine: the budget must truncate the run. *)
+  let slow =
+    E.Matcher.make ~name:"SLOW"
+      ~add_query:(fun _ -> ())
+      ~remove_query:(fun _ -> false)
+      ~num_queries:(fun () -> 0)
+      ~handle_update:(fun _ ->
+        ignore (Unix.select [] [] [] 0.02);
+        [])
+      ~current_matches:(fun _ -> [])
+      ~memory_words:(fun () -> 1)
+      ()
+  in
+  let stream =
+    Stream.of_edges (List.init 100 (fun i -> Edge.of_strings "a" (string_of_int i) "t"))
+  in
+  let r = E.Runner.run ~budget_s:0.1 ~engine:slow ~queries:[] ~stream () in
+  Alcotest.(check bool) "timed out" true r.E.Runner.timed_out;
+  Alcotest.(check bool) "truncated" true (r.E.Runner.updates_processed < 100)
+
+let deletion_differential mk () =
+  (* Interleave additions and deletions; after each update the engine's
+     full current result for each query must equal the oracle's. *)
+  let st = Helpers.rng 4242 in
+  let queries =
+    List.init 5 (fun i ->
+        Helpers.random_pattern st ~id:(i + 1) ~elabels:Helpers.elabels
+          ~vconsts:Helpers.vconsts ~size:(1 + Random.State.int st 2))
+  in
+  let engine = mk () in
+  let oracle = E.Engines.naive () in
+  List.iter
+    (fun q ->
+      engine.E.Matcher.add_query q;
+      oracle.E.Matcher.add_query q)
+    queries;
+  let live = ref [] in
+  for step = 1 to 150 do
+    let u =
+      if !live <> [] && Random.State.int st 100 < 25 then begin
+        let e = List.nth !live (Random.State.int st (List.length !live)) in
+        live := List.filter (fun e' -> not (Edge.equal e e')) !live;
+        Update.remove e
+      end
+      else begin
+        let e = Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts in
+        live := e :: !live;
+        Update.add e
+      end
+    in
+    ignore (oracle.E.Matcher.handle_update u);
+    ignore (engine.E.Matcher.handle_update u);
+    List.iter
+      (fun q ->
+        let qid = Tric_query.Pattern.id q in
+        let expected =
+          List.sort Tric_rel.Embedding.compare (oracle.E.Matcher.current_matches qid)
+        in
+        let got =
+          List.sort Tric_rel.Embedding.compare (engine.E.Matcher.current_matches qid)
+        in
+        if not (List.length expected = List.length got && List.for_all2 Tric_rel.Embedding.equal expected got)
+        then
+          Alcotest.failf "step %d (%a): query %d state diverged (oracle %d vs %d)" step
+            Update.pp u qid (List.length expected) (List.length got))
+      queries
+  done
+
+let test_windowed_wrapper () =
+  let e = E.Engines.windowed ~window:3 (E.Engines.tric ~cache:true ()) in
+  Alcotest.(check string) "composite name" "TRIC+/win3" e.E.Matcher.name;
+  e.E.Matcher.add_query (Helpers.pattern ~id:1 "?x -a-> ?y");
+  Alcotest.(check int) "queries visible" 1 (e.E.Matcher.num_queries ());
+  ignore (e.E.Matcher.handle_update (Helpers.update "a1 -a-> t"));
+  ignore (e.E.Matcher.handle_update (Helpers.update "a2 -a-> t"));
+  ignore (e.E.Matcher.handle_update (Helpers.update "a3 -a-> t"));
+  ignore (e.E.Matcher.handle_update (Helpers.update "a4 -a-> t"));
+  Alcotest.(check int) "only window retained" 3
+    (List.length (e.E.Matcher.current_matches 1));
+  Alcotest.(check bool) "stats passthrough" true (e.E.Matcher.stats () <> [])
+
+let test_engine_stats () =
+  (* Every engine exposes non-trivial counters after some activity. *)
+  List.iter
+    (fun name ->
+      let e = E.Engines.by_name name in
+      e.E.Matcher.add_query (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+      ignore (e.E.Matcher.handle_update (Helpers.update "u -a-> v"));
+      ignore (e.E.Matcher.handle_update (Helpers.update "v -b-> w"));
+      let stats = e.E.Matcher.stats () in
+      Alcotest.(check bool) (name ^ " has counters") true (stats <> []);
+      Alcotest.(check bool)
+        (name ^ " counters non-negative")
+        true
+        (List.for_all (fun (_, v) -> v >= 0) stats))
+    E.Engines.paper_names;
+  (* TRIC's census is precise: one trie (shared chain), two nodes, one
+     query. *)
+  let t = Tric_core.Tric.create () in
+  Tric_core.Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+  let s = Tric_core.Tric.stats t in
+  Alcotest.(check int) "one trie" 1 s.Tric_core.Tric.tries;
+  Alcotest.(check int) "two nodes" 2 s.Tric_core.Tric.trie_nodes;
+  Alcotest.(check int) "two base views" 2 s.Tric_core.Tric.base_views
+
+let test_runner_empty_stream () =
+  let r =
+    E.Runner.run
+      ~engine:(E.Engines.tric ())
+      ~queries:[ Helpers.pattern ~id:1 "?x -a-> ?y" ]
+      ~stream:Stream.empty ()
+  in
+  Alcotest.(check int) "zero processed" 0 r.E.Runner.updates_processed;
+  Alcotest.(check bool) "no timeout" false r.E.Runner.timed_out;
+  Alcotest.(check (float 1e-9)) "zero mean" 0.0 r.E.Runner.mean_ms;
+  (* measure_memory:false skips the heap walk. *)
+  let r =
+    E.Runner.run ~measure_memory:false
+      ~engine:(E.Engines.tric ())
+      ~queries:[] ~stream:Stream.empty ()
+  in
+  Alcotest.(check int) "memory skipped" 0 r.E.Runner.memory_words
+
+let test_midstream_query_addition () =
+  (* A query registered mid-stream must see state retained for earlier
+     queries with overlapping structure, and must match later updates. *)
+  let t = Tric_core.Tric.create () in
+  Tric_core.Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y");
+  ignore (Tric_core.Tric.handle_update t (Helpers.update "u -a-> v"));
+  (* Same structure: seeds from the shared base view. *)
+  Tric_core.Tric.add_query t (Helpers.pattern ~id:2 "?x -a-> ?y -b-> ?z");
+  Alcotest.(check int) "no match yet" 0 (List.length (Tric_core.Tric.current_matches t 2));
+  let r = Tric_core.Tric.handle_update t (Helpers.update "v -b-> w") in
+  Alcotest.(check (list int)) "late query fires" [ 2 ] (List.map fst r);
+  Alcotest.(check int) "late query state" 1 (List.length (Tric_core.Tric.current_matches t 2))
+
+let suite =
+  [
+    Alcotest.test_case "report algebra" `Quick test_report_algebra;
+    Alcotest.test_case "engines registry" `Quick test_registry;
+    Alcotest.test_case "runner basics" `Quick test_runner_basics;
+    Alcotest.test_case "runner checkpoints" `Quick test_runner_checkpoints;
+    Alcotest.test_case "runner budget" `Quick test_runner_budget;
+    Alcotest.test_case "deletion differential (TRIC)" `Quick
+      (deletion_differential (fun () -> E.Engines.tric ()));
+    Alcotest.test_case "deletion differential (TRIC+)" `Quick
+      (deletion_differential (fun () -> E.Engines.tric ~cache:true ()));
+    Alcotest.test_case "deletion differential (INV)" `Quick
+      (deletion_differential (fun () -> E.Engines.inv ()));
+    Alcotest.test_case "deletion differential (INC+)" `Quick
+      (deletion_differential (fun () -> E.Engines.inc ~cache:true ()));
+    Alcotest.test_case "deletion differential (GraphDB)" `Quick
+      (deletion_differential (fun () -> E.Engines.graphdb ()));
+    Alcotest.test_case "mid-stream query addition" `Quick test_midstream_query_addition;
+    Alcotest.test_case "windowed wrapper" `Quick test_windowed_wrapper;
+    Alcotest.test_case "engine stats" `Quick test_engine_stats;
+    Alcotest.test_case "runner empty stream" `Quick test_runner_empty_stream;
+  ]

@@ -1,0 +1,88 @@
+(* Graph substrate tests: labels, edges, multigraph semantics, streams. *)
+
+open Tric_graph
+
+let test_label_interning () =
+  let a = Label.intern "alpha" and b = Label.intern "beta" in
+  Alcotest.(check bool) "distinct" false (Label.equal a b);
+  Alcotest.(check bool) "stable" true (Label.equal a (Label.intern "alpha"));
+  Alcotest.(check string) "round-trip" "alpha" (Label.to_string a);
+  Alcotest.(check int) "of_int/to_int" (Label.to_int a) (Label.to_int (Label.of_int (Label.to_int a)));
+  Alcotest.check_raises "of_int out of range" (Invalid_argument "Label.of_int: not interned")
+    (fun () -> ignore (Label.of_int max_int))
+
+let test_label_fresh () =
+  let f1 = Label.fresh "absent" and f2 = Label.fresh "absent" in
+  Alcotest.(check bool) "fresh labels distinct" false (Label.equal f1 f2);
+  (* fresh never collides with an interned label even if the user interns
+     something that looks like one. *)
+  let name = Label.to_string (Label.fresh "absent") in
+  let clash = Label.intern name in
+  let f3 = Label.fresh "absent" in
+  Alcotest.(check bool) "fresh avoids interned" false (Label.equal clash f3)
+
+let test_edge_ordering () =
+  let e1 = Edge.of_strings "a" "x" "y" and e2 = Edge.of_strings "a" "x" "y" in
+  Alcotest.(check bool) "structural equal" true (Edge.equal e1 e2);
+  Alcotest.(check int) "compare 0" 0 (Edge.compare e1 e2);
+  Alcotest.(check bool) "hash agrees" true (Edge.hash e1 = Edge.hash e2)
+
+let test_graph_multigraph () =
+  let g = Graph.create () in
+  let e1 = Edge.of_strings "a" "x" "y" in
+  let e2 = Edge.of_strings "b" "x" "y" in
+  Alcotest.(check bool) "insert" true (Graph.add_edge g e1);
+  Alcotest.(check bool) "parallel edge, different label" true (Graph.add_edge g e2);
+  Alcotest.(check bool) "identical triple rejected" false (Graph.add_edge g e1);
+  Alcotest.(check int) "two edges" 2 (Graph.num_edges g);
+  Alcotest.(check int) "two vertices" 2 (Graph.num_vertices g);
+  Alcotest.(check int) "out degree counts both" 2 (Graph.out_degree g (Label.intern "x"));
+  Alcotest.(check (list string)) "succ by label" [ "y" ]
+    (List.map Label.to_string (Graph.succ g ~label:(Label.intern "a") (Label.intern "x")));
+  Alcotest.(check bool) "remove" true (Graph.remove_edge g e1);
+  Alcotest.(check bool) "remove absent" false (Graph.remove_edge g e1);
+  Alcotest.(check int) "one left" 1 (Graph.num_edges g);
+  Alcotest.(check int) "label index maintained" 0 (Graph.count_label g (Label.intern "a"));
+  Alcotest.(check int) "label index maintained b" 1 (Graph.count_label g (Label.intern "b"))
+
+let test_graph_adjacency () =
+  let g = Graph.create () in
+  List.iter
+    (fun (l, s, d) -> ignore (Graph.add_edge g (Edge.of_strings l s d)))
+    [ ("a", "x", "y"); ("a", "x", "z"); ("b", "w", "x") ];
+  let x = Label.intern "x" in
+  Alcotest.(check int) "out edges" 2 (List.length (Graph.out_edges g x));
+  Alcotest.(check int) "in edges" 1 (List.length (Graph.in_edges g x));
+  Alcotest.(check (list string)) "pred" [ "w" ]
+    (List.map Label.to_string (Graph.pred g ~label:(Label.intern "b") x))
+
+let test_stream_replay () =
+  let updates =
+    [
+      Update.add (Edge.of_strings "a" "x" "y");
+      Update.add (Edge.of_strings "a" "y" "z");
+      Update.remove (Edge.of_strings "a" "x" "y");
+    ]
+  in
+  let s = Stream.of_updates updates in
+  Alcotest.(check int) "length" 3 (Stream.length s);
+  let g = Stream.final_graph s in
+  Alcotest.(check int) "net one edge" 1 (Graph.num_edges g);
+  Alcotest.(check bool) "survivor" true (Graph.mem_edge g (Edge.of_strings "a" "y" "z"));
+  let p = Stream.prefix s 2 in
+  Alcotest.(check int) "prefix" 2 (Stream.length p);
+  Alcotest.(check int) "prefix graph has both" 2 (Graph.num_edges (Stream.final_graph p));
+  let appended = Stream.append p (Update.add (Edge.of_strings "b" "p" "q")) in
+  Alcotest.(check int) "append" 3 (Stream.length appended);
+  (* append must not mutate the original *)
+  Alcotest.(check int) "original untouched" 2 (Stream.length p)
+
+let suite =
+  [
+    Alcotest.test_case "label interning" `Quick test_label_interning;
+    Alcotest.test_case "label fresh" `Quick test_label_fresh;
+    Alcotest.test_case "edge ordering" `Quick test_edge_ordering;
+    Alcotest.test_case "multigraph semantics" `Quick test_graph_multigraph;
+    Alcotest.test_case "adjacency" `Quick test_graph_adjacency;
+    Alcotest.test_case "stream replay" `Quick test_stream_replay;
+  ]

@@ -1,0 +1,474 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   Invariants covered:
+   - covering-path extraction always covers every vertex and edge, for
+     both strategies, on arbitrary connected patterns;
+   - all engines agree with the naive oracle on arbitrary streams
+     (the end-to-end correctness property);
+   - relations behave as deduplicated sets under random insert/remove,
+     with cached indexes staying consistent with rebuilt ones;
+   - embedding merge is commutative and conflict-symmetric;
+   - trie insertion shares prefixes: inserting the same path twice never
+     creates nodes, and node count equals the number of distinct prefixes
+     of all inserted words. *)
+
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+let elabels = [ "a"; "b"; "c" ]
+let vconsts = [ "v1"; "v2"; "v3"; "v4" ]
+
+(* Generator of random connected patterns: a random spine plus extra
+   edges attached to existing vertices. *)
+let gen_pattern_spec =
+  QCheck2.Gen.(
+    let term =
+      oneof
+        [
+          map (fun i -> `Var i) (int_bound 4);
+          map (fun i -> `Const i) (int_bound (List.length vconsts - 1));
+        ]
+    in
+    let edge = triple (int_bound (List.length elabels - 1)) term term in
+    list_size (int_range 1 6) edge)
+
+let build_pattern ~id spec =
+  let b = Pattern.Builder.create ~id () in
+  (* Chain the edges through shared terms to keep the pattern connected:
+     edge i's source is edge (i-1)'s target unless the spec's own source
+     term is a constant (which anchors naturally). *)
+  let prev = ref None in
+  List.iter
+    (fun (li, s, d) ->
+      let term_of = function
+        | `Var i -> Term.var (Printf.sprintf "x%d" i)
+        | `Const i -> Term.const (List.nth vconsts i)
+      in
+      let src =
+        match !prev with
+        | Some p when (match s with `Var _ -> true | `Const _ -> false) -> p
+        | _ -> term_of s
+      in
+      let dst = term_of d in
+      let sv = Pattern.Builder.vertex b src and dv = Pattern.Builder.vertex b dst in
+      Pattern.Builder.edge b ~label:(Label.intern (List.nth elabels li)) sv dv;
+      prev := Some dst)
+    spec;
+  Pattern.Builder.build b
+
+let valid_spec spec =
+  (* The builder rejects edge-free patterns; duplicates collapsing to an
+     isolated vertex can't happen by construction. *)
+  spec <> []
+
+let prop_cover_covers strategy =
+  QCheck2.Test.make ~count:300
+    ~name:
+      (Printf.sprintf "cover(%s) covers all vertices and edges"
+         (match strategy with Cover.Upstream -> "upstream" | Cover.Naive -> "naive"))
+    gen_pattern_spec
+    (fun spec ->
+      QCheck2.assume (valid_spec spec);
+      match build_pattern ~id:1 spec with
+      | exception Invalid_argument _ -> QCheck2.assume_fail ()
+      | q ->
+        if not (Pattern.is_connected q) then QCheck2.assume_fail ()
+        else Cover.covers q (Cover.extract ~strategy q))
+
+let gen_stream_spec =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (triple (int_bound (List.length elabels - 1))
+         (int_bound (List.length vconsts - 1))
+         (int_bound (List.length vconsts - 1))))
+
+let edges_of_spec spec =
+  List.map
+    (fun (li, si, di) ->
+      Edge.of_strings (List.nth elabels li) (List.nth vconsts si) (List.nth vconsts di))
+    spec
+
+let print_case (qspecs, sspec) =
+  let term = function `Var i -> Printf.sprintf "?x%d" i | `Const i -> List.nth vconsts i in
+  let spec_to_string spec =
+    String.concat "; "
+      (List.map (fun (li, s, d) -> Printf.sprintf "%s -%s-> %s" (term s) (List.nth elabels li) (term d)) spec)
+  in
+  Printf.sprintf "queries=[%s] stream=[%s]"
+    (String.concat " | " (List.map spec_to_string qspecs))
+    (String.concat "; "
+       (List.map
+          (fun (li, si, di) ->
+            Printf.sprintf "%s -%s-> %s" (List.nth vconsts si) (List.nth elabels li)
+              (List.nth vconsts di))
+          sspec))
+
+let prop_engine_agrees name mk =
+  QCheck2.Test.make ~count:40 ~print:print_case
+    ~name:(Printf.sprintf "%s agrees with oracle on random streams" name)
+    QCheck2.Gen.(pair (list_size (int_range 1 4) gen_pattern_spec) gen_stream_spec)
+    (fun (qspecs, sspec) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.filteri (fun _ _ -> true) qspecs
+        |> List.mapi (fun i spec ->
+               match build_pattern ~id:(i + 1) spec with
+               | q when Pattern.is_connected q -> Some q
+               | _ -> None
+               | exception Invalid_argument _ -> None)
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let engine = mk () in
+      let oracle = Tric_engine.Engines.naive () in
+      List.iter
+        (fun q ->
+          engine.Tric_engine.Matcher.add_query q;
+          oracle.Tric_engine.Matcher.add_query q)
+        queries;
+      List.for_all
+        (fun e ->
+          let u = Update.add e in
+          Tric_engine.Report.equal
+            (oracle.Tric_engine.Matcher.handle_update u)
+            (engine.Tric_engine.Matcher.handle_update u))
+        (edges_of_spec sspec))
+
+let prop_relation_set_semantics =
+  QCheck2.Test.make ~count:200 ~name:"relation = deduplicated set under insert/remove"
+    QCheck2.Gen.(list_size (int_range 0 100) (pair bool (pair (int_bound 8) (int_bound 8))))
+    (fun ops ->
+      let r = Relation.create ~cache:true ~width:2 () in
+      let probe = Relation.index_on r ~col:0 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, (a, b)) ->
+          let t =
+            Tuple.make [| Label.intern (Printf.sprintf "p%d" a); Label.intern (Printf.sprintf "p%d" b) |]
+          in
+          if add then begin
+            ignore (Relation.insert r t);
+            Hashtbl.replace model (a, b) ()
+          end
+          else begin
+            ignore (Relation.remove r t);
+            Hashtbl.remove model (a, b)
+          end)
+        ops;
+      Relation.cardinality r = Hashtbl.length model
+      && Hashtbl.fold
+           (fun (a, _) () acc ->
+             acc
+             &&
+             let expected =
+               Hashtbl.fold (fun (a', _) () n -> if a = a' then n + 1 else n) model 0
+             in
+             List.length (probe (Label.intern (Printf.sprintf "p%d" a))) = expected)
+           model true)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~count:300 ~name:"embedding merge is commutative"
+    QCheck2.Gen.(pair (list_size (int_range 0 5) (pair (int_bound 4) (int_bound 3)))
+                   (list_size (int_range 0 5) (pair (int_bound 4) (int_bound 3))))
+    (fun (sa, sb) ->
+      let build pairs =
+        List.fold_left
+          (fun acc (vid, v) ->
+            match acc with
+            | None -> None
+            | Some e -> Embedding.bind e vid (Label.intern (Printf.sprintf "m%d" v)))
+          (Some (Embedding.empty 5)) pairs
+      in
+      match (build sa, build sb) with
+      | Some a, Some b -> (
+        match (Embedding.merge a b, Embedding.merge b a) with
+        | Some x, Some y -> Embedding.equal x y
+        | None, None -> true
+        | Some _, None | None, Some _ -> false)
+      | _ -> QCheck2.assume_fail ())
+
+let prop_trie_sharing =
+  QCheck2.Test.make ~count:200 ~name:"trie node count = distinct prefixes"
+    QCheck2.Gen.(list_size (int_range 1 20) (list_size (int_range 1 5) (int_bound 3)))
+    (fun words ->
+      let key i =
+        { Ekey.label = Label.intern (Printf.sprintf "k%d" i); src = Ekey.Kvar; dst = Ekey.Kvar }
+      in
+      let forest = Tric_core.Trie.create ~cache:false in
+      List.iteri
+        (fun qid word ->
+          ignore (Tric_core.Trie.insert_path forest (List.map key word) ~qid ~path_index:0))
+        words;
+      let prefixes = Hashtbl.create 64 in
+      List.iter
+        (fun word ->
+          let rec go acc = function
+            | [] -> ()
+            | k :: tl ->
+              let acc = k :: acc in
+              Hashtbl.replace prefixes acc ();
+              go acc tl
+          in
+          go [] word)
+        words;
+      Tric_core.Trie.num_nodes forest = Hashtbl.length prefixes)
+
+(* Analytics invariants against brute-force recomputation. *)
+
+let brute_triangles g =
+  (* Count triangles in the undirected simple view by enumerating vertex
+     triples adjacent pairwise. *)
+  let adjacent u v =
+    (not (Label.equal u v))
+    && (List.exists (fun (e : Edge.t) -> Label.equal e.dst v) (Graph.out_edges g u)
+       || List.exists (fun (e : Edge.t) -> Label.equal e.src v) (Graph.in_edges g u))
+  in
+  let vs = Array.of_list (Graph.vertices g) in
+  let n = Array.length vs in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if adjacent vs.(i) vs.(j) then
+        for k = j + 1 to n - 1 do
+          if adjacent vs.(i) vs.(k) && adjacent vs.(j) vs.(k) then incr count
+        done
+    done
+  done;
+  !count
+
+let gen_mixed_stream =
+  (* Additions and removals over a small vocabulary; removals may target
+     absent edges (must be no-ops). *)
+  QCheck2.Gen.(
+    list_size (int_range 1 80)
+      (quad bool (int_bound (List.length elabels - 1))
+         (int_bound (List.length vconsts - 1))
+         (int_bound (List.length vconsts - 1))))
+
+let updates_of_mixed spec =
+  List.map
+    (fun (add, li, si, di) ->
+      let e =
+        Edge.of_strings (List.nth elabels li) (List.nth vconsts si) (List.nth vconsts di)
+      in
+      if add then Update.add e else Update.remove e)
+    spec
+
+let prop_triangles_match_bruteforce =
+  QCheck2.Test.make ~count:150 ~name:"incremental triangles = brute force"
+    gen_mixed_stream
+    (fun spec ->
+      let updates = updates_of_mixed spec in
+      let m = Tric_analytics.Metrics.create () in
+      let g = Graph.create () in
+      List.for_all
+        (fun u ->
+          Tric_analytics.Metrics.handle_update m u;
+          ignore (Update.apply g u);
+          Tric_analytics.Metrics.triangles m = brute_triangles g)
+        updates)
+
+let prop_components_match_bfs =
+  QCheck2.Test.make ~count:100 ~name:"incremental components = BFS reachability"
+    gen_mixed_stream
+    (fun spec ->
+      let updates = updates_of_mixed spec in
+      let c = Tric_analytics.Components.create () in
+      let g = Graph.create () in
+      List.iter
+        (fun u ->
+          Tric_analytics.Components.handle_update c u;
+          ignore (Update.apply g u))
+        updates;
+      (* Undirected reachability oracle. *)
+      let reaches u v =
+        let seen = Hashtbl.create 16 in
+        let rec go frontier =
+          match frontier with
+          | [] -> false
+          | x :: rest ->
+            if Label.equal x v then true
+            else if Hashtbl.mem seen x then go rest
+            else begin
+              Hashtbl.add seen x ();
+              let next =
+                List.map (fun (e : Edge.t) -> e.dst) (Graph.out_edges g x)
+                @ List.map (fun (e : Edge.t) -> e.src) (Graph.in_edges g x)
+              in
+              go (next @ rest)
+            end
+        in
+        go [ u ]
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let la = Label.intern a and lb = Label.intern b in
+              if Graph.mem_vertex g la && Graph.mem_vertex g lb then
+                Tric_analytics.Components.same_component c la lb = reaches la lb
+              else true)
+            vconsts)
+        vconsts)
+
+let prop_window_equals_suffix =
+  (* A count-window engine over a duplicate-free addition stream must
+     report, at the end, exactly the matches of the last W updates. *)
+  QCheck2.Test.make ~count:60 ~name:"window engine = evaluation over suffix"
+    QCheck2.Gen.(pair gen_pattern_spec gen_stream_spec)
+    (fun (qspec, sspec) ->
+      QCheck2.assume (valid_spec qspec);
+      match build_pattern ~id:1 qspec with
+      | exception Invalid_argument _ -> QCheck2.assume_fail ()
+      | q ->
+        if not (Pattern.is_connected q) then QCheck2.assume_fail ()
+        else begin
+          let edges =
+            List.sort_uniq Edge.compare (edges_of_spec sspec)
+          in
+          QCheck2.assume (edges <> []);
+          let window = 1 + (List.length edges / 2) in
+          let w = Tric_engine.Window.create ~window (Tric_engine.Engines.tric ()) in
+          Tric_engine.Window.add_query w q;
+          List.iter (fun e -> ignore (Tric_engine.Window.handle_update w (Update.add e))) edges;
+          let windowed =
+            (Tric_engine.Window.engine w).Tric_engine.Matcher.current_matches 1
+            |> List.sort_uniq Embedding.compare
+          in
+          (* Oracle: evaluate the pattern on the graph of the last W
+             edges. *)
+          let suffix =
+            let n = List.length edges in
+            List.filteri (fun i _ -> i >= n - window) edges
+          in
+          let g = Graph.create () in
+          List.iter (fun e -> ignore (Graph.add_edge g e)) suffix;
+          let expected =
+            Tric_engine.Naive.embeddings_in g q |> List.sort_uniq Embedding.compare
+          in
+          List.length windowed = List.length expected
+          && List.for_all2 Embedding.equal windowed expected
+        end)
+
+let gen_edge =
+  QCheck2.Gen.(
+    map
+      (fun (li, si, di) ->
+        Edge.of_strings (List.nth elabels li) (List.nth vconsts si) (List.nth vconsts di))
+      (triple (int_bound (List.length elabels - 1))
+         (int_bound (List.length vconsts - 1))
+         (int_bound (List.length vconsts - 1))))
+
+let prop_ekey_generalisation_sound_complete =
+  (* keys_of_edge e = exactly the generic keys that match e (soundness and
+     completeness over the key space of the vocabulary). *)
+  QCheck2.Test.make ~count:200 ~name:"keys_of_edge = all matching keys"
+    QCheck2.Gen.(pair gen_edge gen_edge)
+    (fun (e, other) ->
+      let keys = Ekey.keys_of_edge e in
+      List.for_all (fun k -> Ekey.matches k e) keys
+      && List.length (List.sort_uniq Ekey.compare keys) = 4
+      &&
+      (* Any key derived from any edge matches e iff label agrees and each
+         constant endpoint agrees — cross-check with a key from another
+         edge. *)
+      List.for_all
+        (fun k ->
+          let expected =
+            Label.equal k.Ekey.label e.Edge.label
+            && (match Ekey.src_const k with
+               | Some c -> Label.equal c e.Edge.src
+               | None -> true)
+            && match Ekey.dst_const k with
+               | Some c -> Label.equal c e.Edge.dst
+               | None -> true
+          in
+          Ekey.matches k e = expected)
+        (Ekey.keys_of_edge other))
+
+let prop_cover_path_count_bounded =
+  (* A covering set never needs more paths than edges, and the upstream
+     strategy covers every edge with at least one path starting at a
+     source or constant when one exists. *)
+  QCheck2.Test.make ~count:200 ~name:"cover: at most one path per edge"
+    gen_pattern_spec
+    (fun spec ->
+      QCheck2.assume (valid_spec spec);
+      match build_pattern ~id:1 spec with
+      | exception Invalid_argument _ -> QCheck2.assume_fail ()
+      | q ->
+        let paths = Cover.extract q in
+        List.length paths <= Pattern.num_edges q
+        && List.for_all (fun p -> Path.length p >= 1) paths)
+
+let prop_journal_recovery =
+  (* Whatever ran through a journal is fully reconstructable: the
+     recovered engine has identical current matches for every query. *)
+  QCheck2.Test.make ~count:25 ~name:"journal recovery preserves engine state"
+    QCheck2.Gen.(pair (list_size (int_range 1 3) gen_pattern_spec) gen_stream_spec)
+    (fun (qspecs, sspec) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let path = Filename.temp_file "tric_prop_journal" ".log" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let j = Tric_engine.Journal.open_ ~path (fun () -> Tric_engine.Engines.tric ()) in
+          List.iter (Tric_engine.Journal.add_query j) queries;
+          List.iter
+            (fun e -> ignore (Tric_engine.Journal.handle_update j (Update.add e)))
+            (edges_of_spec sspec);
+          let live = Tric_engine.Journal.engine j in
+          Tric_engine.Journal.close j;
+          let j2 = Tric_engine.Journal.open_ ~path (fun () -> Tric_engine.Engines.tric ()) in
+          let recovered = Tric_engine.Journal.engine j2 in
+          let ok =
+            List.for_all
+              (fun q ->
+                let qid = Pattern.id q in
+                let a =
+                  List.sort Embedding.compare (live.Tric_engine.Matcher.current_matches qid)
+                in
+                let b =
+                  List.sort Embedding.compare
+                    (recovered.Tric_engine.Matcher.current_matches qid)
+                in
+                List.length a = List.length b && List.for_all2 Embedding.equal a b)
+              queries
+          in
+          Tric_engine.Journal.close j2;
+          ok))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cover_covers Cover.Upstream;
+      prop_cover_covers Cover.Naive;
+      prop_engine_agrees "TRIC" (fun () -> Tric_engine.Engines.tric ());
+      prop_engine_agrees "TRIC+" (fun () -> Tric_engine.Engines.tric ~cache:true ());
+      prop_engine_agrees "INV" (fun () -> Tric_engine.Engines.inv ());
+      prop_engine_agrees "INV+" (fun () -> Tric_engine.Engines.inv ~cache:true ());
+      prop_engine_agrees "INC" (fun () -> Tric_engine.Engines.inc ());
+      prop_engine_agrees "INC+" (fun () -> Tric_engine.Engines.inc ~cache:true ());
+      prop_engine_agrees "GraphDB" (fun () -> Tric_engine.Engines.graphdb ());
+      prop_relation_set_semantics;
+      prop_merge_commutative;
+      prop_trie_sharing;
+      prop_triangles_match_bruteforce;
+      prop_components_match_bfs;
+      prop_window_equals_suffix;
+      prop_ekey_generalisation_sound_complete;
+      prop_cover_path_count_bounded;
+      prop_journal_recovery;
+    ]

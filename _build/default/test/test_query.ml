@@ -1,0 +1,136 @@
+(* Query model tests: patterns, parsing, edge keys, paths, covering-path
+   extraction. *)
+
+open Tric_graph
+open Tric_query
+
+let test_builder_unifies_terms () =
+  let b = Pattern.Builder.create ~id:1 () in
+  let x1 = Pattern.Builder.vertex b (Term.var "x") in
+  let x2 = Pattern.Builder.vertex b (Term.var "x") in
+  let c1 = Pattern.Builder.vertex b (Term.const "pst1") in
+  let c2 = Pattern.Builder.vertex b (Term.const "pst1") in
+  Alcotest.(check int) "same var unifies" x1 x2;
+  Alcotest.(check int) "same const unifies" c1 c2;
+  Pattern.Builder.edge b ~label:(Label.intern "a") x1 c1;
+  let q = Pattern.Builder.build b in
+  Alcotest.(check int) "two vertices" 2 (Pattern.num_vertices q);
+  Alcotest.(check int) "one edge" 1 (Pattern.num_edges q)
+
+let test_builder_validation () =
+  let b = Pattern.Builder.create ~id:1 () in
+  Alcotest.check_raises "no edges" (Invalid_argument "Pattern.Builder.build: pattern has no edges")
+    (fun () -> ignore (Pattern.Builder.build b));
+  let b = Pattern.Builder.create ~id:1 () in
+  ignore (Pattern.Builder.vertex b (Term.var "lonely"));
+  let x = Pattern.Builder.vertex b (Term.var "x") and y = Pattern.Builder.vertex b (Term.var "y") in
+  Pattern.Builder.edge b ~label:(Label.intern "a") x y;
+  Alcotest.check_raises "isolated vertex"
+    (Invalid_argument "Pattern.Builder.build: vertex on no edge") (fun () ->
+      ignore (Pattern.Builder.build b))
+
+let test_parse_roundtrip () =
+  let q = Parse.pattern ~id:3 "?x -a-> ?y -b-> \"quoted const\"; ?x -c-> k9" in
+  Alcotest.(check int) "edges" 3 (Pattern.num_edges q);
+  Alcotest.(check int) "vertices" 4 (Pattern.num_vertices q);
+  Alcotest.(check bool) "connected" true (Pattern.is_connected q);
+  Alcotest.check_raises "garbage" (Parse.Syntax_error "clause must start with a term in \"-a-> ?y\"")
+    (fun () -> ignore (Parse.pattern ~id:4 "-a-> ?y"));
+  (match Parse.update "- x -a-> y" with
+  | Update.Remove _ -> ()
+  | Update.Add _ -> Alcotest.fail "expected removal");
+  match Parse.update "x -a-> y" with
+  | Update.Add _ -> ()
+  | Update.Remove _ -> Alcotest.fail "expected addition"
+
+let test_ekey_generalisations () =
+  let e = Edge.of_strings "a" "s" "t" in
+  let keys = Ekey.keys_of_edge e in
+  Alcotest.(check int) "four keys" 4 (List.length keys);
+  List.iter
+    (fun k -> Alcotest.(check bool) "edge matches own keys" true (Ekey.matches k e))
+    keys;
+  let other = Edge.of_strings "a" "s" "other" in
+  let matching = List.filter (fun k -> Ekey.matches k other) keys in
+  (* (a,s,?) and (a,?,?) still match; (a,s,t) and (a,?,t) don't. *)
+  Alcotest.(check int) "two generalisations survive" 2 (List.length matching);
+  Alcotest.(check int) "all distinct" 4 (List.length (List.sort_uniq Ekey.compare keys))
+
+let test_path_validation () =
+  let q = Parse.pattern ~id:5 "?x -a-> ?y -b-> ?z" in
+  let e0 = Pattern.edge q 0 and e1 = Pattern.edge q 1 in
+  let p = Path.of_edges [ e0; e1 ] in
+  Alcotest.(check int) "length" 2 (Path.length p);
+  Alcotest.(check (list int)) "vids" [ e0.Pattern.src; e0.Pattern.dst; e1.Pattern.dst ]
+    (Array.to_list (Path.vids p));
+  Alcotest.check_raises "non-chaining" (Invalid_argument "Path.of_edges: edges do not chain")
+    (fun () -> ignore (Path.of_edges [ e1; e1 ]));
+  Alcotest.(check bool) "subpath" true (Path.is_subpath (Path.of_edges [ e0 ]) p);
+  Alcotest.(check bool) "not subpath (wrong order)" false
+    (Path.is_subpath p (Path.of_edges [ e0 ]))
+
+let cover_ok ?strategy q =
+  let paths = Cover.extract ?strategy q in
+  Alcotest.(check bool) "covers" true (Cover.covers q paths);
+  paths
+
+let test_cover_shapes () =
+  (* Chain: one path. *)
+  let chain = Parse.pattern ~id:10 "?a -x-> ?b -y-> ?c -z-> ?d" in
+  Alcotest.(check int) "chain: 1 path" 1 (List.length (cover_ok chain));
+  (* Out-star: one path per leaf. *)
+  let star = Parse.pattern ~id:11 "?c -x-> ?l1; ?c -y-> ?l2; ?c -z-> ?l3" in
+  Alcotest.(check int) "star: 3 paths" 3 (List.length (cover_ok star));
+  (* In-star. *)
+  let instar = Parse.pattern ~id:12 "?l1 -x-> ?c; ?l2 -y-> ?c" in
+  Alcotest.(check int) "in-star: 2 paths" 2 (List.length (cover_ok instar));
+  (* Cycle: a single path walking around it. *)
+  let cycle = Parse.pattern ~id:13 "?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?a" in
+  let paths = cover_ok cycle in
+  Alcotest.(check int) "cycle: 1 path" 1 (List.length paths);
+  Alcotest.(check int) "cycle path covers all edges" 3 (Path.length (List.hd paths))
+
+let test_cover_const_anchor () =
+  (* The backward walk must stop at a constant vertex: the covering path
+     of an anchored cycle starts at the constant. *)
+  let cycle = Parse.pattern ~id:14 "k0 -x-> ?b; ?b -y-> ?c; ?c -z-> k0" in
+  let paths = cover_ok cycle in
+  Alcotest.(check int) "one path" 1 (List.length paths);
+  let p = List.hd paths in
+  (match Pattern.term cycle (Path.source p) with
+  | Term.Const c -> Alcotest.(check string) "starts at constant" "k0" (Label.to_string c)
+  | Term.Var _ -> Alcotest.fail "cycle covering path should start at the constant")
+
+let test_cover_naive_strategy () =
+  List.iter
+    (fun s ->
+      ignore
+        (cover_ok ~strategy:Cover.Naive (Parse.pattern ~id:20 s) : Path.t list))
+    [
+      "?a -x-> ?b -y-> ?c";
+      "?c -x-> ?l1; ?c -y-> ?l2";
+      "?a -x-> ?b; ?b -y-> ?a";
+      "k1 -x-> ?b -y-> k2; ?b -z-> ?d";
+    ]
+
+let test_intersections () =
+  let q = Parse.pattern ~id:21 "?c -a-> ?x; ?c -b-> ?y" in
+  let paths = Cover.extract q in
+  match Cover.intersections paths with
+  | [ (0, 1, shared) ] ->
+    (* ?c is the first vertex mentioned, so its vid is 0. *)
+    Alcotest.(check (list int)) "share the center" [ 0 ] shared
+  | other -> Alcotest.failf "unexpected intersections (%d entries)" (List.length other)
+
+let suite =
+  [
+    Alcotest.test_case "builder unifies terms" `Quick test_builder_unifies_terms;
+    Alcotest.test_case "builder validation" `Quick test_builder_validation;
+    Alcotest.test_case "parse round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "ekey generalisations" `Quick test_ekey_generalisations;
+    Alcotest.test_case "path validation" `Quick test_path_validation;
+    Alcotest.test_case "cover shapes" `Quick test_cover_shapes;
+    Alcotest.test_case "cover constant anchor" `Quick test_cover_const_anchor;
+    Alcotest.test_case "cover naive strategy" `Quick test_cover_naive_strategy;
+    Alcotest.test_case "path intersections" `Quick test_intersections;
+  ]

@@ -1,0 +1,136 @@
+(* Relational substrate tests: tuples, relations (with/without cached
+   indexes), embeddings, embedding joins. *)
+
+open Tric_graph
+open Tric_rel
+
+let l s = Label.intern s
+let tup ss = Array.map l (Array.of_list ss) |> Tuple.make
+
+let test_tuple_basics () =
+  let t = tup [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "width" 3 (Tuple.width t);
+  Alcotest.(check string) "first" "a" (Label.to_string (Tuple.first t));
+  Alcotest.(check string) "last" "c" (Label.to_string (Tuple.last t));
+  let t' = Tuple.extend t (l "d") in
+  Alcotest.(check int) "extended width" 4 (Tuple.width t');
+  Alcotest.(check int) "original untouched" 3 (Tuple.width t);
+  Alcotest.(check bool) "equal" true (Tuple.equal t (tup [ "a"; "b"; "c" ]));
+  Alcotest.(check bool) "unequal" false (Tuple.equal t t')
+
+let test_relation_dedup_and_remove () =
+  let r = Relation.create ~width:2 () in
+  Alcotest.(check bool) "insert new" true (Relation.insert r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "insert dup" false (Relation.insert r (tup [ "a"; "b" ]));
+  Alcotest.(check int) "cardinality" 1 (Relation.cardinality r);
+  let fresh = Relation.insert_all r [ tup [ "a"; "b" ]; tup [ "c"; "d" ]; tup [ "c"; "d" ] ] in
+  Alcotest.(check int) "insert_all reports new only" 1 (List.length fresh);
+  Alcotest.(check bool) "remove" true (Relation.remove r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "remove absent" false (Relation.remove r (tup [ "a"; "b" ]));
+  Alcotest.(check int) "remove_if" 1 (Relation.remove_if r (fun t -> Label.equal (Tuple.first t) (l "c")));
+  Alcotest.(check bool) "empty" true (Relation.is_empty r);
+  Alcotest.check_raises "width check" (Invalid_argument "Relation.insert: width mismatch")
+    (fun () -> ignore (Relation.insert r (tup [ "a" ])))
+
+let test_relation_index_modes () =
+  let check_probe cache =
+    let r = Relation.create ~cache ~width:2 () in
+    ignore (Relation.insert_all r [ tup [ "a"; "b" ]; tup [ "a"; "c" ]; tup [ "x"; "y" ] ]);
+    let probe = Relation.index_on r ~col:0 in
+    Alcotest.(check int) "probe hits" 2 (List.length (probe (l "a")));
+    Alcotest.(check int) "probe miss" 0 (List.length (probe (l "zz")));
+    (* In caching mode the index must track later mutations. *)
+    if cache then begin
+      ignore (Relation.insert r (tup [ "a"; "d" ]));
+      Alcotest.(check int) "cached index sees insert" 3 (List.length (probe (l "a")));
+      ignore (Relation.remove r (tup [ "a"; "b" ]));
+      Alcotest.(check int) "cached index sees remove" 2 (List.length (probe (l "a")))
+    end
+  in
+  check_probe false;
+  check_probe true;
+  (* Rebuild accounting: non-cached rebuilds per call, cached builds once. *)
+  let r = Relation.create ~cache:false ~width:2 () in
+  ignore (Relation.insert r (tup [ "a"; "b" ]));
+  ignore (Relation.index_on r ~col:0 : Relation.probe);
+  ignore (Relation.index_on r ~col:0 : Relation.probe);
+  Alcotest.(check int) "uncached rebuilds" 2 (Relation.stats_rebuilds r);
+  let rc = Relation.create ~cache:true ~width:2 () in
+  ignore (Relation.insert rc (tup [ "a"; "b" ]));
+  ignore (Relation.index_on rc ~col:0 : Relation.probe);
+  ignore (Relation.index_on rc ~col:0 : Relation.probe);
+  Alcotest.(check int) "cached builds once" 1 (Relation.stats_rebuilds rc)
+
+let test_probe_scan () =
+  let r = Relation.create ~width:2 () in
+  ignore (Relation.insert_all r [ tup [ "a"; "b" ]; tup [ "a"; "c" ]; tup [ "z"; "b" ] ]);
+  Alcotest.(check int) "probe_scan col0" 2 (List.length (Relation.probe_scan r ~col:0 (l "a")));
+  Alcotest.(check int) "probe_scan col1" 2 (List.length (Relation.probe_scan r ~col:1 (l "b")));
+  let hits = ref 0 in
+  Relation.scan_probing r ~col:0
+    (fun hinge -> if Label.equal hinge (l "a") then [ 1; 2 ] else [])
+    (fun _t _hit -> incr hits);
+  Alcotest.(check int) "scan_probing fan-out" 4 !hits
+
+let test_embedding () =
+  let e = Embedding.empty 3 in
+  Alcotest.(check bool) "not total" false (Embedding.is_total e);
+  let e1 = Option.get (Embedding.bind e 0 (l "a")) in
+  Alcotest.(check bool) "rebind same ok" true (Embedding.bind e1 0 (l "a") <> None);
+  Alcotest.(check bool) "conflict" true (Embedding.bind e1 0 (l "b") = None);
+  Alcotest.(check bool) "original immutable" false (Embedding.is_bound e 0);
+  let e2 = Option.get (Embedding.bind_tuple e1 ~vids:[| 1; 2 |] (tup [ "x"; "y" ])) in
+  Alcotest.(check bool) "total now" true (Embedding.is_total e2);
+  (* Repeated vid in the tuple enforces equality. *)
+  Alcotest.(check bool) "repeated vid conflict" true
+    (Embedding.of_tuple ~width:3 ~vids:[| 0; 0 |] (tup [ "x"; "y" ]) = None);
+  Alcotest.(check bool) "repeated vid ok" true
+    (Embedding.of_tuple ~width:3 ~vids:[| 0; 0 |] (tup [ "x"; "x" ]) <> None);
+  (* Merge. *)
+  let a = Option.get (Embedding.of_tuple ~width:3 ~vids:[| 0; 1 |] (tup [ "p"; "q" ])) in
+  let b = Option.get (Embedding.of_tuple ~width:3 ~vids:[| 1; 2 |] (tup [ "q"; "r" ])) in
+  let m = Option.get (Embedding.merge a b) in
+  Alcotest.(check bool) "merge total" true (Embedding.is_total m);
+  let b' = Option.get (Embedding.of_tuple ~width:3 ~vids:[| 1; 2 |] (tup [ "zz"; "r" ])) in
+  Alcotest.(check bool) "merge conflict" true (Embedding.merge a b' = None)
+
+let embs_of width specs =
+  List.map
+    (fun pairs ->
+      List.fold_left
+        (fun e (vid, v) -> Option.get (Embedding.bind e vid (l v)))
+        (Embedding.empty width) pairs)
+    specs
+
+let test_embjoin () =
+  (* Join on shared vid 1. *)
+  let left = embs_of 3 [ [ (0, "a"); (1, "h1") ]; [ (0, "b"); (1, "h2") ] ] in
+  let right = embs_of 3 [ [ (1, "h1"); (2, "x") ]; [ (1, "h1"); (2, "y") ]; [ (1, "h3"); (2, "z") ] ] in
+  let joined = Embjoin.join left right in
+  Alcotest.(check int) "two results" 2 (List.length joined);
+  List.iter (fun e -> Alcotest.(check bool) "total" true (Embedding.is_total e)) joined;
+  (* Empty side annihilates. *)
+  Alcotest.(check int) "empty left" 0 (List.length (Embjoin.join [] right));
+  (* No shared vids = cartesian product. *)
+  let a = embs_of 2 [ [ (0, "a") ]; [ (0, "b") ] ] in
+  let b = embs_of 2 [ [ (1, "x") ]; [ (1, "y") ] ] in
+  Alcotest.(check int) "cartesian" 4 (List.length (Embjoin.join a b));
+  (* join_many over three operands chained by shared vids. *)
+  let o1 = embs_of 4 [ [ (0, "a"); (1, "b") ] ] in
+  let o2 = embs_of 4 [ [ (1, "b"); (2, "c") ]; [ (1, "zz"); (2, "c") ] ] in
+  let o3 = embs_of 4 [ [ (2, "c"); (3, "d") ] ] in
+  let all = Embjoin.join_many [ o1; o2; o3 ] in
+  Alcotest.(check int) "three-way join" 1 (List.length all);
+  Alcotest.(check int) "join_many with empty operand" 0
+    (List.length (Embjoin.join_many [ o1; []; o3 ]));
+  Alcotest.(check int) "dedup" 1 (List.length (Embjoin.dedup (o1 @ o1)))
+
+let suite =
+  [
+    Alcotest.test_case "tuple basics" `Quick test_tuple_basics;
+    Alcotest.test_case "relation dedup/remove" `Quick test_relation_dedup_and_remove;
+    Alcotest.test_case "relation index modes" `Quick test_relation_index_modes;
+    Alcotest.test_case "probe_scan / scan_probing" `Quick test_probe_scan;
+    Alcotest.test_case "embedding" `Quick test_embedding;
+    Alcotest.test_case "embedding joins" `Quick test_embjoin;
+  ]

@@ -1,0 +1,171 @@
+(* TRIC / TRIC+ engine tests: the paper's running examples, hand-built
+   scenarios, deletions, and randomized differential testing against the
+   naive oracle. *)
+
+open Tric_query
+open Tric_core
+module Engine = Tric_engine
+
+let fig4_queries () =
+  (* The four query graph patterns of the paper's Fig. 4. *)
+  [
+    Helpers.pattern ~name:"Q1" ~id:1
+      "?f1 -hasMod-> ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2";
+    Helpers.pattern ~name:"Q2" ~id:2 "?f1 -hasMod-> ?p1";
+    Helpers.pattern ~name:"Q3" ~id:3
+      "com1 -hasCreator-> ?p1 -posted-> pst1 -containedIn-> ?c";
+    Helpers.pattern ~name:"Q4" ~id:4 "?f1 -hasMod-> ?p1 -posted-> pst1 -containedIn-> ?c";
+  ]
+
+let test_fig4_covering_paths () =
+  let t = Tric.create () in
+  List.iter (Tric.add_query t) (fig4_queries ());
+  let path_strings qid =
+    List.map
+      (fun p -> Format.asprintf "%a" (Path.pp (List.nth (fig4_queries ()) (qid - 1))) p)
+      (Tric.covering_paths t qid)
+  in
+  Alcotest.(check (list string))
+    "Q1 covering paths"
+    [
+      "{?f1 -hasMod-> ?p1 -posted-> pst1}";
+      "{?f1 -hasMod-> ?p1 -posted-> pst2}";
+      "{?com1 -reply-> pst2}";
+    ]
+    (path_strings 1);
+  Alcotest.(check (list string)) "Q2 covering paths" [ "{?f1 -hasMod-> ?p1}" ] (path_strings 2);
+  Alcotest.(check (list string))
+    "Q3 covering paths"
+    [ "{com1 -hasCreator-> ?p1 -posted-> pst1 -containedIn-> ?c}" ]
+    (path_strings 3);
+  Alcotest.(check (list string))
+    "Q4 covering paths"
+    [ "{?f1 -hasMod-> ?p1 -posted-> pst1 -containedIn-> ?c}" ]
+    (path_strings 4)
+
+let test_fig6_trie_sharing () =
+  (* Fig. 6: P1,P2 of Q1, P1 of Q2 and P1 of Q4 share the trie rooted at
+     hasMod=(?var,?var); there are 3 tries in total (hasMod, reply,
+     hasCreator roots). *)
+  let t = Tric.create () in
+  List.iter (Tric.add_query t) (fig4_queries ());
+  let f = Tric.forest t in
+  Alcotest.(check int) "three tries" 3 (Trie.num_tries f);
+  (* Shared nodes: hasMod root is one node used by Q1/Q2/Q4. *)
+  let root_keys =
+    List.map (fun n -> Format.asprintf "%a" Ekey.pp (Trie.node_key n)) (Trie.roots f)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "root keys"
+    [
+      "hasCreator=(com1,?var)"; "hasMod=(?var,?var)"; "reply=(?var,pst2)";
+    ]
+    root_keys;
+  (* Node count: hasMod trie = root + posted-pst1 + posted-pst2 +
+     containedIn = 4; reply trie = 1; hasCreator trie = 3 (hasCreator,
+     posted-pst1, containedIn). *)
+  Alcotest.(check int) "node count" 8 (Trie.num_nodes f)
+
+let run_updates engine updates =
+  List.map (fun u -> engine.Engine.Matcher.handle_update u) updates
+
+let test_fig9_answering () =
+  (* The update scenario of Examples 4.6/4.7: views primed with hasMod
+     edges, then posted=(p2,pst1) arrives. *)
+  let t = Tric.create () in
+  List.iter (Tric.add_query t) (fig4_queries ());
+  let e = Engine.Matcher.of_tric t in
+  let priming =
+    Helpers.updates [ "f1 -hasMod-> p1"; "f2 -hasMod-> p1"; "f2 -hasMod-> p2" ]
+  in
+  let reports = run_updates e priming in
+  (* Each hasMod update satisfies Q2 (single-edge query). *)
+  List.iter
+    (fun r ->
+      Alcotest.(check (list int)) "hasMod satisfies Q2 only" [ 2 ]
+        (Engine.Report.satisfied_ids r))
+    reports;
+  (* posted=(p2,pst1): extends the hasMod chain but Q1/Q3/Q4 need more. *)
+  let r = e.Engine.Matcher.handle_update (Helpers.update "p2 -posted-> pst1") in
+  Alcotest.(check (list int)) "no query satisfied yet" [] (Engine.Report.satisfied_ids r);
+  (* Complete Q1 for moderator f2 (who moderates both p1 and p2):
+     posted=(p1,pst2) gives f2 chains to pst1 (via p2) and pst2 (via p1),
+     and reply completes it. *)
+  let r = e.Engine.Matcher.handle_update (Helpers.update "p1 -posted-> pst2") in
+  Alcotest.(check (list int)) "still nothing" [] (Engine.Report.satisfied_ids r);
+  let r = e.Engine.Matcher.handle_update (Helpers.update "com9 -reply-> pst2") in
+  Alcotest.(check (list int))
+    "reply alone not enough (no p posted both pst1 and pst2)" []
+    (Engine.Report.satisfied_ids r);
+  (* p1-posted->pst1 makes p1 the poster of both pst1 and pst2; its
+     moderators f1 and f2 each complete Q1 (with ?com1 = com9). *)
+  let r = e.Engine.Matcher.handle_update (Helpers.update "p1 -posted-> pst1") in
+  Alcotest.(check (list int)) "Q1 satisfied" [ 1 ] (Engine.Report.satisfied_ids r);
+  Alcotest.(check int) "two embeddings (f1 and f2)" 2 (Engine.Report.total_matches r)
+
+let test_duplicate_update_no_new_matches () =
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:7 "?x -a-> ?y");
+  let e = Engine.Matcher.of_tric t in
+  let r1 = e.Engine.Matcher.handle_update (Helpers.update "v1 -a-> v2") in
+  Alcotest.(check int) "first time matches" 1 (Engine.Report.total_matches r1);
+  let r2 = e.Engine.Matcher.handle_update (Helpers.update "v1 -a-> v2") in
+  Alcotest.(check int) "duplicate is silent" 0 (Engine.Report.total_matches r2)
+
+let test_cycle_query () =
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:9 "?x -a-> ?y; ?y -a-> ?z; ?z -a-> ?x");
+  let e = Engine.Matcher.of_tric t in
+  let r = run_updates e (Helpers.updates [ "v1 -a-> v2"; "v2 -a-> v3" ]) in
+  List.iter
+    (fun r -> Alcotest.(check int) "no match yet" 0 (Engine.Report.total_matches r))
+    r;
+  let r = e.Engine.Matcher.handle_update (Helpers.update "v3 -a-> v1") in
+  (* The closing edge creates 3 rotations?  No: variables are distinct per
+     binding; rotations bind different (x,y,z) triples, so 3 embeddings. *)
+  Alcotest.(check int) "cycle closes with 3 rotations" 3 (Engine.Report.total_matches r);
+  (* A self-loop matches the cycle homomorphically (x=y=z). *)
+  let r = e.Engine.Matcher.handle_update (Helpers.update "v9 -a-> v9") in
+  Alcotest.(check int) "self-loop homomorphism" 1 (Engine.Report.total_matches r)
+
+let test_deletion () =
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:11 "?x -a-> ?y -b-> ?z");
+  let e = Engine.Matcher.of_tric t in
+  ignore (run_updates e (Helpers.updates [ "v1 -a-> v2"; "v2 -b-> v3" ]));
+  Alcotest.(check int) "match present" 1 (List.length (e.Engine.Matcher.current_matches 11));
+  ignore (e.Engine.Matcher.handle_update (Helpers.update "- v1 -a-> v2"));
+  Alcotest.(check int) "match retracted" 0 (List.length (e.Engine.Matcher.current_matches 11));
+  (* Re-adding restores it and is reported as new. *)
+  let r = e.Engine.Matcher.handle_update (Helpers.update "v1 -a-> v2") in
+  Alcotest.(check int) "re-add re-matches" 1 (Engine.Report.total_matches r)
+
+let differential_case ~cache seed () =
+  let st = Helpers.rng seed in
+  let queries =
+    List.init 8 (fun i ->
+        Helpers.random_pattern st ~id:(i + 1) ~elabels:Helpers.elabels
+          ~vconsts:Helpers.vconsts ~size:(1 + Random.State.int st 3))
+  in
+  let stream =
+    List.init 120 (fun _ ->
+        Tric_graph.Update.add
+          (Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts))
+  in
+  let engine = Engine.Matcher.of_tric (Tric.create ~cache ()) in
+  Helpers.differential ~engine ~queries ~stream
+
+let suite =
+  [
+    Alcotest.test_case "fig4 covering paths" `Quick test_fig4_covering_paths;
+    Alcotest.test_case "fig6 trie sharing" `Quick test_fig6_trie_sharing;
+    Alcotest.test_case "fig9 answering walkthrough" `Quick test_fig9_answering;
+    Alcotest.test_case "duplicate update" `Quick test_duplicate_update_no_new_matches;
+    Alcotest.test_case "cycle query" `Quick test_cycle_query;
+    Alcotest.test_case "deletion" `Quick test_deletion;
+    Alcotest.test_case "differential vs oracle (TRIC)" `Quick (differential_case ~cache:false 42);
+    Alcotest.test_case "differential vs oracle (TRIC) II" `Quick (differential_case ~cache:false 1337);
+    Alcotest.test_case "differential vs oracle (TRIC+)" `Quick (differential_case ~cache:true 42);
+    Alcotest.test_case "differential vs oracle (TRIC+) II" `Quick (differential_case ~cache:true 2024);
+  ]

@@ -1,0 +1,134 @@
+(* Workload generator tests: determinism, size contracts, vertex/edge
+   growth ratios, query-set parameters (selectivity, overlap, classes). *)
+
+open Tric_graph
+open Tric_workloads
+module Engine = Tric_engine
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same sequence" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let distinct = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_zipf_skew () =
+  let rng = Rng.create 7 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.zipf rng ~n:100 ~s:1.0 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank0 beats rank50" true (counts.(0) > 4 * max 1 counts.(50))
+
+(* The expected vertex/edge ratio comes from the paper's figure axes and
+   is size-dependent, so each generator is checked at a size where the
+   paper reports a reference point. *)
+let check_stream_generator ~name ~generate ~edges ~ratio_lo ~ratio_hi () =
+  let s1 = generate ~seed:11 ~edges in
+  let s2 = generate ~seed:11 ~edges in
+  Alcotest.(check int) (name ^ " exact size") edges (Stream.length s1);
+  Alcotest.(check bool)
+    (name ^ " deterministic") true
+    (List.for_all2 Update.equal (Stream.to_list s1) (Stream.to_list s2));
+  let g = Stream.final_graph s1 in
+  let ratio = float_of_int (Graph.num_vertices g) /. float_of_int (Graph.num_edges g) in
+  if ratio < ratio_lo || ratio > ratio_hi then
+    Alcotest.failf "%s vertex/edge ratio %.3f outside [%.2f, %.2f]" name ratio ratio_lo
+      ratio_hi
+
+let test_biogrid_single_label () =
+  let s = Biogrid.generate ~seed:3 ~edges:1_000 in
+  Stream.iter
+    (fun u ->
+      Alcotest.(check string) "single label" "interacts"
+        (Label.to_string (Update.edge u).Edge.label))
+    s
+
+let dataset_small () =
+  Dataset.make Dataset.Snb
+    {
+      Dataset.edges = 3_000;
+      qdb = 60;
+      avg_len = 4;
+      selectivity = 0.25;
+      overlap = 0.35;
+      seed = 5;
+    }
+
+let test_dataset_shape () =
+  let d = dataset_small () in
+  Alcotest.(check int) "query count" 60 (List.length d.Dataset.queries);
+  Alcotest.(check bool) "stream at least base size" true (Stream.length d.Dataset.stream >= 3_000);
+  (* Average query length near avg_len. *)
+  let total_edges =
+    List.fold_left
+      (fun n q -> n + Tric_query.Pattern.num_edges q)
+      0 d.Dataset.queries
+  in
+  let avg = float_of_int total_edges /. 60.0 in
+  if avg < 2.0 || avg > 6.0 then Alcotest.failf "average query length %.2f out of range" avg;
+  (* Unique ids. *)
+  let ids = List.map Tric_query.Pattern.id d.Dataset.queries in
+  Alcotest.(check int) "ids unique" 60 (List.length (List.sort_uniq compare ids))
+
+let test_dataset_selectivity () =
+  (* Replay the dataset through TRIC+ and compare the fraction of queries
+     with at least one match against σ. *)
+  let d = dataset_small () in
+  let eng = Engine.Matcher.of_tric (Tric_core.Tric.create ~cache:true ()) in
+  List.iter eng.Engine.Matcher.add_query d.Dataset.queries;
+  let satisfied = Hashtbl.create 64 in
+  Stream.iter
+    (fun u ->
+      List.iter
+        (fun (qid, _) -> Hashtbl.replace satisfied qid ())
+        (eng.Engine.Matcher.handle_update u))
+    d.Dataset.stream;
+  let frac = float_of_int (Hashtbl.length satisfied) /. 60.0 in
+  (* σ = 0.25; generation is randomized per query so allow a wide band, but
+     it must be clearly neither 0 nor 1. *)
+  if frac < 0.08 || frac > 0.6 then
+    Alcotest.failf "satisfied fraction %.2f too far from sigma=0.25" frac
+
+let test_dataset_overlap_effect () =
+  (* Higher overlap must yield fewer trie nodes for the same query count. *)
+  let make overlap =
+    let d =
+      Dataset.make Dataset.Snb
+        { Dataset.edges = 3_000; qdb = 120; avg_len = 4; selectivity = 0.25; overlap; seed = 5 }
+    in
+    let t = Tric_core.Tric.create () in
+    List.iter (Tric_core.Tric.add_query t) d.Dataset.queries;
+    (Tric_core.Tric.stats t).Tric_core.Tric.trie_nodes
+  in
+  let low = make 0.05 and high = make 0.75 in
+  if not (high < low) then
+    Alcotest.failf "expected fewer trie nodes with higher overlap (low=%d high=%d)" low high
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    (* Paper reference points: SNB 57K vertices at 100K edges; TAXI 44K at
+       100K; BioGRID 17.2K at 100K (Figs. 12(a), 14(a), 14(b) axes). *)
+    Alcotest.test_case "snb stream" `Quick
+      (check_stream_generator ~name:"snb" ~generate:Snb.generate ~edges:100_000
+         ~ratio_lo:0.38 ~ratio_hi:0.70);
+    Alcotest.test_case "taxi stream" `Quick
+      (check_stream_generator ~name:"taxi" ~generate:Taxi.generate ~edges:100_000
+         ~ratio_lo:0.30 ~ratio_hi:0.55);
+    Alcotest.test_case "biogrid stream" `Quick
+      (check_stream_generator ~name:"biogrid" ~generate:Biogrid.generate ~edges:100_000
+         ~ratio_lo:0.10 ~ratio_hi:0.25);
+    Alcotest.test_case "biogrid single label" `Quick test_biogrid_single_label;
+    Alcotest.test_case "dataset shape" `Quick test_dataset_shape;
+    Alcotest.test_case "dataset selectivity" `Quick test_dataset_selectivity;
+    Alcotest.test_case "dataset overlap effect" `Quick test_dataset_overlap_effect;
+  ]
