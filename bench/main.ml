@@ -51,6 +51,84 @@ let update_dispatch_bench ~name ~engine_name ~source ~edges ~qdb =
       pos := if i + 1 >= n then half else i + 1;
       ignore (engine.E.Matcher.handle_update (Tric_graph.Stream.get stream i))))
 
+(* Deletion-heavy dispatch (the §4.3 maintenance path): engine prepared as
+   above, but the benched step applies one addition and then removes that
+   same edge — a 50% add / 50% remove churn stream.  Before the removal
+   path was made incremental this paid a full-view rescan per affected node
+   plus a global embedding-cache invalidation per removal. *)
+let churn_dispatch_bench ~name ~engine_name ~source ~edges ~qdb =
+  let d =
+    W.Dataset.make source
+      {
+        W.Dataset.edges;
+        qdb;
+        avg_len = 5;
+        selectivity = 0.25;
+        overlap = 0.35;
+        seed = 7;
+      }
+  in
+  let engine = E.Engines.by_name engine_name in
+  List.iter engine.E.Matcher.add_query d.W.Dataset.queries;
+  let stream = d.W.Dataset.stream in
+  let n = Tric_graph.Stream.length stream in
+  let half = n / 2 in
+  for i = 0 to half - 1 do
+    ignore (engine.E.Matcher.handle_update (Tric_graph.Stream.get stream i))
+  done;
+  let pos = ref half in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let i = !pos in
+         pos := if i + 1 >= n then half else i + 1;
+         let u = Tric_graph.Stream.get stream i in
+         ignore (engine.E.Matcher.handle_update u);
+         ignore
+           (engine.E.Matcher.handle_update
+              (Tric_graph.Update.remove (Tric_graph.Update.edge u)))))
+
+(* Run a 50% add / 50% remove stream end-to-end through TRIC/TRIC+ and
+   print the deletion-maintenance counters: [delta_probes] shows removals
+   were answered by prefix/hinge index lookups (not view rescans) and
+   [invalidations_avoided] shows untouched queries kept their caches. *)
+let churn_stats_report fmt =
+  let getenv_int k default =
+    match Option.bind (Sys.getenv_opt k) int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> default
+  in
+  let edges = getenv_int "TRIC_CHURN_EDGES" 2_000 in
+  let qdb = getenv_int "TRIC_CHURN_QDB" 100 in
+  let d =
+    W.Dataset.make W.Dataset.Snb
+      { W.Dataset.edges; qdb; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 7 }
+  in
+  Format.fprintf fmt "=== Deletion maintenance counters (50%% add / 50%% remove, SNB) ===@.@.";
+  Format.fprintf fmt
+    "prime first half of %d edges, then churn the second half (qdb=%d)@.@." edges qdb;
+  List.iter
+    (fun cache ->
+      let t = Tric_core.Tric.create ~cache () in
+      List.iter (Tric_core.Tric.add_query t) d.W.Dataset.queries;
+      let s = d.W.Dataset.stream in
+      let n = Tric_graph.Stream.length s in
+      for i = 0 to (n / 2) - 1 do
+        ignore (Tric_core.Tric.handle_update t (Tric_graph.Stream.get s i))
+      done;
+      let t0 = Unix.gettimeofday () in
+      for i = n / 2 to n - 1 do
+        let u = Tric_graph.Stream.get s i in
+        ignore (Tric_core.Tric.handle_update t u);
+        ignore
+          (Tric_core.Tric.handle_update t
+             (Tric_graph.Update.remove (Tric_graph.Update.edge u)))
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.fprintf fmt "%-6s churn %.3fs  %a@." (Tric_core.Tric.name t) dt
+        Tric_core.Tric.pp_stats (Tric_core.Tric.stats t))
+    [ false; true ];
+  Format.fprintf fmt "@."
+
 let run_and_report fmt tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -167,10 +245,22 @@ let figure_benches () =
       ~source:W.Dataset.Taxi ~edges:2_000 ~qdb:100;
     update_dispatch_bench ~name:"fig14b/BioGRID stress: TRIC+" ~engine_name:"TRIC+"
       ~source:W.Dataset.Biogrid ~edges:2_000 ~qdb:100;
+    churn_dispatch_bench ~name:"§4.3/SNB 50-50 churn: TRIC" ~engine_name:"TRIC"
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+    churn_dispatch_bench ~name:"§4.3/SNB 50-50 churn: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+    churn_dispatch_bench ~name:"§4.3/BioGRID 50-50 churn: TRIC+" ~engine_name:"TRIC+"
+      ~source:W.Dataset.Biogrid ~edges:2_000 ~qdb:100;
   ]
 
 let () =
   let fmt = Format.std_formatter in
+  (* TRIC_CHURN_ONLY=1: print just the deletion-maintenance counters (fast
+     path for CI and for eyeballing the §4.3 win). *)
+  if Sys.getenv_opt "TRIC_CHURN_ONLY" <> None then begin
+    churn_stats_report fmt;
+    exit 0
+  end;
   let cfg = H.Config.from_env () in
   Format.fprintf fmt
     "TRIC benchmark harness — EDBT 2020 reproduction@.scale 1/%d, budget %.0fs/engine (env TRIC_SCALE / TRIC_BUDGET)@.@."
@@ -178,6 +268,7 @@ let () =
   Format.fprintf fmt "=== Section 1: Bechamel micro-benchmarks ===@.@.";
   run_and_report fmt (infra_benches ());
   run_and_report fmt (figure_benches ());
+  churn_stats_report fmt;
   Format.fprintf fmt "=== Section 2: paper figures and tables (scaled) ===@.";
   H.Figures.run_all cfg fmt;
   Format.fprintf fmt "@.done.@."

@@ -9,11 +9,12 @@ type query_info = {
   terminals : Trie.node array;
   width : int; (* pattern vertex count *)
   (* The per-covering-path result as partial embeddings — the paper's
-     matV[P_i], kept in join-ready form and maintained incrementally
-     (recomputed from the terminal views when [emb_epoch] falls behind the
-     engine's deletion epoch). *)
+     matV[P_i], kept in join-ready form and maintained incrementally in
+     both directions: addition deltas are appended as they are reported,
+     and deletion deltas are subtracted tuple-for-tuple (§4.3).  The lists
+     mirror the terminal views exactly, so no epoch/refresh machinery is
+     needed. *)
   mutable path_embs : Embedding.t list array;
-  mutable emb_epoch : int;
 }
 
 type t = {
@@ -21,11 +22,23 @@ type t = {
   strategy : Cover.strategy;
   forest : Trie.t;
   queries : (int, query_info) Hashtbl.t;
-  mutable epoch : int; (* bumped by deletions to invalidate path_embs *)
+  mutable removals : int; (* Remove updates processed *)
+  mutable noop_removals : int; (* removals that evicted nothing anywhere *)
+  mutable tuples_removed : int; (* view tuples evicted by deletions *)
+  mutable invalidations_avoided : int; (* per removal: query caches untouched *)
 }
 
 let create ?(cache = false) ?(strategy = Cover.Upstream) () =
-  { cache; strategy; forest = Trie.create ~cache; queries = Hashtbl.create 256; epoch = 0 }
+  {
+    cache;
+    strategy;
+    forest = Trie.create ~cache;
+    queries = Hashtbl.create 256;
+    removals = 0;
+    noop_removals = 0;
+    tuples_removed = 0;
+    invalidations_avoided = 0;
+  }
 
 let name t = if t.cache then "TRIC+" else "TRIC"
 
@@ -52,18 +65,19 @@ let add_query t pattern =
           (Trie.node_view terminal) [])
       terminals
   in
-  Hashtbl.add t.queries qid
-    { pattern; paths; path_vids; terminals; width; path_embs; emb_epoch = t.epoch }
+  Hashtbl.add t.queries qid { pattern; paths; path_vids; terminals; width; path_embs }
 
 let remove_query t qid =
-  (* Registrations at terminal nodes are left in place but reports filter on
-     the live query table, so a removed id can never be reported again.
-     Shared trie structure is intentionally retained (other queries use
-     it). *)
-  Hashtbl.mem t.queries qid
-  &&
-  (Hashtbl.remove t.queries qid;
-   true)
+  (* Deregister the id from its terminal nodes so a later re-add of the id
+     (possibly with a different pattern) cannot inherit stale delta
+     attributions.  Shared trie structure and views are intentionally
+     retained (other queries use them). *)
+  match Hashtbl.find_opt t.queries qid with
+  | None -> false
+  | Some info ->
+    Array.iter (fun terminal -> Trie.deregister terminal ~qid) info.terminals;
+    Hashtbl.remove t.queries qid;
+    true
 
 let num_queries t = Hashtbl.length t.queries
 
@@ -176,45 +190,21 @@ let handle_addition t (e : Edge.t) =
 let embeddings_of_tuples ~width ~vids tuples =
   List.filter_map (fun tu -> Embedding.of_tuple ~width ~vids tu) tuples
 
-let embeddings_of_view ~width ~vids view =
-  Relation.fold
-    (fun tu acc ->
-      match Embedding.of_tuple ~width ~vids tu with Some e -> e :: acc | None -> acc)
-    view []
-
-(* Rebuild a query's cached per-path embedding lists from the terminal
-   views (needed after deletions invalidated them). *)
-let refresh_embs t info =
-  if info.emb_epoch <> t.epoch then begin
-    info.path_embs <-
-      Array.mapi
-        (fun i terminal ->
-          embeddings_of_view ~width:info.width ~vids:info.path_vids.(i)
-            (Trie.node_view terminal))
-        info.terminals;
-    info.emb_epoch <- t.epoch;
-    true
-  end
-  else false
-
 (* Final per-query join (Fig. 8, lines 8-13): for every covering path that
    gained tuples, join its delta against the full (cached) results of the
    other paths, delta first. *)
-let query_new_matches t info deltas =
+let query_new_matches info deltas =
   let k = Array.length info.paths in
-  let refreshed = refresh_embs t info in
   let delta_embs =
     Array.mapi
       (fun i delta -> embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta)
       deltas
   in
   (* Fold the deltas into the cached path results first, so "other path"
-     operands see this round's tuples too.  (A refresh already rebuilt the
-     lists from the views, which contain the deltas.) *)
-  if not refreshed then
-    Array.iteri
-      (fun i d -> if d <> [] then info.path_embs.(i) <- d @ info.path_embs.(i))
-      delta_embs;
+     operands see this round's tuples too. *)
+  Array.iteri
+    (fun i d -> if d <> [] then info.path_embs.(i) <- d @ info.path_embs.(i))
+    delta_embs;
   let results = ref [] in
   Array.iteri
     (fun i delta_emb ->
@@ -230,9 +220,9 @@ let query_new_matches t info deltas =
     delta_embs;
   List.filter Embedding.is_total (Embjoin.dedup !results)
 
-let report_of_inserted t inserted_at =
-  (* Gather, per live query, the delta tuples that reached each of its
-     registered terminal nodes. *)
+(* Gather, per live query, the delta tuples that reached each of its
+   registered terminal nodes. *)
+let deltas_per_query t tuples_at =
   let per_query : (int, Tuple.t list array) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.iter
     (fun _nid (node, cell) ->
@@ -251,12 +241,16 @@ let report_of_inserted t inserted_at =
             in
             deltas.(pidx) <- !cell @ deltas.(pidx))
         (Trie.registrations node))
-    inserted_at;
+    tuples_at;
+  per_query
+
+let report_of_inserted t inserted_at =
+  let per_query = deltas_per_query t inserted_at in
   let out = ref [] in
   Hashtbl.iter
     (fun qid deltas ->
       let info = Hashtbl.find t.queries qid in
-      match query_new_matches t info deltas with
+      match query_new_matches info deltas with
       | [] -> ()
       | matches -> out := (qid, matches) :: !out)
     per_query;
@@ -264,29 +258,21 @@ let report_of_inserted t inserted_at =
 
 (* -- Answering: removals (§4.3) ------------------------------------------- *)
 
-let rec propagate_removal node doomed =
-  (* A child tuple extends exactly one parent tuple (its prefix), so child
-     casualties are the extensions of doomed parent tuples. *)
+(* A child tuple extends exactly one parent tuple (its prefix), so the
+   child's casualties are exactly the extensions of doomed parent tuples —
+   found by probing the child view's maintained prefix index, not by
+   scanning the view.  Doomed parent tuples are distinct, so the probed
+   buckets are disjoint and need no dedup.  Records evicted tuples per
+   node. *)
+let rec propagate_removal ~record node doomed =
   List.iter
     (fun child ->
       let view = Trie.node_view child in
-      let prefix_len = Trie.node_depth child + 1 in
-      let doomed_child =
-        Relation.fold
-          (fun tu acc ->
-            let matches_prefix =
-              List.exists
-                (fun d ->
-                  let rec eq i = i >= prefix_len || (Label.equal (Tuple.get tu i) (Tuple.get d i) && eq (i + 1)) in
-                  eq 0)
-                doomed
-            in
-            if matches_prefix then tu :: acc else acc)
-          view []
-      in
+      let doomed_child = List.concat_map (fun d -> Relation.probe_prefix view d) doomed in
       if doomed_child <> [] then begin
         List.iter (fun tu -> ignore (Relation.remove view tu)) doomed_child;
-        propagate_removal child doomed_child
+        record child doomed_child;
+        propagate_removal ~record child doomed_child
       end)
     (Trie.node_children node)
 
@@ -298,23 +284,64 @@ let handle_removal t (e : Edge.t) =
       | Some base -> ignore (Relation.remove base tuple)
       | None -> ())
     (Ekey.keys_of_edge e);
+  let removed_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record node tuples =
+    match Hashtbl.find_opt removed_at (Trie.node_id node) with
+    | Some (_, cell) -> cell := tuples @ !cell
+    | None -> Hashtbl.add removed_at (Trie.node_id node) (node, ref tuples)
+  in
+  (* Shallow-first: a matched node's own hinge casualties are looked up by
+     index; by the time a deeper matched node is visited, tuples already
+     evicted through propagation are gone from its hinge index, so nothing
+     is recorded twice. *)
   List.iter
     (fun node ->
-      let d = Trie.node_depth node in
       let view = Trie.node_view node in
-      let doomed =
-        Relation.fold
-          (fun tu acc ->
-            if Label.equal (Tuple.get tu d) e.src && Label.equal (Tuple.get tu (d + 1)) e.dst
-            then tu :: acc
-            else acc)
-          view []
-      in
+      let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
       if doomed <> [] then begin
         List.iter (fun tu -> ignore (Relation.remove view tu)) doomed;
-        propagate_removal node doomed
+        record node doomed;
+        propagate_removal ~record node doomed
       end)
-    (matched_nodes t e)
+    (matched_nodes t e);
+  removed_at
+
+(* Per-query delta invalidation: subtract exactly the embeddings of the
+   tuples evicted at each registered terminal from the owning query's
+   cached per-path results.  Queries whose terminals lost nothing keep
+   their caches untouched.  Returns the set of touched query ids. *)
+let apply_removal_deltas t removed_at =
+  let per_query = deltas_per_query t removed_at in
+  let touched = ref [] in
+  Hashtbl.iter
+    (fun qid deltas ->
+      let info = Hashtbl.find t.queries qid in
+      let any = ref false in
+      Array.iteri
+        (fun i delta ->
+          match embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta with
+          | [] -> ()
+          | dead ->
+            any := true;
+            (* View tuples are distinct and tuple -> embedding is injective
+               for a fixed vid sequence, so the dead embeddings are distinct
+               and each occurs exactly once in the cached list; subtract one
+               occurrence per dead embedding. *)
+            let dead_tbl = Embedding.Tbl.create (2 * List.length dead) in
+            List.iter (fun em -> Embedding.Tbl.replace dead_tbl em ()) dead;
+            info.path_embs.(i) <-
+              List.filter
+                (fun em ->
+                  if Embedding.Tbl.mem dead_tbl em then begin
+                    Embedding.Tbl.remove dead_tbl em;
+                    false
+                  end
+                  else true)
+                info.path_embs.(i))
+        deltas;
+      if !any then touched := qid :: !touched)
+    per_query;
+  !touched
 
 let handle_update t u =
   match u with
@@ -322,15 +349,29 @@ let handle_update t u =
     let inserted_at = handle_addition t e in
     if Hashtbl.length inserted_at = 0 then [] else report_of_inserted t inserted_at
   | Update.Remove e ->
-    handle_removal t e;
-    t.epoch <- t.epoch + 1;
+    let removed_at = handle_removal t e in
+    let removed =
+      Hashtbl.fold (fun _ (_, cell) acc -> acc + List.length !cell) removed_at 0
+    in
+    t.removals <- t.removals + 1;
+    t.tuples_removed <- t.tuples_removed + removed;
+    if removed = 0 then begin
+      (* No-op removal (absent edge, or no view retained it): every cache
+         survives verbatim. *)
+      t.noop_removals <- t.noop_removals + 1;
+      t.invalidations_avoided <- t.invalidations_avoided + num_queries t
+    end
+    else begin
+      let touched = apply_removal_deltas t removed_at in
+      t.invalidations_avoided <-
+        t.invalidations_avoided + (num_queries t - List.length touched)
+    end;
     []
 
 (* -- Probes ---------------------------------------------------------------- *)
 
 let current_matches t qid =
   let info = Hashtbl.find t.queries qid in
-  ignore (refresh_embs t info);
   List.filter Embedding.is_total (Embjoin.join_many (Array.to_list info.path_embs))
 
 let covering_paths t qid =
@@ -346,15 +387,21 @@ type stats = {
   base_views : int;
   view_tuples : int;
   index_rebuilds : int;
+  removals : int;
+  noop_removals : int;
+  tuples_removed : int;
+  invalidations_avoided : int;
+  delta_probes : int;
 }
 
 let stats t =
-  let view_tuples, rebuilds =
+  let view_tuples, rebuilds, delta_probes =
     Trie.fold_nodes
-      (fun n (tuples, rb) ->
+      (fun n (tuples, rb, dp) ->
         ( tuples + Relation.cardinality (Trie.node_view n),
-          rb + Relation.stats_rebuilds (Trie.node_view n) ))
-      t.forest (0, 0)
+          rb + Relation.stats_rebuilds (Trie.node_view n),
+          dp + Relation.stats_delta_probes (Trie.node_view n) ))
+      t.forest (0, 0, 0)
   in
   {
     queries = num_queries t;
@@ -363,9 +410,16 @@ let stats t =
     base_views = Trie.num_base_views t.forest;
     view_tuples;
     index_rebuilds = rebuilds;
+    removals = t.removals;
+    noop_removals = t.noop_removals;
+    tuples_removed = t.tuples_removed;
+    invalidations_avoided = t.invalidations_avoided;
+    delta_probes;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "queries=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d" s.queries
-    s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds
+    "queries=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d removals=%d \
+     noop_removals=%d tuples_removed=%d invalidations_avoided=%d delta_probes=%d"
+    s.queries s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds s.removals
+    s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes

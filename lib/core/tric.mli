@@ -43,7 +43,11 @@ val num_queries : t -> int
 val handle_update : t -> Update.t -> (int * Embedding.t list) list
 (** Process one stream update.  For an addition, returns, per satisfied
     query id (ascending), the new total embeddings created by this update.
-    For a removal, updates all views (§4.3) and returns []. *)
+    For a removal, prunes all views by prefix-indexed downward propagation
+    (§4.3) and subtracts exactly the evicted terminal tuples from the
+    owning queries' cached per-path embeddings — queries untouched by the
+    removal keep their caches, and a no-op removal (absent edge) touches
+    nothing.  Returns [] for removals. *)
 
 val current_matches : t -> int -> Embedding.t list
 (** Probe: the query's full current result, recomputed by joining its
@@ -63,6 +67,16 @@ type stats = {
   base_views : int;
   view_tuples : int;  (** total tuples across node views *)
   index_rebuilds : int;  (** ephemeral hash-join builds (0-ish for TRIC+) *)
+  removals : int;  (** [Update.Remove]s processed *)
+  noop_removals : int;  (** removals that evicted no tuple anywhere *)
+  tuples_removed : int;  (** view tuples evicted by deletions *)
+  invalidations_avoided : int;
+      (** per-query embedding caches left untouched by removals (summed per
+          removal over live queries) — the work the old global-epoch
+          invalidation would have redone *)
+  delta_probes : int;
+      (** prefix/hinge index lookups serving the deletion path, each
+          replacing a full-view scan *)
 }
 
 val stats : t -> stats

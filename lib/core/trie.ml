@@ -13,6 +13,7 @@ type node = {
 }
 
 let node_id n = n.nid
+let deregister n ~qid = n.regs <- List.filter (fun (q, _) -> q <> qid) n.regs
 let node_key n = n.key
 let node_depth n = n.depth
 let node_view n = n.view
@@ -117,7 +118,12 @@ let insert_path t keys ~qid ~path_index =
         descend child tl
     in
     let terminal = descend root rest in
-    terminal.regs <- (qid, path_index) :: terminal.regs;
+    (* Idempotent: re-indexing a path (e.g. a query re-added after removal,
+       or two covering paths collapsing to the same key word) must not
+       duplicate the registration — a duplicate would double-count every
+       delta reported from this terminal. *)
+    if not (List.mem (qid, path_index) terminal.regs) then
+      terminal.regs <- (qid, path_index) :: terminal.regs;
     terminal
 
 let base_view t key = Ekey.Tbl.find_opt t.base key

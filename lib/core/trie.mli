@@ -34,6 +34,12 @@ val registrations : node -> (int * int) list
 (** [(query id, covering-path index)] pairs registered at this node — the
     paper's query identifiers stored "at the last node of the trie path". *)
 
+val deregister : node -> qid:int -> unit
+(** Drop every registration of the given query id at this node (other
+    queries sharing the terminal are untouched).  Needed when a query is
+    removed: a stale registration would attribute later deltas to a
+    re-added query with the same id. *)
+
 type t
 
 val create : cache:bool -> t
@@ -44,7 +50,9 @@ val insert_path : t -> Ekey.t list -> qid:int -> path_index:int -> node
     register [(qid, path_index)] at the terminal node, make sure base views
     exist for all keys, and seed any freshly created node's view from its
     parent's view and the key's base view (so that queries added mid-stream
-    observe state already retained for earlier queries).
+    observe state already retained for earlier queries).  Registration is
+    idempotent: inserting the same [(qid, path_index)] at the same terminal
+    twice keeps a single registration.
     @raise Invalid_argument on an empty key list. *)
 
 val base_view : t -> Ekey.t -> Relation.t option

@@ -49,6 +49,11 @@ let of_tric e =
           ("base_views", s.Tric_core.Tric.base_views);
           ("view_tuples", s.Tric_core.Tric.view_tuples);
           ("index_rebuilds", s.Tric_core.Tric.index_rebuilds);
+          ("removals", s.Tric_core.Tric.removals);
+          ("noop_removals", s.Tric_core.Tric.noop_removals);
+          ("tuples_removed", s.Tric_core.Tric.tuples_removed);
+          ("invalidations_avoided", s.Tric_core.Tric.invalidations_avoided);
+          ("delta_probes", s.Tric_core.Tric.delta_probes);
         ]);
     description = "trie-clustered covering paths (the paper's contribution)";
   }

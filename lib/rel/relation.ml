@@ -2,12 +2,21 @@ open Tric_graph
 
 type probe = Label.t -> Tuple.t list
 
+(* Deletion-support index: tuple-valued key (a prefix or a hinge edge) ->
+   bucket of live tuples.  Built lazily on first probe, then maintained by
+   insert/remove in both cache modes — deletions must never fall back to a
+   full-view scan, even in engines that rebuild their join indexes. *)
+type delta_index = Tuple.t list ref Tuple.Tbl.t
+
 type t = {
   width : int;
   cache : bool;
   tuples : unit Tuple.Tbl.t;
   indexes : (int, Tuple.t list ref Label.Tbl.t) Hashtbl.t; (* cache mode only *)
+  mutable prefix_idx : delta_index option; (* key: first (width-1) columns *)
+  mutable hinge_idx : delta_index option; (* key: last two columns *)
   mutable rebuilds : int;
+  mutable delta_probes : int;
 }
 
 let create ?(cache = false) ~width () =
@@ -16,13 +25,23 @@ let create ?(cache = false) ~width () =
     cache;
     tuples = Tuple.Tbl.create 64;
     indexes = Hashtbl.create 4;
+    prefix_idx = None;
+    hinge_idx = None;
     rebuilds = 0;
+    delta_probes = 0;
   }
 
 let width r = r.width
 let cardinality r = Tuple.Tbl.length r.tuples
 let is_empty r = cardinality r = 0
 let mem r t = Tuple.Tbl.mem r.tuples t
+
+(* Drop the first occurrence, sharing the suffix past it.  Relations are
+   deduplicated, so a bucket holds any tuple at most once and the scan can
+   stop at the first hit. *)
+let rec remove_first t = function
+  | [] -> []
+  | t' :: tl -> if Tuple.equal t t' then tl else t' :: remove_first t tl
 
 let index_add idx col t =
   let key = Tuple.get t col in
@@ -33,8 +52,41 @@ let index_add idx col t =
 let index_remove idx col t =
   let key = Tuple.get t col in
   match Label.Tbl.find_opt idx key with
-  | Some cell -> cell := List.filter (fun t' -> not (Tuple.equal t t')) !cell
+  | Some cell -> (
+    match remove_first t !cell with
+    | [] -> Label.Tbl.remove idx key (* never keep empty buckets alive *)
+    | rest -> cell := rest)
   | None -> ()
+
+(* -- Deletion-support (prefix / hinge) indexes ----------------------------- *)
+
+let prefix_key r t = Tuple.prefix t (r.width - 1)
+let hinge_key t = Tuple.last_pair t
+
+let delta_add idx key t =
+  match Tuple.Tbl.find_opt idx key with
+  | Some cell -> cell := t :: !cell
+  | None -> Tuple.Tbl.add idx key (ref [ t ])
+
+let delta_remove idx key t =
+  match Tuple.Tbl.find_opt idx key with
+  | Some cell -> (
+    match remove_first t !cell with
+    | [] -> Tuple.Tbl.remove idx key
+    | rest -> cell := rest)
+  | None -> ()
+
+let delta_index_add r t =
+  (match r.prefix_idx with
+  | Some idx -> delta_add idx (prefix_key r t) t
+  | None -> ());
+  match r.hinge_idx with Some idx -> delta_add idx (hinge_key t) t | None -> ()
+
+let delta_index_remove r t =
+  (match r.prefix_idx with
+  | Some idx -> delta_remove idx (prefix_key r t) t
+  | None -> ());
+  match r.hinge_idx with Some idx -> delta_remove idx (hinge_key t) t | None -> ()
 
 let insert r t =
   if Array.length t <> r.width then invalid_arg "Relation.insert: width mismatch";
@@ -42,6 +94,7 @@ let insert r t =
   else begin
     Tuple.Tbl.add r.tuples t ();
     Hashtbl.iter (fun col idx -> index_add idx col t) r.indexes;
+    delta_index_add r t;
     true
   end
 
@@ -51,6 +104,7 @@ let remove r t =
   if Tuple.Tbl.mem r.tuples t then begin
     Tuple.Tbl.remove r.tuples t;
     Hashtbl.iter (fun col idx -> index_remove idx col t) r.indexes;
+    delta_index_remove r t;
     true
   end
   else false
@@ -63,6 +117,37 @@ let remove_if r pred =
   let doomed = fold (fun t acc -> if pred t then t :: acc else acc) r [] in
   List.iter (fun t -> ignore (remove r t)) doomed;
   List.length doomed
+
+let ensure_prefix_idx r =
+  match r.prefix_idx with
+  | Some idx -> idx
+  | None ->
+    let idx : delta_index = Tuple.Tbl.create (max 16 (cardinality r)) in
+    iter (fun t -> delta_add idx (prefix_key r t) t) r;
+    r.prefix_idx <- Some idx;
+    idx
+
+let ensure_hinge_idx r =
+  match r.hinge_idx with
+  | Some idx -> idx
+  | None ->
+    let idx : delta_index = Tuple.Tbl.create (max 16 (cardinality r)) in
+    iter (fun t -> delta_add idx (hinge_key t) t) r;
+    r.hinge_idx <- Some idx;
+    idx
+
+let delta_probe idx key =
+  match Tuple.Tbl.find_opt idx key with Some cell -> !cell | None -> []
+
+let probe_prefix r p =
+  if Tuple.width p <> r.width - 1 then invalid_arg "Relation.probe_prefix: bad prefix width";
+  r.delta_probes <- r.delta_probes + 1;
+  delta_probe (ensure_prefix_idx r) p
+
+let probe_hinge r ~src ~dst =
+  if r.width < 2 then invalid_arg "Relation.probe_hinge: width < 2";
+  r.delta_probes <- r.delta_probes + 1;
+  delta_probe (ensure_hinge_idx r) [| src; dst |]
 
 let build_table r col =
   let idx = Label.Tbl.create (max 16 (cardinality r)) in
@@ -103,10 +188,16 @@ let scan_probing r ~col probe f =
     r
 
 let stats_rebuilds r = r.rebuilds
+let stats_delta_probes r = r.delta_probes
+
+let stats_index_buckets r =
+  Hashtbl.fold (fun _ idx acc -> acc + Label.Tbl.length idx) r.indexes 0
 
 let clear r =
   Tuple.Tbl.reset r.tuples;
-  Hashtbl.reset r.indexes
+  Hashtbl.reset r.indexes;
+  r.prefix_idx <- None;
+  r.hinge_idx <- None
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>relation w=%d |%d|" r.width (cardinality r);

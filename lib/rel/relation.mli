@@ -66,10 +66,35 @@ val scan_probing :
     the probe phase of a hash join whose build side is the (small) table
     behind [probe]. *)
 
+val probe_prefix : t -> Tuple.t -> Tuple.t list
+(** [probe_prefix r p] — all tuples whose first [width - 1] columns equal
+    the prefix tuple [p].  Backed by a maintained index that exists in
+    {e both} cache modes (unlike [index_on], which is ephemeral without
+    caching): it is built lazily on the first probe and kept up to date by
+    {!insert}/{!remove} afterwards, so deletion propagation (§4.3) finds a
+    doomed parent tuple's extensions by lookup instead of scanning the
+    view.  Add-only workloads never pay for it.
+    @raise Invalid_argument if [p]'s width is not [width - 1]. *)
+
+val probe_hinge : t -> src:Label.t -> dst:Label.t -> Tuple.t list
+(** [probe_hinge r ~src ~dst] — all tuples whose last two columns are
+    [(src, dst)], i.e. the chain tuples whose final edge is the given
+    concrete edge.  Maintained like the prefix index (lazy build, then
+    incremental in both cache modes).
+    @raise Invalid_argument on width < 2. *)
+
 val stats_rebuilds : t -> int
 (** How many ephemeral index builds this relation has performed — the work
     caching saves.  In caching mode this stays at the number of distinct
     indexed columns. *)
+
+val stats_delta_probes : t -> int
+(** How many prefix/hinge index lookups served the deletion path — each one
+    replaces a full-view scan. *)
+
+val stats_index_buckets : t -> int
+(** Total live buckets across the cached column indexes (tests: removal
+    must drop emptied buckets rather than keeping [ref []] alive). *)
 
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

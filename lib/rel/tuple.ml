@@ -15,6 +15,15 @@ let extend t v =
   Array.blit t 0 out 0 n;
   out
 
+let prefix t n =
+  if n < 0 || n > Array.length t then invalid_arg "Tuple.prefix";
+  Array.sub t 0 n
+
+let last_pair t =
+  let n = Array.length t in
+  if n < 2 then invalid_arg "Tuple.last_pair";
+  [| t.(n - 2); t.(n - 1) |]
+
 let equal a b =
   Array.length a = Array.length b
   &&

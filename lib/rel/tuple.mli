@@ -21,6 +21,14 @@ val first : t -> Label.t
 val extend : t -> Label.t -> t
 (** [extend t v] appends one column. *)
 
+val prefix : t -> int -> t
+(** [prefix t n] is the tuple of the first [n] columns.
+    @raise Invalid_argument unless [0 <= n <= width t]. *)
+
+val last_pair : t -> t
+(** The width-2 tuple of the last two columns — the chain's final edge.
+    @raise Invalid_argument on width < 2. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI check: build, run the full test suite, and refuse tracked build
+# artifacts (a committed _build/ once shipped with the repo; keep it out).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git ls-files --error-unmatch _build >/dev/null 2>&1 || \
+   git ls-files | grep -q '^_build/'; then
+  echo "ci: _build/ is tracked by git — run 'git rm -r --cached _build'" >&2
+  exit 1
+fi
+
+dune build
+dune runtest
+
+echo "ci: ok"

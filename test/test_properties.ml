@@ -135,6 +135,89 @@ let prop_engine_agrees name mk =
             (engine.Tric_engine.Matcher.handle_update u))
         (edges_of_spec sspec))
 
+let print_mixed_case (qspecs, sspec) =
+  let term = function `Var i -> Printf.sprintf "?x%d" i | `Const i -> List.nth vconsts i in
+  let spec_to_string spec =
+    String.concat "; "
+      (List.map (fun (li, s, d) -> Printf.sprintf "%s -%s-> %s" (term s) (List.nth elabels li) (term d)) spec)
+  in
+  Printf.sprintf "queries=[%s] stream=[%s]"
+    (String.concat " | " (List.map spec_to_string qspecs))
+    (String.concat "; "
+       (List.map
+          (fun (add, li, si, di) ->
+            Printf.sprintf "%s%s -%s-> %s" (if add then "+" else "-") (List.nth vconsts si)
+              (List.nth elabels li) (List.nth vconsts di))
+          sspec))
+
+(* The stream generator draws add/remove ops over a 4-constant, 3-label
+   vocabulary, so removals of live edges, no-op removals of absent edges,
+   and re-adds of previously removed edges all occur constantly.  After
+   EVERY update, TRIC and TRIC+ must match the naive oracle's report and
+   full current result, and must agree with each other on the materialized
+   view cardinalities (their tries are identical, so any divergence is a
+   maintenance bug in one cache mode). *)
+let prop_engines_agree_under_deletions =
+  QCheck2.Test.make ~count:30 ~print:print_mixed_case
+    ~name:"TRIC/TRIC+ = oracle under interleaved add/remove/re-add"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 3) gen_pattern_spec)
+        (list_size (int_range 1 60)
+           (quad bool (int_bound (List.length elabels - 1))
+              (int_bound (List.length vconsts - 1))
+              (int_bound (List.length vconsts - 1)))))
+    (fun (qspecs, sspec) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let oracle = Tric_engine.Naive.create () in
+      let tric = Tric_core.Tric.create () in
+      let tricp = Tric_core.Tric.create ~cache:true () in
+      List.iter
+        (fun q ->
+          Tric_engine.Naive.add_query oracle q;
+          Tric_core.Tric.add_query tric q;
+          Tric_core.Tric.add_query tricp q)
+        queries;
+      let matches_agree qid =
+        let sorted m = List.sort_uniq Embedding.compare m in
+        let exp = sorted (Tric_engine.Naive.current_matches oracle qid) in
+        let a = sorted (Tric_core.Tric.current_matches tric qid) in
+        let b = sorted (Tric_core.Tric.current_matches tricp qid) in
+        List.length exp = List.length a
+        && List.for_all2 Embedding.equal exp a
+        && List.length exp = List.length b
+        && List.for_all2 Embedding.equal exp b
+      in
+      List.for_all
+        (fun u ->
+          let expected = Tric_engine.Naive.handle_update oracle u in
+          let r1 = Tric_core.Tric.handle_update tric u in
+          let r2 = Tric_core.Tric.handle_update tricp u in
+          Tric_engine.Report.equal expected r1
+          && Tric_engine.Report.equal expected r2
+          && (Tric_core.Tric.stats tric).Tric_core.Tric.view_tuples
+             = (Tric_core.Tric.stats tricp).Tric_core.Tric.view_tuples
+          && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
+        (List.map
+           (fun (add, li, si, di) ->
+             let e =
+               Edge.of_strings (List.nth elabels li) (List.nth vconsts si)
+                 (List.nth vconsts di)
+             in
+             if add then Update.add e else Update.remove e)
+           sspec))
+
 let prop_relation_set_semantics =
   QCheck2.Test.make ~count:200 ~name:"relation = deduplicated set under insert/remove"
     QCheck2.Gen.(list_size (int_range 0 100) (pair bool (pair (int_bound 8) (int_bound 8))))
@@ -462,6 +545,7 @@ let suite =
       prop_engine_agrees "INC" (fun () -> Tric_engine.Engines.inc ());
       prop_engine_agrees "INC+" (fun () -> Tric_engine.Engines.inc ~cache:true ());
       prop_engine_agrees "GraphDB" (fun () -> Tric_engine.Engines.graphdb ());
+      prop_engines_agree_under_deletions;
       prop_relation_set_semantics;
       prop_merge_commutative;
       prop_trie_sharing;

@@ -72,6 +72,60 @@ let test_probe_scan () =
     (fun _t _hit -> incr hits);
   Alcotest.(check int) "scan_probing fan-out" 4 !hits
 
+let test_deletion_indexes () =
+  (* probe_prefix / probe_hinge must work and stay maintained in BOTH cache
+     modes (deletions never fall back to view scans). *)
+  List.iter
+    (fun cache ->
+      let r = Relation.create ~cache ~width:3 () in
+      ignore
+        (Relation.insert_all r
+           [ tup [ "a"; "b"; "c" ]; tup [ "a"; "b"; "d" ]; tup [ "x"; "b"; "c" ] ]);
+      Alcotest.(check int)
+        "prefix hits" 2
+        (List.length (Relation.probe_prefix r (tup [ "a"; "b" ])));
+      Alcotest.(check int)
+        "prefix miss" 0
+        (List.length (Relation.probe_prefix r (tup [ "a"; "zz" ])));
+      Alcotest.(check int)
+        "hinge hits" 2
+        (List.length (Relation.probe_hinge r ~src:(l "b") ~dst:(l "c")));
+      (* Maintained across later mutations, in both modes. *)
+      ignore (Relation.insert r (tup [ "a"; "b"; "e" ]));
+      Alcotest.(check int)
+        "prefix sees insert" 3
+        (List.length (Relation.probe_prefix r (tup [ "a"; "b" ])));
+      ignore (Relation.remove r (tup [ "a"; "b"; "c" ]));
+      Alcotest.(check int)
+        "prefix sees remove" 2
+        (List.length (Relation.probe_prefix r (tup [ "a"; "b" ])));
+      Alcotest.(check int)
+        "hinge sees remove" 1
+        (List.length (Relation.probe_hinge r ~src:(l "b") ~dst:(l "c")));
+      Alcotest.(check bool) "probes counted" true (Relation.stats_delta_probes r >= 6);
+      Alcotest.check_raises "prefix width check"
+        (Invalid_argument "Relation.probe_prefix: bad prefix width") (fun () ->
+          ignore (Relation.probe_prefix r (tup [ "a" ]))))
+    [ false; true ]
+
+let test_index_bucket_hygiene () =
+  (* Removals must drop emptied buckets instead of leaving ref [] cells
+     behind forever. *)
+  let r = Relation.create ~cache:true ~width:2 () in
+  let probe = Relation.index_on r ~col:0 in
+  for i = 0 to 99 do
+    ignore (Relation.insert r (tup [ Printf.sprintf "k%d" i; "v" ]))
+  done;
+  Alcotest.(check int) "one bucket per key" 100 (Relation.stats_index_buckets r);
+  for i = 0 to 99 do
+    ignore (Relation.remove r (tup [ Printf.sprintf "k%d" i; "v" ]))
+  done;
+  Alcotest.(check int) "all buckets dropped" 0 (Relation.stats_index_buckets r);
+  Alcotest.(check int) "probe after drop" 0 (List.length (probe (l "k0")));
+  (* Re-inserting after a drop recreates the bucket. *)
+  ignore (Relation.insert r (tup [ "k0"; "v" ]));
+  Alcotest.(check int) "bucket recreated" 1 (List.length (probe (l "k0")))
+
 let test_embedding () =
   let e = Embedding.empty 3 in
   Alcotest.(check bool) "not total" false (Embedding.is_total e);
@@ -131,6 +185,8 @@ let suite =
     Alcotest.test_case "relation dedup/remove" `Quick test_relation_dedup_and_remove;
     Alcotest.test_case "relation index modes" `Quick test_relation_index_modes;
     Alcotest.test_case "probe_scan / scan_probing" `Quick test_probe_scan;
+    Alcotest.test_case "deletion indexes (prefix/hinge)" `Quick test_deletion_indexes;
+    Alcotest.test_case "index bucket hygiene" `Quick test_index_bucket_hygiene;
     Alcotest.test_case "embedding" `Quick test_embedding;
     Alcotest.test_case "embedding joins" `Quick test_embjoin;
   ]

@@ -141,6 +141,124 @@ let test_deletion () =
   let r = e.Engine.Matcher.handle_update (Helpers.update "v1 -a-> v2") in
   Alcotest.(check int) "re-add re-matches" 1 (Engine.Report.total_matches r)
 
+let test_noop_removal_keeps_caches () =
+  (* Removing an absent edge must not invalidate any query's embedding
+     cache (the old code bumped a global epoch on every Remove). *)
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+  Tric.add_query t (Helpers.pattern ~id:2 "?x -c-> ?y");
+  let e = Engine.Matcher.of_tric t in
+  ignore (run_updates e (Helpers.updates [ "v1 -a-> v2"; "v2 -b-> v3"; "v1 -c-> v2" ]));
+  ignore (e.Engine.Matcher.handle_update (Helpers.update "- v8 -a-> v9"));
+  ignore (e.Engine.Matcher.handle_update (Helpers.update "- v1 -zz-> v2"));
+  let s = Tric.stats t in
+  Alcotest.(check int) "removals counted" 2 s.Tric.removals;
+  Alcotest.(check int) "both were no-ops" 2 s.Tric.noop_removals;
+  Alcotest.(check int) "nothing evicted" 0 s.Tric.tuples_removed;
+  Alcotest.(check int) "no cache invalidated (2 queries x 2 removals)" 4
+    s.Tric.invalidations_avoided;
+  Alcotest.(check int) "matches intact" 1 (List.length (e.Engine.Matcher.current_matches 1))
+
+let test_removal_per_query_isolation () =
+  (* A removal affecting only Q1's views must leave Q2's cache untouched
+     and must find its doomed tuples via indexed lookups. *)
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+  Tric.add_query t (Helpers.pattern ~id:2 "?x -c-> ?y");
+  let e = Engine.Matcher.of_tric t in
+  ignore
+    (run_updates e
+       (Helpers.updates [ "v1 -a-> v2"; "v2 -b-> v3"; "v2 -b-> v4"; "v1 -c-> v2" ]));
+  Alcotest.(check int) "Q1 has two matches" 2 (List.length (e.Engine.Matcher.current_matches 1));
+  ignore (e.Engine.Matcher.handle_update (Helpers.update "- v1 -a-> v2"));
+  let s = Tric.stats t in
+  Alcotest.(check bool) "tuples evicted" true (s.Tric.tuples_removed > 0);
+  Alcotest.(check int) "Q2's cache survived" 1 s.Tric.invalidations_avoided;
+  Alcotest.(check bool) "indexed lookups served the removal" true (s.Tric.delta_probes > 0);
+  Alcotest.(check int) "Q1 retracted" 0 (List.length (e.Engine.Matcher.current_matches 1));
+  Alcotest.(check int) "Q2 intact" 1 (List.length (e.Engine.Matcher.current_matches 2));
+  (* Partial re-add: only the removed edge returns; both chains reappear. *)
+  let r = e.Engine.Matcher.handle_update (Helpers.update "v1 -a-> v2") in
+  Alcotest.(check int) "re-add restores both chains" 2 (Engine.Report.total_matches r)
+
+let test_reregistration_idempotent () =
+  (* Re-adding a query id after removal re-walks the same trie path; the
+     registration must not duplicate, or every delta would double-count and
+     deletion deltas would desynchronise the cache. *)
+  let t = Tric.create () in
+  let q () = Helpers.pattern ~id:5 "?x -a-> ?y -b-> ?z" in
+  Tric.add_query t (q ());
+  Alcotest.(check bool) "removed" true (Tric.remove_query t 5);
+  Tric.add_query t (q ());
+  let regs =
+    Tric_core.Trie.fold_nodes
+      (fun n acc -> acc @ Tric_core.Trie.registrations n)
+      (Tric.forest t) []
+  in
+  Alcotest.(check int) "single registration per path" 1 (List.length regs);
+  let e = Engine.Matcher.of_tric t in
+  let r = run_updates e (Helpers.updates [ "v1 -a-> v2"; "v2 -b-> v3" ]) in
+  Alcotest.(check int) "reported once" 1 (Engine.Report.total_matches (List.nth r 1));
+  ignore (e.Engine.Matcher.handle_update (Helpers.update "- v2 -b-> v3"));
+  Alcotest.(check int) "clean retraction" 0 (List.length (e.Engine.Matcher.current_matches 5));
+  (* Stale registrations must not survive id reuse with another pattern. *)
+  Alcotest.(check bool) "removed again" true (Tric.remove_query t 5);
+  Tric.add_query t (Helpers.pattern ~id:5 "?x -c-> ?y");
+  let r = e.Engine.Matcher.handle_update (Helpers.update "v7 -c-> v8") in
+  Alcotest.(check int) "new pattern matches" 1 (Engine.Report.total_matches r);
+  let r = e.Engine.Matcher.handle_update (Helpers.update "v1 -a-> v2") in
+  Alcotest.(check int) "old pattern's edges report nothing" 0 (Engine.Report.total_matches r)
+
+let test_mixed_stream_differential ~cache seed () =
+  (* Interleaved add/remove/re-add stream vs the oracle, checking both the
+     per-update reports and the full current result after every update. *)
+  let st = Helpers.rng seed in
+  let queries =
+    List.init 6 (fun i ->
+        Helpers.random_pattern st ~id:(i + 1) ~elabels:Helpers.elabels
+          ~vconsts:Helpers.vconsts ~size:(1 + Random.State.int st 3))
+  in
+  let live = ref [] in
+  let stream =
+    List.init 160 (fun _ ->
+        match !live with
+        | e :: rest when Random.State.int st 100 < 40 ->
+          live := rest;
+          Tric_graph.Update.remove e
+        | _ ->
+          let e = Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts in
+          live := e :: !live;
+          Tric_graph.Update.add e)
+  in
+  let oracle = Engine.Matcher.of_naive (Engine.Naive.create ()) in
+  let engine = Engine.Matcher.of_tric (Tric.create ~cache ()) in
+  List.iter
+    (fun q ->
+      oracle.Engine.Matcher.add_query q;
+      engine.Engine.Matcher.add_query q)
+    queries;
+  List.iteri
+    (fun i u ->
+      let expected = oracle.Engine.Matcher.handle_update u in
+      let actual = engine.Engine.Matcher.handle_update u in
+      Helpers.check_reports_agree
+        ~msg:(Format.asprintf "mixed update #%d %a" i Tric_graph.Update.pp u)
+        expected actual;
+      List.iter
+        (fun q ->
+          let qid = Pattern.id q in
+          let sorted m = List.sort_uniq Tric_rel.Embedding.compare m in
+          let exp = sorted (oracle.Engine.Matcher.current_matches qid) in
+          let act = sorted (engine.Engine.Matcher.current_matches qid) in
+          if
+            List.length exp <> List.length act
+            || not (List.for_all2 Tric_rel.Embedding.equal exp act)
+          then
+            Alcotest.failf "current_matches diverged at update #%d %a for Q%d" i
+              Tric_graph.Update.pp u qid)
+        queries)
+    stream
+
 let differential_case ~cache seed () =
   let st = Helpers.rng seed in
   let queries =
@@ -164,6 +282,13 @@ let suite =
     Alcotest.test_case "duplicate update" `Quick test_duplicate_update_no_new_matches;
     Alcotest.test_case "cycle query" `Quick test_cycle_query;
     Alcotest.test_case "deletion" `Quick test_deletion;
+    Alcotest.test_case "no-op removal keeps caches" `Quick test_noop_removal_keeps_caches;
+    Alcotest.test_case "removal per-query isolation" `Quick test_removal_per_query_isolation;
+    Alcotest.test_case "idempotent re-registration" `Quick test_reregistration_idempotent;
+    Alcotest.test_case "mixed stream differential (TRIC)" `Quick
+      (test_mixed_stream_differential ~cache:false 77);
+    Alcotest.test_case "mixed stream differential (TRIC+)" `Quick
+      (test_mixed_stream_differential ~cache:true 78);
     Alcotest.test_case "differential vs oracle (TRIC)" `Quick (differential_case ~cache:false 42);
     Alcotest.test_case "differential vs oracle (TRIC) II" `Quick (differential_case ~cache:false 1337);
     Alcotest.test_case "differential vs oracle (TRIC+)" `Quick (differential_case ~cache:true 42);
