@@ -122,26 +122,31 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a benchmark dataset and save it to a file.")
     Term.(const run $ source_arg $ out_arg $ edges_arg $ qdb_arg $ seed_arg)
 
+let batch_arg =
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Micro-batch size: hand the engine windows of $(docv) updates instead of one at a time (default 1).")
+
 let replay_cmd =
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Dataset file.") in
   let engine_arg =
     Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+, GraphDB, ISO).")
   in
-  let run file engine_name budget =
-    match Engine.Engines.by_name engine_name with
-    | exception Invalid_argument msg -> `Error (false, msg)
-    | engine ->
-      let d = W.Dataset.load file in
-      let r =
-        Engine.Runner.run ?budget_s:budget ~engine ~queries:d.W.Dataset.queries
-          ~stream:d.W.Dataset.stream ()
-      in
-      Format.printf "%a@." Engine.Runner.pp_result r;
-      `Ok ()
+  let run file engine_name budget batch =
+    if batch < 1 then `Error (false, "--batch must be >= 1")
+    else
+      match Engine.Engines.by_name engine_name with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | engine ->
+        let d = W.Dataset.load file in
+        let r =
+          Engine.Runner.run ?budget_s:budget ~batch_size:batch ~engine
+            ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
+        in
+        Format.printf "%a@." Engine.Runner.pp_result r;
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a saved dataset through one engine and report timings.")
-    Term.(ret (const run $ file_arg $ engine_arg $ budget_arg))
+    Term.(ret (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg))
 
 let main =
   Cmd.group

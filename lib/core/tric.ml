@@ -26,6 +26,9 @@ type t = {
   mutable noop_removals : int; (* removals that evicted nothing anywhere *)
   mutable tuples_removed : int; (* view tuples evicted by deletions *)
   mutable invalidations_avoided : int; (* per removal: query caches untouched *)
+  mutable batches : int; (* handle_batch calls *)
+  mutable batched_updates : int; (* updates received through handle_batch *)
+  mutable batch_cancelled : int; (* updates collapsed by in-window net-op folding *)
 }
 
 let create ?(cache = false) ?(strategy = Cover.Upstream) () =
@@ -38,6 +41,9 @@ let create ?(cache = false) ?(strategy = Cover.Upstream) () =
     noop_removals = 0;
     tuples_removed = 0;
     invalidations_avoided = 0;
+    batches = 0;
+    batched_updates = 0;
+    batch_cancelled = 0;
   }
 
 let name t = if t.cache then "TRIC+" else "TRIC"
@@ -270,7 +276,7 @@ let rec propagate_removal ~record node doomed =
       let view = Trie.node_view child in
       let doomed_child = List.concat_map (fun d -> Relation.probe_prefix view d) doomed in
       if doomed_child <> [] then begin
-        List.iter (fun tu -> ignore (Relation.remove view tu)) doomed_child;
+        ignore (Relation.remove_all view doomed_child);
         record child doomed_child;
         propagate_removal ~record child doomed_child
       end)
@@ -299,7 +305,7 @@ let handle_removal t (e : Edge.t) =
       let view = Trie.node_view node in
       let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
       if doomed <> [] then begin
-        List.iter (fun tu -> ignore (Relation.remove view tu)) doomed;
+        ignore (Relation.remove_all view doomed);
         record node doomed;
         propagate_removal ~record node doomed
       end)
@@ -343,30 +349,165 @@ let apply_removal_deltas t removed_at =
     per_query;
   !touched
 
+let apply_removal t e =
+  let removed_at = handle_removal t e in
+  let removed =
+    Hashtbl.fold (fun _ (_, cell) acc -> acc + List.length !cell) removed_at 0
+  in
+  t.removals <- t.removals + 1;
+  t.tuples_removed <- t.tuples_removed + removed;
+  if removed = 0 then begin
+    (* No-op removal (absent edge, or no view retained it): every cache
+       survives verbatim. *)
+    t.noop_removals <- t.noop_removals + 1;
+    t.invalidations_avoided <- t.invalidations_avoided + num_queries t
+  end
+  else begin
+    let touched = apply_removal_deltas t removed_at in
+    t.invalidations_avoided <-
+      t.invalidations_avoided + (num_queries t - List.length touched)
+  end
+
 let handle_update t u =
   match u with
   | Update.Add e ->
     let inserted_at = handle_addition t e in
     if Hashtbl.length inserted_at = 0 then [] else report_of_inserted t inserted_at
   | Update.Remove e ->
-    let removed_at = handle_removal t e in
-    let removed =
-      Hashtbl.fold (fun _ (_, cell) acc -> acc + List.length !cell) removed_at 0
-    in
-    t.removals <- t.removals + 1;
-    t.tuples_removed <- t.tuples_removed + removed;
-    if removed = 0 then begin
-      (* No-op removal (absent edge, or no view retained it): every cache
-         survives verbatim. *)
-      t.noop_removals <- t.noop_removals + 1;
-      t.invalidations_avoided <- t.invalidations_avoided + num_queries t
-    end
-    else begin
-      let touched = apply_removal_deltas t removed_at in
-      t.invalidations_avoided <-
-        t.invalidations_avoided + (num_queries t - List.length touched)
-    end;
+    apply_removal t e;
     []
+
+(* -- Answering: micro-batches ---------------------------------------------- *)
+
+(* Batched addition sweep: the per-update answering loop (Fig. 10),
+   amortised over a window of edges.  Every fresh edge tuple is first
+   folded into the base views; then each affected trie node is visited
+   once — shallowest first across the whole batch, so by the time a node
+   joins its key's accumulated delta against the parent's view, the parent
+   has absorbed every shallower batch delta (its own sweep visit plus any
+   downward propagation from its ancestors, both strictly shallower).
+   In TRIC mode this performs one hash-join build + one parent-view scan
+   per node per batch (the build side is the whole key delta) instead of
+   one scan per node per update; TRIC+ probes its maintained index per
+   fresh tuple as before, but still saves the per-update node locating
+   and sorting.  Downward propagation reuses [propagate], whose per-child
+   join now also runs once per accumulated delta. *)
+let handle_additions_batch t (edges : Edge.t list) =
+  (* Feed the base views; remember, per key, the edge tuples that were new. *)
+  let fresh_by_key : Tuple.t list ref Ekey.Tbl.t = Ekey.Tbl.create 64 in
+  List.iter
+    (fun (e : Edge.t) ->
+      let tuple = Tuple.of_edge e in
+      List.iter
+        (fun k ->
+          match Trie.base_view t.forest k with
+          | Some base ->
+            if Relation.insert base tuple then begin
+              match Ekey.Tbl.find_opt fresh_by_key k with
+              | Some cell -> cell := tuple :: !cell
+              | None -> Ekey.Tbl.add fresh_by_key k (ref [ tuple ])
+            end
+          | None -> ())
+        (Ekey.keys_of_edge e))
+    edges;
+  (* Every node whose key gained base tuples, shallowest first. *)
+  let seeds =
+    Ekey.Tbl.fold
+      (fun k cell acc ->
+        List.fold_left
+          (fun acc n -> (n, !cell) :: acc)
+          acc
+          (Trie.nodes_with_key t.forest k))
+      fresh_by_key []
+    |> List.sort (fun (a, _) (b, _) -> compare (Trie.node_depth a) (Trie.node_depth b))
+  in
+  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record node tuples =
+    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
+    | Some (_, cell) -> cell := tuples @ !cell
+    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
+  in
+  List.iter
+    (fun (node, fresh) ->
+      let delta =
+        match Trie.node_parent node with
+        | None -> fresh
+        | Some parent ->
+          let hinge_col = Trie.node_depth node in
+          let view = Trie.node_view parent in
+          if t.cache then
+            (* TRIC+: maintained index on the parent view's hinge column. *)
+            let probe = Relation.index_on view ~col:hinge_col in
+            List.concat_map
+              (fun etu ->
+                List.map
+                  (fun ptu -> Tuple.extend ptu (Tuple.get etu 1))
+                  (probe (Tuple.get etu 0)))
+              fresh
+          else begin
+            (* TRIC: build on the batch's key delta, scan the parent once
+               for the whole window. *)
+            let built : Tuple.t list ref Label.Tbl.t =
+              Label.Tbl.create (2 * List.length fresh)
+            in
+            List.iter
+              (fun etu ->
+                let key = Tuple.get etu 0 in
+                match Label.Tbl.find_opt built key with
+                | Some cell -> cell := etu :: !cell
+                | None -> Label.Tbl.add built key (ref [ etu ]))
+              fresh;
+            let out = ref [] in
+            Relation.scan_probing view ~col:hinge_col
+              (fun hinge ->
+                match Label.Tbl.find_opt built hinge with
+                | Some cell -> !cell
+                | None -> [])
+              (fun ptu etu -> out := Tuple.extend ptu (Tuple.get etu 1) :: !out);
+            !out
+          end
+      in
+      let inserted = Relation.insert_all (Trie.node_view node) delta in
+      if inserted <> [] then begin
+        record node inserted;
+        propagate t ~record node inserted
+      end)
+    seeds;
+  inserted_at
+
+let handle_batch t updates =
+  t.batches <- t.batches + 1;
+  t.batched_updates <- t.batched_updates + List.length updates;
+  (* Net effect per edge: views are joins over deduplicated base sets, so
+     within one window only an edge's final polarity matters — duplicates
+     collapse and an [Add e; ...; Remove e] window cancels down to one
+     (possibly no-op) removal.  Replaying the net ops reaches exactly the
+     state of sequential replay; matches that exist only transiently
+     inside the window are intentionally never materialised or reported. *)
+  let last : bool Edge.Tbl.t = Edge.Tbl.create (2 * List.length updates) in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+      let e = Update.edge u in
+      if not (Edge.Tbl.mem last e) then order := e :: !order;
+      Edge.Tbl.replace last e (Update.is_addition u))
+    updates;
+  let removals, additions =
+    List.partition_map
+      (fun e -> if Edge.Tbl.find last e then Either.Right e else Either.Left e)
+      (List.rev !order)
+  in
+  t.batch_cancelled <-
+    t.batch_cancelled
+    + (List.length updates - List.length removals - List.length additions);
+  (* Net removals first: a net addition must survive the window, so its
+     delta joins run against the post-removal state. *)
+  List.iter (fun e -> apply_removal t e) removals;
+  match additions with
+  | [] -> []
+  | additions ->
+    let inserted_at = handle_additions_batch t additions in
+    if Hashtbl.length inserted_at = 0 then [] else report_of_inserted t inserted_at
 
 (* -- Probes ---------------------------------------------------------------- *)
 
@@ -392,6 +533,9 @@ type stats = {
   tuples_removed : int;
   invalidations_avoided : int;
   delta_probes : int;
+  batches : int;
+  batched_updates : int;
+  batch_cancelled : int;
 }
 
 let stats t =
@@ -415,11 +559,16 @@ let stats t =
     tuples_removed = t.tuples_removed;
     invalidations_avoided = t.invalidations_avoided;
     delta_probes;
+    batches = t.batches;
+    batched_updates = t.batched_updates;
+    batch_cancelled = t.batch_cancelled;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d removals=%d \
-     noop_removals=%d tuples_removed=%d invalidations_avoided=%d delta_probes=%d"
+     noop_removals=%d tuples_removed=%d invalidations_avoided=%d delta_probes=%d \
+     batches=%d batched_updates=%d batch_cancelled=%d"
     s.queries s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds s.removals
-    s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes
+    s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes s.batches
+    s.batched_updates s.batch_cancelled

@@ -49,6 +49,25 @@ val handle_update : t -> Update.t -> (int * Embedding.t list) list
     removal keep their caches, and a no-op removal (absent edge) touches
     nothing.  Returns [] for removals. *)
 
+val handle_batch : t -> Update.t list -> (int * Embedding.t list) list
+(** Process a micro-batch of updates as one unit of work, equivalently to
+    replaying them sequentially with {!handle_update} (same final
+    materialized views, same {!current_matches} for every query —
+    order-insensitive within the window).
+
+    The batch is first folded to net ops: duplicates collapse and only an
+    edge's final polarity in the window survives, so an
+    [Add e; ...; Remove e] window cancels.  Net removals are applied
+    first; net additions then run one amortised shallow-first trie sweep —
+    the whole key delta joins against each affected node with a single
+    hash-join build (and, for plain TRIC, a single parent-view scan) per
+    node per batch — and the per-query final join runs once over the
+    merged terminal deltas.
+
+    Returns, per satisfied query id (ascending), the new embeddings the
+    window created {e net of the window itself}: matches both created and
+    destroyed inside the same batch are cancelled and never reported. *)
+
 val current_matches : t -> int -> Embedding.t list
 (** Probe: the query's full current result, recomputed by joining its
     covering-path views.  @raise Not_found on unknown id. *)
@@ -77,6 +96,11 @@ type stats = {
   delta_probes : int;
       (** prefix/hinge index lookups serving the deletion path, each
           replacing a full-view scan *)
+  batches : int;  (** {!handle_batch} calls *)
+  batched_updates : int;  (** updates received through {!handle_batch} *)
+  batch_cancelled : int;
+      (** updates collapsed by in-window net-op folding (duplicates and
+          add/remove pairs) *)
 }
 
 val stats : t -> stats

@@ -8,20 +8,32 @@ type t = {
   remove_query : int -> bool;
   num_queries : unit -> int;
   handle_update : Update.t -> Report.t;
+  handle_batch : Update.t list -> Report.t;
   current_matches : int -> Embedding.t list;
   memory_words : unit -> int;
   stats : unit -> (string * int) list;
   description : string;
 }
 
-let make ~name ?(description = "") ?(stats = fun () -> []) ~add_query ~remove_query
-    ~num_queries ~handle_update ~current_matches ~memory_words () =
+(* Default micro-batch path: sequential replay with merged reports.
+   Engines without a native batch implementation (INV/INC, GraphDB, the
+   oracle, ad-hoc test engines) stay correct; only the amortisation is
+   lost. *)
+let batch_by_fold handle_update updates =
+  Report.merge (List.map handle_update updates)
+
+let make ~name ?(description = "") ?(stats = fun () -> []) ?handle_batch ~add_query
+    ~remove_query ~num_queries ~handle_update ~current_matches ~memory_words () =
+  let handle_batch =
+    match handle_batch with Some f -> f | None -> batch_by_fold handle_update
+  in
   {
     name;
     add_query;
     remove_query;
     num_queries;
     handle_update;
+    handle_batch;
     current_matches;
     memory_words;
     stats;
@@ -37,6 +49,7 @@ let of_tric e =
     remove_query = Tric_core.Tric.remove_query e;
     num_queries = (fun () -> Tric_core.Tric.num_queries e);
     handle_update = Tric_core.Tric.handle_update e;
+    handle_batch = Tric_core.Tric.handle_batch e;
     current_matches = Tric_core.Tric.current_matches e;
     memory_words = reachable_words e;
     stats =
@@ -54,6 +67,9 @@ let of_tric e =
           ("tuples_removed", s.Tric_core.Tric.tuples_removed);
           ("invalidations_avoided", s.Tric_core.Tric.invalidations_avoided);
           ("delta_probes", s.Tric_core.Tric.delta_probes);
+          ("batches", s.Tric_core.Tric.batches);
+          ("batched_updates", s.Tric_core.Tric.batched_updates);
+          ("batch_cancelled", s.Tric_core.Tric.batch_cancelled);
         ]);
     description = "trie-clustered covering paths (the paper's contribution)";
   }
@@ -66,6 +82,7 @@ let of_invidx e =
     remove_query = I.remove_query e;
     num_queries = (fun () -> I.num_queries e);
     handle_update = I.handle_update e;
+    handle_batch = batch_by_fold (I.handle_update e);
     current_matches = I.current_matches e;
     memory_words = reachable_words e;
     stats =
@@ -88,6 +105,7 @@ let of_graphdb e =
     remove_query = C.remove_query e;
     num_queries = (fun () -> C.num_queries e);
     handle_update = C.handle_update e;
+    handle_batch = batch_by_fold (C.handle_update e);
     current_matches = C.current_matches e;
     memory_words = reachable_words e;
     stats =
@@ -109,6 +127,7 @@ let of_naive e =
     remove_query = Naive.remove_query e;
     num_queries = (fun () -> Naive.num_queries e);
     handle_update = Naive.handle_update e;
+    handle_batch = batch_by_fold (Naive.handle_update e);
     current_matches = Naive.current_matches e;
     memory_words = reachable_words e;
     stats = (fun () -> [ ("queries", Naive.num_queries e) ]);

@@ -14,6 +14,13 @@ type t = {
   remove_query : int -> bool;
   num_queries : unit -> int;
   handle_update : Update.t -> Report.t;
+  handle_batch : Update.t list -> Report.t;
+      (** Process a window of updates as one unit of work; must leave the
+          engine in the state sequential {!handle_update} replay would.
+          Engines without a native batch path fold over {!handle_update}
+          and merge the reports; TRIC/TRIC+ run the amortised sweep of
+          {!Tric_core.Tric.handle_batch}, whose report cancels matches
+          both created and destroyed within the window. *)
   current_matches : int -> Embedding.t list;
   memory_words : unit -> int;
       (** Live heap words reachable from the engine state. *)
@@ -31,6 +38,7 @@ val make :
   name:string ->
   ?description:string ->
   ?stats:(unit -> (string * int) list) ->
+  ?handle_batch:(Update.t list -> Report.t) ->
   add_query:(Pattern.t -> unit) ->
   remove_query:(int -> bool) ->
   num_queries:(unit -> int) ->
@@ -39,5 +47,7 @@ val make :
   memory_words:(unit -> int) ->
   unit ->
   t
+(** [handle_batch] defaults to folding [handle_update] over the window and
+    merging the per-update reports. *)
 
 val add_queries : t -> Pattern.t list -> unit

@@ -17,6 +17,16 @@ let normalise r =
          | l -> Some (qid, l))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let merge reports =
+  let tbl : (int, Embedding.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (qid, embs) ->
+         match Hashtbl.find_opt tbl qid with
+         | Some cell -> cell := embs @ !cell
+         | None -> Hashtbl.add tbl qid (ref embs)))
+    reports;
+  normalise (Hashtbl.fold (fun qid cell acc -> (qid, !cell) :: acc) tbl [])
+
 let equal a b =
   let a = normalise a and b = normalise b in
   List.length a = List.length b

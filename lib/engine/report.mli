@@ -18,6 +18,10 @@ val normalise : t -> t
 (** Sort by qid, dedup and sort embeddings — canonical form for comparing
     engines in tests. *)
 
+val merge : t list -> t
+(** Per-query union of several reports, normalised — the report of a
+    window of updates processed as one micro-batch. *)
+
 val equal : t -> t -> bool
 (** Equality of normalised reports. *)
 

@@ -3,7 +3,11 @@
     Feeds a dataset (query set + update stream) through an engine,
     measuring query-insertion time and per-update answering latency, with
     a wall-clock budget that truncates runs the way the paper's 24-hour
-    threshold truncates its slow baselines (the asterisks in Figs. 12–14). *)
+    threshold truncates its slow baselines (the asterisks in Figs. 12–14).
+
+    Replay is per-update by default; with [batch_size > 1] the stream is
+    chopped into micro-batches handed to {!Matcher.t.handle_batch}, and
+    the latency samples become per-batch. *)
 
 open Tric_graph
 open Tric_query
@@ -12,13 +16,16 @@ type result = {
   engine : string;
   total_updates : int;
   updates_processed : int;  (** < total when the budget ran out *)
+  batch_size : int;  (** 1 = per-update replay *)
+  batches : int;  (** dispatch calls made (= updates processed when 1) *)
   timed_out : bool;
   index_time_s : float;  (** time to insert all queries *)
   answer_time_s : float;  (** total answering time *)
   mean_ms : float;  (** answering time per update, milliseconds *)
-  p50_ms : float;
-  p95_ms : float;
-  max_ms : float;
+  p50_ms : float;  (** per dispatch call: per update, or per batch *)
+  p95_ms : float;  (** per dispatch call, interpolated between ranks *)
+  max_ms : float;  (** slowest dispatch call (true sample maximum) *)
+  throughput_ups : float;  (** updates answered per second *)
   matches : int;  (** total new embeddings reported *)
   satisfied_queries : int;  (** distinct query ids satisfied at least once *)
   memory_words : int;  (** engine-reachable heap words after the run *)
@@ -27,10 +34,16 @@ type result = {
           requested checkpoint that was reached *)
 }
 
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [sorted] ascending and [q] in [0, 1]:
+    linear interpolation between the two bracketing ranks (0 on an empty
+    array).  Exposed for the latency statistics tests. *)
+
 val run :
   ?budget_s:float ->
   ?checkpoints:int list ->
   ?measure_memory:bool ->
+  ?batch_size:int ->
   engine:Matcher.t ->
   queries:Pattern.t list ->
   stream:Stream.t ->
@@ -38,7 +51,11 @@ val run :
   result
 (** [budget_s] defaults to infinity; [checkpoints] (update counts, sorted
     ascending) default to none; [measure_memory] defaults to [true] (it
-    walks the heap — disable inside tight sweeps). *)
+    walks the heap — disable inside tight sweeps); [batch_size] defaults
+    to [1] (per-update replay through [handle_update]); every checkpoint
+    satisfied by a dispatch call is recorded, so duplicate or
+    batch-straddled checkpoints are never lost.
+    @raise Invalid_argument if [batch_size < 1]. *)
 
 val segment_means_ms : result -> (int * float) list
 (** Per-checkpoint-window mean answering time: for consecutive checkpoints

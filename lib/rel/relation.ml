@@ -109,14 +109,11 @@ let remove r t =
   end
   else false
 
+let remove_all r ts = List.filter (fun t -> remove r t) ts
+
 let iter f r = Tuple.Tbl.iter (fun t () -> f t) r.tuples
 let fold f r init = Tuple.Tbl.fold (fun t () acc -> f t acc) r.tuples init
 let to_list r = fold (fun t acc -> t :: acc) r []
-
-let remove_if r pred =
-  let doomed = fold (fun t acc -> if pred t then t :: acc else acc) r [] in
-  List.iter (fun t -> ignore (remove r t)) doomed;
-  List.length doomed
 
 let ensure_prefix_idx r =
   match r.prefix_idx with

@@ -32,8 +32,10 @@ val insert_all : t -> Tuple.t list -> Tuple.t list
 val remove : t -> Tuple.t -> bool
 (** Used by edge deletion (§4.3). *)
 
-val remove_if : t -> (Tuple.t -> bool) -> int
-(** Removes all matching tuples; returns how many were removed. *)
+val remove_all : t -> Tuple.t list -> Tuple.t list
+(** Removes all; returns the tuples that were actually present (and are now
+    gone), in input order — the bulk counterpart of {!insert_all}, used by
+    batched deletion propagation. *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a

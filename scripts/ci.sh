@@ -14,4 +14,13 @@ fi
 dune build
 dune runtest
 
+# Bench smoke: a tiny batched-ingestion throughput run, so the bench
+# executable's non-bechamel paths stay exercised by CI.
+TRIC_BATCH_ONLY=1 TRIC_BATCH_EDGES=1000 TRIC_BATCH_QDB=50 dune exec bench/main.exe
+
+# Harness smoke at a high scale factor: small enough to finish in seconds,
+# and fig12a's stream shrinks below its checkpoint count, which is exactly
+# the duplicate-checkpoint regime the growth figures must render cleanly.
+TRIC_SCALE=20000 TRIC_BUDGET=2 dune exec bin/tric_cli.exe -- run all > /dev/null
+
 echo "ci: ok"

@@ -197,6 +197,64 @@ let test_runner_empty_stream () =
   in
   Alcotest.(check int) "memory skipped" 0 r.E.Runner.memory_words
 
+let test_percentile () =
+  (* Interpolated percentiles: the old truncating rank reported p50 = 2.0
+     and p95 = 3.0 on this array. *)
+  let s = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (E.Runner.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 2.5 (E.Runner.percentile s 0.5);
+  Alcotest.(check (float 1e-9)) "p95 near max" 3.85 (E.Runner.percentile s 0.95);
+  Alcotest.(check (float 1e-9)) "p100 = max" 4.0 (E.Runner.percentile s 1.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (E.Runner.percentile [||] 0.5);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (E.Runner.percentile [| 7.0 |] 0.95)
+
+let test_runner_duplicate_checkpoints () =
+  (* Duplicate checkpoints (growth figures at high scale collapse several
+     onto the same update count) must all be drained by the one update
+     that satisfies them, not stranded as spurious timeouts. *)
+  let queries = [ Helpers.pattern ~id:1 "?x -a-> ?y" ] in
+  let stream =
+    Stream.of_edges (List.init 10 (fun i -> Edge.of_strings "a" (string_of_int i) "t"))
+  in
+  let r =
+    E.Runner.run
+      ~checkpoints:[ 3; 3; 7; 10; 10 ]
+      ~engine:(E.Engines.tric ()) ~queries ~stream ()
+  in
+  Alcotest.(check (list int)) "all five drained" [ 3; 3; 7; 10; 10 ]
+    (List.map fst r.E.Runner.checkpoints)
+
+let test_runner_batched () =
+  (* Batched replay: same matches as per-update, batch-straddled
+     checkpoints recorded at the batch boundary that crossed them, and the
+     call count reflects ceil(total / batch_size). *)
+  let queries = [ Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z" ] in
+  let edges =
+    List.concat_map
+      (fun i ->
+        let v = string_of_int i in
+        [ Edge.of_strings "a" ("s" ^ v) ("m" ^ v); Edge.of_strings "b" ("m" ^ v) ("t" ^ v) ])
+      (List.init 10 Fun.id)
+  in
+  let stream = Stream.of_edges edges in
+  let seq = E.Runner.run ~engine:(E.Engines.tric ()) ~queries ~stream () in
+  let bat =
+    E.Runner.run ~batch_size:7 ~checkpoints:[ 5; 20 ]
+      ~engine:(E.Engines.tric ~cache:true ())
+      ~queries ~stream ()
+  in
+  Alcotest.(check int) "all processed" 20 bat.E.Runner.updates_processed;
+  Alcotest.(check int) "ceil(20/7) calls" 3 bat.E.Runner.batches;
+  Alcotest.(check int) "same matches as sequential" seq.E.Runner.matches
+    bat.E.Runner.matches;
+  Alcotest.(check (list int)) "checkpoints at batch boundaries" [ 7; 20 ]
+    (List.map fst bat.E.Runner.checkpoints);
+  Alcotest.(check bool) "throughput positive" true (bat.E.Runner.throughput_ups > 0.0);
+  Alcotest.check_raises "batch_size 0 rejected"
+    (Invalid_argument "Runner.run: batch_size must be >= 1") (fun () ->
+      ignore
+        (E.Runner.run ~batch_size:0 ~engine:(E.Engines.tric ()) ~queries ~stream ()))
+
 let test_midstream_query_addition () =
   (* A query registered mid-stream must see state retained for earlier
      queries with overlapping structure, and must match later updates. *)
@@ -217,6 +275,10 @@ let suite =
     Alcotest.test_case "runner basics" `Quick test_runner_basics;
     Alcotest.test_case "runner checkpoints" `Quick test_runner_checkpoints;
     Alcotest.test_case "runner budget" `Quick test_runner_budget;
+    Alcotest.test_case "percentile interpolation" `Quick test_percentile;
+    Alcotest.test_case "runner duplicate checkpoints" `Quick
+      test_runner_duplicate_checkpoints;
+    Alcotest.test_case "runner batched replay" `Quick test_runner_batched;
     Alcotest.test_case "deletion differential (TRIC)" `Quick
       (deletion_differential (fun () -> E.Engines.tric ()));
     Alcotest.test_case "deletion differential (TRIC+)" `Quick

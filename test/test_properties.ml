@@ -5,6 +5,8 @@
      both strategies, on arbitrary connected patterns;
    - all engines agree with the naive oracle on arbitrary streams
      (the end-to-end correctness property);
+   - micro-batched ingestion is equivalent to sequential replay on
+     random add/remove windows, including intra-batch cancellation;
    - relations behave as deduplicated sets under random insert/remove,
      with cached indexes staying consistent with rebuilt ones;
    - embedding merge is commutative and conflict-symmetric;
@@ -217,6 +219,90 @@ let prop_engines_agree_under_deletions =
              in
              if add then Update.add e else Update.remove e)
            sspec))
+
+let print_batch_case ((qspecs, sspec), window) =
+  Printf.sprintf "window=%d %s" window (print_mixed_case (qspecs, sspec))
+
+(* Batched ingestion must be a pure optimisation: chopping a random
+   add/remove stream into windows and feeding each through [handle_batch]
+   must leave TRIC, TRIC+ and the naive oracle with exactly the matches a
+   sequential [handle_update] replay produces.  The 48-edge vocabulary
+   with windows up to 10 constantly produces intra-batch duplicates and
+   add+remove of the same edge, which is where net-op folding could go
+   wrong.  TRIC and TRIC+ batch reports must also agree with each other
+   (same trie, different cache modes). *)
+let prop_batch_equals_sequential =
+  QCheck2.Test.make ~count:30 ~print:print_batch_case
+    ~name:"handle_batch = sequential handle_update (TRIC, TRIC+, oracle)"
+    QCheck2.Gen.(
+      pair
+        (pair
+           (list_size (int_range 1 3) gen_pattern_spec)
+           (list_size (int_range 1 60)
+              (quad bool (int_bound (List.length elabels - 1))
+                 (int_bound (List.length vconsts - 1))
+                 (int_bound (List.length vconsts - 1)))))
+        (int_range 1 10))
+    (fun ((qspecs, sspec), window) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let seq = Tric_core.Tric.create () in
+      let tric = Tric_core.Tric.create () in
+      let tricp = Tric_core.Tric.create ~cache:true () in
+      let oracle = Tric_engine.Engines.naive () in
+      List.iter
+        (fun q ->
+          Tric_core.Tric.add_query seq q;
+          Tric_core.Tric.add_query tric q;
+          Tric_core.Tric.add_query tricp q;
+          oracle.Tric_engine.Matcher.add_query q)
+        queries;
+      let updates =
+        List.map
+          (fun (add, li, si, di) ->
+            let e =
+              Edge.of_strings (List.nth elabels li) (List.nth vconsts si)
+                (List.nth vconsts di)
+            in
+            if add then Update.add e else Update.remove e)
+          sspec
+      in
+      let rec windows = function
+        | [] -> []
+        | us ->
+          let n = min window (List.length us) in
+          List.filteri (fun i _ -> i < n) us
+          :: windows (List.filteri (fun i _ -> i >= n) us)
+      in
+      let matches_agree qid =
+        let sorted m = List.sort_uniq Embedding.compare m in
+        let exp = sorted (Tric_core.Tric.current_matches seq qid) in
+        let agree got =
+          List.length exp = List.length got && List.for_all2 Embedding.equal exp got
+        in
+        agree (sorted (Tric_core.Tric.current_matches tric qid))
+        && agree (sorted (Tric_core.Tric.current_matches tricp qid))
+        && agree (sorted (oracle.Tric_engine.Matcher.current_matches qid))
+      in
+      List.for_all
+        (fun w ->
+          List.iter (fun u -> ignore (Tric_core.Tric.handle_update seq u)) w;
+          let r1 = Tric_core.Tric.handle_batch tric w in
+          let r2 = Tric_core.Tric.handle_batch tricp w in
+          ignore (oracle.Tric_engine.Matcher.handle_batch w);
+          Tric_engine.Report.equal r1 r2
+          && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
+        (windows updates))
 
 let prop_relation_set_semantics =
   QCheck2.Test.make ~count:200 ~name:"relation = deduplicated set under insert/remove"
@@ -546,6 +632,7 @@ let suite =
       prop_engine_agrees "INC+" (fun () -> Tric_engine.Engines.inc ~cache:true ());
       prop_engine_agrees "GraphDB" (fun () -> Tric_engine.Engines.graphdb ());
       prop_engines_agree_under_deletions;
+      prop_batch_equals_sequential;
       prop_relation_set_semantics;
       prop_merge_commutative;
       prop_trie_sharing;

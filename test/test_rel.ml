@@ -27,7 +27,8 @@ let test_relation_dedup_and_remove () =
   Alcotest.(check int) "insert_all reports new only" 1 (List.length fresh);
   Alcotest.(check bool) "remove" true (Relation.remove r (tup [ "a"; "b" ]));
   Alcotest.(check bool) "remove absent" false (Relation.remove r (tup [ "a"; "b" ]));
-  Alcotest.(check int) "remove_if" 1 (Relation.remove_if r (fun t -> Label.equal (Tuple.first t) (l "c")));
+  let gone = Relation.remove_all r [ tup [ "a"; "b" ]; tup [ "c"; "d" ]; tup [ "c"; "d" ] ] in
+  Alcotest.(check int) "remove_all reports present only" 1 (List.length gone);
   Alcotest.(check bool) "empty" true (Relation.is_empty r);
   Alcotest.check_raises "width check" (Invalid_argument "Relation.insert: width mismatch")
     (fun () -> ignore (Relation.insert r (tup [ "a" ])))

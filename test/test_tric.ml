@@ -274,6 +274,63 @@ let differential_case ~cache seed () =
   let engine = Engine.Matcher.of_tric (Tric.create ~cache ()) in
   Helpers.differential ~engine ~queries ~stream
 
+let test_batch_cancellation () =
+  (* An add/remove pair of the same edge inside one window folds to
+     nothing: no state, no report, no base-view residue. *)
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y");
+  let e = Tric_graph.Edge.of_strings "a" "u" "v" in
+  let r =
+    Tric.handle_batch t [ Tric_graph.Update.add e; Tric_graph.Update.remove e ]
+  in
+  Alcotest.(check int) "no report" 0 (List.length r);
+  Alcotest.(check int) "no state" 0 (List.length (Tric.current_matches t 1));
+  Alcotest.(check int) "no view tuples" 0 (Tric.stats t).Tric.view_tuples;
+  (* The add folds away against the later remove; the surviving net
+     removal is a no-op because the edge was never live. *)
+  Alcotest.(check int) "add folded" 1 (Tric.stats t).Tric.batch_cancelled;
+  Alcotest.(check int) "net removal was a no-op" 1 (Tric.stats t).Tric.noop_removals
+
+let test_batch_dedup_and_readd () =
+  (* Duplicates collapse; add-remove-add nets to a single addition and
+     fires the query. *)
+  let t = Tric.create ~cache:true () in
+  Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+  let ea = Tric_graph.Edge.of_strings "a" "u" "v" in
+  let eb = Tric_graph.Edge.of_strings "b" "v" "w" in
+  let r =
+    Tric.handle_batch t
+      [
+        Tric_graph.Update.add ea;
+        Tric_graph.Update.add ea;
+        Tric_graph.Update.remove ea;
+        Tric_graph.Update.add ea;
+        Tric_graph.Update.add eb;
+      ]
+  in
+  Alcotest.(check (list int)) "query fires once" [ 1 ] (List.map fst r);
+  Alcotest.(check int) "one embedding" 1 (List.length (Engine.Report.matches_of r 1));
+  Alcotest.(check int) "state matches" 1 (List.length (Tric.current_matches t 1));
+  Alcotest.(check int) "three folded away" 3 (Tric.stats t).Tric.batch_cancelled
+
+let test_batch_net_removal () =
+  (* A window whose net effect on a live edge is removal destroys the
+     match that edge supported. *)
+  let t = Tric.create () in
+  Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+  ignore (Tric.handle_batch t (Helpers.updates [ "u -a-> v"; "v -b-> w" ]));
+  Alcotest.(check int) "match present" 1 (List.length (Tric.current_matches t 1));
+  let r =
+    Tric.handle_batch t
+      [
+        Tric_graph.Update.remove (Tric_graph.Edge.of_strings "b" "v" "w");
+        Tric_graph.Update.add (Tric_graph.Edge.of_strings "b" "v" "w2");
+      ]
+  in
+  Alcotest.(check (list int)) "new completion reported" [ 1 ] (List.map fst r);
+  Alcotest.(check int) "old match gone, new present" 1
+    (List.length (Tric.current_matches t 1))
+
 let suite =
   [
     Alcotest.test_case "fig4 covering paths" `Quick test_fig4_covering_paths;
@@ -285,6 +342,9 @@ let suite =
     Alcotest.test_case "no-op removal keeps caches" `Quick test_noop_removal_keeps_caches;
     Alcotest.test_case "removal per-query isolation" `Quick test_removal_per_query_isolation;
     Alcotest.test_case "idempotent re-registration" `Quick test_reregistration_idempotent;
+    Alcotest.test_case "batch cancellation" `Quick test_batch_cancellation;
+    Alcotest.test_case "batch dedup and re-add" `Quick test_batch_dedup_and_readd;
+    Alcotest.test_case "batch net removal" `Quick test_batch_net_removal;
     Alcotest.test_case "mixed stream differential (TRIC)" `Quick
       (test_mixed_stream_differential ~cache:false 77);
     Alcotest.test_case "mixed stream differential (TRIC+)" `Quick
