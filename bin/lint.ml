@@ -1,0 +1,421 @@
+(* Project lint: bans the OCaml footguns that bit (or nearly bit) this
+   codebase.  Purely lexical — comments and string literals are stripped,
+   then each rule scans the residue — so it is fast, dependency-free and
+   deliberately conservative: a few constructs it cannot prove safe are
+   flagged and must be rewritten or explicitly waived with a
+   [(* lint: allow *)] marker on the offending line.
+
+   Rules:
+   - poly-compare: [Stdlib.compare] / [Pervasives.compare], and bare
+     [compare] in files that never define their own [let compare].
+     Polymorphic compare on variants, records or tuples of labels orders
+     by memory representation, which changes under interning.
+   - poly-hash: [Hashtbl.hash].  Silently truncates (it only walks a
+     bounded prefix of the value) and diverges from any custom [equal].
+   - poly-equal: [List.mem], [List.assoc], [List.mem_assoc],
+     [List.remove_assoc] — structural-equality proxies; use
+     [List.exists] / [List.find_opt] with an explicit equality.
+   - obj-magic: [Obj.magic].
+   - catch-all: [try ... with _ ->] (also [with _exn ->]) — swallows
+     Out_of_memory, Stack_overflow and asserts alike.  Wildcard arms in
+     [match] are fine; only [try] handlers are flagged.
+   - missing-mli: a [.ml] under [lib/] with no companion [.mli].
+
+   Usage: lint [--self-test] [DIR ...]  (default: lib bin) *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : string;
+  text : string;
+}
+
+let allow_marker = "lint: allow"
+
+(* -- Source stripping ------------------------------------------------------- *)
+
+(* Replace comments (nested) and string literals with spaces, preserving
+   newlines so line numbers survive.  Char literals are handled only far
+   enough to keep ['"'] from opening a string. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '\\' when !i + 1 < n ->
+          blank !i;
+          blank (!i + 1);
+          i := !i + 1
+        | '"' -> closed := true
+        | _ -> blank !i);
+        if not !closed then incr i
+      done;
+      if !closed then begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 1] = '"' && src.[!i + 2] = '\'' then
+      (* the char literal '"' must not open a string *)
+      i := !i + 3
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* The original source, split into lines, for allow-markers and messages. *)
+let split_lines s = String.split_on_char '\n' s
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = '\''
+
+(* All start offsets of [word] in [line] occurring as a standalone token.
+   [qualified] also requires/forbids a preceding ['.'] (module access). *)
+let word_hits ?(allow_qualified = false) word line =
+  let wl = String.length word and n = String.length line in
+  let hits = ref [] in
+  let i = ref 0 in
+  while !i + wl <= n do
+    let j = !i in
+    if
+      String.sub line j wl = word
+      && (j = 0 || not (is_word_char line.[j - 1]))
+      && (j + wl >= n || not (is_word_char line.[j + wl]))
+      && (allow_qualified || j = 0 || line.[j - 1] <> '.')
+    then hits := j :: !hits;
+    incr i
+  done;
+  List.rev !hits
+
+(* -- Rules ------------------------------------------------------------------ *)
+
+(* Does the stripped source define its own [compare] (or alias one in)?
+   [let compare], [let rec compare], [and compare].  A file that does gets
+   bare-[compare] amnesty: its uses resolve to the local definition. *)
+let defines_compare stripped_lines =
+  List.exists
+    (fun line ->
+      List.exists
+        (fun prefix ->
+          match word_hits "compare" line with
+          | [] -> false
+          | hits ->
+            List.exists
+              (fun j ->
+                let before = String.sub line 0 j in
+                let before = String.trim before in
+                let pl = String.length prefix in
+                String.length before >= pl
+                && String.sub before (String.length before - pl) pl = prefix)
+              hits)
+        [ "let"; "rec"; "and" ])
+    stripped_lines
+
+let check_line ~rule ~needle ~message ~out file lineno line =
+  if word_hits ~allow_qualified:true needle line <> [] then
+    out := { file; line = lineno; rule; text = message } :: !out
+
+(* try/with tracking: a tiny stack of the opener keywords [try] / [match] /
+   [function]; [with] closes the nearest opener.  When that opener is a
+   [try] and the first arm pattern is a lone wildcard, flag it. *)
+let scan_catch_all ~out file stripped_lines =
+  let stack = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      (* walk tokens of interest in order of appearance *)
+      let events =
+        List.concat
+          [
+            List.map (fun j -> (j, `Try)) (word_hits "try" line);
+            List.map (fun j -> (j, `Match)) (word_hits "match" line);
+            List.map (fun j -> (j, `With)) (word_hits "with" line);
+          ]
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      (* [with] that is not a handler: record update [{ r with ... }]
+         (an unclosed '{' earlier on the line) and signature constraints
+         ([with type] / [with module]). *)
+      let record_with j =
+        let braces = ref 0 in
+        String.iteri
+          (fun k c ->
+            if k < j then
+              match c with '{' -> incr braces | '}' -> decr braces | _ -> ())
+          line;
+        !braces > 0
+      in
+      let constraint_with j =
+        let rest = String.trim (String.sub line (j + 4) (String.length line - j - 4)) in
+        List.exists
+          (fun kw -> word_hits ~allow_qualified:true kw rest <> [] && String.length rest >= String.length kw
+                     && String.sub rest 0 (String.length kw) = kw)
+          [ "type"; "module" ]
+      in
+      List.iter
+        (fun (j, ev) ->
+          match ev with
+          | `Try -> stack := `Try :: !stack
+          | `Match -> stack := `Match :: !stack
+          | `With when record_with j || constraint_with j -> ()
+          | `With -> (
+            let opener =
+              match !stack with
+              | top :: rest ->
+                stack := rest;
+                top
+              | [] -> `Match
+            in
+            match opener with
+            | `Match -> ()
+            | `Try ->
+              (* first arm pattern: the residue after [with] (skipping an
+                 optional [|]) up to [->]; flag [_] and [_name]. *)
+              let rest = String.sub line (j + 4) (String.length line - j - 4) in
+              let rest = String.trim rest in
+              let rest =
+                if String.length rest > 0 && rest.[0] = '|' then
+                  String.trim (String.sub rest 1 (String.length rest - 1))
+                else rest
+              in
+              if String.length rest > 0 && rest.[0] = '_' then begin
+                let arrow =
+                  try Some (Str.search_forward (Str.regexp_string "->") rest 0)
+                  with Not_found -> None
+                in
+                let pat =
+                  match arrow with Some k -> String.trim (String.sub rest 0 k) | None -> rest
+                in
+                let lone_wildcard =
+                  String.length pat > 0
+                  && pat.[0] = '_'
+                  && String.for_all is_word_char pat
+                in
+                if lone_wildcard then
+                  out :=
+                    {
+                      file;
+                      line = lineno;
+                      rule = "catch-all";
+                      text = "try ... with _ -> swallows every exception; name the ones you mean";
+                    }
+                    :: !out
+              end))
+        events)
+    stripped_lines
+
+let lint_source ~file src =
+  let out = ref [] in
+  let stripped = strip src in
+  let stripped_lines = split_lines stripped in
+  let raw_lines = Array.of_list (split_lines src) in
+  let amnesty = defines_compare stripped_lines in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      check_line ~rule:"poly-compare" ~needle:"Stdlib.compare"
+        ~message:"Stdlib.compare orders by memory representation; use a typed compare"
+        ~out file lineno line;
+      check_line ~rule:"poly-compare" ~needle:"Pervasives.compare"
+        ~message:"Pervasives.compare orders by memory representation; use a typed compare"
+        ~out file lineno line;
+      check_line ~rule:"poly-hash" ~needle:"Hashtbl.hash"
+        ~message:"Hashtbl.hash is polymorphic (and truncating); use a typed hash" ~out
+        file lineno line;
+      check_line ~rule:"obj-magic" ~needle:"Obj.magic"
+        ~message:"Obj.magic defeats the type system" ~out file lineno line;
+      List.iter
+        (fun fn ->
+          check_line ~rule:"poly-equal" ~needle:fn
+            ~message:(fn ^ " uses polymorphic =; use List.exists/find_opt with an explicit equality")
+            ~out file lineno line)
+        [ "List.mem"; "List.assoc"; "List.mem_assoc"; "List.remove_assoc"; "List.assoc_opt" ];
+      if (not amnesty) && word_hits "compare" line <> [] then
+        out :=
+          {
+            file;
+            line = lineno;
+            rule = "poly-compare";
+            text = "bare compare is polymorphic; use Int.compare / Float.compare / a typed compare";
+          }
+          :: !out)
+    stripped_lines;
+  scan_catch_all ~out file stripped_lines;
+  (* Drop findings on lines carrying an allow marker (in the raw source —
+     the marker lives in a comment). *)
+  List.filter
+    (fun v ->
+      v.line > Array.length raw_lines
+      ||
+      let raw = raw_lines.(v.line - 1) in
+      not
+        (try
+           ignore (Str.search_forward (Str.regexp_string allow_marker) raw 0);
+           true
+         with Not_found -> false))
+    (List.rev !out)
+
+(* -- File walking ----------------------------------------------------------- *)
+
+let rec walk dir acc =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then
+          if entry = "_build" || String.length entry > 0 && entry.[0] = '.' then acc
+          else walk path acc
+        else if Filename.check_suffix entry ".ml" then path :: acc
+        else acc)
+      acc (Sys.readdir dir)
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let in_lib path =
+  String.length path >= 4 && (String.sub path 0 4 = "lib/" || String.sub path 0 4 = "lib\\")
+
+let lint_tree dirs =
+  let files = List.sort String.compare (List.concat_map (fun d -> walk d []) dirs) in
+  let vs =
+    List.concat_map (fun file -> lint_source ~file (read_file file)) files
+  in
+  let missing_mli =
+    List.filter_map
+      (fun file ->
+        if
+          in_lib file
+          && not (Sys.file_exists (Filename.remove_extension file ^ ".mli"))
+        then
+          Some
+            {
+              file;
+              line = 1;
+              rule = "missing-mli";
+              text = "library module has no .mli; every lib/ module must declare its interface";
+            }
+        else None)
+      files
+  in
+  vs @ missing_mli
+
+(* -- Self-test -------------------------------------------------------------- *)
+
+(* Each bad snippet must trip exactly its rule; each good snippet must be
+   clean.  Run before the real lint so a silently broken scanner cannot
+   green-light the tree. *)
+let self_test () =
+  let expect_rule name rule src =
+    let vs = lint_source ~file:(name ^ ".ml") src in
+    match List.filter (fun v -> v.rule = rule) vs with
+    | [] ->
+      Printf.eprintf "lint self-test FAILED: %s did not trigger %s\n" name rule;
+      false
+    | _ -> true
+  in
+  let expect_clean name src =
+    match lint_source ~file:(name ^ ".ml") src with
+    | [] -> true
+    | vs ->
+      List.iter
+        (fun v ->
+          Printf.eprintf "lint self-test FAILED: %s flagged %s:%d %s\n" name v.file
+            v.line v.rule)
+        vs;
+      false
+  in
+  let checks =
+    [
+      expect_rule "bad_stdlib_compare" "poly-compare"
+        "let sorted l = List.sort Stdlib.compare l\n";
+      expect_rule "bad_bare_compare" "poly-compare"
+        "let sorted l = List.sort compare l\n";
+      expect_rule "bad_poly_hash" "poly-hash" "let h x = Hashtbl.hash x\n";
+      expect_rule "bad_poly_mem" "poly-equal" "let f xs = List.mem 3 xs\n";
+      expect_rule "bad_obj_magic" "obj-magic" "let f x = Obj.magic x\n";
+      expect_rule "bad_catch_all" "catch-all"
+        "let f x = try g x with _ -> 0\n";
+      expect_rule "bad_catch_all_named" "catch-all"
+        "let f x = try g x with _exn -> 0\n";
+      expect_clean "good_typed_compare" "let sorted l = List.sort Int.compare l\n";
+      expect_clean "good_local_compare"
+        "let compare a b = Int.compare a b\nlet sorted l = List.sort compare l\n";
+      expect_clean "good_match_wildcard"
+        "let f x = match x with Some y -> y | _ -> 0\n";
+      expect_clean "good_try_named"
+        "let f x = try g x with Not_found -> 0\n";
+      expect_clean "good_comment" "(* List.mem and Obj.magic and compare *)\nlet x = 1\n";
+      expect_clean "good_string" "let x = \"Hashtbl.hash compare\"\n";
+      expect_clean "good_allow"
+        "let sorted l = List.sort compare l (* lint: allow — scalar keys *)\n";
+      expect_clean "good_try_inner_match"
+        "let f x = try (match x with Some y -> y | _ -> 0) with Not_found -> 1\n";
+    ]
+  in
+  List.for_all Fun.id checks
+
+(* -- Entry ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selftest = List.exists (String.equal "--self-test") args in
+  let dirs = List.filter (fun a -> a <> "--self-test") args in
+  let dirs = if dirs = [] then [ "lib"; "bin" ] else dirs in
+  if selftest then
+    if self_test () then begin
+      print_endline "lint self-test: ok";
+      exit 0
+    end
+    else exit 1
+  else begin
+    let vs = lint_tree dirs in
+    List.iter
+      (fun v -> Printf.printf "%s:%d: [%s] %s\n" v.file v.line v.rule v.text)
+      vs;
+    if vs = [] then begin
+      print_endline "lint: clean";
+      exit 0
+    end
+    else begin
+      Printf.printf "lint: %d violation(s)\n" (List.length vs);
+      exit 1
+    end
+  end

@@ -148,10 +148,94 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a saved dataset through one engine and report timings.")
     Term.(ret (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg))
 
+(* Interleave deterministic removals into an add-only stream: after every
+   [1/churn] (rounded) applied additions, remove the oldest still-live
+   edge.  Turns the generators' add-only datasets into the mixed
+   add/remove replays the deletion machinery must survive. *)
+let churn_stream churn stream =
+  if churn <= 0.0 then stream
+  else begin
+    let period = max 1 (int_of_float (Float.round (1.0 /. churn))) in
+    let q = Queue.create () in
+    let live = Tric_graph.Edge.Tbl.create 4096 in
+    let adds = ref 0 in
+    let out = ref [] in
+    let emit u = out := u :: !out in
+    let pop_victim () =
+      let victim = ref None in
+      while !victim = None && not (Queue.is_empty q) do
+        let e = Queue.pop q in
+        if Tric_graph.Edge.Tbl.mem live e then victim := Some e
+      done;
+      !victim
+    in
+    Tric_graph.Stream.iter
+      (fun u ->
+        emit u;
+        (match u with
+        | Tric_graph.Update.Add e ->
+          if not (Tric_graph.Edge.Tbl.mem live e) then begin
+            Tric_graph.Edge.Tbl.replace live e ();
+            Queue.push e q;
+            incr adds
+          end
+        | Tric_graph.Update.Remove e -> Tric_graph.Edge.Tbl.remove live e);
+        if !adds >= period then begin
+          adds := 0;
+          match pop_victim () with
+          | Some e ->
+            Tric_graph.Edge.Tbl.remove live e;
+            emit (Tric_graph.Update.remove e)
+          | None -> ()
+        end)
+      stream;
+    Tric_graph.Stream.of_updates (List.rev !out)
+  end
+
+let audit_cmd =
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Dataset file.") in
+  let engine_arg =
+    Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+).")
+  in
+  let every_arg =
+    Arg.(value & opt int 500 & info [ "every" ] ~docv:"N" ~doc:"Audit every $(docv) updates (default 500).")
+  in
+  let churn_arg =
+    Arg.(value & opt float 0.0 & info [ "churn" ] ~docv:"F" ~doc:"Interleave one removal per 1/$(docv) additions (0 = replay the stream as saved), exercising the deletion paths under audit.")
+  in
+  let run file engine_name every churn batch =
+    if batch < 1 then `Error (false, "--batch must be >= 1")
+    else if every < 1 then `Error (false, "--every must be >= 1")
+    else if churn < 0.0 || churn >= 1.0 then `Error (false, "--churn must be in [0, 1)")
+    else
+      match Engine.Engines.by_name engine_name with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | engine -> (
+        let d = W.Dataset.load file in
+        let stream = churn_stream churn d.W.Dataset.stream in
+        match
+          Engine.Runner.run ~batch_size:batch ~audit_every:every ~engine
+            ~queries:d.W.Dataset.queries ~stream ()
+        with
+        | r ->
+          Format.printf "%a@.audit: %d shadow audit(s), all clean@."
+            Engine.Runner.pp_result r r.Engine.Runner.audits;
+          `Ok ()
+        | exception Engine.Runner.Audit_failure f ->
+          Format.eprintf
+            "@[<v>AUDIT FAILURE: %s diverged from ground truth after update %d@,%a@]@."
+            f.engine f.update_index Tric_audit.Audit.pp_report f.findings;
+          `Error (false, "audit failed"))
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Replay a saved dataset under shadow auditing: every N updates the engine's materialized state (views, indexes, caches, stats) is certified against an independent recomputation from the live edge set; the first divergence aborts with a finding report.")
+    Term.(ret (const run $ file_arg $ engine_arg $ every_arg $ churn_arg $ batch_arg))
+
 let main =
   Cmd.group
     (Cmd.info "tric_cli" ~version:"1.0.0"
        ~doc:"Continuous multi-query processing over graph streams (EDBT 2020 reproduction).")
-    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd ]
+    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main)

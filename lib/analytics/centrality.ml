@@ -65,7 +65,7 @@ let betweenness g =
     vertices;
   Label.Tbl.fold (fun v c acc -> (v, !c) :: acc) score []
   |> List.sort (fun (va, a) (vb, b) ->
-         let c = compare b a in
+         let c = Float.compare b a in
          if c <> 0 then c else Label.compare va vb)
 
 let top_k g k =

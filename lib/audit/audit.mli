@@ -1,0 +1,83 @@
+(** Invariant-audit sanitizer for materialized engine state.
+
+    The engines maintain their state aggressively incrementally: lazy
+    prefix/hinge deletion indexes, per-query embedding-cache delta
+    subtraction, net-op folded micro-batches.  That is exactly the regime
+    where silent divergence between maintained state and ground truth
+    creeps in.  This module certifies, at any point of a replay, that every
+    materialized view, index, and cache equals what a from-scratch
+    recomputation would produce — the sanitizer the shadow-audit harness
+    ({!Tric_engine.Runner.run}'s [audit_every] / [TRIC_AUDIT]), the
+    [tric_cli audit] subcommand, and the QCheck postconditions run.
+
+    The invariant lattice, from structure to accounting:
+
+    - {b trie-shape}: node depth equals its root-path length, view widths
+      are [depth + 2], parent/child links agree, every node key owns a base
+      view, each query's terminal key chain spells exactly the covering
+      path's key word, and the query width matches its pattern.
+    - {b registration}: terminals carry exactly the [(qid, path_index)]
+      registrations of the live queries — none stale, none missing.
+    - {b view-coherence}: every node's materialized relation equals the
+      independent naive chain join of the base views along its root path
+      (recomputed here with plain scans, sharing no code with the
+      engine's delta propagation).
+    - {b base-coherence}: with the live edge set supplied, every base view
+      holds exactly the matching edges (and the INV/INC duplicate-detection
+      set equals the edge set).
+    - {b index-coherence}: every maintained index — the TRIC+ cached
+      hash-join structures and the prefix/hinge deletion indexes of both
+      cache modes — holds exactly the live tuples ({!Tric_rel.Relation.audit}).
+    - {b cache-coherence}: each query's cached per-path partial embeddings
+      equal the re-derivation from its terminal views, as a multiset.
+    - {b stats}: accounting identities — per relation,
+      [inserts - removes = cardinality]; across the engine, evicted-tuple
+      sums and batch net-op counts must add up.
+
+    Checks are pure observation: they never build indexes that are not
+    already live and never mutate the engine. *)
+
+open Tric_graph
+open Tric_query
+
+type severity =
+  | Error  (** maintained state diverges from recomputation *)
+  | Warning  (** hygiene: not a divergence, but worth surfacing *)
+
+type location =
+  | Forest  (** the trie forest as a whole *)
+  | Node of int  (** a trie node, by {!Tric_core.Trie.node_id} *)
+  | Base of Ekey.t  (** the base view of a generic edge key *)
+  | Query of int  (** a live query, by id *)
+  | Stats  (** engine-level accounting *)
+
+type finding = {
+  severity : severity;
+  location : location;
+  invariant : string;  (** one of {!invariant_classes} *)
+  detail : string;
+}
+
+val invariant_classes : string list
+(** The seven class identifiers, lattice order. *)
+
+val check : ?edges:Edge.t list -> Tric_core.Tric.t -> finding list
+(** Audit a TRIC/TRIC+ engine.  [edges] is the ground-truth live edge set
+    (the replayed stream's net additions); when supplied, base views are
+    also certified against it, closing the chain "edge set → base views →
+    node views → per-query caches". *)
+
+val check_invidx : ?edges:Edge.t list -> Tric_baselines.Invidx.t -> finding list
+(** Audit an INV/INV+/INC/INC+ baseline: base-view, index and accounting
+    invariants (these engines materialize per-path joins on demand, so
+    there is no node-view or embedding-cache layer to certify). *)
+
+val errors : finding list -> finding list
+(** The [Error]-severity subset. *)
+
+val is_clean : finding list -> bool
+(** No [Error] findings ([Warning]s tolerated). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> finding list -> unit
+(** One finding per line, errors first. *)

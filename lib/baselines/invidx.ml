@@ -292,7 +292,7 @@ let handle_update t u =
           (fun k ->
             match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
           keys
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       List.filter_map
         (fun qid ->
@@ -301,7 +301,7 @@ let handle_update t u =
           | Some info ->
             (match answer_query t info e with [] -> None | l -> Some (qid, l)))
         affected
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     end
 
 let current_matches t qid =
@@ -343,3 +343,15 @@ let keys_with_source t v =
 
 let keys_with_target t v =
   match Label.Tbl.find_opt t.target_ind v with Some cell -> !cell | None -> []
+
+(* -- Audit access ----------------------------------------------------------- *)
+
+let fold_base f t init = Ekey.Tbl.fold f t.base init
+let seen_edges t = Edge.Tbl.fold (fun e () acc -> e :: acc) t.seen []
+
+let query_keys (t : t) =
+  Hashtbl.fold
+    (fun qid info acc ->
+      (qid, List.concat_map Array.to_list (Array.to_list info.path_keys)) :: acc)
+    t.queries []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

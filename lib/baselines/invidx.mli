@@ -56,3 +56,15 @@ val keys_with_source : t -> Tric_graph.Label.t -> Ekey.t list
     update's endpoints. *)
 
 val keys_with_target : t -> Tric_graph.Label.t -> Ekey.t list
+
+(** {2 Audit access} *)
+
+val fold_base : (Ekey.t -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every base view [matV[e]] with its key. *)
+
+val seen_edges : t -> Edge.t list
+(** The engine's duplicate-detection set — must equal the live edge set. *)
+
+val query_keys : t -> (int * Ekey.t list) list
+(** Per live query (ascending id), every generic key of its covering
+    paths — each must own a base view. *)

@@ -29,6 +29,7 @@ type t = {
   mutable batches : int; (* handle_batch calls *)
   mutable batched_updates : int; (* updates received through handle_batch *)
   mutable batch_cancelled : int; (* updates collapsed by in-window net-op folding *)
+  mutable batch_net_applied : int; (* net ops that survived the folding *)
 }
 
 let create ?(cache = false) ?(strategy = Cover.Upstream) () =
@@ -44,6 +45,7 @@ let create ?(cache = false) ?(strategy = Cover.Upstream) () =
     batches = 0;
     batched_updates = 0;
     batch_cancelled = 0;
+    batch_net_applied = 0;
   }
 
 let name t = if t.cache then "TRIC+" else "TRIC"
@@ -96,7 +98,7 @@ let matched_nodes t (e : Edge.t) =
   let nodes =
     List.concat_map (fun k -> Trie.nodes_with_key t.forest k) (Ekey.keys_of_edge e)
   in
-  List.sort (fun a b -> compare (Trie.node_depth a) (Trie.node_depth b)) nodes
+  List.sort (fun a b -> Int.compare (Trie.node_depth a) (Trie.node_depth b)) nodes
 
 (* Delta propagation (Fig. 10): push the parent's freshly inserted tuples
    into each child by joining them with the child's base view, pruning
@@ -260,7 +262,7 @@ let report_of_inserted t inserted_at =
       | [] -> ()
       | matches -> out := (qid, matches) :: !out)
     per_query;
-  List.sort (fun (a, _) (b, _) -> compare a b) !out
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !out
 
 (* -- Answering: removals (§4.3) ------------------------------------------- *)
 
@@ -419,7 +421,8 @@ let handle_additions_batch t (edges : Edge.t list) =
           acc
           (Trie.nodes_with_key t.forest k))
       fresh_by_key []
-    |> List.sort (fun (a, _) (b, _) -> compare (Trie.node_depth a) (Trie.node_depth b))
+    |> List.sort (fun (a, _) (b, _) ->
+           Int.compare (Trie.node_depth a) (Trie.node_depth b))
   in
   let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
   let record node tuples =
@@ -500,6 +503,7 @@ let handle_batch t updates =
   t.batch_cancelled <-
     t.batch_cancelled
     + (List.length updates - List.length removals - List.length additions);
+  t.batch_net_applied <- t.batch_net_applied + List.length removals + List.length additions;
   (* Net removals first: a net addition must survive the window, so its
      delta joins run against the post-removal state. *)
   List.iter (fun e -> apply_removal t e) removals;
@@ -536,6 +540,7 @@ type stats = {
   batches : int;
   batched_updates : int;
   batch_cancelled : int;
+  batch_net_applied : int;
 }
 
 let stats t =
@@ -562,13 +567,101 @@ let stats t =
     batches = t.batches;
     batched_updates = t.batched_updates;
     batch_cancelled = t.batch_cancelled;
+    batch_net_applied = t.batch_net_applied;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d removals=%d \
      noop_removals=%d tuples_removed=%d invalidations_avoided=%d delta_probes=%d \
-     batches=%d batched_updates=%d batch_cancelled=%d"
+     batches=%d batched_updates=%d batch_cancelled=%d batch_net_applied=%d"
     s.queries s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds s.removals
     s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes s.batches
-    s.batched_updates s.batch_cancelled
+    s.batched_updates s.batch_cancelled s.batch_net_applied
+
+(* -- Audit access ----------------------------------------------------------- *)
+
+type query_view = {
+  qv_pattern : Pattern.t;
+  qv_paths : Path.t array;
+  qv_path_vids : int array array;
+  qv_terminals : Trie.node array;
+  qv_width : int;
+  qv_path_embs : Embedding.t list array;
+}
+
+let query_views (t : t) =
+  Hashtbl.fold
+    (fun qid info acc ->
+      ( qid,
+        {
+          qv_pattern = info.pattern;
+          qv_paths = info.paths;
+          qv_path_vids = info.path_vids;
+          qv_terminals = info.terminals;
+          qv_width = info.width;
+          qv_path_embs = Array.copy info.path_embs;
+        } )
+      :: acc)
+    t.queries []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let is_caching (t : t) = t.cache
+
+(* -- Test-only corruption hooks --------------------------------------------- *)
+
+module Corrupt = struct
+  let first_query (t : t) =
+    Hashtbl.fold
+      (fun qid info acc ->
+        match acc with Some (q, _) when q <= qid -> acc | _ -> Some (qid, info))
+      t.queries None
+
+  let skew_path_cache t =
+    match first_query t with
+    | None -> false
+    | Some (_, info) ->
+      let skewed = ref false in
+      Array.iteri
+        (fun i embs ->
+          if (not !skewed) && embs <> [] then begin
+            info.path_embs.(i) <- List.tl embs;
+            skewed := true
+          end)
+        info.path_embs;
+      !skewed
+
+  let desync_stats (t : t) = t.tuples_removed <- t.tuples_removed + 1
+
+  let drop_registration t =
+    match first_query t with
+    | None -> false
+    | Some (qid, info) ->
+      Array.length info.terminals > 0
+      &&
+      (Trie.deregister info.terminals.(0) ~qid;
+       true)
+
+  let phantom_view_tuple t =
+    (* Prefer an unregistered (non-terminal) node so only the
+       view-coherence invariant trips, not the per-query caches that
+       mirror terminal views. *)
+    let pick =
+      Trie.fold_nodes
+        (fun n acc ->
+          match acc with
+          | Some best ->
+            if Trie.registrations best <> [] && Trie.registrations n = [] then Some n
+            else acc
+          | None -> Some n)
+        t.forest None
+    in
+    match pick with
+    | None -> false
+    | Some node ->
+      let width = Trie.node_depth node + 2 in
+      let tu =
+        Tuple.make (Array.init width (fun _ -> Label.fresh "corrupt"))
+      in
+      Relation.insert (Trie.node_view node) tu
+end

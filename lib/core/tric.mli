@@ -101,7 +101,56 @@ type stats = {
   batch_cancelled : int;
       (** updates collapsed by in-window net-op folding (duplicates and
           add/remove pairs) *)
+  batch_net_applied : int;
+      (** net ops that survived the folding — the accounting identity
+          [batched_updates = batch_net_applied + batch_cancelled] is one
+          of the invariants {!Tric_audit.Audit.check} certifies *)
 }
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Audit access}
+
+    Read-only structural views for the invariant sanitizer
+    ({!Tric_audit.Audit}): everything the engine maintains incrementally,
+    exposed so an external checker can recompute it from first
+    principles. *)
+
+type query_view = {
+  qv_pattern : Pattern.t;
+  qv_paths : Path.t array;  (** covering paths, in extraction order *)
+  qv_path_vids : int array array;  (** per path: chain vertex-id sequence *)
+  qv_terminals : Trie.node array;  (** per path: its trie terminal *)
+  qv_width : int;  (** pattern vertex count *)
+  qv_path_embs : Embedding.t list array;
+      (** per path: the cached partial-embedding mirror of the terminal
+          view (a shallow copy of the engine's list — safe to consume) *)
+}
+
+val query_views : t -> (int * query_view) list
+(** Every live query with its maintained state, ascending by id. *)
+
+val is_caching : t -> bool
+(** [true] for TRIC+ (maintained hash-join indexes). *)
+
+(** Test-only corruption hooks: each deliberately breaks exactly one
+    invariant class so the mutation tests can prove the audit detects it.
+    Never call these outside tests. *)
+module Corrupt : sig
+  val skew_path_cache : t -> bool
+  (** Drop one embedding from some query's cached per-path results
+      (cache-coherence).  [false] if every cache is empty. *)
+
+  val desync_stats : t -> unit
+  (** Bump [tuples_removed] without removing anything (stats). *)
+
+  val drop_registration : t -> bool
+  (** Deregister some live query from its first terminal while keeping the
+      query (registration).  [false] if no query is indexed. *)
+
+  val phantom_view_tuple : t -> bool
+  (** Insert an out-of-thin-air tuple into a node view — preferring an
+      unregistered node — so the view is no longer re-derivable from the
+      base views (view-coherence).  [false] if the forest is empty. *)
+end

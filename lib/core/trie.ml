@@ -122,7 +122,7 @@ let insert_path t keys ~qid ~path_index =
        or two covering paths collapsing to the same key word) must not
        duplicate the registration — a duplicate would double-count every
        delta reported from this terminal. *)
-    if not (List.mem (qid, path_index) terminal.regs) then
+    if not (List.exists (fun (q, p) -> q = qid && p = path_index) terminal.regs) then
       terminal.regs <- (qid, path_index) :: terminal.regs;
     terminal
 
@@ -139,6 +139,8 @@ let num_base_views t = Ekey.Tbl.length t.base
 let fold_nodes f t init =
   let rec go n acc = List.fold_left (fun acc c -> go c acc) (f n acc) n.children in
   List.fold_left (fun acc r -> go r acc) init (roots t)
+
+let fold_base f t init = Ekey.Tbl.fold f t.base init
 
 let pp fmt t =
   let rec pp_node fmt n =

@@ -63,4 +63,8 @@ val num_tries : t -> int
 val num_base_views : t -> int
 
 val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+
+val fold_base : (Ekey.t -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every base view [matV[e]] with its key (audit/inspection). *)
+
 val pp : Format.formatter -> t -> unit

@@ -26,7 +26,7 @@ let iso () =
     ~num_queries:(fun () -> Hashtbl.length instances)
     ~handle_update:(fun u ->
       Hashtbl.fold (fun _ t acc -> Tric_core.Tric.handle_update t u @ acc) instances []
-      |> List.sort (fun (a, _) (b, _) -> compare a b))
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
     ~current_matches:(fun qid -> Tric_core.Tric.current_matches (Hashtbl.find instances qid) qid)
     ~memory_words:(fun () -> Obj.reachable_words (Obj.repr instances))
     ()

@@ -12,6 +12,7 @@ type t = {
   current_matches : int -> Embedding.t list;
   memory_words : unit -> int;
   stats : unit -> (string * int) list;
+  audit : Edge.t list option -> Tric_audit.Audit.finding list;
   description : string;
 }
 
@@ -22,8 +23,9 @@ type t = {
 let batch_by_fold handle_update updates =
   Report.merge (List.map handle_update updates)
 
-let make ~name ?(description = "") ?(stats = fun () -> []) ?handle_batch ~add_query
-    ~remove_query ~num_queries ~handle_update ~current_matches ~memory_words () =
+let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> [])
+    ?handle_batch ~add_query ~remove_query ~num_queries ~handle_update
+    ~current_matches ~memory_words () =
   let handle_batch =
     match handle_batch with Some f -> f | None -> batch_by_fold handle_update
   in
@@ -37,6 +39,7 @@ let make ~name ?(description = "") ?(stats = fun () -> []) ?handle_batch ~add_qu
     current_matches;
     memory_words;
     stats;
+    audit;
     description;
   }
 
@@ -70,7 +73,9 @@ let of_tric e =
           ("batches", s.Tric_core.Tric.batches);
           ("batched_updates", s.Tric_core.Tric.batched_updates);
           ("batch_cancelled", s.Tric_core.Tric.batch_cancelled);
+          ("batch_net_applied", s.Tric_core.Tric.batch_net_applied);
         ]);
+    audit = (fun edges -> Tric_audit.Audit.check ?edges e);
     description = "trie-clustered covering paths (the paper's contribution)";
   }
 
@@ -94,6 +99,7 @@ let of_invidx e =
           ("base_tuples", s.I.base_tuples);
           ("index_rebuilds", s.I.index_rebuilds);
         ]);
+    audit = (fun edges -> Tric_audit.Audit.check_invidx ?edges e);
     description = "inverted-index baseline (no clustering)";
   }
 
@@ -117,6 +123,7 @@ let of_graphdb e =
           ("plan_cache_hits", Tric_graphdb.Db.plan_cache_hits db);
           ("plan_cache_misses", Tric_graphdb.Db.plan_cache_misses db);
         ]);
+    audit = (fun _ -> []);
     description = "embedded graph database with per-update query re-execution";
   }
 
@@ -131,6 +138,7 @@ let of_naive e =
     current_matches = Naive.current_matches e;
     memory_words = reachable_words e;
     stats = (fun () -> [ ("queries", Naive.num_queries e) ]);
+    audit = (fun _ -> []);
     description = "brute-force oracle (tests only)";
   }
 

@@ -26,6 +26,11 @@ type t = {
       (** Live heap words reachable from the engine state. *)
   stats : unit -> (string * int) list;
       (** Engine-specific counters (index sizes, tuples, rebuilds...). *)
+  audit : Edge.t list option -> Tric_audit.Audit.finding list;
+      (** Run the {!Tric_audit.Audit} sanitizer over the engine's
+          materialized state; [Some edges] supplies the ground-truth live
+          edge set for base-coherence.  Engines without an auditor (GraphDB,
+          the oracle) return []. *)
   description : string;
 }
 
@@ -38,6 +43,7 @@ val make :
   name:string ->
   ?description:string ->
   ?stats:(unit -> (string * int) list) ->
+  ?audit:(Edge.t list option -> Tric_audit.Audit.finding list) ->
   ?handle_batch:(Update.t list -> Report.t) ->
   add_query:(Pattern.t -> unit) ->
   remove_query:(int -> bool) ->

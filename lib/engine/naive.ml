@@ -28,7 +28,7 @@ let graph t = t.g
 let rec extend g q emb mapped acc =
   let unmapped =
     Array.to_list (Pattern.edges q)
-    |> List.filter (fun (pe : Pattern.pedge) -> not (List.mem pe.eid mapped))
+    |> List.filter (fun (pe : Pattern.pedge) -> not (List.exists (Int.equal pe.eid) mapped))
   in
   match
     List.find_opt

@@ -39,7 +39,7 @@ let add_query t ?(constraints = []) pattern =
   List.iter
     (fun c ->
       match Hashtbl.find_opt t.by_key c.key with
-      | Some cell -> if not (List.mem qid !cell) then cell := qid :: !cell
+      | Some cell -> if not (List.exists (Int.equal qid) !cell) then cell := qid :: !cell
       | None -> Hashtbl.add t.by_key c.key (ref [ qid ]))
     constraints
 
@@ -94,7 +94,7 @@ let set_prop t vertex key value =
         in
         match fresh with [] -> None | _ -> Some (qid, fresh)))
     qids
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let current_matches t qid =
   let matches = t.inner.Matcher.current_matches qid in

@@ -7,7 +7,9 @@ let satisfied_ids r = List.map fst r
 let total_matches r = List.fold_left (fun n (_, l) -> n + List.length l) 0 r
 
 let matches_of r qid =
-  match List.assoc_opt qid r with Some l -> l | None -> []
+  match List.find_opt (fun (q, _) -> Int.equal q qid) r with
+  | Some (_, l) -> l
+  | None -> []
 
 let normalise r =
   r
@@ -15,7 +17,7 @@ let normalise r =
          match List.sort_uniq Embedding.compare l with
          | [] -> None
          | l -> Some (qid, l))
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let merge reports =
   let tbl : (int, Embedding.t list ref) Hashtbl.t = Hashtbl.create 16 in

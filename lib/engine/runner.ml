@@ -18,11 +18,33 @@ type result = {
   satisfied_queries : int;
   memory_words : int;
   checkpoints : (int * float) list;
+  audits : int;
 }
+
+exception
+  Audit_failure of {
+    engine : string;
+    update_index : int;
+    findings : Tric_audit.Audit.finding list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Audit_failure { engine; update_index; findings } ->
+      Some
+        (Format.asprintf
+           "@[<v>AUDIT FAILURE: %s diverged from ground truth after update %d@,%a@]"
+           engine update_index Tric_audit.Audit.pp_report findings)
+    | _ -> None)
 
 let log_src = Logs.Src.create "tric.runner" ~doc:"stream replay harness"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let audit_every_env () =
+  match Sys.getenv_opt "TRIC_AUDIT" with
+  | None -> 0
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> 0)
 
 let now () = Unix.gettimeofday ()
 
@@ -42,8 +64,11 @@ let percentile sorted q =
   end
 
 let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
-    ?(batch_size = 1) ~engine ~queries ~stream () =
+    ?(batch_size = 1) ?audit_every ~engine ~queries ~stream () =
   if batch_size < 1 then invalid_arg "Runner.run: batch_size must be >= 1";
+  let audit_every =
+    match audit_every with Some n -> max 0 n | None -> audit_every_env ()
+  in
   let t0 = now () in
   List.iter engine.Matcher.add_query queries;
   let index_time_s = now () -. t0 in
@@ -56,8 +81,23 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
   let calls = ref 0 in
   let answer_time = ref 0.0 in
   let timed_out = ref false in
-  let cps = ref (List.sort compare checkpoints) in
+  let cps = ref (List.sort Int.compare checkpoints) in
   let reached = ref [] in
+  (* Shadow-audit state, all maintained outside the timed sections: the
+     ground-truth live edge set, rebuilt update-by-update from the stream,
+     and the updates-since-last-audit counter. *)
+  let live_edges = Edge.Tbl.create (if audit_every > 0 then 4096 else 1) in
+  let since_audit = ref 0 in
+  let audits = ref 0 in
+  let shadow_audit () =
+    incr audits;
+    let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live_edges [] in
+    let findings = engine.Matcher.audit (Some edges) in
+    if not (Tric_audit.Audit.is_clean findings) then
+      raise
+        (Audit_failure
+           { engine = engine.Matcher.name; update_index = !processed; findings })
+  in
   (try
      while !processed < total do
        if !answer_time > budget_s then begin
@@ -97,11 +137,26 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
            reached := (!processed, !answer_time) :: !reached;
            cps := rest
          | _ -> draining := false
-       done
-     done
+       done;
+       if audit_every > 0 then begin
+         for j = lo to hi - 1 do
+           match Stream.get stream j with
+           | Update.Add e -> Edge.Tbl.replace live_edges e ()
+           | Update.Remove e -> Edge.Tbl.remove live_edges e
+         done;
+         since_audit := !since_audit + (hi - lo);
+         if !since_audit >= audit_every then begin
+           since_audit := 0;
+           shadow_audit ()
+         end
+       end
+     done;
+     (* Certify the final state even when the stream length is not a
+        multiple of the audit period. *)
+     if audit_every > 0 && !since_audit > 0 then shadow_audit ()
    with Exit -> ());
   let used = Array.sub latencies 0 !calls in
-  Array.sort compare used;
+  Array.sort Float.compare used;
   let mean_ms =
     if !processed = 0 then 0.0 else !answer_time *. 1000.0 /. float_of_int !processed
   in
@@ -124,6 +179,7 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
     satisfied_queries = Hashtbl.length satisfied;
     memory_words = (if measure_memory then engine.Matcher.memory_words () else 0);
     checkpoints = List.rev !reached;
+    audits = !audits;
   }
 
 let segment_means_ms r =

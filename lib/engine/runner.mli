@@ -32,7 +32,20 @@ type result = {
   checkpoints : (int * float) list;
       (** (updates processed, cumulative answering seconds) at each
           requested checkpoint that was reached *)
+  audits : int;  (** shadow audits performed (0 unless auditing was on) *)
 }
+
+exception
+  Audit_failure of {
+    engine : string;
+    update_index : int;  (** updates processed when the audit tripped *)
+    findings : Tric_audit.Audit.finding list;
+  }
+(** Raised by {!run} when a shadow audit finds maintained state diverging
+    from ground truth — the replay analogue of a sanitizer abort: it names
+    the first update count at which the divergence was observable, so
+    [TRIC_AUDIT=1] bisects to the offending update.  A printer is
+    registered, so an uncaught failure pretty-prints the full report. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [sorted] ascending and [q] in [0, 1]:
@@ -44,6 +57,7 @@ val run :
   ?checkpoints:int list ->
   ?measure_memory:bool ->
   ?batch_size:int ->
+  ?audit_every:int ->
   engine:Matcher.t ->
   queries:Pattern.t list ->
   stream:Stream.t ->
@@ -55,6 +69,14 @@ val run :
     to [1] (per-update replay through [handle_update]); every checkpoint
     satisfied by a dispatch call is recorded, so duplicate or
     batch-straddled checkpoints are never lost.
+
+    [audit_every] turns on shadow auditing: every [n] updates (and once
+    more at end of stream) the replay pauses — outside the timed sections,
+    so latency and throughput numbers are unaffected — rebuilds the
+    ground-truth live edge set from the stream prefix, and runs
+    {!Matcher.t.audit} against it, raising {!Audit_failure} on the first
+    unclean report.  Defaults to the [TRIC_AUDIT] environment variable
+    (a positive update count), else off.
     @raise Invalid_argument if [batch_size < 1]. *)
 
 val segment_means_ms : result -> (int * float) list

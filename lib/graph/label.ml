@@ -37,7 +37,7 @@ let rec fresh prefix =
 
 let count () = !next
 let equal (a : t) b = a = b
-let compare (a : t) b = Stdlib.compare a b
+let compare (a : t) b = Int.compare a b
 let hash (l : t) = l land max_int
 let pp fmt l = Format.pp_print_string fmt (to_string l)
 

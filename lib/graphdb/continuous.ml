@@ -64,7 +64,7 @@ let add_query t pattern =
     (fun (pe : Pattern.pedge) ->
       let key = Ekey.of_pedge pattern pe in
       match Ekey.Tbl.find_opt t.edge_ind key with
-      | Some cell -> if not (List.mem qid !cell) then cell := qid :: !cell
+      | Some cell -> if not (List.exists (Int.equal qid) !cell) then cell := qid :: !cell
       | None -> Ekey.Tbl.add t.edge_ind key (ref [ qid ]))
     (Pattern.edges pattern);
   Hashtbl.add t.queries qid
@@ -86,8 +86,8 @@ let pattern_of_cypher ?(name = "") ~id text =
   let b = Pattern.Builder.create ~name ~id () in
   let anon = ref 0 in
   let term_of (n : Cypher.node_pat) =
-    match List.assoc_opt "name" n.Cypher.nprops with
-    | Some (Value.String s) -> Term.const s
+    match List.find_opt (fun (k, _) -> String.equal k "name") n.Cypher.nprops with
+    | Some (_, Value.String s) -> Term.const s
     | Some _ -> raise (Cypher.Parse_error "pattern_of_cypher: non-string name property")
     | None -> (
       match n.Cypher.nvar with
@@ -174,7 +174,7 @@ let handle_update t u =
           (fun k ->
             match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
           (Ekey.keys_of_edge e)
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       List.filter_map
         (fun qid ->

@@ -48,7 +48,7 @@ let apply_step store width rows (step : Plan.step) =
       (fun (r : row) ->
         if r.(slot) <> unbound then
           (* Variable already bound (shared across components): check. *)
-          if List.mem r.(slot) candidates then [ r ] else []
+          if List.exists (Int.equal r.(slot)) candidates then [ r ] else []
         else
           List.map
             (fun nid ->
@@ -137,7 +137,7 @@ let apply_step store width rows (step : Plan.step) =
            with Exit -> ());
           let reach = Hashtbl.fold (fun w () acc -> w :: acc) qualifying [] in
           if r.(to_slot) <> unbound then
-            if List.mem r.(to_slot) reach then [ r ] else []
+            if List.exists (Int.equal r.(to_slot)) reach then [ r ] else []
           else
             List.filter_map
               (fun nid ->
@@ -166,7 +166,7 @@ let apply_step store width rows (step : Plan.step) =
                 (Store.in_rels_typed store from_nid rtype)
           in
           if r.(to_slot) <> unbound then
-            if List.mem r.(to_slot) neighbours then [ r ] else []
+            if List.exists (Int.equal r.(to_slot)) neighbours then [ r ] else []
           else
             List.filter_map
               (fun nid ->

@@ -45,7 +45,9 @@ let collect (q : Cypher.query) =
       | Some l' -> fail "conflicting labels %s and %s for %s" l' l name)
     | None -> ());
     List.iter
-      (fun (k, v) -> if not (List.mem_assoc k info.props) then info.props <- (k, v) :: info.props)
+      (fun (k, v) ->
+        if not (List.exists (fun (k', _) -> String.equal k' k) info.props) then
+          info.props <- (k, v) :: info.props)
       n.nprops;
     name
   in

@@ -14,8 +14,32 @@ let equal a b =
   | String x, String y -> String.equal x y
   | (Null | Bool _ | Int _ | Float _ | String _), _ -> false
 
-let compare = Stdlib.compare
-let hash = Hashtbl.hash
+(* Typed compare/hash: the polymorphic versions order by memory
+   representation and hash only a bounded prefix — both change meaning if
+   the representation does (e.g. interned strings). *)
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 3 | String _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let string_hash s =
+  (* FNV-1a *)
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int) s;
+  !h
+
+let hash = function
+  | Null -> 0
+  | Bool b -> 3 + Bool.to_int b
+  | Int i -> (i * 0x9e3779b1) land max_int
+  | Float f -> (Int64.to_int (Int64.bits_of_float f) * 31) land max_int
+  | String s -> string_hash s
 
 let pp fmt = function
   | Null -> Format.pp_print_string fmt "null"

@@ -45,7 +45,7 @@ let growth_figure ~engines ~make_dataset ~points (cfg : Config.t) fmt =
   let checkpoints =
     List.init points (fun i -> (i + 1) * total / points)
     |> List.filter (fun cp -> cp > 0)
-    |> List.sort_uniq compare
+    |> List.sort_uniq Int.compare
   in
   let results = List.map (fun name -> run_engine cfg ~checkpoints name d) engines in
   let header =
@@ -58,8 +58,8 @@ let growth_figure ~engines ~make_dataset ~points (cfg : Config.t) fmt =
         let cells =
           List.map
             (fun cp ->
-              match List.assoc_opt cp segs with
-              | Some m -> Tablefmt.ms m
+              match List.find_opt (fun (n, _) -> Int.equal n cp) segs with
+              | Some (_, m) -> Tablefmt.ms m
               | None -> "*")
             checkpoints
         in

@@ -63,8 +63,23 @@ let key e vids =
   Buffer.contents buf
 
 let equal (a : t) b = a = b
-let hash (e : t) = Hashtbl.hash e
-let compare (a : t) b = Stdlib.compare a b
+
+(* Typed hash/compare over the full int array: the polymorphic pair hashes
+   only a bounded prefix and orders by representation. *)
+let hash (e : t) = Array.fold_left (fun h v -> ((h * 31) + v + 1) land max_int) 17 e
+
+let compare (a : t) b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else begin
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
 let to_alist e =
   List.filter_map

@@ -17,6 +17,8 @@ type t = {
   mutable hinge_idx : delta_index option; (* key: last two columns *)
   mutable rebuilds : int;
   mutable delta_probes : int;
+  mutable inserts : int; (* successful inserts over the lifetime *)
+  mutable removes : int; (* successful removes over the lifetime *)
 }
 
 let create ?(cache = false) ~width () =
@@ -29,6 +31,8 @@ let create ?(cache = false) ~width () =
     hinge_idx = None;
     rebuilds = 0;
     delta_probes = 0;
+    inserts = 0;
+    removes = 0;
   }
 
 let width r = r.width
@@ -95,6 +99,7 @@ let insert r t =
     Tuple.Tbl.add r.tuples t ();
     Hashtbl.iter (fun col idx -> index_add idx col t) r.indexes;
     delta_index_add r t;
+    r.inserts <- r.inserts + 1;
     true
   end
 
@@ -105,6 +110,7 @@ let remove r t =
     Tuple.Tbl.remove r.tuples t;
     Hashtbl.iter (fun col idx -> index_remove idx col t) r.indexes;
     delta_index_remove r t;
+    r.removes <- r.removes + 1;
     true
   end
   else false
@@ -186,6 +192,8 @@ let scan_probing r ~col probe f =
 
 let stats_rebuilds r = r.rebuilds
 let stats_delta_probes r = r.delta_probes
+let stats_inserts r = r.inserts
+let stats_removes r = r.removes
 
 let stats_index_buckets r =
   Hashtbl.fold (fun _ idx acc -> acc + Label.Tbl.length idx) r.indexes 0
@@ -194,7 +202,117 @@ let clear r =
   Tuple.Tbl.reset r.tuples;
   Hashtbl.reset r.indexes;
   r.prefix_idx <- None;
-  r.hinge_idx <- None
+  r.hinge_idx <- None;
+  r.inserts <- 0;
+  r.removes <- 0
+
+(* -- Audit ------------------------------------------------------------------ *)
+
+(* One maintained index (cached column / prefix / hinge) against the live
+   tuple set: every bucket key must map only tuples whose projection is
+   that key, no tuple may be missing or duplicated, and emptied buckets
+   must have been dropped. *)
+let audit_index ~what ~key_of ~pp_key buckets_iter find_bucket r =
+  let findings = ref [] in
+  let report detail = findings := ("index-coherence", detail) :: !findings in
+  buckets_iter (fun key (cell : Tuple.t list ref) ->
+      match !cell with
+      | [] -> report (Format.asprintf "%s: empty bucket %s kept alive" what (pp_key key))
+      | tuples ->
+        List.iter
+          (fun t ->
+            if not (Tuple.Tbl.mem r.tuples t) then
+              report
+                (Format.asprintf "%s: bucket %s holds dead tuple %a" what (pp_key key)
+                   Tuple.pp t)
+            else if not (Tuple.equal (key_of t) key) then
+              report
+                (Format.asprintf "%s: tuple %a filed under wrong key %s" what Tuple.pp t
+                   (pp_key key)))
+          tuples;
+        let distinct = List.length (List.sort_uniq Tuple.compare tuples) in
+        if distinct <> List.length tuples then
+          report (Format.asprintf "%s: bucket %s holds duplicates" what (pp_key key)));
+  (* Reverse inclusion: every live tuple must be found under its own key. *)
+  Tuple.Tbl.iter
+    (fun t () ->
+      match find_bucket (key_of t) with
+      | Some cell when List.exists (Tuple.equal t) !cell -> ()
+      | _ ->
+        report (Format.asprintf "%s: live tuple %a missing from its bucket" what Tuple.pp t))
+    r.tuples;
+  List.rev !findings
+
+let audit r =
+  let findings = ref [] in
+  let report inv detail = findings := (inv, detail) :: !findings in
+  Tuple.Tbl.iter
+    (fun t () ->
+      if Tuple.width t <> r.width then
+        report "view-coherence"
+          (Format.asprintf "tuple %a has width %d in a width-%d relation" Tuple.pp t
+             (Tuple.width t) r.width))
+    r.tuples;
+  if r.inserts - r.removes <> cardinality r then
+    report "stats"
+      (Printf.sprintf "inserts - removes = %d - %d but cardinality is %d" r.inserts
+         r.removes (cardinality r));
+  Hashtbl.iter
+    (fun col idx ->
+      let fs =
+        audit_index
+          ~what:(Printf.sprintf "column-%d index" col)
+          ~key_of:(fun t -> [| Tuple.get t col |])
+          ~pp_key:(fun k -> Format.asprintf "%a" Label.pp (Tuple.get k 0))
+          (fun f -> Label.Tbl.iter (fun l cell -> f [| l |] cell) idx)
+          (fun k -> Label.Tbl.find_opt idx (Tuple.get k 0))
+          r
+      in
+      findings := fs @ !findings)
+    r.indexes;
+  let audit_delta what key_of = function
+    | None -> ()
+    | Some idx ->
+      let fs =
+        audit_index ~what ~key_of
+          ~pp_key:(fun k -> Format.asprintf "%a" Tuple.pp k)
+          (fun f -> Tuple.Tbl.iter f idx)
+          (fun k -> Tuple.Tbl.find_opt idx k)
+          r
+      in
+      findings := fs @ !findings
+  in
+  audit_delta "prefix index" (fun t -> prefix_key r t) r.prefix_idx;
+  audit_delta "hinge index" hinge_key r.hinge_idx;
+  List.rev !findings
+
+(* -- Test-only corruption hooks --------------------------------------------- *)
+
+module Corrupt = struct
+  let drop_index_bucket r =
+    let dropped = ref false in
+    let drop_label_tbl idx =
+      match Label.Tbl.fold (fun k _ acc -> match acc with None -> Some k | s -> s) idx None with
+      | Some k ->
+        Label.Tbl.remove idx k;
+        dropped := true
+      | None -> ()
+    in
+    let drop_tuple_tbl idx =
+      match Tuple.Tbl.fold (fun k _ acc -> match acc with None -> Some k | s -> s) idx None with
+      | Some k ->
+        Tuple.Tbl.remove idx k;
+        dropped := true
+      | None -> ()
+    in
+    Hashtbl.iter (fun _ idx -> if not !dropped then drop_label_tbl idx) r.indexes;
+    (if not !dropped then match r.prefix_idx with Some idx -> drop_tuple_tbl idx | None -> ());
+    (if not !dropped then match r.hinge_idx with Some idx -> drop_tuple_tbl idx | None -> ());
+    !dropped
+
+  let phantom_tuple r t = if not (Tuple.Tbl.mem r.tuples t) then Tuple.Tbl.add r.tuples t ()
+  let desync_counters r = r.inserts <- r.inserts + 1
+end
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>relation w=%d |%d|" r.width (cardinality r);

@@ -98,5 +98,41 @@ val stats_index_buckets : t -> int
 (** Total live buckets across the cached column indexes (tests: removal
     must drop emptied buckets rather than keeping [ref []] alive). *)
 
+val stats_inserts : t -> int
+(** Lifetime count of successful {!insert}s (duplicates excluded).  The
+    accounting identity [stats_inserts - stats_removes = cardinality] is
+    one of the invariants {!audit} certifies. *)
+
+val stats_removes : t -> int
+(** Lifetime count of successful {!remove}s (absent tuples excluded). *)
+
+val audit : t -> (string * string) list
+(** Self-check of every relation-internal invariant, as
+    [(invariant class, detail)] pairs — empty when clean.  Classes:
+    ["index-coherence"] (every maintained index — cached column indexes,
+    prefix index, hinge index — holds exactly the live tuples under their
+    own keys, with no dead tuples, duplicates, or empty buckets),
+    ["view-coherence"] (every stored tuple has the relation's width), and
+    ["stats"] (the insert/remove accounting identity).  Pure observation:
+    never builds indexes that are not already live, and never mutates the
+    relation. *)
+
+module Corrupt : sig
+  (** Test-only corruption hooks: each deliberately breaks exactly one
+      invariant class so the mutation tests can prove {!audit} detects it.
+      Never call these outside tests. *)
+
+  val drop_index_bucket : t -> bool
+  (** Delete one whole bucket from a live maintained index (cached column
+      index first, then prefix/hinge).  [false] if no index is built. *)
+
+  val phantom_tuple : t -> Tuple.t -> unit
+  (** Add a tuple to the backing set {e bypassing} every index and counter
+      — the "skewed view" corruption. *)
+
+  val desync_counters : t -> unit
+  (** Bump the insert counter without inserting anything. *)
+end
+
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

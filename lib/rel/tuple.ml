@@ -31,7 +31,7 @@ let equal a b =
   go 0
 
 let compare a b =
-  let c = Stdlib.compare (Array.length a) (Array.length b) in
+  let c = Int.compare (Array.length a) (Array.length b) in
   if c <> 0 then c
   else
     let rec go i =

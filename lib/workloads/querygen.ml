@@ -92,8 +92,8 @@ let proto_of_walk rng ~const_prob (walk : Edge.t list) : proto =
   let terms =
     List.mapi
       (fun pos v ->
-        match List.assoc_opt v !assigned with
-        | Some t -> t
+        match List.find_opt (fun (l, _) -> Label.equal l v) !assigned with
+        | Some (_, t) -> t
         | None ->
           let p = if pos = 0 || pos = n then const_prob else 0.35 in
           let t =

@@ -14,6 +14,31 @@ fi
 dune build
 dune runtest
 
+# Lint: self-test the scanner, prove it fails on a seeded violation, then
+# scan the tree.
+./scripts/lint.sh
+seeded=$(mktemp -d)
+trap 'rm -rf "$seeded"' EXIT
+printf 'let sorted l = List.sort compare l\n' > "$seeded/bad.ml"
+if ./_build/default/bin/lint.exe "$seeded" >/dev/null 2>&1; then
+  echo "ci: lint failed to flag a seeded violation" >&2
+  exit 1
+fi
+
+# Shadow-audited replay smoke: generate a small SNB dataset, interleave
+# removals (--churn) into the add-only stream, and certify the maintained
+# state of the trie engines and one baseline against ground truth every
+# 500 updates — per-update and micro-batched.
+auditds=$(mktemp -u).tric
+dune exec bin/tric_cli.exe -- generate snb -o "$auditds" --edges 4000 --qdb 60 > /dev/null
+for engine in TRIC TRIC+ INV+; do
+  TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+    audit "$auditds" --engine "$engine" --every 500 --churn 0.2 > /dev/null
+done
+TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+  audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --batch 64 > /dev/null
+rm -f "$auditds"
+
 # Bench smoke: a tiny batched-ingestion throughput run, so the bench
 # executable's non-bechamel paths stay exercised by CI.
 TRIC_BATCH_ONLY=1 TRIC_BATCH_EDGES=1000 TRIC_BATCH_QDB=50 dune exec bench/main.exe

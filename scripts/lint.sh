@@ -1,0 +1,13 @@
+#!/bin/sh
+# Project lint driver: build the lexical linter, prove it still detects
+# every banned construct (self-test over embedded bad/good snippets), then
+# scan lib/ and bin/.  Any violation fails the build; waive a line only
+# with an explicit "lint: allow" comment.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bin/lint.exe
+
+./_build/default/bin/lint.exe --self-test
+./_build/default/bin/lint.exe "$@"

@@ -201,15 +201,28 @@ let prop_engines_agree_under_deletions =
         && List.length exp = List.length b
         && List.for_all2 Embedding.equal exp b
       in
+      (* Audit postcondition: after every update both cache modes must be
+         certifiably coherent against the ground-truth edge set — the
+         sanitizer closes over internal state the black-box report
+         comparison cannot see (indexes, caches, accounting). *)
+      let live = Edge.Tbl.create 64 in
+      let audit_clean t =
+        let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live [] in
+        Tric_audit.Audit.is_clean (Tric_audit.Audit.check ~edges t)
+      in
       List.for_all
         (fun u ->
           let expected = Tric_engine.Naive.handle_update oracle u in
           let r1 = Tric_core.Tric.handle_update tric u in
           let r2 = Tric_core.Tric.handle_update tricp u in
+          (match u with
+          | Update.Add e -> Edge.Tbl.replace live e ()
+          | Update.Remove e -> Edge.Tbl.remove live e);
           Tric_engine.Report.equal expected r1
           && Tric_engine.Report.equal expected r2
           && (Tric_core.Tric.stats tric).Tric_core.Tric.view_tuples
              = (Tric_core.Tric.stats tricp).Tric_core.Tric.view_tuples
+          && audit_clean tric && audit_clean tricp
           && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
         (List.map
            (fun (add, li, si, di) ->
@@ -294,13 +307,28 @@ let prop_batch_equals_sequential =
         && agree (sorted (Tric_core.Tric.current_matches tricp qid))
         && agree (sorted (oracle.Tric_engine.Matcher.current_matches qid))
       in
+      (* Audit postcondition: after every window, batched maintenance (with
+         its net-op folding and amortised sweeps) must leave both cache
+         modes audit-clean against the live edge set. *)
+      let live = Edge.Tbl.create 64 in
+      let audit_clean t =
+        let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live [] in
+        Tric_audit.Audit.is_clean (Tric_audit.Audit.check ~edges t)
+      in
       List.for_all
         (fun w ->
           List.iter (fun u -> ignore (Tric_core.Tric.handle_update seq u)) w;
           let r1 = Tric_core.Tric.handle_batch tric w in
           let r2 = Tric_core.Tric.handle_batch tricp w in
           ignore (oracle.Tric_engine.Matcher.handle_batch w);
+          List.iter
+            (fun u ->
+              match u with
+              | Update.Add e -> Edge.Tbl.replace live e ()
+              | Update.Remove e -> Edge.Tbl.remove live e)
+            w;
           Tric_engine.Report.equal r1 r2
+          && audit_clean tric && audit_clean tricp
           && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
         (windows updates))
 
