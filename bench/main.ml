@@ -34,7 +34,7 @@ let getenv_int k default =
    sample is real maintenance work.  (Replaying additions of
    already-present edges, as this bench once did, silently degrades long
    runs into measuring dedup no-op hits.) *)
-let update_dispatch_bench ~name ~engine_name ~source ~edges ~qdb =
+let update_dispatch_bench ?(shards = 1) ~name ~engine_name ~source ~edges ~qdb () =
   let d =
     W.Dataset.make source
       {
@@ -46,7 +46,7 @@ let update_dispatch_bench ~name ~engine_name ~source ~edges ~qdb =
         seed = 7;
       }
   in
-  let engine = E.Engines.by_name engine_name in
+  let engine = E.Engines.by_name ~shards engine_name in
   List.iter engine.E.Matcher.add_query d.W.Dataset.queries;
   let stream = d.W.Dataset.stream in
   let n = Tric_graph.Stream.length stream in
@@ -214,6 +214,91 @@ let batch_throughput_report fmt =
     [ "TRIC"; "TRIC+" ];
   Format.fprintf fmt "@."
 
+(* Domain-scaling report: replay the same SNB workload through the sharded
+   dispatcher at 1/2/4/8 domains — add-only, and 50/50 churn (every
+   second-half addition immediately retracted) — and report updates/s,
+   wall-clock, and aggregated per-shard busy time.  Wall vs busy is the
+   honest split: on a single-core container the domains time-slice one
+   CPU, so wall cannot drop below the x1 row no matter how cleanly the
+   work shards; busy/wall is the realised parallelism.  The points are
+   also written to BENCH_shard.json so scaling trajectories can be
+   compared across commits and machines. *)
+let shard_scaling_report fmt =
+  let edges = getenv_int "TRIC_SHARD_EDGES" 4_000 in
+  let qdb = getenv_int "TRIC_SHARD_QDB" 100 in
+  let d =
+    W.Dataset.make W.Dataset.Snb
+      { W.Dataset.edges; qdb; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 7 }
+  in
+  let churned =
+    let s = d.W.Dataset.stream in
+    let n = Tric_graph.Stream.length s in
+    let half = n / 2 in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let u = Tric_graph.Stream.get s i in
+      out := u :: !out;
+      if i >= half then
+        out := Tric_graph.Update.remove (Tric_graph.Update.edge u) :: !out
+    done;
+    Tric_graph.Stream.of_updates (List.rev !out)
+  in
+  Format.fprintf fmt
+    "=== Shard scaling (SNB, %d updates, qdb=%d, %d core(s) available) ===@.@."
+    edges qdb (Domain.recommended_domain_count ());
+  let regimes = [ ("add-only", d.W.Dataset.stream); ("churn-50", churned) ] in
+  let measured =
+    List.map
+      (fun (regime, stream) ->
+        Format.fprintf fmt "%s:@." regime;
+        let base = ref 0.0 in
+        let points =
+          List.map
+            (fun shards ->
+              let engine = E.Engines.tric ~cache:true ~shards () in
+              let r =
+                E.Runner.run ~measure_memory:false ~engine
+                  ~queries:d.W.Dataset.queries ~stream ()
+              in
+              engine.E.Matcher.shutdown ();
+              if shards = 1 then base := r.E.Runner.throughput_ups;
+              let speedup =
+                if !base > 0.0 then r.E.Runner.throughput_ups /. !base else 1.0
+              in
+              Format.fprintf fmt
+                "  TRIC+ x%-2d %10.0f upd/s  wall %6.3fs  busy %6.3fs  (%.2fx vs x1)@."
+                shards r.E.Runner.throughput_ups r.E.Runner.answer_time_s
+                r.E.Runner.busy_s speedup;
+              (shards, r.E.Runner.throughput_ups, r.E.Runner.answer_time_s,
+               r.E.Runner.busy_s, speedup))
+            [ 1; 2; 4; 8 ]
+        in
+        Format.fprintf fmt "@.";
+        (regime, points))
+      regimes
+  in
+  let oc = open_out "BENCH_shard.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"shard-scaling\",\n  \"source\": \"snb\",\n  \"edges\": %d,\n  \"qdb\": %d,\n  \"cores\": %d,\n  \"regimes\": [" edges qdb
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun ri (regime, points) ->
+      Printf.fprintf oc "%s\n    { \"regime\": %S, \"points\": ["
+        (if ri = 0 then "" else ",")
+        regime;
+      List.iteri
+        (fun pi (shards, ups, wall, busy, speedup) ->
+          Printf.fprintf oc
+            "%s\n      { \"shards\": %d, \"upd_per_s\": %.1f, \"wall_s\": %.4f, \"busy_s\": %.4f, \"speedup_vs_x1\": %.3f }"
+            (if pi = 0 then "" else ",")
+            shards ups wall busy speedup)
+        points;
+      Printf.fprintf oc "\n    ] }")
+    measured;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Format.fprintf fmt "wrote BENCH_shard.json@.@."
+
 let run_and_report fmt tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -275,7 +360,7 @@ let infra_benches () =
            incr pi;
            ignore (Tric_query.Cover.extract patterns.(!pi mod Array.length patterns))))
   in
-  let forest = Tric_core.Trie.create ~cache:false in
+  let forest = Tric_core.Trie.create ~cache:false () in
   let ti = ref 0 in
   let qi = ref 0 in
   let trie_bench =
@@ -319,17 +404,17 @@ let infra_benches () =
 let figure_benches () =
   [
     update_dispatch_bench ~name:"fig12a/SNB update: TRIC+" ~engine_name:"TRIC+"
-      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100 ();
     update_dispatch_bench ~name:"fig12a/SNB update: INC+" ~engine_name:"INC+"
-      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100 ();
     update_dispatch_bench ~name:"fig12c/SNB small QDB: TRIC+" ~engine_name:"TRIC+"
-      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:20;
+      ~source:W.Dataset.Snb ~edges:2_000 ~qdb:20 ();
     update_dispatch_bench ~name:"fig13a/SNB large graph: TRIC+" ~engine_name:"TRIC+"
-      ~source:W.Dataset.Snb ~edges:8_000 ~qdb:100;
+      ~source:W.Dataset.Snb ~edges:8_000 ~qdb:100 ();
     update_dispatch_bench ~name:"fig14a/TAXI update: TRIC+" ~engine_name:"TRIC+"
-      ~source:W.Dataset.Taxi ~edges:2_000 ~qdb:100;
+      ~source:W.Dataset.Taxi ~edges:2_000 ~qdb:100 ();
     update_dispatch_bench ~name:"fig14b/BioGRID stress: TRIC+" ~engine_name:"TRIC+"
-      ~source:W.Dataset.Biogrid ~edges:2_000 ~qdb:100;
+      ~source:W.Dataset.Biogrid ~edges:2_000 ~qdb:100 ();
     churn_dispatch_bench ~name:"§4.3/SNB 50-50 churn: TRIC" ~engine_name:"TRIC"
       ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
     churn_dispatch_bench ~name:"§4.3/SNB 50-50 churn: TRIC+" ~engine_name:"TRIC+"
@@ -340,6 +425,15 @@ let figure_benches () =
       ~batch:64 ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
     batch_dispatch_bench ~name:"batch/SNB 64-upd window: TRIC+" ~engine_name:"TRIC+"
       ~batch:64 ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100;
+    (* Sharded dispatch: the same per-update answering step, scattered
+       over a domain pool.  On a single-core box the interesting number
+       is the scatter/gather overhead vs the x1 row, not a speedup. *)
+    update_dispatch_bench ~shards:1 ~name:"shard/SNB update: TRIC+ x1"
+      ~engine_name:"TRIC+" ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100 ();
+    update_dispatch_bench ~shards:2 ~name:"shard/SNB update: TRIC+ x2"
+      ~engine_name:"TRIC+" ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100 ();
+    update_dispatch_bench ~shards:4 ~name:"shard/SNB update: TRIC+ x4"
+      ~engine_name:"TRIC+" ~source:W.Dataset.Snb ~edges:2_000 ~qdb:100 ();
   ]
 
 let () =
@@ -356,6 +450,12 @@ let () =
     batch_throughput_report fmt;
     exit 0
   end;
+  (* TRIC_SHARD_ONLY=1: print just the domain-scaling report (fast path
+     for CI and for regenerating BENCH_shard.json). *)
+  if Sys.getenv_opt "TRIC_SHARD_ONLY" <> None then begin
+    shard_scaling_report fmt;
+    exit 0
+  end;
   let cfg = H.Config.from_env () in
   Format.fprintf fmt
     "TRIC benchmark harness — EDBT 2020 reproduction@.scale 1/%d, budget %.0fs/engine (env TRIC_SCALE / TRIC_BUDGET)@.@."
@@ -365,6 +465,7 @@ let () =
   run_and_report fmt (figure_benches ());
   churn_stats_report fmt;
   batch_throughput_report fmt;
+  shard_scaling_report fmt;
   Format.fprintf fmt "=== Section 2: paper figures and tables (scaled) ===@.";
   H.Figures.run_all cfg fmt;
   Format.fprintf fmt "@.done.@."

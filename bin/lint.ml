@@ -20,6 +20,13 @@
      Out_of_memory, Stack_overflow and asserts alike.  Wildcard arms in
      [match] are fine; only [try] handlers are flagged.
    - missing-mli: a [.ml] under [lib/] with no companion [.mli].
+   - toplevel-mutable: a column-0 [let name = ...] in a lib/ module whose
+     right-hand side allocates mutable state (ref, Hashtbl.create,
+     Array.make, Mutex.create, ...).  Module-level mutable state is shared
+     by every engine instance and — since the sharded dispatcher — by
+     every domain; all engine state must live inside Shard.t or the
+     coordinator record.  The few sanctioned globals (Label interning,
+     which is main-domain-only by design) carry explicit waivers.
 
    Usage: lint [--self-test] [DIR ...]  (default: lib bin) *)
 
@@ -237,6 +244,81 @@ let scan_catch_all ~out file stripped_lines =
         events)
     stripped_lines
 
+(* toplevel-mutable: constructors that allocate shared mutable state when
+   evaluated at module initialisation time. *)
+let mutable_constructors =
+  [
+    "ref"; "Hashtbl.create"; "Tbl.create"; "Array.make"; "Queue.create";
+    "Buffer.create"; "Bytes.create"; "Stack.create"; "Atomic.make";
+    "Mutex.create"; "Condition.create"; "Domain.spawn";
+  ]
+
+let in_lib path =
+  String.length path >= 4 && (String.sub path 0 4 = "lib/" || String.sub path 0 4 = "lib\\")
+
+(* A column-0 [let name =] (or [let name : ty =]) is a module-level value
+   binding.  [let f x = ...] has parameters and allocates per call;
+   [let () = ...] is an initialisation action — both are skipped, as are
+   bindings whose right-hand side is a [fun] / [function] / [lazy]
+   abstraction.  The violation is reported on the line holding the
+   allocating constructor so a waiver marker sits next to the evidence. *)
+let scan_toplevel_mutable ~out file stripped_lines =
+  let lines = Array.of_list stripped_lines in
+  let n = Array.length lines in
+  let simple_binding line =
+    if String.length line < 4 || String.sub line 0 4 <> "let " then None
+    else
+      match String.index_opt line '=' with
+      | None -> None
+      | Some eq ->
+        let head = String.trim (String.sub line 4 (eq - 4)) in
+        let name =
+          match String.index_opt head ':' with
+          | Some c -> String.trim (String.sub head 0 c)
+          | None -> head
+        in
+        if name = "" || not (String.for_all is_word_char name) then None else Some eq
+  in
+  Array.iteri
+    (fun idx line ->
+      match simple_binding line with
+      | None -> ()
+      | Some eq ->
+        let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        let rhs, rhs_idx =
+          if rhs <> "" then (rhs, idx)
+          else begin
+            let j = ref (idx + 1) in
+            while !j < n && String.trim lines.(!j) = "" do
+              incr j
+            done;
+            if !j < n then (String.trim lines.(!j), !j) else ("", idx)
+          end
+        in
+        let starts_with kw =
+          let kl = String.length kw in
+          String.length rhs >= kl
+          && String.sub rhs 0 kl = kw
+          && (String.length rhs = kl || not (is_word_char rhs.[kl]))
+        in
+        if not (starts_with "fun" || starts_with "function" || starts_with "lazy") then
+          if
+            List.exists
+              (fun ctor -> word_hits ~allow_qualified:true ctor rhs <> [])
+              mutable_constructors
+          then
+            out :=
+              {
+                file;
+                line = rhs_idx + 1;
+                rule = "toplevel-mutable";
+                text =
+                  "module-level mutable state is shared across engine instances and \
+                   domains; own it in Shard.t / a coordinator record";
+              }
+              :: !out)
+    lines
+
 let lint_source ~file src =
   let out = ref [] in
   let stripped = strip src in
@@ -274,6 +356,7 @@ let lint_source ~file src =
           :: !out)
     stripped_lines;
   scan_catch_all ~out file stripped_lines;
+  if in_lib file then scan_toplevel_mutable ~out file stripped_lines;
   (* Drop findings on lines carrying an allow marker (in the raw source —
      the marker lives in a comment). *)
   List.filter
@@ -309,9 +392,6 @@ let read_file path =
   let s = really_input_string ic len in
   close_in ic;
   s
-
-let in_lib path =
-  String.length path >= 4 && (String.sub path 0 4 = "lib/" || String.sub path 0 4 = "lib\\")
 
 let lint_tree dirs =
   let files = List.sort String.compare (List.concat_map (fun d -> walk d []) dirs) in
@@ -388,6 +468,21 @@ let self_test () =
         "let sorted l = List.sort compare l (* lint: allow — scalar keys *)\n";
       expect_clean "good_try_inner_match"
         "let f x = try (match x with Some y -> y | _ -> 0) with Not_found -> 1\n";
+      expect_rule "lib/bad_global_tbl" "toplevel-mutable"
+        "let cache = Hashtbl.create 16\n";
+      expect_rule "lib/bad_global_ref" "toplevel-mutable" "let counter = ref 0\n";
+      expect_rule "lib/bad_global_next_line" "toplevel-mutable"
+        "let table =\n  Edge.Tbl.create 64\n";
+      expect_rule "lib/bad_global_annotated" "toplevel-mutable"
+        "let slots : int array = Array.make 8 0\n";
+      expect_clean "good_global_outside_lib" "let cache = Hashtbl.create 16\n";
+      expect_clean "lib/good_per_call" "let make () = Hashtbl.create 16\n";
+      expect_clean "lib/good_fun_rhs" "let fresh = fun () -> ref 0\n";
+      expect_clean "lib/good_unit_init" "let () = register ()\n";
+      expect_clean "lib/good_local_let"
+        "let f x =\n  let tbl = Hashtbl.create 4 in\n  g tbl x\n";
+      expect_clean "lib/good_waived"
+        "let next = ref 0 (* lint: allow — interner counter, main domain only *)\n";
     ]
   in
   List.for_all Fun.id checks

@@ -125,15 +125,20 @@ let generate_cmd =
 let batch_arg =
   Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Micro-batch size: hand the engine windows of $(docv) updates instead of one at a time (default 1).")
 
+let shards_arg =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"Shard the trie engines over $(docv) domains (default 1; env TRIC_SHARDS). Baselines are inherently sequential and ignore it.")
+
 let replay_cmd =
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Dataset file.") in
   let engine_arg =
     Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+, GraphDB, ISO).")
   in
-  let run file engine_name budget batch =
+  let run file engine_name budget batch shards =
     if batch < 1 then `Error (false, "--batch must be >= 1")
+    else if (match shards with Some s -> s < 1 | None -> false) then
+      `Error (false, "--shards must be >= 1")
     else
-      match Engine.Engines.by_name engine_name with
+      match Engine.Engines.by_name ?shards engine_name with
       | exception Invalid_argument msg -> `Error (false, msg)
       | engine ->
         let d = W.Dataset.load file in
@@ -141,12 +146,13 @@ let replay_cmd =
           Engine.Runner.run ?budget_s:budget ~batch_size:batch ~engine
             ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
         in
+        engine.Engine.Matcher.shutdown ();
         Format.printf "%a@." Engine.Runner.pp_result r;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a saved dataset through one engine and report timings.")
-    Term.(ret (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg))
+    Term.(ret (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg $ shards_arg))
 
 (* Interleave deterministic removals into an add-only stream: after every
    [1/churn] (rounded) applied additions, remove the oldest still-live
@@ -203,12 +209,14 @@ let audit_cmd =
   let churn_arg =
     Arg.(value & opt float 0.0 & info [ "churn" ] ~docv:"F" ~doc:"Interleave one removal per 1/$(docv) additions (0 = replay the stream as saved), exercising the deletion paths under audit.")
   in
-  let run file engine_name every churn batch =
+  let run file engine_name every churn batch shards =
     if batch < 1 then `Error (false, "--batch must be >= 1")
     else if every < 1 then `Error (false, "--every must be >= 1")
     else if churn < 0.0 || churn >= 1.0 then `Error (false, "--churn must be in [0, 1)")
+    else if (match shards with Some s -> s < 1 | None -> false) then
+      `Error (false, "--shards must be >= 1")
     else
-      match Engine.Engines.by_name engine_name with
+      match Engine.Engines.by_name ?shards engine_name with
       | exception Invalid_argument msg -> `Error (false, msg)
       | engine -> (
         let d = W.Dataset.load file in
@@ -218,10 +226,12 @@ let audit_cmd =
             ~queries:d.W.Dataset.queries ~stream ()
         with
         | r ->
+          engine.Engine.Matcher.shutdown ();
           Format.printf "%a@.audit: %d shadow audit(s), all clean@."
             Engine.Runner.pp_result r r.Engine.Runner.audits;
           `Ok ()
         | exception Engine.Runner.Audit_failure f ->
+          engine.Engine.Matcher.shutdown ();
           Format.eprintf
             "@[<v>AUDIT FAILURE: %s diverged from ground truth after update %d@,%a@]@."
             f.engine f.update_index Tric_audit.Audit.pp_report f.findings;
@@ -230,7 +240,7 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Replay a saved dataset under shadow auditing: every N updates the engine's materialized state (views, indexes, caches, stats) is certified against an independent recomputation from the live edge set; the first divergence aborts with a finding report.")
-    Term.(ret (const run $ file_arg $ engine_arg $ every_arg $ churn_arg $ batch_arg))
+    Term.(ret (const run $ file_arg $ engine_arg $ every_arg $ churn_arg $ batch_arg $ shards_arg))
 
 let main =
   Cmd.group

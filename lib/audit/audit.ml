@@ -3,6 +3,7 @@ open Tric_query
 open Tric_rel
 module Trie = Tric_core.Trie
 module Tric = Tric_core.Tric
+module Route = Tric_core.Route
 module Invidx = Tric_baselines.Invidx
 
 type severity =
@@ -26,6 +27,7 @@ type finding = {
 let invariant_classes =
   [
     "trie-shape";
+    "routing-coherence";
     "registration";
     "view-coherence";
     "base-coherence";
@@ -155,7 +157,9 @@ let rec check_node ~report forest node ~depth ~parent_expected =
 
 let check_registrations ~report t =
   let qviews = Tric.query_views t in
-  (* Expected (qid, path_index) registrations per terminal node id. *)
+  (* Expected (qid, path_index) registrations per terminal node id — node
+     ids are globally unique across shard forests, so one table spans the
+     whole engine. *)
   let expected_at : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (qid, qv) ->
@@ -167,27 +171,30 @@ let check_registrations ~report t =
           | None -> Hashtbl.add expected_at nid (ref [ (qid, i) ]))
         qv.Tric.qv_terminals)
     qviews;
-  Trie.fold_nodes
-    (fun node () ->
-      let nid = Trie.node_id node in
-      let expected =
-        match Hashtbl.find_opt expected_at nid with Some cell -> !cell | None -> []
-      in
-      let actual = Trie.registrations node in
-      let mem (q, p) = List.exists (fun (q', p') -> q = q' && p = p') in
-      List.iter
-        (fun reg ->
-          if not (mem reg actual) then
-            report (Node nid) "registration"
-              (Printf.sprintf "missing registration (Q%d, P%d)" (fst reg) (snd reg)))
-        expected;
-      List.iter
-        (fun reg ->
-          if not (mem reg expected) then
-            report (Node nid) "registration"
-              (Printf.sprintf "stale registration (Q%d, P%d)" (fst reg) (snd reg)))
-        actual)
-    (Tric.forest t) ()
+  Array.iter
+    (fun forest ->
+      Trie.fold_nodes
+        (fun node () ->
+          let nid = Trie.node_id node in
+          let expected =
+            match Hashtbl.find_opt expected_at nid with Some cell -> !cell | None -> []
+          in
+          let actual = Trie.registrations node in
+          let mem (q, p) = List.exists (fun (q', p') -> q = q' && p = p') in
+          List.iter
+            (fun reg ->
+              if not (mem reg actual) then
+                report (Node nid) "registration"
+                  (Printf.sprintf "missing registration (Q%d, P%d)" (fst reg) (snd reg)))
+            expected;
+          List.iter
+            (fun reg ->
+              if not (mem reg expected) then
+                report (Node nid) "registration"
+                  (Printf.sprintf "stale registration (Q%d, P%d)" (fst reg) (snd reg)))
+            actual)
+        forest ())
+    (Tric.forests t)
 
 let check_queries ~report t =
   List.iter
@@ -216,6 +223,16 @@ let check_queries ~report t =
             report (Query qid) "trie-shape"
               (Printf.sprintf "path %d: terminal node %d key chain differs from path word"
                  i (Trie.node_id term));
+          (* The shard recorded for the path must be the router's verdict
+             for the word's first key. *)
+          (match word with
+          | [] -> ()
+          | first :: _ ->
+            let owner = Route.owner ~shards:(Tric.num_shards t) first in
+            if qv.Tric.qv_path_shards.(i) <> owner then
+              report (Query qid) "routing-coherence"
+                (Printf.sprintf "path %d: indexed on shard %d, router owner is %d" i
+                   qv.Tric.qv_path_shards.(i) owner));
           (* Cached per-path embeddings = re-derivation from the terminal
              view, as a multiset (a correct cache holds no duplicates). *)
           let vids = qv.Tric.qv_path_vids.(i) in
@@ -257,9 +274,12 @@ let check_stats ~report t =
       (Printf.sprintf "batched_updates %d <> net applied %d + cancelled %d"
          s.Tric.batched_updates s.Tric.batch_net_applied s.Tric.batch_cancelled);
   let node_removes =
-    Trie.fold_nodes
-      (fun n acc -> acc + Relation.stats_removes (Trie.node_view n))
-      (Tric.forest t) 0
+    Array.fold_left
+      (fun acc forest ->
+        Trie.fold_nodes
+          (fun n acc -> acc + Relation.stats_removes (Trie.node_view n))
+          forest acc)
+      0 (Tric.forests t)
   in
   if node_removes <> s.Tric.tuples_removed then
     report Stats "stats"
@@ -272,18 +292,31 @@ let check ?edges t =
     out := { severity; location; invariant; detail } :: !out
   in
   let report location invariant detail = add Error location invariant detail in
-  let forest = Tric.forest t in
-  List.iter
-    (fun root ->
-      let registered =
-        check_node ~report forest root ~depth:0 ~parent_expected:None
-      in
-      if not registered then
-        add Warning
-          (Node (Trie.node_id root))
-          "trie-shape" "orphan trie: no registration anywhere in subtree")
-    (Trie.roots forest);
-  check_base_views ~report ~fold_base:Trie.fold_base ?edges forest;
+  let shards = Tric.num_shards t in
+  Array.iteri
+    (fun sid forest ->
+      List.iter
+        (fun root ->
+          (* Routing invariant: every trie lives on the shard its root key
+             routes to — the precondition for shard-local propagation
+             being the global propagation restricted to this forest. *)
+          let owner = Route.owner ~shards (Trie.node_key root) in
+          if owner <> sid then
+            report
+              (Node (Trie.node_id root))
+              "routing-coherence"
+              (Format.asprintf "trie rooted at %a sits on shard %d, router owner is %d"
+                 Ekey.pp (Trie.node_key root) sid owner);
+          let registered =
+            check_node ~report forest root ~depth:0 ~parent_expected:None
+          in
+          if not registered then
+            add Warning
+              (Node (Trie.node_id root))
+              "trie-shape" "orphan trie: no registration anywhere in subtree")
+        (Trie.roots forest);
+      check_base_views ~report ~fold_base:Trie.fold_base ?edges forest)
+    (Tric.forests t);
   check_registrations ~report t;
   check_queries ~report t;
   check_stats ~report t;

@@ -16,6 +16,12 @@
       are [depth + 2], parent/child links agree, every node key owns a base
       view, each query's terminal key chain spells exactly the covering
       path's key word, and the query width matches its pattern.
+    - {b routing-coherence}: every trie sits on the shard
+      {!Tric_core.Route.owner} assigns to its root key, and each query
+      path's recorded shard is the router's verdict for its word's first
+      key — the placement invariant that makes shard-local propagation
+      equal the global engine restricted to that shard (trivially clean
+      for a sequential engine).
     - {b registration}: terminals carry exactly the [(qid, path_index)]
       registrations of the live queries — none stale, none missing.
     - {b view-coherence}: every node's materialized relation equals the
@@ -59,13 +65,17 @@ type finding = {
 }
 
 val invariant_classes : string list
-(** The seven class identifiers, lattice order. *)
+(** The eight class identifiers, lattice order. *)
 
 val check : ?edges:Edge.t list -> Tric_core.Tric.t -> finding list
-(** Audit a TRIC/TRIC+ engine.  [edges] is the ground-truth live edge set
-    (the replayed stream's net additions); when supplied, base views are
-    also certified against it, closing the chain "edge set → base views →
-    node views → per-query caches". *)
+(** Audit a TRIC/TRIC+ engine, sequential or sharded — every shard's
+    forest is walked and certified independently (base views are
+    replicated per shard, so ground truth applies to each), then the
+    cross-shard layers (registrations, routing, per-query caches, stats)
+    are checked over all forests at once.  [edges] is the ground-truth
+    live edge set (the replayed stream's net additions); when supplied,
+    base views are also certified against it, closing the chain "edge set
+    → base views → node views → per-query caches". *)
 
 val check_invidx : ?edges:Edge.t list -> Tric_baselines.Invidx.t -> finding list
 (** Audit an INV/INV+/INC/INC+ baseline: base-view, index and accounting

@@ -1,0 +1,5 @@
+open Tric_query
+
+let owner ~shards key =
+  if shards < 1 then invalid_arg "Route.owner: shards must be >= 1";
+  if shards = 1 then 0 else Ekey.hash key mod shards

@@ -1,0 +1,19 @@
+(** The routing layer of the sharded engine: a pure function from a
+    root-trie key to the shard that owns every trie rooted at that key.
+
+    The routing invariant is structural, not per-update: an update is
+    broadcast to every shard (each shard keeps its own base views for the
+    keys its tries mention), while {e tries} are placed by the first key
+    of their covering-path word.  Because a trie is placed wholly on one
+    shard, shard-local delta propagation computes exactly the global
+    engine's propagation restricted to that shard's tries, for any shard
+    count — which is why sharded and sequential reports coincide.
+
+    [owner] is deterministic within a run for a fixed shard count (it
+    hashes interned label ids, which are assigned in stream order). *)
+
+open Tric_query
+
+val owner : shards:int -> Ekey.t -> int
+(** [owner ~shards key] is the shard id in [0, shards) owning tries
+    rooted at [key].  @raise Invalid_argument if [shards < 1]. *)

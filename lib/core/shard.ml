@@ -1,0 +1,291 @@
+open Tric_graph
+open Tric_query
+open Tric_rel
+
+type t = { sid : int; cache : bool; forest : Trie.t }
+
+let create ~sid ~shards ~cache =
+  { sid; cache; forest = Trie.create ~id_base:sid ~id_stride:shards ~cache () }
+
+let sid t = t.sid
+let forest t = t.forest
+
+type delta = int * int * Tuple.t list
+
+(* -- Additions (Fig. 10, shard-local) -------------------------------------- *)
+
+(* All trie nodes of this shard whose key matches the edge, shallowest
+   first so that by the time a node joins the update against its parent's
+   view, the parent's view is fully up to date. *)
+let matched_nodes t (e : Edge.t) =
+  let nodes =
+    List.concat_map (fun k -> Trie.nodes_with_key t.forest k) (Ekey.keys_of_edge e)
+  in
+  List.sort (fun a b -> Int.compare (Trie.node_depth a) (Trie.node_depth b)) nodes
+
+(* Delta propagation: push the parent's freshly inserted tuples into each
+   child by joining them with the child's base view, pruning branches
+   where the delta dies out.  Records inserted tuples per node. *)
+let rec propagate t ~record node delta =
+  List.iter
+    (fun child ->
+      match Trie.base_view t.forest (Trie.node_key child) with
+      | None -> ()
+      | Some base ->
+        if not (Relation.is_empty base) then begin
+          let extensions =
+            if t.cache then begin
+              (* TRIC+: probe the maintained index of the base view. *)
+              let probe = Relation.index_on base ~col:0 in
+              List.concat_map
+                (fun tu ->
+                  List.map
+                    (fun btu -> Tuple.extend tu (Tuple.get btu 1))
+                    (probe (Tuple.last tu)))
+                delta
+            end
+            else begin
+              (* TRIC: classic hash join — build on the smaller side (the
+                 delta), scan the base view probing it. *)
+              let built : Tuple.t list ref Label.Tbl.t =
+                Label.Tbl.create (2 * List.length delta)
+              in
+              List.iter
+                (fun tu ->
+                  let key = Tuple.last tu in
+                  match Label.Tbl.find_opt built key with
+                  | Some cell -> cell := tu :: !cell
+                  | None -> Label.Tbl.add built key (ref [ tu ]))
+                delta;
+              let out = ref [] in
+              Relation.scan_probing base ~col:0
+                (fun hinge ->
+                  match Label.Tbl.find_opt built hinge with
+                  | Some cell -> !cell
+                  | None -> [])
+                (fun btu tu -> out := Tuple.extend tu (Tuple.get btu 1) :: !out);
+              !out
+            end
+          in
+          let inserted = Relation.insert_all (Trie.node_view child) extensions in
+          if inserted <> [] then begin
+            record child inserted;
+            propagate t ~record child inserted
+          end
+        end)
+    (Trie.node_children node)
+
+let handle_addition t (e : Edge.t) =
+  (* Feed this shard's base views of the four generalised keys; keys no
+     trie of this shard mentions have no base view here and are skipped. *)
+  let tuple = Tuple.of_edge e in
+  List.iter
+    (fun k ->
+      match Trie.base_view t.forest k with
+      | Some base -> ignore (Relation.insert base tuple)
+      | None -> ())
+    (Ekey.keys_of_edge e);
+  (* Visit matching trie nodes shallow-first. *)
+  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record node tuples =
+    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
+    | Some (_, cell) -> cell := tuples @ !cell
+    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
+  in
+  List.iter
+    (fun node ->
+      let delta =
+        match Trie.node_parent node with
+        | None -> [ tuple ]
+        | Some parent ->
+          let hinge_col = Trie.node_depth node in
+          let parents =
+            if t.cache then
+              (* TRIC+: maintained index on the parent view's hinge. *)
+              Relation.index_on (Trie.node_view parent) ~col:hinge_col e.src
+            else
+              (* TRIC: build on the single-tuple update, scan the parent. *)
+              Relation.probe_scan (Trie.node_view parent) ~col:hinge_col e.src
+          in
+          List.map (fun ptu -> Tuple.extend ptu e.dst) parents
+      in
+      let inserted = Relation.insert_all (Trie.node_view node) delta in
+      if inserted <> [] then begin
+        record node inserted;
+        propagate t ~record node inserted
+      end)
+    (matched_nodes t e);
+  inserted_at
+
+(* -- Removals (§4.3, shard-local) ------------------------------------------ *)
+
+(* A child tuple extends exactly one parent tuple (its prefix), so the
+   child's casualties are exactly the extensions of doomed parent tuples —
+   found by probing the child view's maintained prefix index, not by
+   scanning the view.  Doomed parent tuples are distinct, so the probed
+   buckets are disjoint and need no dedup.  Records evicted tuples per
+   node. *)
+let rec propagate_removal ~record node doomed =
+  List.iter
+    (fun child ->
+      let view = Trie.node_view child in
+      let doomed_child = List.concat_map (fun d -> Relation.probe_prefix view d) doomed in
+      if doomed_child <> [] then begin
+        ignore (Relation.remove_all view doomed_child);
+        record child doomed_child;
+        propagate_removal ~record child doomed_child
+      end)
+    (Trie.node_children node)
+
+let handle_removal t (e : Edge.t) =
+  let tuple = Tuple.of_edge e in
+  List.iter
+    (fun k ->
+      match Trie.base_view t.forest k with
+      | Some base -> ignore (Relation.remove base tuple)
+      | None -> ())
+    (Ekey.keys_of_edge e);
+  let removed_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record node tuples =
+    match Hashtbl.find_opt removed_at (Trie.node_id node) with
+    | Some (_, cell) -> cell := tuples @ !cell
+    | None -> Hashtbl.add removed_at (Trie.node_id node) (node, ref tuples)
+  in
+  (* Shallow-first: a matched node's own hinge casualties are looked up by
+     index; by the time a deeper matched node is visited, tuples already
+     evicted through propagation are gone from its hinge index, so nothing
+     is recorded twice. *)
+  List.iter
+    (fun node ->
+      let view = Trie.node_view node in
+      let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
+      if doomed <> [] then begin
+        ignore (Relation.remove_all view doomed);
+        record node doomed;
+        propagate_removal ~record node doomed
+      end)
+    (matched_nodes t e);
+  removed_at
+
+(* -- Batched addition sweep (shard-local) ----------------------------------- *)
+
+(* The per-update answering loop, amortised over a window of edges: every
+   fresh edge tuple is first folded into the base views; then each
+   affected trie node is visited once — shallowest first across the whole
+   batch, so by the time a node joins its key's accumulated delta against
+   the parent's view, the parent has absorbed every shallower batch delta.
+   In TRIC mode this performs one hash-join build + one parent-view scan
+   per node per batch instead of one scan per node per update; TRIC+
+   probes its maintained index per fresh tuple as before, but still saves
+   the per-update node locating and sorting. *)
+let handle_additions_batch t (edges : Edge.t list) =
+  (* Feed the base views; remember, per key, the edge tuples that were new. *)
+  let fresh_by_key : Tuple.t list ref Ekey.Tbl.t = Ekey.Tbl.create 64 in
+  List.iter
+    (fun (e : Edge.t) ->
+      let tuple = Tuple.of_edge e in
+      List.iter
+        (fun k ->
+          match Trie.base_view t.forest k with
+          | Some base ->
+            if Relation.insert base tuple then begin
+              match Ekey.Tbl.find_opt fresh_by_key k with
+              | Some cell -> cell := tuple :: !cell
+              | None -> Ekey.Tbl.add fresh_by_key k (ref [ tuple ])
+            end
+          | None -> ())
+        (Ekey.keys_of_edge e))
+    edges;
+  (* Every node whose key gained base tuples, shallowest first. *)
+  let seeds =
+    Ekey.Tbl.fold
+      (fun k cell acc ->
+        List.fold_left
+          (fun acc n -> (n, !cell) :: acc)
+          acc
+          (Trie.nodes_with_key t.forest k))
+      fresh_by_key []
+    |> List.sort (fun (a, _) (b, _) ->
+           Int.compare (Trie.node_depth a) (Trie.node_depth b))
+  in
+  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record node tuples =
+    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
+    | Some (_, cell) -> cell := tuples @ !cell
+    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
+  in
+  List.iter
+    (fun (node, fresh) ->
+      let delta =
+        match Trie.node_parent node with
+        | None -> fresh
+        | Some parent ->
+          let hinge_col = Trie.node_depth node in
+          let view = Trie.node_view parent in
+          if t.cache then
+            (* TRIC+: maintained index on the parent view's hinge column. *)
+            let probe = Relation.index_on view ~col:hinge_col in
+            List.concat_map
+              (fun etu ->
+                List.map
+                  (fun ptu -> Tuple.extend ptu (Tuple.get etu 1))
+                  (probe (Tuple.get etu 0)))
+              fresh
+          else begin
+            (* TRIC: build on the batch's key delta, scan the parent once
+               for the whole window. *)
+            let built : Tuple.t list ref Label.Tbl.t =
+              Label.Tbl.create (2 * List.length fresh)
+            in
+            List.iter
+              (fun etu ->
+                let key = Tuple.get etu 0 in
+                match Label.Tbl.find_opt built key with
+                | Some cell -> cell := etu :: !cell
+                | None -> Label.Tbl.add built key (ref [ etu ]))
+              fresh;
+            let out = ref [] in
+            Relation.scan_probing view ~col:hinge_col
+              (fun hinge ->
+                match Label.Tbl.find_opt built hinge with
+                | Some cell -> !cell
+                | None -> [])
+              (fun ptu etu -> out := Tuple.extend ptu (Tuple.get etu 1) :: !out);
+            !out
+          end
+      in
+      let inserted = Relation.insert_all (Trie.node_view node) delta in
+      if inserted <> [] then begin
+        record node inserted;
+        propagate t ~record node inserted
+      end)
+    seeds;
+  inserted_at
+
+(* -- Delta extraction -------------------------------------------------------- *)
+
+(* Flatten a per-node tuple table into per-registration deltas, sorted by
+   (qid, path index) so the coordinator's gather is deterministic no
+   matter the table's iteration order. *)
+let deltas_of tbl =
+  Hashtbl.fold
+    (fun _nid (node, cell) acc ->
+      List.fold_left
+        (fun acc (qid, pidx) -> (qid, pidx, !cell) :: acc)
+        acc (Trie.registrations node))
+    tbl []
+  |> List.sort (fun (q1, p1, _) (q2, p2, _) ->
+         match Int.compare q1 q2 with 0 -> Int.compare p1 p2 | c -> c)
+
+let total_evicted tbl =
+  Hashtbl.fold (fun _nid (_, cell) acc -> acc + List.length !cell) tbl 0
+
+let apply_add t e = deltas_of (handle_addition t e)
+
+let apply_remove t e =
+  let removed_at = handle_removal t e in
+  (deltas_of removed_at, total_evicted removed_at)
+
+let apply_removes t edges = Array.of_list (List.map (apply_remove t) edges)
+
+let apply_add_batch t edges = deltas_of (handle_additions_batch t edges)

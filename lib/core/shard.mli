@@ -1,0 +1,51 @@
+(** One shard of the TRIC engine: a trie forest (with the base views its
+    keys need), answered entirely shard-locally.
+
+    A shard owns every trie whose root key {!Route.owner} maps to its id,
+    plus a private copy of the base view [matV[e]] for {e every} key its
+    tries mention (fed identically on all shards, so shard-local joins
+    see exactly the global base state).  All mutation of a shard happens
+    either inside a pool task on the shard's behalf, or from the
+    coordinator strictly between pool barriers — never both at once, and
+    never for two shards through shared structures.
+
+    Node ids are globally unique across shards ([id_base]/[id_stride] in
+    {!Trie.create}), so audit tables keyed by node id can span the whole
+    engine. *)
+
+open Tric_graph
+open Tric_rel
+
+type t
+
+val create : sid:int -> shards:int -> cache:bool -> t
+(** [sid] in [0, shards).  [cache] selects TRIC+ (maintained hash-join
+    indexes) vs plain TRIC per-operation builds. *)
+
+val sid : t -> int
+val forest : t -> Trie.t
+
+type delta = int * int * Tuple.t list
+(** [(qid, path_index, tuples)] — the view tuples a terminal registered
+    for that covering path gained (additions) or lost (removals).  Each
+    [(qid, path_index)] is registered on exactly one shard, so deltas
+    from distinct shards never overlap. *)
+
+val apply_add : t -> Edge.t -> delta list
+(** Feed the edge into this shard's base views, run the shallow-first
+    delta join + downward propagation over the shard's tries, and return
+    the per-registration insertion deltas sorted by [(qid, path_index)]. *)
+
+val apply_remove : t -> Edge.t -> delta list * int
+(** Deletion counterpart of {!apply_add} (prefix/hinge-indexed downward
+    eviction).  The [int] is the total number of view tuples evicted on
+    this shard, at every node — not just at terminals. *)
+
+val apply_removes : t -> Edge.t list -> (delta list * int) array
+(** Apply a window's net removals in order; slot [i] is {!apply_remove}
+    of edge [i].  One pool task per shard instead of one per removal. *)
+
+val apply_add_batch : t -> Edge.t list -> delta list
+(** The amortised batched addition sweep: fold all fresh edge tuples into
+    the base views, then visit each affected node once, shallowest first
+    across the whole window, joining the accumulated key delta. *)

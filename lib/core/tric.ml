@@ -1,11 +1,13 @@
 open Tric_graph
 open Tric_query
 open Tric_rel
+module Pool = Tric_exec.Pool
 
 type query_info = {
   pattern : Pattern.t;
   paths : Path.t array;
   path_vids : int array array; (* per path: chain vertex-id sequence *)
+  path_shards : int array; (* per path: shard owning its trie *)
   terminals : Trie.node array;
   width : int; (* pattern vertex count *)
   (* The per-covering-path result as partial embeddings — the paper's
@@ -17,10 +19,18 @@ type query_info = {
   mutable path_embs : Embedding.t list array;
 }
 
+(* The coordinator: routing + scatter/gather around shard-owned state.
+   Shards are mutated only inside pool tasks (one task per shard, so no
+   two tasks share state) or by the coordinator strictly between pool
+   barriers; per-query caches and counters live here and are only ever
+   touched by the coordinator. *)
 type t = {
   cache : bool;
   strategy : Cover.strategy;
-  forest : Trie.t;
+  nshards : int;
+  shards : Shard.t array;
+  pool : Pool.t option; (* Some iff nshards > 1 *)
+  busy : float array; (* per shard: seconds spent in its tasks *)
   queries : (int, query_info) Hashtbl.t;
   mutable removals : int; (* Remove updates processed *)
   mutable noop_removals : int; (* removals that evicted nothing anywhere *)
@@ -32,11 +42,15 @@ type t = {
   mutable batch_net_applied : int; (* net ops that survived the folding *)
 }
 
-let create ?(cache = false) ?(strategy = Cover.Upstream) () =
+let create ?(cache = false) ?(strategy = Cover.Upstream) ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Tric.create: shards must be >= 1";
   {
     cache;
     strategy;
-    forest = Trie.create ~cache;
+    nshards = shards;
+    shards = Array.init shards (fun sid -> Shard.create ~sid ~shards ~cache);
+    pool = (if shards > 1 then Some (Pool.create ~workers:(shards - 1)) else None);
+    busy = Array.make shards 0.0;
     queries = Hashtbl.create 256;
     removals = 0;
     noop_removals = 0;
@@ -49,16 +63,42 @@ let create ?(cache = false) ?(strategy = Cover.Upstream) () =
   }
 
 let name t = if t.cache then "TRIC+" else "TRIC"
+let num_shards t = t.nshards
+let busy_times t = Array.copy t.busy
+let busy_s t = Array.fold_left ( +. ) 0.0 t.busy
+let shutdown t = Option.iter Pool.shutdown t.pool
+
+(* Scatter one task per shard, wait for all of them (pool [run] is a full
+   barrier), account per-shard busy time, and gather results in fixed
+   shard order — the determinism anchor for everything downstream. *)
+let scatter t f =
+  let tasks = Array.map (fun sh () -> f sh) t.shards in
+  let timed =
+    match t.pool with Some pool -> Pool.run pool tasks | None -> Pool.run_seq tasks
+  in
+  Array.iteri (fun i (_, dt) -> t.busy.(i) <- t.busy.(i) +. dt) timed;
+  Array.map fst timed
 
 let add_query t pattern =
   let qid = Pattern.id pattern in
   if Hashtbl.mem t.queries qid then
     invalid_arg (Printf.sprintf "Tric.add_query: duplicate query id %d" qid);
   let paths = Array.of_list (Cover.extract ~strategy:t.strategy pattern) in
+  let words = Array.map (fun p -> Path.keys pattern p) paths in
+  let path_shards =
+    Array.map
+      (fun keys ->
+        match keys with
+        | [] -> 0
+        | first :: _ -> Route.owner ~shards:t.nshards first)
+      words
+  in
   let terminals =
     Array.mapi
-      (fun i p -> Trie.insert_path t.forest (Path.keys pattern p) ~qid ~path_index:i)
-      paths
+      (fun i keys ->
+        Trie.insert_path (Shard.forest t.shards.(path_shards.(i))) keys ~qid
+          ~path_index:i)
+      words
   in
   let path_vids = Array.map Path.vids paths in
   let width = Pattern.num_vertices pattern in
@@ -73,7 +113,8 @@ let add_query t pattern =
           (Trie.node_view terminal) [])
       terminals
   in
-  Hashtbl.add t.queries qid { pattern; paths; path_vids; terminals; width; path_embs }
+  Hashtbl.add t.queries qid
+    { pattern; paths; path_vids; path_shards; terminals; width; path_embs }
 
 let remove_query t qid =
   (* Deregister the id from its terminal nodes so a later re-add of the id
@@ -89,118 +130,45 @@ let remove_query t qid =
 
 let num_queries t = Hashtbl.length t.queries
 
-(* -- Answering: additions ------------------------------------------------- *)
+(* -- Gather: merge per-shard deltas ----------------------------------------- *)
 
-(* All trie nodes whose key matches the edge, shallowest first so that by
-   the time a node joins the update against its parent's view, the parent's
-   view is fully up to date. *)
-let matched_nodes t (e : Edge.t) =
-  let nodes =
-    List.concat_map (fun k -> Trie.nodes_with_key t.forest k) (Ekey.keys_of_edge e)
-  in
-  List.sort (fun a b -> Int.compare (Trie.node_depth a) (Trie.node_depth b)) nodes
-
-(* Delta propagation (Fig. 10): push the parent's freshly inserted tuples
-   into each child by joining them with the child's base view, pruning
-   branches where the delta dies out.  Records inserted tuples per node. *)
-let rec propagate t ~record node delta =
-  List.iter
-    (fun child ->
-      match Trie.base_view t.forest (Trie.node_key child) with
-      | None -> ()
-      | Some base ->
-        if not (Relation.is_empty base) then begin
-          let extensions =
-            if t.cache then begin
-              (* TRIC+: probe the maintained index of the base view. *)
-              let probe = Relation.index_on base ~col:0 in
-              List.concat_map
-                (fun tu ->
-                  List.map
-                    (fun btu -> Tuple.extend tu (Tuple.get btu 1))
-                    (probe (Tuple.last tu)))
-                delta
-            end
-            else begin
-              (* TRIC: classic hash join — build on the smaller side (the
-                 delta), scan the base view probing it. *)
-              let built : Tuple.t list ref Label.Tbl.t =
-                Label.Tbl.create (2 * List.length delta)
-              in
-              List.iter
-                (fun tu ->
-                  let key = Tuple.last tu in
-                  match Label.Tbl.find_opt built key with
-                  | Some cell -> cell := tu :: !cell
-                  | None -> Label.Tbl.add built key (ref [ tu ]))
-                delta;
-              let out = ref [] in
-              Relation.scan_probing base ~col:0
-                (fun hinge ->
-                  match Label.Tbl.find_opt built hinge with
-                  | Some cell -> !cell
-                  | None -> [])
-                (fun btu tu -> out := Tuple.extend tu (Tuple.get btu 1) :: !out);
-              !out
-            end
-          in
-          let inserted = Relation.insert_all (Trie.node_view child) extensions in
-          if inserted <> [] then begin
-            record child inserted;
-            propagate t ~record child inserted
-          end
-        end)
-    (Trie.node_children node)
-
-let handle_addition t (e : Edge.t) =
-  (* Feed the base views of the four generalised keys. *)
-  let tuple = Tuple.of_edge e in
-  List.iter
-    (fun k ->
-      match Trie.base_view t.forest k with
-      | Some base -> ignore (Relation.insert base tuple)
-      | None -> ())
-    (Ekey.keys_of_edge e);
-  (* Visit matching trie nodes shallow-first. *)
-  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
-  let record node tuples =
-    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
-    | Some (_, cell) -> cell := tuples @ !cell
-    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
-  in
-  List.iter
-    (fun node ->
-      let delta =
-        match Trie.node_parent node with
-        | None -> [ tuple ]
-        | Some parent ->
-          let hinge_col = Trie.node_depth node in
-          let parents =
-            if t.cache then
-              (* TRIC+: maintained index on the parent view's hinge. *)
-              Relation.index_on (Trie.node_view parent) ~col:hinge_col e.src
-            else
-              (* TRIC: build on the single-tuple update, scan the parent. *)
-              Relation.probe_scan (Trie.node_view parent) ~col:hinge_col e.src
-          in
-          List.map (fun ptu -> Tuple.extend ptu e.dst) parents
-      in
-      let inserted = Relation.insert_all (Trie.node_view node) delta in
-      if inserted <> [] then begin
-        record node inserted;
-        propagate t ~record node inserted
-      end)
-    (matched_nodes t e);
-  inserted_at
+(* Merge shard deltas into per-live-query per-path tuple lists.  Shards
+   are visited in fixed order and each shard pre-sorts its deltas, so the
+   merged lists are deterministic; moreover each (qid, path) is
+   registered on exactly one shard, so the per-path lists never mix
+   shards. *)
+let merge_deltas t per_shard =
+  let per_query : (int, Tuple.t list array) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun deltas ->
+      List.iter
+        (fun (qid, pidx, tuples) ->
+          match Hashtbl.find_opt t.queries qid with
+          | None -> ()
+          | Some info ->
+            let slots =
+              match Hashtbl.find_opt per_query qid with
+              | Some d -> d
+              | None ->
+                let d = Array.make (Array.length info.paths) [] in
+                Hashtbl.add per_query qid d;
+                d
+            in
+            slots.(pidx) <- tuples @ slots.(pidx))
+        deltas)
+    per_shard;
+  per_query
 
 (* Turn a view's tuples into partial embeddings of the query (enforcing
    repeated-variable equalities within the path). *)
 let embeddings_of_tuples ~width ~vids tuples =
   List.filter_map (fun tu -> Embedding.of_tuple ~width ~vids tu) tuples
 
-(* Final per-query join (Fig. 8, lines 8-13): for every covering path that
-   gained tuples, join its delta against the full (cached) results of the
-   other paths, delta first. *)
+(* Final per-query cross-path join (Fig. 8, lines 8-13): for every
+   covering path that gained tuples, join its delta against the full
+   (cached) results of the other paths, delta first.  This is the
+   coordinator's finalize step — path deltas computed on different shards
+   meet only here. *)
 let query_new_matches info deltas =
   let k = Array.length info.paths in
   let delta_embs =
@@ -228,32 +196,8 @@ let query_new_matches info deltas =
     delta_embs;
   List.filter Embedding.is_total (Embjoin.dedup !results)
 
-(* Gather, per live query, the delta tuples that reached each of its
-   registered terminal nodes. *)
-let deltas_per_query t tuples_at =
-  let per_query : (int, Tuple.t list array) Hashtbl.t = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _nid (node, cell) ->
-      List.iter
-        (fun (qid, pidx) ->
-          match Hashtbl.find_opt t.queries qid with
-          | None -> ()
-          | Some info ->
-            let deltas =
-              match Hashtbl.find_opt per_query qid with
-              | Some d -> d
-              | None ->
-                let d = Array.make (Array.length info.paths) [] in
-                Hashtbl.add per_query qid d;
-                d
-            in
-            deltas.(pidx) <- !cell @ deltas.(pidx))
-        (Trie.registrations node))
-    tuples_at;
-  per_query
-
-let report_of_inserted t inserted_at =
-  let per_query = deltas_per_query t inserted_at in
+let report_of_deltas t per_shard =
+  let per_query = merge_deltas t per_shard in
   let out = ref [] in
   Hashtbl.iter
     (fun qid deltas ->
@@ -264,62 +208,13 @@ let report_of_inserted t inserted_at =
     per_query;
   List.sort (fun (a, _) (b, _) -> Int.compare a b) !out
 
-(* -- Answering: removals (§4.3) ------------------------------------------- *)
-
-(* A child tuple extends exactly one parent tuple (its prefix), so the
-   child's casualties are exactly the extensions of doomed parent tuples —
-   found by probing the child view's maintained prefix index, not by
-   scanning the view.  Doomed parent tuples are distinct, so the probed
-   buckets are disjoint and need no dedup.  Records evicted tuples per
-   node. *)
-let rec propagate_removal ~record node doomed =
-  List.iter
-    (fun child ->
-      let view = Trie.node_view child in
-      let doomed_child = List.concat_map (fun d -> Relation.probe_prefix view d) doomed in
-      if doomed_child <> [] then begin
-        ignore (Relation.remove_all view doomed_child);
-        record child doomed_child;
-        propagate_removal ~record child doomed_child
-      end)
-    (Trie.node_children node)
-
-let handle_removal t (e : Edge.t) =
-  let tuple = Tuple.of_edge e in
-  List.iter
-    (fun k ->
-      match Trie.base_view t.forest k with
-      | Some base -> ignore (Relation.remove base tuple)
-      | None -> ())
-    (Ekey.keys_of_edge e);
-  let removed_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
-  let record node tuples =
-    match Hashtbl.find_opt removed_at (Trie.node_id node) with
-    | Some (_, cell) -> cell := tuples @ !cell
-    | None -> Hashtbl.add removed_at (Trie.node_id node) (node, ref tuples)
-  in
-  (* Shallow-first: a matched node's own hinge casualties are looked up by
-     index; by the time a deeper matched node is visited, tuples already
-     evicted through propagation are gone from its hinge index, so nothing
-     is recorded twice. *)
-  List.iter
-    (fun node ->
-      let view = Trie.node_view node in
-      let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
-      if doomed <> [] then begin
-        ignore (Relation.remove_all view doomed);
-        record node doomed;
-        propagate_removal ~record node doomed
-      end)
-    (matched_nodes t e);
-  removed_at
+(* -- Removal bookkeeping ----------------------------------------------------- *)
 
 (* Per-query delta invalidation: subtract exactly the embeddings of the
    tuples evicted at each registered terminal from the owning query's
    cached per-path results.  Queries whose terminals lost nothing keep
    their caches untouched.  Returns the set of touched query ids. *)
-let apply_removal_deltas t removed_at =
-  let per_query = deltas_per_query t removed_at in
+let apply_removal_deltas t per_query =
   let touched = ref [] in
   Hashtbl.iter
     (fun qid deltas ->
@@ -351,11 +246,9 @@ let apply_removal_deltas t removed_at =
     per_query;
   !touched
 
-let apply_removal t e =
-  let removed_at = handle_removal t e in
-  let removed =
-    Hashtbl.fold (fun _ (_, cell) acc -> acc + List.length !cell) removed_at 0
-  in
+(* Account one removal given its gathered per-shard deltas and the total
+   evicted-tuple count summed over shards. *)
+let account_removal t removed per_shard_deltas =
   t.removals <- t.removals + 1;
   t.tuples_removed <- t.tuples_removed + removed;
   if removed = 0 then begin
@@ -365,118 +258,26 @@ let apply_removal t e =
     t.invalidations_avoided <- t.invalidations_avoided + num_queries t
   end
   else begin
-    let touched = apply_removal_deltas t removed_at in
+    let touched = apply_removal_deltas t (merge_deltas t per_shard_deltas) in
     t.invalidations_avoided <-
       t.invalidations_avoided + (num_queries t - List.length touched)
   end
 
+let apply_removal t e =
+  let results = scatter t (fun sh -> Shard.apply_remove sh e) in
+  let removed = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
+  account_removal t removed (Array.map fst results)
+
 let handle_update t u =
   match u with
   | Update.Add e ->
-    let inserted_at = handle_addition t e in
-    if Hashtbl.length inserted_at = 0 then [] else report_of_inserted t inserted_at
+    let per_shard = scatter t (fun sh -> Shard.apply_add sh e) in
+    report_of_deltas t per_shard
   | Update.Remove e ->
     apply_removal t e;
     []
 
-(* -- Answering: micro-batches ---------------------------------------------- *)
-
-(* Batched addition sweep: the per-update answering loop (Fig. 10),
-   amortised over a window of edges.  Every fresh edge tuple is first
-   folded into the base views; then each affected trie node is visited
-   once — shallowest first across the whole batch, so by the time a node
-   joins its key's accumulated delta against the parent's view, the parent
-   has absorbed every shallower batch delta (its own sweep visit plus any
-   downward propagation from its ancestors, both strictly shallower).
-   In TRIC mode this performs one hash-join build + one parent-view scan
-   per node per batch (the build side is the whole key delta) instead of
-   one scan per node per update; TRIC+ probes its maintained index per
-   fresh tuple as before, but still saves the per-update node locating
-   and sorting.  Downward propagation reuses [propagate], whose per-child
-   join now also runs once per accumulated delta. *)
-let handle_additions_batch t (edges : Edge.t list) =
-  (* Feed the base views; remember, per key, the edge tuples that were new. *)
-  let fresh_by_key : Tuple.t list ref Ekey.Tbl.t = Ekey.Tbl.create 64 in
-  List.iter
-    (fun (e : Edge.t) ->
-      let tuple = Tuple.of_edge e in
-      List.iter
-        (fun k ->
-          match Trie.base_view t.forest k with
-          | Some base ->
-            if Relation.insert base tuple then begin
-              match Ekey.Tbl.find_opt fresh_by_key k with
-              | Some cell -> cell := tuple :: !cell
-              | None -> Ekey.Tbl.add fresh_by_key k (ref [ tuple ])
-            end
-          | None -> ())
-        (Ekey.keys_of_edge e))
-    edges;
-  (* Every node whose key gained base tuples, shallowest first. *)
-  let seeds =
-    Ekey.Tbl.fold
-      (fun k cell acc ->
-        List.fold_left
-          (fun acc n -> (n, !cell) :: acc)
-          acc
-          (Trie.nodes_with_key t.forest k))
-      fresh_by_key []
-    |> List.sort (fun (a, _) (b, _) ->
-           Int.compare (Trie.node_depth a) (Trie.node_depth b))
-  in
-  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
-  let record node tuples =
-    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
-    | Some (_, cell) -> cell := tuples @ !cell
-    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
-  in
-  List.iter
-    (fun (node, fresh) ->
-      let delta =
-        match Trie.node_parent node with
-        | None -> fresh
-        | Some parent ->
-          let hinge_col = Trie.node_depth node in
-          let view = Trie.node_view parent in
-          if t.cache then
-            (* TRIC+: maintained index on the parent view's hinge column. *)
-            let probe = Relation.index_on view ~col:hinge_col in
-            List.concat_map
-              (fun etu ->
-                List.map
-                  (fun ptu -> Tuple.extend ptu (Tuple.get etu 1))
-                  (probe (Tuple.get etu 0)))
-              fresh
-          else begin
-            (* TRIC: build on the batch's key delta, scan the parent once
-               for the whole window. *)
-            let built : Tuple.t list ref Label.Tbl.t =
-              Label.Tbl.create (2 * List.length fresh)
-            in
-            List.iter
-              (fun etu ->
-                let key = Tuple.get etu 0 in
-                match Label.Tbl.find_opt built key with
-                | Some cell -> cell := etu :: !cell
-                | None -> Label.Tbl.add built key (ref [ etu ]))
-              fresh;
-            let out = ref [] in
-            Relation.scan_probing view ~col:hinge_col
-              (fun hinge ->
-                match Label.Tbl.find_opt built hinge with
-                | Some cell -> !cell
-                | None -> [])
-              (fun ptu etu -> out := Tuple.extend ptu (Tuple.get etu 1) :: !out);
-            !out
-          end
-      in
-      let inserted = Relation.insert_all (Trie.node_view node) delta in
-      if inserted <> [] then begin
-        record node inserted;
-        propagate t ~record node inserted
-      end)
-    seeds;
-  inserted_at
+(* -- Micro-batches ----------------------------------------------------------- *)
 
 let handle_batch t updates =
   t.batches <- t.batches + 1;
@@ -505,13 +306,26 @@ let handle_batch t updates =
     + (List.length updates - List.length removals - List.length additions);
   t.batch_net_applied <- t.batch_net_applied + List.length removals + List.length additions;
   (* Net removals first: a net addition must survive the window, so its
-     delta joins run against the post-removal state. *)
-  List.iter (fun e -> apply_removal t e) removals;
+     delta joins run against the post-removal state.  One scatter carries
+     the whole removal list; each shard applies it in order, so the
+     per-removal deltas gathered here are exactly the sequential ones and
+     the coordinator replays the cache subtractions removal by removal. *)
+  (match removals with
+  | [] -> ()
+  | removals ->
+    let per_shard = scatter t (fun sh -> Shard.apply_removes sh removals) in
+    List.iteri
+      (fun i _e ->
+        let removed =
+          Array.fold_left (fun acc arr -> acc + snd arr.(i)) 0 per_shard
+        in
+        account_removal t removed (Array.map (fun arr -> fst arr.(i)) per_shard))
+      removals);
   match additions with
   | [] -> []
   | additions ->
-    let inserted_at = handle_additions_batch t additions in
-    if Hashtbl.length inserted_at = 0 then [] else report_of_inserted t inserted_at
+    let per_shard = scatter t (fun sh -> Shard.apply_add_batch sh additions) in
+    report_of_deltas t per_shard
 
 (* -- Probes ---------------------------------------------------------------- *)
 
@@ -523,10 +337,16 @@ let covering_paths t qid =
   let info = Hashtbl.find t.queries qid in
   Array.to_list info.paths
 
-let forest t = t.forest
+let forests t = Array.map Shard.forest t.shards
+
+let forest t =
+  if t.nshards <> 1 then
+    invalid_arg "Tric.forest: engine is sharded — use Tric.forests";
+  Shard.forest t.shards.(0)
 
 type stats = {
   queries : int;
+  shards : int;
   tries : int;
   trie_nodes : int;
   base_views : int;
@@ -543,20 +363,27 @@ type stats = {
   batch_net_applied : int;
 }
 
-let stats t =
+let stats (t : t) =
+  let fold_forests f init =
+    Array.fold_left (fun acc sh -> f (Shard.forest sh) acc) init t.shards
+  in
   let view_tuples, rebuilds, delta_probes =
-    Trie.fold_nodes
-      (fun n (tuples, rb, dp) ->
-        ( tuples + Relation.cardinality (Trie.node_view n),
-          rb + Relation.stats_rebuilds (Trie.node_view n),
-          dp + Relation.stats_delta_probes (Trie.node_view n) ))
-      t.forest (0, 0, 0)
+    fold_forests
+      (fun forest acc ->
+        Trie.fold_nodes
+          (fun n (tuples, rb, dp) ->
+            ( tuples + Relation.cardinality (Trie.node_view n),
+              rb + Relation.stats_rebuilds (Trie.node_view n),
+              dp + Relation.stats_delta_probes (Trie.node_view n) ))
+          forest acc)
+      (0, 0, 0)
   in
   {
     queries = num_queries t;
-    tries = Trie.num_tries t.forest;
-    trie_nodes = Trie.num_nodes t.forest;
-    base_views = Trie.num_base_views t.forest;
+    shards = t.nshards;
+    tries = fold_forests (fun f acc -> acc + Trie.num_tries f) 0;
+    trie_nodes = fold_forests (fun f acc -> acc + Trie.num_nodes f) 0;
+    base_views = fold_forests (fun f acc -> acc + Trie.num_base_views f) 0;
     view_tuples;
     index_rebuilds = rebuilds;
     removals = t.removals;
@@ -572,12 +399,13 @@ let stats t =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "queries=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d removals=%d \
-     noop_removals=%d tuples_removed=%d invalidations_avoided=%d delta_probes=%d \
-     batches=%d batched_updates=%d batch_cancelled=%d batch_net_applied=%d"
-    s.queries s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds s.removals
-    s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes s.batches
-    s.batched_updates s.batch_cancelled s.batch_net_applied
+    "queries=%d shards=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d \
+     removals=%d noop_removals=%d tuples_removed=%d invalidations_avoided=%d \
+     delta_probes=%d batches=%d batched_updates=%d batch_cancelled=%d \
+     batch_net_applied=%d"
+    s.queries s.shards s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds
+    s.removals s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes
+    s.batches s.batched_updates s.batch_cancelled s.batch_net_applied
 
 (* -- Audit access ----------------------------------------------------------- *)
 
@@ -585,6 +413,7 @@ type query_view = {
   qv_pattern : Pattern.t;
   qv_paths : Path.t array;
   qv_path_vids : int array array;
+  qv_path_shards : int array;
   qv_terminals : Trie.node array;
   qv_width : int;
   qv_path_embs : Embedding.t list array;
@@ -598,6 +427,7 @@ let query_views (t : t) =
           qv_pattern = info.pattern;
           qv_paths = info.paths;
           qv_path_vids = info.path_vids;
+          qv_path_shards = info.path_shards;
           qv_terminals = info.terminals;
           qv_width = info.width;
           qv_path_embs = Array.copy info.path_embs;
@@ -642,19 +472,23 @@ module Corrupt = struct
       (Trie.deregister info.terminals.(0) ~qid;
        true)
 
-  let phantom_view_tuple t =
+  let phantom_view_tuple (t : t) =
     (* Prefer an unregistered (non-terminal) node so only the
        view-coherence invariant trips, not the per-query caches that
        mirror terminal views. *)
     let pick =
-      Trie.fold_nodes
-        (fun n acc ->
-          match acc with
-          | Some best ->
-            if Trie.registrations best <> [] && Trie.registrations n = [] then Some n
-            else acc
-          | None -> Some n)
-        t.forest None
+      Array.fold_left
+        (fun acc sh ->
+          Trie.fold_nodes
+            (fun n acc ->
+              match acc with
+              | Some best ->
+                if Trie.registrations best <> [] && Trie.registrations n = [] then
+                  Some n
+                else acc
+              | None -> Some n)
+            (Shard.forest sh) acc)
+        None t.shards
     in
     match pick with
     | None -> false
@@ -664,4 +498,23 @@ module Corrupt = struct
         Tuple.make (Array.init width (fun _ -> Label.fresh "corrupt"))
       in
       Relation.insert (Trie.node_view node) tu
+
+  let misroute_path (t : t) =
+    if t.nshards < 2 then false
+    else
+      match first_query t with
+      | None -> false
+      | Some (qid, info) ->
+        if Array.length info.paths = 0 then false
+        else begin
+          match Path.keys info.pattern info.paths.(0) with
+          | [] -> false
+          | first :: _ as keys ->
+            let right = Route.owner ~shards:t.nshards first in
+            let wrong = (right + 1) mod t.nshards in
+            ignore
+              (Trie.insert_path (Shard.forest t.shards.(wrong)) keys ~qid
+                 ~path_index:0);
+            true
+        end
 end

@@ -15,7 +15,14 @@
 
     [cache:true] gives TRIC+ (§4.2 "Caching"): hash-join build structures
     are kept and maintained incrementally instead of being rebuilt per join
-    operation. *)
+    operation.
+
+    [shards:n] partitions the trie forest across [n] {!Shard}s placed by
+    {!Route.owner} and dispatches every update to all shards in parallel
+    on a domain pool ({!Tric_exec.Pool}); the coordinator gathers the
+    per-shard terminal deltas in fixed shard order and runs the final
+    cross-path join itself, so reports and maintained state are identical
+    to the sequential ([shards:1]) engine on any stream. *)
 
 open Tric_graph
 open Tric_query
@@ -23,9 +30,30 @@ open Tric_rel
 
 type t
 
-val create : ?cache:bool -> ?strategy:Cover.strategy -> unit -> t
+val create : ?cache:bool -> ?strategy:Cover.strategy -> ?shards:int -> unit -> t
 (** [cache] defaults to [false] (plain TRIC).  [strategy] is the covering-
-    path extraction strategy, for ablation; default {!Cover.Upstream}. *)
+    path extraction strategy, for ablation; default {!Cover.Upstream}.
+    [shards] defaults to [1] (sequential, no pool); [n > 1] spawns a pool
+    of [n - 1] worker domains — the coordinator's domain works too — that
+    lives until {!shutdown} (or process exit).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shutdown : t -> unit
+(** Join the engine's worker domains, if any.  Idempotent; a no-op for
+    [shards = 1].  The engine must not be used afterwards.  Unreleased
+    pools are reaped at process exit, but OCaml caps concurrently live
+    domains, so anything creating many sharded engines (tests!) must
+    shut each one down. *)
+
+val num_shards : t -> int
+
+val busy_s : t -> float
+(** Total seconds shard tasks have spent executing, summed over shards —
+    the work-time counterpart to the caller's wall-clock measurement
+    (busy/wall > 1 means the domains actually ran in parallel). *)
+
+val busy_times : t -> float array
+(** Per-shard busy seconds, index = shard id. *)
 
 val name : t -> string
 (** ["TRIC"] or ["TRIC+"]. *)
@@ -77,10 +105,16 @@ val covering_paths : t -> int -> Path.t list
     @raise Not_found on unknown id. *)
 
 val forest : t -> Trie.t
-(** The underlying trie forest (inspection/tests). *)
+(** The trie forest of a sequential engine (inspection/tests).
+    @raise Invalid_argument when [num_shards t > 1] — use {!forests}. *)
+
+val forests : t -> Trie.t array
+(** Every shard's trie forest, index = shard id ([shards = 1] gives a
+    one-element array holding {!forest}). *)
 
 type stats = {
   queries : int;
+  shards : int;
   tries : int;
   trie_nodes : int;
   base_views : int;
@@ -121,6 +155,9 @@ type query_view = {
   qv_pattern : Pattern.t;
   qv_paths : Path.t array;  (** covering paths, in extraction order *)
   qv_path_vids : int array array;  (** per path: chain vertex-id sequence *)
+  qv_path_shards : int array;
+      (** per path: the shard its trie lives on — must equal
+          [Route.owner] of the path word's first key (routing-coherence) *)
   qv_terminals : Trie.node array;  (** per path: its trie terminal *)
   qv_width : int;  (** pattern vertex count *)
   qv_path_embs : Embedding.t list array;
@@ -153,4 +190,11 @@ module Corrupt : sig
   (** Insert an out-of-thin-air tuple into a node view — preferring an
       unregistered node — so the view is no longer re-derivable from the
       base views (view-coherence).  [false] if the forest is empty. *)
+
+  val misroute_path : t -> bool
+  (** Re-index some query's first covering path on a shard other than its
+      {!Route.owner}, planting a foreign-rooted trie there
+      (routing-coherence; collaterally trips registration/base checks —
+      assert membership, not exactness).  [false] unless [shards >= 2]
+      and a query is indexed. *)
 end

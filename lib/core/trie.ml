@@ -23,15 +23,22 @@ let registrations n = List.rev n.regs
 
 type t = {
   cache : bool;
+  id_base : int;
+  id_stride : int;
   root_ind : node Ekey.Tbl.t;
   edge_ind : node list ref Ekey.Tbl.t;
   base : Relation.t Ekey.Tbl.t;
   mutable node_count : int;
 }
 
-let create ~cache =
+let create ?(id_base = 0) ?(id_stride = 1) ~cache () =
+  if id_stride < 1 then invalid_arg "Trie.create: id_stride must be >= 1";
+  if id_base < 0 || id_base >= id_stride then
+    invalid_arg "Trie.create: id_base must lie in [0, id_stride)";
   {
     cache;
+    id_base;
+    id_stride;
     root_ind = Ekey.Tbl.create 256;
     edge_ind = Ekey.Tbl.create 256;
     base = Ekey.Tbl.create 256;
@@ -77,7 +84,7 @@ let new_node t ~key ~parent =
   let depth = match parent with None -> 0 | Some p -> p.depth + 1 in
   let n =
     {
-      nid = t.node_count;
+      nid = t.id_base + (t.node_count * t.id_stride);
       key;
       depth;
       parent;

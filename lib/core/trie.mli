@@ -42,8 +42,16 @@ val deregister : node -> qid:int -> unit
 
 type t
 
-val create : cache:bool -> t
-(** [cache] is propagated to every view (TRIC+ vs TRIC). *)
+val create : ?id_base:int -> ?id_stride:int -> cache:bool -> unit -> t
+(** [cache] is propagated to every view (TRIC+ vs TRIC).
+
+    [id_base]/[id_stride] (defaults 0/1) parameterise node-id allocation:
+    node [k] gets id [id_base + k * id_stride].  Shard [s] of an
+    [n]-sharded engine passes [~id_base:s ~id_stride:n] so node ids stay
+    globally unique across the per-shard forests without any shared
+    counter — the audit layer keys its expected-registration map by node
+    id across all forests at once.
+    @raise Invalid_argument unless [0 <= id_base < id_stride]. *)
 
 val insert_path : t -> Ekey.t list -> qid:int -> path_index:int -> node
 (** Index one covering path: walk/extend the forest along the key word,

@@ -1,4 +1,5 @@
-let tric ?(cache = false) () = Matcher.of_tric (Tric_core.Tric.create ~cache ())
+let tric ?(cache = false) ?(shards = 1) () =
+  Matcher.of_tric (Tric_core.Tric.create ~cache ~shards ())
 
 let inv ?(cache = false) () =
   Matcher.of_invidx (Tric_baselines.Invidx.create ~cache ~mode:Tric_baselines.Invidx.Full ())
@@ -39,6 +40,8 @@ let windowed ~window inner =
   Matcher.make
     ~name:(Printf.sprintf "%s/win%d" inner.Matcher.name window)
     ~description:"sliding-window wrapper" ~stats:inner.Matcher.stats
+    ~shards:inner.Matcher.shards ~busy_s:inner.Matcher.busy_s
+    ~shard_busy:inner.Matcher.shard_busy ~shutdown:inner.Matcher.shutdown
     ~add_query:(Window.add_query w)
     ~remove_query:inner.Matcher.remove_query ~num_queries:inner.Matcher.num_queries
     ~handle_update:(Window.handle_update w)
@@ -46,9 +49,23 @@ let windowed ~window inner =
     ~memory_words:(fun () -> Obj.reachable_words (Obj.repr w))
     ()
 
-let by_name = function
-  | "TRIC" -> tric ()
-  | "TRIC+" -> tric ~cache:true ()
+(* Shard count for trie engines picked up from the environment so every
+   entry point (CLI replays, benches, CI) can run a shard matrix without
+   new plumbing; an explicit [shards] argument wins. *)
+let env_shards () =
+  match Sys.getenv_opt "TRIC_SHARDS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "TRIC_SHARDS=%S: expected a positive integer" s))
+
+let by_name ?shards name =
+  let shards = match shards with Some n -> n | None -> env_shards () in
+  match name with
+  | "TRIC" -> tric ~shards ()
+  | "TRIC+" -> tric ~cache:true ~shards ()
   | "INV" -> inv ()
   | "INV+" -> inv ~cache:true ()
   | "INC" -> inc ()

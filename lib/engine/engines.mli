@@ -1,7 +1,10 @@
 (** Engine registry: fresh instances of the paper's seven engines (and the
     oracle) by name. *)
 
-val tric : ?cache:bool -> unit -> Matcher.t
+val tric : ?cache:bool -> ?shards:int -> unit -> Matcher.t
+(** [shards] (default 1) runs the trie engine sharded on a domain pool;
+    remember {!Matcher.t.shutdown} when creating many. *)
+
 val inv : ?cache:bool -> unit -> Matcher.t
 val inc : ?cache:bool -> unit -> Matcher.t
 val graphdb : unit -> Matcher.t
@@ -21,9 +24,13 @@ val windowed : window:int -> Matcher.t -> Matcher.t
 (** Wrap any engine in a count-based sliding window (see {!Window}),
     presented as a {!Matcher.t} so it runs through the harness. *)
 
-val by_name : string -> Matcher.t
+val by_name : ?shards:int -> string -> Matcher.t
 (** "TRIC" | "TRIC+" | "INV" | "INV+" | "INC" | "INC+" | "GraphDB" |
-    "NAIVE".  @raise Invalid_argument on anything else. *)
+    "NAIVE".  [shards] applies to the trie engines only (the baselines
+    are inherently sequential); when omitted, the [TRIC_SHARDS]
+    environment variable supplies it (default 1).
+    @raise Invalid_argument on anything else, or on a malformed
+    [TRIC_SHARDS]. *)
 
 val paper_names : string list
 (** The seven engines of the paper's evaluation, in its plotting order:

@@ -13,6 +13,10 @@ type t = {
   memory_words : unit -> int;
   stats : unit -> (string * int) list;
   audit : Edge.t list option -> Tric_audit.Audit.finding list;
+  shards : int;
+  busy_s : unit -> float;
+  shard_busy : unit -> float array;
+  shutdown : unit -> unit;
   description : string;
 }
 
@@ -24,8 +28,9 @@ let batch_by_fold handle_update updates =
   Report.merge (List.map handle_update updates)
 
 let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> [])
-    ?handle_batch ~add_query ~remove_query ~num_queries ~handle_update
-    ~current_matches ~memory_words () =
+    ?handle_batch ?(shards = 1) ?(busy_s = fun () -> 0.0)
+    ?(shard_busy = fun () -> [||]) ?(shutdown = fun () -> ()) ~add_query
+    ~remove_query ~num_queries ~handle_update ~current_matches ~memory_words () =
   let handle_batch =
     match handle_batch with Some f -> f | None -> batch_by_fold handle_update
   in
@@ -40,6 +45,10 @@ let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> []
     memory_words;
     stats;
     audit;
+    shards;
+    busy_s;
+    shard_busy;
+    shutdown;
     description;
   }
 
@@ -60,6 +69,7 @@ let of_tric e =
         let s = Tric_core.Tric.stats e in
         [
           ("queries", s.Tric_core.Tric.queries);
+          ("shards", s.Tric_core.Tric.shards);
           ("tries", s.Tric_core.Tric.tries);
           ("trie_nodes", s.Tric_core.Tric.trie_nodes);
           ("base_views", s.Tric_core.Tric.base_views);
@@ -76,6 +86,10 @@ let of_tric e =
           ("batch_net_applied", s.Tric_core.Tric.batch_net_applied);
         ]);
     audit = (fun edges -> Tric_audit.Audit.check ?edges e);
+    shards = Tric_core.Tric.num_shards e;
+    busy_s = (fun () -> Tric_core.Tric.busy_s e);
+    shard_busy = (fun () -> Tric_core.Tric.busy_times e);
+    shutdown = (fun () -> Tric_core.Tric.shutdown e);
     description = "trie-clustered covering paths (the paper's contribution)";
   }
 
@@ -100,6 +114,10 @@ let of_invidx e =
           ("index_rebuilds", s.I.index_rebuilds);
         ]);
     audit = (fun edges -> Tric_audit.Audit.check_invidx ?edges e);
+    shards = 1;
+    busy_s = (fun () -> 0.0);
+    shard_busy = (fun () -> [||]);
+    shutdown = (fun () -> ());
     description = "inverted-index baseline (no clustering)";
   }
 
@@ -124,6 +142,10 @@ let of_graphdb e =
           ("plan_cache_misses", Tric_graphdb.Db.plan_cache_misses db);
         ]);
     audit = (fun _ -> []);
+    shards = 1;
+    busy_s = (fun () -> 0.0);
+    shard_busy = (fun () -> [||]);
+    shutdown = (fun () -> ());
     description = "embedded graph database with per-update query re-execution";
   }
 
@@ -139,6 +161,10 @@ let of_naive e =
     memory_words = reachable_words e;
     stats = (fun () -> [ ("queries", Naive.num_queries e) ]);
     audit = (fun _ -> []);
+    shards = 1;
+    busy_s = (fun () -> 0.0);
+    shard_busy = (fun () -> [||]);
+    shutdown = (fun () -> ());
     description = "brute-force oracle (tests only)";
   }
 

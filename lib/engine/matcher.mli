@@ -31,6 +31,19 @@ type t = {
           materialized state; [Some edges] supplies the ground-truth live
           edge set for base-coherence.  Engines without an auditor (GraphDB,
           the oracle) return []. *)
+  shards : int;
+      (** Parallel shards the engine dispatches over; 1 for every
+          sequential engine. *)
+  busy_s : unit -> float;
+      (** Cumulative seconds shard tasks have spent executing, summed over
+          shards (0 for engines without the notion — the runner then falls
+          back to wall time). *)
+  shard_busy : unit -> float array;
+      (** Per-shard busy seconds; [[||]] when not applicable. *)
+  shutdown : unit -> unit;
+      (** Release engine-owned domains (no-op for sequential engines).
+          OCaml caps live domains, so anything creating many sharded
+          engines must call this; idempotent. *)
   description : string;
 }
 
@@ -45,6 +58,10 @@ val make :
   ?stats:(unit -> (string * int) list) ->
   ?audit:(Edge.t list option -> Tric_audit.Audit.finding list) ->
   ?handle_batch:(Update.t list -> Report.t) ->
+  ?shards:int ->
+  ?busy_s:(unit -> float) ->
+  ?shard_busy:(unit -> float array) ->
+  ?shutdown:(unit -> unit) ->
   add_query:(Pattern.t -> unit) ->
   remove_query:(int -> bool) ->
   num_queries:(unit -> int) ->

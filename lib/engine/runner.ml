@@ -6,9 +6,12 @@ type result = {
   updates_processed : int;
   batch_size : int;
   batches : int;
+  shards : int;
   timed_out : bool;
   index_time_s : float;
   answer_time_s : float;
+  busy_s : float;
+  shard_busy_s : float array;
   mean_ms : float;
   p50_ms : float;
   p95_ms : float;
@@ -72,6 +75,14 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
   let t0 = now () in
   List.iter engine.Matcher.add_query queries;
   let index_time_s = now () -. t0 in
+  (* Busy time is sampled as before/after deltas so a reused engine's
+     earlier work is not charged to this run.  Wall clock (answer_time_s)
+     and aggregate shard busy time are reported separately: a single
+     timer around a parallel dispatch measures wall only, and quoting it
+     as "work done" would overstate parallel speedup by the shard
+     count. *)
+  let busy0 = engine.Matcher.busy_s () in
+  let shard_busy0 = engine.Matcher.shard_busy () in
   let total = Stream.length stream in
   let max_calls = if total = 0 then 0 else ((total - 1) / batch_size) + 1 in
   let latencies = Array.make (max 1 max_calls) 0.0 in
@@ -160,15 +171,32 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
   let mean_ms =
     if !processed = 0 then 0.0 else !answer_time *. 1000.0 /. float_of_int !processed
   in
+  let busy_s =
+    let b = engine.Matcher.busy_s () -. busy0 in
+    (* Engines without the notion report 0 busy seconds; their single
+       thread was busy for exactly the answering wall time. *)
+    if b > 0.0 then b else !answer_time
+  in
+  let shard_busy_s =
+    let b1 = engine.Matcher.shard_busy () in
+    if Array.length b1 = 0 then [||]
+    else
+      Array.mapi
+        (fun i b -> b -. (if i < Array.length shard_busy0 then shard_busy0.(i) else 0.0))
+        b1
+  in
   {
     engine = engine.Matcher.name;
     total_updates = total;
     updates_processed = !processed;
     batch_size;
     batches = !calls;
+    shards = engine.Matcher.shards;
     timed_out = !timed_out;
     index_time_s;
     answer_time_s = !answer_time;
+    busy_s;
+    shard_busy_s;
     mean_ms;
     p50_ms = percentile used 0.5;
     p95_ms = percentile used 0.95;
@@ -195,9 +223,12 @@ let segment_means_ms r =
 
 let pp_result fmt r =
   Format.fprintf fmt
-    "%-8s %7d/%d upd%s%s  index %.3fs  answer %.3fs  mean %.4f ms/upd  p95 %.4f  %.0f upd/s  matches %d (%d queries)  mem %dw"
+    "%-8s %7d/%d upd%s%s  index %.3fs  answer %.3fs%s  mean %.4f ms/upd  p95 %.4f  %.0f upd/s  matches %d (%d queries)  mem %dw"
     r.engine r.updates_processed r.total_updates
     (if r.timed_out then "*" else "")
     (if r.batch_size > 1 then Printf.sprintf " [batch %d]" r.batch_size else "")
-    r.index_time_s r.answer_time_s r.mean_ms r.p95_ms r.throughput_ups r.matches
-    r.satisfied_queries r.memory_words
+    r.index_time_s r.answer_time_s
+    (if r.shards > 1 then
+       Printf.sprintf " (busy %.3fs over %d shards)" r.busy_s r.shards
+     else "")
+    r.mean_ms r.p95_ms r.throughput_ups r.matches r.satisfied_queries r.memory_words

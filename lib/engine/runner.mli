@@ -18,9 +18,19 @@ type result = {
   updates_processed : int;  (** < total when the budget ran out *)
   batch_size : int;  (** 1 = per-update replay *)
   batches : int;  (** dispatch calls made (= updates processed when 1) *)
+  shards : int;  (** engine's parallel shard count (1 = sequential) *)
   timed_out : bool;
   index_time_s : float;  (** time to insert all queries *)
-  answer_time_s : float;  (** total answering time *)
+  answer_time_s : float;  (** total answering {e wall-clock} time *)
+  busy_s : float;
+      (** total {e work} time: per-shard task seconds summed over shards
+          during this run.  For a sequential engine this equals
+          [answer_time_s]; for a sharded one [busy_s / answer_time_s > 1]
+          is the realised parallelism, and quoting wall time alone as
+          "work" would overstate parallel speedup. *)
+  shard_busy_s : float array;
+      (** per-shard breakdown of [busy_s] ([[||]] for engines without
+          shards) — skew here is routing imbalance *)
   mean_ms : float;  (** answering time per update, milliseconds *)
   p50_ms : float;  (** per dispatch call: per update, or per batch *)
   p95_ms : float;  (** per dispatch call, interpolated between ranks *)

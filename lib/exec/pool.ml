@@ -1,0 +1,164 @@
+(* A small fixed-size domain pool with a bounded task queue and a barrier
+   [run] primitive.
+
+   Ownership model: exactly one controller domain (the one that called
+   {!create}) submits work; worker domains only ever touch the queue and
+   the per-run result cells handed to them.  [run] is a full barrier — it
+   returns only when every submitted task has finished — so pool clients
+   may freely read state their tasks wrote once [run] returns, without any
+   further synchronisation.
+
+   The queue is bounded: submission blocks once [cap] tasks are waiting.
+   The controller participates in draining the queue while it waits, so a
+   full queue can never deadlock and a pool of [w] workers gives [w + 1]
+   degrees of parallelism to each [run]. *)
+
+type cell = {
+  mutable result : Obj.t option;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+  mutable busy_s : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t; (* a task was queued, or stop flipped *)
+  space : Condition.t; (* the queue shrank below capacity *)
+  idle : Condition.t; (* in-flight count reached zero *)
+  queue : (unit -> unit) Queue.t;
+  cap : int;
+  mutable in_flight : int; (* tasks queued or running in the current run *)
+  mutable stop : bool;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size t = Array.length t.domains
+
+let now () = Unix.gettimeofday ()
+
+(* Pop-and-run one task; returns false if there was nothing to do.
+   Caller holds the lock; it is held again on return. *)
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some task ->
+    Condition.signal t.space;
+    Mutex.unlock t.lock;
+    task ();
+    Mutex.lock t.lock;
+    t.in_flight <- t.in_flight - 1;
+    if t.in_flight = 0 then Condition.broadcast t.idle;
+    true
+
+let worker t () =
+  Mutex.lock t.lock;
+  let running = ref true in
+  while !running do
+    if step t then ()
+    else if t.stop then running := false
+    else Condition.wait t.work t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains
+  end
+
+let is_shut_down t =
+  Mutex.lock t.lock;
+  let s = t.stopped in
+  Mutex.unlock t.lock;
+  s
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      space = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      cap = max 64 (4 * workers);
+      in_flight = 0;
+      stop = false;
+      stopped = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (worker t));
+  (* Unjoined domains block process exit; make every pool self-cleaning
+     even when the owner forgets (or cannot) call [shutdown].  [shutdown]
+     is idempotent, so an explicit earlier call is still fine. *)
+  at_exit (fun () -> shutdown t);
+  t
+
+(* Wrap task [i] so it records its result, error and busy time into its
+   cell.  Cells are written by exactly one domain (distinct indexes), and
+   read by the controller only after the [run] barrier. *)
+let wrap fns cells i () =
+  let cell = cells.(i) in
+  let t0 = now () in
+  (match fns.(i) () with
+  | v -> cell.result <- Some (Obj.repr v)
+  | exception e -> cell.error <- Some (e, Printexc.get_raw_backtrace ()));
+  cell.busy_s <- now () -. t0
+
+let gather cells =
+  Array.iter
+    (fun c ->
+      match c.error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    cells;
+  Array.map
+    (fun c ->
+      match c.result with
+      | Some v -> (Obj.obj v, c.busy_s)
+      | None -> assert false)
+    cells
+
+let run t fns =
+  let n = Array.length fns in
+  if n = 0 then [||]
+  else begin
+    let cells = Array.init n (fun _ -> { result = None; error = None; busy_s = 0.0 }) in
+    Mutex.lock t.lock;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.in_flight <- t.in_flight + n;
+    for i = 0 to n - 1 do
+      while Queue.length t.queue >= t.cap do
+        (* Queue full: help drain it instead of waiting passively. *)
+        if not (step t) then Condition.wait t.space t.lock
+      done;
+      Queue.push (wrap fns cells i) t.queue;
+      Condition.signal t.work
+    done;
+    (* Barrier: help run tasks, then wait for stragglers. *)
+    let waiting = ref true in
+    while !waiting do
+      if step t then ()
+      else if t.in_flight = 0 then waiting := false
+      else Condition.wait t.idle t.lock
+    done;
+    Mutex.unlock t.lock;
+    gather cells
+  end
+
+let run_seq fns =
+  Array.map
+    (fun f ->
+      let t0 = now () in
+      let v = f () in
+      (v, now () -. t0))
+    fns

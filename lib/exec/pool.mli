@@ -1,0 +1,38 @@
+(** A fixed-size domain pool with a bounded task queue and a barrier
+    [run] primitive.
+
+    One controller domain (the creator) submits work; worker domains run
+    it.  {!run} is a full barrier: when it returns, every submitted task
+    has finished, so the controller may read any state the tasks wrote
+    without further synchronisation.  The controller also participates in
+    draining the queue while it waits, so a pool of [w] workers gives
+    [w + 1]-way parallelism to each {!run}. *)
+
+type t
+
+val create : workers:int -> t
+(** [create ~workers] spawns [workers] domains (at least 1).  The pool
+    registers an [at_exit] hook so unjoined domains never block process
+    exit even if {!shutdown} is not called explicitly. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run : t -> (unit -> 'a) array -> ('a * float) array
+(** [run t fns] executes every thunk (on workers and on the calling
+    domain) and returns, in submission order, each result paired with the
+    wall-clock seconds that task spent running.  If any task raised, the
+    first (lowest-index) exception is re-raised with its backtrace after
+    all tasks have finished.  Raises [Invalid_argument] if the pool is
+    shut down. *)
+
+val run_seq : (unit -> 'a) array -> ('a * float) array
+(** Sequential equivalent of {!run} on the calling domain — same result
+    and timing shape, no pool required.  Used as the [shards=1]
+    fallback. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains.  Idempotent.  Any
+    subsequent {!run} raises [Invalid_argument]. *)
+
+val is_shut_down : t -> bool

@@ -37,11 +37,26 @@ for engine in TRIC TRIC+ INV+; do
 done
 TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
   audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --batch 64 > /dev/null
+
+# Shard matrix: the same churned audited replay through the sharded
+# dispatcher at 1 and 4 domains.  Every shadow audit re-certifies the
+# scattered state (including routing coherence) against ground truth, so
+# a green run here proves sharded = sequential on this stream.
+for shards in 1 4; do
+  TRIC_SHARDS=$shards TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+    audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 > /dev/null
+  TRIC_SHARDS=$shards TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+    audit "$auditds" --engine TRIC --every 500 --churn 0.2 --batch 32 > /dev/null
+done
 rm -f "$auditds"
 
 # Bench smoke: a tiny batched-ingestion throughput run, so the bench
 # executable's non-bechamel paths stay exercised by CI.
 TRIC_BATCH_ONLY=1 TRIC_BATCH_EDGES=1000 TRIC_BATCH_QDB=50 dune exec bench/main.exe
+
+# Shard-scaling smoke: 1/2/4/8-domain dispatch of the same stream plus the
+# BENCH_shard.json emission path.
+TRIC_SHARD_ONLY=1 TRIC_SHARD_EDGES=1000 TRIC_SHARD_QDB=50 dune exec bench/main.exe
 
 # Harness smoke at a high scale factor: small enough to finish in seconds,
 # and fig12a's stream shrinks below its checkpoint count, which is exactly

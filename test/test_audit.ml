@@ -29,8 +29,8 @@ let script =
     "- v5 -a-> v2";
   ]
 
-let build ?(cache = true) () =
-  let t = Tric.create ~cache () in
+let build ?(cache = true) ?(shards = 1) () =
+  let t = Tric.create ~cache ~shards () in
   List.iter (Tric.add_query t) (queries ());
   let live = Edge.Tbl.create 64 in
   List.iter
@@ -132,6 +132,27 @@ let test_removed_query_warns_only () =
        (fun f -> f.Audit.severity = Audit.Warning && String.equal f.Audit.invariant "trie-shape")
        findings)
 
+let test_sharded_clean_and_misroute_detected () =
+  (* A sharded engine audits clean, and a trie re-indexed onto the wrong
+     shard trips the routing-coherence invariant.  The misrouted subtree
+     also shows up as collateral damage in other classes (its
+     registrations and base views now live on a shard the router never
+     consults), so this asserts membership, not an exact class list. *)
+  let t, edges = build ~shards:2 () in
+  Fun.protect
+    ~finally:(fun () -> Tric.shutdown t)
+    (fun () ->
+      Alcotest.(check int)
+        "zero findings on clean sharded state" 0
+        (List.length (Audit.check ~edges t));
+      Alcotest.(check bool)
+        "a path was misrouted" true
+        (Tric.Corrupt.misroute_path t);
+      let classes = error_classes (Audit.check ~edges t) in
+      Alcotest.(check bool)
+        "routing-coherence trips" true
+        (List.exists (String.equal "routing-coherence") classes))
+
 let build_invidx () =
   let i = Tric_baselines.Invidx.create ~cache:true ~mode:Tric_baselines.Invidx.Full () in
   List.iter (Tric_baselines.Invidx.add_query i) (queries ());
@@ -185,6 +206,8 @@ let suite =
     Alcotest.test_case "dropped index bucket detected" `Quick test_dropped_index_bucket_detected;
     Alcotest.test_case "phantom base tuple detected" `Quick test_phantom_base_tuple_detected;
     Alcotest.test_case "removed query leaves warnings only" `Quick test_removed_query_warns_only;
+    Alcotest.test_case "sharded clean; misrouted path detected" `Quick
+      test_sharded_clean_and_misroute_detected;
     Alcotest.test_case "INV+ clean and mutated" `Quick test_invidx_clean_and_mutated;
     Alcotest.test_case "INV+ seen-set divergence detected" `Quick test_invidx_seen_set_divergence;
   ]

@@ -1,0 +1,96 @@
+(* Unit tests for the domain pool: result ordering, the barrier property,
+   exception propagation, bounded-queue overload, and shutdown
+   semantics.  Pools are shut down inside every test — OCaml caps live
+   domains, and the suite runs many cases. *)
+
+module Pool = Tric_exec.Pool
+
+let with_pool ~workers f =
+  let p = Pool.create ~workers in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_results_in_order () =
+  with_pool ~workers:3 (fun p ->
+      let results =
+        Pool.run p (Array.init 20 (fun i () -> i * i)) |> Array.map fst
+      in
+      Alcotest.(check (array int))
+        "results land in submission order"
+        (Array.init 20 (fun i -> i * i))
+        results)
+
+let test_barrier_sees_all_writes () =
+  (* [run] returns only when every task has finished, so unsynchronised
+     per-slot writes made inside tasks are all visible after it. *)
+  with_pool ~workers:4 (fun p ->
+      let slots = Array.make 64 0 in
+      ignore (Pool.run p (Array.init 64 (fun i () -> slots.(i) <- i + 1)));
+      Alcotest.(check int)
+        "every task's write is visible after the barrier" (64 * 65 / 2)
+        (Array.fold_left ( + ) 0 slots))
+
+let test_overload_beyond_queue_capacity () =
+  (* Far more tasks than queue capacity (cap = max 64 (4*workers)): the
+     controller must help drain instead of deadlocking. *)
+  with_pool ~workers:2 (fun p ->
+      let n = 1000 in
+      let total =
+        Pool.run p (Array.init n (fun i () -> i))
+        |> Array.fold_left (fun acc (v, _) -> acc + v) 0
+      in
+      Alcotest.(check int) "all tasks ran exactly once" (n * (n - 1) / 2) total)
+
+let test_exception_propagates () =
+  with_pool ~workers:2 (fun p ->
+      (match
+         Pool.run p
+           [| (fun () -> 1); (fun () -> failwith "task blew up"); (fun () -> 3) |]
+       with
+      | _ -> Alcotest.fail "expected the task's exception to re-raise"
+      | exception Failure msg ->
+        Alcotest.(check string) "original exception surfaces" "task blew up" msg);
+      (* The pool survives a failed run. *)
+      let after = Pool.run p [| (fun () -> 42) |] in
+      Alcotest.(check int) "pool still usable after a failing run" 42 (fst after.(0)))
+
+let test_busy_times_reported () =
+  with_pool ~workers:1 (fun p ->
+      let timed = Pool.run p [| (fun () -> Unix.sleepf 0.01) |] in
+      Alcotest.(check bool)
+        "task busy time covers its sleep" true
+        (snd timed.(0) >= 0.005))
+
+let test_run_seq_matches_run () =
+  let fns = Array.init 10 (fun i () -> i + 100) in
+  let seq = Pool.run_seq fns |> Array.map fst in
+  with_pool ~workers:2 (fun p ->
+      let par = Pool.run p fns |> Array.map fst in
+      Alcotest.(check (array int)) "run_seq = run" seq par)
+
+let test_shutdown_idempotent_and_final () =
+  let p = Pool.create ~workers:2 in
+  Alcotest.(check bool) "fresh pool is live" false (Pool.is_shut_down p);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check bool) "shutdown sticks" true (Pool.is_shut_down p);
+  match Pool.run p [| (fun () -> 0) |] with
+  | _ -> Alcotest.fail "run after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_empty_run () =
+  with_pool ~workers:1 (fun p ->
+      Alcotest.(check int) "empty task array" 0 (Array.length (Pool.run p [||])))
+
+let suite =
+  [
+    Alcotest.test_case "results in submission order" `Quick test_results_in_order;
+    Alcotest.test_case "run is a barrier" `Quick test_barrier_sees_all_writes;
+    Alcotest.test_case "overload beyond queue capacity" `Quick
+      test_overload_beyond_queue_capacity;
+    Alcotest.test_case "task exception re-raises" `Quick test_exception_propagates;
+    Alcotest.test_case "per-task busy time" `Quick test_busy_times_reported;
+    Alcotest.test_case "run_seq matches run" `Quick test_run_seq_matches_run;
+    Alcotest.test_case "shutdown idempotent and final" `Quick
+      test_shutdown_idempotent_and_final;
+    Alcotest.test_case "empty run" `Quick test_empty_run;
+  ]

@@ -332,6 +332,182 @@ let prop_batch_equals_sequential =
           && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
         (windows updates))
 
+(* Sharded dispatch must be invisible: for any shard count, the
+   domain-parallel engine must produce exactly the sequential engine's
+   report after every update of a random mixed add/remove stream, keep
+   identical current matches, and stay audit-clean (which includes the
+   routing-coherence class: every trie on the shard its root key routes
+   to).  Engines are shut down per iteration — OCaml caps live domains,
+   and shrinking replays the property many times. *)
+let prop_sharded_equals_sequential =
+  QCheck2.Test.make ~count:25 ~print:print_mixed_case
+    ~name:"sharded (1/2/4 domains) = sequential TRIC/TRIC+ per update"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 3) gen_pattern_spec)
+        (list_size (int_range 1 60)
+           (quad bool (int_bound (List.length elabels - 1))
+              (int_bound (List.length vconsts - 1))
+              (int_bound (List.length vconsts - 1)))))
+    (fun (qspecs, sspec) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let seq = Tric_core.Tric.create () in
+      let seqp = Tric_core.Tric.create ~cache:true () in
+      let sharded =
+        [
+          (Tric_core.Tric.create ~shards:1 (), seq);
+          (Tric_core.Tric.create ~shards:2 (), seq);
+          (Tric_core.Tric.create ~shards:4 (), seq);
+          (Tric_core.Tric.create ~cache:true ~shards:2 (), seqp);
+        ]
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun (t, _) -> Tric_core.Tric.shutdown t) sharded)
+        (fun () ->
+          List.iter
+            (fun q ->
+              Tric_core.Tric.add_query seq q;
+              Tric_core.Tric.add_query seqp q;
+              List.iter (fun (t, _) -> Tric_core.Tric.add_query t q) sharded)
+            queries;
+          let live = Edge.Tbl.create 64 in
+          let audit_clean t =
+            let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live [] in
+            Tric_audit.Audit.is_clean (Tric_audit.Audit.check ~edges t)
+          in
+          let matches_agree qid =
+            let sorted m = List.sort_uniq Embedding.compare m in
+            List.for_all
+              (fun (t, reference) ->
+                let exp = sorted (Tric_core.Tric.current_matches reference qid) in
+                let got = sorted (Tric_core.Tric.current_matches t qid) in
+                List.length exp = List.length got && List.for_all2 Embedding.equal exp got)
+              sharded
+          in
+          List.for_all
+            (fun u ->
+              let expected = Tric_core.Tric.handle_update seq u in
+              let expected_p = Tric_core.Tric.handle_update seqp u in
+              let reports =
+                List.map (fun (t, _) -> Tric_core.Tric.handle_update t u) sharded
+              in
+              (match u with
+              | Update.Add e -> Edge.Tbl.replace live e ()
+              | Update.Remove e -> Edge.Tbl.remove live e);
+              List.for_all2
+                (fun (t, reference) r ->
+                  let exp = if reference == seq then expected else expected_p in
+                  Tric_engine.Report.equal exp r && audit_clean t)
+                sharded reports
+              && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
+            (List.map
+               (fun (add, li, si, di) ->
+                 let e =
+                   Edge.of_strings (List.nth elabels li) (List.nth vconsts si)
+                     (List.nth vconsts di)
+                 in
+                 if add then Update.add e else Update.remove e)
+               sspec)))
+
+(* The batched entry point, sharded: windows of a random mixed stream
+   through [handle_batch] on 2- and 4-shard engines must equal the
+   sequential engine's batched replay report-for-report, stay
+   audit-clean after every window, and agree on final matches. *)
+let prop_sharded_batch_equals_sequential =
+  QCheck2.Test.make ~count:25 ~print:print_batch_case
+    ~name:"sharded handle_batch = sequential handle_batch (2/4 domains)"
+    QCheck2.Gen.(
+      pair
+        (pair
+           (list_size (int_range 1 3) gen_pattern_spec)
+           (list_size (int_range 1 60)
+              (quad bool (int_bound (List.length elabels - 1))
+                 (int_bound (List.length vconsts - 1))
+                 (int_bound (List.length vconsts - 1)))))
+        (int_range 1 10))
+    (fun ((qspecs, sspec), window) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let seq = Tric_core.Tric.create () in
+      let sharded =
+        [ Tric_core.Tric.create ~shards:2 (); Tric_core.Tric.create ~shards:4 () ]
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Tric_core.Tric.shutdown sharded)
+        (fun () ->
+          List.iter
+            (fun q ->
+              Tric_core.Tric.add_query seq q;
+              List.iter (fun t -> Tric_core.Tric.add_query t q) sharded)
+            queries;
+          let updates =
+            List.map
+              (fun (add, li, si, di) ->
+                let e =
+                  Edge.of_strings (List.nth elabels li) (List.nth vconsts si)
+                    (List.nth vconsts di)
+                in
+                if add then Update.add e else Update.remove e)
+              sspec
+          in
+          let rec windows = function
+            | [] -> []
+            | us ->
+              let n = min window (List.length us) in
+              List.filteri (fun i _ -> i < n) us
+              :: windows (List.filteri (fun i _ -> i >= n) us)
+          in
+          let live = Edge.Tbl.create 64 in
+          let audit_clean t =
+            let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live [] in
+            Tric_audit.Audit.is_clean (Tric_audit.Audit.check ~edges t)
+          in
+          let matches_agree qid =
+            let sorted m = List.sort_uniq Embedding.compare m in
+            let exp = sorted (Tric_core.Tric.current_matches seq qid) in
+            List.for_all
+              (fun t ->
+                let got = sorted (Tric_core.Tric.current_matches t qid) in
+                List.length exp = List.length got && List.for_all2 Embedding.equal exp got)
+              sharded
+          in
+          List.for_all
+            (fun w ->
+              let expected = Tric_core.Tric.handle_batch seq w in
+              let reports = List.map (fun t -> Tric_core.Tric.handle_batch t w) sharded in
+              List.iter
+                (fun u ->
+                  match u with
+                  | Update.Add e -> Edge.Tbl.replace live e ()
+                  | Update.Remove e -> Edge.Tbl.remove live e)
+                w;
+              List.for_all2
+                (fun t r -> Tric_engine.Report.equal expected r && audit_clean t)
+                sharded reports
+              && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
+            (windows updates)))
+
 let prop_relation_set_semantics =
   QCheck2.Test.make ~count:200 ~name:"relation = deduplicated set under insert/remove"
     QCheck2.Gen.(list_size (int_range 0 100) (pair bool (pair (int_bound 8) (int_bound 8))))
@@ -392,7 +568,7 @@ let prop_trie_sharing =
       let key i =
         { Ekey.label = Label.intern (Printf.sprintf "k%d" i); src = Ekey.Kvar; dst = Ekey.Kvar }
       in
-      let forest = Tric_core.Trie.create ~cache:false in
+      let forest = Tric_core.Trie.create ~cache:false () in
       List.iteri
         (fun qid word ->
           ignore (Tric_core.Trie.insert_path forest (List.map key word) ~qid ~path_index:0))
@@ -661,6 +837,8 @@ let suite =
       prop_engine_agrees "GraphDB" (fun () -> Tric_engine.Engines.graphdb ());
       prop_engines_agree_under_deletions;
       prop_batch_equals_sequential;
+      prop_sharded_equals_sequential;
+      prop_sharded_batch_equals_sequential;
       prop_relation_set_semantics;
       prop_merge_commutative;
       prop_trie_sharing;

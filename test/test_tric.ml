@@ -331,6 +331,79 @@ let test_batch_net_removal () =
   Alcotest.(check int) "old match gone, new present" 1
     (List.length (Tric.current_matches t 1))
 
+let test_sharded_matches_sequential () =
+  (* Replaying the fig4 scenario (adds then a deletion) on sharded
+     engines must reproduce the sequential engine's reports and final
+     state, update for update. *)
+  let stream =
+    Helpers.updates
+      [
+        "f1 -hasMod-> p1"; "f2 -hasMod-> p2"; "p1 -posted-> pst1";
+        "p2 -posted-> pst1"; "p1 -posted-> pst2"; "c1 -reply-> pst2";
+        "pst1 -containedIn-> c"; "com1 -hasCreator-> p1";
+      ]
+    @ [ Tric_graph.Update.remove (Tric_graph.Edge.of_strings "hasMod" "f1" "p1") ]
+  in
+  let seq = Tric.create () in
+  List.iter (Tric.add_query seq) (fig4_queries ());
+  let expected = List.map (Tric.handle_update seq) stream in
+  List.iter
+    (fun shards ->
+      let t = Tric.create ~shards () in
+      Fun.protect
+        ~finally:(fun () -> Tric.shutdown t)
+        (fun () ->
+          List.iter (Tric.add_query t) (fig4_queries ());
+          Alcotest.(check int) "num_shards" shards (Tric.num_shards t);
+          Alcotest.(check int) "stats report shard count" shards (Tric.stats t).Tric.shards;
+          List.iteri
+            (fun i u ->
+              let got = Tric.handle_update t u in
+              Alcotest.(check bool)
+                (Printf.sprintf "shards=%d update %d report" shards i)
+                true
+                (Engine.Report.equal (List.nth expected i) got))
+            stream;
+          List.iter
+            (fun qid ->
+              Alcotest.(check int)
+                (Printf.sprintf "shards=%d q%d live matches" shards qid)
+                (List.length (Tric.current_matches seq qid))
+                (List.length (Tric.current_matches t qid)))
+            [ 1; 2; 3; 4 ]))
+    [ 2; 4 ]
+
+let test_sharded_forest_access () =
+  (* [forest] is the single-forest accessor; on a sharded engine callers
+     must go through [forests].  Trie ids stay globally unique across
+     shard forests so audit evidence can name nodes unambiguously. *)
+  let t = Tric.create ~shards:3 () in
+  Fun.protect
+    ~finally:(fun () -> Tric.shutdown t)
+    (fun () ->
+      List.iter (Tric.add_query t) (fig4_queries ());
+      (match Tric.forest t with
+      | _ -> Alcotest.fail "forest must raise on a sharded engine"
+      | exception Invalid_argument _ -> ());
+      let forests = Tric.forests t in
+      Alcotest.(check int) "one forest per shard" 3 (Array.length forests);
+      let nids =
+        Array.to_list forests
+        |> List.concat_map (fun f ->
+               Trie.fold_nodes (fun n acc -> Trie.node_id n :: acc) f [])
+      in
+      Alcotest.(check int)
+        "node ids unique across shard forests"
+        (List.length nids)
+        (List.length (List.sort_uniq Int.compare nids));
+      (* All fig6 tries exist somewhere, split across the shards. *)
+      Alcotest.(check int)
+        "three tries in total" 3
+        (Array.fold_left (fun acc f -> acc + Trie.num_tries f) 0 forests);
+      Alcotest.(check int) "busy time per shard" 3 (Array.length (Tric.busy_times t));
+      (* Shutdown is idempotent. *)
+      Tric.shutdown t)
+
 let suite =
   [
     Alcotest.test_case "fig4 covering paths" `Quick test_fig4_covering_paths;
@@ -342,6 +415,10 @@ let suite =
     Alcotest.test_case "no-op removal keeps caches" `Quick test_noop_removal_keeps_caches;
     Alcotest.test_case "removal per-query isolation" `Quick test_removal_per_query_isolation;
     Alcotest.test_case "idempotent re-registration" `Quick test_reregistration_idempotent;
+    Alcotest.test_case "sharded = sequential on fig4 stream" `Quick
+      test_sharded_matches_sequential;
+    Alcotest.test_case "sharded forest access and node ids" `Quick
+      test_sharded_forest_access;
     Alcotest.test_case "batch cancellation" `Quick test_batch_cancellation;
     Alcotest.test_case "batch dedup and re-add" `Quick test_batch_dedup_and_readd;
     Alcotest.test_case "batch net removal" `Quick test_batch_net_removal;
