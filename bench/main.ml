@@ -27,6 +27,22 @@ let getenv_int k default =
   | Some v when v > 0 -> v
   | _ -> default
 
+module J = Tric_obs.Json
+
+(* Shared emission for the BENCH_*.json artifacts — one deterministic
+   printer for every report instead of per-report hand-rolled Printf
+   JSON. *)
+let write_bench_json fmt ~file ~bench fields =
+  let doc = J.Obj (("bench", J.Str bench) :: fields) in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string ~pretty:true doc));
+  Format.fprintf fmt "wrote %s@.@." file
+
+let workload_fields ~source ~edges ~qdb =
+  [ ("source", J.Str source); ("edges", J.int edges); ("qdb", J.int qdb) ]
+
 (* A prepared engine mid-stream: queries indexed, half the stream applied;
    the benched function applies the next update from the second half.  On
    wrap the benched polarity flips: the pass that re-visits the window
@@ -160,28 +176,51 @@ let churn_stats_report fmt =
   Format.fprintf fmt "=== Deletion maintenance counters (50%% add / 50%% remove, SNB) ===@.@.";
   Format.fprintf fmt
     "prime first half of %d edges, then churn the second half (qdb=%d)@.@." edges qdb;
-  List.iter
-    (fun cache ->
-      let t = Tric_core.Tric.create ~cache () in
-      List.iter (Tric_core.Tric.add_query t) d.W.Dataset.queries;
-      let s = d.W.Dataset.stream in
-      let n = Tric_graph.Stream.length s in
-      for i = 0 to (n / 2) - 1 do
-        ignore (Tric_core.Tric.handle_update t (Tric_graph.Stream.get s i))
-      done;
-      let t0 = Unix.gettimeofday () in
-      for i = n / 2 to n - 1 do
-        let u = Tric_graph.Stream.get s i in
-        ignore (Tric_core.Tric.handle_update t u);
-        ignore
-          (Tric_core.Tric.handle_update t
-             (Tric_graph.Update.remove (Tric_graph.Update.edge u)))
-      done;
-      let dt = Unix.gettimeofday () -. t0 in
-      Format.fprintf fmt "%-6s churn %.3fs  %a@." (Tric_core.Tric.name t) dt
-        Tric_core.Tric.pp_stats (Tric_core.Tric.stats t))
-    [ false; true ];
-  Format.fprintf fmt "@."
+  let entries =
+    List.map
+      (fun cache ->
+        let t = Tric_core.Tric.create ~cache () in
+        List.iter (Tric_core.Tric.add_query t) d.W.Dataset.queries;
+        let s = d.W.Dataset.stream in
+        let n = Tric_graph.Stream.length s in
+        for i = 0 to (n / 2) - 1 do
+          ignore (Tric_core.Tric.handle_update t (Tric_graph.Stream.get s i))
+        done;
+        let t0 = Unix.gettimeofday () in
+        for i = n / 2 to n - 1 do
+          let u = Tric_graph.Stream.get s i in
+          ignore (Tric_core.Tric.handle_update t u);
+          ignore
+            (Tric_core.Tric.handle_update t
+               (Tric_graph.Update.remove (Tric_graph.Update.edge u)))
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.fprintf fmt "%-6s churn %.3fs  %a@." (Tric_core.Tric.name t) dt
+          Tric_core.Tric.pp_stats (Tric_core.Tric.stats t);
+        (Tric_core.Tric.name t, dt, Tric_core.Tric.stats t))
+      [ false; true ]
+  in
+  Format.fprintf fmt "@.";
+  write_bench_json fmt ~file:"BENCH_churn.json" ~bench:"churn-5050"
+    (workload_fields ~source:"snb" ~edges ~qdb
+    @ [
+        ( "engines",
+          J.Arr
+            (List.map
+               (fun (name, dt, s) ->
+                 J.Obj
+                   [
+                     ("engine", J.Str name);
+                     ("churn_s", J.Num dt);
+                     ("removals", J.int s.Tric_core.Tric.removals);
+                     ("noop_removals", J.int s.Tric_core.Tric.noop_removals);
+                     ("tuples_removed", J.int s.Tric_core.Tric.tuples_removed);
+                     ( "invalidations_avoided",
+                       J.int s.Tric_core.Tric.invalidations_avoided );
+                     ("delta_probes", J.int s.Tric_core.Tric.delta_probes);
+                   ])
+               entries) );
+      ])
 
 (* Per-update vs micro-batched replay of an add-only SNB stream, end to
    end through the Runner: the batched path must amortise trie sweeps and
@@ -196,23 +235,56 @@ let batch_throughput_report fmt =
   in
   Format.fprintf fmt
     "=== Micro-batch throughput (add-only SNB, %d updates, qdb=%d) ===@.@." edges qdb;
-  List.iter
-    (fun name ->
-      let base = ref 0.0 in
-      List.iter
-        (fun b ->
-          let r =
-            E.Runner.run ~batch_size:b ~engine:(E.Engines.by_name name)
-              ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
-          in
-          if b = 1 then base := r.E.Runner.throughput_ups;
-          Format.fprintf fmt "%-6s batch=%-4d %10.0f upd/s  mean %.4f ms/upd%s@." name b
-            r.E.Runner.throughput_ups r.E.Runner.mean_ms
-            (if b = 1 || !base <= 0.0 then ""
-             else Printf.sprintf "  (%.2fx vs per-update)" (r.E.Runner.throughput_ups /. !base)))
-        [ 1; 64; 256 ])
-    [ "TRIC"; "TRIC+" ];
-  Format.fprintf fmt "@."
+  let measured =
+    List.map
+      (fun name ->
+        let base = ref 0.0 in
+        let points =
+          List.map
+            (fun b ->
+              let r =
+                E.Runner.run ~batch_size:b ~engine:(E.Engines.by_name name)
+                  ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
+              in
+              if b = 1 then base := r.E.Runner.throughput_ups;
+              let speedup =
+                if !base > 0.0 then r.E.Runner.throughput_ups /. !base else 1.0
+              in
+              Format.fprintf fmt "%-6s batch=%-4d %10.0f upd/s  mean %.4f ms/upd%s@."
+                name b r.E.Runner.throughput_ups r.E.Runner.mean_ms
+                (if b = 1 then "" else Printf.sprintf "  (%.2fx vs per-update)" speedup);
+              (b, r.E.Runner.throughput_ups, r.E.Runner.mean_ms, speedup))
+            [ 1; 64; 256 ]
+        in
+        (name, points))
+      [ "TRIC"; "TRIC+" ]
+  in
+  Format.fprintf fmt "@.";
+  write_bench_json fmt ~file:"BENCH_batch.json" ~bench:"batch-throughput"
+    (workload_fields ~source:"snb" ~edges ~qdb
+    @ [
+        ( "engines",
+          J.Arr
+            (List.map
+               (fun (name, points) ->
+                 J.Obj
+                   [
+                     ("engine", J.Str name);
+                     ( "points",
+                       J.Arr
+                         (List.map
+                            (fun (b, ups, mean_ms, speedup) ->
+                              J.Obj
+                                [
+                                  ("batch", J.int b);
+                                  ("upd_per_s", J.Num ups);
+                                  ("mean_ms", J.Num mean_ms);
+                                  ("speedup_vs_batch1", J.Num speedup);
+                                ])
+                            points) );
+                   ])
+               measured) );
+      ])
 
 (* Domain-scaling report: replay the same SNB workload through the sharded
    dispatcher at 1/2/4/8 domains — add-only, and 50/50 churn (every
@@ -277,27 +349,72 @@ let shard_scaling_report fmt =
         (regime, points))
       regimes
   in
-  let oc = open_out "BENCH_shard.json" in
-  Printf.fprintf oc
-    "{\n  \"bench\": \"shard-scaling\",\n  \"source\": \"snb\",\n  \"edges\": %d,\n  \"qdb\": %d,\n  \"cores\": %d,\n  \"regimes\": [" edges qdb
-    (Domain.recommended_domain_count ());
-  List.iteri
-    (fun ri (regime, points) ->
-      Printf.fprintf oc "%s\n    { \"regime\": %S, \"points\": ["
-        (if ri = 0 then "" else ",")
-        regime;
-      List.iteri
-        (fun pi (shards, ups, wall, busy, speedup) ->
-          Printf.fprintf oc
-            "%s\n      { \"shards\": %d, \"upd_per_s\": %.1f, \"wall_s\": %.4f, \"busy_s\": %.4f, \"speedup_vs_x1\": %.3f }"
-            (if pi = 0 then "" else ",")
-            shards ups wall busy speedup)
-        points;
-      Printf.fprintf oc "\n    ] }")
-    measured;
-  Printf.fprintf oc "\n  ]\n}\n";
-  close_out oc;
-  Format.fprintf fmt "wrote BENCH_shard.json@.@."
+  write_bench_json fmt ~file:"BENCH_shard.json" ~bench:"shard-scaling"
+    (workload_fields ~source:"snb" ~edges ~qdb
+    @ [
+        ("cores", J.int (Domain.recommended_domain_count ()));
+        ( "regimes",
+          J.Arr
+            (List.map
+               (fun (regime, points) ->
+                 J.Obj
+                   [
+                     ("regime", J.Str regime);
+                     ( "points",
+                       J.Arr
+                         (List.map
+                            (fun (shards, ups, wall, busy, speedup) ->
+                              J.Obj
+                                [
+                                  ("shards", J.int shards);
+                                  ("upd_per_s", J.Num ups);
+                                  ("wall_s", J.Num wall);
+                                  ("busy_s", J.Num busy);
+                                  ("speedup_vs_x1", J.Num speedup);
+                                ])
+                            points) );
+                   ])
+               measured) );
+      ])
+
+(* Telemetry overhead smoke: the same batched SNB replay through TRIC+
+   with metrics off and on, best-of-3 throughput each side.  [strict]
+   makes an overhead above TRIC_OVERHEAD_MAX_PCT (default 5%) a failing
+   exit — the CI enforcement of the cheap-when-enabled budget (disabled
+   mode is separately covered by the zero-allocation span test). *)
+let overhead_report ?(strict = false) fmt =
+  let edges = getenv_int "TRIC_OVERHEAD_EDGES" 4_000 in
+  let qdb = getenv_int "TRIC_OVERHEAD_QDB" 100 in
+  let max_pct = float_of_int (getenv_int "TRIC_OVERHEAD_MAX_PCT" 5) in
+  let d =
+    W.Dataset.make W.Dataset.Snb
+      { W.Dataset.edges; qdb; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 7 }
+  in
+  let best metrics =
+    let one () =
+      let engine = E.Engines.tric ~cache:true ~metrics () in
+      let r =
+        E.Runner.run ~measure_memory:false ~batch_size:64 ~engine
+          ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
+      in
+      engine.E.Matcher.shutdown ();
+      r.E.Runner.throughput_ups
+    in
+    List.fold_left (fun acc () -> Float.max acc (one ())) 0.0 [ (); (); () ]
+  in
+  let off = best false in
+  let on = best true in
+  let pct = if off > 0.0 then (off -. on) /. off *. 100.0 else 0.0 in
+  Format.fprintf fmt
+    "=== Telemetry overhead (TRIC+, batch=64, SNB %d updates, qdb=%d, best of 3) ===@.@."
+    edges qdb;
+  Format.fprintf fmt "metrics off %10.0f upd/s@.metrics on  %10.0f upd/s@." off on;
+  Format.fprintf fmt "overhead    %+9.2f%%  (budget %.0f%%)@.@." pct max_pct;
+  if strict && pct > max_pct then begin
+    Format.fprintf fmt "FAIL: telemetry overhead %.2f%% exceeds %.0f%% budget@." pct
+      max_pct;
+    exit 1
+  end
 
 let run_and_report fmt tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
@@ -456,6 +573,12 @@ let () =
     shard_scaling_report fmt;
     exit 0
   end;
+  (* TRIC_OVERHEAD_ONLY=1: just the telemetry-overhead smoke, enforcing
+     the TRIC_OVERHEAD_MAX_PCT budget with a failing exit (CI). *)
+  if Sys.getenv_opt "TRIC_OVERHEAD_ONLY" <> None then begin
+    overhead_report ~strict:true fmt;
+    exit 0
+  end;
   let cfg = H.Config.from_env () in
   Format.fprintf fmt
     "TRIC benchmark harness — EDBT 2020 reproduction@.scale 1/%d, budget %.0fs/engine (env TRIC_SCALE / TRIC_BUDGET)@.@."
@@ -466,6 +589,7 @@ let () =
   churn_stats_report fmt;
   batch_throughput_report fmt;
   shard_scaling_report fmt;
+  overhead_report fmt;
   Format.fprintf fmt "=== Section 2: paper figures and tables (scaled) ===@.";
   H.Figures.run_all cfg fmt;
   Format.fprintf fmt "@.done.@."

@@ -251,6 +251,10 @@ let mutable_constructors =
     "ref"; "Hashtbl.create"; "Tbl.create"; "Array.make"; "Queue.create";
     "Buffer.create"; "Bytes.create"; "Stack.create"; "Atomic.make";
     "Mutex.create"; "Condition.create"; "Domain.spawn";
+    (* telemetry: a module-level registry, histogram or span recorder is
+       exactly the global-singleton shape the obs design forbids — every
+       instrument must live in an explicitly threaded Registry.t *)
+    "Registry.create"; "Span.create"; "Histogram.create";
   ]
 
 let in_lib path =
@@ -483,6 +487,14 @@ let self_test () =
         "let f x =\n  let tbl = Hashtbl.create 4 in\n  g tbl x\n";
       expect_clean "lib/good_waived"
         "let next = ref 0 (* lint: allow — interner counter, main domain only *)\n";
+      expect_rule "lib/bad_global_registry" "toplevel-mutable"
+        "let metrics = Tric_obs.Registry.create ()\n";
+      expect_rule "lib/bad_global_span_recorder" "toplevel-mutable"
+        "let tracer =\n  Span.create ~capacity:64 ()\n";
+      expect_rule "lib/bad_global_histogram" "toplevel-mutable"
+        "let latency : Histogram.t = Histogram.create ()\n";
+      expect_clean "lib/good_registry_per_engine"
+        "let make_obs () =\n  let reg = Tric_obs.Registry.create () in\n  reg\n";
     ]
   in
   List.for_all Fun.id checks

@@ -122,6 +122,47 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a benchmark dataset and save it to a file.")
     Term.(const run $ source_arg $ out_arg $ edges_arg $ qdb_arg $ seed_arg)
 
+module Obs = Tric_obs
+
+(* Runner numbers included in the metrics envelope alongside the engine's
+   own instruments. *)
+let runner_json (r : Engine.Runner.result) =
+  let open Obs.Json in
+  [
+    ("total_updates", int r.Engine.Runner.total_updates);
+    ("updates_processed", int r.updates_processed);
+    ("batch_size", int r.batch_size);
+    ("batches", int r.batches);
+    ("shards", int r.shards);
+    ("timed_out", Bool r.timed_out);
+    ("index_time_s", Num r.index_time_s);
+    ("answer_time_s", Num r.answer_time_s);
+    ("busy_s", Num r.busy_s);
+    ("mean_ms", Num r.mean_ms);
+    ("p50_ms", Num r.p50_ms);
+    ("p90_ms", Num r.p90_ms);
+    ("p95_ms", Num r.p95_ms);
+    ("p99_ms", Num r.p99_ms);
+    ("max_ms", Num r.max_ms);
+    ("latency_exact", Bool r.latency_exact);
+    ("throughput_ups", Num r.throughput_ups);
+    ("matches", int r.matches);
+    ("satisfied_queries", int r.satisfied_queries);
+    ("audits", int r.audits);
+  ]
+
+let metrics_envelope (engine : Engine.Matcher.t) (r : Engine.Runner.result) =
+  Obs.Snapshot.envelope ~engine:engine.Engine.Matcher.name ~runner:(runner_json r)
+    ~spans:(Obs.Span.recorded_to_json (engine.Engine.Matcher.spans ()))
+    (engine.Engine.Matcher.metrics ())
+
+let write_metrics ~path (engine : Engine.Matcher.t) (r : Engine.Runner.result) =
+  let doc = metrics_envelope engine r in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string ~pretty:true doc))
+
 let batch_arg =
   Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Micro-batch size: hand the engine windows of $(docv) updates instead of one at a time (default 1).")
 
@@ -133,12 +174,16 @@ let replay_cmd =
   let engine_arg =
     Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+, GraphDB, ISO).")
   in
-  let run file engine_name budget batch shards =
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Run with telemetry enabled and write the merged metrics snapshot, runner numbers and span traces to $(docv) as JSON (schema tric-metrics-v1).")
+  in
+  let run file engine_name budget batch shards metrics_out =
     if batch < 1 then `Error (false, "--batch must be >= 1")
     else if (match shards with Some s -> s < 1 | None -> false) then
       `Error (false, "--shards must be >= 1")
     else
-      match Engine.Engines.by_name ?shards engine_name with
+      let metrics = match metrics_out with Some _ -> Some true | None -> None in
+      match Engine.Engines.by_name ?shards ?metrics engine_name with
       | exception Invalid_argument msg -> `Error (false, msg)
       | engine ->
         let d = W.Dataset.load file in
@@ -146,13 +191,19 @@ let replay_cmd =
           Engine.Runner.run ?budget_s:budget ~batch_size:batch ~engine
             ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
         in
+        (match metrics_out with
+        | Some path -> write_metrics ~path engine r
+        | None -> ());
         engine.Engine.Matcher.shutdown ();
         Format.printf "%a@." Engine.Runner.pp_result r;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a saved dataset through one engine and report timings.")
-    Term.(ret (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg $ shards_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg $ shards_arg
+       $ metrics_out_arg))
 
 (* Interleave deterministic removals into an add-only stream: after every
    [1/churn] (rounded) applied additions, remove the oldest still-live
@@ -209,14 +260,18 @@ let audit_cmd =
   let churn_arg =
     Arg.(value & opt float 0.0 & info [ "churn" ] ~docv:"F" ~doc:"Interleave one removal per 1/$(docv) additions (0 = replay the stream as saved), exercising the deletion paths under audit.")
   in
-  let run file engine_name every churn batch shards =
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Run with telemetry enabled and, if the audit stays clean, write the metrics envelope to $(docv).")
+  in
+  let run file engine_name every churn batch shards metrics_out =
     if batch < 1 then `Error (false, "--batch must be >= 1")
     else if every < 1 then `Error (false, "--every must be >= 1")
     else if churn < 0.0 || churn >= 1.0 then `Error (false, "--churn must be in [0, 1)")
     else if (match shards with Some s -> s < 1 | None -> false) then
       `Error (false, "--shards must be >= 1")
     else
-      match Engine.Engines.by_name ?shards engine_name with
+      let metrics = match metrics_out with Some _ -> Some true | None -> None in
+      match Engine.Engines.by_name ?shards ?metrics engine_name with
       | exception Invalid_argument msg -> `Error (false, msg)
       | engine -> (
         let d = W.Dataset.load file in
@@ -226,6 +281,9 @@ let audit_cmd =
             ~queries:d.W.Dataset.queries ~stream ()
         with
         | r ->
+          (match metrics_out with
+          | Some path -> write_metrics ~path engine r
+          | None -> ());
           engine.Engine.Matcher.shutdown ();
           Format.printf "%a@.audit: %d shadow audit(s), all clean@."
             Engine.Runner.pp_result r r.Engine.Runner.audits;
@@ -240,12 +298,81 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Replay a saved dataset under shadow auditing: every N updates the engine's materialized state (views, indexes, caches, stats) is certified against an independent recomputation from the live edge set; the first divergence aborts with a finding report.")
-    Term.(ret (const run $ file_arg $ engine_arg $ every_arg $ churn_arg $ batch_arg $ shards_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ engine_arg $ every_arg $ churn_arg $ batch_arg
+       $ shards_arg $ metrics_out_arg))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let stats_cmd =
+  let file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Dataset file to replay (not needed with --check).")
+  in
+  let engine_arg =
+    Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+).")
+  in
+  let format_arg =
+    let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json); ("prometheus", `Prometheus) ] in
+    Arg.(value & opt fmt_conv `Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json (the tric-metrics-v1 envelope) or prometheus (exposition text).")
+  in
+  let check_arg =
+    Arg.(value & opt (some file) None & info [ "check" ] ~docv:"FILE" ~doc:"Parse a previously exported metrics JSON file, validate it against the tric-metrics-v1 envelope schema, and exit — no replay.")
+  in
+  let run file engine_name budget batch shards format check =
+    match check with
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg -> `Error (false, Printf.sprintf "%s: JSON parse error: %s" path msg)
+      | Ok doc -> (
+        match Obs.Snapshot.validate doc with
+        | Error msg -> `Error (false, Printf.sprintf "%s: invalid envelope: %s" path msg)
+        | Ok n ->
+          Format.printf "%s: valid %s envelope, %d metric(s)@." path
+            Obs.Snapshot.schema_version n;
+          `Ok ()))
+    | None -> (
+      match file with
+      | None -> `Error (true, "a dataset FILE is required unless --check is given")
+      | Some file ->
+        if batch < 1 then `Error (false, "--batch must be >= 1")
+        else if (match shards with Some s -> s < 1 | None -> false) then
+          `Error (false, "--shards must be >= 1")
+        else (
+          match Engine.Engines.by_name ?shards ~metrics:true engine_name with
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | engine ->
+            let d = W.Dataset.load file in
+            let r =
+              Engine.Runner.run ?budget_s:budget ~batch_size:batch ~engine
+                ~queries:d.W.Dataset.queries ~stream:d.W.Dataset.stream ()
+            in
+            (match format with
+            | `Text ->
+              Format.printf "%a@.@.%a@." Engine.Runner.pp_result r Obs.Snapshot.pp
+                (engine.Engine.Matcher.metrics ())
+            | `Json -> print_string (Obs.Json.to_string ~pretty:true (metrics_envelope engine r))
+            | `Prometheus ->
+              print_string (Obs.Snapshot.to_prometheus (engine.Engine.Matcher.metrics ())));
+            engine.Engine.Matcher.shutdown ();
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Replay a dataset with telemetry enabled and print the merged metrics snapshot (text, JSON envelope, or Prometheus exposition); or schema-check an exported metrics file with --check.")
+    Term.(
+      ret
+        (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg $ shards_arg
+       $ format_arg $ check_arg))
 
 let main =
   Cmd.group
     (Cmd.info "tric_cli" ~version:"1.0.0"
        ~doc:"Continuous multi-query processing over graph streams (EDBT 2020 reproduction).")
-    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd; audit_cmd ]
+    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd; audit_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -14,9 +14,34 @@ type query_info = {
   width : int;
 }
 
+(* Telemetry: the baselines are single-domain, so one registry per engine
+   and every instrument on it is stable (a pure function of the stream). *)
+type obs = {
+  reg : Tric_obs.Registry.t;
+  o_updates : Tric_obs.Registry.counter;
+  o_additions : Tric_obs.Registry.counter;
+  o_removals : Tric_obs.Registry.counter;
+  o_matches : Tric_obs.Registry.counter;
+  o_affected : Tric_obs.Histogram.t; (* affected queries per addition *)
+  o_base : Relation.obs;
+}
+
+let make_obs () =
+  let reg = Tric_obs.Registry.create () in
+  {
+    reg;
+    o_updates = Tric_obs.Registry.counter reg "inv_updates_total";
+    o_additions = Tric_obs.Registry.counter reg "inv_additions_total";
+    o_removals = Tric_obs.Registry.counter reg "inv_removals_total";
+    o_matches = Tric_obs.Registry.counter reg "inv_matches_total";
+    o_affected = Tric_obs.Registry.histogram reg ~lo:1.0 ~growth:2.0 "inv_affected_queries";
+    o_base = Relation.make_obs reg ~prefix:"inv_base" ~stable:true;
+  }
+
 type t = {
   cache : bool;
   mode : mode;
+  obs : obs option;
   queries : (int, query_info) Hashtbl.t; (* queryInd *)
   edge_ind : int list ref Ekey.Tbl.t; (* key -> query ids *)
   source_ind : Ekey.t list ref Label.Tbl.t; (* const source vertex -> keys *)
@@ -25,10 +50,11 @@ type t = {
   seen : unit Edge.Tbl.t; (* updates already applied (duplicate detection) *)
 }
 
-let create ?(cache = false) ~mode () =
+let create ?(cache = false) ?(metrics = false) ~mode () =
   {
     cache;
     mode;
+    obs = (if metrics then Some (make_obs ()) else None);
     queries = Hashtbl.create 256;
     edge_ind = Ekey.Tbl.create 256;
     source_ind = Label.Tbl.create 256;
@@ -36,6 +62,11 @@ let create ?(cache = false) ~mode () =
     base = Ekey.Tbl.create 256;
     seen = Edge.Tbl.create 1024;
   }
+
+let metrics t =
+  match t.obs with
+  | None -> Tric_obs.Snapshot.empty
+  | Some o -> Tric_obs.Snapshot.of_registry o.reg
 
 let name t =
   match (t.mode, t.cache) with
@@ -73,8 +104,10 @@ let add_query t pattern =
          | Some c ->
            multi_add_key (Label.Tbl.find_opt t.target_ind) (Label.Tbl.add t.target_ind) c
          | None -> ());
-         if not (Ekey.Tbl.mem t.base key) then
-           Ekey.Tbl.add t.base key (Relation.create ~cache:t.cache ~width:2 ())))
+         if not (Ekey.Tbl.mem t.base key) then begin
+           let obs = match t.obs with Some o -> Some o.o_base | None -> None in
+           Ekey.Tbl.add t.base key (Relation.create ~cache:t.cache ?obs ~width:2 ())
+         end))
     path_keys;
   Hashtbl.add t.queries qid
     {
@@ -269,6 +302,12 @@ let answer_query t info (e : Edge.t) =
   end
 
 let handle_update t u =
+  (match t.obs with
+  | Some o ->
+    Tric_obs.Registry.incr o.o_updates;
+    if Update.is_addition u then Tric_obs.Registry.incr o.o_additions
+    else Tric_obs.Registry.incr o.o_removals
+  | None -> ());
   match u with
   | Update.Remove e ->
     Edge.Tbl.remove t.seen e;
@@ -294,14 +333,27 @@ let handle_update t u =
           keys
         |> List.sort_uniq Int.compare
       in
-      List.filter_map
-        (fun qid ->
-          match Hashtbl.find_opt t.queries qid with
-          | None -> None
-          | Some info ->
-            (match answer_query t info e with [] -> None | l -> Some (qid, l)))
-        affected
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      (match t.obs with
+      | Some o ->
+        Tric_obs.Histogram.observe o.o_affected (float_of_int (List.length affected))
+      | None -> ());
+      let report =
+        List.filter_map
+          (fun qid ->
+            match Hashtbl.find_opt t.queries qid with
+            | None -> None
+            | Some info ->
+              (match answer_query t info e with [] -> None | l -> Some (qid, l)))
+          affected
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      (match t.obs with
+      | Some o ->
+        List.iter
+          (fun (_, l) -> Tric_obs.Registry.add o.o_matches (List.length l))
+          report
+      | None -> ());
+      report
     end
 
 let current_matches t qid =

@@ -27,7 +27,16 @@ type mode =
 
 type t
 
-val create : ?cache:bool -> mode:mode -> unit -> t
+val create : ?cache:bool -> ?metrics:bool -> mode:mode -> unit -> t
+(** [metrics] (default false) builds a per-engine telemetry registry
+    ([inv_*] counters, the affected-queries histogram, and [inv_base_*]
+    relation counters).  The baselines are single-domain, so every
+    instrument is stable. *)
+
+val metrics : t -> Tric_obs.Snapshot.t
+(** Snapshot of the engine's registry; {!Tric_obs.Snapshot.empty} when
+    created without [metrics]. *)
+
 val name : t -> string
 (** "INV", "INV+", "INC" or "INC+". *)
 

@@ -2,13 +2,75 @@ open Tric_graph
 open Tric_query
 open Tric_rel
 
-type t = { sid : int; cache : bool; forest : Trie.t }
+(* Per-shard telemetry.  The registry is private to this shard — touched
+   only by the domain running the shard's pool task — and merged by the
+   coordinator between barriers.  Instruments flagged stable aggregate to
+   the same totals at any shard count (nodes are partitioned across
+   shards and propagation is trie-local); descent timings and dispatch
+   counts are placement-dependent and flagged unstable. *)
+type obs = {
+  reg : Tric_obs.Registry.t;
+  fanout : Tric_obs.Histogram.t; (* tuples gained per node per propagation event *)
+  mat_depth : Tric_obs.Histogram.t; (* materialization depth, weighted by tuples *)
+  descend : Tric_obs.Histogram.t array; (* per-level node-visit seconds *)
+  dispatches : Tric_obs.Registry.counter;
+}
 
-let create ~sid ~shards ~cache =
-  { sid; cache; forest = Trie.create ~id_base:sid ~id_stride:shards ~cache () }
+let max_descend_level = 7
+
+let make_obs () =
+  let reg = Tric_obs.Registry.create () in
+  {
+    reg;
+    fanout = Tric_obs.Registry.histogram reg ~lo:1.0 ~growth:2.0 "tric_delta_fanout";
+    mat_depth = Tric_obs.Registry.histogram reg ~lo:1.0 ~growth:2.0 "tric_mat_depth";
+    descend =
+      Array.init (max_descend_level + 1) (fun d ->
+          Tric_obs.Registry.histogram reg ~stable:false ~lo:1e-7
+            (Printf.sprintf "tric_descend_l%d_seconds" d));
+    dispatches = Tric_obs.Registry.counter reg "tric_node_visits_total";
+  }
+
+type t = { sid : int; cache : bool; forest : Trie.t; obs : obs option }
+
+let create ?(metrics = false) ~sid ~shards ~cache () =
+  let obs = if metrics then Some (make_obs ()) else None in
+  let trie_obs = match obs with Some o -> Some o.reg | None -> None in
+  {
+    sid;
+    cache;
+    forest = Trie.create ~id_base:sid ~id_stride:shards ?obs:trie_obs ~cache ();
+    obs;
+  }
 
 let sid t = t.sid
 let forest t = t.forest
+let registry t = match t.obs with Some o -> Some o.reg | None -> None
+
+(* Observe one propagation event: [n] tuples materialized at [depth].
+   Registered on every record call, so the fan-out histogram sees the
+   per-event delta sizes and the depth histogram the per-level volumes. *)
+let observe_event t node n =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    Tric_obs.Histogram.observe o.fanout (float_of_int n);
+    Tric_obs.Histogram.observe_n o.mat_depth (float_of_int (Trie.node_depth node)) n
+
+(* Time one top-level node visit (join + downward propagation), filed
+   under the visit root's level (clamped).  The visit count is stable —
+   the union of every shard's matched nodes is the sequential node set —
+   but the timings are wall-clock and stay shard-local.  Two clock reads
+   per matched node, paid only with metrics on. *)
+let timed_visit t node f =
+  match t.obs with
+  | None -> f ()
+  | Some o ->
+    Tric_obs.Registry.incr o.dispatches;
+    let level = min (Trie.node_depth node) max_descend_level in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Tric_obs.Histogram.observe o.descend.(level) (Unix.gettimeofday () -. t0)
 
 type delta = int * int * Tuple.t list
 
@@ -88,32 +150,34 @@ let handle_addition t (e : Edge.t) =
   (* Visit matching trie nodes shallow-first. *)
   let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
   let record node tuples =
+    observe_event t node (List.length tuples);
     match Hashtbl.find_opt inserted_at (Trie.node_id node) with
     | Some (_, cell) -> cell := tuples @ !cell
     | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
   in
   List.iter
     (fun node ->
-      let delta =
-        match Trie.node_parent node with
-        | None -> [ tuple ]
-        | Some parent ->
-          let hinge_col = Trie.node_depth node in
-          let parents =
-            if t.cache then
-              (* TRIC+: maintained index on the parent view's hinge. *)
-              Relation.index_on (Trie.node_view parent) ~col:hinge_col e.src
-            else
-              (* TRIC: build on the single-tuple update, scan the parent. *)
-              Relation.probe_scan (Trie.node_view parent) ~col:hinge_col e.src
+      timed_visit t node (fun () ->
+          let delta =
+            match Trie.node_parent node with
+            | None -> [ tuple ]
+            | Some parent ->
+              let hinge_col = Trie.node_depth node in
+              let parents =
+                if t.cache then
+                  (* TRIC+: maintained index on the parent view's hinge. *)
+                  Relation.index_on (Trie.node_view parent) ~col:hinge_col e.src
+                else
+                  (* TRIC: build on the single-tuple update, scan the parent. *)
+                  Relation.probe_scan (Trie.node_view parent) ~col:hinge_col e.src
+              in
+              List.map (fun ptu -> Tuple.extend ptu e.dst) parents
           in
-          List.map (fun ptu -> Tuple.extend ptu e.dst) parents
-      in
-      let inserted = Relation.insert_all (Trie.node_view node) delta in
-      if inserted <> [] then begin
-        record node inserted;
-        propagate t ~record node inserted
-      end)
+          let inserted = Relation.insert_all (Trie.node_view node) delta in
+          if inserted <> [] then begin
+            record node inserted;
+            propagate t ~record node inserted
+          end))
     (matched_nodes t e);
   inserted_at
 
@@ -147,6 +211,7 @@ let handle_removal t (e : Edge.t) =
     (Ekey.keys_of_edge e);
   let removed_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
   let record node tuples =
+    observe_event t node (List.length tuples);
     match Hashtbl.find_opt removed_at (Trie.node_id node) with
     | Some (_, cell) -> cell := tuples @ !cell
     | None -> Hashtbl.add removed_at (Trie.node_id node) (node, ref tuples)
@@ -157,13 +222,14 @@ let handle_removal t (e : Edge.t) =
      is recorded twice. *)
   List.iter
     (fun node ->
-      let view = Trie.node_view node in
-      let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
-      if doomed <> [] then begin
-        ignore (Relation.remove_all view doomed);
-        record node doomed;
-        propagate_removal ~record node doomed
-      end)
+      timed_visit t node (fun () ->
+          let view = Trie.node_view node in
+          let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
+          if doomed <> [] then begin
+            ignore (Relation.remove_all view doomed);
+            record node doomed;
+            propagate_removal ~record node doomed
+          end))
     (matched_nodes t e);
   removed_at
 
@@ -210,12 +276,14 @@ let handle_additions_batch t (edges : Edge.t list) =
   in
   let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
   let record node tuples =
+    observe_event t node (List.length tuples);
     match Hashtbl.find_opt inserted_at (Trie.node_id node) with
     | Some (_, cell) -> cell := tuples @ !cell
     | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
   in
   List.iter
     (fun (node, fresh) ->
+      timed_visit t node (fun () ->
       let delta =
         match Trie.node_parent node with
         | None -> fresh
@@ -258,7 +326,7 @@ let handle_additions_batch t (edges : Edge.t list) =
       if inserted <> [] then begin
         record node inserted;
         propagate t ~record node inserted
-      end)
+      end))
     seeds;
   inserted_at
 

@@ -18,12 +18,22 @@ open Tric_rel
 
 type t
 
-val create : sid:int -> shards:int -> cache:bool -> t
+val create : ?metrics:bool -> sid:int -> shards:int -> cache:bool -> unit -> t
 (** [sid] in [0, shards).  [cache] selects TRIC+ (maintained hash-join
-    indexes) vs plain TRIC per-operation builds. *)
+    indexes) vs plain TRIC per-operation builds.  [metrics] (default
+    false) gives the shard a private telemetry registry: view/base
+    relation counters ([tric_view_*]/[tric_base_*]), delta fan-out and
+    materialization-depth histograms, per-level descent timings and the
+    node-visit counter.  With it off, no instrument exists and the hot
+    path pays nothing. *)
 
 val sid : t -> int
 val forest : t -> Trie.t
+
+val registry : t -> Tric_obs.Registry.t option
+(** The shard's private registry (None when created without [metrics]).
+    Only the domain running this shard's tasks may touch it; the
+    coordinator reads it strictly between pool barriers. *)
 
 type delta = int * int * Tuple.t list
 (** [(qid, path_index, tuples)] — the view tuples a terminal registered

@@ -19,6 +19,39 @@ type query_info = {
   mutable path_embs : Embedding.t list array;
 }
 
+(* Coordinator-side telemetry: event counters and the cross-path join
+   instruments (stable — pure functions of the update stream), wall-clock
+   phase histograms (unstable), and the span recorder tracing one
+   update's journey scatter → gather → join.  Lives next to the ad-hoc
+   stats counters; everything here is touched only by the main domain. *)
+type obs = {
+  reg : Tric_obs.Registry.t;
+  o_updates : Tric_obs.Registry.counter;
+  o_additions : Tric_obs.Registry.counter;
+  o_removals : Tric_obs.Registry.counter;
+  o_batches : Tric_obs.Registry.counter;
+  o_matches : Tric_obs.Registry.counter;
+  o_join_fanout : Tric_obs.Histogram.t; (* matches per reporting query per round *)
+  o_gather_s : Tric_obs.Histogram.t;
+  o_join_s : Tric_obs.Histogram.t;
+  o_spans : Tric_obs.Span.t;
+}
+
+let make_obs () =
+  let reg = Tric_obs.Registry.create () in
+  {
+    reg;
+    o_updates = Tric_obs.Registry.counter reg "tric_updates_total";
+    o_additions = Tric_obs.Registry.counter reg "tric_additions_total";
+    o_removals = Tric_obs.Registry.counter reg "tric_removals_total";
+    o_batches = Tric_obs.Registry.counter reg "tric_batches_total";
+    o_matches = Tric_obs.Registry.counter reg "tric_matches_total";
+    o_join_fanout = Tric_obs.Registry.histogram reg ~lo:1.0 ~growth:2.0 "tric_join_fanout";
+    o_gather_s = Tric_obs.Registry.histogram reg ~stable:false ~lo:1e-7 "tric_gather_seconds";
+    o_join_s = Tric_obs.Registry.histogram reg ~stable:false ~lo:1e-7 "tric_join_seconds";
+    o_spans = Tric_obs.Span.create ();
+  }
+
 (* The coordinator: routing + scatter/gather around shard-owned state.
    Shards are mutated only inside pool tasks (one task per shard, so no
    two tasks share state) or by the coordinator strictly between pool
@@ -31,6 +64,7 @@ type t = {
   shards : Shard.t array;
   pool : Pool.t option; (* Some iff nshards > 1 *)
   busy : float array; (* per shard: seconds spent in its tasks *)
+  obs : obs option;
   queries : (int, query_info) Hashtbl.t;
   mutable removals : int; (* Remove updates processed *)
   mutable noop_removals : int; (* removals that evicted nothing anywhere *)
@@ -42,15 +76,20 @@ type t = {
   mutable batch_net_applied : int; (* net ops that survived the folding *)
 }
 
-let create ?(cache = false) ?(strategy = Cover.Upstream) ?(shards = 1) () =
+let create ?(cache = false) ?(strategy = Cover.Upstream) ?(shards = 1) ?(metrics = false) () =
   if shards < 1 then invalid_arg "Tric.create: shards must be >= 1";
+  let obs = if metrics then Some (make_obs ()) else None in
+  let pool_obs = match obs with Some o -> Some o.reg | None -> None in
   {
     cache;
     strategy;
     nshards = shards;
-    shards = Array.init shards (fun sid -> Shard.create ~sid ~shards ~cache);
-    pool = (if shards > 1 then Some (Pool.create ~workers:(shards - 1)) else None);
+    shards = Array.init shards (fun sid -> Shard.create ~metrics ~sid ~shards ~cache ());
+    pool =
+      (if shards > 1 then Some (Pool.create ?obs:pool_obs ~workers:(shards - 1) ())
+       else None);
     busy = Array.make shards 0.0;
+    obs;
     queries = Hashtbl.create 256;
     removals = 0;
     noop_removals = 0;
@@ -68,16 +107,53 @@ let busy_times t = Array.copy t.busy
 let busy_s t = Array.fold_left ( +. ) 0.0 t.busy
 let shutdown t = Option.iter Pool.shutdown t.pool
 
+let metrics_enabled t = Option.is_some t.obs
+
+(* Merged snapshot: coordinator registry first, then every shard's in
+   fixed shard order.  Always called between barriers (the coordinator
+   API is single-threaded), so reading shard registries is race-free; all
+   merge ops are commutative, so stable metrics come out identical at any
+   shard count. *)
+let metrics t =
+  match t.obs with
+  | None -> Tric_obs.Snapshot.empty
+  | Some o ->
+    let shard_regs =
+      Array.to_list t.shards |> List.filter_map (fun sh -> Shard.registry sh)
+    in
+    Tric_obs.Snapshot.of_registries (o.reg :: shard_regs)
+
+let spans t =
+  match t.obs with Some o -> Tric_obs.Span.spans o.o_spans | None -> []
+
 (* Scatter one task per shard, wait for all of them (pool [run] is a full
    barrier), account per-shard busy time, and gather results in fixed
-   shard order — the determinism anchor for everything downstream. *)
-let scatter t f =
+   shard order — the determinism anchor for everything downstream.  When
+   a span is live, each shard's busy seconds are filed as a stage (the
+   per-shard trie-descent leg of the update's journey). *)
+let scatter ?(sp = Tric_obs.Span.none) t f =
   let tasks = Array.map (fun sh () -> f sh) t.shards in
   let timed =
     match t.pool with Some pool -> Pool.run pool tasks | None -> Pool.run_seq tasks
   in
   Array.iteri (fun i (_, dt) -> t.busy.(i) <- t.busy.(i) +. dt) timed;
+  (match t.obs with
+  | Some o when sp >= 0 ->
+    Tric_obs.Span.stage o.o_spans sp "scatter";
+    Array.iteri
+      (fun i (_, dt) ->
+        Tric_obs.Span.stage_dur o.o_spans sp (Printf.sprintf "shard%d" i) dt)
+      timed
+  | _ -> ());
   Array.map fst timed
+
+(* Span plumbing: all no-ops (a single integer compare) when metrics are
+   off — [Span.none] short-circuits without touching the clock. *)
+let span_start t label =
+  match t.obs with Some o -> Tric_obs.Span.start o.o_spans label | None -> Tric_obs.Span.none
+
+let span_stage t sp name =
+  match t.obs with Some o -> Tric_obs.Span.stage o.o_spans sp name | None -> ()
 
 let add_query t pattern =
   let qid = Pattern.id pattern in
@@ -196,16 +272,34 @@ let query_new_matches info deltas =
     delta_embs;
   List.filter Embedding.is_total (Embjoin.dedup !results)
 
-let report_of_deltas t per_shard =
+let report_of_deltas ?(sp = Tric_obs.Span.none) t per_shard =
+  let t0 = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0.0 in
   let per_query = merge_deltas t per_shard in
+  (match t.obs with
+  | Some o ->
+    Tric_obs.Histogram.observe o.o_gather_s (Unix.gettimeofday () -. t0);
+    Tric_obs.Span.stage o.o_spans sp "gather"
+  | None -> ());
+  let t1 = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0.0 in
   let out = ref [] in
   Hashtbl.iter
     (fun qid deltas ->
       let info = Hashtbl.find t.queries qid in
       match query_new_matches info deltas with
       | [] -> ()
-      | matches -> out := (qid, matches) :: !out)
+      | matches ->
+        (match t.obs with
+        | Some o ->
+          Tric_obs.Registry.add o.o_matches (List.length matches);
+          Tric_obs.Histogram.observe o.o_join_fanout (float_of_int (List.length matches))
+        | None -> ());
+        out := (qid, matches) :: !out)
     per_query;
+  (match t.obs with
+  | Some o ->
+    Tric_obs.Histogram.observe o.o_join_s (Unix.gettimeofday () -. t1);
+    Tric_obs.Span.stage o.o_spans sp "join"
+  | None -> ());
   List.sort (fun (a, _) (b, _) -> Int.compare a b) !out
 
 (* -- Removal bookkeeping ----------------------------------------------------- *)
@@ -263,18 +357,24 @@ let account_removal t removed per_shard_deltas =
       t.invalidations_avoided + (num_queries t - List.length touched)
   end
 
-let apply_removal t e =
-  let results = scatter t (fun sh -> Shard.apply_remove sh e) in
+let apply_removal ?(sp = Tric_obs.Span.none) t e =
+  let results = scatter ~sp t (fun sh -> Shard.apply_remove sh e) in
   let removed = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
-  account_removal t removed (Array.map fst results)
+  account_removal t removed (Array.map fst results);
+  span_stage t sp "subtract"
 
 let handle_update t u =
+  (match t.obs with Some o -> Tric_obs.Registry.incr o.o_updates | None -> ());
   match u with
   | Update.Add e ->
-    let per_shard = scatter t (fun sh -> Shard.apply_add sh e) in
-    report_of_deltas t per_shard
+    (match t.obs with Some o -> Tric_obs.Registry.incr o.o_additions | None -> ());
+    let sp = span_start t "add" in
+    let per_shard = scatter ~sp t (fun sh -> Shard.apply_add sh e) in
+    report_of_deltas ~sp t per_shard
   | Update.Remove e ->
-    apply_removal t e;
+    (match t.obs with Some o -> Tric_obs.Registry.incr o.o_removals | None -> ());
+    let sp = span_start t "remove" in
+    apply_removal ~sp t e;
     []
 
 (* -- Micro-batches ----------------------------------------------------------- *)
@@ -282,6 +382,17 @@ let handle_update t u =
 let handle_batch t updates =
   t.batches <- t.batches + 1;
   t.batched_updates <- t.batched_updates + List.length updates;
+  let sp = span_start t "batch" in
+  (match t.obs with
+  | Some o ->
+    Tric_obs.Registry.incr o.o_batches;
+    Tric_obs.Registry.add o.o_updates (List.length updates);
+    List.iter
+      (fun u ->
+        if Update.is_addition u then Tric_obs.Registry.incr o.o_additions
+        else Tric_obs.Registry.incr o.o_removals)
+      updates
+  | None -> ());
   (* Net effect per edge: views are joins over deduplicated base sets, so
      within one window only an edge's final polarity matters — duplicates
      collapse and an [Add e; ...; Remove e] window cancels down to one
@@ -305,6 +416,7 @@ let handle_batch t updates =
     t.batch_cancelled
     + (List.length updates - List.length removals - List.length additions);
   t.batch_net_applied <- t.batch_net_applied + List.length removals + List.length additions;
+  span_stage t sp "fold";
   (* Net removals first: a net addition must survive the window, so its
      delta joins run against the post-removal state.  One scatter carries
      the whole removal list; each shard applies it in order, so the
@@ -313,19 +425,20 @@ let handle_batch t updates =
   (match removals with
   | [] -> ()
   | removals ->
-    let per_shard = scatter t (fun sh -> Shard.apply_removes sh removals) in
+    let per_shard = scatter ~sp t (fun sh -> Shard.apply_removes sh removals) in
     List.iteri
       (fun i _e ->
         let removed =
           Array.fold_left (fun acc arr -> acc + snd arr.(i)) 0 per_shard
         in
         account_removal t removed (Array.map (fun arr -> fst arr.(i)) per_shard))
-      removals);
+      removals;
+    span_stage t sp "subtract");
   match additions with
   | [] -> []
   | additions ->
-    let per_shard = scatter t (fun sh -> Shard.apply_add_batch sh additions) in
-    report_of_deltas t per_shard
+    let per_shard = scatter ~sp t (fun sh -> Shard.apply_add_batch sh additions) in
+    report_of_deltas ~sp t per_shard
 
 (* -- Probes ---------------------------------------------------------------- *)
 

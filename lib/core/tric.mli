@@ -30,12 +30,16 @@ open Tric_rel
 
 type t
 
-val create : ?cache:bool -> ?strategy:Cover.strategy -> ?shards:int -> unit -> t
+val create :
+  ?cache:bool -> ?strategy:Cover.strategy -> ?shards:int -> ?metrics:bool -> unit -> t
 (** [cache] defaults to [false] (plain TRIC).  [strategy] is the covering-
     path extraction strategy, for ablation; default {!Cover.Upstream}.
     [shards] defaults to [1] (sequential, no pool); [n > 1] spawns a pool
     of [n - 1] worker domains — the coordinator's domain works too — that
     lives until {!shutdown} (or process exit).
+    [metrics] (default false) builds the telemetry registries (one per
+    shard plus the coordinator's) and the span recorder; with it off no
+    instrument exists anywhere and the hot path pays a single branch.
     @raise Invalid_argument if [shards < 1]. *)
 
 val shutdown : t -> unit
@@ -54,6 +58,21 @@ val busy_s : t -> float
 
 val busy_times : t -> float array
 (** Per-shard busy seconds, index = shard id. *)
+
+val metrics_enabled : t -> bool
+
+val metrics : t -> Tric_obs.Snapshot.t
+(** Deterministic merged snapshot: the coordinator's registry plus every
+    shard's, merged in fixed shard order with commutative ops — metrics
+    flagged stable come out identical at any shard count for the same
+    stream ({!Tric_obs.Snapshot.stable_only}).  {!Tric_obs.Snapshot.empty}
+    when the engine was created without [metrics].  Must be called from
+    the coordinator between updates (as all of this API). *)
+
+val spans : t -> Tric_obs.Span.recorded list
+(** The live window of update-journey traces (label ["add"], ["remove"]
+    or ["batch"]; stages [scatter]/[shard<i>]/[gather]/[join]/
+    [subtract]/[fold]), oldest first.  Empty without [metrics]. *)
 
 val name : t -> string
 (** ["TRIC"] or ["TRIC+"]. *)

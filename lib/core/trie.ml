@@ -29,12 +29,26 @@ type t = {
   edge_ind : node list ref Ekey.Tbl.t;
   base : Relation.t Ekey.Tbl.t;
   mutable node_count : int;
+  view_obs : Relation.obs option; (* node views: stable across shard counts *)
+  base_obs : Relation.obs option; (* base views: duplicated per shard, unstable *)
 }
 
-let create ?(id_base = 0) ?(id_stride = 1) ~cache () =
+let create ?(id_base = 0) ?(id_stride = 1) ?obs ~cache () =
   if id_stride < 1 then invalid_arg "Trie.create: id_stride must be >= 1";
   if id_base < 0 || id_base >= id_stride then
     invalid_arg "Trie.create: id_base must lie in [0, id_stride)";
+  (* Node views are partitioned across shards (each node lives on exactly
+     one shard), so their activity counters sum to the same totals at any
+     shard count.  Base views are NOT partitioned — a key's base view is
+     duplicated on every shard whose forest mentions the key — so their
+     counters are placement-dependent and flagged unstable. *)
+  let view_obs, base_obs =
+    match obs with
+    | None -> (None, None)
+    | Some reg ->
+      ( Some (Relation.make_obs reg ~prefix:"tric_view" ~stable:true),
+        Some (Relation.make_obs reg ~prefix:"tric_base" ~stable:false) )
+  in
   {
     cache;
     id_base;
@@ -43,13 +57,15 @@ let create ?(id_base = 0) ?(id_stride = 1) ~cache () =
     edge_ind = Ekey.Tbl.create 256;
     base = Ekey.Tbl.create 256;
     node_count = 0;
+    view_obs;
+    base_obs;
   }
 
 let ensure_base t key =
   match Ekey.Tbl.find_opt t.base key with
   | Some r -> r
   | None ->
-    let r = Relation.create ~cache:t.cache ~width:2 () in
+    let r = Relation.create ~cache:t.cache ?obs:t.base_obs ~width:2 () in
     Ekey.Tbl.add t.base key r;
     r
 
@@ -90,7 +106,7 @@ let new_node t ~key ~parent =
       parent;
       children_tbl = Ekey.Tbl.create 4;
       children = [];
-      view = Relation.create ~cache:t.cache ~width:(depth + 2) ();
+      view = Relation.create ~cache:t.cache ?obs:t.view_obs ~width:(depth + 2) ();
       regs = [];
     }
   in

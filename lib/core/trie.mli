@@ -42,8 +42,13 @@ val deregister : node -> qid:int -> unit
 
 type t
 
-val create : ?id_base:int -> ?id_stride:int -> cache:bool -> unit -> t
+val create : ?id_base:int -> ?id_stride:int -> ?obs:Tric_obs.Registry.t -> cache:bool -> unit -> t
 (** [cache] is propagated to every view (TRIC+ vs TRIC).
+
+    [obs], when given, instruments every view against that registry:
+    node views under [tric_view_*] (stable — nodes are partitioned across
+    shards), base views under [tric_base_*] (unstable — a key's base view
+    is duplicated on every shard whose forest mentions it).
 
     [id_base]/[id_stride] (defaults 0/1) parameterise node-id allocation:
     node [k] gets id [id_base + k * id_stride].  Shard [s] of an

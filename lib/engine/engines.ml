@@ -1,12 +1,13 @@
-let tric ?(cache = false) ?(shards = 1) () =
-  Matcher.of_tric (Tric_core.Tric.create ~cache ~shards ())
+let tric ?(cache = false) ?(shards = 1) ?(metrics = false) () =
+  Matcher.of_tric (Tric_core.Tric.create ~cache ~shards ~metrics ())
 
-let inv ?(cache = false) () =
-  Matcher.of_invidx (Tric_baselines.Invidx.create ~cache ~mode:Tric_baselines.Invidx.Full ())
-
-let inc ?(cache = false) () =
+let inv ?(cache = false) ?(metrics = false) () =
   Matcher.of_invidx
-    (Tric_baselines.Invidx.create ~cache ~mode:Tric_baselines.Invidx.Seeded ())
+    (Tric_baselines.Invidx.create ~cache ~metrics ~mode:Tric_baselines.Invidx.Full ())
+
+let inc ?(cache = false) ?(metrics = false) () =
+  Matcher.of_invidx
+    (Tric_baselines.Invidx.create ~cache ~metrics ~mode:Tric_baselines.Invidx.Seeded ())
 
 let graphdb () = Matcher.of_graphdb (Tric_graphdb.Continuous.create ())
 let naive () = Matcher.of_naive (Naive.create ())
@@ -41,7 +42,8 @@ let windowed ~window inner =
     ~name:(Printf.sprintf "%s/win%d" inner.Matcher.name window)
     ~description:"sliding-window wrapper" ~stats:inner.Matcher.stats
     ~shards:inner.Matcher.shards ~busy_s:inner.Matcher.busy_s
-    ~shard_busy:inner.Matcher.shard_busy ~shutdown:inner.Matcher.shutdown
+    ~shard_busy:inner.Matcher.shard_busy ~metrics:inner.Matcher.metrics
+    ~spans:inner.Matcher.spans ~shutdown:inner.Matcher.shutdown
     ~add_query:(Window.add_query w)
     ~remove_query:inner.Matcher.remove_query ~num_queries:inner.Matcher.num_queries
     ~handle_update:(Window.handle_update w)
@@ -61,15 +63,27 @@ let env_shards () =
     | Some _ | None ->
       invalid_arg (Printf.sprintf "TRIC_SHARDS=%S: expected a positive integer" s))
 
-let by_name ?shards name =
+(* Same environment pattern for telemetry: TRIC_METRICS=1 switches the
+   instrumented constructors on everywhere without per-entry-point flags. *)
+let env_metrics () =
+  match Sys.getenv_opt "TRIC_METRICS" with
+  | None -> false
+  | Some s -> (
+    match String.trim s with
+    | "" | "0" | "false" -> false
+    | "1" | "true" -> true
+    | s -> invalid_arg (Printf.sprintf "TRIC_METRICS=%S: expected 0/1/true/false" s))
+
+let by_name ?shards ?metrics name =
   let shards = match shards with Some n -> n | None -> env_shards () in
+  let metrics = match metrics with Some b -> b | None -> env_metrics () in
   match name with
-  | "TRIC" -> tric ~shards ()
-  | "TRIC+" -> tric ~cache:true ~shards ()
-  | "INV" -> inv ()
-  | "INV+" -> inv ~cache:true ()
-  | "INC" -> inc ()
-  | "INC+" -> inc ~cache:true ()
+  | "TRIC" -> tric ~shards ~metrics ()
+  | "TRIC+" -> tric ~cache:true ~shards ~metrics ()
+  | "INV" -> inv ~metrics ()
+  | "INV+" -> inv ~cache:true ~metrics ()
+  | "INC" -> inc ~metrics ()
+  | "INC+" -> inc ~cache:true ~metrics ()
   | "GraphDB" | "Neo4j" -> graphdb ()
   | "NAIVE" -> naive ()
   | "ISO" -> iso ()

@@ -1,12 +1,13 @@
 (** Engine registry: fresh instances of the paper's seven engines (and the
     oracle) by name. *)
 
-val tric : ?cache:bool -> ?shards:int -> unit -> Matcher.t
+val tric : ?cache:bool -> ?shards:int -> ?metrics:bool -> unit -> Matcher.t
 (** [shards] (default 1) runs the trie engine sharded on a domain pool;
-    remember {!Matcher.t.shutdown} when creating many. *)
+    remember {!Matcher.t.shutdown} when creating many.  [metrics]
+    (default false) builds the telemetry registries and span recorder. *)
 
-val inv : ?cache:bool -> unit -> Matcher.t
-val inc : ?cache:bool -> unit -> Matcher.t
+val inv : ?cache:bool -> ?metrics:bool -> unit -> Matcher.t
+val inc : ?cache:bool -> ?metrics:bool -> unit -> Matcher.t
 val graphdb : unit -> Matcher.t
 val naive : unit -> Matcher.t
 
@@ -24,13 +25,15 @@ val windowed : window:int -> Matcher.t -> Matcher.t
 (** Wrap any engine in a count-based sliding window (see {!Window}),
     presented as a {!Matcher.t} so it runs through the harness. *)
 
-val by_name : ?shards:int -> string -> Matcher.t
+val by_name : ?shards:int -> ?metrics:bool -> string -> Matcher.t
 (** "TRIC" | "TRIC+" | "INV" | "INV+" | "INC" | "INC+" | "GraphDB" |
     "NAIVE".  [shards] applies to the trie engines only (the baselines
     are inherently sequential); when omitted, the [TRIC_SHARDS]
-    environment variable supplies it (default 1).
+    environment variable supplies it (default 1).  [metrics] applies to
+    the trie and inverted-index engines; when omitted, [TRIC_METRICS]
+    supplies it (default off).
     @raise Invalid_argument on anything else, or on a malformed
-    [TRIC_SHARDS]. *)
+    [TRIC_SHARDS] / [TRIC_METRICS]. *)
 
 val paper_names : string list
 (** The seven engines of the paper's evaluation, in its plotting order:

@@ -16,6 +16,8 @@ type t = {
   shards : int;
   busy_s : unit -> float;
   shard_busy : unit -> float array;
+  metrics : unit -> Tric_obs.Snapshot.t;
+  spans : unit -> Tric_obs.Span.recorded list;
   shutdown : unit -> unit;
   description : string;
 }
@@ -29,7 +31,8 @@ let batch_by_fold handle_update updates =
 
 let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> [])
     ?handle_batch ?(shards = 1) ?(busy_s = fun () -> 0.0)
-    ?(shard_busy = fun () -> [||]) ?(shutdown = fun () -> ()) ~add_query
+    ?(shard_busy = fun () -> [||]) ?(metrics = fun () -> Tric_obs.Snapshot.empty)
+    ?(spans = fun () -> []) ?(shutdown = fun () -> ()) ~add_query
     ~remove_query ~num_queries ~handle_update ~current_matches ~memory_words () =
   let handle_batch =
     match handle_batch with Some f -> f | None -> batch_by_fold handle_update
@@ -48,6 +51,8 @@ let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> []
     shards;
     busy_s;
     shard_busy;
+    metrics;
+    spans;
     shutdown;
     description;
   }
@@ -89,6 +94,8 @@ let of_tric e =
     shards = Tric_core.Tric.num_shards e;
     busy_s = (fun () -> Tric_core.Tric.busy_s e);
     shard_busy = (fun () -> Tric_core.Tric.busy_times e);
+    metrics = (fun () -> Tric_core.Tric.metrics e);
+    spans = (fun () -> Tric_core.Tric.spans e);
     shutdown = (fun () -> Tric_core.Tric.shutdown e);
     description = "trie-clustered covering paths (the paper's contribution)";
   }
@@ -117,6 +124,8 @@ let of_invidx e =
     shards = 1;
     busy_s = (fun () -> 0.0);
     shard_busy = (fun () -> [||]);
+    metrics = (fun () -> I.metrics e);
+    spans = (fun () -> []);
     shutdown = (fun () -> ());
     description = "inverted-index baseline (no clustering)";
   }
@@ -145,6 +154,8 @@ let of_graphdb e =
     shards = 1;
     busy_s = (fun () -> 0.0);
     shard_busy = (fun () -> [||]);
+    metrics = (fun () -> Tric_obs.Snapshot.empty);
+    spans = (fun () -> []);
     shutdown = (fun () -> ());
     description = "embedded graph database with per-update query re-execution";
   }
@@ -164,6 +175,8 @@ let of_naive e =
     shards = 1;
     busy_s = (fun () -> 0.0);
     shard_busy = (fun () -> [||]);
+    metrics = (fun () -> Tric_obs.Snapshot.empty);
+    spans = (fun () -> []);
     shutdown = (fun () -> ());
     description = "brute-force oracle (tests only)";
   }

@@ -40,6 +40,13 @@ type t = {
           back to wall time). *)
   shard_busy : unit -> float array;
       (** Per-shard busy seconds; [[||]] when not applicable. *)
+  metrics : unit -> Tric_obs.Snapshot.t;
+      (** Merged telemetry snapshot ({!Tric_obs.Snapshot.of_registries} in
+          fixed shard order).  {!Tric_obs.Snapshot.empty} for engines
+          without instrumentation or created with metrics off. *)
+  spans : unit -> Tric_obs.Span.recorded list;
+      (** Live window of update-journey traces, oldest first; [[]] when
+          not applicable. *)
   shutdown : unit -> unit;
       (** Release engine-owned domains (no-op for sequential engines).
           OCaml caps live domains, so anything creating many sharded
@@ -61,6 +68,8 @@ val make :
   ?shards:int ->
   ?busy_s:(unit -> float) ->
   ?shard_busy:(unit -> float array) ->
+  ?metrics:(unit -> Tric_obs.Snapshot.t) ->
+  ?spans:(unit -> Tric_obs.Span.recorded list) ->
   ?shutdown:(unit -> unit) ->
   add_query:(Pattern.t -> unit) ->
   remove_query:(int -> bool) ->

@@ -14,8 +14,11 @@ type result = {
   shard_busy_s : float array;
   mean_ms : float;
   p50_ms : float;
+  p90_ms : float;
   p95_ms : float;
+  p99_ms : float;
   max_ms : float;
+  latency_exact : bool;
   throughput_ups : float;
   matches : int;
   satisfied_queries : int;
@@ -84,8 +87,15 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
   let busy0 = engine.Matcher.busy_s () in
   let shard_busy0 = engine.Matcher.shard_busy () in
   let total = Stream.length stream in
-  let max_calls = if total = 0 then 0 else ((total - 1) / batch_size) + 1 in
-  let latencies = Array.make (max 1 max_calls) 0.0 in
+  (* Latency samples live in a fixed-allocation histogram instead of a
+     retained per-call array: the exact buffer keeps the historical
+     interpolated-percentile semantics for runs under [exact_cap] calls,
+     and longer runs degrade to bucket interpolation instead of growing
+     memory with the stream. *)
+  let latencies =
+    Tric_obs.Histogram.create ~buckets:96 ~lo:1e-4 ~growth:(sqrt 2.)
+      ~exact_cap:8192 ()
+  in
   let satisfied = Hashtbl.create 256 in
   let matches = ref 0 in
   let processed = ref 0 in
@@ -128,7 +138,7 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
              (List.init (hi - lo) (fun j -> Stream.get stream (lo + j)))
        in
        let dt = now () -. t in
-       latencies.(!calls) <- dt *. 1000.0;
+       Tric_obs.Histogram.observe latencies (dt *. 1000.0);
        incr calls;
        answer_time := !answer_time +. dt;
        processed := hi;
@@ -166,8 +176,6 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
         multiple of the audit period. *)
      if audit_every > 0 && !since_audit > 0 then shadow_audit ()
    with Exit -> ());
-  let used = Array.sub latencies 0 !calls in
-  Array.sort Float.compare used;
   let mean_ms =
     if !processed = 0 then 0.0 else !answer_time *. 1000.0 /. float_of_int !processed
   in
@@ -198,9 +206,12 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
     busy_s;
     shard_busy_s;
     mean_ms;
-    p50_ms = percentile used 0.5;
-    p95_ms = percentile used 0.95;
-    max_ms = (if !calls = 0 then 0.0 else used.(!calls - 1));
+    p50_ms = Tric_obs.Histogram.percentile latencies 50.0;
+    p90_ms = Tric_obs.Histogram.percentile latencies 90.0;
+    p95_ms = Tric_obs.Histogram.percentile latencies 95.0;
+    p99_ms = Tric_obs.Histogram.percentile latencies 99.0;
+    max_ms = (if !calls = 0 then 0.0 else Tric_obs.Histogram.max_value latencies);
+    latency_exact = Tric_obs.Histogram.is_exact latencies;
     throughput_ups =
       (if !answer_time > 0.0 then float_of_int !processed /. !answer_time else 0.0);
     matches = !matches;

@@ -33,8 +33,16 @@ type result = {
           shards) — skew here is routing imbalance *)
   mean_ms : float;  (** answering time per update, milliseconds *)
   p50_ms : float;  (** per dispatch call: per update, or per batch *)
+  p90_ms : float;  (** per dispatch call *)
   p95_ms : float;  (** per dispatch call, interpolated between ranks *)
+  p99_ms : float;  (** per dispatch call *)
   max_ms : float;  (** slowest dispatch call (true sample maximum) *)
+  latency_exact : bool;
+      (** [true] while every latency sample was still held exactly, i.e.
+          the percentiles above used the historical rank interpolation;
+          [false] means the run overflowed the histogram's exact buffer
+          and they are bucket-interpolated
+          ({!Tric_obs.Histogram.percentile}) *)
   throughput_ups : float;  (** updates answered per second *)
   matches : int;  (** total new embeddings reported *)
   satisfied_queries : int;  (** distinct query ids satisfied at least once *)
@@ -60,7 +68,9 @@ exception
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [sorted] ascending and [q] in [0, 1]:
     linear interpolation between the two bracketing ranks (0 on an empty
-    array).  Exposed for the latency statistics tests. *)
+    array).  Exposed for the latency statistics tests; the replay itself
+    now samples into a {!Tric_obs.Histogram} whose exact mode reproduces
+    these semantics. *)
 
 val run :
   ?budget_s:float ->

@@ -19,6 +19,15 @@ type cell = {
   mutable busy_s : float;
 }
 
+(* Telemetry, recorded by the controller after [gather] (never from
+   worker domains, whose only shared-state writes stay the result cells).
+   All pool metrics are wall-clock/placement-dependent, hence unstable. *)
+type obs = {
+  o_runs : Tric_obs.Registry.counter;
+  o_tasks : Tric_obs.Registry.counter;
+  o_task_s : Tric_obs.Histogram.t;
+}
+
 type t = {
   lock : Mutex.t;
   work : Condition.t; (* a task was queued, or stop flipped *)
@@ -30,6 +39,7 @@ type t = {
   mutable stop : bool;
   mutable stopped : bool;
   mutable domains : unit Domain.t array;
+  obs : obs option;
 }
 
 let size t = Array.length t.domains
@@ -77,8 +87,20 @@ let is_shut_down t =
   Mutex.unlock t.lock;
   s
 
-let create ~workers =
+let create ?obs ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let obs =
+    match obs with
+    | None -> None
+    | Some reg ->
+      Some
+        {
+          o_runs = Tric_obs.Registry.counter reg ~stable:false "pool_runs_total";
+          o_tasks = Tric_obs.Registry.counter reg ~stable:false "pool_tasks_total";
+          o_task_s =
+            Tric_obs.Registry.histogram reg ~stable:false ~lo:1e-7 "pool_task_seconds";
+        }
+  in
   let t =
     {
       lock = Mutex.create ();
@@ -91,6 +113,7 @@ let create ~workers =
       stop = false;
       stopped = false;
       domains = [||];
+      obs;
     }
   in
   t.domains <- Array.init workers (fun _ -> Domain.spawn (worker t));
@@ -152,7 +175,16 @@ let run t fns =
       else Condition.wait t.idle t.lock
     done;
     Mutex.unlock t.lock;
-    gather cells
+    let results = gather cells in
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      (* Controller-side, after the barrier: the registry is never touched
+         from a worker domain. *)
+      Tric_obs.Registry.incr o.o_runs;
+      Tric_obs.Registry.add o.o_tasks n;
+      Array.iter (fun (_, dt) -> Tric_obs.Histogram.observe o.o_task_s dt) results);
+    results
   end
 
 let run_seq fns =

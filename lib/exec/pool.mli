@@ -10,10 +10,15 @@
 
 type t
 
-val create : workers:int -> t
-(** [create ~workers] spawns [workers] domains (at least 1).  The pool
+val create : ?obs:Tric_obs.Registry.t -> workers:int -> unit -> t
+(** [create ~workers ()] spawns [workers] domains (at least 1).  The pool
     registers an [at_exit] hook so unjoined domains never block process
-    exit even if {!shutdown} is not called explicitly. *)
+    exit even if {!shutdown} is not called explicitly.
+
+    [obs] instruments the pool ([pool_runs_total], [pool_tasks_total],
+    [pool_task_seconds], all unstable): metrics are recorded by the
+    controller domain after each {!run} barrier, never from workers, so
+    the registry needs no synchronisation. *)
 
 val size : t -> int
 (** Number of worker domains. *)

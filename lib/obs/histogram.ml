@@ -1,0 +1,193 @@
+(* Fixed-allocation log-bucketed histogram.
+
+   Bucket upper bounds are [lo *. growth^i] for i in 0..buckets-1, with an
+   implicit +Inf overflow bucket; the layout is fixed at [create] time and
+   never reallocated, so [observe] is allocation-free.  A bounded exact
+   buffer keeps the first [exact_cap] samples: while it has not
+   overflowed, [percentile] answers from the sorted samples with the same
+   linear interpolation the Runner historically used, so existing
+   percentile expectations survive the histogram swap byte-for-byte.
+   Once the buffer overflows, percentiles interpolate inside buckets. *)
+
+type t = {
+  lo : float;
+  growth : float;
+  bounds : float array; (* upper bound of bucket i, strictly increasing *)
+  counts : int array; (* same length as bounds; overflow counted in [over] *)
+  mutable over : int;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  exact : float array; (* first [exact_cap] samples, for exact percentiles *)
+  mutable exact_n : int;
+  mutable overflowed : bool; (* true once exact no longer holds every sample *)
+}
+
+let create ?(buckets = 64) ?(lo = 1e-6) ?(growth = sqrt 2.) ?(exact_cap = 1024) () =
+  if buckets < 1 then invalid_arg "Histogram.create: buckets must be >= 1";
+  if not (lo > 0.0) then invalid_arg "Histogram.create: lo must be > 0";
+  if not (growth > 1.0) then invalid_arg "Histogram.create: growth must be > 1";
+  if exact_cap < 0 then invalid_arg "Histogram.create: exact_cap must be >= 0";
+  let bounds = Array.init buckets (fun i -> lo *. (growth ** float_of_int i)) in
+  {
+    lo;
+    growth;
+    bounds;
+    counts = Array.make buckets 0;
+    over = 0;
+    count = 0;
+    sum = 0.0;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+    exact = Array.make exact_cap 0.0;
+    exact_n = 0;
+    overflowed = exact_cap = 0;
+  }
+
+(* A fresh, empty histogram with the same bucket layout — what a merge
+   target creates when it first meets an instrument. *)
+let clone_empty t =
+  create ~buckets:(Array.length t.bounds) ~lo:t.lo ~growth:t.growth
+    ~exact_cap:(Array.length t.exact) ()
+
+let same_layout a b =
+  Array.length a.bounds = Array.length b.bounds
+  && Float.equal a.lo b.lo
+  && Float.equal a.growth b.growth
+  && Array.length a.exact = Array.length b.exact
+
+(* Bucket index for value v: smallest i with v <= bounds.(i), or
+   [length bounds] for the overflow bucket.  Binary search — bounds is
+   strictly increasing. *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  if v > t.bounds.(n - 1) then n
+  else begin
+    let alo = ref 0 and ahi = ref (n - 1) in
+    (* invariant: v <= bounds.(ahi); answer in [alo, ahi] *)
+    while !alo < !ahi do
+      let mid = (!alo + !ahi) / 2 in
+      if v <= t.bounds.(mid) then ahi := mid else alo := mid + 1
+    done;
+    !alo
+  end
+
+let observe_n t v n =
+  if n > 0 then begin
+    let i = bucket_index t v in
+    if i = Array.length t.bounds then t.over <- t.over + n else t.counts.(i) <- t.counts.(i) + n;
+    t.count <- t.count + n;
+    t.sum <- t.sum +. (v *. float_of_int n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    let cap = Array.length t.exact in
+    if t.exact_n + n <= cap then
+      for _ = 1 to n do
+        t.exact.(t.exact_n) <- v;
+        t.exact_n <- t.exact_n + 1
+      done
+    else t.overflowed <- true
+  end
+
+let observe t v = observe_n t v 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let is_exact t = not t.overflowed
+
+(* Linear interpolation between bracketing ranks over a sorted array —
+   identical semantics to the Runner's historical percentile. *)
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else if n = 1 then sorted.(0)
+  else begin
+    let rank = q /. 100.0 *. float_of_int (n - 1) in
+    let lo_i = int_of_float (Float.floor rank) in
+    let hi_i = int_of_float (Float.ceil rank) in
+    let lo_i = max 0 (min (n - 1) lo_i) in
+    let hi_i = max 0 (min (n - 1) hi_i) in
+    if lo_i = hi_i then sorted.(lo_i)
+    else begin
+      let frac = rank -. float_of_int lo_i in
+      sorted.(lo_i) +. (frac *. (sorted.(hi_i) -. sorted.(lo_i)))
+    end
+  end
+
+let percentile t q =
+  if t.count = 0 then 0.0
+  else if not t.overflowed then begin
+    let sorted = Array.sub t.exact 0 t.exact_n in
+    Array.sort Float.compare sorted;
+    percentile_sorted sorted q
+  end
+  else begin
+    (* Bucketed estimate: find the bucket holding the target rank and
+       interpolate linearly inside it, clamped to observed min/max. *)
+    let target = q /. 100.0 *. float_of_int t.count in
+    let n = Array.length t.bounds in
+    let rec find i acc =
+      if i >= n then (n, acc)
+      else if float_of_int (acc + t.counts.(i)) >= target then (i, acc)
+      else find (i + 1) (acc + t.counts.(i))
+    in
+    let i, below = find 0 0 in
+    if i >= n then t.max_v
+    else begin
+      let in_bucket = t.counts.(i) in
+      let lower = if i = 0 then 0.0 else t.bounds.(i - 1) in
+      let upper = t.bounds.(i) in
+      let frac =
+        if in_bucket = 0 then 0.0
+        else (target -. float_of_int below) /. float_of_int in_bucket
+      in
+      let v = lower +. (frac *. (upper -. lower)) in
+      Float.max t.min_v (Float.min t.max_v v)
+    end
+  end
+
+let merge_into ~dst src =
+  if not (same_layout dst src) then
+    invalid_arg "Histogram.merge_into: incompatible bucket layouts";
+  if src.count > 0 then begin
+    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+    dst.over <- dst.over + src.over;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum +. src.sum;
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+    (* Keep exactness only when every sample of both sides still fits. *)
+    if dst.overflowed || src.overflowed || dst.exact_n + src.exact_n > Array.length dst.exact
+    then dst.overflowed <- true
+    else begin
+      Array.blit src.exact 0 dst.exact dst.exact_n src.exact_n;
+      dst.exact_n <- dst.exact_n + src.exact_n
+    end
+  end
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_buckets : (float * int) list; (* non-empty buckets: (upper bound, count) *)
+  s_over : int;
+}
+
+let snapshot t =
+  let buckets = ref [] in
+  for i = Array.length t.bounds - 1 downto 0 do
+    if t.counts.(i) > 0 then buckets := (t.bounds.(i), t.counts.(i)) :: !buckets
+  done;
+  {
+    s_count = t.count;
+    s_sum = t.sum;
+    s_min = min_value t;
+    s_max = max_value t;
+    s_buckets = !buckets;
+    s_over = t.over;
+  }

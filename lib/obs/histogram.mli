@@ -1,0 +1,56 @@
+(** Fixed-allocation log-bucketed histogram.
+
+    Bucket upper bounds are [lo *. growth^i]; the layout is frozen at
+    [create] and [observe] never allocates.  A bounded buffer of the
+    first [exact_cap] samples preserves exact linear-interpolation
+    percentiles until it overflows, after which percentiles are
+    interpolated within buckets (clamped to the observed min/max). *)
+
+type t
+
+val create : ?buckets:int -> ?lo:float -> ?growth:float -> ?exact_cap:int -> unit -> t
+(** Defaults: 64 buckets, lo = 1e-6, growth = sqrt 2, exact_cap = 1024.
+    Raises [Invalid_argument] on a degenerate layout. *)
+
+val observe : t -> float -> unit
+val observe_n : t -> float -> int -> unit
+(** Record one (or [n]) occurrences of a value. Allocation-free. *)
+
+val count : t -> int
+val sum : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val mean : t -> float
+
+val is_exact : t -> bool
+(** True while every observed sample is still held exactly. *)
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in [0, 100].  Exact (linear interpolation
+    between bracketing ranks) while [is_exact]; bucket-interpolated
+    afterwards.  0.0 on an empty histogram. *)
+
+val percentile_sorted : float array -> float -> float
+(** The underlying interpolation over an already-sorted array, exposed so
+    callers holding raw samples keep byte-identical semantics. *)
+
+val merge_into : dst:t -> t -> unit
+(** Commutative bucket-wise sum.  Raises [Invalid_argument] if the two
+    layouts differ.  Exactness is preserved only when both sides are
+    exact and the combined samples fit [dst]'s buffer. *)
+
+val same_layout : t -> t -> bool
+
+val clone_empty : t -> t
+(** A fresh empty histogram with the same bucket layout. *)
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_buckets : (float * int) list;  (** non-empty buckets, ascending bounds *)
+  s_over : int;  (** +Inf overflow bucket *)
+}
+
+val snapshot : t -> snapshot

@@ -1,0 +1,256 @@
+(* Minimal JSON: a value type, a deterministic printer, and a strict
+   recursive-descent parser.  Hand-rolled on purpose — the repo carries no
+   JSON dependency, and exported snapshots must be byte-reproducible, so
+   the printer is ours to pin down (object key order is the caller's,
+   integers print without a fractional part, other floats as %.12g). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let int n = Num (float_of_int n)
+
+(* -- Printing --------------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_num b f =
+  if Float.is_integer f && Float.abs f < 1e15 then Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.12g" f)
+
+let rec add ?(indent = 0) ~pretty b v =
+  let pad n = if pretty then Buffer.add_string b (String.make n ' ') in
+  let sep_open c = Buffer.add_char b c; if pretty then Buffer.add_char b '\n' in
+  let sep_close c = (if pretty then (Buffer.add_char b '\n'; pad indent)); Buffer.add_char b c in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then
+      invalid_arg "Json: cannot print nan/infinity (encode it as a string)";
+    add_num b f
+  | Str s -> escape_string b s
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr items ->
+    sep_open '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then (Buffer.add_char b ','; if pretty then Buffer.add_char b '\n');
+        pad (indent + 2);
+        add ~indent:(indent + 2) ~pretty b item)
+      items;
+    sep_close ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    sep_open '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then (Buffer.add_char b ','; if pretty then Buffer.add_char b '\n');
+        pad (indent + 2);
+        escape_string b k;
+        Buffer.add_string b (if pretty then ": " else ":");
+        add ~indent:(indent + 2) ~pretty b item)
+      fields;
+    sep_close '}'
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  add ~pretty b v;
+  if pretty then Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* -- Parsing ---------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let wl = String.length word in
+    if !pos + wl <= n && String.sub s !pos wl = word then begin
+      pos := !pos + wl;
+      v
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          (if !pos >= n then error "unterminated escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | 'u' ->
+               if !pos + 4 > n then error "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some c -> c
+                 | None -> error "bad \\u escape"
+               in
+               (* Encode the BMP code point as UTF-8. *)
+               if code < 0x80 then Buffer.add_char b (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+               end
+             | _ -> error "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> error "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        let rec go () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items := parse_value () :: !items;
+            go ()
+          | Some ']' -> advance ()
+          | _ -> error "expected ',' or ']'"
+        in
+        go ();
+        Arr (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        let rec go () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields := field () :: !fields;
+            go ()
+          | Some '}' -> advance ()
+          | _ -> error "expected ',' or '}'"
+        in
+        go ();
+        Obj (List.rev !fields)
+      end
+    | Some c -> if is_digit_or_minus c then parse_number () else error "unexpected character"
+  and is_digit_or_minus c = (c >= '0' && c <= '9') || c = '-'
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos) else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* -- Accessors (for schema validation) -------------------------------------- *)
+
+let member key = function
+  | Obj fields -> (
+    match List.find_opt (fun (k, _) -> String.equal k key) fields with
+    | Some (_, v) -> Some v
+    | None -> None)
+  | _ -> None
+
+let as_string = function Str s -> Some s | _ -> None
+let as_number = function Num f -> Some f | _ -> None
+let as_bool = function Bool b -> Some b | _ -> None
+let as_list = function Arr l -> Some l | _ -> None

@@ -1,0 +1,32 @@
+(** Dependency-free JSON with a deterministic printer and a strict parser.
+
+    The printer preserves object key order, prints integral floats without
+    a fractional part and everything else as [%.12g], so equal values
+    always serialize to equal bytes — the property the cross-shard
+    snapshot differential relies on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] is [Num (float_of_int n)]. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] indents with two spaces and ends with a newline.
+    Raises [Invalid_argument] on nan/infinity, which JSON cannot carry. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document (no trailing garbage). *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any. *)
+
+val as_string : t -> string option
+val as_number : t -> float option
+val as_bool : t -> bool option
+val as_list : t -> t list option

@@ -1,0 +1,131 @@
+(* An explicit instrument registry.  There is deliberately no global
+   default registry — the lint's toplevel-mutable rule stands for this
+   subsystem too — so every holder of metrics owns a [Registry.t]
+   (one per shard, one per coordinator, one per runner) and merges are
+   explicit and deterministic.
+
+   Counters and gauges are plain mutable cells, not atomics: a registry
+   is only ever touched by the domain that owns it (a shard's registry by
+   its pool task, the coordinator's by the main domain), and cross-domain
+   visibility happens only through [merge_into] after a pool barrier.
+
+   Every instrument carries a [stable] flag: [true] means its merged
+   value is a pure function of the update stream, identical at any shard
+   count (event counts, fan-out histograms); [false] marks wall-clock
+   timings and placement-dependent counts (per-shard base-view activity),
+   which [Snapshot.stable_only] strips before cross-shard comparison. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+type meta = { stable : bool; instrument : instrument }
+
+type t = { instruments : (string, meta) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 32 }
+
+(* Prometheus-compatible names keep the text exposition valid and double
+   as a sanity check against typo'd lookups creating near-duplicates. *)
+let valid_name s =
+  String.length s > 0
+  && (let c = s.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t name ~stable make =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid instrument name %S" name);
+  match Hashtbl.find_opt t.instruments name with
+  | Some m -> m
+  | None ->
+    let m = { stable; instrument = make () } in
+    Hashtbl.replace t.instruments name m;
+    m
+
+let counter t ?(stable = true) name =
+  let m = register t name ~stable (fun () -> Counter { c = 0 }) in
+  match m.instrument with
+  | Counter c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Registry: %s already registered as a %s, wanted a counter" name
+         (kind_name other))
+
+let gauge t ?(stable = true) name =
+  let m = register t name ~stable (fun () -> Gauge { g = 0.0 }) in
+  match m.instrument with
+  | Gauge g -> g
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Registry: %s already registered as a %s, wanted a gauge" name
+         (kind_name other))
+
+let histogram t ?(stable = true) ?buckets ?lo ?growth ?exact_cap name =
+  let m =
+    register t name ~stable (fun () ->
+        Histogram (Histogram.create ?buckets ?lo ?growth ?exact_cap ()))
+  in
+  match m.instrument with
+  | Histogram h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Registry: %s already registered as a %s, wanted a histogram" name
+         (kind_name other))
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let find t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some m -> Some m.instrument
+  | None -> None
+
+(* Iterate in sorted name order: the only order-sensitive consumer is the
+   snapshot, and sorted order makes its output canonical. *)
+let fold t f acc =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.instruments [] in
+  let names = List.sort String.compare names in
+  List.fold_left
+    (fun acc name ->
+      let m = Hashtbl.find t.instruments name in
+      f acc name ~stable:m.stable m.instrument)
+    acc names
+
+(* Commutative merge: counters and gauges sum, histograms sum bucket-wise.
+   Instruments missing from [dst] are created with [src]'s layout, so
+   merging per-shard registries in fixed shard order yields the same
+   totals at any shard count. *)
+let merge_into ~dst src =
+  fold src
+    (fun () name ~stable instrument ->
+      match instrument with
+      | Counter c -> add (counter dst ~stable name) c.c
+      | Gauge g ->
+        let d = gauge dst ~stable name in
+        set d (gauge_value d +. g.g)
+      | Histogram h ->
+        let m =
+          register dst name ~stable (fun () -> Histogram (Histogram.clone_empty h))
+        in
+        (match m.instrument with
+        | Histogram d -> Histogram.merge_into ~dst:d h
+        | other ->
+          invalid_arg
+            (Printf.sprintf "Registry.merge_into: %s is a %s in dst, a histogram in src"
+               name (kind_name other))))
+    ()

@@ -1,0 +1,59 @@
+(** Explicit instrument registry — no global state.
+
+    Every metrics holder owns its registry (one per shard, one per
+    coordinator) and touches it only from the owning domain; cross-domain
+    aggregation is an explicit [merge_into] in fixed shard order after a
+    pool barrier, so merged values are deterministic at any shard count.
+
+    Instruments are get-or-create by name: asking twice for the same name
+    returns the same cell; asking for an existing name with a different
+    kind raises [Invalid_argument].  Names must match
+    [[a-zA-Z_][a-zA-Z0-9_]*] (Prometheus-compatible).
+
+    The [stable] flag declares whether the instrument's merged value is a
+    pure function of the update stream (identical at any shard count) or
+    depends on wall-clock / shard placement; [Snapshot.stable_only] keys
+    off it. *)
+
+type t
+
+type counter
+type gauge
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+val create : unit -> t
+
+val counter : t -> ?stable:bool -> string -> counter
+val gauge : t -> ?stable:bool -> string -> gauge
+
+val histogram :
+  t ->
+  ?stable:bool ->
+  ?buckets:int ->
+  ?lo:float ->
+  ?growth:float ->
+  ?exact_cap:int ->
+  string ->
+  Histogram.t
+(** [stable] defaults to [true].  Layout arguments only apply on first
+    registration. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val find : t -> string -> instrument option
+
+val fold : t -> ('a -> string -> stable:bool -> instrument -> 'a) -> 'a -> 'a
+(** Fold in sorted name order (canonical for snapshots). *)
+
+val merge_into : dst:t -> t -> unit
+(** Commutative merge: counters/gauges sum, histograms sum bucket-wise;
+    instruments absent from [dst] are created with [src]'s layout.
+    Raises [Invalid_argument] on kind or histogram-layout mismatch. *)

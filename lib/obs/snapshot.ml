@@ -1,0 +1,200 @@
+(* An immutable, name-sorted readout of one or more registries, plus the
+   export surface: canonical JSON (the "tric-metrics-v1" envelope),
+   Prometheus-style text exposition, and a schema validator for the
+   envelope (used by `tric_cli stats --check` and CI). *)
+
+type data =
+  | Counter of int
+  | Gauge of float
+  | Hist of Histogram.snapshot
+
+type metric = { name : string; stable : bool; data : data }
+
+type t = { metrics : metric list (* sorted by name *) }
+
+let empty = { metrics = [] }
+
+let of_registry reg =
+  (* Registry.fold already iterates in sorted name order. *)
+  let metrics =
+    Registry.fold reg
+      (fun acc name ~stable instrument ->
+        let data =
+          match instrument with
+          | Registry.Counter c -> Counter (Registry.value c)
+          | Registry.Gauge g -> Gauge (Registry.gauge_value g)
+          | Registry.Histogram h -> Hist (Histogram.snapshot h)
+        in
+        { name; stable; data } :: acc)
+      []
+  in
+  { metrics = List.rev metrics }
+
+(* Merge in list order into a fresh registry: the callers pass registries
+   in fixed shard order, and every merge op is commutative, so the result
+   is independent of how work was scattered. *)
+let of_registries regs =
+  let acc = Registry.create () in
+  List.iter (fun r -> Registry.merge_into ~dst:acc r) regs;
+  of_registry acc
+
+let stable_only t = { metrics = List.filter (fun m -> m.stable) t.metrics }
+
+let find t name = List.find_opt (fun m -> String.equal m.name name) t.metrics
+
+let counter_value t name =
+  match find t name with Some { data = Counter n; _ } -> Some n | _ -> None
+
+(* -- JSON ------------------------------------------------------------------- *)
+
+let hist_to_json (h : Histogram.snapshot) =
+  Json.Obj
+    [
+      ("count", Json.int h.Histogram.s_count);
+      ("sum", Json.Num h.Histogram.s_sum);
+      ("min", Json.Num h.Histogram.s_min);
+      ("max", Json.Num h.Histogram.s_max);
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (le, c) -> Json.Obj [ ("le", Json.Num le); ("count", Json.int c) ])
+             h.Histogram.s_buckets) );
+      ("overflow", Json.int h.Histogram.s_over);
+    ]
+
+let metric_to_json m =
+  let kind, value =
+    match m.data with
+    | Counter n -> ("counter", Json.int n)
+    | Gauge v -> ("gauge", Json.Num v)
+    | Hist h -> ("histogram", hist_to_json h)
+  in
+  Json.Obj
+    [
+      ("name", Json.Str m.name);
+      ("kind", Json.Str kind);
+      ("stable", Json.Bool m.stable);
+      ("value", value);
+    ]
+
+let to_json t = Json.Arr (List.map metric_to_json t.metrics)
+
+let schema_version = "tric-metrics-v1"
+
+let envelope ~engine ?(runner = []) ?spans t =
+  Json.Obj
+    (List.concat
+       [
+         [ ("schema", Json.Str schema_version); ("engine", Json.Str engine) ];
+         (if runner = [] then [] else [ ("runner", Json.Obj runner) ]);
+         [ ("metrics", to_json t) ];
+         (match spans with None -> [] | Some s -> [ ("spans", s) ]);
+       ])
+
+(* -- Prometheus-style text exposition --------------------------------------- *)
+
+let prom_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      match m.data with
+      | Counter n ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" m.name);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" m.name n)
+      | Gauge v ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" m.name);
+        Buffer.add_string b (Printf.sprintf "%s %s\n" m.name (prom_num v))
+      | Hist h ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m.name);
+        let cum = ref 0 in
+        List.iter
+          (fun (le, c) ->
+            cum := !cum + c;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m.name (prom_num le) !cum))
+          h.Histogram.s_buckets;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m.name h.Histogram.s_count);
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" m.name (prom_num h.Histogram.s_sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" m.name h.Histogram.s_count))
+    t.metrics;
+  Buffer.contents b
+
+(* -- Pretty printer (tric_cli stats) ---------------------------------------- *)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun m ->
+      match m.data with
+      | Counter n -> Format.fprintf fmt "%-40s %d@," m.name n
+      | Gauge v -> Format.fprintf fmt "%-40s %g@," m.name v
+      | Hist h ->
+        Format.fprintf fmt "%-40s count=%d sum=%g min=%g max=%g@," m.name
+          h.Histogram.s_count h.Histogram.s_sum h.Histogram.s_min h.Histogram.s_max)
+    t.metrics;
+  Format.fprintf fmt "@]"
+
+(* -- Envelope validation ---------------------------------------------------- *)
+
+let validate json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let require name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* schema = require "schema" (Json.member "schema" json) in
+  let* schema = require "schema (string)" (Json.as_string schema) in
+  if not (String.equal schema schema_version) then
+    Error (Printf.sprintf "unknown schema %S (want %S)" schema schema_version)
+  else
+    let* engine = require "engine" (Json.member "engine" json) in
+    let* _ = require "engine (string)" (Json.as_string engine) in
+    let* metrics = require "metrics" (Json.member "metrics" json) in
+    let* metrics = require "metrics (array)" (Json.as_list metrics) in
+    let check_metric i m =
+      let ctx msg = Error (Printf.sprintf "metrics[%d]: %s" i msg) in
+      match
+        ( Option.bind (Json.member "name" m) Json.as_string,
+          Option.bind (Json.member "kind" m) Json.as_string,
+          Option.bind (Json.member "stable" m) Json.as_bool,
+          Json.member "value" m )
+      with
+      | None, _, _, _ -> ctx "missing name"
+      | _, None, _, _ -> ctx "missing kind"
+      | _, _, None, _ -> ctx "missing stable"
+      | _, _, _, None -> ctx "missing value"
+      | Some name, Some kind, Some _, Some value -> (
+        match kind with
+        | "counter" | "gauge" -> (
+          match Json.as_number value with
+          | Some _ -> Ok ()
+          | None -> ctx (Printf.sprintf "%s: %s value must be a number" name kind))
+        | "histogram" -> (
+          match
+            ( Option.bind (Json.member "count" value) Json.as_number,
+              Option.bind (Json.member "sum" value) Json.as_number,
+              Option.bind (Json.member "buckets" value) Json.as_list )
+          with
+          | Some _, Some _, Some buckets ->
+            if
+              List.for_all
+                (fun bkt ->
+                  Option.is_some (Option.bind (Json.member "le" bkt) Json.as_number)
+                  && Option.is_some (Option.bind (Json.member "count" bkt) Json.as_number))
+                buckets
+            then Ok ()
+            else ctx (Printf.sprintf "%s: malformed histogram bucket" name)
+          | _ -> ctx (Printf.sprintf "%s: histogram value needs count/sum/buckets" name))
+        | k -> ctx (Printf.sprintf "%s: unknown kind %S" name k))
+    in
+    let rec check_all i = function
+      | [] -> Ok i
+      | m :: rest -> (
+        match check_metric i m with Ok () -> check_all (i + 1) rest | Error _ as e -> e)
+    in
+    check_all 0 metrics

@@ -1,0 +1,46 @@
+(** Immutable, name-sorted readout of registries, with JSON and
+    Prometheus-style exports and an envelope schema validator. *)
+
+type data =
+  | Counter of int
+  | Gauge of float
+  | Hist of Histogram.snapshot
+
+type metric = { name : string; stable : bool; data : data }
+
+type t = { metrics : metric list (* sorted by name *) }
+
+val empty : t
+
+val of_registry : Registry.t -> t
+
+val of_registries : Registry.t list -> t
+(** Merge into a fresh registry in list order (callers pass fixed shard
+    order; every merge op is commutative, so the result is independent of
+    scatter interleaving). *)
+
+val stable_only : t -> t
+(** Keep only metrics whose value is a pure function of the update
+    stream — the subset the cross-shard differential compares. *)
+
+val find : t -> string -> metric option
+val counter_value : t -> string -> int option
+
+val to_json : t -> Json.t
+(** Canonical: metrics sorted by name, keys in fixed order. *)
+
+val schema_version : string
+(** ["tric-metrics-v1"]. *)
+
+val envelope :
+  engine:string -> ?runner:(string * Json.t) list -> ?spans:Json.t -> t -> Json.t
+(** The full export document: schema/engine/runner?/metrics/spans?. *)
+
+val to_prometheus : t -> string
+(** Text exposition: counters, gauges, and histograms with cumulative
+    [_bucket{le="..."}] lines plus [_sum]/[_count]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val validate : Json.t -> (int, string) result
+(** Schema-check an envelope; [Ok n] is the number of metrics. *)

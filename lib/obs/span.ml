@@ -1,0 +1,130 @@
+(* Bounded ring-buffer span recorder.
+
+   A span traces one update's journey through the engine (route →
+   per-shard descent → gather → join → notify) as a label plus a fixed
+   number of (stage name, seconds) pairs.  All storage is preallocated at
+   [create]: starting a span and recording stages write into slots of
+   fixed arrays, so the hot path neither allocates nor grows anything.
+   When the ring wraps, the oldest spans are overwritten and counted in
+   [dropped].
+
+   Disabled mode is capacity 0: [start] returns the no-op span [-1]
+   without reading the clock, and every other operation on [-1] is a
+   single integer comparison — the zero-cost-when-disabled guard the
+   engines rely on (covered by a Gc.minor_words test). *)
+
+type span = int
+
+let none : span = -1
+
+type t = {
+  capacity : int;
+  max_stages : int;
+  clock : unit -> float;
+  labels : string array; (* capacity *)
+  starts : float array; (* capacity: span start time *)
+  lasts : float array; (* capacity: time of the previous stage boundary *)
+  stage_names : string array; (* capacity * max_stages, row-major *)
+  stage_durs : float array; (* capacity * max_stages, row-major *)
+  nstages : int array; (* capacity *)
+  mutable next : int; (* next slot to hand out *)
+  mutable total : int; (* spans ever started *)
+}
+
+let default_clock = Unix.gettimeofday
+
+let create ?(capacity = 256) ?(max_stages = 16) ?(clock = default_clock) () =
+  if capacity < 0 then invalid_arg "Span.create: capacity must be >= 0";
+  if max_stages < 1 then invalid_arg "Span.create: max_stages must be >= 1";
+  {
+    capacity;
+    max_stages;
+    clock;
+    labels = Array.make capacity "";
+    starts = Array.make capacity 0.0;
+    lasts = Array.make capacity 0.0;
+    stage_names = Array.make (capacity * max_stages) "";
+    stage_durs = Array.make (capacity * max_stages) 0.0;
+    nstages = Array.make capacity 0;
+    next = 0;
+    total = 0;
+  }
+
+let enabled t = t.capacity > 0
+
+let start t label =
+  if t.capacity = 0 then none
+  else begin
+    let slot = t.next in
+    t.next <- (slot + 1) mod t.capacity;
+    t.total <- t.total + 1;
+    t.labels.(slot) <- label;
+    let now = t.clock () in
+    t.starts.(slot) <- now;
+    t.lasts.(slot) <- now;
+    t.nstages.(slot) <- 0;
+    slot
+  end
+
+(* Record a stage whose duration was measured elsewhere (e.g. a pool
+   task's busy seconds).  Does not advance the wall-clock cursor. *)
+let stage_dur t sp name dur =
+  if sp >= 0 then begin
+    let k = t.nstages.(sp) in
+    if k < t.max_stages then begin
+      let off = (sp * t.max_stages) + k in
+      t.stage_names.(off) <- name;
+      t.stage_durs.(off) <- dur;
+      t.nstages.(sp) <- k + 1
+    end
+  end
+
+(* Record the stage ending now: duration is now minus the previous stage
+   boundary, and the cursor advances. *)
+let stage t sp name =
+  if sp >= 0 then begin
+    let now = t.clock () in
+    stage_dur t sp name (now -. t.lasts.(sp));
+    t.lasts.(sp) <- now
+  end
+
+type recorded = { label : string; stages : (string * float) list; dropped : int }
+
+let dropped t = max 0 (t.total - t.capacity)
+
+(* Oldest-first readout of the live window. *)
+let spans t =
+  if t.capacity = 0 || t.total = 0 then []
+  else begin
+    let live = min t.total t.capacity in
+    let first = if t.total <= t.capacity then 0 else t.next in
+    let d = dropped t in
+    List.init live (fun i ->
+        let slot = (first + i) mod t.capacity in
+        let stages =
+          List.init t.nstages.(slot) (fun k ->
+              let off = (slot * t.max_stages) + k in
+              (t.stage_names.(off), t.stage_durs.(off)))
+        in
+        { label = t.labels.(slot); stages; dropped = d })
+  end
+
+let total t = t.total
+
+let recorded_to_json rs =
+  Json.Arr
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("label", Json.Str r.label);
+             ( "stages",
+               Json.Arr
+                 (List.map
+                    (fun (name, dur) ->
+                      Json.Obj [ ("stage", Json.Str name); ("seconds", Json.Num dur) ])
+                    r.stages) );
+           ])
+       rs)
+
+let to_json t = recorded_to_json (spans t)

@@ -1,0 +1,49 @@
+(** Bounded ring-buffer span recorder.
+
+    Traces one update's journey through the engine as a label plus up to
+    [max_stages] (stage, seconds) pairs.  All storage is preallocated;
+    when the ring wraps, the oldest spans are overwritten (counted by
+    [dropped]).  With [capacity = 0] the recorder is disabled: [start]
+    returns a no-op span without reading the clock and every operation on
+    it is a single integer comparison — zero allocation on the hot path. *)
+
+type t
+
+type span = int
+(** A slot handle.  [none] (= -1) is the universal no-op span. *)
+
+val none : span
+
+val create : ?capacity:int -> ?max_stages:int -> ?clock:(unit -> float) -> unit -> t
+(** Defaults: capacity 256, max_stages 16, clock [Unix.gettimeofday].
+    [capacity = 0] builds a disabled recorder. *)
+
+val enabled : t -> bool
+
+val start : t -> string -> span
+(** Claim the next ring slot (overwriting the oldest if full) and stamp
+    its start time.  Returns [none] when disabled, without reading the
+    clock. *)
+
+val stage : t -> span -> string -> unit
+(** Record the stage ending now: duration = now - previous stage
+    boundary; advances the boundary.  Stages beyond [max_stages] are
+    silently discarded.  No-op on [none]. *)
+
+val stage_dur : t -> span -> string -> float -> unit
+(** Record a stage with an externally measured duration (e.g. a pool
+    task's busy seconds) without touching the clock or the boundary. *)
+
+type recorded = { label : string; stages : (string * float) list; dropped : int }
+
+val spans : t -> recorded list
+(** The live window, oldest first.  [dropped] on each record is the total
+    number of overwritten spans so far. *)
+
+val dropped : t -> int
+val total : t -> int
+
+val recorded_to_json : recorded list -> Json.t
+
+val to_json : t -> Json.t
+(** [to_json t = recorded_to_json (spans t)]. *)

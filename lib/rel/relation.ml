@@ -8,6 +8,25 @@ type probe = Label.t -> Tuple.t list
    full-view scan, even in engines that rebuild their join indexes. *)
 type delta_index = Tuple.t list ref Tuple.Tbl.t
 
+(* Telemetry hooks: counter cells resolved once at wiring time (Registry
+   lookups happen at [make_obs], not per event), shared by every relation
+   of one family (all node views of a shard, all base views, ...). *)
+type obs = {
+  o_inserts : Tric_obs.Registry.counter;
+  o_removes : Tric_obs.Registry.counter;
+  o_rebuilds : Tric_obs.Registry.counter;
+  o_delta_probes : Tric_obs.Registry.counter;
+}
+
+let make_obs reg ~prefix ~stable =
+  let c name = Tric_obs.Registry.counter reg ~stable (prefix ^ "_" ^ name) in
+  {
+    o_inserts = c "inserts_total";
+    o_removes = c "removes_total";
+    o_rebuilds = c "rebuilds_total";
+    o_delta_probes = c "delta_probes_total";
+  }
+
 type t = {
   width : int;
   cache : bool;
@@ -19,9 +38,10 @@ type t = {
   mutable delta_probes : int;
   mutable inserts : int; (* successful inserts over the lifetime *)
   mutable removes : int; (* successful removes over the lifetime *)
+  obs : obs option;
 }
 
-let create ?(cache = false) ~width () =
+let create ?(cache = false) ?obs ~width () =
   {
     width;
     cache;
@@ -33,6 +53,7 @@ let create ?(cache = false) ~width () =
     delta_probes = 0;
     inserts = 0;
     removes = 0;
+    obs;
   }
 
 let width r = r.width
@@ -100,6 +121,7 @@ let insert r t =
     Hashtbl.iter (fun col idx -> index_add idx col t) r.indexes;
     delta_index_add r t;
     r.inserts <- r.inserts + 1;
+    (match r.obs with Some o -> Tric_obs.Registry.incr o.o_inserts | None -> ());
     true
   end
 
@@ -111,6 +133,7 @@ let remove r t =
     Hashtbl.iter (fun col idx -> index_remove idx col t) r.indexes;
     delta_index_remove r t;
     r.removes <- r.removes + 1;
+    (match r.obs with Some o -> Tric_obs.Registry.incr o.o_removes | None -> ());
     true
   end
   else false
@@ -145,11 +168,13 @@ let delta_probe idx key =
 let probe_prefix r p =
   if Tuple.width p <> r.width - 1 then invalid_arg "Relation.probe_prefix: bad prefix width";
   r.delta_probes <- r.delta_probes + 1;
+  (match r.obs with Some o -> Tric_obs.Registry.incr o.o_delta_probes | None -> ());
   delta_probe (ensure_prefix_idx r) p
 
 let probe_hinge r ~src ~dst =
   if r.width < 2 then invalid_arg "Relation.probe_hinge: width < 2";
   r.delta_probes <- r.delta_probes + 1;
+  (match r.obs with Some o -> Tric_obs.Registry.incr o.o_delta_probes | None -> ());
   delta_probe (ensure_hinge_idx r) [| src; dst |]
 
 let build_table r col =
@@ -168,6 +193,7 @@ let index_on r ~col =
       | None ->
         let idx = build_table r col in
         r.rebuilds <- r.rebuilds + 1;
+        (match r.obs with Some o -> Tric_obs.Registry.incr o.o_rebuilds | None -> ());
         Hashtbl.add r.indexes col idx;
         idx
     in
@@ -176,6 +202,7 @@ let index_on r ~col =
   else begin
     let idx = build_table r col in
     r.rebuilds <- r.rebuilds + 1;
+    (match r.obs with Some o -> Tric_obs.Registry.incr o.o_rebuilds | None -> ());
     probe_of idx
   end
 

@@ -14,8 +14,19 @@ open Tric_graph
 
 type t
 
-val create : ?cache:bool -> width:int -> unit -> t
-(** [cache] defaults to [false]. *)
+type obs
+(** Telemetry hooks: four counter cells ([_inserts_total],
+    [_removes_total], [_rebuilds_total], [_delta_probes_total] under a
+    common prefix), resolved once against a registry and shared by every
+    relation of one family (e.g. all node views of a shard). *)
+
+val make_obs : Tric_obs.Registry.t -> prefix:string -> stable:bool -> obs
+(** [stable] declares whether the counts are a pure function of the
+    update stream at any shard count (node views: yes; base views: no —
+    a key's base view is duplicated on every shard that mentions it). *)
+
+val create : ?cache:bool -> ?obs:obs -> width:int -> unit -> t
+(** [cache] defaults to [false]; [obs] to no telemetry. *)
 
 val width : t -> int
 val cardinality : t -> int

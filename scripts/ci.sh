@@ -48,7 +48,22 @@ for shards in 1 4; do
   TRIC_SHARDS=$shards TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
     audit "$auditds" --engine TRIC --every 500 --churn 0.2 --batch 32 > /dev/null
 done
+# Telemetry: a metrics-enabled audited churn replay (4 shards) exporting
+# its merged snapshot, which is then re-parsed and schema-checked by the
+# stats subcommand's strict validator.
+metricsjson=$(mktemp -u).json
+TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+  audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --shards 4 \
+  --metrics-out "$metricsjson" > /dev/null
+dune exec bin/tric_cli.exe -- stats --check "$metricsjson"
+rm -f "$metricsjson"
 rm -f "$auditds"
+
+# Telemetry overhead smoke: metrics-on vs metrics-off throughput on the
+# same batched replay must stay within the TRIC_OVERHEAD_MAX_PCT budget
+# (default 5%); the strict mode exits non-zero past it.
+TRIC_OVERHEAD_ONLY=1 TRIC_OVERHEAD_EDGES=2000 TRIC_OVERHEAD_QDB=50 \
+  dune exec bench/main.exe
 
 # Bench smoke: a tiny batched-ingestion throughput run, so the bench
 # executable's non-bechamel paths stay exercised by CI.

@@ -52,6 +52,96 @@ let test_journal_corrupt () =
       Alcotest.check_raises "corrupt journal" (Failure "Journal: malformed line 1")
         (fun () -> ignore (E.Journal.open_ ~path (fun () -> E.Engines.tric ()))))
 
+(* Recovery with a sharded engine: the journal's replay must land the
+   4-domain engine in exactly the state the pre-crash run had — audit-clean
+   against the ground-truth live edge set, and producing reports
+   bit-identical to a sequential engine that replayed the same history. *)
+let test_journal_sharded_recovery () =
+  with_temp (fun path ->
+      let st = Helpers.rng 42 in
+      (* Queries come from parse strings — the journal's own on-disk
+         pattern representation — so recovery re-registers byte-identical
+         queries. *)
+      let queries =
+        List.mapi
+          (fun i s -> Helpers.pattern ~id:(i + 1) s)
+          [
+            "?x -a-> ?y";
+            "?x -a-> ?y -b-> ?z";
+            "?x -b-> ?y -c-> ?z -a-> ?w";
+            "?x -a-> v1";
+            "v2 -b-> ?y";
+            "?x -c-> ?y -a-> ?z";
+            "?x -a-> ?y -a-> ?z";
+            "?x -b-> ?y -b-> ?z";
+          ]
+      in
+      let prefix =
+        List.init 120 (fun i ->
+            let e = Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts in
+            if i mod 7 = 6 then Update.remove e else Update.add e)
+      in
+      let tail =
+        List.init 30 (fun _ ->
+            Update.add (Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts))
+      in
+      (* Session 1: sharded engine, queries + prefix, then "crash". *)
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ~shards:4 ()) in
+      List.iter (E.Journal.add_query j) queries;
+      let pre_crash = List.map (E.Journal.handle_update j) prefix in
+      E.Journal.close j;
+      (E.Journal.engine j).E.Matcher.shutdown ();
+      (* Session 2: recover into a fresh 4-shard engine. *)
+      let j2 = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ~shards:4 ()) in
+      Alcotest.(check int) "all records recovered"
+        (List.length queries + List.length prefix)
+        (E.Journal.recovered j2);
+      let recovered = E.Journal.engine j2 in
+      (* Audit the recovered state against the ground-truth live edges. *)
+      let live = Edge.Tbl.create 256 in
+      List.iter
+        (function
+          | Update.Add e -> Edge.Tbl.replace live e ()
+          | Update.Remove e -> Edge.Tbl.remove live e)
+        prefix;
+      let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live [] in
+      let findings = recovered.E.Matcher.audit (Some edges) in
+      if not (Tric_audit.Audit.is_clean findings) then
+        Alcotest.failf "recovered sharded engine unclean:@.%a" Tric_audit.Audit.pp_report
+          findings;
+      (* Sequential replay of the same history: every pre-crash report,
+         every current match set, and every post-recovery report must be
+         identical. *)
+      let seq = E.Engines.tric ~cache:true () in
+      List.iter seq.E.Matcher.add_query queries;
+      List.iteri
+        (fun i (u, expected) ->
+          Helpers.check_reports_agree
+            ~msg:(Format.asprintf "pre-crash update #%d %a" i Update.pp u)
+            (seq.E.Matcher.handle_update u)
+            expected)
+        (List.combine prefix pre_crash);
+      List.iter
+        (fun q ->
+          let qid = Tric_query.Pattern.id q in
+          let sort = List.sort Tric_rel.Embedding.compare in
+          Alcotest.(check bool)
+            (Printf.sprintf "query %d matches survive recovery" qid)
+            true
+            (List.equal Tric_rel.Embedding.equal
+               (sort (seq.E.Matcher.current_matches qid))
+               (sort (recovered.E.Matcher.current_matches qid))))
+        queries;
+      List.iteri
+        (fun i u ->
+          Helpers.check_reports_agree
+            ~msg:(Format.asprintf "post-recovery update #%d %a" i Update.pp u)
+            (seq.E.Matcher.handle_update u)
+            (E.Journal.handle_update j2 u))
+        tail;
+      E.Journal.close j2;
+      recovered.E.Matcher.shutdown ())
+
 let test_stream_combinators () =
   let e l s d = Update.add (Edge.of_strings l s d) in
   let s1 = Stream.of_updates [ e "a" "1" "2"; e "a" "3" "4" ] in
@@ -92,5 +182,6 @@ let suite =
     Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal duplicate suppression" `Quick test_journal_replay_suppresses_duplicates;
     Alcotest.test_case "journal corruption detected" `Quick test_journal_corrupt;
+    Alcotest.test_case "journal recovery with 4 shards" `Quick test_journal_sharded_recovery;
     Alcotest.test_case "stream combinators" `Quick test_stream_combinators;
   ]

@@ -6,7 +6,7 @@
 module Pool = Tric_exec.Pool
 
 let with_pool ~workers f =
-  let p = Pool.create ~workers in
+  let p = Pool.create ~workers () in
   Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
 
 let test_results_in_order () =
@@ -68,7 +68,7 @@ let test_run_seq_matches_run () =
       Alcotest.(check (array int)) "run_seq = run" seq par)
 
 let test_shutdown_idempotent_and_final () =
-  let p = Pool.create ~workers:2 in
+  let p = Pool.create ~workers:2 () in
   Alcotest.(check bool) "fresh pool is live" false (Pool.is_shut_down p);
   Pool.shutdown p;
   Pool.shutdown p;
