@@ -286,15 +286,27 @@ let batch_throughput_report fmt =
                measured) );
       ])
 
+(* Assoc lookup with explicit string equality (engine stats lists). *)
+let stat_int key l =
+  match List.find_opt (fun (k, _) -> String.equal k key) l with
+  | Some (_, v) -> v
+  | None -> 0
+
 (* Domain-scaling report: replay the same SNB workload through the sharded
    dispatcher at 1/2/4/8 domains — add-only, and 50/50 churn (every
    second-half addition immediately retracted) — and report updates/s,
    wall-clock, and aggregated per-shard busy time.  Wall vs busy is the
    honest split: on a single-core container the domains time-slice one
    CPU, so wall cannot drop below the x1 row no matter how cleanly the
-   work shards; busy/wall is the realised parallelism.  The points are
-   also written to BENCH_shard.json so scaling trajectories can be
-   compared across commits and machines. *)
+   work shards; points where [cores < shards] are flagged so the wall
+   numbers cannot be misread as a dispatch regression (or win) the
+   hardware makes impossible to observe.  [busy_speedup] compares total
+   task seconds against the x1 row — it moves with dispatch overhead
+   even on one core — and [fanout] is the mean shards dispatched per net
+   op, which owner-targeted routing keeps near the affected-shard count
+   instead of nshards.  The points are also written to BENCH_shard.json
+   so scaling trajectories can be compared across commits and
+   machines. *)
 let shard_scaling_report fmt =
   let edges = getenv_int "TRIC_SHARD_EDGES" 4_000 in
   let qdb = getenv_int "TRIC_SHARD_QDB" 100 in
@@ -318,12 +330,14 @@ let shard_scaling_report fmt =
   Format.fprintf fmt
     "=== Shard scaling (SNB, %d updates, qdb=%d, %d core(s) available) ===@.@."
     edges qdb (Domain.recommended_domain_count ());
+  let cores = Domain.recommended_domain_count () in
   let regimes = [ ("add-only", d.W.Dataset.stream); ("churn-50", churned) ] in
   let measured =
     List.map
       (fun (regime, stream) ->
         Format.fprintf fmt "%s:@." regime;
         let base = ref 0.0 in
+        let busy_base = ref 0.0 in
         let points =
           List.map
             (fun shards ->
@@ -332,17 +346,34 @@ let shard_scaling_report fmt =
                 E.Runner.run ~measure_memory:false ~engine
                   ~queries:d.W.Dataset.queries ~stream ()
               in
+              let stats = engine.E.Matcher.stats () in
               engine.E.Matcher.shutdown ();
-              if shards = 1 then base := r.E.Runner.throughput_ups;
+              let routed = stat_int "ops_routed" stats in
+              let fanout =
+                if routed > 0 then
+                  float_of_int (stat_int "ops_dispatched" stats) /. float_of_int routed
+                else 0.0
+              in
+              if shards = 1 then begin
+                base := r.E.Runner.throughput_ups;
+                busy_base := r.E.Runner.busy_s
+              end;
               let speedup =
                 if !base > 0.0 then r.E.Runner.throughput_ups /. !base else 1.0
               in
+              let busy_speedup =
+                if r.E.Runner.busy_s > 0.0 then !busy_base /. r.E.Runner.busy_s
+                else 1.0
+              in
+              let limited = cores < shards in
               Format.fprintf fmt
-                "  TRIC+ x%-2d %10.0f upd/s  wall %6.3fs  busy %6.3fs  (%.2fx vs x1)@."
+                "  TRIC+ x%-2d %10.0f upd/s  wall %6.3fs  busy %6.3fs  fanout %4.2f  \
+                 (%.2fx wall, %.2fx busy vs x1)%s@."
                 shards r.E.Runner.throughput_ups r.E.Runner.answer_time_s
-                r.E.Runner.busy_s speedup;
-              (shards, r.E.Runner.throughput_ups, r.E.Runner.answer_time_s,
-               r.E.Runner.busy_s, speedup))
+                r.E.Runner.busy_s fanout speedup busy_speedup
+                (if limited then "  [cores < shards]" else "");
+              ( shards, r.E.Runner.throughput_ups, r.E.Runner.answer_time_s,
+                r.E.Runner.busy_s, speedup, busy_speedup, fanout, limited ))
             [ 1; 2; 4; 8 ]
         in
         Format.fprintf fmt "@.";
@@ -363,7 +394,10 @@ let shard_scaling_report fmt =
                      ( "points",
                        J.Arr
                          (List.map
-                            (fun (shards, ups, wall, busy, speedup) ->
+                            (fun
+                              (shards, ups, wall, busy, speedup, busy_speedup,
+                               fanout, limited)
+                            ->
                               J.Obj
                                 [
                                   ("shards", J.int shards);
@@ -371,11 +405,79 @@ let shard_scaling_report fmt =
                                   ("wall_s", J.Num wall);
                                   ("busy_s", J.Num busy);
                                   ("speedup_vs_x1", J.Num speedup);
+                                  ("busy_speedup_vs_x1", J.Num busy_speedup);
+                                  ("dispatch_fanout", J.Num fanout);
+                                  ("cores_limited", J.Bool limited);
                                 ])
                             points) );
                    ])
                measured) );
       ])
+
+(* Dispatch-fanout smoke: a label-partitioned workload — single-edge
+   all-variable queries over pairwise-distinct labels, so every update
+   matches exactly one registered key and therefore affects exactly one
+   shard — replayed through a 4-shard engine.  Owner-targeted dispatch
+   must keep the mean shards-per-op near 1.0; a broadcast dispatcher
+   scores nshards (4.0) on the same stream, so [strict] mode fails the
+   run when the mean exceeds TRIC_FANOUT_MAX (default 1.5). *)
+let fanout_report ?(strict = false) fmt =
+  let shards = 4 in
+  let nlabels = getenv_int "TRIC_FANOUT_LABELS" 16 in
+  let n = getenv_int "TRIC_FANOUT_EDGES" 2_000 in
+  let max_fanout =
+    match Option.bind (Sys.getenv_opt "TRIC_FANOUT_MAX") float_of_string_opt with
+    | Some v when v > 0.0 -> v
+    | _ -> 1.5
+  in
+  let labels = Array.init nlabels (fun i -> Printf.sprintf "fan%d" i) in
+  let queries =
+    Array.to_list
+      (Array.mapi
+         (fun i l ->
+           let b =
+             Tric_query.Pattern.Builder.create ~name:("fan-" ^ l) ~id:(i + 1) ()
+           in
+           let x = Tric_query.Pattern.Builder.vertex b (Tric_query.Term.var "x") in
+           let y = Tric_query.Pattern.Builder.vertex b (Tric_query.Term.var "y") in
+           Tric_query.Pattern.Builder.edge b ~label:(Tric_graph.Label.intern l) x y;
+           Tric_query.Pattern.Builder.build b)
+         labels)
+  in
+  let t = Tric_core.Tric.create ~cache:true ~shards () in
+  Fun.protect
+    ~finally:(fun () -> Tric_core.Tric.shutdown t)
+    (fun () ->
+      List.iter (Tric_core.Tric.add_query t) queries;
+      for i = 0 to n - 1 do
+        ignore
+          (Tric_core.Tric.handle_update t
+             (Tric_graph.Update.add
+                (Tric_graph.Edge.of_strings
+                   labels.(i mod nlabels)
+                   (Printf.sprintf "s%d" i)
+                   (Printf.sprintf "t%d" i))))
+      done;
+      let s = Tric_core.Tric.stats t in
+      let fanout =
+        if s.Tric_core.Tric.ops_routed > 0 then
+          float_of_int s.Tric_core.Tric.ops_dispatched
+          /. float_of_int s.Tric_core.Tric.ops_routed
+        else 0.0
+      in
+      Format.fprintf fmt
+        "=== Dispatch fanout (label-partitioned, %d queries, %d updates, x%d) ===@.@."
+        nlabels n shards;
+      Format.fprintf fmt
+        "ops routed %d, dispatched %d — mean %.3f shard(s)/op (broadcast would be %.1f)@.@."
+        s.Tric_core.Tric.ops_routed s.Tric_core.Tric.ops_dispatched fanout
+        (float_of_int shards);
+      if strict && fanout > max_fanout then begin
+        Format.fprintf fmt
+          "FAIL: mean dispatch fanout %.3f exceeds %.2f — dispatcher is broadcasting@."
+          fanout max_fanout;
+        exit 1
+      end)
 
 (* Telemetry overhead smoke: the same batched SNB replay through TRIC+
    with metrics off and on, best-of-3 throughput each side.  [strict]
@@ -573,6 +675,12 @@ let () =
     shard_scaling_report fmt;
     exit 0
   end;
+  (* TRIC_FANOUT_ONLY=1: just the dispatch-fanout smoke, failing the run
+     if targeted dispatch degrades back into a broadcast (CI). *)
+  if Sys.getenv_opt "TRIC_FANOUT_ONLY" <> None then begin
+    fanout_report ~strict:true fmt;
+    exit 0
+  end;
   (* TRIC_OVERHEAD_ONLY=1: just the telemetry-overhead smoke, enforcing
      the TRIC_OVERHEAD_MAX_PCT budget with a failing exit (CI). *)
   if Sys.getenv_opt "TRIC_OVERHEAD_ONLY" <> None then begin
@@ -589,6 +697,7 @@ let () =
   churn_stats_report fmt;
   batch_throughput_report fmt;
   shard_scaling_report fmt;
+  fanout_report fmt;
   overhead_report fmt;
   Format.fprintf fmt "=== Section 2: paper figures and tables (scaled) ===@.";
   H.Figures.run_all cfg fmt;

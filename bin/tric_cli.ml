@@ -194,8 +194,25 @@ let replay_cmd =
         (match metrics_out with
         | Some path -> write_metrics ~path engine r
         | None -> ());
+        (* Owner-targeted dispatch health: mean shards per net op.  A
+           value near the shard count means the router is broadcasting. *)
+        let stat key =
+          match
+            List.find_opt
+              (fun (k, _) -> String.equal k key)
+              (engine.Engine.Matcher.stats ())
+          with
+          | Some (_, v) -> v
+          | None -> 0
+        in
+        let routed = stat "ops_routed" in
         engine.Engine.Matcher.shutdown ();
         Format.printf "%a@." Engine.Runner.pp_result r;
+        if engine.Engine.Matcher.shards > 1 && routed > 0 then
+          Format.printf "dispatch: %d op(s) routed, mean fanout %.2f of %d shard(s)@."
+            routed
+            (float_of_int (stat "ops_dispatched") /. float_of_int routed)
+            engine.Engine.Matcher.shards;
         `Ok ()
   in
   Cmd.v

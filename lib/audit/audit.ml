@@ -224,9 +224,14 @@ let check_queries ~report t =
               (Printf.sprintf "path %d: terminal node %d key chain differs from path word"
                  i (Trie.node_id term));
           (* The shard recorded for the path must be the router's verdict
-             for the word's first key. *)
+             for the word's first key.  An empty key word is unroutable —
+             no base view could ever feed the path — and the engine
+             rejects it at registration, so finding one here means the
+             query state was corrupted after the fact. *)
           (match word with
-          | [] -> ()
+          | [] ->
+            report (Query qid) "routing-coherence"
+              (Printf.sprintf "path %d: empty key word — no routable placement" i)
           | first :: _ ->
             let owner = Route.owner ~shards:(Tric.num_shards t) first in
             if qv.Tric.qv_path_shards.(i) <> owner then
@@ -262,6 +267,48 @@ let check_queries ~report t =
                  i !missing !extra))
         qv.Tric.qv_terminals)
     (Tric.query_views t)
+
+(* Dispatch-bitmap coherence: recompute, from the forests, the exact
+   per-key shard sets — bit [s] iff shard [s]'s forest holds a node keyed
+   [k] — and demand the engine's routing bitmaps equal them both ways.
+   A missing bit makes the dispatcher skip a shard whose views the op
+   feeds (lost updates, silent divergence); a spurious bit only costs
+   dead tasks, but still breaks the certified claim that dispatch =
+   affected shards.  [insert_path] creates a node (and base view) for
+   every key of a placed word and [remove_query] retains them, so exact
+   equality — not one-sided containment — is the invariant. *)
+let check_route_bitmaps ~report t =
+  let expected = Ekey.Tbl.create 256 in
+  Array.iteri
+    (fun sid forest ->
+      Trie.fold_nodes
+        (fun node () ->
+          let k = Trie.node_key node in
+          let prev =
+            match Ekey.Tbl.find_opt expected k with Some m -> m | None -> 0
+          in
+          Ekey.Tbl.replace expected k (prev lor (1 lsl sid)))
+        forest ())
+    (Tric.forests t);
+  List.iter
+    (fun (k, mask) ->
+      let exp =
+        match Ekey.Tbl.find_opt expected k with Some m -> m | None -> 0
+      in
+      if mask <> exp then
+        report (Base k) "routing-coherence"
+          (Format.asprintf
+             "dispatch mask for %a is %d, forests hold nodes on mask %d" Ekey.pp k
+             mask exp);
+      Ekey.Tbl.remove expected k)
+    (Tric.route_bits t);
+  Ekey.Tbl.iter
+    (fun k exp ->
+      report (Base k) "routing-coherence"
+        (Format.asprintf
+           "key %a has nodes on shard mask %d but no dispatch-table entry" Ekey.pp
+           k exp))
+    expected
 
 let check_stats ~report t =
   let s = Tric.stats t in
@@ -318,6 +365,7 @@ let check ?edges t =
       check_base_views ~report ~fold_base:Trie.fold_base ?edges forest)
     (Tric.forests t);
   check_registrations ~report t;
+  check_route_bitmaps ~report t;
   check_queries ~report t;
   check_stats ~report t;
   List.rev !out

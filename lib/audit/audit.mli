@@ -17,11 +17,16 @@
       view, each query's terminal key chain spells exactly the covering
       path's key word, and the query width matches its pattern.
     - {b routing-coherence}: every trie sits on the shard
-      {!Tric_core.Route.owner} assigns to its root key, and each query
-      path's recorded shard is the router's verdict for its word's first
-      key — the placement invariant that makes shard-local propagation
-      equal the global engine restricted to that shard (trivially clean
-      for a sequential engine).
+      {!Tric_core.Route.owner} assigns to its root key, each query path's
+      recorded shard is the router's verdict for its word's first key
+      (and no path has an empty, unroutable key word), and the dispatch
+      bitmaps ({!Tric_core.Tric.route_bits}) equal — both ways — the
+      per-key shard sets recomputed from the forests: every shard holding
+      nodes for a key is in its mask (else targeted dispatch loses
+      updates) and no mask names a shard without them (else it dispatches
+      dead work).  Together these make shard-local propagation over
+      targeted dispatch equal the global engine restricted to each
+      shard.
     - {b registration}: terminals carry exactly the [(qid, path_index)]
       registrations of the live queries — none stale, none missing.
     - {b view-coherence}: every node's materialized relation equals the

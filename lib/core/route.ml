@@ -1,5 +1,69 @@
+open Tric_graph
 open Tric_query
 
 let owner ~shards key =
   if shards < 1 then invalid_arg "Route.owner: shards must be >= 1";
   if shards = 1 then 0 else Ekey.hash key mod shards
+
+let place ~shards keys =
+  match keys with
+  | [] -> invalid_arg "Route.place: covering path has an empty key word"
+  | first :: _ -> owner ~shards first
+
+(* -- Shard masks ------------------------------------------------------------- *)
+
+(* A mask is a plain int bitset of shard ids — bit [s] set means shard
+   [s].  Capping the shard count at [Sys.int_size - 1] keeps every mask a
+   single immediate, so routing lookups allocate nothing. *)
+
+let max_shards = Sys.int_size - 1
+let mem_shard mask shard = mask land (1 lsl shard) <> 0
+
+let shard_list mask =
+  let acc = ref [] in
+  let m = ref mask in
+  let s = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then acc := !s :: !acc;
+    incr s;
+    m := !m lsr 1
+  done;
+  List.rev !acc
+
+let popcount mask =
+  let c = ref 0 in
+  let m = ref mask in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr c
+  done;
+  !c
+
+(* -- The dispatch table ------------------------------------------------------- *)
+
+type table = { shards : int; bits : int Ekey.Tbl.t }
+
+let create_table ~shards =
+  if shards < 1 then invalid_arg "Route.create_table: shards must be >= 1";
+  if shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Route.create_table: at most %d shards (mask is one word)"
+         max_shards);
+  { shards; bits = Ekey.Tbl.create 256 }
+
+let table_shards tbl = tbl.shards
+
+let register tbl key ~shard =
+  if shard < 0 || shard >= tbl.shards then
+    invalid_arg "Route.register: shard out of range";
+  let prev = match Ekey.Tbl.find_opt tbl.bits key with Some m -> m | None -> 0 in
+  Ekey.Tbl.replace tbl.bits key (prev lor (1 lsl shard))
+
+let key_shards tbl key =
+  match Ekey.Tbl.find_opt tbl.bits key with Some m -> m | None -> 0
+
+let targets tbl (e : Edge.t) =
+  List.fold_left (fun acc k -> acc lor key_shards tbl k) 0 (Ekey.keys_of_edge e)
+
+let fold f tbl init = Ekey.Tbl.fold f tbl.bits init
+let set_bits tbl key mask = Ekey.Tbl.replace tbl.bits key mask

@@ -1,19 +1,89 @@
-(** The routing layer of the sharded engine: a pure function from a
-    root-trie key to the shard that owns every trie rooted at that key.
+(** The routing layer of the sharded engine: trie placement plus the
+    per-key dispatch bitmaps that make updates owner-targeted.
 
-    The routing invariant is structural, not per-update: an update is
-    broadcast to every shard (each shard keeps its own base views for the
-    keys its tries mention), while {e tries} are placed by the first key
-    of their covering-path word.  Because a trie is placed wholly on one
-    shard, shard-local delta propagation computes exactly the global
-    engine's propagation restricted to that shard's tries, for any shard
-    count — which is why sharded and sequential reports coincide.
+    {b Placement} is a pure function from a root-trie key to the shard
+    that owns every trie rooted at that key: tries are placed whole, by
+    the first key of their covering-path word ({!place}), so shard-local
+    delta propagation computes exactly the global engine's propagation
+    restricted to that shard's tries, for any shard count — which is why
+    sharded and sequential reports coincide.
+
+    {b Dispatch} is driven by a {!table} maintained at query-registration
+    time: for every key mentioned by any indexed covering path, a bitmask
+    of the shards holding a trie node (and therefore a private base view)
+    for that key.  An incoming edge matches exactly its four generalised
+    keys ({!Tric_query.Ekey.keys_of_edge}), so the set of shards an
+    update can possibly affect is the union of four mask lookups
+    ({!targets}) — shards outside the mask have no matching node {e and}
+    no matching base view, making the skip a semantic no-op.  Bits are
+    only ever added ([remove_query] retains shared trie structure), so
+    the mask is always exactly the set of shards holding nodes for the
+    key — the equality the routing-coherence audit certifies.
 
     [owner] is deterministic within a run for a fixed shard count (it
     hashes interned label ids, which are assigned in stream order). *)
 
+open Tric_graph
 open Tric_query
 
 val owner : shards:int -> Ekey.t -> int
 (** [owner ~shards key] is the shard id in [0, shards) owning tries
     rooted at [key].  @raise Invalid_argument if [shards < 1]. *)
+
+val place : shards:int -> Ekey.t list -> int
+(** [place ~shards word] is the shard owning the trie of a covering path
+    with key word [word]: {!owner} of the word's first key.
+    @raise Invalid_argument on an empty word — a keyless covering path is
+    unroutable (no base view would ever feed it), and the public query
+    pipeline cannot produce one ({!Tric_query.Path.of_edges} rejects
+    empty paths), so this is a corruption guard, not a placement
+    policy. *)
+
+(** {2 Shard masks}
+
+    A mask is a plain [int] bitset of shard ids (bit [s] = shard [s]);
+    shard counts are capped at [Sys.int_size - 1] so masks stay
+    immediate. *)
+
+val max_shards : int
+val mem_shard : int -> int -> bool
+(** [mem_shard mask s] — is bit [s] set? *)
+
+val shard_list : int -> int list
+(** The shard ids of a mask, ascending — the dispatch order, which keeps
+    per-shard delta gathering deterministic. *)
+
+val popcount : int -> int
+(** Number of shards in a mask. *)
+
+(** {2 The dispatch table} *)
+
+type table
+
+val create_table : shards:int -> table
+(** An empty table for a [shards]-way engine.
+    @raise Invalid_argument if [shards < 1] or [shards > max_shards]. *)
+
+val table_shards : table -> int
+
+val register : table -> Ekey.t -> shard:int -> unit
+(** Record that [shard]'s forest (now) holds a node keyed [key].  Called
+    once per key per covering path at registration; idempotent.
+    @raise Invalid_argument if [shard] is outside [0, shards). *)
+
+val key_shards : table -> Ekey.t -> int
+(** The mask of shards holding nodes keyed [key]; [0] if the key was
+    never registered. *)
+
+val targets : table -> Edge.t -> int
+(** The mask of shards an update on [e] can affect: the union of
+    {!key_shards} over [e]'s four generalised keys. *)
+
+val fold : (Ekey.t -> int -> 'a -> 'a) -> table -> 'a -> 'a
+(** Fold over every registered (key, mask) entry, in no particular
+    order — audit access. *)
+
+val set_bits : table -> Ekey.t -> int -> unit
+(** Overwrite a key's mask verbatim, bypassing the monotone {!register}
+    discipline.  Test-only: exists so corruption hooks can plant routing
+    divergence for the audit mutation tests.  Never call it elsewhere. *)

@@ -357,3 +357,14 @@ let apply_remove t e =
 let apply_removes t edges = Array.of_list (List.map (apply_remove t) edges)
 
 let apply_add_batch t edges = deltas_of (handle_additions_batch t edges)
+
+(* One combined window task: this shard's net removals in window order,
+   then its net additions as one amortised sweep.  Shard state is
+   disjoint across shards and the coordinator replays its cache
+   subtractions before consuming the addition deltas, so fusing both
+   polarities into a single pool task is observationally identical to
+   the former two-barrier schedule. *)
+let apply_ops t ~removals ~additions =
+  let removed = apply_removes t removals in
+  let added = match additions with [] -> [] | edges -> apply_add_batch t edges in
+  (removed, added)

@@ -59,3 +59,9 @@ val apply_add_batch : t -> Edge.t list -> delta list
 (** The amortised batched addition sweep: fold all fresh edge tuples into
     the base views, then visit each affected node once, shallowest first
     across the whole window, joining the accumulated key delta. *)
+
+val apply_ops : t -> removals:Edge.t list -> additions:Edge.t list -> (delta list * int) array * delta list
+(** One combined window task: {!apply_removes} on [removals], then
+    {!apply_add_batch} on [additions] — the whole window's work for this
+    shard in a single pool task, so targeted dispatch pays one barrier
+    per batch however many ops land here. *)

@@ -62,10 +62,13 @@ type t = {
   strategy : Cover.strategy;
   nshards : int;
   shards : Shard.t array;
+  route : Route.table; (* per-key shard bitmaps, grown at add_query *)
   pool : Pool.t option; (* Some iff nshards > 1 *)
   busy : float array; (* per shard: seconds spent in its tasks *)
+  shard_ops : int array; (* per shard: net ops dispatched to it *)
   obs : obs option;
   queries : (int, query_info) Hashtbl.t;
+  mutable ops_routed : int; (* net ops that went through targeted dispatch *)
   mutable removals : int; (* Remove updates processed *)
   mutable noop_removals : int; (* removals that evicted nothing anywhere *)
   mutable tuples_removed : int; (* view tuples evicted by deletions *)
@@ -85,12 +88,15 @@ let create ?(cache = false) ?(strategy = Cover.Upstream) ?(shards = 1) ?(metrics
     strategy;
     nshards = shards;
     shards = Array.init shards (fun sid -> Shard.create ~metrics ~sid ~shards ~cache ());
+    route = Route.create_table ~shards;
     pool =
       (if shards > 1 then Some (Pool.create ?obs:pool_obs ~workers:(shards - 1) ())
        else None);
     busy = Array.make shards 0.0;
+    shard_ops = Array.make shards 0;
     obs;
     queries = Hashtbl.create 256;
+    ops_routed = 0;
     removals = 0;
     noop_removals = 0;
     tuples_removed = 0;
@@ -126,26 +132,44 @@ let metrics t =
 let spans t =
   match t.obs with Some o -> Tric_obs.Span.spans o.o_spans | None -> []
 
-(* Scatter one task per shard, wait for all of them (pool [run] is a full
-   barrier), account per-shard busy time, and gather results in fixed
-   shard order — the determinism anchor for everything downstream.  When
-   a span is live, each shard's busy seconds are filed as a stage (the
+(* Dispatch one task per {e targeted} shard (ascending shard id), wait
+   for all of them (pool [run] is a full barrier), account per-shard busy
+   time, and gather results in ascending shard order — the determinism
+   anchor for everything downstream.  Shards outside [sids] hold no trie
+   node and no base view for any key the op feeds (the routing bitmaps
+   certify exactly this), so skipping them is a semantic no-op and the
+   per-op cost tracks affected shards, not shard count.  When a span is
+   live, each targeted shard's busy seconds are filed as a stage (the
    per-shard trie-descent leg of the update's journey). *)
-let scatter ?(sp = Tric_obs.Span.none) t f =
-  let tasks = Array.map (fun sh () -> f sh) t.shards in
-  let timed =
-    match t.pool with Some pool -> Pool.run pool tasks | None -> Pool.run_seq tasks
-  in
-  Array.iteri (fun i (_, dt) -> t.busy.(i) <- t.busy.(i) +. dt) timed;
-  (match t.obs with
-  | Some o when sp >= 0 ->
-    Tric_obs.Span.stage o.o_spans sp "scatter";
-    Array.iteri
-      (fun i (_, dt) ->
-        Tric_obs.Span.stage_dur o.o_spans sp (Printf.sprintf "shard%d" i) dt)
-      timed
-  | _ -> ());
-  Array.map fst timed
+let dispatch ?(sp = Tric_obs.Span.none) t sids f =
+  match sids with
+  | [] -> [||]
+  | sids ->
+    let sids = Array.of_list sids in
+    let tasks = Array.map (fun sid () -> f t.shards.(sid)) sids in
+    let timed =
+      match t.pool with Some pool -> Pool.run pool tasks | None -> Pool.run_seq tasks
+    in
+    Array.iteri (fun i (_, dt) -> t.busy.(sids.(i)) <- t.busy.(sids.(i)) +. dt) timed;
+    (match t.obs with
+    | Some o when sp >= 0 ->
+      Tric_obs.Span.stage o.o_spans sp "scatter";
+      Array.iteri
+        (fun i (_, dt) ->
+          Tric_obs.Span.stage_dur o.o_spans sp (Printf.sprintf "shard%d" sids.(i)) dt)
+        timed
+    | _ -> ());
+    Array.map fst timed
+
+(* Route one net op: the shards whose bitmaps any of the edge's four
+   generalised keys hit, ascending.  Counted per (op, shard) pair so
+   [shard_ops]/[ops_routed] is the mean dispatch fanout — ≈ nshards would
+   mean we are still broadcasting. *)
+let route_op t e =
+  let sids = Route.shard_list (Route.targets t.route e) in
+  t.ops_routed <- t.ops_routed + 1;
+  List.iter (fun s -> t.shard_ops.(s) <- t.shard_ops.(s) + 1) sids;
+  sids
 
 (* Span plumbing: all no-ops (a single integer compare) when metrics are
    off — [Span.none] short-circuits without touching the clock. *)
@@ -161,14 +185,17 @@ let add_query t pattern =
     invalid_arg (Printf.sprintf "Tric.add_query: duplicate query id %d" qid);
   let paths = Array.of_list (Cover.extract ~strategy:t.strategy pattern) in
   let words = Array.map (fun p -> Path.keys pattern p) paths in
-  let path_shards =
-    Array.map
-      (fun keys ->
-        match keys with
-        | [] -> 0
-        | first :: _ -> Route.owner ~shards:t.nshards first)
-      words
-  in
+  (* [Route.place] rejects empty key words, and every word is placed
+     before any shard state is touched, so a malformed pattern cannot
+     leave a partially indexed query behind. *)
+  let path_shards = Array.map (fun keys -> Route.place ~shards:t.nshards keys) words in
+  (* Grow the dispatch bitmaps: after this, every key of every covering
+     path names its owner shard, so updates route to exactly the shards
+     whose tries (and base views) they can affect. *)
+  Array.iteri
+    (fun i keys ->
+      List.iter (fun k -> Route.register t.route k ~shard:path_shards.(i)) keys)
+    words;
   let terminals =
     Array.mapi
       (fun i keys ->
@@ -281,26 +308,51 @@ let report_of_deltas ?(sp = Tric_obs.Span.none) t per_shard =
     Tric_obs.Span.stage o.o_spans sp "gather"
   | None -> ());
   let t1 = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0.0 in
-  let out = ref [] in
+  (* Distribute the final cross-path joins over the domain pool by
+     hashing join ownership on the query id: group [g] owns the queries
+     with [qid mod nshards = g].  Each query appears in exactly one
+     group, [query_new_matches] touches only that query's [path_embs],
+     and the coordinator prefetches the query infos here, so tasks never
+     read the queries table — disjoint mutation, no synchronisation.
+     Per-query results are deterministic and the final sort fixes report
+     order, so grouping does not affect output. *)
+  let groups = Array.make t.nshards [] in
   Hashtbl.iter
     (fun qid deltas ->
       let info = Hashtbl.find t.queries qid in
-      match query_new_matches info deltas with
-      | [] -> ()
-      | matches ->
-        (match t.obs with
-        | Some o ->
-          Tric_obs.Registry.add o.o_matches (List.length matches);
-          Tric_obs.Histogram.observe o.o_join_fanout (float_of_int (List.length matches))
-        | None -> ());
-        out := (qid, matches) :: !out)
+      let g = qid mod t.nshards in
+      groups.(g) <- (qid, info, deltas) :: groups.(g))
     per_query;
+  let gids = List.filter (fun g -> groups.(g) <> []) (List.init t.nshards Fun.id) in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun g () ->
+           List.filter_map
+             (fun (qid, info, deltas) ->
+               match query_new_matches info deltas with
+               | [] -> None
+               | matches -> Some (qid, matches))
+             groups.(g))
+         gids)
+  in
+  let timed =
+    match t.pool with Some pool -> Pool.run pool tasks | None -> Pool.run_seq tasks
+  in
+  List.iteri (fun i g -> t.busy.(g) <- t.busy.(g) +. snd timed.(i)) gids;
+  let out = List.concat_map (fun (res, _) -> res) (Array.to_list timed) in
   (match t.obs with
   | Some o ->
+    (* Telemetry strictly after the barrier, on the coordinator. *)
+    List.iter
+      (fun (_, matches) ->
+        Tric_obs.Registry.add o.o_matches (List.length matches);
+        Tric_obs.Histogram.observe o.o_join_fanout (float_of_int (List.length matches)))
+      out;
     Tric_obs.Histogram.observe o.o_join_s (Unix.gettimeofday () -. t1);
     Tric_obs.Span.stage o.o_spans sp "join"
   | None -> ());
-  List.sort (fun (a, _) (b, _) -> Int.compare a b) !out
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) out
 
 (* -- Removal bookkeeping ----------------------------------------------------- *)
 
@@ -357,8 +409,8 @@ let account_removal t removed per_shard_deltas =
       t.invalidations_avoided + (num_queries t - List.length touched)
   end
 
-let apply_removal ?(sp = Tric_obs.Span.none) t e =
-  let results = scatter ~sp t (fun sh -> Shard.apply_remove sh e) in
+let apply_removal ?(sp = Tric_obs.Span.none) t sids e =
+  let results = dispatch ~sp t sids (fun sh -> Shard.apply_remove sh e) in
   let removed = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
   account_removal t removed (Array.map fst results);
   span_stage t sp "subtract"
@@ -369,12 +421,24 @@ let handle_update t u =
   | Update.Add e ->
     (match t.obs with Some o -> Tric_obs.Registry.incr o.o_additions | None -> ());
     let sp = span_start t "add" in
-    let per_shard = scatter ~sp t (fun sh -> Shard.apply_add sh e) in
-    report_of_deltas ~sp t per_shard
+    (match route_op t e with
+    | [] ->
+      (* No registered key generalises this edge: no shard holds a view
+         it could feed, so there is nothing to do and nothing to report —
+         on any shard count, including 1. *)
+      []
+    | sids ->
+      let per_shard = dispatch ~sp t sids (fun sh -> Shard.apply_add sh e) in
+      report_of_deltas ~sp t per_shard)
   | Update.Remove e ->
     (match t.obs with Some o -> Tric_obs.Registry.incr o.o_removals | None -> ());
     let sp = span_start t "remove" in
-    apply_removal ~sp t e;
+    (match route_op t e with
+    | [] ->
+      (* Still a removal for the accounting identities — just a provably
+         no-op one. *)
+      account_removal t 0 [||]
+    | sids -> apply_removal ~sp t sids e);
     []
 
 (* -- Micro-batches ----------------------------------------------------------- *)
@@ -417,27 +481,73 @@ let handle_batch t updates =
     + (List.length updates - List.length removals - List.length additions);
   t.batch_net_applied <- t.batch_net_applied + List.length removals + List.length additions;
   span_stage t sp "fold";
-  (* Net removals first: a net addition must survive the window, so its
-     delta joins run against the post-removal state.  One scatter carries
-     the whole removal list; each shard applies it in order, so the
-     per-removal deltas gathered here are exactly the sequential ones and
-     the coordinator replays the cache subtractions removal by removal. *)
+  (* Route each net op to the shards its keys can affect and build
+     per-shard op queues in window order, so one pool task carries the
+     whole window's work for each targeted shard.  Within a task the
+     shard applies its removals in order and then its additions as one
+     amortised sweep; shard state is disjoint across shards, and the
+     coordinator below replays its cache subtractions removal by removal
+     before consuming any addition delta — exactly the sequential
+     schedule, whatever the shard interleaving in wall time. *)
+  let rem_q = Array.make t.nshards [] in
+  let add_q = Array.make t.nshards [] in
+  let rem_targets =
+    List.map
+      (fun e ->
+        let sids = route_op t e in
+        List.iter (fun s -> rem_q.(s) <- e :: rem_q.(s)) sids;
+        sids)
+      removals
+  in
+  List.iter
+    (fun e ->
+      let sids = route_op t e in
+      List.iter (fun s -> add_q.(s) <- e :: add_q.(s)) sids)
+    additions;
+  let active =
+    List.filter
+      (fun s -> rem_q.(s) <> [] || add_q.(s) <> [])
+      (List.init t.nshards Fun.id)
+  in
+  let results =
+    dispatch ~sp t active (fun sh ->
+        let s = Shard.sid sh in
+        Shard.apply_ops sh ~removals:(List.rev rem_q.(s))
+          ~additions:(List.rev add_q.(s)))
+  in
+  let rem_res = Array.make t.nshards [||] in
+  let add_res = Array.make t.nshards [] in
+  List.iteri
+    (fun i s ->
+      let removed, added = results.(i) in
+      rem_res.(s) <- removed;
+      add_res.(s) <- added)
+    active;
+  (* Account removals in window order.  Shard [s]'s result array lists
+     only the removals routed to [s], so walk each with a cursor; an
+     unrouted removal is a provable no-op and is accounted as such. *)
   (match removals with
   | [] -> ()
-  | removals ->
-    let per_shard = scatter ~sp t (fun sh -> Shard.apply_removes sh removals) in
-    List.iteri
-      (fun i _e ->
-        let removed =
-          Array.fold_left (fun acc arr -> acc + snd arr.(i)) 0 per_shard
+  | _ ->
+    let cursor = Array.make t.nshards 0 in
+    List.iter2
+      (fun _e sids ->
+        let per =
+          List.map
+            (fun s ->
+              let slot = rem_res.(s).(cursor.(s)) in
+              cursor.(s) <- cursor.(s) + 1;
+              slot)
+            sids
         in
-        account_removal t removed (Array.map (fun arr -> fst arr.(i)) per_shard))
-      removals;
+        let removed = List.fold_left (fun acc (_, c) -> acc + c) 0 per in
+        account_removal t removed (Array.of_list (List.map fst per)))
+      removals rem_targets;
     span_stage t sp "subtract");
   match additions with
   | [] -> []
-  | additions ->
-    let per_shard = scatter ~sp t (fun sh -> Shard.apply_add_batch sh additions) in
+  | _ ->
+    let per_shard = Array.of_list (List.map (fun s -> add_res.(s)) active) in
     report_of_deltas ~sp t per_shard
 
 (* -- Probes ---------------------------------------------------------------- *)
@@ -474,6 +584,9 @@ type stats = {
   batched_updates : int;
   batch_cancelled : int;
   batch_net_applied : int;
+  ops_routed : int;
+  ops_dispatched : int;
+  shard_ops : int array;
 }
 
 let stats (t : t) =
@@ -508,6 +621,9 @@ let stats (t : t) =
     batched_updates = t.batched_updates;
     batch_cancelled = t.batch_cancelled;
     batch_net_applied = t.batch_net_applied;
+    ops_routed = t.ops_routed;
+    ops_dispatched = Array.fold_left ( + ) 0 t.shard_ops;
+    shard_ops = Array.copy t.shard_ops;
   }
 
 let pp_stats fmt s =
@@ -515,10 +631,11 @@ let pp_stats fmt s =
     "queries=%d shards=%d tries=%d nodes=%d base_views=%d view_tuples=%d rebuilds=%d \
      removals=%d noop_removals=%d tuples_removed=%d invalidations_avoided=%d \
      delta_probes=%d batches=%d batched_updates=%d batch_cancelled=%d \
-     batch_net_applied=%d"
+     batch_net_applied=%d ops_routed=%d ops_dispatched=%d"
     s.queries s.shards s.tries s.trie_nodes s.base_views s.view_tuples s.index_rebuilds
     s.removals s.noop_removals s.tuples_removed s.invalidations_avoided s.delta_probes
-    s.batches s.batched_updates s.batch_cancelled s.batch_net_applied
+    s.batches s.batched_updates s.batch_cancelled s.batch_net_applied s.ops_routed
+    s.ops_dispatched
 
 (* -- Audit access ----------------------------------------------------------- *)
 
@@ -550,6 +667,8 @@ let query_views (t : t) =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let is_caching (t : t) = t.cache
+
+let route_bits (t : t) = Route.fold (fun k mask acc -> (k, mask) :: acc) t.route []
 
 (* -- Test-only corruption hooks --------------------------------------------- *)
 
@@ -611,6 +730,40 @@ module Corrupt = struct
         Tuple.make (Array.init width (fun _ -> Label.fresh "corrupt"))
       in
       Relation.insert (Trie.node_view node) tu
+
+  let drop_route_bit (t : t) =
+    (* Clear the lowest bit of some registered key's mask: the dispatcher
+       would now skip a shard whose forest does hold nodes for the key. *)
+    let pick =
+      Route.fold
+        (fun k m acc -> match acc with None when m <> 0 -> Some (k, m) | _ -> acc)
+        t.route None
+    in
+    match pick with
+    | None -> false
+    | Some (k, m) ->
+      Route.set_bits t.route k (m land (m - 1));
+      true
+
+  let phantom_route_bit (t : t) =
+    (* Set a bit for a shard holding no node for the key: the dispatcher
+       would now pay a provably dead task for every matching op. *)
+    let full = (1 lsl t.nshards) - 1 in
+    let pick =
+      Route.fold
+        (fun k m acc ->
+          match acc with None when m <> 0 && m <> full -> Some (k, m) | _ -> acc)
+        t.route None
+    in
+    match pick with
+    | None -> false
+    | Some (k, m) ->
+      let s = ref 0 in
+      while Route.mem_shard m !s do
+        incr s
+      done;
+      Route.set_bits t.route k (m lor (1 lsl !s));
+      true
 
   let misroute_path (t : t) =
     if t.nshards < 2 then false

@@ -18,11 +18,16 @@
     operation.
 
     [shards:n] partitions the trie forest across [n] {!Shard}s placed by
-    {!Route.owner} and dispatches every update to all shards in parallel
-    on a domain pool ({!Tric_exec.Pool}); the coordinator gathers the
-    per-shard terminal deltas in fixed shard order and runs the final
-    cross-path join itself, so reports and maintained state are identical
-    to the sequential ([shards:1]) engine on any stream. *)
+    {!Route.place} and dispatches each update only to the shards whose
+    covering paths it can affect — the union of the {!Route.table}
+    bitmaps of its four generalised keys, maintained at {!add_query}
+    time — in parallel on a domain pool ({!Tric_exec.Pool}).  The
+    coordinator gathers the per-shard terminal deltas in ascending shard
+    order and fans the final per-query cross-path joins back out across
+    the pool (join ownership hashed on [qid mod shards]), so reports and
+    maintained state are identical to the sequential ([shards:1]) engine
+    on any stream while per-op dispatch cost tracks {e affected} shards,
+    not shard count. *)
 
 open Tric_graph
 open Tric_query
@@ -52,8 +57,9 @@ val shutdown : t -> unit
 val num_shards : t -> int
 
 val busy_s : t -> float
-(** Total seconds shard tasks have spent executing, summed over shards —
-    the work-time counterpart to the caller's wall-clock measurement
+(** Total seconds pool tasks have spent executing — shard update tasks
+    plus the distributed cross-path join tasks, summed over shards — the
+    work-time counterpart to the caller's wall-clock measurement
     (busy/wall > 1 means the domains actually ran in parallel). *)
 
 val busy_times : t -> float array
@@ -158,6 +164,16 @@ type stats = {
       (** net ops that survived the folding — the accounting identity
           [batched_updates = batch_net_applied + batch_cancelled] is one
           of the invariants {!Tric_audit.Audit.check} certifies *)
+  ops_routed : int;
+      (** net ops that went through targeted dispatch (one per
+          {!handle_update}, one per net op of a {!handle_batch} window) *)
+  ops_dispatched : int;
+      (** (op, shard) dispatch pairs — [ops_dispatched / ops_routed] is
+          the mean dispatch fanout, ≈ affected shards per op; a value near
+          [shards] means broadcasting *)
+  shard_ops : int array;
+      (** per shard: net ops dispatched to it (sums to [ops_dispatched]) —
+          an op touching only shard [k]'s keys bumps slot [k] alone *)
 }
 
 val stats : t -> stats
@@ -186,6 +202,12 @@ type query_view = {
 
 val query_views : t -> (int * query_view) list
 (** Every live query with its maintained state, ascending by id. *)
+
+val route_bits : t -> (Ekey.t * int) list
+(** The dispatch table's (key, shard mask) entries, in no particular
+    order — audit access.  Routing coherence demands each mask equal
+    exactly the set of shards whose forest holds a node with that key:
+    a missing bit loses updates, a spurious bit dispatches dead work. *)
 
 val is_caching : t -> bool
 (** [true] for TRIC+ (maintained hash-join indexes). *)
@@ -216,4 +238,14 @@ module Corrupt : sig
       (routing-coherence; collaterally trips registration/base checks —
       assert membership, not exactness).  [false] unless [shards >= 2]
       and a query is indexed. *)
+
+  val drop_route_bit : t -> bool
+  (** Clear one bit of some key's dispatch mask, making the router skip a
+      shard whose forest holds nodes for the key — the lost-update
+      direction of routing-coherence.  [false] if no key is registered. *)
+
+  val phantom_route_bit : t -> bool
+  (** Set a dispatch bit for a shard holding no node for the key — the
+      dead-work direction of routing-coherence.  [false] unless some
+      key's mask has a clear bit ([shards >= 2] in practice). *)
 end

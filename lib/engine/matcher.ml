@@ -89,6 +89,8 @@ let of_tric e =
           ("batched_updates", s.Tric_core.Tric.batched_updates);
           ("batch_cancelled", s.Tric_core.Tric.batch_cancelled);
           ("batch_net_applied", s.Tric_core.Tric.batch_net_applied);
+          ("ops_routed", s.Tric_core.Tric.ops_routed);
+          ("ops_dispatched", s.Tric_core.Tric.ops_dispatched);
         ]);
     audit = (fun edges -> Tric_audit.Audit.check ?edges e);
     shards = Tric_core.Tric.num_shards e;

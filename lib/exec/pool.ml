@@ -148,9 +148,32 @@ let gather cells =
       | None -> assert false)
     cells
 
+let run_seq fns =
+  Array.map
+    (fun f ->
+      let t0 = now () in
+      let v = f () in
+      (v, now () -. t0))
+    fns
+
 let run t fns =
   let n = Array.length fns in
   if n = 0 then [||]
+  else if n = 1 then begin
+    (* Single task: run it inline on the controller.  Targeted dispatch
+       makes one-shard runs the common case, and the queue handshake
+       (lock, signal, barrier wait) costs more than many small tasks do.
+       Keep the shut-down check so behaviour matches the general path. *)
+    if is_shut_down t then invalid_arg "Pool.run: pool is shut down";
+    let results = run_seq fns in
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      Tric_obs.Registry.incr o.o_runs;
+      Tric_obs.Registry.incr o.o_tasks;
+      Tric_obs.Histogram.observe o.o_task_s (snd results.(0)));
+    results
+  end
   else begin
     let cells = Array.init n (fun _ -> { result = None; error = None; busy_s = 0.0 }) in
     Mutex.lock t.lock;
@@ -186,11 +209,3 @@ let run t fns =
       Array.iter (fun (_, dt) -> Tric_obs.Histogram.observe o.o_task_s dt) results);
     results
   end
-
-let run_seq fns =
-  Array.map
-    (fun f ->
-      let t0 = now () in
-      let v = f () in
-      (v, now () -. t0))
-    fns

@@ -26,10 +26,12 @@ val size : t -> int
 val run : t -> (unit -> 'a) array -> ('a * float) array
 (** [run t fns] executes every thunk (on workers and on the calling
     domain) and returns, in submission order, each result paired with the
-    wall-clock seconds that task spent running.  If any task raised, the
-    first (lowest-index) exception is re-raised with its backtrace after
-    all tasks have finished.  Raises [Invalid_argument] if the pool is
-    shut down. *)
+    wall-clock seconds that task spent running.  A single-thunk array is
+    run inline on the calling domain — no queueing, no barrier handshake
+    — which makes one-shard targeted dispatches as cheap as the
+    sequential engine.  If any task raised, the first (lowest-index)
+    exception is re-raised with its backtrace after all tasks have
+    finished.  Raises [Invalid_argument] if the pool is shut down. *)
 
 val run_seq : (unit -> 'a) array -> ('a * float) array
 (** Sequential equivalent of {!run} on the calling domain — same result

@@ -38,11 +38,12 @@ done
 TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
   audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --batch 64 > /dev/null
 
-# Shard matrix: the same churned audited replay through the sharded
-# dispatcher at 1 and 4 domains.  Every shadow audit re-certifies the
-# scattered state (including routing coherence) against ground truth, so
-# a green run here proves sharded = sequential on this stream.
-for shards in 1 4; do
+# Shard matrix: the same churned audited replay through the owner-targeted
+# dispatcher at 1, 2 and 4 domains.  Every shadow audit re-certifies the
+# dispatched state (including routing coherence: trie placement AND the
+# per-key dispatch bitmaps) against ground truth, so a green run here
+# proves targeted dispatch = sequential on this stream.
+for shards in 1 2 4; do
   TRIC_SHARDS=$shards TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
     audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 > /dev/null
   TRIC_SHARDS=$shards TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
@@ -72,6 +73,12 @@ TRIC_BATCH_ONLY=1 TRIC_BATCH_EDGES=1000 TRIC_BATCH_QDB=50 dune exec bench/main.e
 # Shard-scaling smoke: 1/2/4/8-domain dispatch of the same stream plus the
 # BENCH_shard.json emission path.
 TRIC_SHARD_ONLY=1 TRIC_SHARD_EDGES=1000 TRIC_SHARD_QDB=50 dune exec bench/main.exe
+
+# Dispatch-fanout smoke: under a label-partitioned workload every update
+# affects exactly one shard, so the mean ops-dispatched-per-shard-per-update
+# must stay near 1.0 — the strict mode exits non-zero past TRIC_FANOUT_MAX
+# (default 1.5), which a broadcast dispatcher (fanout = nshards = 4) trips.
+TRIC_FANOUT_ONLY=1 dune exec bench/main.exe
 
 # Harness smoke at a high scale factor: small enough to finish in seconds,
 # and fig12a's stream shrinks below its checkpoint count, which is exactly

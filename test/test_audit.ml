@@ -153,6 +153,28 @@ let test_sharded_clean_and_misroute_detected () =
         "routing-coherence trips" true
         (List.exists (String.equal "routing-coherence") classes))
 
+let test_route_bitmap_mutations_detected () =
+  (* The dispatch bitmaps are certified against the forests in both
+     directions: a cleared bit (router would skip a shard that holds the
+     key's nodes — lost updates) and a planted bit (router would dispatch
+     to a shard without them — dead work) must each trip exactly the
+     routing-coherence class.  Unlike [misroute_path], these mutations
+     leave the forests themselves intact, so no collateral classes. *)
+  List.iter
+    (fun (name, corrupt) ->
+      let t, edges = build ~shards:2 () in
+      Fun.protect
+        ~finally:(fun () -> Tric.shutdown t)
+        (fun () ->
+          Alcotest.(check bool) (name ^ " applied") true (corrupt t);
+          check_classes
+            (name ^ ": only routing-coherence trips")
+            [ "routing-coherence" ] (Audit.check ~edges t)))
+    [
+      ("drop_route_bit", Tric.Corrupt.drop_route_bit);
+      ("phantom_route_bit", Tric.Corrupt.phantom_route_bit);
+    ]
+
 let build_invidx () =
   let i = Tric_baselines.Invidx.create ~cache:true ~mode:Tric_baselines.Invidx.Full () in
   List.iter (Tric_baselines.Invidx.add_query i) (queries ());
@@ -208,6 +230,8 @@ let suite =
     Alcotest.test_case "removed query leaves warnings only" `Quick test_removed_query_warns_only;
     Alcotest.test_case "sharded clean; misrouted path detected" `Quick
       test_sharded_clean_and_misroute_detected;
+    Alcotest.test_case "dispatch-bitmap mutations detected" `Quick
+      test_route_bitmap_mutations_detected;
     Alcotest.test_case "INV+ clean and mutated" `Quick test_invidx_clean_and_mutated;
     Alcotest.test_case "INV+ seen-set divergence detected" `Quick test_invidx_seen_set_divergence;
   ]

@@ -332,13 +332,17 @@ let prop_batch_equals_sequential =
           && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
         (windows updates))
 
-(* Sharded dispatch must be invisible: for any shard count, the
-   domain-parallel engine must produce exactly the sequential engine's
-   report after every update of a random mixed add/remove stream, keep
-   identical current matches, and stay audit-clean (which includes the
-   routing-coherence class: every trie on the shard its root key routes
-   to).  Engines are shut down per iteration — OCaml caps live domains,
-   and shrinking replays the property many times. *)
+(* Targeted dispatch must be invisible: for any shard count, the
+   domain-parallel engine — which routes each op only to the shards named
+   by the per-key dispatch bitmaps, not to all of them — must produce
+   exactly the sequential engine's report after every update of a random
+   mixed add/remove stream, keep identical current matches, and stay
+   audit-clean (which includes the routing-coherence class: trie
+   placement AND the bitmaps equalling the forests' per-key shard sets in
+   both directions, so a routing bug that skips an affected shard cannot
+   hide).  Both cache modes run sharded: TRIC at 1/2/4 domains, TRIC+ at
+   2 and 4.  Engines are shut down per iteration — OCaml caps live
+   domains, and shrinking replays the property many times. *)
 let prop_sharded_equals_sequential =
   QCheck2.Test.make ~count:25 ~print:print_mixed_case
     ~name:"sharded (1/2/4 domains) = sequential TRIC/TRIC+ per update"
@@ -370,6 +374,7 @@ let prop_sharded_equals_sequential =
           (Tric_core.Tric.create ~shards:2 (), seq);
           (Tric_core.Tric.create ~shards:4 (), seq);
           (Tric_core.Tric.create ~cache:true ~shards:2 (), seqp);
+          (Tric_core.Tric.create ~cache:true ~shards:4 (), seqp);
         ]
       in
       Fun.protect
@@ -421,12 +426,15 @@ let prop_sharded_equals_sequential =
                sspec)))
 
 (* The batched entry point, sharded: windows of a random mixed stream
-   through [handle_batch] on 2- and 4-shard engines must equal the
-   sequential engine's batched replay report-for-report, stay
-   audit-clean after every window, and agree on final matches. *)
+   through [handle_batch] — which folds the window to net ops, routes
+   each through the dispatch bitmaps into per-shard op queues, and runs
+   one combined removals+additions task per affected shard — must equal
+   the sequential engine's batched replay report-for-report at 1, 2 and
+   4 shards (and on a cached 4-shard engine), stay audit-clean after
+   every window, and agree on final matches. *)
 let prop_sharded_batch_equals_sequential =
   QCheck2.Test.make ~count:25 ~print:print_batch_case
-    ~name:"sharded handle_batch = sequential handle_batch (2/4 domains)"
+    ~name:"sharded handle_batch = sequential handle_batch (1/2/4 domains)"
     QCheck2.Gen.(
       pair
         (pair
@@ -451,7 +459,12 @@ let prop_sharded_batch_equals_sequential =
       QCheck2.assume (queries <> []);
       let seq = Tric_core.Tric.create () in
       let sharded =
-        [ Tric_core.Tric.create ~shards:2 (); Tric_core.Tric.create ~shards:4 () ]
+        [
+          Tric_core.Tric.create ~shards:1 ();
+          Tric_core.Tric.create ~shards:2 ();
+          Tric_core.Tric.create ~shards:4 ();
+          Tric_core.Tric.create ~cache:true ~shards:4 ();
+        ]
       in
       Fun.protect
         ~finally:(fun () -> List.iter Tric_core.Tric.shutdown sharded)

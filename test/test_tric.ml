@@ -373,6 +373,63 @@ let test_sharded_matches_sequential () =
             [ 1; 2; 3; 4 ]))
     [ 2; 4 ]
 
+let test_targeted_dispatch_isolation () =
+  (* Owner-targeted dispatch: an op whose edge only matches keys owned by
+     shard k must enqueue work on shard k alone — the per-shard op
+     counters in [Tric.stats] prove no other shard saw the op.  Four
+     all-variable single-edge queries over distinct labels give each
+     update exactly one registered generalisation, [(l,?,?)]. *)
+  let shards = 4 in
+  let labels = [ "la"; "lb"; "lc"; "ld" ] in
+  let queries =
+    List.mapi
+      (fun i l -> Helpers.pattern ~id:(i + 1) (Printf.sprintf "?x -%s-> ?y" l))
+      labels
+  in
+  let t = Tric.create ~shards () in
+  Fun.protect
+    ~finally:(fun () -> Tric.shutdown t)
+    (fun () ->
+      List.iter (Tric.add_query t) queries;
+      List.iteri
+        (fun i q ->
+          let qid = i + 1 in
+          (* The shard owning this query's sole covering path, derived the
+             same way registration derives it: the router's verdict on the
+             path's key word. *)
+          let owner =
+            match Tric.covering_paths t qid with
+            | [ p ] -> Route.place ~shards (Path.keys q p)
+            | ps -> Alcotest.failf "q%d: expected 1 covering path, got %d" qid (List.length ps)
+          in
+          let before = (Tric.stats t).Tric.shard_ops in
+          let e =
+            Helpers.update
+              (Printf.sprintf "s%d -%s-> t%d" qid (List.nth labels i) qid)
+          in
+          ignore (Tric.handle_update t e);
+          let after = (Tric.stats t).Tric.shard_ops in
+          Array.iteri
+            (fun s b ->
+              let expected = if s = owner then b + 1 else b in
+              Alcotest.(check int)
+                (Printf.sprintf "q%d update: shard %d op count" qid s)
+                expected after.(s))
+            before)
+        queries;
+      (* Four updates, each routed to exactly one shard: mean fanout 1. *)
+      let s = Tric.stats t in
+      Alcotest.(check int) "ops routed" 4 s.Tric.ops_routed;
+      Alcotest.(check int) "ops dispatched = ops routed (fanout 1)" 4 s.Tric.ops_dispatched)
+
+let test_route_place_rejects_empty_word () =
+  (* An empty key word has no first key to route on; [place] must reject
+     it instead of silently picking a shard (a query registered that way
+     would be unreachable by dispatch). *)
+  match Route.place ~shards:4 [] with
+  | _ -> Alcotest.fail "place must reject an empty key word"
+  | exception Invalid_argument _ -> ()
+
 let test_sharded_forest_access () =
   (* [forest] is the single-forest accessor; on a sharded engine callers
      must go through [forests].  Trie ids stay globally unique across
@@ -419,6 +476,10 @@ let suite =
       test_sharded_matches_sequential;
     Alcotest.test_case "sharded forest access and node ids" `Quick
       test_sharded_forest_access;
+    Alcotest.test_case "targeted dispatch touches owner shard only" `Quick
+      test_targeted_dispatch_isolation;
+    Alcotest.test_case "empty key word is unroutable" `Quick
+      test_route_place_rejects_empty_word;
     Alcotest.test_case "batch cancellation" `Quick test_batch_cancellation;
     Alcotest.test_case "batch dedup and re-add" `Quick test_batch_dedup_and_readd;
     Alcotest.test_case "batch net removal" `Quick test_batch_net_removal;
