@@ -292,6 +292,108 @@ let stat_int key l =
   | Some (_, v) -> v
   | None -> 0
 
+(* Windowed replay: the same timestamped SNB stream through a time-sliding
+   windowed TRIC+ at three spans (1k/10k/100k seconds against a ~10s mean
+   event gap), per-update and in 64-update micro-batches, in event-time
+   order and with 10% skewed lateness.  The numbers that matter:
+   [expired_per_wave] is the expiry-batch amortization — how many expired
+   edges each watermark advance folds into one net-op removal batch
+   (retention runs per update, so the batched rows keep the same wave
+   count and amortize the engine feed instead); [late_dropped] confirms
+   the watermark discards stragglers instead of corrupting the window.
+   Written to BENCH_window.json. *)
+let window_report fmt =
+  let edges = getenv_int "TRIC_WINDOW_EDGES" 8_000 in
+  let qdb = getenv_int "TRIC_WINDOW_QDB" 100 in
+  let d =
+    W.Dataset.make W.Dataset.Snb
+      { W.Dataset.edges; qdb; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 7 }
+  in
+  let mean_gap = 10.0 in
+  let spans = [ 1_000; 10_000; 100_000 ] in
+  let batches = [ 1; 64 ] in
+  let regimes = [ ("in-order", 0.0); ("late-10pct", 0.1) ] in
+  Format.fprintf fmt
+    "=== Windowed throughput and expiry amortization (SNB, %d updates, qdb=%d, mean gap %.0fs) ===@.@."
+    edges qdb mean_gap;
+  let measured =
+    List.map
+      (fun (regime, late_frac) ->
+        Format.fprintf fmt "%s:@." regime;
+        let stream =
+          W.Snb.generate_timed ~mean_gap ~late_frac ~late_max:5_000 ~seed:7 ~edges ()
+        in
+        let points =
+          List.concat_map
+            (fun span ->
+              let spec =
+                Tric_query.Wspec.Time { shape = Tric_query.Wspec.Sliding; span }
+              in
+              List.map
+                (fun batch ->
+                  let engine =
+                    E.Engines.windowed_spec ~default:spec (fun () ->
+                        E.Engines.tric ~cache:true ())
+                  in
+                  let r =
+                    E.Runner.run ~measure_memory:false ~batch_size:batch ~engine
+                      ~queries:d.W.Dataset.queries ~stream ()
+                  in
+                  let stats = engine.E.Matcher.stats () in
+                  engine.E.Matcher.shutdown ();
+                  let expired = stat_int "win_expired_edges" stats in
+                  let waves = stat_int "win_expiry_batches" stats in
+                  let late = stat_int "win_late_dropped" stats in
+                  let live = stat_int "win_live_edges" stats in
+                  let amort =
+                    if waves > 0 then float_of_int expired /. float_of_int waves
+                    else 0.0
+                  in
+                  Format.fprintf fmt
+                    "  span %-7ds batch=%-3d %10.0f upd/s  expired %6d in %5d waves \
+                     (%.1f edges/wave)  late dropped %5d  live %6d@."
+                    span batch r.E.Runner.throughput_ups expired waves amort late live;
+                  (span, batch, r.E.Runner.throughput_ups, expired, waves, amort, late, live))
+                batches)
+            spans
+        in
+        Format.fprintf fmt "@.";
+        (regime, late_frac, points))
+      regimes
+  in
+  write_bench_json fmt ~file:"BENCH_window.json" ~bench:"window-expiry"
+    (workload_fields ~source:"snb" ~edges ~qdb
+    @ [
+        ("engine", J.Str "TRIC+");
+        ("mean_gap_s", J.Num mean_gap);
+        ( "regimes",
+          J.Arr
+            (List.map
+               (fun (regime, late_frac, points) ->
+                 J.Obj
+                   [
+                     ("regime", J.Str regime);
+                     ("late_frac", J.Num late_frac);
+                     ( "points",
+                       J.Arr
+                         (List.map
+                            (fun (span, batch, ups, expired, waves, amort, late, live) ->
+                              J.Obj
+                                [
+                                  ("span_s", J.int span);
+                                  ("batch", J.int batch);
+                                  ("upd_per_s", J.Num ups);
+                                  ("expired_edges", J.int expired);
+                                  ("expiry_waves", J.int waves);
+                                  ("expired_per_wave", J.Num amort);
+                                  ("late_dropped", J.int late);
+                                  ("live_edges", J.int live);
+                                ])
+                            points) );
+                   ])
+               measured) );
+      ])
+
 (* Domain-scaling report: replay the same SNB workload through the sharded
    dispatcher at 1/2/4/8 domains — add-only, and 50/50 churn (every
    second-half addition immediately retracted) — and report updates/s,
@@ -675,6 +777,13 @@ let () =
     shard_scaling_report fmt;
     exit 0
   end;
+  (* TRIC_WINDOW_ONLY=1: just the windowed throughput / expiry
+     amortization report (fast path for CI and for regenerating
+     BENCH_window.json). *)
+  if Sys.getenv_opt "TRIC_WINDOW_ONLY" <> None then begin
+    window_report fmt;
+    exit 0
+  end;
   (* TRIC_FANOUT_ONLY=1: just the dispatch-fanout smoke, failing the run
      if targeted dispatch degrades back into a broadcast (CI). *)
   if Sys.getenv_opt "TRIC_FANOUT_ONLY" <> None then begin
@@ -696,6 +805,7 @@ let () =
   run_and_report fmt (figure_benches ());
   churn_stats_report fmt;
   batch_throughput_report fmt;
+  window_report fmt;
   shard_scaling_report fmt;
   fanout_report fmt;
   overhead_report fmt;

@@ -147,6 +147,7 @@ let runner_json (r : Engine.Runner.result) =
     ("latency_exact", Bool r.latency_exact);
     ("throughput_ups", Num r.throughput_ups);
     ("matches", int r.matches);
+    ("retractions", int r.retractions);
     ("satisfied_queries", int r.satisfied_queries);
     ("audits", int r.audits);
   ]
@@ -169,6 +170,16 @@ let batch_arg =
 let shards_arg =
   Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"Shard the trie engines over $(docv) domains (default 1; env TRIC_SHARDS). Baselines are inherently sequential and ignore it.")
 
+let window_arg =
+  Arg.(value & opt (some string) None & info [ "window" ] ~docv:"SPEC" ~doc:"Wrap the engine in a streaming window and expire old edges with retractions. $(docv) is the default window for queries without a WITHIN clause: a bare integer is a count window in edges ('1000'), a duration is an event-time window ('90s', '15m', '1h'), with optional TUMBLING/SLIDING modifier ('1h TUMBLING'). Env TRIC_WINDOW.")
+
+let parse_window = function
+  | None -> Ok None
+  | Some spec -> (
+    match Tric_query.Wspec.of_string spec with
+    | Ok w -> Ok (Some w)
+    | Error msg -> Error (Printf.sprintf "--window: %s" msg))
+
 let replay_cmd =
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Dataset file.") in
   let engine_arg =
@@ -177,13 +188,16 @@ let replay_cmd =
   let metrics_out_arg =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Run with telemetry enabled and write the merged metrics snapshot, runner numbers and span traces to $(docv) as JSON (schema tric-metrics-v1).")
   in
-  let run file engine_name budget batch shards metrics_out =
+  let run file engine_name budget batch shards window metrics_out =
     if batch < 1 then `Error (false, "--batch must be >= 1")
     else if (match shards with Some s -> s < 1 | None -> false) then
       `Error (false, "--shards must be >= 1")
     else
+      match parse_window window with
+      | Error msg -> `Error (false, msg)
+      | Ok window -> (
       let metrics = match metrics_out with Some _ -> Some true | None -> None in
-      match Engine.Engines.by_name ?shards ?metrics engine_name with
+      match Engine.Engines.by_name ?shards ?metrics ?window engine_name with
       | exception Invalid_argument msg -> `Error (false, msg)
       | engine ->
         let d = W.Dataset.load file in
@@ -213,14 +227,14 @@ let replay_cmd =
             routed
             (float_of_int (stat "ops_dispatched") /. float_of_int routed)
             engine.Engine.Matcher.shards;
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a saved dataset through one engine and report timings.")
     Term.(
       ret
         (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg $ shards_arg
-       $ metrics_out_arg))
+       $ window_arg $ metrics_out_arg))
 
 (* Interleave deterministic removals into an add-only stream: after every
    [1/churn] (rounded) applied additions, remove the oldest still-live
@@ -246,7 +260,7 @@ let churn_stream churn stream =
     Tric_graph.Stream.iter
       (fun u ->
         emit u;
-        (match u with
+        (match u.Tric_graph.Update.op with
         | Tric_graph.Update.Add e ->
           if not (Tric_graph.Edge.Tbl.mem live e) then begin
             Tric_graph.Edge.Tbl.replace live e ();
@@ -280,15 +294,18 @@ let audit_cmd =
   let metrics_out_arg =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Run with telemetry enabled and, if the audit stays clean, write the metrics envelope to $(docv).")
   in
-  let run file engine_name every churn batch shards metrics_out =
+  let run file engine_name every churn batch shards window metrics_out =
     if batch < 1 then `Error (false, "--batch must be >= 1")
     else if every < 1 then `Error (false, "--every must be >= 1")
     else if churn < 0.0 || churn >= 1.0 then `Error (false, "--churn must be in [0, 1)")
     else if (match shards with Some s -> s < 1 | None -> false) then
       `Error (false, "--shards must be >= 1")
     else
+      match parse_window window with
+      | Error msg -> `Error (false, msg)
+      | Ok window -> (
       let metrics = match metrics_out with Some _ -> Some true | None -> None in
-      match Engine.Engines.by_name ?shards ?metrics engine_name with
+      match Engine.Engines.by_name ?shards ?metrics ?window engine_name with
       | exception Invalid_argument msg -> `Error (false, msg)
       | engine -> (
         let d = W.Dataset.load file in
@@ -310,7 +327,7 @@ let audit_cmd =
           Format.eprintf
             "@[<v>AUDIT FAILURE: %s diverged from ground truth after update %d@,%a@]@."
             f.engine f.update_index Tric_audit.Audit.pp_report f.findings;
-          `Error (false, "audit failed"))
+          `Error (false, "audit failed")))
   in
   Cmd.v
     (Cmd.info "audit"
@@ -318,7 +335,7 @@ let audit_cmd =
     Term.(
       ret
         (const run $ file_arg $ engine_arg $ every_arg $ churn_arg $ batch_arg
-       $ shards_arg $ metrics_out_arg))
+       $ shards_arg $ window_arg $ metrics_out_arg))
 
 let read_file path =
   let ic = open_in_bin path in

@@ -58,7 +58,7 @@ let () =
         (fun (qid, embeddings) ->
           if fired.(qid) = 0 then first_hits := (qid, u, List.hd embeddings) :: !first_hits;
           fired.(qid) <- fired.(qid) + List.length embeddings)
-        (Tric.handle_update engine u))
+        (fst (Tric.handle_update engine u)))
     stream;
 
   List.iter

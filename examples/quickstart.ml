@@ -52,7 +52,7 @@ let () =
           List.iter
             (fun emb -> Format.printf "  -> notification [%s]: %a@." name Embedding.pp emb)
             embeddings)
-        (Tric.handle_update engine update))
+        (fst (Tric.handle_update engine update)))
     stream;
 
   (* 4. Probe the full current result of a query at any time. *)

@@ -67,7 +67,7 @@ let () =
   List.iter
     (fun text ->
       let u = Parse.update text in
-      let report = Tric.handle_update engine u in
+      let report, _retractions = Tric.handle_update engine u in
       if report = [] then Format.printf "  %a@." Tric_graph.Update.pp u
       else begin
         Format.printf "! %a@." Tric_graph.Update.pp u;

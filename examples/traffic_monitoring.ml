@@ -57,6 +57,6 @@ let () =
                  (List.length embeddings) Tric_graph.Update.pp u
              end
              else raise Exit)
-           (Tric_core.Tric.handle_update t u))
+           (fst (Tric_core.Tric.handle_update t u)))
        stream
    with Exit -> ())

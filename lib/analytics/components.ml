@@ -64,7 +64,7 @@ let refresh t = if t.dirty then rebuild t
 
 let handle_update t u =
   let e = Update.edge u in
-  match u with
+  match u.Update.op with
   | Update.Add _ ->
     if not (Edge.Tbl.mem t.edges e) then begin
       Edge.Tbl.add t.edges e ();

@@ -89,7 +89,7 @@ let handle_update t u =
   (* Streams have set semantics over exact triples: a duplicate addition
      or a removal of an absent edge is a no-op. *)
   let effective =
-    match u with
+    match u.Update.op with
     | Update.Add _ ->
       if Edge.Tbl.mem t.edges e then false
       else begin
@@ -108,7 +108,7 @@ let handle_update t u =
     ignore (nset_cell t e.src);
     ignore (nset_cell t e.dst);
     if not (Label.equal e.src e.dst) then begin
-      match u with
+      match u.Update.op with
       | Update.Add _ ->
         if bump_multiplicity t e.src e.dst 1 then on_pair_added t e.src e.dst
       | Update.Remove _ ->

@@ -82,7 +82,7 @@ let handle_update t u =
         (* An addition can only turn unreached -> reached; a deletion only
            the converse.  Skip the BFS when the transition is
            impossible. *)
-        match u with
+        match u.Update.op with
         | Update.Add _ ->
           if (not !reached) && check t w then begin
             reached := true;

@@ -16,6 +16,7 @@ type location =
   | Base of Ekey.t
   | Query of int
   | Stats
+  | Window
 
 type finding = {
   severity : severity;
@@ -34,6 +35,7 @@ let invariant_classes =
     "index-coherence";
     "cache-coherence";
     "stats";
+    "window-coherence";
   ]
 
 (* How many offending tuples/embeddings a diff finding quotes. *)
@@ -423,6 +425,7 @@ let pp_location fmt = function
   | Base key -> Format.fprintf fmt "base[%a]" Ekey.pp key
   | Query qid -> Format.fprintf fmt "Q%d" qid
   | Stats -> Format.pp_print_string fmt "stats"
+  | Window -> Format.pp_print_string fmt "window"
 
 let pp_finding fmt f =
   Format.fprintf fmt "[%s] %s @ %a: %s"

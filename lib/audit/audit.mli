@@ -44,6 +44,13 @@
     - {b stats}: accounting identities — per relation,
       [inserts - removes = cardinality]; across the engine, evicted-tuple
       sums and batch net-op counts must add up.
+    - {b window-coherence} (emitted by {!Tric_engine.Window.audit}, not
+      {!check}): no retained edge outlives its window — time-window
+      deadlines never sit at or behind the watermark, count windows never
+      exceed capacity — and the window retains no edge the stream has
+      dropped; each group's inner engine is then certified against the
+      window's own live edge set, so a lost expiry removal surfaces as a
+      base-coherence divergence.
 
     Checks are pure observation: they never build indexes that are not
     already live and never mutate the engine. *)
@@ -61,6 +68,7 @@ type location =
   | Base of Ekey.t  (** the base view of a generic edge key *)
   | Query of int  (** a live query, by id *)
   | Stats  (** engine-level accounting *)
+  | Window  (** a window wrapper's retention state *)
 
 type finding = {
   severity : severity;
@@ -70,7 +78,7 @@ type finding = {
 }
 
 val invariant_classes : string list
-(** The eight class identifiers, lattice order. *)
+(** The nine class identifiers, lattice order. *)
 
 val check : ?edges:Edge.t list -> Tric_core.Tric.t -> finding list
 (** Audit a TRIC/TRIC+ engine, sequential or sharded — every shard's

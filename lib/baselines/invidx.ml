@@ -308,8 +308,30 @@ let handle_update t u =
     if Update.is_addition u then Tric_obs.Registry.incr o.o_additions
     else Tric_obs.Registry.incr o.o_removals
   | None -> ());
-  match u with
+  match u.Update.op with
   | Update.Remove e ->
+    (* Retractions are answered against the pre-removal views: the
+       matches a live edge supports are exactly the per-query answers
+       seeded on (Full: filtered to use) that edge — compute them first,
+       then mutate.  A removal of an edge never added retracts nothing. *)
+    let retractions =
+      if not (Edge.Tbl.mem t.seen e) then []
+      else
+        let affected =
+          List.concat_map
+            (fun k ->
+              match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
+            (Ekey.keys_of_edge e)
+          |> List.sort_uniq Int.compare
+        in
+        List.filter_map
+          (fun qid ->
+            match Hashtbl.find_opt t.queries qid with
+            | None -> None
+            | Some info ->
+              (match answer_query t info e with [] -> None | l -> Some (qid, l)))
+          affected
+    in
     Edge.Tbl.remove t.seen e;
     let tuple = Tuple.of_edge e in
     List.iter
@@ -318,9 +340,9 @@ let handle_update t u =
         | Some base -> ignore (Relation.remove base tuple)
         | None -> ())
       (Ekey.keys_of_edge e);
-    []
+    ([], retractions)
   | Update.Add e ->
-    if Edge.Tbl.mem t.seen e then []
+    if Edge.Tbl.mem t.seen e then ([], [])
     else begin
       Edge.Tbl.add t.seen e ();
       let keys = Ekey.keys_of_edge e in
@@ -353,7 +375,7 @@ let handle_update t u =
           (fun (_, l) -> Tric_obs.Registry.add o.o_matches (List.length l))
           report
       | None -> ());
-      report
+      (report, [])
     end
 
 let current_matches t qid =

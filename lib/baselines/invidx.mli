@@ -44,7 +44,13 @@ val add_query : t -> Pattern.t -> unit
 val remove_query : t -> int -> bool
 val num_queries : t -> int
 
-val handle_update : t -> Update.t -> (int * Embedding.t list) list
+val handle_update :
+  t -> Update.t -> (int * Embedding.t list) list * (int * Embedding.t list) list
+(** [(matches, retractions)].  An addition reports the new matches it
+    creates; a removal of a live edge reports the matches it destroys
+    (answered against the pre-removal views, each using the removed
+    edge).  The other channel is always []. *)
+
 val current_matches : t -> int -> Embedding.t list
 val covering_paths : t -> int -> Path.t list
 

@@ -67,3 +67,4 @@ let targets tbl (e : Edge.t) =
 
 let fold f tbl init = Ekey.Tbl.fold f tbl.bits init
 let set_bits tbl key mask = Ekey.Tbl.replace tbl.bits key mask
+let clear tbl key = Ekey.Tbl.remove tbl.bits key

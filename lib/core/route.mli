@@ -16,9 +16,11 @@
     update can possibly affect is the union of four mask lookups
     ({!targets}) — shards outside the mask have no matching node {e and}
     no matching base view, making the skip a semantic no-op.  Bits are
-    only ever added ([remove_query] retains shared trie structure), so
-    the mask is always exactly the set of shards holding nodes for the
-    key — the equality the routing-coherence audit certifies.
+    added by {!register} at query registration and rebuilt ({!set_bits} /
+    {!clear}) when [remove_query] prunes a key's last trie nodes from a
+    shard, so the mask is always exactly the set of shards holding nodes
+    for the key — the equality the routing-coherence audit certifies in
+    both directions.
 
     [owner] is deterministic within a run for a fixed shard count (it
     hashes interned label ids, which are assigned in stream order). *)
@@ -84,6 +86,12 @@ val fold : (Ekey.t -> int -> 'a -> 'a) -> table -> 'a -> 'a
     order — audit access. *)
 
 val set_bits : table -> Ekey.t -> int -> unit
-(** Overwrite a key's mask verbatim, bypassing the monotone {!register}
-    discipline.  Test-only: exists so corruption hooks can plant routing
-    divergence for the audit mutation tests.  Never call it elsewhere. *)
+(** Overwrite a key's mask verbatim, bypassing the additive {!register}
+    discipline.  Used by the engine to rebuild a key's mask after trie
+    pruning (and by the audit corruption hooks to plant routing
+    divergence).  The caller must guarantee the new mask equals the set
+    of shards whose forest still holds a node for the key. *)
+
+val clear : table -> Ekey.t -> unit
+(** Drop a key's entry entirely — the rebuild result when no shard holds
+    a node for the key any more. *)

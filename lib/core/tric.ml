@@ -222,12 +222,39 @@ let add_query t pattern =
 let remove_query t qid =
   (* Deregister the id from its terminal nodes so a later re-add of the id
      (possibly with a different pattern) cannot inherit stale delta
-     attributions.  Shared trie structure and views are intentionally
-     retained (other queries use them). *)
+     attributions.  Trie structure shared with other queries survives;
+     branches that held only this query's registrations are pruned
+     bottom-up, and every key whose node set shrank gets its dispatch
+     mask rebuilt from the forests — without this, long-lived churny
+     query DBs decay dispatch fanout back toward broadcast. *)
   match Hashtbl.find_opt t.queries qid with
   | None -> false
   | Some info ->
     Array.iter (fun terminal -> Trie.deregister terminal ~qid) info.terminals;
+    let affected = ref [] in
+    Array.iteri
+      (fun i terminal ->
+        let forest = Shard.forest t.shards.(info.path_shards.(i)) in
+        let keys, removes = Trie.prune forest terminal in
+        (* Detached views leave the live-view eviction sum; keep the
+           stats identity (audit: view eviction sum = tuples_removed). *)
+        t.tuples_removed <- t.tuples_removed - removes;
+        List.iter
+          (fun k ->
+            if not (List.exists (fun k' -> Ekey.equal k k') !affected) then
+              affected := k :: !affected)
+          keys)
+      info.terminals;
+    List.iter
+      (fun k ->
+        let mask = ref 0 in
+        Array.iteri
+          (fun s sh ->
+            if Trie.nodes_with_key (Shard.forest sh) k <> [] then
+              mask := !mask lor (1 lsl s))
+          t.shards;
+        if !mask = 0 then Route.clear t.route k else Route.set_bits t.route k !mask)
+      !affected;
     Hashtbl.remove t.queries qid;
     true
 
@@ -356,6 +383,55 @@ let report_of_deltas ?(sp = Tric_obs.Span.none) t per_shard =
 
 (* -- Removal bookkeeping ----------------------------------------------------- *)
 
+(* The retraction mirror of [query_new_matches]: join each path's dead
+   delta against the other paths' cached results {e before} the caches
+   are subtracted.  Covering paths cover every pattern edge, so any live
+   match using the removed edge projects onto a dead tuple of at least
+   one path; the other paths' pre-subtraction caches still hold all of
+   its remaining projections iff the match was live — so the join
+   reconstructs exactly the destroyed matches.  A match whose edge dies
+   on several paths is found once per such path; the final dedup
+   collapses it. *)
+let query_retractions info deltas =
+  let k = Array.length info.paths in
+  let dead_embs =
+    Array.mapi
+      (fun i delta -> embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta)
+      deltas
+  in
+  let results = ref [] in
+  Array.iteri
+    (fun i dead ->
+      if dead <> [] then begin
+        let operands =
+          dead
+          :: List.filter_map
+               (fun j -> if j = i then None else Some info.path_embs.(j))
+               (List.init k Fun.id)
+        in
+        results := Embjoin.join_many operands @ !results
+      end)
+    dead_embs;
+  List.filter Embedding.is_total (Embjoin.dedup !results)
+
+(* Union several per-removal retraction channels into one sorted,
+   deduplicated (qid, embeddings) list. *)
+let merge_retraction_channels = function
+  | [] -> []
+  | [ one ] -> one
+  | lists ->
+    let tbl : (int, Embedding.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (List.iter (fun (qid, embs) ->
+           match Hashtbl.find_opt tbl qid with
+           | Some cell -> cell := embs @ !cell
+           | None -> Hashtbl.add tbl qid (ref embs)))
+      lists;
+    Hashtbl.fold
+      (fun qid cell acc -> (qid, List.sort_uniq Embedding.compare !cell) :: acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 (* Per-query delta invalidation: subtract exactly the embeddings of the
    tuples evicted at each registered terminal from the owning query's
    cached per-path results.  Queries whose terminals lost nothing keep
@@ -393,7 +469,10 @@ let apply_removal_deltas t per_query =
   !touched
 
 (* Account one removal given its gathered per-shard deltas and the total
-   evicted-tuple count summed over shards. *)
+   evicted-tuple count summed over shards.  Returns the removal's
+   retraction channel: per affected query (ascending id), the live
+   matches the eviction destroyed — computed against the pre-subtraction
+   caches, then the caches are subtracted. *)
 let account_removal t removed per_shard_deltas =
   t.removals <- t.removals + 1;
   t.tuples_removed <- t.tuples_removed + removed;
@@ -401,23 +480,37 @@ let account_removal t removed per_shard_deltas =
     (* No-op removal (absent edge, or no view retained it): every cache
        survives verbatim. *)
     t.noop_removals <- t.noop_removals + 1;
-    t.invalidations_avoided <- t.invalidations_avoided + num_queries t
+    t.invalidations_avoided <- t.invalidations_avoided + num_queries t;
+    []
   end
   else begin
-    let touched = apply_removal_deltas t (merge_deltas t per_shard_deltas) in
+    let per_query = merge_deltas t per_shard_deltas in
+    let retractions =
+      Hashtbl.fold
+        (fun qid deltas acc ->
+          let info = Hashtbl.find t.queries qid in
+          match query_retractions info deltas with
+          | [] -> acc
+          | dead -> (qid, dead) :: acc)
+        per_query []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let touched = apply_removal_deltas t per_query in
     t.invalidations_avoided <-
-      t.invalidations_avoided + (num_queries t - List.length touched)
+      t.invalidations_avoided + (num_queries t - List.length touched);
+    retractions
   end
 
 let apply_removal ?(sp = Tric_obs.Span.none) t sids e =
   let results = dispatch ~sp t sids (fun sh -> Shard.apply_remove sh e) in
   let removed = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
-  account_removal t removed (Array.map fst results);
-  span_stage t sp "subtract"
+  let retractions = account_removal t removed (Array.map fst results) in
+  span_stage t sp "subtract";
+  retractions
 
 let handle_update t u =
   (match t.obs with Some o -> Tric_obs.Registry.incr o.o_updates | None -> ());
-  match u with
+  match u.Update.op with
   | Update.Add e ->
     (match t.obs with Some o -> Tric_obs.Registry.incr o.o_additions | None -> ());
     let sp = span_start t "add" in
@@ -426,20 +519,22 @@ let handle_update t u =
       (* No registered key generalises this edge: no shard holds a view
          it could feed, so there is nothing to do and nothing to report —
          on any shard count, including 1. *)
-      []
+      ([], [])
     | sids ->
       let per_shard = dispatch ~sp t sids (fun sh -> Shard.apply_add sh e) in
-      report_of_deltas ~sp t per_shard)
+      (report_of_deltas ~sp t per_shard, []))
   | Update.Remove e ->
     (match t.obs with Some o -> Tric_obs.Registry.incr o.o_removals | None -> ());
     let sp = span_start t "remove" in
-    (match route_op t e with
-    | [] ->
-      (* Still a removal for the accounting identities — just a provably
-         no-op one. *)
-      account_removal t 0 [||]
-    | sids -> apply_removal ~sp t sids e);
-    []
+    let retractions =
+      match route_op t e with
+      | [] ->
+        (* Still a removal for the accounting identities — just a provably
+           no-op one. *)
+        account_removal t 0 [||]
+      | sids -> apply_removal ~sp t sids e
+    in
+    ([], retractions)
 
 (* -- Micro-batches ----------------------------------------------------------- *)
 
@@ -525,30 +620,41 @@ let handle_batch t updates =
     active;
   (* Account removals in window order.  Shard [s]'s result array lists
      only the removals routed to [s], so walk each with a cursor; an
-     unrouted removal is a provable no-op and is accounted as such. *)
-  (match removals with
-  | [] -> ()
-  | _ ->
-    let cursor = Array.make t.nshards 0 in
-    List.iter2
-      (fun _e sids ->
-        let per =
-          List.map
-            (fun s ->
-              let slot = rem_res.(s).(cursor.(s)) in
-              cursor.(s) <- cursor.(s) + 1;
-              slot)
-            sids
-        in
-        let removed = List.fold_left (fun acc (_, c) -> acc + c) 0 per in
-        account_removal t removed (Array.of_list (List.map fst per)))
-      removals rem_targets;
-    span_stage t sp "subtract");
+     unrouted removal is a provable no-op and is accounted as such.
+     Per-removal retraction channels accumulate: once a removal retracts
+     a match, its cache support is subtracted, so a later removal in the
+     same window cannot retract it again — the union is duplicate-free
+     across removals and the merge only unions distinct matches per
+     query. *)
+  let retractions =
+    match removals with
+    | [] -> []
+    | _ ->
+      let cursor = Array.make t.nshards 0 in
+      let acc = ref [] in
+      List.iter2
+        (fun _e sids ->
+          let per =
+            List.map
+              (fun s ->
+                let slot = rem_res.(s).(cursor.(s)) in
+                cursor.(s) <- cursor.(s) + 1;
+                slot)
+              sids
+          in
+          let removed = List.fold_left (fun acc (_, c) -> acc + c) 0 per in
+          match account_removal t removed (Array.of_list (List.map fst per)) with
+          | [] -> ()
+          | retr -> acc := retr :: !acc)
+        removals rem_targets;
+      span_stage t sp "subtract";
+      merge_retraction_channels (List.rev !acc)
+  in
   match additions with
-  | [] -> []
+  | [] -> ([], retractions)
   | _ ->
     let per_shard = Array.of_list (List.map (fun s -> add_res.(s)) active) in
-    report_of_deltas ~sp t per_shard
+    (report_of_deltas ~sp t per_shard, retractions)
 
 (* -- Probes ---------------------------------------------------------------- *)
 

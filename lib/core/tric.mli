@@ -88,21 +88,32 @@ val add_query : t -> Pattern.t -> unit
     @raise Invalid_argument on a duplicate id. *)
 
 val remove_query : t -> int -> bool
-(** Deregister a query id.  Trie nodes and views shared with other queries
-    are kept; returns [false] if the id is unknown. *)
+(** Deregister a query id.  Trie nodes and views shared with other
+    queries are kept; branches that existed only for this query are
+    pruned bottom-up ({!Trie.prune}) and the dispatch masks of every key
+    whose node set shrank are rebuilt from the forests (cleared when no
+    shard holds the key any more), so churny query DBs keep targeted
+    dispatch instead of decaying toward broadcast.  Returns [false] if
+    the id is unknown. *)
 
 val num_queries : t -> int
 
-val handle_update : t -> Update.t -> (int * Embedding.t list) list
-(** Process one stream update.  For an addition, returns, per satisfied
-    query id (ascending), the new total embeddings created by this update.
-    For a removal, prunes all views by prefix-indexed downward propagation
-    (§4.3) and subtracts exactly the evicted terminal tuples from the
-    owning queries' cached per-path embeddings — queries untouched by the
-    removal keep their caches, and a no-op removal (absent edge) touches
-    nothing.  Returns [] for removals. *)
+val handle_update :
+  t -> Update.t -> (int * Embedding.t list) list * (int * Embedding.t list) list
+(** Process one stream update; returns [(matches, retractions)].  For an
+    addition, [matches] lists, per satisfied query id (ascending), the
+    new total embeddings created by this update ([retractions] is []).
+    For a removal, all views are pruned by prefix-indexed downward
+    propagation (§4.3) and exactly the evicted terminal tuples are
+    subtracted from the owning queries' cached per-path embeddings —
+    queries untouched by the removal keep their caches, and a no-op
+    removal (absent edge) touches nothing.  [retractions] lists, per
+    affected query id (ascending), the previously-live matches the
+    removal destroyed: each dead per-path delta joined against the other
+    paths' pre-subtraction caches ([matches] is []). *)
 
-val handle_batch : t -> Update.t list -> (int * Embedding.t list) list
+val handle_batch :
+  t -> Update.t list -> (int * Embedding.t list) list * (int * Embedding.t list) list
 (** Process a micro-batch of updates as one unit of work, equivalently to
     replaying them sequentially with {!handle_update} (same final
     materialized views, same {!current_matches} for every query —
@@ -117,9 +128,13 @@ val handle_batch : t -> Update.t list -> (int * Embedding.t list) list
     node per batch — and the per-query final join runs once over the
     merged terminal deltas.
 
-    Returns, per satisfied query id (ascending), the new embeddings the
-    window created {e net of the window itself}: matches both created and
-    destroyed inside the same batch are cancelled and never reported. *)
+    Returns [(matches, retractions)]: per satisfied query id (ascending),
+    the new embeddings the window created {e net of the window itself} —
+    matches both created and destroyed inside the same batch are
+    cancelled and never reported — and, per affected query id, the
+    previously-live matches the window's net removals destroyed
+    (accumulated removal by removal in window order, so nothing is
+    retracted twice). *)
 
 val current_matches : t -> int -> Embedding.t list
 (** Probe: the query's full current result, recomputed by joining its

@@ -28,7 +28,8 @@ type t = {
   root_ind : node Ekey.Tbl.t;
   edge_ind : node list ref Ekey.Tbl.t;
   base : Relation.t Ekey.Tbl.t;
-  mutable node_count : int;
+  mutable node_count : int; (* monotone id allocator — never decremented *)
+  mutable live_count : int; (* nodes currently in the forest *)
   view_obs : Relation.obs option; (* node views: stable across shard counts *)
   base_obs : Relation.obs option; (* base views: duplicated per shard, unstable *)
 }
@@ -57,6 +58,7 @@ let create ?(id_base = 0) ?(id_stride = 1) ?obs ~cache () =
     edge_ind = Ekey.Tbl.create 256;
     base = Ekey.Tbl.create 256;
     node_count = 0;
+    live_count = 0;
     view_obs;
     base_obs;
   }
@@ -111,6 +113,7 @@ let new_node t ~key ~parent =
     }
   in
   t.node_count <- t.node_count + 1;
+  t.live_count <- t.live_count + 1;
   ignore (ensure_base t key);
   register_in_edge_ind t key n;
   seed t n;
@@ -156,8 +159,48 @@ let nodes_with_key t key =
 
 let roots t = Ekey.Tbl.fold (fun _ n acc -> n :: acc) t.root_ind []
 let num_tries t = Ekey.Tbl.length t.root_ind
-let num_nodes t = t.node_count
+let num_nodes t = t.live_count
 let num_base_views t = Ekey.Tbl.length t.base
+
+(* Bottom-up pruning: starting from a just-deregistered terminal, detach
+   every node that carries no registration and no children — walking up
+   to the root as parents empty out.  A detached node leaves the edge
+   index too; when a key's last node goes, the key's base view goes with
+   it (the routing layer will stop dispatching the key here, so a
+   retained base view would silently go stale).  Returns the keys whose
+   node set shrank (so the caller can rebuild dispatch masks) and the
+   total [Relation.stats_removes] of the detached views (so the caller
+   can keep its eviction-accounting identity: detached views no longer
+   contribute to the live-view eviction sum). *)
+let prune t node =
+  let keys = ref [] in
+  let removes = ref 0 in
+  let note_key k =
+    if not (List.exists (fun k' -> Ekey.equal k k') !keys) then keys := k :: !keys
+  in
+  let rec go n =
+    if n.regs = [] && n.children = [] then begin
+      (match Ekey.Tbl.find_opt t.edge_ind n.key with
+      | Some cell ->
+        cell := List.filter (fun m -> m.nid <> n.nid) !cell;
+        if !cell = [] then begin
+          Ekey.Tbl.remove t.edge_ind n.key;
+          Ekey.Tbl.remove t.base n.key
+        end
+      | None -> ());
+      note_key n.key;
+      removes := !removes + Relation.stats_removes n.view;
+      t.live_count <- t.live_count - 1;
+      match n.parent with
+      | None -> Ekey.Tbl.remove t.root_ind n.key
+      | Some p ->
+        Ekey.Tbl.remove p.children_tbl n.key;
+        p.children <- List.filter (fun c -> c.nid <> n.nid) p.children;
+        go p
+    end
+  in
+  go node;
+  (!keys, !removes)
 
 let fold_nodes f t init =
   let rec go n acc = List.fold_left (fun acc c -> go c acc) (f n acc) n.children in

@@ -71,9 +71,27 @@ val insert_path : t -> Ekey.t list -> qid:int -> path_index:int -> node
 val base_view : t -> Ekey.t -> Relation.t option
 val nodes_with_key : t -> Ekey.t -> node list
 val roots : t -> node list
+
 val num_nodes : t -> int
+(** Nodes currently in the forest.  Node {e ids} are allocated
+    monotonically and never reused, so after pruning the highest id can
+    exceed [num_nodes]. *)
+
 val num_tries : t -> int
 val num_base_views : t -> int
+
+val prune : t -> node -> Ekey.t list * int
+(** [prune t n] detaches [n] if it carries no registration and no
+    children, then walks up detaching parents that empty out — the
+    reclamation step of query removal.  When a key's last node leaves
+    the forest, its entry in the edge index {e and} its base view are
+    dropped (a base view no update will ever feed again must not linger:
+    it would go stale and fail base-coherence).  Returns the keys whose
+    node set shrank — the caller must rebuild their dispatch masks — and
+    the summed [Relation.stats_removes] of the detached views, which the
+    caller must subtract from its eviction counter to preserve the stats
+    audit identity.  A no-op (returning [([], 0)]) when [n] is still
+    registered or has children. *)
 
 val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
 

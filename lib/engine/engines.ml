@@ -27,8 +27,10 @@ let iso () =
        true))
     ~num_queries:(fun () -> Hashtbl.length instances)
     ~handle_update:(fun u ->
-      Hashtbl.fold (fun _ t acc -> Tric_core.Tric.handle_update t u @ acc) instances []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+      Hashtbl.fold
+        (fun _ t acc -> Report.of_pair (Tric_core.Tric.handle_update t u) :: acc)
+        instances []
+      |> Report.merge)
     ~current_matches:(fun qid -> Tric_core.Tric.current_matches (Hashtbl.find instances qid) qid)
     ~memory_words:(fun () -> Obj.reachable_words (Obj.repr instances))
     ()
@@ -36,20 +38,46 @@ let iso () =
 let tric_naive_cover () =
   Matcher.of_tric (Tric_core.Tric.create ~strategy:Tric_query.Cover.Naive ())
 
-let windowed ~window inner =
-  let w = Window.create ~window inner in
-  Matcher.make
-    ~name:(Printf.sprintf "%s/win%d" inner.Matcher.name window)
-    ~description:"sliding-window wrapper" ~stats:inner.Matcher.stats
-    ~shards:inner.Matcher.shards ~busy_s:inner.Matcher.busy_s
-    ~shard_busy:inner.Matcher.shard_busy ~metrics:inner.Matcher.metrics
-    ~spans:inner.Matcher.spans ~shutdown:inner.Matcher.shutdown
+(* Lift a Window.t into the uniform Matcher.t handle, everything wired:
+   the real batch path, the window-coherence audit chained into the inner
+   engines' own auditors, query removal, and expiry/lateness counters
+   surfaced through [stats]. *)
+let of_window ~name w =
+  let inners () = Window.engines w in
+  Matcher.make ~name
+    ~description:"windowed wrapper: per-spec query groups, watermark-driven expiry"
+    ~stats:(fun () -> Window.stats w)
+    ~audit:(Window.audit w)
+    ~handle_batch:(Window.handle_batch w)
+    ~shards:(List.fold_left (fun n e -> max n e.Matcher.shards) 1 (inners ()))
+    ~busy_s:(fun () -> List.fold_left (fun a e -> a +. e.Matcher.busy_s ()) 0.0 (inners ()))
+    ~shard_busy:(fun () ->
+      match inners () with [ e ] -> e.Matcher.shard_busy () | _ -> [||])
+    ~metrics:(fun () ->
+      match inners () with [ e ] -> e.Matcher.metrics () | _ -> Tric_obs.Snapshot.empty)
+    ~spans:(fun () -> List.concat_map (fun e -> e.Matcher.spans ()) (inners ()))
+    ~shutdown:(fun () -> Window.shutdown w)
     ~add_query:(Window.add_query w)
-    ~remove_query:inner.Matcher.remove_query ~num_queries:inner.Matcher.num_queries
+    ~remove_query:(Window.remove_query w)
+    ~num_queries:(fun () -> Window.num_queries w)
     ~handle_update:(Window.handle_update w)
-    ~current_matches:inner.Matcher.current_matches
+    ~current_matches:(Window.current_matches w)
     ~memory_words:(fun () -> Obj.reachable_words (Obj.repr w))
     ()
+
+let windowed ~window inner =
+  let w = Window.create ~window inner in
+  of_window ~name:(Printf.sprintf "%s/win%d" inner.Matcher.name window) w
+
+let windowed_spec ?slack ?default factory =
+  let w = Window.make ?default ?slack factory in
+  let base = match Window.engines w with e :: _ -> e.Matcher.name | [] -> "?" in
+  let name =
+    match default with
+    | Some s -> Printf.sprintf "%s/win[%s]" base (Tric_query.Wspec.to_string s)
+    | None -> Printf.sprintf "%s/win" base
+  in
+  of_window ~name w
 
 (* Shard count for trie engines picked up from the environment so every
    entry point (CLI replays, benches, CI) can run a shard matrix without
@@ -74,21 +102,38 @@ let env_metrics () =
     | "1" | "true" -> true
     | s -> invalid_arg (Printf.sprintf "TRIC_METRICS=%S: expected 0/1/true/false" s))
 
-let by_name ?shards ?metrics name =
+(* And for windows: TRIC_WINDOW carries a Wspec in surface syntax
+   ("1h", "90s TUMBLING", "1000 EVENTS", "500") and becomes the default
+   window of every engine [by_name] builds. *)
+let env_window () =
+  match Sys.getenv_opt "TRIC_WINDOW" with
+  | None | Some "" -> None
+  | Some s -> (
+    match Tric_query.Wspec.of_string s with
+    | Ok spec -> Some spec
+    | Error msg -> invalid_arg (Printf.sprintf "TRIC_WINDOW=%S: %s" s msg))
+
+let by_name ?shards ?metrics ?window name =
   let shards = match shards with Some n -> n | None -> env_shards () in
   let metrics = match metrics with Some b -> b | None -> env_metrics () in
-  match name with
-  | "TRIC" -> tric ~shards ~metrics ()
-  | "TRIC+" -> tric ~cache:true ~shards ~metrics ()
-  | "INV" -> inv ~metrics ()
-  | "INV+" -> inv ~cache:true ~metrics ()
-  | "INC" -> inc ~metrics ()
-  | "INC+" -> inc ~cache:true ~metrics ()
-  | "GraphDB" | "Neo4j" -> graphdb ()
-  | "NAIVE" -> naive ()
-  | "ISO" -> iso ()
-  | "TRIC-naivecover" -> tric_naive_cover ()
-  | name -> invalid_arg (Printf.sprintf "Engines.by_name: unknown engine %S" name)
+  let window = match window with Some _ as w -> w | None -> env_window () in
+  let mk () =
+    match name with
+    | "TRIC" -> tric ~shards ~metrics ()
+    | "TRIC+" -> tric ~cache:true ~shards ~metrics ()
+    | "INV" -> inv ~metrics ()
+    | "INV+" -> inv ~cache:true ~metrics ()
+    | "INC" -> inc ~metrics ()
+    | "INC+" -> inc ~cache:true ~metrics ()
+    | "GraphDB" | "Neo4j" -> graphdb ()
+    | "NAIVE" -> naive ()
+    | "ISO" -> iso ()
+    | "TRIC-naivecover" -> tric_naive_cover ()
+    | name -> invalid_arg (Printf.sprintf "Engines.by_name: unknown engine %S" name)
+  in
+  match window with
+  | None -> mk ()
+  | Some spec -> windowed_spec ~default:spec mk
 
 let paper_names = [ "TRIC"; "TRIC+"; "INV"; "INV+"; "INC"; "INC+"; "GraphDB" ]
 let trie_names = [ "TRIC"; "TRIC+" ]

@@ -22,18 +22,32 @@ val tric_naive_cover : unit -> Matcher.t
     covering-path extraction — fewer shared prefixes. *)
 
 val windowed : window:int -> Matcher.t -> Matcher.t
-(** Wrap any engine in a count-based sliding window (see {!Window}),
-    presented as a {!Matcher.t} so it runs through the harness. *)
+(** Wrap the given engine in a count-based sliding window of [window]
+    most-recent distinct edges ({!Window.create}), presented as a
+    {!Matcher.t} so it runs through the harness — batch path, inner
+    audit chained behind the window-coherence class, and query removal
+    all wired through. *)
 
-val by_name : ?shards:int -> ?metrics:bool -> string -> Matcher.t
+val windowed_spec :
+  ?slack:int -> ?default:Tric_query.Wspec.t -> (unit -> Matcher.t) -> Matcher.t
+(** The spec-aware window ({!Window.make}): queries are grouped by their
+    [WITHIN] clause, each group running its own engine from the factory;
+    [default] scopes queries without a clause (absent: they run
+    unwindowed); [slack] is the watermark's allowed out-of-orderness in
+    seconds (default 0). *)
+
+val by_name : ?shards:int -> ?metrics:bool -> ?window:Tric_query.Wspec.t -> string -> Matcher.t
 (** "TRIC" | "TRIC+" | "INV" | "INV+" | "INC" | "INC+" | "GraphDB" |
     "NAIVE".  [shards] applies to the trie engines only (the baselines
     are inherently sequential); when omitted, the [TRIC_SHARDS]
     environment variable supplies it (default 1).  [metrics] applies to
     the trie and inverted-index engines; when omitted, [TRIC_METRICS]
-    supplies it (default off).
+    supplies it (default off).  [window] wraps the engine in a
+    {!windowed_spec} window with that default spec; when omitted, the
+    [TRIC_WINDOW] environment variable supplies it in {!Tric_query.Wspec}
+    surface syntax (["1h"], ["90s TUMBLING"], ["1000 EVENTS"]...).
     @raise Invalid_argument on anything else, or on a malformed
-    [TRIC_SHARDS] / [TRIC_METRICS]. *)
+    [TRIC_SHARDS] / [TRIC_METRICS] / [TRIC_WINDOW]. *)
 
 val paper_names : string list
 (** The seven engines of the paper's evaluation, in its plotting order:

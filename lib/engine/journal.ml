@@ -11,37 +11,75 @@ type t = {
   replayed : int;
 }
 
+(* Replay one line; [true] iff it held a record (blank and comment lines
+   are layout, not state).  Raises [Failure] on a malformed record. *)
 let replay_line engine lineno line =
-  if line = "" || line.[0] = '#' then ()
+  if line = "" || line.[0] = '#' then false
   else
     match String.split_on_char '\t' line with
     | [ "Q"; id; qname; pattern ] -> (
       match int_of_string_opt id with
-      | Some id -> engine.Matcher.add_query (Parse.pattern ~name:qname ~id pattern)
+      | Some id ->
+        engine.Matcher.add_query (Parse.pattern ~name:qname ~id pattern);
+        true
       | None -> failwith (Printf.sprintf "Journal: bad query id on line %d" lineno))
-    | [ "U"; u ] -> ignore (engine.Matcher.handle_update (Parse.update u))
+    | [ "U"; u ] ->
+      ignore (engine.Matcher.handle_update (Parse.update u));
+      true
     | _ -> failwith (Printf.sprintf "Journal: malformed line %d" lineno)
 
 let open_ ~path make_engine =
   let engine = make_engine () in
-  let replayed = ref 0 in
+  let records = ref 0 in
+  (* [Some offset]: the journal ends in a torn partial record (a crash —
+     kill -9, full disk — mid-append); everything from [offset] on is
+     discarded and the file truncated back to the clean prefix. *)
+  let torn = ref None in
   if Sys.file_exists path then begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            incr replayed;
-            replay_line engine !replayed line
-          done
-        with End_of_file -> ())
+    let content =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let len = String.length content in
+    (* The clean region ends at the last newline: every record append
+       writes its newline last, so bytes past it are a torn tail. *)
+    let clean_len =
+      match String.rindex_opt content '\n' with Some i -> i + 1 | None -> 0
+    in
+    if clean_len < len then torn := Some clean_len;
+    let pos = ref 0 in
+    let lineno = ref 0 in
+    (try
+       while !pos < clean_len do
+         let nl = String.index_from content !pos '\n' in
+         let line = String.sub content !pos (nl - !pos) in
+         incr lineno;
+         (try if replay_line engine !lineno line then incr records with
+         | (Failure _ | Parse.Syntax_error _) as exn ->
+           if nl + 1 >= clean_len then begin
+             (* The final record is malformed: a tear that happened to end
+                on a newline boundary.  Truncate it away too. *)
+             torn := Some !pos;
+             raise Exit
+           end
+           else raise exn);
+         pos := nl + 1
+       done
+     with Exit -> ())
   end;
-  if !replayed > 0 then
-    Log.info (fun m -> m "recovered %d journal records from %s" !replayed path);
+  (match !torn with
+  | Some offset ->
+    Log.warn (fun m ->
+        m "journal %s has a torn trailing record; truncating to %d clean byte(s)" path
+          offset);
+    Unix.truncate path offset
+  | None -> ());
+  if !records > 0 then
+    Log.info (fun m -> m "recovered %d journal records from %s" !records path);
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { inner = engine; oc; count = !replayed; replayed = !replayed }
+  { inner = engine; oc; count = !records; replayed = !records }
 
 let log t line =
   output_string t.oc line;

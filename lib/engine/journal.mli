@@ -21,7 +21,14 @@ val open_ : path:string -> (unit -> Matcher.t) -> t
     [path].  If it already holds records, a fresh engine from
     [make_engine] is rebuilt by replay — queries re-registered, updates
     re-applied, nothing re-notified.
-    @raise Failure on a corrupt journal. *)
+
+    A {e torn trailing record} — the partial last append a crash
+    (kill -9, full disk) leaves behind, with or without its final
+    newline — is tolerated: the tail is truncated away and recovery
+    proceeds from the clean prefix, exactly the write-ahead contract
+    (the torn update was never acknowledged).  Corruption {e before} the
+    final record still fails loudly.
+    @raise Failure on an interior corrupt record. *)
 
 val add_query : t -> Pattern.t -> unit
 (** Log, flush, then register with the engine. *)
@@ -31,10 +38,12 @@ val handle_update : t -> Update.t -> Report.t
     the update, never lose it. *)
 
 val engine : t -> Matcher.t
+
 val entries : t -> int
-(** Records in the journal (including recovered ones). *)
+(** Q/U records in the journal (including recovered ones) — blank and
+    comment lines are not records. *)
 
 val recovered : t -> int
-(** How many records were replayed at open time. *)
+(** How many Q/U records were replayed at open time. *)
 
 val close : t -> unit

@@ -65,8 +65,8 @@ let of_tric e =
     add_query = Tric_core.Tric.add_query e;
     remove_query = Tric_core.Tric.remove_query e;
     num_queries = (fun () -> Tric_core.Tric.num_queries e);
-    handle_update = Tric_core.Tric.handle_update e;
-    handle_batch = Tric_core.Tric.handle_batch e;
+    handle_update = (fun u -> Report.of_pair (Tric_core.Tric.handle_update e u));
+    handle_batch = (fun ub -> Report.of_pair (Tric_core.Tric.handle_batch e ub));
     current_matches = Tric_core.Tric.current_matches e;
     memory_words = reachable_words e;
     stats =
@@ -109,8 +109,8 @@ let of_invidx e =
     add_query = I.add_query e;
     remove_query = I.remove_query e;
     num_queries = (fun () -> I.num_queries e);
-    handle_update = I.handle_update e;
-    handle_batch = batch_by_fold (I.handle_update e);
+    handle_update = (fun u -> Report.of_pair (I.handle_update e u));
+    handle_batch = batch_by_fold (fun u -> Report.of_pair (I.handle_update e u));
     current_matches = I.current_matches e;
     memory_words = reachable_words e;
     stats =
@@ -139,8 +139,8 @@ let of_graphdb e =
     add_query = C.add_query e;
     remove_query = C.remove_query e;
     num_queries = (fun () -> C.num_queries e);
-    handle_update = C.handle_update e;
-    handle_batch = batch_by_fold (C.handle_update e);
+    handle_update = (fun u -> Report.of_pair (C.handle_update e u));
+    handle_batch = batch_by_fold (fun u -> Report.of_pair (C.handle_update e u));
     current_matches = C.current_matches e;
     memory_words = reachable_words e;
     stats =

@@ -105,23 +105,29 @@ let embeddings_in g q =
     (Graph.edges_with_label g first.elabel);
   List.sort_uniq Embedding.compare !acc
 
+(* Every match anchored on [e], per query — the matches an addition of [e]
+   creates and, symmetrically, the matches a removal of [e] destroys.  Only
+   meaningful while [e] is in the graph: [anchored_embeddings] binds the
+   anchor without checking the edge exists. *)
+let anchored_channel t e =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun qid q ->
+      match anchored_embeddings t.g q e with
+      | [] -> ()
+      | l -> out := (qid, l) :: !out)
+    t.queries;
+  Report.normalise_channel !out
+
 let handle_update t u =
-  match u with
+  match u.Update.op with
   | Update.Remove e ->
+    let retractions = if Graph.mem_edge t.g e then anchored_channel t e else [] in
     ignore (Graph.remove_edge t.g e);
-    Report.empty
+    { Report.empty with retractions }
   | Update.Add e ->
     if not (Graph.add_edge t.g e) then Report.empty
-    else begin
-      let out = ref [] in
-      Hashtbl.iter
-        (fun qid q ->
-          match anchored_embeddings t.g q e with
-          | [] -> ()
-          | l -> out := (qid, l) :: !out)
-        t.queries;
-      Report.normalise !out
-    end
+    else Report.of_matches (anchored_channel t e)
 
 let current_matches t qid =
   match Hashtbl.find_opt t.queries qid with

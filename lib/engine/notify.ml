@@ -12,6 +12,7 @@ type event = {
   subscription : subscription;
   update : Update.t;
   embeddings : Embedding.t list;
+  retracted : Embedding.t list;
   seqno : int;
 }
 
@@ -56,14 +57,30 @@ let publish t update =
   let seqno = t.seqno in
   t.seqno <- seqno + 1;
   let report = t.engine.Matcher.handle_update update in
-  List.fold_left
-    (fun delivered (qid, embeddings) ->
-      match Hashtbl.find_opt t.subs qid with
-      | None -> delivered
-      | Some (subscription, callback) ->
-        callback { subscription; update; embeddings; seqno };
-        delivered + 1)
-    0 report
+  (* One event per affected subscription, both channels joined: a window
+     expiry or explicit removal notifies with [retracted] populated. *)
+  let per_qid : (int, Embedding.t list * Embedding.t list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (qid, embs) -> Hashtbl.replace per_qid qid (embs, []))
+    report.Report.matches;
+  List.iter
+    (fun (qid, embs) ->
+      match Hashtbl.find_opt per_qid qid with
+      | Some (m, _) -> Hashtbl.replace per_qid qid (m, embs)
+      | None -> Hashtbl.replace per_qid qid ([], embs))
+    report.Report.retractions;
+  Hashtbl.fold (fun qid (m, r) acc -> (qid, m, r) :: acc) per_qid []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  |> List.fold_left
+       (fun delivered (qid, embeddings, retracted) ->
+         match Hashtbl.find_opt t.subs qid with
+         | None -> delivered
+         | Some (subscription, callback) ->
+           callback { subscription; update; embeddings; retracted; seqno };
+           delivered + 1)
+       0
 
 let publish_stream t stream =
   Stream.fold (fun acc u -> acc + publish t u) 0 stream

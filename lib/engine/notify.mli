@@ -16,7 +16,11 @@ type subscription
 type event = {
   subscription : subscription;
   update : Update.t;  (** the update that triggered the notification *)
-  embeddings : Embedding.t list;  (** the new matches, never empty *)
+  embeddings : Embedding.t list;  (** the new matches *)
+  retracted : Embedding.t list;
+      (** previously-notified matches this update destroyed — explicit
+          removals and window expiry; at least one of [embeddings] /
+          [retracted] is non-empty *)
   seqno : int;  (** position of the update in the published stream *)
 }
 

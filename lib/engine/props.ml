@@ -53,9 +53,9 @@ let constraint_holds t emb c =
 
 let satisfies t info emb = List.for_all (constraint_holds t emb) info.constraints
 
-(* Filter a report through the constraint phase, recording deliveries of
-   constrained queries. *)
-let filter_report t report =
+(* Filter the match channel through the constraint phase, recording
+   deliveries of constrained queries. *)
+let filter_matches t channel =
   List.filter_map
     (fun (qid, embeddings) ->
       match Hashtbl.find_opt t.queries qid with
@@ -66,9 +66,30 @@ let filter_report t report =
         | Some tbl -> List.iter (fun e -> Embedding.Tbl.replace tbl e ()) ok
         | None -> ());
         match ok with [] -> None | _ -> Some (qid, ok)))
-    report
+    channel
 
-let handle_update t u = filter_report t (t.inner.Matcher.handle_update u)
+(* A retraction is delivered iff the destroyed match would have been — its
+   constraints hold — and it frees the delivery slot so a reappearing
+   match notifies again. *)
+let filter_retractions t channel =
+  List.filter_map
+    (fun (qid, embeddings) ->
+      match Hashtbl.find_opt t.queries qid with
+      | None -> Some (qid, embeddings)
+      | Some info -> (
+        let ok = List.filter (fun e -> satisfies t info e) embeddings in
+        (match info.delivered with
+        | Some tbl -> List.iter (fun e -> Embedding.Tbl.remove tbl e) ok
+        | None -> ());
+        match ok with [] -> None | _ -> Some (qid, ok)))
+    channel
+
+let handle_update t u =
+  let r = t.inner.Matcher.handle_update u in
+  {
+    Report.matches = filter_matches t r.Report.matches;
+    retractions = filter_retractions t r.Report.retractions;
+  }
 
 let set_prop t vertex key value =
   Hashtbl.replace t.props (Label.to_int vertex, key) value;
@@ -95,6 +116,7 @@ let set_prop t vertex key value =
         match fresh with [] -> None | _ -> Some (qid, fresh)))
     qids
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> Report.of_matches
 
 let current_matches t qid =
   let matches = t.inner.Matcher.current_matches qid in

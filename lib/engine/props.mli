@@ -39,8 +39,10 @@ val set_prop : t -> Label.t -> string -> string -> Report.t
 val get_prop : t -> Label.t -> string -> string option
 
 val handle_update : t -> Update.t -> Report.t
-(** Structural update: the wrapped engine answers, then embeddings are
-    filtered through the constraint phase. *)
+(** Structural update: the wrapped engine answers, then both channels are
+    filtered through the constraint phase — a retraction is delivered iff
+    the destroyed match satisfied its constraints (and it frees the
+    delivery slot, so a reappearing match notifies again). *)
 
 val current_matches : t -> int -> Embedding.t list
 (** Constraint-filtered full current result. *)

@@ -1,41 +1,70 @@
 open Tric_rel
 
-type t = (int * Embedding.t list) list
+type channel = (int * Embedding.t list) list
 
-let empty = []
-let satisfied_ids r = List.map fst r
-let total_matches r = List.fold_left (fun n (_, l) -> n + List.length l) 0 r
+type t = {
+  matches : channel;
+  retractions : channel;
+}
 
-let matches_of r qid =
-  match List.find_opt (fun (q, _) -> Int.equal q qid) r with
+let empty = { matches = []; retractions = [] }
+let of_matches matches = { matches; retractions = [] }
+let of_pair (matches, retractions) = { matches; retractions }
+let is_empty r = r.matches = [] && r.retractions = []
+
+let satisfied_ids r = List.map fst r.matches
+let channel_total c = List.fold_left (fun n (_, l) -> n + List.length l) 0 c
+let total_matches r = channel_total r.matches
+let total_retractions r = channel_total r.retractions
+
+let channel_of c qid =
+  match List.find_opt (fun (q, _) -> Int.equal q qid) c with
   | Some (_, l) -> l
   | None -> []
 
-let normalise r =
-  r
+let matches_of r qid = channel_of r.matches qid
+let retractions_of r qid = channel_of r.retractions qid
+
+let normalise_channel c =
+  c
   |> List.filter_map (fun (qid, l) ->
          match List.sort_uniq Embedding.compare l with
          | [] -> None
          | l -> Some (qid, l))
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let merge reports =
+let normalise r =
+  {
+    matches = normalise_channel r.matches;
+    retractions = normalise_channel r.retractions;
+  }
+
+let merge_channel channels =
   let tbl : (int, Embedding.t list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (List.iter (fun (qid, embs) ->
          match Hashtbl.find_opt tbl qid with
          | Some cell -> cell := embs @ !cell
          | None -> Hashtbl.add tbl qid (ref embs)))
-    reports;
-  normalise (Hashtbl.fold (fun qid cell acc -> (qid, !cell) :: acc) tbl [])
+    channels;
+  normalise_channel (Hashtbl.fold (fun qid cell acc -> (qid, !cell) :: acc) tbl [])
 
-let equal a b =
-  let a = normalise a and b = normalise b in
+let merge reports =
+  {
+    matches = merge_channel (List.map (fun r -> r.matches) reports);
+    retractions = merge_channel (List.map (fun r -> r.retractions) reports);
+  }
+
+let channel_equal a b =
+  let a = normalise_channel a and b = normalise_channel b in
   List.length a = List.length b
   && List.for_all2
        (fun (qa, la) (qb, lb) ->
          qa = qb && List.length la = List.length lb && List.for_all2 Embedding.equal la lb)
        a b
+
+let equal a b =
+  channel_equal a.matches b.matches && channel_equal a.retractions b.retractions
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>";
@@ -43,5 +72,10 @@ let pp fmt r =
     (fun (qid, l) ->
       Format.fprintf fmt "Q%d: %d match(es)@," qid (List.length l);
       List.iter (fun e -> Format.fprintf fmt "   %a@," Embedding.pp e) l)
-    r;
+    r.matches;
+  List.iter
+    (fun (qid, l) ->
+      Format.fprintf fmt "Q%d: %d retraction(s)@," qid (List.length l);
+      List.iter (fun e -> Format.fprintf fmt "   -%a@," Embedding.pp e) l)
+    r.retractions;
   Format.fprintf fmt "@]"

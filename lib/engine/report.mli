@@ -1,28 +1,49 @@
 (** Per-update match reports.
 
-    The answer to one stream update: for every query satisfied {e by this
-    update}, the new total embeddings it created (each uses the incoming
-    edge at least once). *)
+    The answer to one stream update, on two channels:
+    - [matches]: for every query satisfied {e by this update}, the new
+      total embeddings it created (each uses the incoming edge at least
+      once);
+    - [retractions]: for every query affected, the previously-reported
+      embeddings this update destroyed — by an explicit [Remove] or by
+      window expiry folded into the triggering update. *)
 
 open Tric_rel
 
-type t = (int * Embedding.t list) list
+type channel = (int * Embedding.t list) list
 (** Sorted by query id; embedding lists are non-empty and deduplicated. *)
 
+type t = {
+  matches : channel;
+  retractions : channel;
+}
+
 val empty : t
+val of_matches : channel -> t
+val of_pair : channel * channel -> t
+
+val is_empty : t -> bool
+(** No matches and no retractions. *)
+
 val satisfied_ids : t -> int list
+(** Query ids with new matches (retraction-only queries excluded). *)
+
 val total_matches : t -> int
+val total_retractions : t -> int
 val matches_of : t -> int -> Embedding.t list
+val retractions_of : t -> int -> Embedding.t list
 
 val normalise : t -> t
-(** Sort by qid, dedup and sort embeddings — canonical form for comparing
-    engines in tests. *)
+(** Sort both channels by qid, dedup and sort embeddings — canonical form
+    for comparing engines in tests. *)
+
+val normalise_channel : channel -> channel
 
 val merge : t list -> t
-(** Per-query union of several reports, normalised — the report of a
-    window of updates processed as one micro-batch. *)
+(** Channel-wise per-query union of several reports, normalised — the
+    report of a window of updates processed as one micro-batch. *)
 
 val equal : t -> t -> bool
-(** Equality of normalised reports. *)
+(** Equality of normalised reports (both channels). *)
 
 val pp : Format.formatter -> t -> unit

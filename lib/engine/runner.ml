@@ -21,6 +21,7 @@ type result = {
   latency_exact : bool;
   throughput_ups : float;
   matches : int;
+  retractions : int;
   satisfied_queries : int;
   memory_words : int;
   checkpoints : (int * float) list;
@@ -98,6 +99,7 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
   in
   let satisfied = Hashtbl.create 256 in
   let matches = ref 0 in
+  let retractions = ref 0 in
   let processed = ref 0 in
   let calls = ref 0 in
   let answer_time = ref 0.0 in
@@ -146,7 +148,8 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
          (fun (qid, embs) ->
            Hashtbl.replace satisfied qid ();
            matches := !matches + List.length embs)
-         report;
+         report.Report.matches;
+       retractions := !retractions + Report.total_retractions report;
        (* Drain every checkpoint this call satisfied — one call (a batch,
           or one update against duplicate checkpoints) can satisfy
           several; popping at most one left the rest stranded and figures
@@ -161,7 +164,7 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
        done;
        if audit_every > 0 then begin
          for j = lo to hi - 1 do
-           match Stream.get stream j with
+           match (Stream.get stream j).Update.op with
            | Update.Add e -> Edge.Tbl.replace live_edges e ()
            | Update.Remove e -> Edge.Tbl.remove live_edges e
          done;
@@ -215,6 +218,7 @@ let run ?(budget_s = infinity) ?(checkpoints = []) ?(measure_memory = true)
     throughput_ups =
       (if !answer_time > 0.0 then float_of_int !processed /. !answer_time else 0.0);
     matches = !matches;
+    retractions = !retractions;
     satisfied_queries = Hashtbl.length satisfied;
     memory_words = (if measure_memory then engine.Matcher.memory_words () else 0);
     checkpoints = List.rev !reached;
@@ -234,7 +238,7 @@ let segment_means_ms r =
 
 let pp_result fmt r =
   Format.fprintf fmt
-    "%-8s %7d/%d upd%s%s  index %.3fs  answer %.3fs%s  mean %.4f ms/upd  p95 %.4f  %.0f upd/s  matches %d (%d queries)  mem %dw"
+    "%-8s %7d/%d upd%s%s  index %.3fs  answer %.3fs%s  mean %.4f ms/upd  p95 %.4f  %.0f upd/s  matches %d%s (%d queries)  mem %dw"
     r.engine r.updates_processed r.total_updates
     (if r.timed_out then "*" else "")
     (if r.batch_size > 1 then Printf.sprintf " [batch %d]" r.batch_size else "")
@@ -242,4 +246,6 @@ let pp_result fmt r =
     (if r.shards > 1 then
        Printf.sprintf " (busy %.3fs over %d shards)" r.busy_s r.shards
      else "")
-    r.mean_ms r.p95_ms r.throughput_ups r.matches r.satisfied_queries r.memory_words
+    r.mean_ms r.p95_ms r.throughput_ups r.matches
+    (if r.retractions > 0 then Printf.sprintf " -%d" r.retractions else "")
+    r.satisfied_queries r.memory_words

@@ -45,6 +45,9 @@ type result = {
           ({!Tric_obs.Histogram.percentile}) *)
   throughput_ups : float;  (** updates answered per second *)
   matches : int;  (** total new embeddings reported *)
+  retractions : int;
+      (** total embeddings retracted — explicit removals and window
+          expiry folded into the triggering update's report *)
   satisfied_queries : int;  (** distinct query ids satisfied at least once *)
   memory_words : int;  (** engine-reachable heap words after the run *)
   checkpoints : (int * float) list;

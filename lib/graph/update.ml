@@ -1,21 +1,30 @@
-type t =
+type op =
   | Add of Edge.t
   | Remove of Edge.t
 
-let add e = Add e
-let remove e = Remove e
-let edge = function Add e | Remove e -> e
-let is_addition = function Add _ -> true | Remove _ -> false
+type t = { op : op; ts : int }
 
-let apply g = function
+let add ?(ts = 0) e = { op = Add e; ts }
+let remove ?(ts = 0) e = { op = Remove e; ts }
+let edge u = match u.op with Add e | Remove e -> e
+let is_addition u = match u.op with Add _ -> true | Remove _ -> false
+let ts u = u.ts
+let with_ts u ts = { u with ts }
+
+let apply g u =
+  match u.op with
   | Add e -> Graph.add_edge g e
   | Remove e -> Graph.remove_edge g e
 
 let equal a b =
-  match (a, b) with
+  Int.equal a.ts b.ts
+  &&
+  match (a.op, b.op) with
   | Add x, Add y | Remove x, Remove y -> Edge.equal x y
   | Add _, Remove _ | Remove _, Add _ -> false
 
-let pp fmt = function
+let pp fmt u =
+  (match u.op with
   | Add e -> Format.fprintf fmt "+%a" Edge.pp e
-  | Remove e -> Format.fprintf fmt "-%a" Edge.pp e
+  | Remove e -> Format.fprintf fmt "-%a" Edge.pp e);
+  if u.ts <> 0 then Format.fprintf fmt "@@%d" u.ts

@@ -1,19 +1,35 @@
-(** Graph updates (Definition 3.2, extended with deletions per §4.3). *)
+(** Graph updates (Definition 3.2, extended with deletions per §4.3 and
+    event timestamps for time-based windows).
 
-type t =
+    An update is an edge operation plus an event timestamp [ts] (seconds,
+    application-defined epoch).  Timestamps default to [0] — untimed
+    streams behave exactly as before; only time-windowed engines consult
+    them. *)
+
+type op =
   | Add of Edge.t
   | Remove of Edge.t
 
-val add : Edge.t -> t
-val remove : Edge.t -> t
+type t = { op : op; ts : int }
+
+val add : ?ts:int -> Edge.t -> t
+val remove : ?ts:int -> Edge.t -> t
 
 val edge : t -> Edge.t
 (** The edge an update carries, regardless of polarity. *)
 
 val is_addition : t -> bool
 
+val ts : t -> int
+(** The event timestamp ([0] for untimed streams). *)
+
+val with_ts : t -> int -> t
+
 val apply : Graph.t -> t -> bool
 (** Apply to a graph; returns whether the graph changed. *)
 
 val equal : t -> t -> bool
+(** Equality of polarity, edge {e and} timestamp. *)
+
 val pp : Format.formatter -> t -> unit
+(** [+e] / [-e], with an [@ts] suffix when [ts <> 0]. *)

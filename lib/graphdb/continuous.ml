@@ -161,34 +161,39 @@ let execute t info =
   let rows = Executor.run (Db.store t.database) plan in
   embeddings_of_rows t info rows plan
 
+let affected_queries t (e : Edge.t) =
+  List.concat_map
+    (fun k -> match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
+    (Ekey.keys_of_edge e)
+  |> List.sort_uniq Int.compare
+
+let matches_using t (e : Edge.t) =
+  List.filter_map
+    (fun qid ->
+      match Hashtbl.find_opt t.queries qid with
+      | None -> None
+      | Some info -> (
+        let embeddings =
+          execute t info
+          |> List.filter (fun emb -> embedding_uses_edge info.pattern emb e)
+          |> List.sort_uniq Embedding.compare
+        in
+        match embeddings with [] -> None | l -> Some (qid, l)))
+    (affected_queries t e)
+
 let handle_update t u =
-  match u with
+  match u.Update.op with
   | Update.Remove e ->
+    (* Retract by re-executing the affected queries {e before} the edge
+       leaves the database: every surviving row that uses the edge is a
+       match this removal destroys.  If the edge is absent, no row can use
+       it (the store deduplicates triples), so the channel comes out []. *)
+    let retractions = matches_using t e in
     ignore (Db.remove_stream_edge t.database e);
-    []
+    ([], retractions)
   | Update.Add e ->
-    if not (Db.add_stream_edge t.database e) then []
-    else begin
-      let affected =
-        List.concat_map
-          (fun k ->
-            match Ekey.Tbl.find_opt t.edge_ind k with Some cell -> !cell | None -> [])
-          (Ekey.keys_of_edge e)
-        |> List.sort_uniq Int.compare
-      in
-      List.filter_map
-        (fun qid ->
-          match Hashtbl.find_opt t.queries qid with
-          | None -> None
-          | Some info -> (
-            let embeddings =
-              execute t info
-              |> List.filter (fun emb -> embedding_uses_edge info.pattern emb e)
-              |> List.sort_uniq Embedding.compare
-            in
-            match embeddings with [] -> None | l -> Some (qid, l)))
-        affected
-    end
+    if not (Db.add_stream_edge t.database e) then ([], [])
+    else (matches_using t e, [])
 
 let current_matches t qid =
   let info = Hashtbl.find t.queries qid in

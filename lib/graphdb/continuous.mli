@@ -35,7 +35,12 @@ val pattern_of_cypher : ?name:string -> id:int -> string -> Pattern.t
     returns are rejected.
     @raise Cypher.Parse_error on malformed or unsupported input. *)
 
-val handle_update : t -> Update.t -> (int * Embedding.t list) list
+val handle_update :
+  t -> Update.t -> (int * Embedding.t list) list * (int * Embedding.t list) list
+(** [(matches, retractions)]: an addition reports the new matches using
+    the edge; a removal re-executes the affected queries before the edge
+    leaves the database and reports the destroyed matches. *)
+
 val current_matches : t -> int -> Embedding.t list
 
 val load_graph : t -> Graph.t -> unit

@@ -58,14 +58,40 @@ let tokenize s =
   done;
   List.rev !tokens
 
+(* [WITHIN] is reserved at clause position: it closes the edge clauses and
+   introduces the window spec, whose tokens are plain constants. *)
+let const_str = function
+  | Tterm (Term.Const c) -> Some (Tric_graph.Label.to_string c)
+  | Tterm (Term.Var _) | Tarrow _ | Tsemi -> None
+
+let is_within tok =
+  match const_str tok with
+  | Some w -> String.equal (String.uppercase_ascii w) "WITHIN"
+  | None -> false
+
 let pattern ?(name = "") ~id s =
   let b = Pattern.Builder.create ~name ~id () in
+  let window toks =
+    let strs =
+      List.map
+        (fun tok ->
+          match const_str tok with
+          | Some str -> str
+          | None -> fail "window spec must be plain tokens in %S" s)
+        toks
+    in
+    match Wspec.of_tokens strs with
+    | Ok spec -> Pattern.Builder.set_window b (Some spec)
+    | Error e -> fail "bad window spec in %S: %s" s e
+  in
   let rec clause = function
+    | tok :: rest when is_within tok -> window rest
     | Tterm t :: rest ->
       let v = Pattern.Builder.vertex b t in
       chain v rest
     | _ -> fail "clause must start with a term in %S" s
   and chain v = function
+    | tok :: rest when is_within tok -> window rest
     | Tarrow label :: Tterm t :: rest ->
       let v' = Pattern.Builder.vertex b t in
       Pattern.Builder.edge b ~label:(Tric_graph.Label.intern label) v v';
@@ -97,27 +123,47 @@ let term_to_string = function
     if is_plain_ident s then s else "\"" ^ s ^ "\""
 
 let pattern_to_string p =
-  Pattern.edges p
-  |> Array.to_list
-  |> List.map (fun (e : Pattern.pedge) ->
-         Printf.sprintf "%s -%s-> %s"
-           (term_to_string (Pattern.term p e.src))
-           (Tric_graph.Label.to_string e.elabel)
-           (term_to_string (Pattern.term p e.dst)))
-  |> String.concat "; "
+  let body =
+    Pattern.edges p
+    |> Array.to_list
+    |> List.map (fun (e : Pattern.pedge) ->
+           Printf.sprintf "%s -%s-> %s"
+             (term_to_string (Pattern.term p e.src))
+             (Tric_graph.Label.to_string e.elabel)
+             (term_to_string (Pattern.term p e.dst)))
+    |> String.concat "; "
+  in
+  match Pattern.window p with
+  | Some w -> body ^ " WITHIN " ^ Wspec.to_string w
+  | None -> body
 
 let update_to_string u =
   let e = Tric_graph.Update.edge u in
-  Printf.sprintf "%s %s -%s-> %s"
-    (if Tric_graph.Update.is_addition u then "+" else "-")
-    (Tric_graph.Label.to_string e.src)
-    (Tric_graph.Label.to_string e.label)
-    (Tric_graph.Label.to_string e.dst)
+  let base =
+    Printf.sprintf "%s %s -%s-> %s"
+      (if Tric_graph.Update.is_addition u then "+" else "-")
+      (Tric_graph.Label.to_string e.src)
+      (Tric_graph.Label.to_string e.label)
+      (Tric_graph.Label.to_string e.dst)
+  in
+  match Tric_graph.Update.ts u with
+  | 0 -> base
+  | ts -> Printf.sprintf "%s @%d" base ts
 
 let update s =
   let s = String.trim s in
+  (* Optional trailing event timestamp: "... @<int>".  '@' appears nowhere
+     else in the syntax, so the rightmost one is unambiguous. *)
+  let s, ts =
+    match String.rindex_opt s '@' with
+    | Some i -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some ts -> (String.trim (String.sub s 0 i), ts)
+      | None -> (s, 0))
+    | None -> (s, 0)
+  in
   if String.length s > 0 && s.[0] = '-' && String.length s > 1 && s.[1] = ' ' then
-    Tric_graph.Update.remove (edge (String.sub s 1 (String.length s - 1)))
+    Tric_graph.Update.remove ~ts (edge (String.sub s 1 (String.length s - 1)))
   else if String.length s > 0 && s.[0] = '+' then
-    Tric_graph.Update.add (edge (String.sub s 1 (String.length s - 1)))
-  else Tric_graph.Update.add (edge s)
+    Tric_graph.Update.add ~ts (edge (String.sub s 1 (String.length s - 1)))
+  else Tric_graph.Update.add ~ts (edge s)

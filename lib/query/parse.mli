@@ -2,12 +2,13 @@
 
     Grammar (whitespace-insensitive):
     {[
-      pattern ::= clause (';' clause)*
+      pattern ::= clause (';' clause)* ('WITHIN' wspec)?
       clause  ::= term arrow term (arrow term)*
       arrow   ::= '-' ident '->'
       term    ::= '?' ident        (variable)
                 | ident            (constant)
                 | '"' chars '"'    (constant, quoted)
+      wspec   ::= see {!Wspec}     (e.g. "1h", "1000 EVENTS TUMBLING")
     ]}
 
     Example — query Q4 of the paper's Fig. 4:
@@ -24,7 +25,8 @@ val edge : string -> Tric_graph.Edge.t
 
 val update : string -> Tric_graph.Update.t
 (** Like {!edge}, with an optional leading ['+'] (addition, default) or
-    ['-'] (removal). *)
+    ['-'] (removal), and an optional trailing [@<int>] event timestamp
+    (default [0]). *)
 
 val pattern_to_string : Pattern.t -> string
 (** Render a pattern back into the surface syntax, one clause per edge;

@@ -9,6 +9,7 @@ type t = {
   edges : pedge array;
   out_adj : pedge list array; (* vid -> out edges *)
   in_adj : pedge list array;
+  window : Wspec.t option;
 }
 
 let id q = q.id
@@ -24,6 +25,8 @@ let in_edges_of q vid = q.in_adj.(vid)
 let out_degree q vid = List.length q.out_adj.(vid)
 let in_degree q vid = List.length q.in_adj.(vid)
 let with_id q id = { q with id }
+let window q = q.window
+let with_window q w = { q with window = w }
 
 let vertex_of_term q t =
   let n = Array.length q.terms in
@@ -55,6 +58,9 @@ let pp fmt q =
       Format.fprintf fmt "@,  %a -%a-> %a" Term.pp q.terms.(e.src) Label.pp
         e.elabel Term.pp q.terms.(e.dst))
     q.edges;
+  (match q.window with
+  | Some w -> Format.fprintf fmt "@,  WITHIN %a" Wspec.pp w
+  | None -> ());
   Format.fprintf fmt "@]"
 
 module Builder = struct
@@ -67,6 +73,7 @@ module Builder = struct
     mutable ecount : int;
     by_term : (Term.t, int) Hashtbl.t;
     triples : (Label.t * int * int, unit) Hashtbl.t;
+    mutable bwindow : Wspec.t option;
   }
 
   let create ?(name = "") ~id () =
@@ -79,6 +86,7 @@ module Builder = struct
       ecount = 0;
       by_term = Hashtbl.create 16;
       triples = Hashtbl.create 16;
+      bwindow = None;
     }
 
   let vertex b t =
@@ -104,6 +112,8 @@ module Builder = struct
     let s = vertex b src and d = vertex b dst in
     edge b ~label:(Label.intern label) s d
 
+  let set_window b w = b.bwindow <- w
+
   let build b =
     if b.ecount = 0 then invalid_arg "Pattern.Builder.build: pattern has no edges";
     let terms = Array.of_list (List.rev b.bterms) in
@@ -126,5 +136,5 @@ module Builder = struct
       edges;
     if not (Array.for_all (fun b -> b) touched) then
       invalid_arg "Pattern.Builder.build: vertex on no edge";
-    { id = b.bid; name = b.bname; terms; edges; out_adj; in_adj }
+    { id = b.bid; name = b.bname; terms; edges; out_adj; in_adj; window = b.bwindow }
 end

@@ -34,6 +34,12 @@ val in_degree : t -> int -> int
 val with_id : t -> int -> t
 (** Same pattern under a different query id. *)
 
+val window : t -> Wspec.t option
+(** The query's window specification (its [WITHIN] clause), if any.
+    [None] means unbounded: matches never expire. *)
+
+val with_window : t -> Wspec.t option -> t
+
 val vertex_of_term : t -> Term.t -> int option
 
 val is_connected : t -> bool
@@ -60,6 +66,9 @@ module Builder : sig
   val edge_t : t -> string -> Term.t -> Term.t -> unit
   (** [edge_t b label src dst] — convenience: interns the label and adds
       (creating) both term vertices. *)
+
+  val set_window : t -> Wspec.t option -> unit
+  (** Attach (or clear) the pattern's window specification. *)
 
   val build : t -> pattern
   (** @raise Invalid_argument if the pattern has no edges or has a vertex on

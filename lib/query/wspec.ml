@@ -1,0 +1,94 @@
+type shape =
+  | Sliding
+  | Tumbling
+
+type t =
+  | Time of { shape : shape; span : int }
+  | Count of { shape : shape; size : int }
+
+let shape = function Time { shape; _ } | Count { shape; _ } -> shape
+
+let shape_equal a b =
+  match (a, b) with
+  | Sliding, Sliding | Tumbling, Tumbling -> true
+  | Sliding, Tumbling | Tumbling, Sliding -> false
+
+let equal a b =
+  match (a, b) with
+  | Time x, Time y -> shape_equal x.shape y.shape && Int.equal x.span y.span
+  | Count x, Count y -> shape_equal x.shape y.shape && Int.equal x.size y.size
+  | Time _, Count _ | Count _, Time _ -> false
+
+let deadline spec ~ts =
+  match spec with
+  | Time { shape = Sliding; span } -> ts + span
+  | Time { shape = Tumbling; span } -> ((ts / span) + 1) * span
+  | Count _ -> invalid_arg "Wspec.deadline: count windows expire by position"
+
+(* "90s" / "5m" / "1h" / "2d" -> seconds; a bare number is NOT a duration
+   (bare numbers denote event counts). *)
+let duration_of_string s =
+  let n = String.length s in
+  if n < 2 then None
+  else
+    let mult =
+      match s.[n - 1] with
+      | 's' -> Some 1
+      | 'm' -> Some 60
+      | 'h' -> Some 3600
+      | 'd' -> Some 86400
+      | _ -> None
+    in
+    match mult with
+    | None -> None
+    | Some m -> (
+      match int_of_string_opt (String.sub s 0 (n - 1)) with
+      | Some v when v > 0 -> Some (v * m)
+      | Some _ | None -> None)
+
+let of_tokens toks =
+  let is_kw k s = String.equal (String.lowercase_ascii s) k in
+  match toks with
+  | [] -> Error "empty window spec"
+  | mag :: rest -> (
+    let events, rest =
+      match rest with e :: r when is_kw "events" e -> (true, r) | r -> (false, r)
+    in
+    let shape =
+      match rest with
+      | [] -> Ok Sliding
+      | [ s ] when is_kw "tumbling" s -> Ok Tumbling
+      | [ s ] when is_kw "sliding" s -> Ok Sliding
+      | s :: _ -> Error (Printf.sprintf "bad window modifier %S" s)
+    in
+    match shape with
+    | Error _ as e -> e
+    | Ok shape -> (
+      match int_of_string_opt mag with
+      | Some size when size > 0 -> Ok (Count { shape; size })
+      | Some _ -> Error (Printf.sprintf "window size must be positive: %S" mag)
+      | None -> (
+        if events then Error (Printf.sprintf "bad event count %S" mag)
+        else
+          match duration_of_string mag with
+          | Some span -> Ok (Time { shape; span })
+          | None -> Error (Printf.sprintf "bad window span %S" mag))))
+
+let of_string s =
+  of_tokens
+    (String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun tok -> not (String.equal tok "")))
+
+let span_to_string s =
+  if s mod 86400 = 0 then Printf.sprintf "%dd" (s / 86400)
+  else if s mod 3600 = 0 then Printf.sprintf "%dh" (s / 3600)
+  else if s mod 60 = 0 then Printf.sprintf "%dm" (s / 60)
+  else Printf.sprintf "%ds" s
+
+let to_string spec =
+  let suffix = function Sliding -> "" | Tumbling -> " TUMBLING" in
+  match spec with
+  | Count { shape; size } -> Printf.sprintf "%d EVENTS%s" size (suffix shape)
+  | Time { shape; span } -> Printf.sprintf "%s%s" (span_to_string span) (suffix shape)
+
+let pp fmt spec = Format.pp_print_string fmt (to_string spec)

@@ -1,0 +1,30 @@
+open Tric_graph
+
+let stamp ?(start = 0) ?(mean_gap = 1.0) ?(late_frac = 0.0) ?(late_max = 600)
+    ~seed stream =
+  if mean_gap < 0.0 then invalid_arg "Clock.stamp: mean_gap must be >= 0";
+  if late_frac < 0.0 || late_frac > 1.0 then
+    invalid_arg "Clock.stamp: late_frac must be in [0, 1]";
+  if late_max < 0 then invalid_arg "Clock.stamp: late_max must be >= 0";
+  (* Separate derived generator: stamping must not perturb the edge
+     sequence the workload seed produces. *)
+  let rng = Rng.create (seed lxor 0x77c10c5) in
+  let clock = ref (float_of_int start) in
+  Stream.map
+    (fun u ->
+      clock := !clock +. Rng.float rng (2.0 *. mean_gap);
+      let ts = int_of_float !clock in
+      let ts =
+        if
+          late_frac > 0.0 && late_max > 0
+          && Update.is_addition u
+          && Rng.bool rng late_frac
+        then begin
+          (* Cube of a uniform draw: dense near 0, thin tail at late_max. *)
+          let r = Rng.float rng 1.0 in
+          max start (ts - int_of_float (float_of_int late_max *. (r *. r *. r)))
+        end
+        else ts
+      in
+      Update.with_ts u ts)
+    stream

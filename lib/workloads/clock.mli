@@ -1,0 +1,33 @@
+(** Event-time stamping for generated streams.
+
+    The workload generators produce untimed update sequences (every
+    [Update.ts] is [0]).  [stamp] overlays an event-time axis as a
+    post-pass: a monotone clock advances by a uniform gap per update, and
+    an optional fraction of additions is stamped {e late} — their event
+    time is pulled backwards while their arrival position is unchanged,
+    modelling out-of-order delivery.  Lateness is skewed: most late
+    events are only slightly late, with a thin tail out to [late_max]
+    (the shape a watermark slack has to absorb).
+
+    Stamping draws from its own generator derived from [seed], so the
+    edge sequence of a generated stream is bit-identical with and
+    without timestamps. *)
+
+val stamp :
+  ?start:int ->
+  ?mean_gap:float ->
+  ?late_frac:float ->
+  ?late_max:int ->
+  seed:int ->
+  Tric_graph.Stream.t ->
+  Tric_graph.Stream.t
+(** [stamp ~seed s] returns [s] with every update timestamped.  The
+    clock starts at [start] (default [0]) and advances by a uniform gap
+    in [0, 2 * mean_gap] seconds per update (default [mean_gap = 1.0]).
+    With probability [late_frac] (default [0.0]) an addition keeps its
+    arrival position but its event time is pulled back by up to
+    [late_max] seconds (default [600]), cube-skewed towards small
+    lateness; timestamps never go below [start].  Removals are never
+    stamped late — a removal's event time is the moment the edge died.
+    @raise Invalid_argument if [mean_gap < 0.0], [late_frac] is outside
+    [\[0, 1\]] or [late_max < 0]. *)

@@ -126,3 +126,6 @@ let generate ~seed ~edges =
     end
   done;
   Stream.of_updates (List.rev st.out)
+
+let generate_timed ?start ?mean_gap ?late_frac ?late_max ~seed ~edges () =
+  Clock.stamp ?start ?mean_gap ?late_frac ?late_max ~seed (generate ~seed ~edges)

@@ -14,3 +14,16 @@ val edge_labels : string list
 
 val generate : seed:int -> edges:int -> Tric_graph.Stream.t
 (** An addition-only stream of exactly [edges] updates. *)
+
+val generate_timed :
+  ?start:int ->
+  ?mean_gap:float ->
+  ?late_frac:float ->
+  ?late_max:int ->
+  seed:int ->
+  edges:int ->
+  unit ->
+  Tric_graph.Stream.t
+(** [generate] with an event-time axis overlaid by {!Clock.stamp}: same
+    edge sequence bit-for-bit, every update timestamped, an optional
+    skewed-late fraction for watermark-slack experiments. *)

@@ -50,3 +50,6 @@ let generate ~seed ~edges =
     if Rng.bool rng 0.35 then emit "paidWith" r (Rng.pick rng paytypes)
   done;
   Stream.of_updates (List.rev !out)
+
+let generate_timed ?start ?mean_gap ?late_frac ?late_max ~seed ~edges () =
+  Clock.stamp ?start ?mean_gap ?late_frac ?late_max ~seed (generate ~seed ~edges)

@@ -38,6 +38,17 @@ done
 TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
   audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --batch 64 > /dev/null
 
+# Windowed audited churn replay: the same stream scoped to a sliding
+# window (count-based, then event-time), per-update and micro-batched.
+# Every shadow audit now also certifies window coherence — no edge
+# outlives its deadline or capacity, nothing window-live is absent from
+# the stream, and the inner engines are re-certified against the window's
+# own live set instead of the full stream history.
+TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+  audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --window "500 EVENTS" > /dev/null
+TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+  audit "$auditds" --engine TRIC+ --every 500 --churn 0.2 --batch 64 --window 1h > /dev/null
+
 # Shard matrix: the same churned audited replay through the owner-targeted
 # dispatcher at 1, 2 and 4 domains.  Every shadow audit re-certifies the
 # dispatched state (including routing coherence: trie placement AND the
@@ -73,6 +84,12 @@ TRIC_BATCH_ONLY=1 TRIC_BATCH_EDGES=1000 TRIC_BATCH_QDB=50 dune exec bench/main.e
 # Shard-scaling smoke: 1/2/4/8-domain dispatch of the same stream plus the
 # BENCH_shard.json emission path.
 TRIC_SHARD_ONLY=1 TRIC_SHARD_EDGES=1000 TRIC_SHARD_QDB=50 dune exec bench/main.exe
+
+# Window smoke: the timestamped windowed replay (expiry amortization,
+# lateness) plus the BENCH_window.json emission path, and the
+# torn-journal crash-recovery path straight from the suite.
+TRIC_WINDOW_ONLY=1 TRIC_WINDOW_EDGES=1000 TRIC_WINDOW_QDB=50 dune exec bench/main.exe
+dune exec test/test_main.exe -- test durability 3 > /dev/null
 
 # Dispatch-fanout smoke: under a label-partitioned workload every update
 # affects exactly one shard, so the mean ops-dispatched-per-shard-per-update

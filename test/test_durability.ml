@@ -46,11 +46,60 @@ let test_journal_replay_suppresses_duplicates () =
 
 let test_journal_corrupt () =
   with_temp (fun path ->
+      (* Interior corruption — a malformed record with more records after
+         it — is real damage, not a torn tail, and must fail loudly.  (A
+         malformed FINAL record is the torn-tail case, covered below.) *)
       let oc = open_out path in
       output_string oc "garbage line without tabs\n";
+      output_string oc "more garbage\n";
       close_out oc;
       Alcotest.check_raises "corrupt journal" (Failure "Journal: malformed line 1")
         (fun () -> ignore (E.Journal.open_ ~path (fun () -> E.Engines.tric ()))))
+
+(* A kill -9 mid-append leaves a partial final record (the newline is the
+   last byte of every append, so the clean region ends at the last
+   newline).  Recovery must replay the clean prefix, truncate the torn
+   bytes so the next append starts on a record boundary, and keep
+   accepting appends — on a 4-shard engine, whose recovery exercises the
+   domain-parallel replay path too. *)
+let test_journal_torn_tail () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ~shards:4 ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+      ignore (E.Journal.handle_update j (Helpers.update "u -a-> v"));
+      ignore (E.Journal.handle_update j (Helpers.update "v -b-> w"));
+      E.Journal.close j;
+      (E.Journal.engine j).E.Matcher.shutdown ();
+      let clean_size = (Unix.stat path).Unix.st_size in
+      (* The crash: a torn half-record with no trailing newline. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "U\t+ half -wri";
+      close_out oc;
+      let j2 = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ~shards:4 ()) in
+      Alcotest.(check int) "clean prefix replayed" 3 (E.Journal.recovered j2);
+      Alcotest.(check int) "torn bytes truncated away" clean_size
+        (Unix.stat path).Unix.st_size;
+      let eng = E.Journal.engine j2 in
+      Alcotest.(check int) "state recovered" 1
+        (List.length (eng.E.Matcher.current_matches 1));
+      (* Appends continue on a clean record boundary... *)
+      let r = E.Journal.handle_update j2 (Helpers.update "u -a-> v2") in
+      Alcotest.(check int) "post-recovery update accepted" 0 (E.Report.total_matches r);
+      E.Journal.close j2;
+      eng.E.Matcher.shutdown ();
+      (* ...and a third session sees the repaired history plus the new
+         record, nothing torn. *)
+      let j3 = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ()) in
+      Alcotest.(check int) "repaired history + new record" 4 (E.Journal.recovered j3);
+      E.Journal.close j3;
+      (* A malformed FINAL record that did get its newline is the same
+         crash observed one byte later: torn, truncated, not fatal. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "garbage final line\n";
+      close_out oc;
+      let j4 = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ()) in
+      Alcotest.(check int) "malformed final record dropped" 4 (E.Journal.recovered j4);
+      E.Journal.close j4)
 
 (* Recovery with a sharded engine: the journal's replay must land the
    4-domain engine in exactly the state the pre-crash run had — audit-clean
@@ -100,7 +149,8 @@ let test_journal_sharded_recovery () =
       (* Audit the recovered state against the ground-truth live edges. *)
       let live = Edge.Tbl.create 256 in
       List.iter
-        (function
+        (fun u ->
+          match u.Update.op with
           | Update.Add e -> Edge.Tbl.replace live e ()
           | Update.Remove e -> Edge.Tbl.remove live e)
         prefix;
@@ -182,6 +232,7 @@ let suite =
     Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal duplicate suppression" `Quick test_journal_replay_suppresses_duplicates;
     Alcotest.test_case "journal corruption detected" `Quick test_journal_corrupt;
+    Alcotest.test_case "journal torn-tail recovery" `Quick test_journal_torn_tail;
     Alcotest.test_case "journal recovery with 4 shards" `Quick test_journal_sharded_recovery;
     Alcotest.test_case "stream combinators" `Quick test_stream_combinators;
   ]

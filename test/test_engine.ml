@@ -11,15 +11,24 @@ let emb pairs =
     (Tric_rel.Embedding.empty 3) pairs
 
 let test_report_algebra () =
-  let r = [ (2, [ emb [ (0, "b") ] ]); (1, [ emb [ (0, "a") ]; emb [ (0, "a") ] ]) ] in
+  let c = [ (2, [ emb [ (0, "b") ] ]); (1, [ emb [ (0, "a") ]; emb [ (0, "a") ] ]) ] in
+  let r = E.Report.of_matches c in
   let n = E.Report.normalise r in
   Alcotest.(check (list int)) "sorted ids" [ 1; 2 ] (E.Report.satisfied_ids n);
   Alcotest.(check int) "dedup inside query" 2 (E.Report.total_matches n);
   Alcotest.(check int) "matches_of known" 1 (List.length (E.Report.matches_of n 2));
   Alcotest.(check int) "matches_of unknown" 0 (List.length (E.Report.matches_of n 9));
   Alcotest.(check bool) "equal mod order" true
-    (E.Report.equal r (List.rev (E.Report.normalise r)));
-  Alcotest.(check bool) "inequal" false (E.Report.equal r [ (1, [ emb [ (0, "zzz") ] ]) ])
+    (E.Report.equal r { n with E.Report.matches = List.rev n.E.Report.matches });
+  Alcotest.(check bool) "inequal" false
+    (E.Report.equal r (E.Report.of_matches [ (1, [ emb [ (0, "zzz") ] ]) ]));
+  (* Retractions are part of report equality: the same matches with a
+     retraction channel is a different answer. *)
+  let with_retraction = { n with E.Report.retractions = [ (1, [ emb [ (0, "a") ] ]) ] } in
+  Alcotest.(check bool) "retractions distinguish" false (E.Report.equal r with_retraction);
+  Alcotest.(check int) "total_retractions" 1 (E.Report.total_retractions with_retraction);
+  Alcotest.(check (list int)) "satisfied_ids ignores retraction-only" [ 1; 2 ]
+    (E.Report.satisfied_ids with_retraction)
 
 let test_registry () =
   List.iter
@@ -82,7 +91,7 @@ let test_runner_budget () =
       ~num_queries:(fun () -> 0)
       ~handle_update:(fun _ ->
         ignore (Unix.select [] [] [] 0.02);
-        [])
+        E.Report.empty)
       ~current_matches:(fun _ -> [])
       ~memory_words:(fun () -> 1)
       ()
@@ -264,7 +273,7 @@ let test_midstream_query_addition () =
   (* Same structure: seeds from the shared base view. *)
   Tric_core.Tric.add_query t (Helpers.pattern ~id:2 "?x -a-> ?y -b-> ?z");
   Alcotest.(check int) "no match yet" 0 (List.length (Tric_core.Tric.current_matches t 2));
-  let r = Tric_core.Tric.handle_update t (Helpers.update "v -b-> w") in
+  let r, _ = Tric_core.Tric.handle_update t (Helpers.update "v -b-> w") in
   Alcotest.(check (list int)) "late query fires" [ 2 ] (List.map fst r);
   Alcotest.(check int) "late query state" 1 (List.length (Tric_core.Tric.current_matches t 2))
 

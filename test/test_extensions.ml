@@ -141,7 +141,7 @@ let test_pattern_of_cypher () =
   Tric_core.Tric.add_query t pat;
   ignore (Tric_core.Tric.handle_update t (Helpers.update "f1 -hasMod-> p1"));
   ignore (Tric_core.Tric.handle_update t (Helpers.update "p1 -posted-> pst1"));
-  let r = Tric_core.Tric.handle_update t (Helpers.update "com1 -reply-> pst1") in
+  let r, _ = Tric_core.Tric.handle_update t (Helpers.update "com1 -reply-> pst1") in
   Alcotest.(check int) "cypher-authored query matches" 1
     (List.fold_left (fun n (_, l) -> n + List.length l) 0 r);
   (* Left arrow direction. *)

@@ -305,10 +305,7 @@ let test_engine_metrics_smoke () =
         List.fold_left
           (fun acc u ->
             acc
-            + List.fold_left
-                (fun a (_, embs) -> a + List.length embs)
-                0
-                (engine.E.Matcher.handle_update u))
+            + E.Report.total_matches (engine.E.Matcher.handle_update u))
           0 updates
       in
       ignore (engine.E.Matcher.handle_batch (Helpers.updates [ "x -a-> y"; "u -a-> v" ]));

@@ -213,9 +213,9 @@ let prop_engines_agree_under_deletions =
       List.for_all
         (fun u ->
           let expected = Tric_engine.Naive.handle_update oracle u in
-          let r1 = Tric_core.Tric.handle_update tric u in
-          let r2 = Tric_core.Tric.handle_update tricp u in
-          (match u with
+          let r1 = Tric_engine.Report.of_pair (Tric_core.Tric.handle_update tric u) in
+          let r2 = Tric_engine.Report.of_pair (Tric_core.Tric.handle_update tricp u) in
+          (match u.Update.op with
           | Update.Add e -> Edge.Tbl.replace live e ()
           | Update.Remove e -> Edge.Tbl.remove live e);
           Tric_engine.Report.equal expected r1
@@ -318,12 +318,12 @@ let prop_batch_equals_sequential =
       List.for_all
         (fun w ->
           List.iter (fun u -> ignore (Tric_core.Tric.handle_update seq u)) w;
-          let r1 = Tric_core.Tric.handle_batch tric w in
-          let r2 = Tric_core.Tric.handle_batch tricp w in
+          let r1 = Tric_engine.Report.of_pair (Tric_core.Tric.handle_batch tric w) in
+          let r2 = Tric_engine.Report.of_pair (Tric_core.Tric.handle_batch tricp w) in
           ignore (oracle.Tric_engine.Matcher.handle_batch w);
           List.iter
             (fun u ->
-              match u with
+              match u.Update.op with
               | Update.Add e -> Edge.Tbl.replace live e ()
               | Update.Remove e -> Edge.Tbl.remove live e)
             w;
@@ -402,12 +402,17 @@ let prop_sharded_equals_sequential =
           in
           List.for_all
             (fun u ->
-              let expected = Tric_core.Tric.handle_update seq u in
-              let expected_p = Tric_core.Tric.handle_update seqp u in
-              let reports =
-                List.map (fun (t, _) -> Tric_core.Tric.handle_update t u) sharded
+              let expected = Tric_engine.Report.of_pair (Tric_core.Tric.handle_update seq u) in
+              let expected_p =
+                Tric_engine.Report.of_pair (Tric_core.Tric.handle_update seqp u)
               in
-              (match u with
+              let reports =
+                List.map
+                  (fun (t, _) ->
+                    Tric_engine.Report.of_pair (Tric_core.Tric.handle_update t u))
+                  sharded
+              in
+              (match u.Update.op with
               | Update.Add e -> Edge.Tbl.replace live e ()
               | Update.Remove e -> Edge.Tbl.remove live e);
               List.for_all2
@@ -507,11 +512,15 @@ let prop_sharded_batch_equals_sequential =
           in
           List.for_all
             (fun w ->
-              let expected = Tric_core.Tric.handle_batch seq w in
-              let reports = List.map (fun t -> Tric_core.Tric.handle_batch t w) sharded in
+              let expected = Tric_engine.Report.of_pair (Tric_core.Tric.handle_batch seq w) in
+              let reports =
+                List.map
+                  (fun t -> Tric_engine.Report.of_pair (Tric_core.Tric.handle_batch t w))
+                  sharded
+              in
               List.iter
                 (fun u ->
-                  match u with
+                  match u.Update.op with
                   | Update.Add e -> Edge.Tbl.replace live e ()
                   | Update.Remove e -> Edge.Tbl.remove live e)
                 w;
@@ -737,6 +746,158 @@ let prop_window_equals_suffix =
           && List.for_all2 Embedding.equal windowed expected
         end)
 
+(* Timed mixed stream: add/remove ops with monotone event timestamps
+   advancing by a random gap per update.  Gaps up to 5 against a span of 8
+   mean most windows see a mix of refreshes, survivals and expiries. *)
+let gen_timed_stream =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (pair
+         (quad bool (int_bound (List.length elabels - 1))
+            (int_bound (List.length vconsts - 1))
+            (int_bound (List.length vconsts - 1)))
+         (int_range 0 5)))
+
+let print_timed_case (qspecs, sspec) =
+  let mixed = List.map fst sspec in
+  Printf.sprintf "%s gaps=[%s]"
+    (print_mixed_case (qspecs, mixed))
+    (String.concat ";" (List.map (fun (_, g) -> string_of_int g) sspec))
+
+(* The tentpole end-to-end property: a time-sliding windowed engine over a
+   timestamped stream is equivalent to a naive oracle replaying the same
+   stream with an explicit [Remove] injected for every edge the moment the
+   watermark passes its deadline.  Checked per update: the merged report
+   (expiry retractions folded into the trigger), every query's current
+   matches, and the window-coherence audit against the ground-truth
+   unexpired edge set.  [batched] chops the stream into handle_batch
+   windows (report comparison is skipped there — net-op folding
+   legitimately cancels transient matches the sequential oracle sees). *)
+let prop_windowed_equals_oracle ~count ~cache ~shards ~batched =
+  let span = 8 in
+  let spec = Wspec.Time { shape = Wspec.Sliding; span } in
+  QCheck2.Test.make ~count ~print:print_timed_case
+    ~name:
+      (Printf.sprintf "windowed %s (%d shard%s%s) = expiry-replaying oracle"
+         (if cache then "TRIC+" else "TRIC")
+         shards
+         (if shards = 1 then "" else "s")
+         (if batched then ", batched" else ""))
+    QCheck2.Gen.(pair (list_size (int_range 1 3) gen_pattern_spec) gen_timed_stream)
+    (fun (qspecs, sspec) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let updates =
+        let ts = ref 0 in
+        List.map
+          (fun ((add, li, si, di), gap) ->
+            ts := !ts + gap;
+            let e =
+              Edge.of_strings (List.nth elabels li) (List.nth vconsts si)
+                (List.nth vconsts di)
+            in
+            if add then Update.add ~ts:!ts e else Update.remove ~ts:!ts e)
+          sspec
+      in
+      let w =
+        Tric_engine.Engines.windowed_spec ~default:spec (fun () ->
+            Tric_engine.Engines.tric ~cache ~shards ())
+      in
+      let oracle = Tric_engine.Engines.naive () in
+      Fun.protect
+        ~finally:(fun () -> w.Tric_engine.Matcher.shutdown ())
+        (fun () ->
+          List.iter
+            (fun q ->
+              w.Tric_engine.Matcher.add_query q;
+              oracle.Tric_engine.Matcher.add_query q)
+            queries;
+          (* Oracle-side window model: edge -> deadline, advanced in lock
+             step with the stream's watermark. *)
+          let model = Edge.Tbl.create 64 in
+          let wm = ref min_int in
+          (* Replay one update through the oracle, injecting expiry
+             removals first; returns (expired, merged oracle report). *)
+          let oracle_step (u : Update.t) =
+            if u.Update.ts > !wm then wm := u.Update.ts;
+            let expired =
+              Edge.Tbl.fold (fun e d acc -> if d <= !wm then e :: acc else acc) model []
+            in
+            let expiry_reports =
+              List.map
+                (fun e ->
+                  Edge.Tbl.remove model e;
+                  oracle.Tric_engine.Matcher.handle_update (Update.remove e))
+                expired
+            in
+            (match u.Update.op with
+            | Update.Add e -> Edge.Tbl.replace model e (Wspec.deadline spec ~ts:u.Update.ts)
+            | Update.Remove e -> Edge.Tbl.remove model e);
+            let trigger = oracle.Tric_engine.Matcher.handle_update u in
+            (expired, Tric_engine.Report.merge (expiry_reports @ [ trigger ]))
+          in
+          let state_agrees () =
+            List.for_all
+              (fun q ->
+                let qid = Pattern.id q in
+                let sorted m = List.sort_uniq Embedding.compare m in
+                let exp = sorted (oracle.Tric_engine.Matcher.current_matches qid) in
+                let got = sorted (w.Tric_engine.Matcher.current_matches qid) in
+                List.length exp = List.length got && List.for_all2 Embedding.equal exp got)
+              queries
+          in
+          let audit_clean () =
+            let live = Edge.Tbl.fold (fun e _ acc -> e :: acc) model [] in
+            Tric_audit.Audit.is_clean (w.Tric_engine.Matcher.audit (Some live))
+          in
+          if batched then begin
+            (* Chop into fixed micro-batches; the oracle still steps
+               sequentially.  State + audit must agree at every barrier. *)
+            let rec chunks n = function
+              | [] -> []
+              | us ->
+                let rec take k = function
+                  | x :: rest when k > 0 ->
+                    let h, t = take (k - 1) rest in
+                    (x :: h, t)
+                  | rest -> ([], rest)
+                in
+                let h, t = take n us in
+                h :: chunks n t
+            in
+            List.for_all
+              (fun batch ->
+                ignore (w.Tric_engine.Matcher.handle_batch batch);
+                List.iter (fun u -> ignore (oracle_step u)) batch;
+                state_agrees () && audit_clean ())
+              (chunks 5 updates)
+          end
+          else
+            List.for_all
+              (fun u ->
+                let got = w.Tric_engine.Matcher.handle_update u in
+                let expired, expected = oracle_step u in
+                let edge = Update.edge u in
+                (* When the trigger's own edge expires in the same wave the
+                   fold cancels remove+re-add the oracle reports verbatim —
+                   states must still agree, reports legitimately differ. *)
+                let collision =
+                  List.exists (fun e -> Edge.compare e edge = 0) expired
+                in
+                (collision || Tric_engine.Report.equal expected got)
+                && state_agrees () && audit_clean ())
+              updates))
+
 let gen_edge =
   QCheck2.Gen.(
     map
@@ -858,6 +1019,12 @@ let suite =
       prop_triangles_match_bruteforce;
       prop_components_match_bfs;
       prop_window_equals_suffix;
+      prop_windowed_equals_oracle ~count:20 ~cache:false ~shards:1 ~batched:false;
+      prop_windowed_equals_oracle ~count:20 ~cache:false ~shards:1 ~batched:true;
+      prop_windowed_equals_oracle ~count:20 ~cache:true ~shards:1 ~batched:false;
+      prop_windowed_equals_oracle ~count:10 ~cache:true ~shards:4 ~batched:false;
+      prop_windowed_equals_oracle ~count:20 ~cache:true ~shards:1 ~batched:true;
+      prop_windowed_equals_oracle ~count:10 ~cache:true ~shards:4 ~batched:true;
       prop_ekey_generalisation_sound_complete;
       prop_cover_path_count_bounded;
       prop_journal_recovery;

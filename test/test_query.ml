@@ -36,10 +36,10 @@ let test_parse_roundtrip () =
   Alcotest.(check bool) "connected" true (Pattern.is_connected q);
   Alcotest.check_raises "garbage" (Parse.Syntax_error "clause must start with a term in \"-a-> ?y\"")
     (fun () -> ignore (Parse.pattern ~id:4 "-a-> ?y"));
-  (match Parse.update "- x -a-> y" with
+  (match (Parse.update "- x -a-> y").Update.op with
   | Update.Remove _ -> ()
   | Update.Add _ -> Alcotest.fail "expected removal");
-  match Parse.update "x -a-> y" with
+  match (Parse.update "x -a-> y").Update.op with
   | Update.Add _ -> ()
   | Update.Remove _ -> Alcotest.fail "expected addition"
 

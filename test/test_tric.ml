@@ -280,10 +280,11 @@ let test_batch_cancellation () =
   let t = Tric.create () in
   Tric.add_query t (Helpers.pattern ~id:1 "?x -a-> ?y");
   let e = Tric_graph.Edge.of_strings "a" "u" "v" in
-  let r =
+  let matches, retractions =
     Tric.handle_batch t [ Tric_graph.Update.add e; Tric_graph.Update.remove e ]
   in
-  Alcotest.(check int) "no report" 0 (List.length r);
+  Alcotest.(check int) "no report" 0 (List.length matches);
+  Alcotest.(check int) "no retractions" 0 (List.length retractions);
   Alcotest.(check int) "no state" 0 (List.length (Tric.current_matches t 1));
   Alcotest.(check int) "no view tuples" 0 (Tric.stats t).Tric.view_tuples;
   (* The add folds away against the later remove; the surviving net
@@ -308,7 +309,8 @@ let test_batch_dedup_and_readd () =
         Tric_graph.Update.add eb;
       ]
   in
-  Alcotest.(check (list int)) "query fires once" [ 1 ] (List.map fst r);
+  let r = Engine.Report.of_pair r in
+  Alcotest.(check (list int)) "query fires once" [ 1 ] (Engine.Report.satisfied_ids r);
   Alcotest.(check int) "one embedding" 1 (List.length (Engine.Report.matches_of r 1));
   Alcotest.(check int) "state matches" 1 (List.length (Tric.current_matches t 1));
   Alcotest.(check int) "three folded away" 3 (Tric.stats t).Tric.batch_cancelled
@@ -327,7 +329,9 @@ let test_batch_net_removal () =
         Tric_graph.Update.add (Tric_graph.Edge.of_strings "b" "v" "w2");
       ]
   in
-  Alcotest.(check (list int)) "new completion reported" [ 1 ] (List.map fst r);
+  let matches, retractions = r in
+  Alcotest.(check (list int)) "new completion reported" [ 1 ] (List.map fst matches);
+  Alcotest.(check (list int)) "destroyed match retracted" [ 1 ] (List.map fst retractions);
   Alcotest.(check int) "old match gone, new present" 1
     (List.length (Tric.current_matches t 1))
 
@@ -346,7 +350,9 @@ let test_sharded_matches_sequential () =
   in
   let seq = Tric.create () in
   List.iter (Tric.add_query seq) (fig4_queries ());
-  let expected = List.map (Tric.handle_update seq) stream in
+  let expected =
+    List.map (fun u -> Engine.Report.of_pair (Tric.handle_update seq u)) stream
+  in
   List.iter
     (fun shards ->
       let t = Tric.create ~shards () in
@@ -358,7 +364,7 @@ let test_sharded_matches_sequential () =
           Alcotest.(check int) "stats report shard count" shards (Tric.stats t).Tric.shards;
           List.iteri
             (fun i u ->
-              let got = Tric.handle_update t u in
+              let got = Engine.Report.of_pair (Tric.handle_update t u) in
               Alcotest.(check bool)
                 (Printf.sprintf "shards=%d update %d report" shards i)
                 true
@@ -422,6 +428,66 @@ let test_targeted_dispatch_isolation () =
       Alcotest.(check int) "ops routed" 4 s.Tric.ops_routed;
       Alcotest.(check int) "ops dispatched = ops routed (fanout 1)" 4 s.Tric.ops_dispatched)
 
+let test_dispatch_fanout_after_churn () =
+  (* Query churn must not leave stale routing: after the last query
+     registered under a key is removed, the dispatch masks for that key
+     are cleared, so a matching update enqueues work on NO shard — the
+     monotone-mask bug would keep broadcasting to the dead owner forever.
+     Re-registering a query under the same label must restore routing and
+     matching. *)
+  let shards = 4 in
+  let labels = [ "la"; "lb"; "lc"; "ld" ] in
+  let queries =
+    List.mapi
+      (fun i l -> Helpers.pattern ~id:(i + 1) (Printf.sprintf "?x -%s-> ?y" l))
+      labels
+  in
+  let t = Tric.create ~shards () in
+  Fun.protect
+    ~finally:(fun () -> Tric.shutdown t)
+    (fun () ->
+      List.iter (Tric.add_query t) queries;
+      (* Warm every route once so the counters have a non-zero baseline. *)
+      List.iteri
+        (fun i l ->
+          ignore (Tric.handle_update t (Helpers.update (Printf.sprintf "w%d -%s-> x%d" i l i))))
+        labels;
+      (* Churn: q2 was the only query keyed on lb. *)
+      Alcotest.(check bool) "remove q2" true (Tric.remove_query t 2);
+      let before = (Tric.stats t).Tric.shard_ops in
+      let dispatched_before = (Tric.stats t).Tric.ops_dispatched in
+      ignore (Tric.handle_update t (Helpers.update "u -lb-> v"));
+      let after = (Tric.stats t).Tric.shard_ops in
+      Array.iteri
+        (fun s b ->
+          Alcotest.(check int)
+            (Printf.sprintf "post-churn lb update: shard %d untouched" s)
+            b after.(s))
+        before;
+      Alcotest.(check int) "post-churn lb update: fanout 0" dispatched_before
+        (Tric.stats t).Tric.ops_dispatched;
+      (* Other labels still route to exactly one shard each. *)
+      let before = (Tric.stats t).Tric.shard_ops in
+      ignore (Tric.handle_update t (Helpers.update "u -la-> v"));
+      let after = (Tric.stats t).Tric.shard_ops in
+      Alcotest.(check int) "la still routes to one shard" 1
+        (Array.fold_left ( + ) 0 after - Array.fold_left ( + ) 0 before);
+      (* Re-registering under lb rebuilds the mask: routing and matching
+         come back. *)
+      let q5 = Helpers.pattern ~id:5 "?x -lb-> ?y" in
+      Tric.add_query t q5;
+      let before = (Tric.stats t).Tric.shard_ops in
+      let matches, _ = Tric.handle_update t (Helpers.update "r -lb-> s") in
+      let after = (Tric.stats t).Tric.shard_ops in
+      Alcotest.(check int) "re-registered lb routes to one shard" 1
+        (Array.fold_left ( + ) 0 after - Array.fold_left ( + ) 0 before);
+      Alcotest.(check (list int)) "re-registered lb matches" [ 5 ]
+        (List.map fst matches);
+      (* The pre-churn lb edge was applied while no lb query existed, so it
+         must not have leaked into q5's state. *)
+      Alcotest.(check int) "q5 sees only post-registration edges" 1
+        (List.length (Tric.current_matches t 5)))
+
 let test_route_place_rejects_empty_word () =
   (* An empty key word has no first key to route on; [place] must reject
      it instead of silently picking a shard (a query registered that way
@@ -478,6 +544,8 @@ let suite =
       test_sharded_forest_access;
     Alcotest.test_case "targeted dispatch touches owner shard only" `Quick
       test_targeted_dispatch_isolation;
+    Alcotest.test_case "dispatch fanout after query churn" `Quick
+      test_dispatch_fanout_after_churn;
     Alcotest.test_case "empty key word is unroutable" `Quick
       test_route_place_rejects_empty_word;
     Alcotest.test_case "batch cancellation" `Quick test_batch_cancellation;

@@ -89,7 +89,7 @@ let test_dataset_selectivity () =
     (fun u ->
       List.iter
         (fun (qid, _) -> Hashtbl.replace satisfied qid ())
-        (eng.Engine.Matcher.handle_update u))
+        (eng.Engine.Matcher.handle_update u).Engine.Report.matches)
     d.Dataset.stream;
   let frac = float_of_int (Hashtbl.length satisfied) /. 60.0 in
   (* σ = 0.25; generation is randomized per query so allow a wide band, but
