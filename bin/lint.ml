@@ -1,9 +1,10 @@
 (* Project lint: bans the OCaml footguns that bit (or nearly bit) this
-   codebase.  Purely lexical — comments and string literals are stripped,
-   then each rule scans the residue — so it is fast, dependency-free and
-   deliberately conservative: a few constructs it cannot prove safe are
-   flagged and must be rewritten or explicitly waived with a
-   [(* lint: allow *)] marker on the offending line.
+   codebase.  Purely lexical — comments and string literals (normal and
+   [{|...|}]-quoted) are stripped, then each rule scans the residue — so
+   it is fast, dependency-free and deliberately conservative: a few
+   constructs it cannot prove safe are flagged and must be rewritten or
+   explicitly waived with an allow-marker comment (see [allow_marker]
+   below) on the offending line.
 
    Rules:
    - poly-compare: [Stdlib.compare] / [Pervasives.compare], and bare
@@ -27,6 +28,9 @@
      every domain; all engine state must live inside Shard.t or the
      coordinator record.  The few sanctioned globals (Label interning,
      which is main-domain-only by design) carry explicit waivers.
+   - stale-waiver: an allow marker on a line no rule currently flags.
+     Waivers must pay rent; one that excuses nothing is a leftover from a
+     rewrite and hides future violations on its line.  Never waivable.
 
    Usage: lint [--self-test] [DIR ...]  (default: lib bin) *)
 
@@ -41,66 +45,138 @@ let allow_marker = "lint: allow"
 
 (* -- Source stripping ------------------------------------------------------- *)
 
-(* Replace comments (nested) and string literals with spaces, preserving
-   newlines so line numbers survive.  Char literals are handled only far
-   enough to keep ['"'] from opening a string. *)
-let strip src =
+(* Replace string literals — and, unless [keep_comments], comments — with
+   spaces, preserving newlines so line numbers survive.  Handles normal
+   strings (with escapes), quoted strings [{|...|}] / [{id|...|id}], and
+   just enough of char literals to keep ['"'] from opening a string.
+   Inside comments, string literals are skipped without blanking (the
+   lexer nests them there too, so a stray close-comment inside one must
+   not terminate the comment). *)
+let is_delim_char c = (c >= 'a' && c <= 'z') || c = '_'
+
+let strip_with ~keep_comments src =
   let n = String.length src in
   let out = Bytes.of_string src in
   let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  (* a normal string literal opens at [i0]; blank it when [erase] and
+     return the index just past the closing quote *)
+  let eat_string erase i0 =
+    if erase then blank i0;
+    let i = ref (i0 + 1) in
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      (match src.[!i] with
+      | '\\' when !i + 1 < n ->
+        if erase then begin
+          blank !i;
+          blank (!i + 1)
+        end;
+        i := !i + 2
+      | '"' ->
+        if erase then blank !i;
+        closed := true;
+        incr i
+      | _ ->
+        if erase then blank !i;
+        incr i)
+    done;
+    !i
+  in
+  (* does a quoted-string opener (brace, delimiter ident, pipe) start at [i]? *)
+  let quoted_opener i =
+    src.[i] = '{'
+    && begin
+         let j = ref (i + 1) in
+         while !j < n && is_delim_char src.[!j] do
+           incr j
+         done;
+         !j < n && src.[!j] = '|'
+       end
+  in
+  let eat_quoted erase i0 =
+    let j = ref (i0 + 1) in
+    while !j < n && is_delim_char src.[!j] do
+      incr j
+    done;
+    let close = "|" ^ String.sub src (i0 + 1) (!j - i0 - 1) ^ "}" in
+    let cl = String.length close in
+    if erase then
+      for k = i0 to !j do
+        blank k
+      done;
+    let i = ref (!j + 1) in
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      if !i + cl <= n && String.sub src !i cl = close then begin
+        if erase then
+          for k = !i to !i + cl - 1 do
+            blank k
+          done;
+        i := !i + cl;
+        closed := true
+      end
+      else begin
+        if erase then blank !i;
+        incr i
+      end
+    done;
+    !i
+  in
   let i = ref 0 in
   let depth = ref 0 in
   while !i < n do
     let c = src.[!i] in
     if !depth > 0 then begin
+      let erase = not keep_comments in
       if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-        blank !i;
-        blank (!i + 1);
+        if erase then begin
+          blank !i;
+          blank (!i + 1)
+        end;
         incr depth;
         i := !i + 2
       end
       else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-        blank !i;
-        blank (!i + 1);
+        if erase then begin
+          blank !i;
+          blank (!i + 1)
+        end;
         decr depth;
         i := !i + 2
       end
+      else if c = '\'' && !i + 2 < n && src.[!i + 1] = '"' && src.[!i + 2] = '\'' then
+        (* the lexer accepts the char literal '"' inside comments too *)
+        i := !i + 3
+      else if c = '"' then begin
+        let stop = eat_string erase !i in
+        if erase then blank !i;
+        i := stop
+      end
+      else if quoted_opener !i then i := eat_quoted erase !i
       else begin
-        blank !i;
+        if erase then blank !i;
         incr i
       end
     end
     else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      blank !i;
-      blank (!i + 1);
+      if not keep_comments then begin
+        blank !i;
+        blank (!i + 1)
+      end;
       depth := 1;
       i := !i + 2
     end
-    else if c = '"' then begin
-      blank !i;
-      incr i;
-      let closed = ref false in
-      while (not !closed) && !i < n do
-        (match src.[!i] with
-        | '\\' when !i + 1 < n ->
-          blank !i;
-          blank (!i + 1);
-          i := !i + 1
-        | '"' -> closed := true
-        | _ -> blank !i);
-        if not !closed then incr i
-      done;
-      if !closed then begin
-        blank !i;
-        incr i
-      end
-    end
+    else if c = '"' then i := eat_string true !i
+    else if quoted_opener !i then i := eat_quoted true !i
     else if c = '\'' && !i + 2 < n && src.[!i + 1] = '"' && src.[!i + 2] = '\'' then
       (* the char literal '"' must not open a string *)
       i := !i + 3
     else incr i
   done;
   Bytes.to_string out
+
+(* comments and strings gone: what the rules scan *)
+let strip src = strip_with ~keep_comments:false src
 
 (* The original source, split into lines, for allow-markers and messages. *)
 let split_lines s = String.split_on_char '\n' s
@@ -361,19 +437,38 @@ let lint_source ~file src =
     stripped_lines;
   scan_catch_all ~out file stripped_lines;
   if in_lib file then scan_toplevel_mutable ~out file stripped_lines;
-  (* Drop findings on lines carrying an allow marker (in the raw source —
-     the marker lives in a comment). *)
-  List.filter
-    (fun v ->
-      v.line > Array.length raw_lines
-      ||
-      let raw = raw_lines.(v.line - 1) in
-      not
-        (try
-           ignore (Str.search_forward (Str.regexp_string allow_marker) raw 0);
-           true
-         with Not_found -> false))
-    (List.rev !out)
+  (* Waiver markers live in comments, so they are detected in a residue
+     with strings blanked but comments kept: a marker spelled inside a
+     string literal neither waives nor goes stale. *)
+  let marker_re = Str.regexp_string allow_marker in
+  let marker_lines =
+    List.filteri
+      (fun idx _ -> idx < Array.length raw_lines)
+      (List.mapi (fun idx l -> (idx + 1, l)) (split_lines (strip_with ~keep_comments:true src)))
+    |> List.filter_map (fun (lineno, l) ->
+           match Str.search_forward marker_re l 0 with
+           | _ -> Some lineno
+           | exception Not_found -> None)
+  in
+  let waives lineno = List.exists (Int.equal lineno) marker_lines in
+  let found = List.rev !out in
+  (* A marker on a line no rule flags excuses nothing — probably left
+     behind by a rewrite — and is itself a violation, never waivable. *)
+  let stale =
+    List.filter_map
+      (fun lineno ->
+        if List.exists (fun v -> v.line = lineno) found then None
+        else
+          Some
+            {
+              file;
+              line = lineno;
+              rule = "stale-waiver";
+              text = "allow marker on a line no rule flags; delete it";
+            })
+      marker_lines
+  in
+  List.filter (fun v -> not (waives v.line)) found @ stale
 
 (* -- File walking ----------------------------------------------------------- *)
 
@@ -495,6 +590,27 @@ let self_test () =
         "let latency : Histogram.t = Histogram.create ()\n";
       expect_clean "lib/good_registry_per_engine"
         "let make_obs () =\n  let reg = Tric_obs.Registry.create () in\n  reg\n";
+      (* quoted string literals are stripped like normal ones... *)
+      expect_clean "good_quoted_string"
+        "let x = {|Hashtbl.hash compare List.mem Obj.magic|}\nlet y = 1\n";
+      expect_clean "good_quoted_string_delim"
+        "let x = {sql|Stdlib.compare try with _ ->|sql}\nlet y = 1\n";
+      expect_clean "good_quoted_string_multiline"
+        "let x = {|first\nObj.magic inside\nlast|}\nlet y = 1\n";
+      (* ...and do not swallow the code after them *)
+      expect_rule "bad_after_quoted" "poly-compare"
+        "let x = {|text|}\nlet sorted l = List.sort compare l\n";
+      expect_rule "bad_after_quoted_delim" "obj-magic"
+        "let x = {id|text with |fake} closer|id}\nlet f x = Obj.magic x\n";
+      (* a marker on a clean line excuses nothing: stale *)
+      expect_rule "bad_stale_waiver" "stale-waiver"
+        ("let x = 1 (* " ^ allow_marker ^ " — nothing here *)\n");
+      (* a marker spelled inside a string is not a waiver *)
+      expect_rule "bad_marker_in_string" "poly-compare"
+        ("let sorted l = List.sort compare [ \"" ^ allow_marker ^ "\" ] @ l\n");
+      (* a used marker is not stale (good_allow above also covers this) *)
+      expect_clean "good_waiver_used"
+        ("let h x = Hashtbl.hash x (* " ^ allow_marker ^ " — golden-file hash *)\n");
     ]
   in
   List.for_all Fun.id checks

@@ -1,0 +1,41 @@
+(* AST domain-ownership checker driver.
+
+   Usage: tric_check [--self-test [DIR]] [DIR ...]
+   - --self-test runs the seeded-violation fixture corpus
+     (default test/fixtures/check) and exits non-zero if any rule fails
+     to detect its fixture or flags a clean one.
+   - otherwise scans the given directories (default lib bin), printing
+     every waiver it honoured and every finding; non-zero on findings. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selftest = List.exists (String.equal "--self-test") args in
+  let rest = List.filter (fun a -> not (String.equal a "--self-test")) args in
+  if selftest then begin
+    let dir = match rest with d :: _ -> d | [] -> "test/fixtures/check" in
+    if Tric_analysis.Check.self_test dir then begin
+      print_endline "tric_check self-test: ok";
+      exit 0
+    end
+    else exit 1
+  end
+  else begin
+    let dirs = match rest with [] -> [ "lib"; "bin" ] | ds -> ds in
+    let o = Tric_analysis.Check.run_tree dirs in
+    List.iter
+      (fun (w : Tric_analysis.Src.waiver) ->
+        Printf.printf "waiver %s:%d [%s] (%s, %s)\n" w.w_file w.w_line w.w_rule
+          (match w.w_scope with Tric_analysis.Src.Line -> "line" | File -> "file")
+          (if w.w_used then "used" else "unused"))
+      o.waivers;
+    List.iter
+      (fun v -> print_endline (Tric_analysis.Src.pp_finding v))
+      o.findings;
+    match o.findings with
+    | [] ->
+      Printf.printf "tric_check: clean (%d waiver(s))\n" (List.length o.waivers);
+      exit 0
+    | fs ->
+      Printf.printf "tric_check: %d finding(s)\n" (List.length fs);
+      exit 1
+  end

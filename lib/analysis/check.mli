@@ -1,0 +1,24 @@
+(** The corpus-level checker: mutation-effect classification, domain-
+    ownership and shard-escape rules, AST re-implementations of the
+    lexical rules, typed waiver filtering, and the fixture self-test. *)
+
+(** Rule name -> one-line description, in reporting order. *)
+val rules : (string * string) list
+
+type outcome = {
+  findings : Src.finding list;  (** sorted, post-waiver *)
+  waivers : Src.waiver list;  (** every marker seen, with its used flag *)
+}
+
+(** Analyse an explicit corpus of [(path, contents)] sources.  Paths
+    matter: the toplevel-mutable rule is lib/-scoped and module names
+    derive from basenames. *)
+val analyze_sources : (string * string) list -> outcome
+
+(** Read and analyse every [.ml] under the given directories. *)
+val run_tree : string list -> outcome
+
+(** Run the seeded-violation fixture corpus under [dir]; true iff every
+    bad fixture trips exactly its rule, every good fixture is clean and
+    every rule is covered. *)
+val self_test : string -> bool

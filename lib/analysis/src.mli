@@ -1,0 +1,49 @@
+(** Shared plumbing for the AST checker: findings, file IO and waiver
+    markers.  The blanker erases string literals but keeps comments, so
+    waiver markers (which live in comments) survive while marker text
+    inside string constants is never mistaken for a waiver. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  text : string;
+}
+
+type scope =
+  | Line  (** excuses findings of the rule on the marker's own line *)
+  | File  (** excuses findings of the rule anywhere in the file *)
+
+type waiver = {
+  w_file : string;
+  w_line : int;
+  w_rule : string;
+  w_scope : scope;
+  mutable w_used : bool;  (** set once the waiver absorbs a finding *)
+}
+
+val pp_finding : finding -> string
+
+val compare_finding : finding -> finding -> int
+
+val read_file : string -> string
+
+(** All [.ml] files under the given directories, sorted; skips [_build]
+    and dot-directories. *)
+val ml_files : string list -> string list
+
+val in_lib : string -> bool
+
+(** Erase string literals (normal and [{id|...|id}] quoted), preserving
+    newlines and comment text. *)
+val blank_strings : string -> string
+
+(** The comment marker that introduces a waiver. *)
+val marker : string
+
+(** [find_sub hay needle from]: first occurrence of [needle] in [hay] at
+    or after [from]. *)
+val find_sub : string -> string -> int -> int option
+
+(** All waiver markers in a source file, by line. *)
+val waivers_of_source : file:string -> string -> waiver list

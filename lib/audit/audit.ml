@@ -1,3 +1,4 @@
+(* check: allow-file shard-escape — the auditor recomputes ground truth on the main domain, reading shard state only between batches *)
 open Tric_graph
 open Tric_query
 open Tric_rel

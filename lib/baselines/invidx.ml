@@ -1,3 +1,4 @@
+(* check: allow-file shard-escape — baseline engine owns its own relations; nothing here aliases live shard state *)
 open Tric_graph
 open Tric_query
 open Tric_rel

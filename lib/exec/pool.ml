@@ -49,7 +49,7 @@ let now () = Unix.gettimeofday ()
 (* Pop-and-run one task; returns false if there was nothing to do.
    Caller holds the lock; it is held again on return. *)
 let step t =
-  match Queue.take_opt t.queue with
+  match Queue.take_opt t.queue with (* check: allow domain-ownership — caller holds the lock, per the contract above *)
   | None -> false
   | Some task ->
     Condition.signal t.space;
@@ -130,9 +130,9 @@ let wrap fns cells i () =
   let cell = cells.(i) in
   let t0 = now () in
   (match fns.(i) () with
-  | v -> cell.result <- Some (Obj.repr v)
-  | exception e -> cell.error <- Some (e, Printexc.get_raw_backtrace ()));
-  cell.busy_s <- now () -. t0
+  | v -> cell.result <- Some (Obj.repr v) (* check: allow domain-ownership — single-writer cell, read only after the run barrier *)
+  | exception e -> cell.error <- Some (e, Printexc.get_raw_backtrace ())); (* check: allow domain-ownership — single-writer cell, read only after the run barrier *)
+  cell.busy_s <- now () -. t0 (* check: allow domain-ownership — single-writer cell, read only after the run barrier *)
 
 let gather cells =
   Array.iter

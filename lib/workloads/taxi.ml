@@ -3,7 +3,7 @@ open Tric_graph
 let edge_labels = [ "drove"; "operated"; "pickedUpAt"; "droppedOffAt"; "paidWith" ]
 
 let zones = 260 (* NYC taxi zone count, roughly *)
-let paytypes = [| "cash"; "card"; "disputed"; "noCharge" |]
+let paytypes = [| "cash"; "card"; "disputed"; "noCharge" |] (* check: allow toplevel-mutable — read-only constant table, never written *)
 
 let zone i = Printf.sprintf "zone%d" i
 let medallion i = Printf.sprintf "med%d" i

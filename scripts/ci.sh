@@ -14,14 +14,22 @@ fi
 dune build
 dune runtest
 
-# Lint: self-test the scanner, prove it fails on a seeded violation, then
-# scan the tree.
+# Static checks: self-test both scanners (lexical lint + AST checker),
+# prove each fails on a seeded violation, then scan the tree.
 ./scripts/lint.sh
 seeded=$(mktemp -d)
 trap 'rm -rf "$seeded"' EXIT
 printf 'let sorted l = List.sort compare l\n' > "$seeded/bad.ml"
 if ./_build/default/bin/lint.exe "$seeded" >/dev/null 2>&1; then
   echo "ci: lint failed to flag a seeded violation" >&2
+  exit 1
+fi
+mkdir -p "$seeded/bin"
+printf 'let total = ref 0\nlet drive pool =\n  let tasks = [| (fun () -> incr total) |] in\n  Pool.run pool tasks\n' > "$seeded/bin/race.ml"
+if ./_build/default/bin/tric_check.exe "$seeded/bin" | grep -q 'domain-ownership'; then
+  : # the seeded race was caught
+else
+  echo "ci: tric_check failed to flag a seeded domain-ownership violation" >&2
   exit 1
 fi
 
@@ -60,6 +68,11 @@ for shards in 1 2 4; do
   TRIC_SHARDS=$shards TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
     audit "$auditds" --engine TRIC --every 500 --churn 0.2 --batch 32 > /dev/null
 done
+# Oversharded batched row: 8 domains exceed the label alphabet, so some
+# shards own nothing — the skewed-ownership regime targeted routing and
+# batched dispatch must survive unchanged.
+TRIC_SHARDS=8 TRIC_AUDIT=500 dune exec bin/tric_cli.exe -- \
+  audit "$auditds" --engine TRIC --every 500 --churn 0.2 --batch 32 > /dev/null
 # Telemetry: a metrics-enabled audited churn replay (4 shards) exporting
 # its merged snapshot, which is then re-parsed and schema-checked by the
 # stats subcommand's strict validator.

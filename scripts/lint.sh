@@ -1,13 +1,18 @@
 #!/bin/sh
-# Project lint driver: build the lexical linter, prove it still detects
-# every banned construct (self-test over embedded bad/good snippets), then
-# scan lib/ and bin/.  Any violation fails the build; waive a line only
-# with an explicit "lint: allow" comment.
+# Static-check driver, both layers: the lexical linter and the AST
+# domain-ownership checker.  Each is first proved against its seeded
+# violations (lint's embedded snippets, the checker's fixture corpus
+# under test/fixtures/check), then scans lib/ and bin/.  Any finding
+# fails the build; waivers are per-rule comments ("lint: allow" for the
+# linter, "check: allow <rule>" for the checker).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-dune build bin/lint.exe
+dune build bin/lint.exe bin/tric_check.exe
 
 ./_build/default/bin/lint.exe --self-test
 ./_build/default/bin/lint.exe "$@"
+
+./_build/default/bin/tric_check.exe --self-test
+./_build/default/bin/tric_check.exe "$@"

@@ -1,0 +1,3 @@
+(* Seeded violation: a try with a catch-all handler swallows everything,
+   including Out_of_memory and Stack_overflow. *)
+let parse s = try int_of_string s with _ -> 0

@@ -1,0 +1,6 @@
+(* Seeded violation: a pool task captures a module-level ref. *)
+let hits = ref 0
+
+let drive pool =
+  let tasks = [| (fun () -> incr hits) |] in
+  Pool.run pool tasks

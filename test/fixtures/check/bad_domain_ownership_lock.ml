@@ -1,0 +1,8 @@
+(* Seeded violation: a module that spawns domains mutates caller-supplied
+   state without holding the lock. *)
+type t = { mutable count : int }
+
+let spin t =
+  let d = Domain.spawn (fun () -> ()) in
+  t.count <- t.count + 1;
+  Domain.join d

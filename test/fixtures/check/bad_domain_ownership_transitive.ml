@@ -1,0 +1,11 @@
+(* Seeded violation: the task only calls [note], but [note] reaches a
+   shared-mutating helper two hops away. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let record k = Hashtbl.replace table k 1
+
+let note k = record k
+
+let drive pool =
+  let tasks = [| (fun () -> note "x") |] in
+  Pool.run pool tasks

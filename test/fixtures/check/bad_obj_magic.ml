@@ -1,0 +1,2 @@
+(* Seeded violation: unchecked coercion. *)
+let coerce (x : int) : string = Obj.magic x

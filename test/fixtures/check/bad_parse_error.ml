@@ -1,0 +1,2 @@
+(* Seeded violation: this file does not parse. *)
+let broken = =

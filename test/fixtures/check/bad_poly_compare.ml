@@ -1,0 +1,2 @@
+(* Seeded violation: bare [compare] is Stdlib.compare. *)
+let sorted l = List.sort compare l

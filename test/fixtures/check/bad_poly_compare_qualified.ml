@@ -1,0 +1,2 @@
+(* Seeded violation: qualified polymorphic compare. *)
+let biggest a b = if Stdlib.compare a b > 0 then a else b

@@ -1,0 +1,2 @@
+(* Seeded violation: List.mem uses polymorphic equality. *)
+let has x l = List.mem x l

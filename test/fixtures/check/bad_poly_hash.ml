@@ -1,0 +1,2 @@
+(* Seeded violation: polymorphic structural hash. *)
+let bucket x = Hashtbl.hash x mod 16

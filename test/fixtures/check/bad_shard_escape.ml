@@ -1,0 +1,4 @@
+(* Seeded violation: shard-owned state is consumed outside the Shard API. *)
+let steal s = Shard.trie s
+
+let measure s = Trie.size (Shard.trie s)

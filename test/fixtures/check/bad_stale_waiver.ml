@@ -1,0 +1,4 @@
+(* Seeded violation: waivers that excuse nothing. *)
+let twice x = x + x (* check: allow poly-compare — nothing on this line uses compare *)
+
+let thrice x = x * 3 (* check: allow no-such-rule — unknown rule name *)

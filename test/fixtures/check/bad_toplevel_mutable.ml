@@ -1,0 +1,4 @@
+(* Seeded violation: module-level mutable state in lib/. *)
+let cache = Hashtbl.create 64
+
+let remember k v = Hashtbl.replace cache k v

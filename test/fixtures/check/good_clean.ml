@@ -1,0 +1,4 @@
+(* Clean: pure code with typed comparisons. *)
+let smaller a b = if Int.compare a b < 0 then a else b
+
+let total l = List.fold_left ( + ) 0 l

@@ -1,0 +1,9 @@
+(* Clean: the spawning module mutates shared state only under the lock. *)
+type t = { lock : Mutex.t; mutable count : int }
+
+let spin t =
+  let d = Domain.spawn (fun () -> ()) in
+  Mutex.lock t.lock;
+  t.count <- t.count + 1;
+  Mutex.unlock t.lock;
+  Domain.join d

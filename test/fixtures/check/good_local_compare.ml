@@ -1,0 +1,8 @@
+(* Clean: [compare] here resolves to local definitions, not Stdlib. *)
+let compare a b = Int.compare a b
+
+let smaller a b = if compare a b < 0 then a else b
+
+let sorted l =
+  let compare (a, _) (b, _) = String.compare a b in
+  List.sort compare l

@@ -1,0 +1,7 @@
+(* Clean: pool tasks mutate only state they own (a local array slot per
+   task, read back after the run barrier). *)
+let drive pool =
+  let acc = Array.make 4 0 in
+  let tasks = Array.init 4 (fun i () -> acc.(i) <- i) in
+  ignore (Pool.run pool tasks);
+  acc

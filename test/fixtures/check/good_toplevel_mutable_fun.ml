@@ -1,0 +1,5 @@
+(* Clean: functions and suspensions that allocate on demand are not
+   module-level mutable state. *)
+let make () = Hashtbl.create 8
+
+let table = lazy (Hashtbl.create 8)

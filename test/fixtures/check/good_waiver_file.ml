@@ -1,0 +1,4 @@
+(* check: allow-file poly-equal — fixture demonstrates a file-scoped waiver *)
+let has x l = List.mem x l
+
+let lookup k l = List.assoc_opt k l

@@ -1,0 +1,2 @@
+(* Clean: a line-scoped typed waiver excuses the finding on its line. *)
+let sorted l = List.sort compare l (* check: allow poly-compare — fixture demonstrates a line waiver *)

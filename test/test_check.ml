@@ -1,0 +1,124 @@
+(* Tests for the AST domain-ownership checker (lib/analysis).
+
+   The fixture corpus under fixtures/check is the rule-coverage proof:
+   every rule must trip on its seeded violation and stay quiet on the
+   clean counterpart.  The inline-snippet tests below are the mutation
+   checks from the issue: deleting the lock from a pool-like module, or
+   routing a module-level ref into a task closure, must surface as
+   domain-ownership findings. *)
+
+module Check = Tric_analysis.Check
+module Src = Tric_analysis.Src
+
+let finding_rules (o : Check.outcome) =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Src.finding) -> f.Src.rule) o.Check.findings)
+
+let pp_outcome (o : Check.outcome) =
+  String.concat "; " (List.map Src.pp_finding o.Check.findings)
+
+let check_clean what o =
+  Alcotest.(check string) what "" (pp_outcome o)
+
+let has_rule rule o =
+  List.exists (String.equal rule) (finding_rules o)
+
+let test_fixture_corpus () =
+  Alcotest.(check bool) "fixture corpus self-test" true (Check.self_test "fixtures/check")
+
+(* A miniature pool: a spawning module whose shared-state mutation is
+   guarded by the lock iff [locked].  With the lock the scan is clean;
+   without it the domain-ownership rule must fire. *)
+let minipool ~locked =
+  let guard pre = if locked then pre else "" in
+  String.concat "\n"
+    [
+      "type t = { lock : Mutex.t; mutable busy : int }";
+      "";
+      "let spin t =";
+      "  let d = Domain.spawn (fun () -> ()) in";
+      "  " ^ guard "Mutex.lock t.lock;";
+      "  t.busy <- t.busy + 1;";
+      "  " ^ guard "Mutex.unlock t.lock;";
+      "  Domain.join d";
+      "";
+    ]
+
+let test_lock_deletion_flagged () =
+  check_clean "locked minipool"
+    (Check.analyze_sources [ ("lib/exec/minipool.ml", minipool ~locked:true) ]);
+  let dirty =
+    Check.analyze_sources [ ("lib/exec/minipool.ml", minipool ~locked:false) ]
+  in
+  Alcotest.(check bool) "deleting the lock trips domain-ownership" true
+    (has_rule "domain-ownership" dirty);
+  Alcotest.(check (list string)) "and nothing else" [ "domain-ownership" ]
+    (finding_rules dirty)
+
+(* The second seeded mutation from the issue: a toplevel ref reached from
+   a Pool.run task closure. *)
+let task_src ~shared =
+  let state, bump =
+    if shared then ("let total = ref 0", "total := !total + 1")
+    else ("", "acc.(0) <- acc.(0) + 1")
+  in
+  String.concat "\n"
+    [
+      state;
+      "";
+      "let drive pool =";
+      "  let acc = Array.make 1 0 in";
+      "  let tasks = [| (fun () -> " ^ bump ^ ") |] in";
+      "  ignore (Pool.run pool tasks);";
+      "  acc";
+      "";
+    ]
+
+let test_task_reaches_shared_state () =
+  check_clean "task mutating owned state"
+    (Check.analyze_sources [ ("bin/fixture/owned.ml", task_src ~shared:false) ]);
+  let dirty =
+    Check.analyze_sources [ ("bin/fixture/shared.ml", task_src ~shared:true) ]
+  in
+  Alcotest.(check (list string)) "toplevel ref reached from a task"
+    [ "domain-ownership" ] (finding_rules dirty)
+
+let test_shard_escape_scoping () =
+  let src = "let peek s = Shard.trie s\n" in
+  let outside = Check.analyze_sources [ ("bin/fixture/outsider.ml", src) ] in
+  Alcotest.(check (list string)) "outside the coordinator" [ "shard-escape" ]
+    (finding_rules outside);
+  check_clean "inside the coordinator"
+    (Check.analyze_sources [ ("lib/core/tric.ml", src) ])
+
+let test_waiver_used_and_stale () =
+  let marker = "check: allow" in
+  let waived =
+    "let sorted l = List.sort compare l (* " ^ marker ^ " poly-compare -- demo *)\n"
+  in
+  let o = Check.analyze_sources [ ("bin/fixture/waived.ml", waived) ] in
+  check_clean "line waiver suppresses the finding" o;
+  (match o.Check.waivers with
+  | [ w ] -> Alcotest.(check bool) "waiver marked used" true w.Src.w_used
+  | ws -> Alcotest.fail (Printf.sprintf "expected 1 waiver, got %d" (List.length ws)));
+  let stale = "let pure x = x (* " ^ marker ^ " poly-hash -- excuses nothing *)\n" in
+  Alcotest.(check (list string)) "unused waiver reported stale" [ "stale-waiver" ]
+    (finding_rules (Check.analyze_sources [ ("bin/fixture/stale.ml", stale) ]))
+
+let test_rule_table_sane () =
+  let names = List.map fst Check.rules in
+  Alcotest.(check int) "rule names unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  Alcotest.(check bool) "domain-ownership is a rule" true
+    (List.mem_assoc "domain-ownership" Check.rules)
+
+let suite =
+  [
+    Alcotest.test_case "fixture corpus" `Quick test_fixture_corpus;
+    Alcotest.test_case "lock deletion is flagged" `Quick test_lock_deletion_flagged;
+    Alcotest.test_case "task reaching shared state" `Quick
+      test_task_reaches_shared_state;
+    Alcotest.test_case "shard-escape scoping" `Quick test_shard_escape_scoping;
+    Alcotest.test_case "waivers: used and stale" `Quick test_waiver_used_and_stale;
+    Alcotest.test_case "rule table" `Quick test_rule_table_sane;
+  ]

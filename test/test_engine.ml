@@ -30,6 +30,44 @@ let test_report_algebra () =
   Alcotest.(check (list int)) "satisfied_ids ignores retraction-only" [ 1; 2 ]
     (E.Report.satisfied_ids with_retraction)
 
+let test_report_merge_algebra () =
+  let ra =
+    E.Report.of_pair ([ (1, [ emb [ (0, "a") ] ]) ], [ (2, [ emb [ (1, "x") ] ]) ])
+  in
+  let rb =
+    E.Report.of_pair ([ (1, [ emb [ (0, "b") ] ]); (3, [ emb [ (0, "c") ] ]) ], [])
+  in
+  let rc =
+    E.Report.of_pair
+      ([ (1, [ emb [ (0, "a") ] ]) ], [ (2, [ emb [ (1, "x") ]; emb [ (1, "y") ] ]) ])
+  in
+  let m_left = E.Report.merge [ E.Report.merge [ ra; rb ]; rc ] in
+  let m_right = E.Report.merge [ ra; E.Report.merge [ rb; rc ] ] in
+  let m_flat = E.Report.merge [ ra; rb; rc ] in
+  Alcotest.(check bool) "merge associative (left vs right)" true
+    (E.Report.equal m_left m_right);
+  Alcotest.(check bool) "merge associative (nested vs flat)" true
+    (E.Report.equal m_left m_flat);
+  Alcotest.(check bool) "empty is a merge identity" true
+    (E.Report.equal (E.Report.merge [ ra; E.Report.empty ]) ra);
+  Alcotest.(check bool) "merge with self dedups" true
+    (E.Report.equal (E.Report.merge [ ra; ra ]) ra);
+  (* normalise is idempotent, structurally: rendering a normalised report
+     a second time through normalise changes nothing *)
+  let render r = Format.asprintf "%a" E.Report.pp r in
+  let n = E.Report.normalise m_flat in
+  Alcotest.(check string) "normalise idempotent" (render n)
+    (render (E.Report.normalise n));
+  (* dedup is per channel: duplicates collapse within matches and within
+     retractions, but the same embedding may legitimately sit in both *)
+  let e = emb [ (0, "a") ] in
+  let dup = E.Report.of_pair ([ (1, [ e; e ]) ], [ (1, [ e; e ]) ]) in
+  let dn = E.Report.normalise dup in
+  Alcotest.(check int) "matches deduped" 1 (E.Report.total_matches dn);
+  Alcotest.(check int) "retractions deduped" 1 (E.Report.total_retractions dn);
+  Alcotest.(check int) "embedding kept on both channels" 1
+    (List.length (E.Report.retractions_of dn 1))
+
 let test_registry () =
   List.iter
     (fun name ->
@@ -280,6 +318,7 @@ let test_midstream_query_addition () =
 let suite =
   [
     Alcotest.test_case "report algebra" `Quick test_report_algebra;
+    Alcotest.test_case "report merge algebra" `Quick test_report_merge_algebra;
     Alcotest.test_case "engines registry" `Quick test_registry;
     Alcotest.test_case "runner basics" `Quick test_runner_basics;
     Alcotest.test_case "runner checkpoints" `Quick test_runner_checkpoints;

@@ -122,6 +122,38 @@ let test_intersections () =
     Alcotest.(check (list int)) "share the center" [ 0 ] shared
   | other -> Alcotest.failf "unexpected intersections (%d entries)" (List.length other)
 
+let test_wspec_rejections () =
+  let reject what s =
+    match Wspec.of_string s with
+    | Error _ -> ()
+    | Ok w -> Alcotest.failf "%s: %S parsed as %s" what s (Wspec.to_string w)
+  in
+  reject "empty" "";
+  reject "whitespace only" "   ";
+  reject "unknown unit" "10x";
+  reject "unknown unit" "90q";
+  reject "zero span" "0s";
+  reject "negative span" "-5m";
+  reject "zero count" "0";
+  reject "negative count" "-3";
+  reject "zero events" "0 EVENTS";
+  reject "trailing garbage" "1h EXTRA";
+  reject "trailing garbage" "500 EVENTS TUMBLING EXTRA";
+  reject "shape alone" "TUMBLING";
+  (match Wspec.of_tokens [] with
+  | Error _ -> ()
+  | Ok w -> Alcotest.failf "empty token list parsed as %s" (Wspec.to_string w));
+  (* every accepted surface form round-trips through to_string *)
+  List.iter
+    (fun s ->
+      match Wspec.of_string s with
+      | Error e -> Alcotest.failf "%S rejected: %s" s e
+      | Ok w -> (
+        match Wspec.of_string (Wspec.to_string w) with
+        | Ok w' -> Alcotest.(check bool) ("roundtrip " ^ s) true (Wspec.equal w w')
+        | Error e -> Alcotest.failf "rendering of %S rejected: %s" s e))
+    [ "1h"; "90s TUMBLING"; "1000 EVENTS"; "500"; "2d sliding"; "5m Sliding" ]
+
 let suite =
   [
     Alcotest.test_case "builder unifies terms" `Quick test_builder_unifies_terms;
@@ -133,4 +165,5 @@ let suite =
     Alcotest.test_case "cover constant anchor" `Quick test_cover_const_anchor;
     Alcotest.test_case "cover naive strategy" `Quick test_cover_naive_strategy;
     Alcotest.test_case "path intersections" `Quick test_intersections;
+    Alcotest.test_case "wspec rejections" `Quick test_wspec_rejections;
   ]
