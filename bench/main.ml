@@ -620,6 +620,85 @@ let overhead_report ?(strict = false) fmt =
     exit 1
   end
 
+(* Data-layout report: live-heap words and per-update allocation on a
+   fixed per-update SNB replay, emitted as BENCH_layout.json next to the
+   pre-refactor baseline (the boxed Tuple.t-list representation, measured
+   at the commit preceding the packed row-store on the same workload and
+   recorded here as constants).  [strict] additionally enforces the
+   allocation-regression budget: mean minor words allocated per update
+   must stay under TRIC_ALLOC_MAX_WORDS (the CI smoke for GC pressure on
+   the hot path — boxed-tuple regressions show up here first). *)
+let layout_report ?(strict = false) fmt =
+  let edges = getenv_int "TRIC_LAYOUT_EDGES" 3_000 in
+  let qdb = getenv_int "TRIC_LAYOUT_QDB" 60 in
+  let max_minor = float_of_int (getenv_int "TRIC_ALLOC_MAX_WORDS" 60_000) in
+  (* Boxed-layout numbers at the same workload (edges=3000 qdb=60 seed=7),
+     measured immediately before the packed row-store landed.  Only
+     comparable at the default workload parameters. *)
+  let baseline_live_words, baseline_upd_s, baseline_minor_per_upd =
+    (407_935.0, 120_000.0, 1_367.0)
+  in
+  let d =
+    W.Dataset.make W.Dataset.Snb
+      { W.Dataset.edges; qdb; avg_len = 5; selectivity = 0.25; overlap = 0.35; seed = 7 }
+  in
+  let run engine_name =
+    let engine = E.Engines.by_name engine_name in
+    List.iter engine.E.Matcher.add_query d.W.Dataset.queries;
+    let stream = d.W.Dataset.stream in
+    let n = Tric_graph.Stream.length stream in
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      ignore (engine.E.Matcher.handle_update (Tric_graph.Stream.get stream i))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let minor = (Gc.minor_words () -. m0) /. float_of_int n in
+    Gc.full_major ();
+    let live = engine.E.Matcher.memory_words () in
+    engine.E.Matcher.shutdown ();
+    (float_of_int n /. dt, minor, live)
+  in
+  let plus_ups, plus_minor, plus_live = run "TRIC+" in
+  let plain_ups, plain_minor, plain_live = run "TRIC" in
+  Format.fprintf fmt "=== Data layout (SNB %d updates, qdb=%d, per-update) ===@.@." edges qdb;
+  Format.fprintf fmt "%-8s %12s %16s %18s@." "engine" "upd/s" "live heap words"
+    "minor words/upd";
+  Format.fprintf fmt "%-8s %12.0f %16d %18.0f@." "TRIC+" plus_ups plus_live plus_minor;
+  Format.fprintf fmt "%-8s %12.0f %16d %18.0f@." "TRIC" plain_ups plain_live plain_minor;
+  if baseline_live_words > 0.0 then
+    Format.fprintf fmt "@.boxed baseline (TRIC+): %.0f upd/s, %.0f live words, %.0f minor words/upd@."
+      baseline_upd_s baseline_live_words baseline_minor_per_upd;
+  Format.fprintf fmt "@.";
+  write_bench_json fmt ~file:"BENCH_layout.json" ~bench:"layout"
+    (workload_fields ~source:"snb" ~edges ~qdb
+    @ [
+        ( "packed",
+          J.Obj
+            [
+              ("tric_plus_upd_s", J.Num plus_ups);
+              ("tric_plus_live_words", J.int plus_live);
+              ("tric_plus_minor_words_per_update", J.Num plus_minor);
+              ("tric_upd_s", J.Num plain_ups);
+              ("tric_live_words", J.int plain_live);
+              ("tric_minor_words_per_update", J.Num plain_minor);
+            ] );
+        ( "boxed_baseline",
+          J.Obj
+            [
+              ("tric_plus_upd_s", J.Num baseline_upd_s);
+              ("tric_plus_live_words", J.Num baseline_live_words);
+              ("tric_plus_minor_words_per_update", J.Num baseline_minor_per_upd);
+            ] );
+        ("alloc_budget_minor_words_per_update", J.Num max_minor);
+      ]);
+  if strict && plus_minor > max_minor then begin
+    Format.fprintf fmt
+      "FAIL: TRIC+ allocates %.0f minor words/update, budget is %.0f (TRIC_ALLOC_MAX_WORDS)@."
+      plus_minor max_minor;
+    exit 1
+  end
+
 let run_and_report fmt tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -794,6 +873,13 @@ let () =
      the TRIC_OVERHEAD_MAX_PCT budget with a failing exit (CI). *)
   if Sys.getenv_opt "TRIC_OVERHEAD_ONLY" <> None then begin
     overhead_report ~strict:true fmt;
+    exit 0
+  end;
+  (* TRIC_LAYOUT_ONLY=1: just the data-layout report (live-heap words +
+     upd/s, BENCH_layout.json) with the TRIC_ALLOC_MAX_WORDS
+     allocation-regression budget enforced (CI). *)
+  if Sys.getenv_opt "TRIC_LAYOUT_ONLY" <> None then begin
+    layout_report ~strict:true fmt;
     exit 0
   end;
   let cfg = H.Config.from_env () in

@@ -154,6 +154,7 @@ let runner_json (r : Engine.Runner.result) =
 
 let metrics_envelope (engine : Engine.Matcher.t) (r : Engine.Runner.result) =
   Obs.Snapshot.envelope ~engine:engine.Engine.Matcher.name ~runner:(runner_json r)
+    ~mem:(engine.Engine.Matcher.mem ())
     ~spans:(Obs.Span.recorded_to_json (engine.Engine.Matcher.spans ()))
     (engine.Engine.Matcher.metrics ())
 
@@ -388,7 +389,16 @@ let stats_cmd =
             (match format with
             | `Text ->
               Format.printf "%a@.@.%a@." Engine.Runner.pp_result r Obs.Snapshot.pp
-                (engine.Engine.Matcher.metrics ())
+                (engine.Engine.Matcher.metrics ());
+              let mem = engine.Engine.Matcher.mem () in
+              if Array.length mem > 0 then begin
+                Format.printf "@.mem (packed arenas per shard):@.";
+                Array.iteri
+                  (fun sid (cap, live, free) ->
+                    Format.printf "  shard %d: arena_rows=%d live_rows=%d freelist=%d@."
+                      sid cap live free)
+                  mem
+              end
             | `Json -> print_string (Obs.Json.to_string ~pretty:true (metrics_envelope engine r))
             | `Prometheus ->
               print_string (Obs.Snapshot.to_prometheus (engine.Engine.Matcher.metrics ())));

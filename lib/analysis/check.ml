@@ -14,8 +14,9 @@ let rules =
        bindings, and domain-spawning modules must hold the pool lock when mutating \
        non-owned state" );
     ( "shard-escape",
-      "Shard.t / Trie.t / Relation.t stay inside the shard-owned modules and the \
-       coordinator; everything else goes through the Shard API" );
+      "Shard.t / Trie.t / Relation.t / Rows.t stay inside the shard-owned modules and \
+       the coordinator; everything else goes through the Shard API (row ids are only \
+       meaningful inside the owning shard's arenas — batches cross as packed copies)" );
     ("poly-compare", "Stdlib/bare compare orders by memory representation");
     ("poly-hash", "Hashtbl.hash truncates and diverges from any custom equal");
     ("poly-equal", "the List.mem/assoc family uses polymorphic =");
@@ -36,15 +37,20 @@ type outcome = {
 }
 
 (* Modules allowed to touch each shard-owned type directly.  [Tric] is the
-   coordinator, [Shard] the slice owner; [Trie]/[Relation] sit below it.
-   Anything else must carry a file waiver naming the rule (the audit
-   subsystem recomputes state from scratch and legitimately reads all
-   three). *)
+   coordinator, [Shard] the slice owner; [Trie]/[Relation] sit below it and
+   [Rows] is the arena floor — its row ids index a specific shard's flat
+   store, so nothing outside the stack may hold one ([Embedding]/[Embjoin]
+   consume only by-value packed batches, but the reference check cannot
+   split a module, so they are allowed and kept honest by review of their
+   Rows surface).  Anything else must carry a file waiver naming the rule
+   (the audit subsystem recomputes state from scratch and legitimately
+   reads the stack). *)
 let owned_allow tname =
   match tname with
   | "Shard" -> [ "Shard"; "Tric" ]
   | "Trie" -> [ "Trie"; "Shard"; "Tric" ]
   | "Relation" -> [ "Relation"; "Trie"; "Shard"; "Tric" ]
+  | "Rows" -> [ "Rows"; "Relation"; "Embedding"; "Embjoin"; "Trie"; "Shard"; "Tric" ]
   | _ -> []
 
 type slot =

@@ -34,6 +34,7 @@ let invariant_classes =
     "view-coherence";
     "base-coherence";
     "index-coherence";
+    "arena-integrity";
     "cache-coherence";
     "stats";
     "window-coherence";
@@ -55,11 +56,16 @@ let samples pp xs =
 let relation_audit ~report location rel =
   List.iter (fun (invariant, detail) -> report location invariant detail) (Relation.audit rel)
 
-(* Set difference of an expected tuple list against a live relation. *)
-let diff_view ~report ~location ~invariant ~what expected view =
-  let exp_tbl = Tuple.Tbl.create (2 * List.length expected) in
-  List.iter (fun t -> Tuple.Tbl.replace exp_tbl t ()) expected;
-  let missing = List.filter (fun t -> not (Relation.mem view t)) expected in
+(* Set difference of an expected tuple stream against a live relation.
+   [expect] is an iterator — the expectation is consumed tuple by tuple
+   (deduplicated here), never materialized as a list, so certifying a
+   large base view allocates one hash table, not a boxed copy of it. *)
+let diff_view ~report ~location ~invariant ~what ~expect view =
+  let exp_tbl = Tuple.Tbl.create (2 * Relation.cardinality view + 1) in
+  expect (fun t -> Tuple.Tbl.replace exp_tbl t ());
+  let missing =
+    Tuple.Tbl.fold (fun t () acc -> if Relation.mem view t then acc else t :: acc) exp_tbl []
+  in
   let extra =
     Relation.fold (fun t acc -> if Tuple.Tbl.mem exp_tbl t then acc else t :: acc) view []
   in
@@ -72,14 +78,10 @@ let diff_view ~report ~location ~invariant ~what expected view =
       (Format.asprintf "%s: %d tuple(s) not re-derivable: %s" what (List.length extra)
          (samples Tuple.pp extra))
 
-(* Expected base view contents for a key, from the ground-truth edge set. *)
-let expected_base key edges =
-  let tbl = Tuple.Tbl.create 64 in
-  List.iter
-    (fun (e : Edge.t) ->
-      if Ekey.matches key e then Tuple.Tbl.replace tbl (Tuple.of_edge e) ())
-    edges;
-  Tuple.Tbl.fold (fun t () acc -> t :: acc) tbl []
+(* Expected base view contents for a key, streamed off the ground-truth
+   edge set (duplicates are fine — {!diff_view} dedups). *)
+let expected_base key edges f =
+  List.iter (fun (e : Edge.t) -> if Ekey.matches key e then f (Tuple.of_edge e)) edges
 
 let check_base_views ~report ~fold_base ?edges container =
   fold_base
@@ -92,7 +94,7 @@ let check_base_views ~report ~fold_base ?edges container =
       | None -> ()
       | Some edges ->
         diff_view ~report ~location:(Base key) ~invariant:"base-coherence"
-          ~what:"vs live edge set" (expected_base key edges) rel)
+          ~what:"vs live edge set" ~expect:(expected_base key edges) rel)
     container ()
 
 (* -- TRIC / TRIC+ ----------------------------------------------------------- *)
@@ -126,35 +128,61 @@ let rec check_node ~report forest node ~depth ~parent_expected =
     report (Node nid) "trie-shape"
       (Printf.sprintf "view width %d, expected %d" (Relation.width view) (depth + 2));
   relation_audit ~report (Node nid) view;
-  let expected =
+  let base_opt =
     match Trie.base_view forest (Trie.node_key node) with
     | None ->
       report (Node nid) "trie-shape"
         (Format.asprintf "node key %a has no base view" Ekey.pp (Trie.node_key node));
-      []
-    | Some base -> (
-      match parent_expected with
-      | None -> Relation.to_list base
-      | Some pexp ->
-        let probe = base_probe base in
-        List.concat_map
-          (fun ptu -> List.map (fun dst -> Tuple.extend ptu dst) (probe (Tuple.last ptu)))
-          pexp)
+      None
+    | Some base -> Some base
+  in
+  (* Derived expectations (depth >= 1) are join products and must be
+     materialized for the recursion anyway; a root's expectation is its
+     key's base view, streamed straight off the packed store — no boxed
+     list per certification pass. *)
+  let derived =
+    match (base_opt, parent_expected) with
+    | Some base, Some pexp ->
+      let probe = base_probe base in
+      Some
+        (List.concat_map
+           (fun ptu -> List.map (fun dst -> Tuple.extend ptu dst) (probe (Tuple.last ptu)))
+           pexp)
+    | _ -> None
+  in
+  let expect f =
+    match (derived, base_opt, parent_expected) with
+    | Some l, _, _ -> List.iter f l
+    | None, Some base, None -> Relation.iter f base
+    | None, _, _ -> ()
   in
   diff_view ~report ~location:(Node nid) ~invariant:"view-coherence"
-    ~what:"vs naive chain join of base views" expected view;
+    ~what:"vs naive chain join of base views" ~expect view;
   let children_registered =
-    List.fold_left
-      (fun acc child ->
-        (match Trie.node_parent child with
-        | Some p when Trie.node_id p = nid -> ()
-        | _ ->
-          report
-            (Node (Trie.node_id child))
-            "trie-shape" "child's parent link does not point back");
-        check_node ~report forest child ~depth:(depth + 1) ~parent_expected:(Some expected)
-        || acc)
-      false (Trie.node_children node)
+    match Trie.node_children node with
+    | [] -> false
+    | children ->
+      (* Only an inner node's expectation is reified, and only here. *)
+      let expected =
+        match derived with
+        | Some l -> l
+        | None ->
+          let acc = ref [] in
+          expect (fun t -> acc := t :: !acc);
+          !acc
+      in
+      List.fold_left
+        (fun acc child ->
+          (match Trie.node_parent child with
+          | Some p when Trie.node_id p = nid -> ()
+          | _ ->
+            report
+              (Node (Trie.node_id child))
+              "trie-shape" "child's parent link does not point back");
+          check_node ~report forest child ~depth:(depth + 1)
+            ~parent_expected:(Some expected)
+          || acc)
+        false children
   in
   children_registered || Trie.registrations node <> []
 

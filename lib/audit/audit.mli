@@ -39,6 +39,11 @@
     - {b index-coherence}: every maintained index — the TRIC+ cached
       hash-join structures and the prefix/hinge deletion indexes of both
       cache modes — holds exactly the live tuples ({!Tric_rel.Relation.audit}).
+    - {b arena-integrity}: the packed row arenas behind every relation are
+      internally sound ({!Tric_rel.Rows.audit}): no live row sits on a
+      freelist, no freelist entry is out of range or duplicated, no dead
+      slot is stranded off the freelist, the live counter matches the
+      liveness map, and no index bucket names a dead or out-of-range row.
     - {b cache-coherence}: each query's cached per-path partial embeddings
       equal the re-derivation from its terminal views, as a multiset.
     - {b stats}: accounting identities — per relation,
@@ -78,7 +83,7 @@ type finding = {
 }
 
 val invariant_classes : string list
-(** The nine class identifiers, lattice order. *)
+(** The ten class identifiers, lattice order. *)
 
 val check : ?edges:Edge.t list -> Tric_core.Tric.t -> finding list
 (** Audit a TRIC/TRIC+ engine, sequential or sharded — every shard's

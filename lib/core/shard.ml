@@ -47,6 +47,18 @@ let sid t = t.sid
 let forest t = t.forest
 let registry t = match t.obs with Some o -> Some o.reg | None -> None
 
+let mem_stats t =
+  Trie.fold_nodes
+    (fun n (cap, live, free) ->
+      let c, l, f = Relation.mem_stats (Trie.node_view n) in
+      (cap + c, live + l, free + f))
+    t.forest
+    (Trie.fold_base
+       (fun _ base (cap, live, free) ->
+         let c, l, f = Relation.mem_stats base in
+         (cap + c, live + l, free + f))
+       t.forest (0, 0, 0))
+
 (* Observe one propagation event: [n] tuples materialized at [depth].
    Registered on every record call, so the fan-out histogram sees the
    per-event delta sizes and the depth histogram the per-level volumes. *)
@@ -72,7 +84,22 @@ let timed_visit t node f =
     f ();
     Tric_obs.Histogram.observe o.descend.(level) (Unix.gettimeofday () -. t0)
 
-type delta = int * int * Tuple.t list
+(* Deltas leave the shard as packed flat copies: row ids are meaningless
+   outside the arena (and the view) that allocated them, and the
+   shard-escape rule keeps it that way statically. *)
+type delta = int * int * Rows.packed
+
+(* Per-node event accumulator.  Additions pack the freshly inserted rows
+   at record time (they are live then and stay live for the sweep);
+   removals arrive already packed (their rows are gone from the arena by
+   the time the eviction returns). *)
+type record_tbl = (int, Trie.node * Rows.packed list ref) Hashtbl.t
+
+let record_packed t (tbl : record_tbl) node p =
+  observe_event t node (Rows.packed_count p);
+  match Hashtbl.find_opt tbl (Trie.node_id node) with
+  | Some (_, cell) -> cell := p :: !cell
+  | None -> Hashtbl.add tbl (Trie.node_id node) (node, ref [ p ])
 
 (* -- Additions (Fig. 10, shard-local) -------------------------------------- *)
 
@@ -85,53 +112,64 @@ let matched_nodes t (e : Edge.t) =
   in
   List.sort (fun a b -> Int.compare (Trie.node_depth a) (Trie.node_depth b)) nodes
 
-(* Delta propagation: push the parent's freshly inserted tuples into each
+(* Delta propagation: push the parent's freshly inserted rows into each
    child by joining them with the child's base view, pruning branches
-   where the delta dies out.  Records inserted tuples per node. *)
-let rec propagate t ~record node delta =
+   where the delta dies out.  [drows] are row ids in [node]'s view; the
+   child's gains are collected as row ids in the child's view — all joins
+   below here move raw cells between arenas, never boxed tuples. *)
+let rec propagate t ~record node (drows : Rows.Vec.t) =
   List.iter
     (fun child ->
       match Trie.base_view t.forest (Trie.node_key child) with
       | None -> ()
       | Some base ->
         if not (Relation.is_empty base) then begin
-          let extensions =
-            if t.cache then begin
-              (* TRIC+: probe the maintained index of the base view. *)
-              let probe = Relation.index_on base ~col:0 in
-              List.concat_map
-                (fun tu ->
-                  List.map
-                    (fun btu -> Tuple.extend tu (Tuple.get btu 1))
-                    (probe (Tuple.last tu)))
-                delta
-            end
-            else begin
-              (* TRIC: classic hash join — build on the smaller side (the
-                 delta), scan the base view probing it. *)
-              let built : Tuple.t list ref Label.Tbl.t =
-                Label.Tbl.create (2 * List.length delta)
-              in
-              List.iter
-                (fun tu ->
-                  let key = Tuple.last tu in
-                  match Label.Tbl.find_opt built key with
-                  | Some cell -> cell := tu :: !cell
-                  | None -> Label.Tbl.add built key (ref [ tu ]))
-                delta;
-              let out = ref [] in
-              Relation.scan_probing base ~col:0
-                (fun hinge ->
-                  match Label.Tbl.find_opt built hinge with
-                  | Some cell -> !cell
-                  | None -> [])
-                (fun btu tu -> out := Tuple.extend tu (Tuple.get btu 1) :: !out);
-              !out
-            end
+          let pview = Trie.node_view node in
+          let cview = Trie.node_view child in
+          let hinge_col = Relation.width pview - 1 in
+          let inserted = Rows.Vec.create () in
+          let extend drow brow =
+            let row =
+              Relation.insert_extend cview ~src:pview ~row:drow
+                ~ext:(Relation.row_col base brow 1)
+            in
+            if row >= 0 then Rows.Vec.push inserted row
           in
-          let inserted = Relation.insert_all (Trie.node_view child) extensions in
-          if inserted <> [] then begin
-            record child inserted;
+          if t.cache then
+            (* TRIC+: probe the maintained index of the base view. *)
+            Rows.Vec.iter
+              (fun drow ->
+                match
+                  Relation.probe_col_rows base ~col:0 (Relation.row_col pview drow hinge_col)
+                with
+                | Some bucket -> Rows.Vec.iter (fun brow -> extend drow brow) bucket
+                | None -> ())
+              drows
+          else begin
+            (* TRIC: classic hash join — build on the smaller side (the
+               delta), scan the base view probing it. *)
+            let built : Rows.Vec.t Label.Tbl.t =
+              Label.Tbl.create (2 * Rows.Vec.length drows)
+            in
+            Rows.Vec.iter
+              (fun drow ->
+                let key = Relation.row_col pview drow hinge_col in
+                match Label.Tbl.find_opt built key with
+                | Some v -> Rows.Vec.push v drow
+                | None ->
+                  let v = Rows.Vec.create () in
+                  Rows.Vec.push v drow;
+                  Label.Tbl.add built key v)
+              drows;
+            Relation.iter_rows
+              (fun brow ->
+                match Label.Tbl.find_opt built (Relation.row_col base brow 0) with
+                | Some bucket -> Rows.Vec.iter (fun drow -> extend drow brow) bucket
+                | None -> ())
+              base
+          end;
+          if Rows.Vec.length inserted > 0 then begin
+            record child (Relation.pack_rows cview inserted);
             propagate t ~record child inserted
           end
         end)
@@ -140,42 +178,48 @@ let rec propagate t ~record node delta =
 let handle_addition t (e : Edge.t) =
   (* Feed this shard's base views of the four generalised keys; keys no
      trie of this shard mentions have no base view here and are skipped. *)
-  let tuple = Tuple.of_edge e in
   List.iter
     (fun k ->
       match Trie.base_view t.forest k with
-      | Some base -> ignore (Relation.insert base tuple)
+      | Some base -> ignore (Relation.insert_edge_row base ~src:e.src ~dst:e.dst)
       | None -> ())
     (Ekey.keys_of_edge e);
   (* Visit matching trie nodes shallow-first. *)
-  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
-  let record node tuples =
-    observe_event t node (List.length tuples);
-    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
-    | Some (_, cell) -> cell := tuples @ !cell
-    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
-  in
+  let inserted_at : record_tbl = Hashtbl.create 32 in
+  let record node p = record_packed t inserted_at node p in
   List.iter
     (fun node ->
       timed_visit t node (fun () ->
-          let delta =
-            match Trie.node_parent node with
-            | None -> [ tuple ]
-            | Some parent ->
-              let hinge_col = Trie.node_depth node in
-              let parents =
-                if t.cache then
-                  (* TRIC+: maintained index on the parent view's hinge. *)
-                  Relation.index_on (Trie.node_view parent) ~col:hinge_col e.src
-                else
-                  (* TRIC: build on the single-tuple update, scan the parent. *)
-                  Relation.probe_scan (Trie.node_view parent) ~col:hinge_col e.src
-              in
-              List.map (fun ptu -> Tuple.extend ptu e.dst) parents
-          in
-          let inserted = Relation.insert_all (Trie.node_view node) delta in
-          if inserted <> [] then begin
-            record node inserted;
+          let view = Trie.node_view node in
+          let inserted = Rows.Vec.create () in
+          (match Trie.node_parent node with
+          | None ->
+            let row = Relation.insert_edge_row view ~src:e.src ~dst:e.dst in
+            if row >= 0 then Rows.Vec.push inserted row
+          | Some parent ->
+            let hinge_col = Trie.node_depth node in
+            let pview = Trie.node_view parent in
+            let extend prow =
+              let row = Relation.insert_extend view ~src:pview ~row:prow ~ext:e.dst in
+              if row >= 0 then Rows.Vec.push inserted row
+            in
+            if t.cache then (
+              (* TRIC+: maintained index on the parent view's hinge. *)
+              match Relation.probe_col_rows pview ~col:hinge_col e.src with
+              | Some bucket ->
+                (* The bucket belongs to the parent's index and only the
+                   child view mutates here, so iterating it is safe. *)
+                Rows.Vec.iter extend bucket
+              | None -> ())
+            else
+              (* TRIC: scan the parent view against the single update. *)
+              Relation.iter_rows
+                (fun prow ->
+                  if Label.equal (Relation.row_col pview prow hinge_col) e.src then
+                    extend prow)
+                pview);
+          if Rows.Vec.length inserted > 0 then begin
+            record node (Relation.pack_rows view inserted);
             propagate t ~record node inserted
           end))
     (matched_nodes t e);
@@ -187,15 +231,14 @@ let handle_addition t (e : Edge.t) =
    child's casualties are exactly the extensions of doomed parent tuples —
    found by probing the child view's maintained prefix index, not by
    scanning the view.  Doomed parent tuples are distinct, so the probed
-   buckets are disjoint and need no dedup.  Records evicted tuples per
-   node. *)
-let rec propagate_removal ~record node doomed =
+   buckets are disjoint and need no dedup.  The evictions return the
+   casualties packed (snapshotted before their arena slots are freed). *)
+let rec propagate_removal ~record node (doomed : Rows.packed) =
   List.iter
     (fun child ->
       let view = Trie.node_view child in
-      let doomed_child = List.concat_map (fun d -> Relation.probe_prefix view d) doomed in
-      if doomed_child <> [] then begin
-        ignore (Relation.remove_all view doomed_child);
+      let doomed_child = Relation.evict_prefixed view doomed in
+      if Rows.packed_count doomed_child > 0 then begin
         record child doomed_child;
         propagate_removal ~record child doomed_child
       end)
@@ -209,13 +252,8 @@ let handle_removal t (e : Edge.t) =
       | Some base -> ignore (Relation.remove base tuple)
       | None -> ())
     (Ekey.keys_of_edge e);
-  let removed_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
-  let record node tuples =
-    observe_event t node (List.length tuples);
-    match Hashtbl.find_opt removed_at (Trie.node_id node) with
-    | Some (_, cell) -> cell := tuples @ !cell
-    | None -> Hashtbl.add removed_at (Trie.node_id node) (node, ref tuples)
-  in
+  let removed_at : record_tbl = Hashtbl.create 32 in
+  let record node p = record_packed t removed_at node p in
   (* Shallow-first: a matched node's own hinge casualties are looked up by
      index; by the time a deeper matched node is visited, tuples already
      evicted through propagation are gone from its hinge index, so nothing
@@ -223,10 +261,8 @@ let handle_removal t (e : Edge.t) =
   List.iter
     (fun node ->
       timed_visit t node (fun () ->
-          let view = Trie.node_view node in
-          let doomed = Relation.probe_hinge view ~src:e.src ~dst:e.dst in
-          if doomed <> [] then begin
-            ignore (Relation.remove_all view doomed);
+          let doomed = Relation.evict_hinge (Trie.node_view node) ~src:e.src ~dst:e.dst in
+          if Rows.packed_count doomed > 0 then begin
             record node doomed;
             propagate_removal ~record node doomed
           end))
@@ -236,28 +272,51 @@ let handle_removal t (e : Edge.t) =
 (* -- Batched addition sweep (shard-local) ----------------------------------- *)
 
 (* The per-update answering loop, amortised over a window of edges: every
-   fresh edge tuple is first folded into the base views; then each
-   affected trie node is visited once — shallowest first across the whole
-   batch, so by the time a node joins its key's accumulated delta against
-   the parent's view, the parent has absorbed every shallower batch delta.
+   fresh edge is first folded into the base views; then each affected
+   trie node is visited once — shallowest first across the whole batch,
+   so by the time a node joins its key's accumulated delta against the
+   parent's view, the parent has absorbed every shallower batch delta.
    In TRIC mode this performs one hash-join build + one parent-view scan
    per node per batch instead of one scan per node per update; TRIC+
-   probes its maintained index per fresh tuple as before, but still saves
-   the per-update node locating and sorting. *)
-let handle_additions_batch t (edges : Edge.t list) =
-  (* Feed the base views; remember, per key, the edge tuples that were new. *)
-  let fresh_by_key : Tuple.t list ref Ekey.Tbl.t = Ekey.Tbl.create 64 in
+   probes its maintained index per fresh edge as before, but still saves
+   the per-update node locating and sorting.
+
+   [expect] is the coordinator's folded net-addition count for this
+   shard: it pre-sizes the per-key accumulator and the base views'
+   arenas, so a big window pays one growth instead of a rehash ladder. *)
+let handle_additions_batch ?(expect = 0) t (edges : Edge.t list) =
+  (* Pre-size the base views touched by this window from the batch's
+     per-key edge counts. *)
+  if expect > 0 then begin
+    let counts : int ref Ekey.Tbl.t = Ekey.Tbl.create 16 in
+    List.iter
+      (fun (e : Edge.t) ->
+        List.iter
+          (fun k ->
+            match Ekey.Tbl.find_opt counts k with
+            | Some c -> incr c
+            | None -> Ekey.Tbl.add counts k (ref 1))
+          (Ekey.keys_of_edge e))
+      edges;
+    Ekey.Tbl.iter
+      (fun k c ->
+        match Trie.base_view t.forest k with
+        | Some base -> Relation.reserve base !c
+        | None -> ())
+      counts
+  end;
+  (* Feed the base views; remember, per key, the edges that were new. *)
+  let fresh_by_key : Edge.t list ref Ekey.Tbl.t = Ekey.Tbl.create (max 64 expect) in
   List.iter
     (fun (e : Edge.t) ->
-      let tuple = Tuple.of_edge e in
       List.iter
         (fun k ->
           match Trie.base_view t.forest k with
           | Some base ->
-            if Relation.insert base tuple then begin
+            if Relation.insert_edge_row base ~src:e.src ~dst:e.dst >= 0 then begin
               match Ekey.Tbl.find_opt fresh_by_key k with
-              | Some cell -> cell := tuple :: !cell
-              | None -> Ekey.Tbl.add fresh_by_key k (ref [ tuple ])
+              | Some cell -> cell := e :: !cell
+              | None -> Ekey.Tbl.add fresh_by_key k (ref [ e ])
             end
           | None -> ())
         (Ekey.keys_of_edge e))
@@ -274,79 +333,89 @@ let handle_additions_batch t (edges : Edge.t list) =
     |> List.sort (fun (a, _) (b, _) ->
            Int.compare (Trie.node_depth a) (Trie.node_depth b))
   in
-  let inserted_at : (int, Trie.node * Tuple.t list ref) Hashtbl.t = Hashtbl.create 32 in
-  let record node tuples =
-    observe_event t node (List.length tuples);
-    match Hashtbl.find_opt inserted_at (Trie.node_id node) with
-    | Some (_, cell) -> cell := tuples @ !cell
-    | None -> Hashtbl.add inserted_at (Trie.node_id node) (node, ref tuples)
-  in
+  let inserted_at : record_tbl = Hashtbl.create 32 in
+  let record node p = record_packed t inserted_at node p in
   List.iter
     (fun (node, fresh) ->
       timed_visit t node (fun () ->
-      let delta =
-        match Trie.node_parent node with
-        | None -> fresh
-        | Some parent ->
-          let hinge_col = Trie.node_depth node in
-          let view = Trie.node_view parent in
-          if t.cache then
-            (* TRIC+: maintained index on the parent view's hinge column. *)
-            let probe = Relation.index_on view ~col:hinge_col in
-            List.concat_map
-              (fun etu ->
-                List.map
-                  (fun ptu -> Tuple.extend ptu (Tuple.get etu 1))
-                  (probe (Tuple.get etu 0)))
-              fresh
-          else begin
-            (* TRIC: build on the batch's key delta, scan the parent once
-               for the whole window. *)
-            let built : Tuple.t list ref Label.Tbl.t =
-              Label.Tbl.create (2 * List.length fresh)
-            in
+          let view = Trie.node_view node in
+          let inserted = Rows.Vec.create () in
+          (match Trie.node_parent node with
+          | None ->
             List.iter
-              (fun etu ->
-                let key = Tuple.get etu 0 in
-                match Label.Tbl.find_opt built key with
-                | Some cell -> cell := etu :: !cell
-                | None -> Label.Tbl.add built key (ref [ etu ]))
-              fresh;
-            let out = ref [] in
-            Relation.scan_probing view ~col:hinge_col
-              (fun hinge ->
-                match Label.Tbl.find_opt built hinge with
-                | Some cell -> !cell
-                | None -> [])
-              (fun ptu etu -> out := Tuple.extend ptu (Tuple.get etu 1) :: !out);
-            !out
-          end
-      in
-      let inserted = Relation.insert_all (Trie.node_view node) delta in
-      if inserted <> [] then begin
-        record node inserted;
-        propagate t ~record node inserted
-      end))
+              (fun (e : Edge.t) ->
+                let row = Relation.insert_edge_row view ~src:e.src ~dst:e.dst in
+                if row >= 0 then Rows.Vec.push inserted row)
+              fresh
+          | Some parent ->
+            let hinge_col = Trie.node_depth node in
+            let pview = Trie.node_view parent in
+            let extend prow dst =
+              let row = Relation.insert_extend view ~src:pview ~row:prow ~ext:dst in
+              if row >= 0 then Rows.Vec.push inserted row
+            in
+            if t.cache then
+              (* TRIC+: maintained index on the parent view's hinge column. *)
+              List.iter
+                (fun (e : Edge.t) ->
+                  match Relation.probe_col_rows pview ~col:hinge_col e.src with
+                  | Some bucket -> Rows.Vec.iter (fun prow -> extend prow e.dst) bucket
+                  | None -> ())
+                fresh
+            else begin
+              (* TRIC: build on the batch's key delta, scan the parent once
+                 for the whole window. *)
+              let built : Label.t list ref Label.Tbl.t =
+                Label.Tbl.create (2 * List.length fresh)
+              in
+              List.iter
+                (fun (e : Edge.t) ->
+                  match Label.Tbl.find_opt built e.src with
+                  | Some cell -> cell := e.dst :: !cell
+                  | None -> Label.Tbl.add built e.src (ref [ e.dst ]))
+                fresh;
+              Relation.iter_rows
+                (fun prow ->
+                  match Label.Tbl.find_opt built (Relation.row_col pview prow hinge_col) with
+                  | Some cell -> List.iter (fun dst -> extend prow dst) !cell
+                  | None -> ())
+                pview
+            end);
+          if Rows.Vec.length inserted > 0 then begin
+            record node (Relation.pack_rows view inserted);
+            propagate t ~record node inserted
+          end))
     seeds;
   inserted_at
 
 (* -- Delta extraction -------------------------------------------------------- *)
 
-(* Flatten a per-node tuple table into per-registration deltas, sorted by
-   (qid, path index) so the coordinator's gather is deterministic no
-   matter the table's iteration order. *)
-let deltas_of tbl =
+(* Flatten a per-node record table into per-registration deltas, sorted
+   by (qid, path index) so the coordinator's gather is deterministic no
+   matter the table's iteration order.  A node's events are concatenated
+   into one packed batch, shared by all its registrations. *)
+let deltas_of (tbl : record_tbl) =
   Hashtbl.fold
     (fun _nid (node, cell) acc ->
-      List.fold_left
-        (fun acc (qid, pidx) -> (qid, pidx, !cell) :: acc)
-        acc (Trie.registrations node))
+      match Trie.registrations node with
+      | [] -> acc
+      | regs ->
+        let packed =
+          match !cell with
+          | [ p ] -> p
+          | ps ->
+            Rows.packed_concat ~width:(Relation.width (Trie.node_view node)) (List.rev ps)
+        in
+        List.fold_left (fun acc (qid, pidx) -> (qid, pidx, packed) :: acc) acc regs)
     tbl []
   |> List.sort (fun (q1, p1, _) (q2, p2, _) ->
          match Int.compare q1 q2 with 0 -> Int.compare p1 p2 | c -> c)
 
-let total_evicted tbl =
-  Hashtbl.fold (fun _nid (_, cell) acc -> acc + List.length !cell) tbl 0
+let total_evicted (tbl : record_tbl) =
+  Hashtbl.fold
+    (fun _nid (_, cell) acc ->
+      List.fold_left (fun acc p -> acc + Rows.packed_count p) acc !cell)
+    tbl 0
 
 let apply_add t e = deltas_of (handle_addition t e)
 
@@ -356,7 +425,7 @@ let apply_remove t e =
 
 let apply_removes t edges = Array.of_list (List.map (apply_remove t) edges)
 
-let apply_add_batch t edges = deltas_of (handle_additions_batch t edges)
+let apply_add_batch ?expect t edges = deltas_of (handle_additions_batch ?expect t edges)
 
 (* One combined window task: this shard's net removals in window order,
    then its net additions as one amortised sweep.  Shard state is
@@ -364,7 +433,9 @@ let apply_add_batch t edges = deltas_of (handle_additions_batch t edges)
    subtractions before consuming the addition deltas, so fusing both
    polarities into a single pool task is observationally identical to
    the former two-barrier schedule. *)
-let apply_ops t ~removals ~additions =
+let apply_ops ?expect t ~removals ~additions =
   let removed = apply_removes t removals in
-  let added = match additions with [] -> [] | edges -> apply_add_batch t edges in
+  let added =
+    match additions with [] -> [] | edges -> apply_add_batch ?expect t edges
+  in
   (removed, added)

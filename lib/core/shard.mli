@@ -30,16 +30,26 @@ val create : ?metrics:bool -> sid:int -> shards:int -> cache:bool -> unit -> t
 val sid : t -> int
 val forest : t -> Trie.t
 
+val mem_stats : t -> int * int * int
+(** Summed [(arena capacity, live rows, freelist length)] over every
+    relation this shard owns — all node views plus its base-view copies.
+    The shard {e is} the arena owner: row ids never leave it (deltas are
+    packed copies), so this triple is the shard's whole packed
+    footprint. *)
+
 val registry : t -> Tric_obs.Registry.t option
 (** The shard's private registry (None when created without [metrics]).
     Only the domain running this shard's tasks may touch it; the
     coordinator reads it strictly between pool barriers. *)
 
-type delta = int * int * Tuple.t list
-(** [(qid, path_index, tuples)] — the view tuples a terminal registered
-    for that covering path gained (additions) or lost (removals).  Each
+type delta = int * int * Rows.packed
+(** [(qid, path_index, rows)] — the view tuples a terminal registered
+    for that covering path gained (additions) or lost (removals), as a
+    packed flat copy: row ids are meaningless outside the owning shard's
+    arenas, so batches cross the shard boundary only by value.  Each
     [(qid, path_index)] is registered on exactly one shard, so deltas
-    from distinct shards never overlap. *)
+    from distinct shards never overlap; registrations of one node share
+    one packed batch. *)
 
 val apply_add : t -> Edge.t -> delta list
 (** Feed the edge into this shard's base views, run the shallow-first
@@ -55,12 +65,20 @@ val apply_removes : t -> Edge.t list -> (delta list * int) array
 (** Apply a window's net removals in order; slot [i] is {!apply_remove}
     of edge [i].  One pool task per shard instead of one per removal. *)
 
-val apply_add_batch : t -> Edge.t list -> delta list
+val apply_add_batch : ?expect:int -> t -> Edge.t list -> delta list
 (** The amortised batched addition sweep: fold all fresh edge tuples into
     the base views, then visit each affected node once, shallowest first
-    across the whole window, joining the accumulated key delta. *)
+    across the whole window, joining the accumulated key delta.
+    [expect] — the coordinator's folded net-addition count for this
+    shard — pre-sizes the sweep's accumulators and the touched base
+    views' arenas. *)
 
-val apply_ops : t -> removals:Edge.t list -> additions:Edge.t list -> (delta list * int) array * delta list
+val apply_ops :
+  ?expect:int ->
+  t ->
+  removals:Edge.t list ->
+  additions:Edge.t list ->
+  (delta list * int) array * delta list
 (** One combined window task: {!apply_removes} on [removals], then
     {!apply_add_batch} on [additions] — the whole window's work for this
     shard in a single pool task, so targeted dispatch pays one barrier

@@ -262,17 +262,18 @@ let num_queries t = Hashtbl.length t.queries
 
 (* -- Gather: merge per-shard deltas ----------------------------------------- *)
 
-(* Merge shard deltas into per-live-query per-path tuple lists.  Shards
-   are visited in fixed order and each shard pre-sorts its deltas, so the
-   merged lists are deterministic; moreover each (qid, path) is
+(* Merge shard deltas into per-live-query per-path packed-batch lists.
+   Shards are visited in fixed order and each shard pre-sorts its deltas,
+   so the merged lists are deterministic; moreover each (qid, path) is
    registered on exactly one shard, so the per-path lists never mix
-   shards. *)
+   shards.  The batches are standalone flat copies (no row ids), so the
+   coordinator holds no reference into any shard's arena. *)
 let merge_deltas t per_shard =
-  let per_query : (int, Tuple.t list array) Hashtbl.t = Hashtbl.create 16 in
+  let per_query : (int, Rows.packed list array) Hashtbl.t = Hashtbl.create 16 in
   Array.iter
     (fun deltas ->
       List.iter
-        (fun (qid, pidx, tuples) ->
+        (fun (qid, pidx, packed) ->
           match Hashtbl.find_opt t.queries qid with
           | None -> ()
           | Some info ->
@@ -284,15 +285,15 @@ let merge_deltas t per_shard =
                 Hashtbl.add per_query qid d;
                 d
             in
-            slots.(pidx) <- tuples @ slots.(pidx))
+            slots.(pidx) <- packed :: slots.(pidx))
         deltas)
     per_shard;
   per_query
 
-(* Turn a view's tuples into partial embeddings of the query (enforcing
-   repeated-variable equalities within the path). *)
-let embeddings_of_tuples ~width ~vids tuples =
-  List.filter_map (fun tu -> Embedding.of_tuple ~width ~vids tu) tuples
+(* Turn a path's packed delta batches into partial embeddings of the
+   query (enforcing repeated-variable equalities within the path) —
+   straight from the flat cells, no boxed tuples. *)
+let embeddings_of_packs ~width ~vids packs = Embjoin.of_packed ~width ~vids packs
 
 (* Final per-query cross-path join (Fig. 8, lines 8-13): for every
    covering path that gained tuples, join its delta against the full
@@ -303,7 +304,7 @@ let query_new_matches info deltas =
   let k = Array.length info.paths in
   let delta_embs =
     Array.mapi
-      (fun i delta -> embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta)
+      (fun i delta -> embeddings_of_packs ~width:info.width ~vids:info.path_vids.(i) delta)
       deltas
   in
   (* Fold the deltas into the cached path results first, so "other path"
@@ -396,7 +397,7 @@ let query_retractions info deltas =
   let k = Array.length info.paths in
   let dead_embs =
     Array.mapi
-      (fun i delta -> embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta)
+      (fun i delta -> embeddings_of_packs ~width:info.width ~vids:info.path_vids.(i) delta)
       deltas
   in
   let results = ref [] in
@@ -444,7 +445,7 @@ let apply_removal_deltas t per_query =
       let any = ref false in
       Array.iteri
         (fun i delta ->
-          match embeddings_of_tuples ~width:info.width ~vids:info.path_vids.(i) delta with
+          match embeddings_of_packs ~width:info.width ~vids:info.path_vids.(i) delta with
           | [] -> ()
           | dead ->
             any := true;
@@ -607,7 +608,10 @@ let handle_batch t updates =
   let results =
     dispatch ~sp t active (fun sh ->
         let s = Shard.sid sh in
-        Shard.apply_ops sh ~removals:(List.rev rem_q.(s))
+        (* Folded net-op count for this shard: the batch's addition queue
+           length pre-sizes the shard's sweep accumulators and arenas. *)
+        Shard.apply_ops ~expect:(List.length add_q.(s)) sh
+          ~removals:(List.rev rem_q.(s))
           ~additions:(List.rev add_q.(s)))
   in
   let rem_res = Array.make t.nshards [||] in
@@ -731,6 +735,12 @@ let stats (t : t) =
     ops_dispatched = Array.fold_left ( + ) 0 t.shard_ops;
     shard_ops = Array.copy t.shard_ops;
   }
+
+(* Per-shard packed-memory triples, ascending shard id — the [mem] block
+   of [tric_cli stats].  Reading shard arenas is safe here: the
+   coordinator API is single-threaded and runs strictly between pool
+   barriers. *)
+let mem_stats (t : t) = Array.map Shard.mem_stats t.shards
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -194,6 +194,11 @@ type stats = {
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+val mem_stats : t -> (int * int * int) array
+(** Per shard, ascending id: summed [(arena capacity, live rows,
+    freelist length)] over every relation the shard owns — the packed
+    memory footprint surfaced as the [mem] block of [tric_cli stats]. *)
+
 (** {2 Audit access}
 
     Read-only structural views for the invariant sanitizer

@@ -7,7 +7,11 @@ type node = {
   depth : int;
   parent : node option;
   children_tbl : node Ekey.Tbl.t;
-  mutable children : node list; (* insertion order, for deterministic walks *)
+  (* Contiguous child slice in insertion order (deterministic walks):
+     a growable array, not a linked list — child sets are iterated on
+     every descent of the propagation hot path. *)
+  mutable children : node array;
+  mutable nchildren : int;
   view : Relation.t;
   mutable regs : (int * int) list;
 }
@@ -18,7 +22,35 @@ let node_key n = n.key
 let node_depth n = n.depth
 let node_view n = n.view
 let node_parent n = n.parent
-let node_children n = List.rev n.children
+let node_children n = Array.to_list (Array.sub n.children 0 n.nchildren)
+
+let iter_children f n =
+  for i = 0 to n.nchildren - 1 do
+    f n.children.(i)
+  done
+
+let push_child p c =
+  if p.nchildren = Array.length p.children then begin
+    let grown = Array.make (max 4 (2 * Array.length p.children)) c in
+    Array.blit p.children 0 grown 0 p.nchildren;
+    p.children <- grown
+  end;
+  p.children.(p.nchildren) <- c;
+  p.nchildren <- p.nchildren + 1
+
+(* Order-preserving removal (shift left): pruning is cold, walks are hot. *)
+let remove_child p nid =
+  let i = ref 0 in
+  while !i < p.nchildren && p.children.(!i).nid <> nid do
+    incr i
+  done;
+  if !i < p.nchildren then begin
+    for j = !i to p.nchildren - 2 do
+      p.children.(j) <- p.children.(j + 1)
+    done;
+    p.nchildren <- p.nchildren - 1
+  end
+
 let registrations n = List.rev n.regs
 
 type t = {
@@ -77,29 +109,46 @@ let register_in_edge_ind t key node =
   | None -> Ekey.Tbl.add t.edge_ind key (ref [ node ])
 
 (* Seed a fresh node's view from its parent's view joined with the key's
-   base view, so late-added queries see retained state. *)
+   base view, so late-added queries see retained state.  Both sides are
+   packed stores at rest, so this is a sorted-run merge join — parent's
+   last column against the base view's source column — with no hash table
+   on either side. *)
 let seed t node =
   let base = ensure_base t node.key in
   if not (Relation.is_empty base) then begin
     match node.parent with
     | None ->
-      Relation.iter (fun tu -> ignore (Relation.insert node.view tu)) base
+      Relation.iter_rows
+        (fun row ->
+          ignore
+            (Relation.insert_edge_row node.view
+               ~src:(Relation.row_col base row 0)
+               ~dst:(Relation.row_col base row 1)))
+        base
     | Some p ->
-      if not (Relation.is_empty p.view) then begin
-        let probe = Relation.index_on base ~col:0 in
-        Relation.iter
-          (fun ptu ->
-            let hinge = Tuple.last ptu in
-            List.iter
-              (fun btu ->
-                ignore (Relation.insert node.view (Tuple.extend ptu (Tuple.get btu 1))))
-              (probe hinge))
-          p.view
-      end
+      if not (Relation.is_empty p.view) then
+        Relation.merge_join ~left:p.view
+          ~lcol:(Relation.width p.view - 1)
+          ~right:base ~rcol:0
+          (fun prow brow ->
+            ignore
+              (Relation.insert_extend node.view ~src:p.view ~row:prow
+                 ~ext:(Relation.row_col base brow 1)))
   end
 
 let new_node t ~key ~parent =
   let depth = match parent with None -> 0 | Some p -> p.depth + 1 in
+  (* Pre-size the view's arena from what seeding can at most produce:
+     the parent view's cardinality (each parent row extends to at least
+     zero, typically few, children), or the base view at the root. *)
+  let expect =
+    match parent with
+    | Some p -> Relation.cardinality p.view
+    | None -> (
+      match Ekey.Tbl.find_opt t.base key with
+      | Some b -> Relation.cardinality b
+      | None -> 0)
+  in
   let n =
     {
       nid = t.id_base + (t.node_count * t.id_stride);
@@ -107,8 +156,9 @@ let new_node t ~key ~parent =
       depth;
       parent;
       children_tbl = Ekey.Tbl.create 4;
-      children = [];
-      view = Relation.create ~cache:t.cache ?obs:t.view_obs ~width:(depth + 2) ();
+      children = [||];
+      nchildren = 0;
+      view = Relation.create ~cache:t.cache ?obs:t.view_obs ~expect ~width:(depth + 2) ();
       regs = [];
     }
   in
@@ -121,7 +171,7 @@ let new_node t ~key ~parent =
   | None -> Ekey.Tbl.add t.root_ind key n
   | Some p ->
     Ekey.Tbl.add p.children_tbl key n;
-    p.children <- n :: p.children);
+    push_child p n);
   n
 
 let insert_path t keys ~qid ~path_index =
@@ -179,7 +229,7 @@ let prune t node =
     if not (List.exists (fun k' -> Ekey.equal k k') !keys) then keys := k :: !keys
   in
   let rec go n =
-    if n.regs = [] && n.children = [] then begin
+    if n.regs = [] && n.nchildren = 0 then begin
       (match Ekey.Tbl.find_opt t.edge_ind n.key with
       | Some cell ->
         cell := List.filter (fun m -> m.nid <> n.nid) !cell;
@@ -195,7 +245,7 @@ let prune t node =
       | None -> Ekey.Tbl.remove t.root_ind n.key
       | Some p ->
         Ekey.Tbl.remove p.children_tbl n.key;
-        p.children <- List.filter (fun c -> c.nid <> n.nid) p.children;
+        remove_child p n.nid;
         go p
     end
   in
@@ -203,7 +253,11 @@ let prune t node =
   (!keys, !removes)
 
 let fold_nodes f t init =
-  let rec go n acc = List.fold_left (fun acc c -> go c acc) (f n acc) n.children in
+  let rec go n acc =
+    let acc = ref (f n acc) in
+    iter_children (fun c -> acc := go c !acc) n;
+    !acc
+  in
   List.fold_left (fun acc r -> go r acc) init (roots t)
 
 let fold_base f t init = Ekey.Tbl.fold f t.base init

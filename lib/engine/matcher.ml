@@ -11,6 +11,7 @@ type t = {
   handle_batch : Update.t list -> Report.t;
   current_matches : int -> Embedding.t list;
   memory_words : unit -> int;
+  mem : unit -> (int * int * int) array;
   stats : unit -> (string * int) list;
   audit : Edge.t list option -> Tric_audit.Audit.finding list;
   shards : int;
@@ -32,7 +33,8 @@ let batch_by_fold handle_update updates =
 let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> [])
     ?handle_batch ?(shards = 1) ?(busy_s = fun () -> 0.0)
     ?(shard_busy = fun () -> [||]) ?(metrics = fun () -> Tric_obs.Snapshot.empty)
-    ?(spans = fun () -> []) ?(shutdown = fun () -> ()) ~add_query
+    ?(spans = fun () -> []) ?(shutdown = fun () -> ())
+    ?(mem = fun () -> [||]) ~add_query
     ~remove_query ~num_queries ~handle_update ~current_matches ~memory_words () =
   let handle_batch =
     match handle_batch with Some f -> f | None -> batch_by_fold handle_update
@@ -46,6 +48,7 @@ let make ~name ?(description = "") ?(stats = fun () -> []) ?(audit = fun _ -> []
     handle_batch;
     current_matches;
     memory_words;
+    mem;
     stats;
     audit;
     shards;
@@ -69,6 +72,7 @@ let of_tric e =
     handle_batch = (fun ub -> Report.of_pair (Tric_core.Tric.handle_batch e ub));
     current_matches = Tric_core.Tric.current_matches e;
     memory_words = reachable_words e;
+    mem = (fun () -> Tric_core.Tric.mem_stats e);
     stats =
       (fun () ->
         let s = Tric_core.Tric.stats e in
@@ -113,6 +117,7 @@ let of_invidx e =
     handle_batch = batch_by_fold (fun u -> Report.of_pair (I.handle_update e u));
     current_matches = I.current_matches e;
     memory_words = reachable_words e;
+    mem = (fun () -> [||]);
     stats =
       (fun () ->
         let s = I.stats e in
@@ -143,6 +148,7 @@ let of_graphdb e =
     handle_batch = batch_by_fold (fun u -> Report.of_pair (C.handle_update e u));
     current_matches = C.current_matches e;
     memory_words = reachable_words e;
+    mem = (fun () -> [||]);
     stats =
       (fun () ->
         let db = C.db e in
@@ -172,6 +178,7 @@ let of_naive e =
     handle_batch = batch_by_fold (Naive.handle_update e);
     current_matches = Naive.current_matches e;
     memory_words = reachable_words e;
+    mem = (fun () -> [||]);
     stats = (fun () -> [ ("queries", Naive.num_queries e) ]);
     audit = (fun _ -> []);
     shards = 1;

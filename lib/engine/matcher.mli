@@ -24,6 +24,11 @@ type t = {
   current_matches : int -> Embedding.t list;
   memory_words : unit -> int;
       (** Live heap words reachable from the engine state. *)
+  mem : unit -> (int * int * int) array;
+      (** Per-shard packed-arena footprint, ascending shard id:
+          [(arena capacity, live rows, freelist length)] summed over every
+          relation the shard owns ({!Tric_core.Tric.mem_stats}); [[||]]
+          for engines without a packed row store. *)
   stats : unit -> (string * int) list;
       (** Engine-specific counters (index sizes, tuples, rebuilds...). *)
   audit : Edge.t list option -> Tric_audit.Audit.finding list;
@@ -71,6 +76,7 @@ val make :
   ?metrics:(unit -> Tric_obs.Snapshot.t) ->
   ?spans:(unit -> Tric_obs.Span.recorded list) ->
   ?shutdown:(unit -> unit) ->
+  ?mem:(unit -> (int * int * int) array) ->
   add_query:(Pattern.t -> unit) ->
   remove_query:(int -> bool) ->
   num_queries:(unit -> int) ->

@@ -81,12 +81,29 @@ let to_json t = Json.Arr (List.map metric_to_json t.metrics)
 
 let schema_version = "tric-metrics-v1"
 
-let envelope ~engine ?(runner = []) ?spans t =
+let mem_to_json mem =
+  Json.Arr
+    (Array.to_list
+       (Array.mapi
+          (fun sid (cap, live, free) ->
+            Json.Obj
+              [
+                ("shard", Json.int sid);
+                ("arena_rows", Json.int cap);
+                ("live_rows", Json.int live);
+                ("freelist", Json.int free);
+              ])
+          mem))
+
+let envelope ~engine ?(runner = []) ?mem ?spans t =
   Json.Obj
     (List.concat
        [
          [ ("schema", Json.Str schema_version); ("engine", Json.Str engine) ];
          (if runner = [] then [] else [ ("runner", Json.Obj runner) ]);
+         (match mem with
+         | None | Some [||] -> []
+         | Some mem -> [ ("mem", mem_to_json mem) ]);
          [ ("metrics", to_json t) ];
          (match spans with None -> [] | Some s -> [ ("spans", s) ]);
        ])
@@ -154,6 +171,28 @@ let validate json =
   else
     let* engine = require "engine" (Json.member "engine" json) in
     let* _ = require "engine (string)" (Json.as_string engine) in
+    let* () =
+      match Json.member "mem" json with
+      | None -> Ok ()
+      | Some mem -> (
+        match Json.as_list mem with
+        | None -> Error "mem must be an array"
+        | Some shards ->
+          let slot i m =
+            let num f = Option.bind (Json.member f m) Json.as_number in
+            match (num "shard", num "arena_rows", num "live_rows", num "freelist") with
+            | Some _, Some _, Some _, Some _ -> Ok ()
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "mem[%d]: needs numeric shard/arena_rows/live_rows/freelist" i)
+          in
+          let rec all i = function
+            | [] -> Ok ()
+            | m :: rest -> ( match slot i m with Ok () -> all (i + 1) rest | e -> e)
+          in
+          all 0 shards)
+    in
     let* metrics = require "metrics" (Json.member "metrics" json) in
     let* metrics = require "metrics (array)" (Json.as_list metrics) in
     let check_metric i m =

@@ -33,8 +33,17 @@ val schema_version : string
 (** ["tric-metrics-v1"]. *)
 
 val envelope :
-  engine:string -> ?runner:(string * Json.t) list -> ?spans:Json.t -> t -> Json.t
-(** The full export document: schema/engine/runner?/metrics/spans?. *)
+  engine:string ->
+  ?runner:(string * Json.t) list ->
+  ?mem:(int * int * int) array ->
+  ?spans:Json.t ->
+  t ->
+  Json.t
+(** The full export document: schema/engine/runner?/mem?/metrics/spans?.
+    [mem] is the per-shard packed-arena footprint
+    [(arena capacity, live rows, freelist length)], emitted as an array of
+    [{shard; arena_rows; live_rows; freelist}] objects; omitted when
+    absent or empty. *)
 
 val to_prometheus : t -> string
 (** Text exposition: counters, gauges, and histograms with cumulative

@@ -34,6 +34,23 @@ let bind_tuple e ~vids tuple =
 
 let of_tuple ~width ~vids tuple = bind_tuple (empty width) ~vids tuple
 
+(* Packed-row counterpart of [bind_tuple]: the arena already stores
+   interned label ints, so binding is a straight copy — no Label round
+   trip, no boxed tuple on the hot path. *)
+let bind_packed e ~vids p i =
+  let w = Rows.packed_width p in
+  if Array.length vids <> w then invalid_arg "Embedding.bind_packed: length mismatch";
+  let e' = Array.copy e in
+  let ok = ref true in
+  for c = 0 to w - 1 do
+    let li = Rows.packed_get p i c in
+    let vid = vids.(c) in
+    if e'.(vid) = unbound then e'.(vid) <- li else if e'.(vid) <> li then ok := false
+  done;
+  if !ok then Some e' else None
+
+let of_packed ~width ~vids p i = bind_packed (empty width) ~vids p i
+
 let merge a b =
   if Array.length a <> Array.length b then invalid_arg "Embedding.merge: width mismatch";
   let out = Array.copy a in
@@ -52,15 +69,27 @@ let bound_vids e =
   done;
   !acc
 
-let key e vids =
-  let buf = Buffer.create 16 in
-  List.iter
-    (fun vid ->
-      assert (e.(vid) <> unbound);
-      Buffer.add_string buf (string_of_int e.(vid));
-      Buffer.add_char buf '|')
-    vids;
-  Buffer.contents buf
+(* Join keys: the projection of an embedding onto the shared vids, as a
+   raw int array with a typed table — replaces the old string-building
+   [key] (one Buffer + string allocation per probe). *)
+module Key = struct
+  type emb = t
+  type t = int array
+
+  let of_embedding (e : emb) vids : t =
+    Array.map
+      (fun vid ->
+        assert (e.(vid) <> unbound);
+        e.(vid))
+      vids
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal (a : t) b = a = b
+    let hash (k : t) = Array.fold_left (fun h v -> ((h * 31) + v + 1) land max_int) 17 k
+  end)
+end
 
 let equal (a : t) b = a = b
 

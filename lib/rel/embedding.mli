@@ -31,13 +31,32 @@ val bind_tuple : t -> vids:int array -> Tuple.t -> t option
 val of_tuple : width:int -> vids:int array -> Tuple.t -> t option
 (** [bind_tuple (empty width)]. *)
 
+val bind_packed : t -> vids:int array -> Rows.packed -> int -> t option
+(** Bind positionally from the [i]-th row of a packed batch — the
+    allocation-light counterpart of {!bind_tuple} (the arena already
+    holds interned label ints).
+    @raise Invalid_argument if [vids] does not match the batch width. *)
+
+val of_packed : width:int -> vids:int array -> Rows.packed -> int -> t option
+(** [bind_packed (empty width)]. *)
+
 val merge : t -> t -> t option
 (** Consistent union of two partial embeddings over the same pattern. *)
 
 val bound_vids : t -> int list
-val key : t -> int list -> string
-(** Hash key of the projection onto the given vids (all must be bound).
-    Used as the join attribute in embedding hash joins. *)
+
+(** Join keys: the projection of an embedding onto the shared vids as a
+    raw int array, with a typed hash table — the join attribute of
+    embedding hash joins, without string building. *)
+module Key : sig
+  type emb := t
+  type t = private int array
+
+  val of_embedding : emb -> int array -> t
+  (** Projection onto the given vids (all must be bound). *)
+
+  module Tbl : Hashtbl.S with type key = t
+end
 
 val equal : t -> t -> bool
 val hash : t -> int

@@ -5,15 +5,27 @@ let bound_set = function
   | e :: _ -> Int_set.of_list (Embedding.bound_vids e)
 
 let dedup es =
-  let seen = Hashtbl.create (List.length es * 2) in
+  let seen = Embedding.Tbl.create ((List.length es * 2) + 1) in
   List.filter
     (fun e ->
-      if Hashtbl.mem seen e then false
+      if Embedding.Tbl.mem seen e then false
       else begin
-        Hashtbl.add seen e ();
+        Embedding.Tbl.add seen e ();
         true
       end)
     es
+
+let of_packed ~width ~vids packs =
+  List.concat_map
+    (fun p ->
+      let out = ref [] in
+      for i = Rows.packed_count p - 1 downto 0 do
+        match Embedding.of_packed ~width ~vids p i with
+        | Some e -> out := e :: !out
+        | None -> ()
+      done;
+      !out)
+    packs
 
 let join left right =
   match (left, right) with
@@ -28,22 +40,25 @@ let join left right =
            (fun a -> List.filter_map (fun b -> Embedding.merge a b) right)
            left)
     else begin
-      (* Build on the smaller side. *)
+      (* Build on the smaller side; key by the typed int-array projection
+         onto the shared vids. *)
+      let shared = Array.of_list shared in
       let build, probe, flip =
         if List.length left <= List.length right then (left, right, false)
         else (right, left, true)
       in
-      let table = Hashtbl.create (List.length build * 2) in
+      let table = Embedding.Key.Tbl.create (List.length build * 2) in
       List.iter
         (fun e ->
-          let k = Embedding.key e shared in
-          Hashtbl.replace table k (e :: (Option.value ~default:[] (Hashtbl.find_opt table k))))
+          let k = Embedding.Key.of_embedding e shared in
+          Embedding.Key.Tbl.replace table k
+            (e :: Option.value ~default:[] (Embedding.Key.Tbl.find_opt table k)))
         build;
       let results =
         List.concat_map
           (fun e ->
-            let k = Embedding.key e shared in
-            match Hashtbl.find_opt table k with
+            let k = Embedding.Key.of_embedding e shared in
+            match Embedding.Key.Tbl.find_opt table k with
             | None -> []
             | Some mates ->
               List.filter_map
@@ -71,18 +86,18 @@ let join_many operands =
         let score (_, l, vids) =
           (Int_set.cardinal (Int_set.inter vids !acc_vids), -List.length l)
         in
+        let better (s1, n1) (s2, n2) = s1 > s2 || (s1 = s2 && n1 > n2) in
         let best =
           List.fold_left
             (fun best cand ->
               match best with
               | None -> Some cand
-              | Some b -> if score cand > score b then Some cand else best)
+              | Some b -> if better (score cand) (score b) then Some cand else best)
             None !remaining
         in
         match best with
         | None -> remaining := []
-        | Some ((i, l, vids) as chosen) ->
-          ignore chosen;
+        | Some (i, l, vids) ->
           acc := join !acc l;
           acc_vids := Int_set.union !acc_vids vids;
           remaining := List.filter (fun (j, _, _) -> j <> i) !remaining;

@@ -19,3 +19,8 @@ val join_many : Embedding.t list list -> Embedding.t list
     only when none shares.  Empty input list yields []. *)
 
 val dedup : Embedding.t list -> Embedding.t list
+
+val of_packed : width:int -> vids:int array -> Rows.packed list -> Embedding.t list
+(** Lift packed row batches (shard deltas) straight into embeddings —
+    rows whose repeated-variable constraints conflict are dropped, all
+    without materializing boxed tuples. *)

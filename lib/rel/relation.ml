@@ -2,12 +2,6 @@ open Tric_graph
 
 type probe = Label.t -> Tuple.t list
 
-(* Deletion-support index: tuple-valued key (a prefix or a hinge edge) ->
-   bucket of live tuples.  Built lazily on first probe, then maintained by
-   insert/remove in both cache modes — deletions must never fall back to a
-   full-view scan, even in engines that rebuild their join indexes. *)
-type delta_index = Tuple.t list ref Tuple.Tbl.t
-
 (* Telemetry hooks: counter cells resolved once at wiring time (Registry
    lookups happen at [make_obs], not per event), shared by every relation
    of one family (all node views of a shard, all base views, ...). *)
@@ -27,13 +21,34 @@ let make_obs reg ~prefix ~stable =
     o_delta_probes = c "delta_probes_total";
   }
 
+(* Every index is a bucket of row ids into the relation's arena:
+   - the prefix/hinge delta indexes key buckets by the Tuple-compatible
+     hash of the relevant column range (collisions are tolerated — probes
+     re-check cell equality);
+   - the cache-mode column indexes key buckets by the exact column label
+     (their bucket count is an observable statistic).
+   The dedup set is different: it is the one structure paid for by every
+   row of every relation, so it is a flat open-addressing table of row
+   ids (linear probing against arena cell content) rather than a
+   hash->bucket Hashtbl — ~2-4 words per row instead of ~10. *)
+type hash_index = (int, Rows.Vec.t) Hashtbl.t
+
+(* Dedup slot markers: any value >= 0 is a filed row id. *)
+let dempty = -1
+let dtomb = -2
+
 type t = {
   width : int;
   cache : bool;
-  tuples : unit Tuple.Tbl.t;
-  indexes : (int, Tuple.t list ref Label.Tbl.t) Hashtbl.t; (* cache mode only *)
-  mutable prefix_idx : delta_index option; (* key: first (width-1) columns *)
-  mutable hinge_idx : delta_index option; (* key: last two columns *)
+  arena : Rows.t;
+  mutable dslots : int array; (* membership: open-addressing row-id table *)
+  mutable dcount : int; (* filed rows *)
+  mutable dtombs : int; (* tombstones awaiting the next rehash *)
+  indexes : (int, Rows.Vec.t Label.Tbl.t) Hashtbl.t; (* cache mode only *)
+  mutable prefix_idx : hash_index option; (* first (width-1) columns *)
+  mutable hinge_idx : hash_index option; (* last two columns *)
+  mutable runs : (int * int array) list; (* col -> sorted row run (cold) *)
+  scratch : int array; (* width cells: boundary Tuple -> cells staging *)
   mutable rebuilds : int;
   mutable delta_probes : int;
   mutable inserts : int; (* successful inserts over the lifetime *)
@@ -41,14 +56,24 @@ type t = {
   obs : obs option;
 }
 
-let create ?(cache = false) ?obs ~width () =
+(* Smallest power of two with room for [n] filed rows at load <= 1/2. *)
+let dsize_for n =
+  let rec go c = if c >= (2 * n) + 2 then c else go (2 * c) in
+  go 16
+
+let create ?(cache = false) ?obs ?(expect = 0) ~width () =
   {
     width;
     cache;
-    tuples = Tuple.Tbl.create 64;
+    arena = Rows.create ~expect ~width ();
+    dslots = Array.make (dsize_for expect) dempty;
+    dcount = 0;
+    dtombs = 0;
     indexes = Hashtbl.create 4;
     prefix_idx = None;
     hinge_idx = None;
+    runs = [];
+    scratch = Array.make width 0;
     rebuilds = 0;
     delta_probes = 0;
     inserts = 0;
@@ -57,99 +82,242 @@ let create ?(cache = false) ?obs ~width () =
   }
 
 let width r = r.width
-let cardinality r = Tuple.Tbl.length r.tuples
+let cardinality r = Rows.live r.arena
 let is_empty r = cardinality r = 0
-let mem r t = Tuple.Tbl.mem r.tuples t
+let reserve r n = Rows.reserve r.arena n
+let mem_stats r = (Rows.capacity r.arena, Rows.live r.arena, Rows.free_count r.arena)
 
-(* Drop the first occurrence, sharing the suffix past it.  Relations are
-   deduplicated, so a bucket holds any tuple at most once and the scan can
-   stop at the first hit. *)
-let rec remove_first t = function
-  | [] -> []
-  | t' :: tl -> if Tuple.equal t t' then tl else t' :: remove_first t tl
+(* -- Boundary conversions ---------------------------------------------------- *)
 
-let index_add idx col t =
-  let key = Tuple.get t col in
-  match Label.Tbl.find_opt idx key with
-  | Some cell -> cell := t :: !cell
-  | None -> Label.Tbl.add idx key (ref [ t ])
+let fill_scratch r t =
+  for i = 0 to r.width - 1 do
+    r.scratch.(i) <- Label.to_int (Tuple.get t i)
+  done
 
-let index_remove idx col t =
-  let key = Tuple.get t col in
-  match Label.Tbl.find_opt idx key with
-  | Some cell -> (
-    match remove_first t !cell with
-    | [] -> Label.Tbl.remove idx key (* never keep empty buckets alive *)
-    | rest -> cell := rest)
+let row_col r row col = Label.of_int (Rows.get r.arena row col)
+let row_tuple r row = Tuple.make (Array.map Label.of_int (Rows.read r.arena row))
+
+(* -- Hash-bucket plumbing ---------------------------------------------------- *)
+
+let hadd (tbl : hash_index) h row =
+  match Hashtbl.find_opt tbl h with
+  | Some v -> Rows.Vec.push v row
+  | None ->
+    let v = Rows.Vec.create () in
+    Rows.Vec.push v row;
+    Hashtbl.add tbl h v
+
+(* Never keep empty buckets alive. *)
+let hremove (tbl : hash_index) h row =
+  match Hashtbl.find_opt tbl h with
+  | Some v ->
+    ignore (Rows.Vec.remove_value v row);
+    if Rows.Vec.length v = 0 then Hashtbl.remove tbl h
   | None -> ()
 
-(* -- Deletion-support (prefix / hinge) indexes ----------------------------- *)
+(* Probe the dedup table for a row whose cells equal [buf] at [off]
+   (hashed as [h]); the row id, or -1.  The growth policy keeps at least
+   one [dempty] slot, so the probe terminates. *)
+let dfind r h buf off =
+  let mask = Array.length r.dslots - 1 in
+  let rec go i =
+    let s = Array.unsafe_get r.dslots i in
+    if s = dempty then -1
+    else if s >= 0 && Rows.equal_cols r.arena s ~lo:0 buf ~off ~len:r.width then s
+    else go ((i + 1) land mask)
+  in
+  go (h land mask)
 
-let prefix_key r t = Tuple.prefix t (r.width - 1)
-let hinge_key t = Tuple.last_pair t
+(* Re-place every filed row into a fresh table (drops tombstones). *)
+let drehash r size =
+  let slots = Array.make size dempty in
+  let mask = size - 1 in
+  Array.iter
+    (fun s ->
+      if s >= 0 then begin
+        let rec place i =
+          if Array.unsafe_get slots i = dempty then Array.unsafe_set slots i s
+          else place ((i + 1) land mask)
+        in
+        place (Rows.hash_row r.arena s land mask)
+      end)
+    r.dslots;
+  r.dslots <- slots;
+  r.dtombs <- 0
 
-let delta_add idx key t =
-  match Tuple.Tbl.find_opt idx key with
-  | Some cell -> cell := t :: !cell
-  | None -> Tuple.Tbl.add idx key (ref [ t ])
+(* File [row] (hashed as [h], known absent) in the first reusable slot,
+   growing first so the load factor stays under 1/2. *)
+let dinsert r h row =
+  if 2 * (r.dcount + r.dtombs + 1) > Array.length r.dslots then
+    drehash r (dsize_for (r.dcount + 1));
+  let mask = Array.length r.dslots - 1 in
+  let rec place i =
+    let s = Array.unsafe_get r.dslots i in
+    if s = dempty || s = dtomb then begin
+      if s = dtomb then r.dtombs <- r.dtombs - 1;
+      Array.unsafe_set r.dslots i row
+    end
+    else place ((i + 1) land mask)
+  in
+  place (h land mask);
+  r.dcount <- r.dcount + 1
 
-let delta_remove idx key t =
-  match Tuple.Tbl.find_opt idx key with
-  | Some cell -> (
-    match remove_first t !cell with
-    | [] -> Tuple.Tbl.remove idx key
-    | rest -> cell := rest)
-  | None -> ()
+(* Tombstone the slot filing [row] (hashed as [h]); the dedup invariant
+   makes row-id equality sufficient along the probe chain. *)
+let dremove r h row =
+  let mask = Array.length r.dslots - 1 in
+  let rec go i =
+    let s = Array.unsafe_get r.dslots i in
+    if s = row then begin
+      Array.unsafe_set r.dslots i dtomb;
+      r.dcount <- r.dcount - 1;
+      r.dtombs <- r.dtombs + 1
+    end
+    else if s <> dempty then go ((i + 1) land mask)
+  in
+  go (h land mask)
 
-let delta_index_add r t =
-  (match r.prefix_idx with
-  | Some idx -> delta_add idx (prefix_key r t) t
-  | None -> ());
-  match r.hinge_idx with Some idx -> delta_add idx (hinge_key t) t | None -> ()
+let find_cells r buf off = dfind r (Rows.hash_ints buf ~off ~len:r.width) buf off
 
-let delta_index_remove r t =
-  (match r.prefix_idx with
-  | Some idx -> delta_remove idx (prefix_key r t) t
-  | None -> ());
-  match r.hinge_idx with Some idx -> delta_remove idx (hinge_key t) t | None -> ()
-
-let insert r t =
-  if Array.length t <> r.width then invalid_arg "Relation.insert: width mismatch";
-  if Tuple.Tbl.mem r.tuples t then false
+let mem r t =
+  if Tuple.width t <> r.width then false
   else begin
-    Tuple.Tbl.add r.tuples t ();
-    Hashtbl.iter (fun col idx -> index_add idx col t) r.indexes;
-    delta_index_add r t;
+    fill_scratch r t;
+    find_cells r r.scratch 0 >= 0
+  end
+
+(* -- Index maintenance ------------------------------------------------------- *)
+
+let col_index_add r idx col row =
+  let l = row_col r row col in
+  match Label.Tbl.find_opt idx l with
+  | Some v -> Rows.Vec.push v row
+  | None ->
+    let v = Rows.Vec.create () in
+    Rows.Vec.push v row;
+    Label.Tbl.add idx l v
+
+let col_index_remove r idx col row =
+  let l = row_col r row col in
+  match Label.Tbl.find_opt idx l with
+  | Some v ->
+    ignore (Rows.Vec.remove_value v row);
+    if Rows.Vec.length v = 0 then Label.Tbl.remove idx l
+  | None -> ()
+
+let index_after_insert r row =
+  Hashtbl.iter (fun col idx -> col_index_add r idx col row) r.indexes;
+  (match r.prefix_idx with
+  | Some idx -> hadd idx (Rows.hash_prefix r.arena row) row
+  | None -> ());
+  match r.hinge_idx with
+  | Some idx -> hadd idx (Rows.hash_hinge r.arena row) row
+  | None -> ()
+
+let index_before_remove r row =
+  Hashtbl.iter (fun col idx -> col_index_remove r idx col row) r.indexes;
+  (match r.prefix_idx with
+  | Some idx -> hremove idx (Rows.hash_prefix r.arena row) row
+  | None -> ());
+  match r.hinge_idx with
+  | Some idx -> hremove idx (Rows.hash_hinge r.arena row) row
+  | None -> ()
+
+(* -- Core insert / remove (cell-level) --------------------------------------- *)
+
+(* [buf] must not alias this relation's own arena storage (the alloc may
+   grow it); internal callers stage through [scratch] or read a foreign
+   arena. *)
+let insert_cells r buf off =
+  let h = Rows.hash_ints buf ~off ~len:r.width in
+  if dfind r h buf off >= 0 then -1
+  else begin
+    let row = Rows.alloc r.arena in
+    Rows.write r.arena row buf off;
+    dinsert r h row;
+    index_after_insert r row;
+    r.runs <- [];
     r.inserts <- r.inserts + 1;
     (match r.obs with Some o -> Tric_obs.Registry.incr o.o_inserts | None -> ());
-    true
+    row
   end
+
+(* Unfile the row from every index, then release the slot.  All hash
+   recomputation happens before [Rows.free] — a freed slot's cells are
+   dead the moment the freelist owns it. *)
+let remove_row r row =
+  dremove r (Rows.hash_row r.arena row) row;
+  index_before_remove r row;
+  Rows.free r.arena row;
+  r.runs <- [];
+  r.removes <- r.removes + 1;
+  match r.obs with Some o -> Tric_obs.Registry.incr o.o_removes | None -> ()
+
+let insert r t =
+  if Tuple.width t <> r.width then invalid_arg "Relation.insert: width mismatch";
+  fill_scratch r t;
+  insert_cells r r.scratch 0 >= 0
 
 let insert_all r ts = List.filter (fun t -> insert r t) ts
 
 let remove r t =
-  if Tuple.Tbl.mem r.tuples t then begin
-    Tuple.Tbl.remove r.tuples t;
-    Hashtbl.iter (fun col idx -> index_remove idx col t) r.indexes;
-    delta_index_remove r t;
-    r.removes <- r.removes + 1;
-    (match r.obs with Some o -> Tric_obs.Registry.incr o.o_removes | None -> ());
-    true
+  if Tuple.width t <> r.width then false
+  else begin
+    fill_scratch r t;
+    let row = find_cells r r.scratch 0 in
+    if row < 0 then false
+    else begin
+      remove_row r row;
+      true
+    end
   end
-  else false
 
 let remove_all r ts = List.filter (fun t -> remove r t) ts
 
-let iter f r = Tuple.Tbl.iter (fun t () -> f t) r.tuples
-let fold f r init = Tuple.Tbl.fold (fun t () acc -> f t acc) r.tuples init
+let iter f r = Rows.iter_live (fun row -> f (row_tuple r row)) r.arena
+let fold f r init =
+  let acc = ref init in
+  Rows.iter_live (fun row -> acc := f (row_tuple r row) !acc) r.arena;
+  !acc
+
 let to_list r = fold (fun t acc -> t :: acc) r []
+let iter_rows f r = Rows.iter_live f r.arena
+
+(* -- Row-level hot-path API --------------------------------------------------- *)
+
+let insert_edge_row r ~src ~dst =
+  if r.width <> 2 then invalid_arg "Relation.insert_edge_row: width <> 2";
+  r.scratch.(0) <- Label.to_int src;
+  r.scratch.(1) <- Label.to_int dst;
+  insert_cells r r.scratch 0
+
+(* Extend a parent row by one trailing label into this (one column wider)
+   relation — the seeding/propagation step, staged through scratch so the
+   parent's arena is never read after this arena grows. *)
+let insert_extend r ~src ~row ~ext =
+  if width src <> r.width - 1 then invalid_arg "Relation.insert_extend: bad parent width";
+  Rows.blit_row src.arena row r.scratch 0;
+  r.scratch.(r.width - 1) <- Label.to_int ext;
+  insert_cells r r.scratch 0
+
+(* Same step from a packed parent batch (cross-boundary deltas). *)
+let insert_extend_packed r ~parents ~i ~ext =
+  if Rows.packed_width parents <> r.width - 1 then
+    invalid_arg "Relation.insert_extend_packed: bad parent width";
+  Array.blit (Rows.packed_data parents) (i * (r.width - 1)) r.scratch 0 (r.width - 1);
+  r.scratch.(r.width - 1) <- Label.to_int ext;
+  insert_cells r r.scratch 0
+
+let pack_rows r v = Rows.pack r.arena v
+
+(* -- Deletion-support (prefix / hinge) indexes ------------------------------- *)
 
 let ensure_prefix_idx r =
   match r.prefix_idx with
   | Some idx -> idx
   | None ->
-    let idx : delta_index = Tuple.Tbl.create (max 16 (cardinality r)) in
-    iter (fun t -> delta_add idx (prefix_key r t) t) r;
+    let idx : hash_index = Hashtbl.create (max 16 (cardinality r)) in
+    Rows.iter_live (fun row -> hadd idx (Rows.hash_prefix r.arena row) row) r.arena;
     r.prefix_idx <- Some idx;
     idx
 
@@ -157,65 +325,204 @@ let ensure_hinge_idx r =
   match r.hinge_idx with
   | Some idx -> idx
   | None ->
-    let idx : delta_index = Tuple.Tbl.create (max 16 (cardinality r)) in
-    iter (fun t -> delta_add idx (hinge_key t) t) r;
+    let idx : hash_index = Hashtbl.create (max 16 (cardinality r)) in
+    Rows.iter_live (fun row -> hadd idx (Rows.hash_hinge r.arena row) row) r.arena;
     r.hinge_idx <- Some idx;
     idx
 
-let delta_probe idx key =
-  match Tuple.Tbl.find_opt idx key with Some cell -> !cell | None -> []
+let count_delta_probe r =
+  r.delta_probes <- r.delta_probes + 1;
+  match r.obs with Some o -> Tric_obs.Registry.incr o.o_delta_probes | None -> ()
+
+(* Rows of the bucket whose columns [lo ..] equal [buf] — the collision
+   filter behind every hash-keyed probe. *)
+let bucket_matches r idx h ~lo buf ~off ~len k =
+  match Hashtbl.find_opt idx h with
+  | None -> ()
+  | Some bucket ->
+    Rows.Vec.iter
+      (fun row -> if Rows.equal_cols r.arena row ~lo buf ~off ~len then k row)
+      bucket
 
 let probe_prefix r p =
   if Tuple.width p <> r.width - 1 then invalid_arg "Relation.probe_prefix: bad prefix width";
-  r.delta_probes <- r.delta_probes + 1;
-  (match r.obs with Some o -> Tric_obs.Registry.incr o.o_delta_probes | None -> ());
-  delta_probe (ensure_prefix_idx r) p
+  count_delta_probe r;
+  let idx = ensure_prefix_idx r in
+  let len = r.width - 1 in
+  for i = 0 to len - 1 do
+    r.scratch.(i) <- Label.to_int (Tuple.get p i)
+  done;
+  let h = Rows.hash_ints r.scratch ~off:0 ~len in
+  let out = ref [] in
+  bucket_matches r idx h ~lo:0 r.scratch ~off:0 ~len (fun row ->
+      out := row_tuple r row :: !out);
+  !out
 
 let probe_hinge r ~src ~dst =
   if r.width < 2 then invalid_arg "Relation.probe_hinge: width < 2";
-  r.delta_probes <- r.delta_probes + 1;
-  (match r.obs with Some o -> Tric_obs.Registry.incr o.o_delta_probes | None -> ());
-  delta_probe (ensure_hinge_idx r) [| src; dst |]
+  count_delta_probe r;
+  let idx = ensure_hinge_idx r in
+  r.scratch.(0) <- Label.to_int src;
+  r.scratch.(1) <- Label.to_int dst;
+  let h = Rows.hash_ints r.scratch ~off:0 ~len:2 in
+  let out = ref [] in
+  bucket_matches r idx h ~lo:(r.width - 2) r.scratch ~off:0 ~len:2 (fun row ->
+      out := row_tuple r row :: !out);
+  !out
 
-let build_table r col =
-  let idx = Label.Tbl.create (max 16 (cardinality r)) in
-  iter (fun t -> index_add idx col t) r;
-  idx
+(* Hinge eviction: snapshot the doomed rows as a packed batch (they must
+   be read before their slots return to the freelist), then drop them.
+   One counted delta probe, like [probe_hinge]. *)
+let evict_hinge r ~src ~dst =
+  if r.width < 2 then invalid_arg "Relation.evict_hinge: width < 2";
+  count_delta_probe r;
+  let idx = ensure_hinge_idx r in
+  r.scratch.(0) <- Label.to_int src;
+  r.scratch.(1) <- Label.to_int dst;
+  let h = Rows.hash_ints r.scratch ~off:0 ~len:2 in
+  let doomed = Rows.Vec.create () in
+  bucket_matches r idx h ~lo:(r.width - 2) r.scratch ~off:0 ~len:2 (fun row ->
+      Rows.Vec.push doomed row);
+  let packed = Rows.pack r.arena doomed in
+  Rows.Vec.iter (fun row -> remove_row r row) doomed;
+  packed
 
-let probe_of idx key = match Label.Tbl.find_opt idx key with Some cell -> !cell | None -> []
+(* Prefix eviction: the extensions of a batch of doomed parent rows.  One
+   counted probe per parent row (matching the per-tuple probes of the
+   boxed path); parents are distinct rows, so the matched buckets are
+   disjoint and the collected set needs no dedup. *)
+let evict_prefixed r parents =
+  if Rows.packed_width parents <> r.width - 1 then
+    invalid_arg "Relation.evict_prefixed: bad parent width";
+  let idx = ensure_prefix_idx r in
+  let len = r.width - 1 in
+  let data = Rows.packed_data parents in
+  let doomed = Rows.Vec.create () in
+  for i = 0 to Rows.packed_count parents - 1 do
+    count_delta_probe r;
+    let off = i * len in
+    let h = Rows.hash_ints data ~off ~len in
+    bucket_matches r idx h ~lo:0 data ~off ~len (fun row -> Rows.Vec.push doomed row)
+  done;
+  let packed = Rows.pack r.arena doomed in
+  Rows.Vec.iter (fun row -> remove_row r row) doomed;
+  packed
+
+(* -- Column indexes (the caching switch) ------------------------------------- *)
+
+let ensure_col_idx r col =
+  match Hashtbl.find_opt r.indexes col with
+  | Some idx -> idx
+  | None ->
+    let idx = Label.Tbl.create (max 16 (cardinality r)) in
+    Rows.iter_live (fun row -> col_index_add r idx col row) r.arena;
+    r.rebuilds <- r.rebuilds + 1;
+    (match r.obs with Some o -> Tric_obs.Registry.incr o.o_rebuilds | None -> ());
+    Hashtbl.add r.indexes col idx;
+    idx
+
+let probe_of r idx key =
+  match Label.Tbl.find_opt idx key with
+  | Some v -> Rows.Vec.fold (fun row acc -> row_tuple r row :: acc) v []
+  | None -> []
 
 let index_on r ~col =
   if col < 0 || col >= r.width then invalid_arg "Relation.index_on: bad column";
   if r.cache then begin
-    let idx =
-      match Hashtbl.find_opt r.indexes col with
-      | Some idx -> idx
-      | None ->
-        let idx = build_table r col in
-        r.rebuilds <- r.rebuilds + 1;
-        (match r.obs with Some o -> Tric_obs.Registry.incr o.o_rebuilds | None -> ());
-        Hashtbl.add r.indexes col idx;
-        idx
-    in
-    probe_of idx
+    let idx = ensure_col_idx r col in
+    probe_of r idx
   end
   else begin
-    let idx = build_table r col in
+    let idx = Label.Tbl.create (max 16 (cardinality r)) in
+    Rows.iter_live (fun row -> col_index_add r idx col row) r.arena;
     r.rebuilds <- r.rebuilds + 1;
     (match r.obs with Some o -> Tric_obs.Registry.incr o.o_rebuilds | None -> ());
-    probe_of idx
+    probe_of r idx
   end
 
+(* Cache-mode row-level probe: the live bucket of the maintained column
+   index.  The returned vector is the index's own bucket — callers must
+   not mutate this relation while iterating it. *)
+let probe_col_rows r ~col key =
+  if not r.cache then invalid_arg "Relation.probe_col_rows: relation is not caching";
+  Label.Tbl.find_opt (ensure_col_idx r col) key
+
 let probe_scan r ~col value =
-  fold (fun t acc -> if Label.equal (Tuple.get t col) value then t :: acc else acc) r []
+  let v = Label.to_int value in
+  let out = ref [] in
+  Rows.iter_live
+    (fun row -> if Rows.get r.arena row col = v then out := row_tuple r row :: !out)
+    r.arena;
+  !out
 
 let scan_probing r ~col probe f =
-  iter
-    (fun t ->
-      match probe (Tuple.get t col) with
+  Rows.iter_live
+    (fun row ->
+      match probe (row_col r row col) with
       | [] -> ()
-      | hits -> List.iter (fun hit -> f t hit) hits)
-    r
+      | hits ->
+        let t = row_tuple r row in
+        List.iter (fun hit -> f t hit) hits)
+    r.arena
+
+(* -- Sorted runs and merge join ---------------------------------------------- *)
+
+(* A run is built lazily over the current live rows — a cold-bucket
+   compaction — and discarded by the next mutation.  Each fresh build is
+   counted as a rebuild: it is the merge join's analogue of a hash-join
+   build phase. *)
+let sorted_run r ~col =
+  if col < 0 || col >= r.width then invalid_arg "Relation.sorted_run: bad column";
+  let rec find = function
+    | [] -> None
+    | (c, run) :: tl -> if c = col then Some run else find tl
+  in
+  match find r.runs with
+  | Some run -> run
+  | None ->
+    let run = Array.make (cardinality r) 0 in
+    let i = ref 0 in
+    Rows.iter_live
+      (fun row ->
+        run.(!i) <- row;
+        incr i)
+      r.arena;
+    Array.sort (Rows.compare_on r.arena ~col) run;
+    r.runs <- (col, run) :: r.runs;
+    r.rebuilds <- r.rebuilds + 1;
+    (match r.obs with Some o -> Tric_obs.Registry.incr o.o_rebuilds | None -> ());
+    run
+
+let merge_join ~left ~lcol ~right ~rcol f =
+  let la = sorted_run left ~col:lcol and ra = sorted_run right ~col:rcol in
+  let nl = Array.length la and nr = Array.length ra in
+  let lv i = Rows.get left.arena la.(i) lcol in
+  let rv j = Rows.get right.arena ra.(j) rcol in
+  let i = ref 0 and j = ref 0 in
+  while !i < nl && !j < nr do
+    let a = lv !i and b = rv !j in
+    if a < b then incr i
+    else if a > b then incr j
+    else begin
+      let ie = ref (!i + 1) in
+      while !ie < nl && lv !ie = a do
+        incr ie
+      done;
+      let je = ref (!j + 1) in
+      while !je < nr && rv !je = b do
+        incr je
+      done;
+      for x = !i to !ie - 1 do
+        for y = !j to !je - 1 do
+          f la.(x) ra.(y)
+        done
+      done;
+      i := !ie;
+      j := !je
+    end
+  done
+
+(* -- Stats ------------------------------------------------------------------- *)
 
 let stats_rebuilds r = r.rebuilds
 let stats_delta_probes r = r.delta_probes
@@ -226,91 +533,156 @@ let stats_index_buckets r =
   Hashtbl.fold (fun _ idx acc -> acc + Label.Tbl.length idx) r.indexes 0
 
 let clear r =
-  Tuple.Tbl.reset r.tuples;
+  (* Release every slot back through the normal path so the arena stays
+     audit-coherent (all dead slots on the freelist). *)
+  let rows = Rows.Vec.create () in
+  Rows.iter_live (fun row -> Rows.Vec.push rows row) r.arena;
+  Rows.Vec.iter (fun row -> Rows.free r.arena row) rows;
+  r.dslots <- Array.make 16 dempty;
+  r.dcount <- 0;
+  r.dtombs <- 0;
   Hashtbl.reset r.indexes;
   r.prefix_idx <- None;
   r.hinge_idx <- None;
+  r.runs <- [];
   r.inserts <- 0;
   r.removes <- 0
 
 (* -- Audit ------------------------------------------------------------------ *)
 
-(* One maintained index (cached column / prefix / hinge) against the live
-   tuple set: every bucket key must map only tuples whose projection is
-   that key, no tuple may be missing or duplicated, and emptied buckets
-   must have been dropped. *)
-let audit_index ~what ~key_of ~pp_key buckets_iter find_bucket r =
-  let findings = ref [] in
-  let report detail = findings := ("index-coherence", detail) :: !findings in
-  buckets_iter (fun key (cell : Tuple.t list ref) ->
-      match !cell with
-      | [] -> report (Format.asprintf "%s: empty bucket %s kept alive" what (pp_key key))
-      | tuples ->
-        List.iter
-          (fun t ->
-            if not (Tuple.Tbl.mem r.tuples t) then
-              report
-                (Format.asprintf "%s: bucket %s holds dead tuple %a" what (pp_key key)
-                   Tuple.pp t)
-            else if not (Tuple.equal (key_of t) key) then
-              report
-                (Format.asprintf "%s: tuple %a filed under wrong key %s" what Tuple.pp t
-                   (pp_key key)))
-          tuples;
-        let distinct = List.length (List.sort_uniq Tuple.compare tuples) in
-        if distinct <> List.length tuples then
-          report (Format.asprintf "%s: bucket %s holds duplicates" what (pp_key key)));
-  (* Reverse inclusion: every live tuple must be found under its own key. *)
-  Tuple.Tbl.iter
-    (fun t () ->
-      match find_bucket (key_of t) with
-      | Some cell when List.exists (Tuple.equal t) !cell -> ()
-      | _ ->
-        report (Format.asprintf "%s: live tuple %a missing from its bucket" what Tuple.pp t))
-    r.tuples;
-  List.rev !findings
+(* One maintained hash-keyed index (dedup / prefix / hinge) against the
+   live row set: buckets must be non-empty, hold only live rows (a dead
+   row id is an arena-ownership violation, not a mere filing error), file
+   rows under the hash of their own projection, and cover every live row. *)
+let audit_hash_index ~what ~hash_of (idx : hash_index) r report =
+  Hashtbl.iter
+    (fun h bucket ->
+      if Rows.Vec.length bucket = 0 then
+        report "index-coherence" (Printf.sprintf "%s: empty bucket %d kept alive" what h)
+      else begin
+        let seen = Hashtbl.create (2 * Rows.Vec.length bucket) in
+        Rows.Vec.iter
+          (fun row ->
+            if not (Rows.is_live r.arena row) then
+              report "arena-integrity"
+                (Printf.sprintf "%s: bucket %d holds dangling row id %d" what h row)
+            else begin
+              if hash_of row <> h then
+                report "index-coherence"
+                  (Format.asprintf "%s: row %d (%a) filed under wrong bucket %d" what row
+                     Tuple.pp (row_tuple r row) h);
+              if Hashtbl.mem seen row then
+                report "index-coherence"
+                  (Printf.sprintf "%s: bucket %d holds row %d twice" what h row)
+              else Hashtbl.add seen row ()
+            end)
+          bucket
+      end)
+    idx;
+  Rows.iter_live
+    (fun row ->
+      let h = hash_of row in
+      let found =
+        match Hashtbl.find_opt idx h with
+        | Some bucket -> Rows.Vec.exists (fun row' -> row' = row) bucket
+        | None -> false
+      in
+      if not found then
+        report "index-coherence"
+          (Format.asprintf "%s: live row %d (%a) missing from its bucket" what row Tuple.pp
+             (row_tuple r row)))
+    r.arena
+
+let audit_col_index ~what idx col r report =
+  Label.Tbl.iter
+    (fun l bucket ->
+      if Rows.Vec.length bucket = 0 then
+        report "index-coherence"
+          (Format.asprintf "%s: empty bucket %a kept alive" what Label.pp l)
+      else
+        Rows.Vec.iter
+          (fun row ->
+            if not (Rows.is_live r.arena row) then
+              report "arena-integrity"
+                (Format.asprintf "%s: bucket %a holds dangling row id %d" what Label.pp l
+                   row)
+            else if not (Label.equal (row_col r row col) l) then
+              report "index-coherence"
+                (Format.asprintf "%s: row %a filed under wrong key %a" what Tuple.pp
+                   (row_tuple r row) Label.pp l))
+          bucket)
+    idx;
+  Rows.iter_live
+    (fun row ->
+      let l = row_col r row col in
+      let found =
+        match Label.Tbl.find_opt idx l with
+        | Some bucket -> Rows.Vec.exists (fun row' -> row' = row) bucket
+        | None -> false
+      in
+      if not found then
+        report "index-coherence"
+          (Format.asprintf "%s: live row %a missing from its bucket" what Tuple.pp
+             (row_tuple r row)))
+    r.arena
+
+(* The open-addressing dedup table against the live row set: every filed
+   slot holds a live row (a dead or out-of-range id is an arena-ownership
+   violation), no row is filed twice, the slot/tombstone accounting
+   matches the array, and every live row is findable by probing its own
+   cell content. *)
+let audit_dedup r report =
+  let filed = ref 0 and tombs = ref 0 in
+  let seen = Hashtbl.create (2 * r.dcount) in
+  Array.iter
+    (fun s ->
+      if s = dtomb then incr tombs
+      else if s <> dempty then begin
+        incr filed;
+        if not (Rows.is_live r.arena s) then
+          report "arena-integrity"
+            (Printf.sprintf "dedup set: slot holds dangling row id %d" s)
+        else if Hashtbl.mem seen s then
+          report "index-coherence" (Printf.sprintf "dedup set: row %d filed twice" s)
+        else Hashtbl.add seen s ()
+      end)
+    r.dslots;
+  if !filed <> r.dcount then
+    report "index-coherence"
+      (Printf.sprintf "dedup set: %d filed slot(s) but count says %d" !filed r.dcount);
+  if !tombs <> r.dtombs then
+    report "index-coherence"
+      (Printf.sprintf "dedup set: %d tombstone(s) but count says %d" !tombs r.dtombs);
+  Rows.iter_live
+    (fun row ->
+      Rows.blit_row r.arena row r.scratch 0;
+      if dfind r (Rows.hash_row r.arena row) r.scratch 0 < 0 then
+        report "index-coherence"
+          (Format.asprintf "dedup set: live row %d (%a) is not findable" row Tuple.pp
+             (row_tuple r row)))
+    r.arena
 
 let audit r =
   let findings = ref [] in
   let report inv detail = findings := (inv, detail) :: !findings in
-  Tuple.Tbl.iter
-    (fun t () ->
-      if Tuple.width t <> r.width then
-        report "view-coherence"
-          (Format.asprintf "tuple %a has width %d in a width-%d relation" Tuple.pp t
-             (Tuple.width t) r.width))
-    r.tuples;
+  List.iter (fun (inv, detail) -> report inv detail) (Rows.audit r.arena);
   if r.inserts - r.removes <> cardinality r then
     report "stats"
       (Printf.sprintf "inserts - removes = %d - %d but cardinality is %d" r.inserts
          r.removes (cardinality r));
+  audit_dedup r report;
   Hashtbl.iter
     (fun col idx ->
-      let fs =
-        audit_index
-          ~what:(Printf.sprintf "column-%d index" col)
-          ~key_of:(fun t -> [| Tuple.get t col |])
-          ~pp_key:(fun k -> Format.asprintf "%a" Label.pp (Tuple.get k 0))
-          (fun f -> Label.Tbl.iter (fun l cell -> f [| l |] cell) idx)
-          (fun k -> Label.Tbl.find_opt idx (Tuple.get k 0))
-          r
-      in
-      findings := fs @ !findings)
+      audit_col_index ~what:(Printf.sprintf "column-%d index" col) idx col r report)
     r.indexes;
-  let audit_delta what key_of = function
-    | None -> ()
-    | Some idx ->
-      let fs =
-        audit_index ~what ~key_of
-          ~pp_key:(fun k -> Format.asprintf "%a" Tuple.pp k)
-          (fun f -> Tuple.Tbl.iter f idx)
-          (fun k -> Tuple.Tbl.find_opt idx k)
-          r
-      in
-      findings := fs @ !findings
-  in
-  audit_delta "prefix index" (fun t -> prefix_key r t) r.prefix_idx;
-  audit_delta "hinge index" hinge_key r.hinge_idx;
+  (match r.prefix_idx with
+  | Some idx ->
+    audit_hash_index ~what:"prefix index" ~hash_of:(Rows.hash_prefix r.arena) idx r report
+  | None -> ());
+  (match r.hinge_idx with
+  | Some idx ->
+    audit_hash_index ~what:"hinge index" ~hash_of:(Rows.hash_hinge r.arena) idx r report
+  | None -> ());
   List.rev !findings
 
 (* -- Test-only corruption hooks --------------------------------------------- *)
@@ -319,26 +691,60 @@ module Corrupt = struct
   let drop_index_bucket r =
     let dropped = ref false in
     let drop_label_tbl idx =
-      match Label.Tbl.fold (fun k _ acc -> match acc with None -> Some k | s -> s) idx None with
+      match
+        Label.Tbl.fold (fun k _ acc -> match acc with None -> Some k | s -> s) idx None
+      with
       | Some k ->
         Label.Tbl.remove idx k;
         dropped := true
       | None -> ()
     in
-    let drop_tuple_tbl idx =
-      match Tuple.Tbl.fold (fun k _ acc -> match acc with None -> Some k | s -> s) idx None with
+    let drop_hash_tbl (idx : hash_index) =
+      match
+        Hashtbl.fold (fun k _ acc -> match acc with None -> Some k | s -> s) idx None
+      with
       | Some k ->
-        Tuple.Tbl.remove idx k;
+        Hashtbl.remove idx k;
         dropped := true
       | None -> ()
     in
     Hashtbl.iter (fun _ idx -> if not !dropped then drop_label_tbl idx) r.indexes;
-    (if not !dropped then match r.prefix_idx with Some idx -> drop_tuple_tbl idx | None -> ());
-    (if not !dropped then match r.hinge_idx with Some idx -> drop_tuple_tbl idx | None -> ());
+    (if not !dropped then
+       match r.prefix_idx with Some idx -> drop_hash_tbl idx | None -> ());
+    (if not !dropped then match r.hinge_idx with Some idx -> drop_hash_tbl idx | None -> ());
     !dropped
 
-  let phantom_tuple r t = if not (Tuple.Tbl.mem r.tuples t) then Tuple.Tbl.add r.tuples t ()
+  let phantom_tuple r t =
+    (* Allocate the row and file it in the dedup set only — every other
+       index and every counter is bypassed. *)
+    if Tuple.width t = r.width && not (mem r t) then begin
+      fill_scratch r t;
+      let row = Rows.alloc r.arena in
+      Rows.write r.arena row r.scratch 0;
+      dinsert r (Rows.hash_row r.arena row) row
+    end
+
   let desync_counters r = r.inserts <- r.inserts + 1
+  let leak_arena_row r = Rows.Corrupt.leak_live_row r.arena
+
+  let dangle_bucket_row r =
+    (* File an unallocated slot id in the dedup set: a row id no arena
+       owner ever handed out.  Filing into an empty slot never breaks an
+       existing probe chain, so the only divergence is the dangling id. *)
+    if r.dcount = 0 then false
+    else begin
+      let ghost = Rows.high_water r.arena in
+      if 2 * (r.dcount + r.dtombs + 1) > Array.length r.dslots then
+        drehash r (dsize_for (r.dcount + 1));
+      let mask = Array.length r.dslots - 1 in
+      let rec place i =
+        if r.dslots.(i) = dempty then r.dslots.(i) <- ghost
+        else place ((i + 1) land mask)
+      in
+      place (ghost land mask);
+      r.dcount <- r.dcount + 1;
+      true
+    end
 end
 
 let pp fmt r =

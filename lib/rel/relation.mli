@@ -8,7 +8,16 @@
     column.  A non-caching engine (TRIC, INV, INC) rebuilds that table on
     every join operation and discards it; a caching engine (TRIC+, INV+,
     INC+) keeps it alive and maintains it incrementally on insertion.
-    [index_on] exposes exactly that behaviour switch. *)
+    [index_on] exposes exactly that behaviour switch.
+
+    {b Storage.} Tuples live in a packed {!Rows.t} arena (width-stride
+    flat [int array], freelist-recycled): a stored tuple is a row id, and
+    every index — the dedup set, the cached column indexes, the
+    prefix/hinge delta indexes — is a bucket of row ids ({!Rows.Vec.t}).
+    The boxed [Tuple.t] remains the boundary type; conversion happens only
+    at this module's edge.  Each relation owns its arena: row ids are
+    meaningless outside it, and batches cross shard boundaries only as
+    {!Rows.packed} flat copies. *)
 
 open Tric_graph
 
@@ -25,13 +34,22 @@ val make_obs : Tric_obs.Registry.t -> prefix:string -> stable:bool -> obs
     update stream at any shard count (node views: yes; base views: no —
     a key's base view is duplicated on every shard that mentions it). *)
 
-val create : ?cache:bool -> ?obs:obs -> width:int -> unit -> t
-(** [cache] defaults to [false]; [obs] to no telemetry. *)
+val create : ?cache:bool -> ?obs:obs -> ?expect:int -> width:int -> unit -> t
+(** [cache] defaults to [false]; [obs] to no telemetry.  [expect]
+    pre-sizes the arena and dedup table for that many rows, so bulk loads
+    (batch windows) skip the rehash-and-copy growth ladder. *)
 
 val width : t -> int
 val cardinality : t -> int
 val is_empty : t -> bool
 val mem : t -> Tuple.t -> bool
+
+val reserve : t -> int -> unit
+(** Pre-grow the arena for [n] further insertions (batch pre-sizing). *)
+
+val mem_stats : t -> int * int * int
+(** [(arena capacity, live rows, freelist length)] — the memory
+    footprint triple surfaced per shard by [tric_cli stats]. *)
 
 val insert : t -> Tuple.t -> bool
 (** [true] iff the tuple was new.  @raise Invalid_argument on width
@@ -51,6 +69,66 @@ val remove_all : t -> Tuple.t list -> Tuple.t list
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list
+
+(** {1 Row-level hot path}
+
+    The packed face of the relation: engines that live inside one shard
+    address tuples as row ids and never box.  Row ids are only valid
+    against the relation that produced them, and only until that row is
+    removed. *)
+
+val iter_rows : (int -> unit) -> t -> unit
+(** Every live row id, ascending — the allocation-free walk behind the
+    audit path. *)
+
+val row_col : t -> int -> int -> Label.t
+(** [row_col r row col] — one column, no tuple boxing. *)
+
+val row_tuple : t -> int -> Tuple.t
+(** Boxed copy of a live row (boundary conversions only). *)
+
+val insert_edge_row : t -> src:Label.t -> dst:Label.t -> int
+(** Insert a two-column row; the new row id, or [-1] if it was already
+    present.  @raise Invalid_argument if the width is not 2. *)
+
+val insert_extend : t -> src:t -> row:int -> ext:Label.t -> int
+(** [insert_extend r ~src ~row ~ext] inserts [src]'s row extended by one
+    trailing label — the seeding/propagation step.  The new row id, or
+    [-1] on duplicate.  @raise Invalid_argument unless
+    [width src = width r - 1]. *)
+
+val insert_extend_packed : t -> parents:Rows.packed -> i:int -> ext:Label.t -> int
+(** Same step from the [i]-th row of a packed parent batch. *)
+
+val pack_rows : t -> Rows.Vec.t -> Rows.packed
+(** Flat standalone copy of the named rows — the only form in which a
+    batch of tuples may leave the owning shard. *)
+
+val probe_col_rows : t -> col:int -> Label.t -> Rows.Vec.t option
+(** Cache-mode row-level probe: the live bucket of the maintained column
+    index ([None] if the key is unseen).  The vector is the index's own
+    bucket — callers must not mutate this relation while iterating it.
+    Counted like {!index_on} (one rebuild on the first build of the
+    column's index).  @raise Invalid_argument if the relation does not
+    cache. *)
+
+val evict_hinge : t -> src:Label.t -> dst:Label.t -> Rows.packed
+(** Remove (and return, packed) all tuples whose last two columns are
+    [(src, dst)] — the deletion-path counterpart of {!probe_hinge},
+    counted as one delta probe.  @raise Invalid_argument on width < 2. *)
+
+val evict_prefixed : t -> Rows.packed -> Rows.packed
+(** Remove (and return, packed) all tuples extending any row of the
+    doomed parent batch, one counted delta probe per parent row.
+    @raise Invalid_argument unless the batch width is [width - 1]. *)
+
+val merge_join : left:t -> lcol:int -> right:t -> rcol:int -> (int -> int -> unit) -> unit
+(** [merge_join ~left ~lcol ~right ~rcol f] calls [f lrow rrow] for every
+    pair of rows agreeing on the join columns, by merging the two
+    relations' sorted runs — no hash table on either side.  Runs are
+    compacted lazily per column, discarded on any mutation, and each
+    fresh compaction counts as one rebuild (the merge join's analogue of
+    a hash-join build phase).  [f] must not mutate either relation. *)
 
 type probe = Label.t -> Tuple.t list
 (** Probe phase of a hash join: all tuples whose indexed column holds the
@@ -97,9 +175,10 @@ val probe_hinge : t -> src:Label.t -> dst:Label.t -> Tuple.t list
     @raise Invalid_argument on width < 2. *)
 
 val stats_rebuilds : t -> int
-(** How many ephemeral index builds this relation has performed — the work
-    caching saves.  In caching mode this stays at the number of distinct
-    indexed columns. *)
+(** How many index builds this relation has performed — ephemeral
+    [index_on] tables in non-caching mode, first builds of cached column
+    indexes, and sorted-run compactions for {!merge_join}.  The work
+    caching saves. *)
 
 val stats_delta_probes : t -> int
 (** How many prefix/hinge index lookups served the deletion path — each one
@@ -107,7 +186,7 @@ val stats_delta_probes : t -> int
 
 val stats_index_buckets : t -> int
 (** Total live buckets across the cached column indexes (tests: removal
-    must drop emptied buckets rather than keeping [ref []] alive). *)
+    must drop emptied buckets rather than keeping empty vectors alive). *)
 
 val stats_inserts : t -> int
 (** Lifetime count of successful {!insert}s (duplicates excluded).  The
@@ -120,13 +199,14 @@ val stats_removes : t -> int
 val audit : t -> (string * string) list
 (** Self-check of every relation-internal invariant, as
     [(invariant class, detail)] pairs — empty when clean.  Classes:
-    ["index-coherence"] (every maintained index — cached column indexes,
-    prefix index, hinge index — holds exactly the live tuples under their
-    own keys, with no dead tuples, duplicates, or empty buckets),
-    ["view-coherence"] (every stored tuple has the relation's width), and
-    ["stats"] (the insert/remove accounting identity).  Pure observation:
-    never builds indexes that are not already live, and never mutates the
-    relation. *)
+    ["arena-integrity"] (the {!Rows.audit} freelist/liveness invariants,
+    plus: no index bucket holds a dangling — dead or never-allocated —
+    row id), ["index-coherence"] (every maintained index — dedup set,
+    cached column indexes, prefix index, hinge index — files exactly the
+    live rows under their own keys, with no duplicates or empty buckets),
+    and ["stats"] (the insert/remove accounting identity).  Pure
+    observation: never builds indexes that are not already live, and
+    never mutates the relation. *)
 
 module Corrupt : sig
   (** Test-only corruption hooks: each deliberately breaks exactly one
@@ -138,12 +218,23 @@ module Corrupt : sig
       index first, then prefix/hinge).  [false] if no index is built. *)
 
   val phantom_tuple : t -> Tuple.t -> unit
-  (** Add a tuple to the backing set {e bypassing} every index and counter
-      — the "skewed view" corruption. *)
+  (** Allocate a row and file it in the dedup set {e bypassing} every
+      other index and every counter — the "skewed view" corruption. *)
 
   val desync_counters : t -> unit
   (** Bump the insert counter without inserting anything. *)
+
+  val leak_arena_row : t -> bool
+  (** Push a live row onto the freelist without freeing it ({!Rows.Corrupt.leak_live_row});
+      [false] if the relation is empty. *)
+
+  val dangle_bucket_row : t -> bool
+  (** File a never-allocated row id in a dedup bucket; [false] if the
+      relation is empty. *)
 end
 
 val clear : t -> unit
+(** Drop every tuple and reset the insert/remove counters (rebuild and
+    delta-probe counters survive — they describe lifetime work). *)
+
 val pp : Format.formatter -> t -> unit

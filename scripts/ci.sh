@@ -90,6 +90,14 @@ rm -f "$auditds"
 TRIC_OVERHEAD_ONLY=1 TRIC_OVERHEAD_EDGES=2000 TRIC_OVERHEAD_QDB=50 \
   dune exec bench/main.exe
 
+# Allocation-regression smoke: the packed row-store layout report (live
+# heap words + upd/s, BENCH_layout.json emission path) in strict mode —
+# mean minor words allocated per update must stay under
+# TRIC_ALLOC_MAX_WORDS (default 60k); boxed-tuple regressions on the hot
+# path trip this before they show up in throughput.
+TRIC_LAYOUT_ONLY=1 TRIC_LAYOUT_EDGES=1000 TRIC_LAYOUT_QDB=50 \
+  dune exec bench/main.exe
+
 # Bench smoke: a tiny batched-ingestion throughput run, so the bench
 # executable's non-bechamel paths stay exercised by CI.
 TRIC_BATCH_ONLY=1 TRIC_BATCH_EDGES=1000 TRIC_BATCH_QDB=50 dune exec bench/main.exe

@@ -1,0 +1,5 @@
+(* Seeded violation: a row arena reached from outside the rel/trie/shard
+   stack — row ids are meaningless beyond the owning shard's arenas. *)
+let snoop arena = Rows.read arena 0
+
+let hoard arena ids = List.map (fun r -> Rows.read arena r) ids

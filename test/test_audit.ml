@@ -118,6 +118,33 @@ let test_phantom_base_tuple_detected () =
     "base-coherence trips" true
     (List.exists (String.equal "base-coherence") classes)
 
+let test_arena_corruption_detected () =
+  (* Packed-arena mutations through a live engine.  A leaked row (live in
+     the arena, absent from the relation's dedup set and counters) is
+     walked by every content diff, so collateral classes may trip too —
+     what matters is that arena-integrity names the root cause.  A
+     dangling row id planted in a dedup slot corrupts only the slot
+     table, so it must surface as exactly arena-integrity. *)
+  let t, edges = build ~cache:true () in
+  (match Trie.fold_base (fun _ r acc -> match acc with Some _ -> acc | None -> Some r)
+           (Tric.forest t) None
+   with
+  | Some r -> Alcotest.(check bool) "leak applies" true (Rel.Corrupt.leak_arena_row r)
+  | None -> Alcotest.fail "no base view");
+  let classes = error_classes (Audit.check ~edges t) in
+  Alcotest.(check bool)
+    "arena-integrity trips on a leaked row" true
+    (List.exists (String.equal "arena-integrity") classes);
+  let t, edges = build ~cache:true () in
+  let dangled =
+    Trie.fold_nodes
+      (fun n acc -> acc || Rel.Corrupt.dangle_bucket_row (Trie.node_view n))
+      (Tric.forest t) false
+  in
+  Alcotest.(check bool) "a dedup slot was dangled" true dangled;
+  check_classes "only arena-integrity trips" [ "arena-integrity" ]
+    (Audit.check ~edges t)
+
 let test_removed_query_warns_only () =
   let t, edges = build () in
   Alcotest.(check bool) "query removed" true (Tric.remove_query t 3);
@@ -223,6 +250,7 @@ let suite =
     Alcotest.test_case "desynced relation counters detected" `Quick test_desynced_relation_counters_detected;
     Alcotest.test_case "dropped index bucket detected" `Quick test_dropped_index_bucket_detected;
     Alcotest.test_case "phantom base tuple detected" `Quick test_phantom_base_tuple_detected;
+    Alcotest.test_case "arena corruption detected" `Quick test_arena_corruption_detected;
     Alcotest.test_case "removed query leaves warnings only" `Quick test_removed_query_warns_only;
     Alcotest.test_case "sharded clean; misrouted path detected" `Quick
       test_sharded_clean_and_misroute_detected;

@@ -263,6 +263,38 @@ let test_snapshot_exports () =
   (match O.Snapshot.validate (O.Json.Obj [ ("schema", O.Json.Str "nope") ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "wrong schema accepted");
+  (* The mem block round-trips and is schema-checked. *)
+  let doc_mem =
+    O.Snapshot.envelope ~engine:"TEST" ~mem:[| (128, 40, 3); (64, 10, 0) |] snap
+  in
+  (match O.Snapshot.validate doc_mem with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "mem envelope saw %d metrics" n
+  | Error e -> Alcotest.failf "mem envelope invalid: %s" e);
+  (match O.Json.member "mem" doc_mem with
+  | Some (O.Json.Arr (first :: _)) ->
+    Alcotest.(check (option string)) "mem slot shape"
+      (Some "128")
+      (Option.map
+         (fun j -> O.Json.to_string j)
+         (O.Json.member "arena_rows" first))
+  | _ -> Alcotest.fail "mem block missing from envelope");
+  (match
+     O.Snapshot.validate
+       (O.Json.Obj
+          [
+            ("schema", O.Json.Str "tric-metrics-v1");
+            ("engine", O.Json.Str "TEST");
+            ("mem", O.Json.Arr [ O.Json.Obj [ ("shard", O.Json.Num 0.0) ] ]);
+            ("metrics", O.Json.Arr []);
+          ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed mem slot accepted");
+  (* An engine without a packed store omits the block entirely. *)
+  (match O.Json.member "mem" (O.Snapshot.envelope ~engine:"TEST" ~mem:[||] snap) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty mem array should be omitted");
   let contains needle hay =
     let nl = String.length needle and hl = String.length hay in
     let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in

@@ -533,6 +533,179 @@ let prop_sharded_batch_equals_sequential =
               && List.for_all (fun q -> matches_agree (Pattern.id q)) queries)
             (windows updates)))
 
+(* Packed row-store differential: the arena-backed engines against the
+   boxed naive oracle, with the arena accounting checked at every step.
+   Every view tuple lives as a width-stride slice of a flat int array
+   owned by its shard, deduplicated by an open-addressing row-id table —
+   so this property drives the layout through exactly the regimes that
+   stress the freelist and the tombstone chains: interleaved
+   add/remove/re-add per update, then net-op-folded batches, at 1 and 4
+   shards and in both cache modes.  After every step three things must
+   hold: reports and full current matches equal the oracle's, the audit
+   (including the arena-integrity class — freelist/live-map coherence, no
+   dangling row ids reachable from dedup slots or index buckets) stays
+   clean against the ground-truth edge set, and [mem_stats] stays
+   arithmetically sane (per shard, live + free slots never exceed arena
+   capacity).  A final drain removes every live edge and requires all
+   arenas to account zero live rows — leaks of freed slots survive report
+   comparison, they cannot survive this.  The windowed regime rides the
+   windowed-oracle properties below at the same shard counts, which run
+   on the same packed layout. *)
+let prop_packed_layout_equals_oracle =
+  QCheck2.Test.make ~count:20 ~print:print_batch_case
+    ~name:"packed row-store = boxed oracle (1/4 shards, add/remove + batch + drain)"
+    QCheck2.Gen.(
+      pair
+        (pair
+           (list_size (int_range 1 3) gen_pattern_spec)
+           (list_size (int_range 1 60)
+              (quad bool (int_bound (List.length elabels - 1))
+                 (int_bound (List.length vconsts - 1))
+                 (int_bound (List.length vconsts - 1)))))
+        (int_range 1 8))
+    (fun ((qspecs, sspec), window) ->
+      QCheck2.assume (List.for_all valid_spec qspecs);
+      let queries =
+        List.mapi
+          (fun i spec ->
+            match build_pattern ~id:(i + 1) spec with
+            | q when Pattern.is_connected q -> Some q
+            | _ -> None
+            | exception Invalid_argument _ -> None)
+          qspecs
+        |> List.filter_map Fun.id
+      in
+      QCheck2.assume (queries <> []);
+      let oracle = Tric_engine.Naive.create () in
+      let perupd =
+        [
+          Tric_core.Tric.create ~shards:1 ();
+          Tric_core.Tric.create ~cache:true ~shards:4 ();
+        ]
+      in
+      let batched =
+        [
+          Tric_core.Tric.create ~cache:true ~shards:1 ();
+          Tric_core.Tric.create ~shards:4 ();
+        ]
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Tric_core.Tric.shutdown (perupd @ batched))
+        (fun () ->
+          List.iter
+            (fun q ->
+              Tric_engine.Naive.add_query oracle q;
+              List.iter (fun t -> Tric_core.Tric.add_query t q) (perupd @ batched))
+            queries;
+          let updates =
+            List.map
+              (fun (add, li, si, di) ->
+                let e =
+                  Edge.of_strings (List.nth elabels li) (List.nth vconsts si)
+                    (List.nth vconsts di)
+                in
+                if add then Update.add e else Update.remove e)
+              sspec
+          in
+          let mem_sane t =
+            Array.for_all
+              (fun (cap, live, free) ->
+                live >= 0 && free >= 0 && live + free <= cap)
+              (Tric_core.Tric.mem_stats t)
+          in
+          let matches_oracle t =
+            List.for_all
+              (fun q ->
+                let qid = Pattern.id q in
+                let sorted m = List.sort_uniq Embedding.compare m in
+                let exp = sorted (Tric_engine.Naive.current_matches oracle qid) in
+                let got = sorted (Tric_core.Tric.current_matches t qid) in
+                List.length exp = List.length got
+                && List.for_all2 Embedding.equal exp got)
+              queries
+          in
+          let live = Edge.Tbl.create 64 in
+          let track u =
+            match u.Update.op with
+            | Update.Add e -> Edge.Tbl.replace live e ()
+            | Update.Remove e -> Edge.Tbl.remove live e
+          in
+          let audit_clean t =
+            let edges = Edge.Tbl.fold (fun e () acc -> e :: acc) live [] in
+            Tric_audit.Audit.is_clean (Tric_audit.Audit.check ~edges t)
+          in
+          (* Per-update phase: report-for-report against the oracle. *)
+          let stream_ok =
+            List.for_all
+              (fun u ->
+                let expected = Tric_engine.Naive.handle_update oracle u in
+                let reports =
+                  List.map
+                    (fun t ->
+                      Tric_engine.Report.of_pair (Tric_core.Tric.handle_update t u))
+                    perupd
+                in
+                track u;
+                List.for_all2
+                  (fun t r ->
+                    Tric_engine.Report.equal expected r
+                    && audit_clean t && mem_sane t && matches_oracle t)
+                  perupd reports)
+              updates
+          in
+          (* Batch phase: the same stream through [handle_batch] windows.
+             Net-op folding makes per-window reports legitimately differ
+             from the oracle's per-update reports, but both batched
+             engines must emit identical reports to each other, stay
+             audit-clean at every barrier, and land on the oracle's final
+             matches. *)
+          let rec windows = function
+            | [] -> []
+            | us ->
+              let n = min window (List.length us) in
+              List.filteri (fun i _ -> i < n) us
+              :: windows (List.filteri (fun i _ -> i >= n) us)
+          in
+          Edge.Tbl.reset live;
+          let batch_ok =
+            List.for_all
+              (fun w ->
+                let reports =
+                  List.map
+                    (fun t ->
+                      Tric_engine.Report.of_pair (Tric_core.Tric.handle_batch t w))
+                    batched
+                in
+                List.iter track w;
+                (match reports with
+                | r0 :: rest -> List.for_all (Tric_engine.Report.equal r0) rest
+                | [] -> true)
+                && List.for_all (fun t -> audit_clean t && mem_sane t) batched)
+              (windows updates)
+            && List.for_all matches_oracle batched
+          in
+          (* Drain phase: remove every surviving edge and require the
+             arenas to account zero live rows — every allocated slot must
+             have come back through the freelist. *)
+          let drain =
+            Edge.Tbl.fold (fun e () acc -> Update.remove e :: acc) live []
+          in
+          List.iter (fun u -> ignore (Tric_engine.Naive.handle_update oracle u)) drain;
+          let drain_ok =
+            List.for_all
+              (fun t ->
+                List.iter
+                  (fun u -> ignore (Tric_core.Tric.handle_update t u))
+                  drain;
+                Tric_audit.Audit.is_clean (Tric_audit.Audit.check ~edges:[] t)
+                && mem_sane t
+                && Array.for_all
+                     (fun (_, rows, _) -> rows = 0)
+                     (Tric_core.Tric.mem_stats t))
+              (perupd @ batched)
+          in
+          stream_ok && batch_ok && drain_ok))
+
 let prop_relation_set_semantics =
   QCheck2.Test.make ~count:200 ~name:"relation = deduplicated set under insert/remove"
     QCheck2.Gen.(list_size (int_range 0 100) (pair bool (pair (int_bound 8) (int_bound 8))))
@@ -1016,6 +1189,7 @@ let suite =
       prop_batch_equals_sequential;
       prop_sharded_equals_sequential;
       prop_sharded_batch_equals_sequential;
+      prop_packed_layout_equals_oracle;
       prop_relation_set_semantics;
       prop_merge_commutative;
       prop_trie_sharing;

@@ -1,0 +1,221 @@
+(* Packed row-store tests: the Rows arena/freelist/packed-batch layer and
+   the Relation machinery built on it (dedup table, swap-remove bucket
+   hygiene, sorted-run merge join). *)
+
+open Tric_graph
+open Tric_rel
+
+let l s = Label.intern s
+let tup ss = Array.map l (Array.of_list ss) |> Tuple.make
+
+let test_vec_swap_remove () =
+  let v = Rows.Vec.create () in
+  List.iter (Rows.Vec.push v) [ 10; 20; 30; 40 ];
+  Alcotest.(check int) "length" 4 (Rows.Vec.length v);
+  Rows.Vec.swap_remove v 0;
+  (* Order is not part of the contract, only the surviving set. *)
+  Alcotest.(check (list int)) "swap-remove keeps the rest" [ 20; 30; 40 ]
+    (List.sort compare (Rows.Vec.to_list v));
+  Alcotest.(check bool) "remove_value hit" true (Rows.Vec.remove_value v 30);
+  Alcotest.(check bool) "remove_value miss" false (Rows.Vec.remove_value v 30);
+  Alcotest.(check (list int)) "value removed" [ 20; 40 ]
+    (List.sort compare (Rows.Vec.to_list v));
+  Alcotest.check_raises "bounds" (Invalid_argument "Rows.Vec.swap_remove: index out of bounds")
+    (fun () -> Rows.Vec.swap_remove v 5)
+
+let test_arena_grow () =
+  let a = Rows.create ~width:3 () in
+  let n = 200 in
+  (* Push far past any initial capacity; every row keeps its cells. *)
+  let rows =
+    List.init n (fun i ->
+        let r = Rows.alloc a in
+        Rows.set a r 0 i;
+        Rows.set a r 1 (i * 7);
+        Rows.set a r 2 (i + 1);
+        r)
+  in
+  Alcotest.(check int) "live" n (Rows.live a);
+  Alcotest.(check bool) "capacity grew" true (Rows.capacity a >= n);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (list int)) "cells survive growth" [ i; i * 7; i + 1 ]
+        (Array.to_list (Rows.read a r)))
+    rows;
+  Alcotest.(check (list (pair string string))) "grown arena audits clean" []
+    (Rows.audit a);
+  (* reserve makes room above the high-water mark without disturbing rows. *)
+  Rows.reserve a 1000;
+  Alcotest.(check bool) "reserved" true (Rows.capacity a >= n + 1000);
+  Alcotest.(check (list int)) "rows intact after reserve" [ 0; 0; 1 ]
+    (Array.to_list (Rows.read a (List.hd rows)))
+
+let test_freelist_reuse () =
+  let a = Rows.create ~width:2 () in
+  let r0 = Rows.alloc a and r1 = Rows.alloc a in
+  ignore (Rows.alloc a);
+  Rows.free a r1;
+  Rows.free a r0;
+  Alcotest.(check int) "two freed" 2 (Rows.free_count a);
+  let high = Rows.high_water a in
+  let r' = Rows.alloc a in
+  Alcotest.(check bool) "freed slot recycled" true (r' = r0 || r' = r1);
+  Alcotest.(check int) "no new slot touched" high (Rows.high_water a);
+  Alcotest.(check int) "freelist shrank" 1 (Rows.free_count a);
+  Alcotest.check_raises "double free" (Invalid_argument "Rows.free: row not live")
+    (fun () ->
+      Rows.free a r';
+      Rows.free a r');
+  Alcotest.(check (list (pair string string))) "churned arena audits clean" []
+    (Rows.audit a)
+
+let test_packed_batches () =
+  let a = Rows.create ~width:2 () in
+  let v = Rows.Vec.create () in
+  for i = 0 to 4 do
+    let r = Rows.alloc a in
+    Rows.set a r 0 i;
+    Rows.set a r 1 (10 * i);
+    Rows.Vec.push v r
+  done;
+  let p = Rows.pack a v in
+  Alcotest.(check int) "packed count" 5 (Rows.packed_count p);
+  Alcotest.(check int) "packed width" 2 (Rows.packed_width p);
+  (* A packed batch is a standalone copy: freeing the source rows must not
+     disturb it. *)
+  Rows.Vec.iter (fun r -> Rows.free a r) v;
+  for i = 0 to 4 do
+    Alcotest.(check (list int)) "row copy" [ i; 10 * i ]
+      (Array.to_list (Rows.packed_row p i))
+  done;
+  let q = Rows.packed_concat ~width:2 [ p; Rows.packed_empty ~width:2; p ] in
+  Alcotest.(check int) "concat count" 10 (Rows.packed_count q);
+  Alcotest.(check int) "concat tail" 40 (Rows.packed_get q 9 1);
+  Alcotest.check_raises "concat width check"
+    (Invalid_argument "Rows.packed_concat: width mismatch") (fun () ->
+      ignore (Rows.packed_concat ~width:3 [ p ]))
+
+let test_hash_compat () =
+  (* Rows hashing must reproduce Tuple.hash exactly, so packed indexes and
+     boxed tables bucket identically. *)
+  let t = tup [ "a"; "b"; "c" ] in
+  let a = Rows.create ~width:3 () in
+  let r = Rows.alloc a in
+  for i = 0 to Tuple.width t - 1 do
+    Rows.set a r i (Label.to_int (Tuple.get t i))
+  done;
+  Alcotest.(check int) "hash_row = Tuple.hash" (Tuple.hash t) (Rows.hash_row a r)
+
+let test_rows_corrupt_hooks () =
+  let a = Rows.create ~width:2 () in
+  let r = Rows.alloc a in
+  Rows.set a r 0 1;
+  Rows.set a r 1 2;
+  Rows.free a r;
+  ignore (Rows.alloc a);
+  Alcotest.(check (list (pair string string))) "clean before corruption" []
+    (Rows.audit a);
+  Alcotest.(check bool) "leak applies" true (Rows.Corrupt.leak_live_row a);
+  let classes = List.map fst (Rows.audit a) in
+  Alcotest.(check bool) "leak detected" true (classes <> []);
+  List.iter
+    (fun c -> Alcotest.(check string) "leak class" "arena-integrity" c)
+    classes;
+  let b = Rows.create ~width:2 () in
+  let r0 = Rows.alloc b in
+  Rows.free b r0;
+  Alcotest.(check bool) "lose applies" true (Rows.Corrupt.lose_free_slot b);
+  let classes = List.map fst (Rows.audit b) in
+  Alcotest.(check bool) "stranded slot detected" true (classes <> []);
+  List.iter
+    (fun c -> Alcotest.(check string) "strand class" "arena-integrity" c)
+    classes
+
+let test_relation_corrupt_hooks () =
+  let mk () =
+    let r = Relation.create ~cache:true ~width:2 () in
+    ignore (Relation.insert_all r [ tup [ "a"; "b" ]; tup [ "a"; "c" ]; tup [ "x"; "y" ] ]);
+    ignore (Relation.index_on r ~col:0 : Relation.probe);
+    r
+  in
+  let classes rel = List.sort_uniq compare (List.map fst (Relation.audit rel)) in
+  let r = mk () in
+  Alcotest.(check (list string)) "clean" [] (classes r);
+  Alcotest.(check bool) "leak applies" true (Relation.Corrupt.leak_arena_row r);
+  Alcotest.(check (list string)) "leaked row -> arena-integrity" [ "arena-integrity" ]
+    (classes r);
+  let r = mk () in
+  Alcotest.(check bool) "dangle applies" true (Relation.Corrupt.dangle_bucket_row r);
+  Alcotest.(check (list string)) "dangling id -> arena-integrity" [ "arena-integrity" ]
+    (classes r)
+
+(* The sorted-run merge join must produce exactly the hash-probe join on
+   the same pair of relations, for every cache mode. *)
+let test_merge_join_equals_hash_probe () =
+  let rand = Random.State.make [| 42 |] in
+  let labels = Array.init 6 (fun i -> l (Printf.sprintf "l%d" i)) in
+  let pick () = labels.(Random.State.int rand (Array.length labels)) in
+  List.iter
+    (fun cache ->
+      let left = Relation.create ~cache ~width:3 () in
+      let right = Relation.create ~cache ~width:2 () in
+      for _ = 1 to 60 do
+        ignore (Relation.insert left (Tuple.make [| pick (); pick (); pick () |]));
+        ignore (Relation.insert right (Tuple.make [| pick (); pick () |]))
+      done;
+      (* Remove a few rows so the runs see freelist churn. *)
+      let doomed =
+        Relation.fold
+          (fun t acc -> if Label.equal (Tuple.first t) labels.(0) then t :: acc else acc)
+          left []
+      in
+      ignore (Relation.remove_all left doomed);
+      let str t = Format.asprintf "%a" Tuple.pp t in
+      let merged = ref [] in
+      Relation.merge_join ~left ~lcol:2 ~right ~rcol:0 (fun lrow rrow ->
+          merged :=
+            (str (Relation.row_tuple left lrow), str (Relation.row_tuple right rrow))
+            :: !merged);
+      let probe = Relation.index_on right ~col:0 in
+      let hashed = ref [] in
+      Relation.iter
+        (fun lt ->
+          List.iter
+            (fun rt -> hashed := (str lt, str rt) :: !hashed)
+            (probe (Tuple.last lt)))
+        left;
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "merge join = hash probe (cache:%b)" cache)
+        (List.sort compare !hashed) (List.sort compare !merged))
+    [ false; true ]
+
+let test_row_level_inserts () =
+  let base = Relation.create ~width:2 () in
+  ignore (Relation.insert_edge_row base ~src:(l "a") ~dst:(l "b"));
+  Alcotest.(check bool) "edge row dedups" true
+    (Relation.insert_edge_row base ~src:(l "a") ~dst:(l "b") < 0);
+  Alcotest.(check bool) "edge row live" true (Relation.mem base (tup [ "a"; "b" ]));
+  let child = Relation.create ~width:3 () in
+  let row =
+    let found = ref (-1) in
+    Relation.iter_rows (fun r -> found := r) base;
+    !found
+  in
+  ignore (Relation.insert_extend child ~src:base ~row ~ext:(l "c"));
+  Alcotest.(check bool) "extended tuple" true (Relation.mem child (tup [ "a"; "b"; "c" ]));
+  Alcotest.check_raises "parent width check"
+    (Invalid_argument "Relation.insert_extend: bad parent width") (fun () ->
+      ignore (Relation.insert_extend child ~src:child ~row:0 ~ext:(l "d")))
+
+let suite =
+  [
+    Alcotest.test_case "vec swap-remove hygiene" `Quick test_vec_swap_remove;
+    Alcotest.test_case "arena growth" `Quick test_arena_grow;
+    Alcotest.test_case "freelist reuse" `Quick test_freelist_reuse;
+    Alcotest.test_case "packed batches" `Quick test_packed_batches;
+    Alcotest.test_case "hash compatibility" `Quick test_hash_compat;
+    Alcotest.test_case "rows corruption hooks" `Quick test_rows_corrupt_hooks;
+    Alcotest.test_case "relation corruption hooks" `Quick test_relation_corrupt_hooks;
+    Alcotest.test_case "merge join = hash probe" `Quick test_merge_join_equals_hash_probe;
+    Alcotest.test_case "row-level inserts" `Quick test_row_level_inserts;
+  ]
