@@ -699,6 +699,135 @@ let layout_report ?(strict = false) fmt =
     exit 1
   end
 
+(* -- Subscription-server fan-out --------------------------------------------- *)
+
+(* End-to-end socket pipeline: publish → journal → engine → per-client
+   outbox → notification at every subscriber.  [conns] long-lived
+   subscriber connections each register [subs / conns] standing queries
+   (every query is shared by all connections, so a matching update fans
+   out to every one of them).  Latency is publish-to-last-notification;
+   throughput counts fully delivered updates.  Written to
+   BENCH_server.json. *)
+module Srv = Tric_server
+
+let server_point ~conns ~subs ~edges =
+  let dir = Filename.get_temp_dir_name () in
+  let tag = Printf.sprintf "tric_bench_%d_%d" (Unix.getpid ()) subs in
+  let sock = Filename.concat dir (tag ^ ".sock") in
+  let journal = Filename.concat dir (tag ^ ".journal") in
+  let scratch = [ sock; journal; journal ^ ".snap"; journal ^ ".snap.tmp" ] in
+  let clean () = List.iter (fun p -> if Sys.file_exists p then Sys.remove p) scratch in
+  clean ();
+  let cfg =
+    {
+      (Srv.Server.default_config ~sock_path:sock ~journal_path:journal) with
+      Srv.Server.snapshot_every = 0;
+      outbox_soft = 4096;
+      outbox_hard = 16384;
+    }
+  in
+  let t = Srv.Server.create cfg in
+  let d = Domain.spawn (fun () -> Srv.Server.serve t) in
+  Fun.protect ~finally:clean (fun () ->
+      let nqueries = max 1 (subs / conns) in
+      let clients =
+        Array.init conns (fun i ->
+            let cl = Srv.Client.connect sock in
+            ignore (Srv.Client.hello cl (Printf.sprintf "c%d" i));
+            cl)
+      in
+      (* Registrations are pipelined: send them all, then collect the
+         acknowledgements. *)
+      Array.iter
+        (fun cl ->
+          for q = 0 to nqueries - 1 do
+            Srv.Client.send cl
+              (Srv.Wire.Register { name = "bench"; pattern = Printf.sprintf "?x -l%d-> ?y" q })
+          done)
+        clients;
+      Array.iter
+        (fun cl ->
+          for _ = 1 to nqueries do
+            match Srv.Client.recv_exn ~timeout_s:120.0 cl with
+            | Srv.Wire.Registered _ -> ()
+            | _ -> failwith "server bench: unexpected reply during registration"
+          done)
+        clients;
+      let pub = Srv.Client.connect sock in
+      let rec wait_puback () =
+        match Srv.Client.recv_exn ~timeout_s:120.0 pub with
+        | Srv.Wire.Puback { useq; _ } -> useq
+        | _ -> wait_puback ()
+      in
+      let rec wait_notify cl useq =
+        match Srv.Client.recv_exn ~timeout_s:120.0 cl with
+        | Srv.Wire.Notify { useq = u; _ } when u = useq -> ()
+        | _ -> wait_notify cl useq
+      in
+      let lat = Array.make edges 0.0 in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to edges - 1 do
+        let q = i mod nqueries in
+        let ts = Unix.gettimeofday () in
+        Srv.Client.send pub
+          (Srv.Wire.Publish { pseq = i; update = Printf.sprintf "s%d -l%d-> t%d" i q i });
+        let useq = wait_puback () in
+        Array.iter (fun cl -> wait_notify cl useq) clients;
+        lat.(i) <- Unix.gettimeofday () -. ts;
+        if i mod 64 = 63 then
+          Array.iter (fun cl -> Srv.Client.send cl (Srv.Wire.Ack { useq })) clients
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Srv.Client.send pub Srv.Wire.Quit;
+      (try
+         match Srv.Client.recv_exn ~timeout_s:10.0 pub with _ -> ()
+       with End_of_file -> ());
+      Domain.join d;
+      Srv.Client.close pub;
+      Array.iter Srv.Client.close clients;
+      Array.sort Float.compare lat;
+      let pct p =
+        let n = Array.length lat in
+        lat.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+      in
+      ( float_of_int edges /. dt,
+        pct 50.0 *. 1_000.0,
+        pct 99.0 *. 1_000.0,
+        conns * nqueries ))
+
+let server_report fmt =
+  let conns = 16 in
+  let edges = getenv_int "TRIC_SERVER_EDGES" 1_000 in
+  let points =
+    match Option.bind (Sys.getenv_opt "TRIC_SERVER_SUBS") int_of_string_opt with
+    | Some s when s > 0 -> [ s ]
+    | _ -> [ 1_000; 10_000; 100_000 ]
+  in
+  Format.fprintf fmt
+    "=== Subscription server (%d connections, %d updates/point, full fan-out) ===@.@."
+    conns edges;
+  Format.fprintf fmt "%12s %10s %12s %12s %12s@." "target subs" "actual" "upd/s" "p50 ms"
+    "p99 ms";
+  let rows =
+    List.map
+      (fun subs ->
+        let upd_s, p50, p99, actual = server_point ~conns ~subs ~edges in
+        Format.fprintf fmt "%12d %10d %12.0f %12.3f %12.3f@." subs actual upd_s p50 p99;
+        J.Obj
+          [
+            ("subscriptions", J.int actual);
+            ("connections", J.int conns);
+            ("updates", J.int edges);
+            ("upd_per_s", J.Num upd_s);
+            ("notify_p50_ms", J.Num p50);
+            ("notify_p99_ms", J.Num p99);
+          ])
+      points
+  in
+  Format.fprintf fmt "@.";
+  write_bench_json fmt ~file:"BENCH_server.json" ~bench:"server-fanout"
+    [ ("engine", J.Str "TRIC+"); ("points", J.Arr rows) ]
+
 let run_and_report fmt tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -882,6 +1011,13 @@ let () =
     layout_report ~strict:true fmt;
     exit 0
   end;
+  (* TRIC_SERVER_ONLY=1: just the subscription-server fan-out bench
+     (upd/s + notification latency, BENCH_server.json).  TRIC_SERVER_SUBS
+     and TRIC_SERVER_EDGES shrink it for CI. *)
+  if Sys.getenv_opt "TRIC_SERVER_ONLY" <> None then begin
+    server_report fmt;
+    exit 0
+  end;
   let cfg = H.Config.from_env () in
   Format.fprintf fmt
     "TRIC benchmark harness — EDBT 2020 reproduction@.scale 1/%d, budget %.0fs/engine (env TRIC_SCALE / TRIC_BUDGET)@.@."
@@ -895,6 +1031,7 @@ let () =
   shard_scaling_report fmt;
   fanout_report fmt;
   overhead_report fmt;
+  server_report fmt;
   Format.fprintf fmt "=== Section 2: paper figures and tables (scaled) ===@.";
   H.Figures.run_all cfg fmt;
   Format.fprintf fmt "@.done.@."

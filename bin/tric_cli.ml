@@ -358,7 +358,27 @@ let stats_cmd =
   let check_arg =
     Arg.(value & opt (some file) None & info [ "check" ] ~docv:"FILE" ~doc:"Parse a previously exported metrics JSON file, validate it against the tric-metrics-v1 envelope schema, and exit — no replay.")
   in
-  let run file engine_name budget batch shards format check =
+  let server_arg =
+    Arg.(value & opt (some string) None & info [ "server" ] ~docv:"SOCKET" ~doc:"Query a running subscription server's live metrics over its Unix-domain socket instead of replaying a dataset.")
+  in
+  let run file engine_name budget batch shards format check server =
+    match server with
+    | Some sock -> (
+      let c = Tric_server.Client.connect ~retries:1 sock in
+      let fmt = match format with `Prometheus -> "prometheus" | `Json | `Text -> "json" in
+      Tric_server.Client.send c (Tric_server.Wire.Stats { format = fmt });
+      match Tric_server.Client.recv_exn c with
+      | Tric_server.Wire.Stats_reply { body } ->
+        print_endline body;
+        Tric_server.Client.close c;
+        `Ok ()
+      | _ ->
+        Tric_server.Client.close c;
+        `Error (false, "unexpected reply from server")
+      | exception Failure msg -> `Error (false, msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        `Error (false, Printf.sprintf "%s: %s" sock (Unix.error_message e)))
+    | None -> (
     match check with
     | Some path -> (
       match Obs.Json.parse (read_file path) with
@@ -403,20 +423,210 @@ let stats_cmd =
             | `Prometheus ->
               print_string (Obs.Snapshot.to_prometheus (engine.Engine.Matcher.metrics ())));
             engine.Engine.Matcher.shutdown ();
-            `Ok ()))
+            `Ok ())))
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Replay a dataset with telemetry enabled and print the merged metrics snapshot (text, JSON envelope, or Prometheus exposition); or schema-check an exported metrics file with --check.")
+       ~doc:"Replay a dataset with telemetry enabled and print the merged metrics snapshot (text, JSON envelope, or Prometheus exposition); schema-check an exported metrics file with --check; or query a live server with --server.")
     Term.(
       ret
         (const run $ file_arg $ engine_arg $ budget_arg $ batch_arg $ shards_arg
-       $ format_arg $ check_arg))
+       $ format_arg $ check_arg $ server_arg))
+
+(* -- subscription server --------------------------------------------------- *)
+
+module Srv = Tric_server
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let journal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:"Write-ahead journal path (created if missing; recovered if not empty).")
+  in
+  let engine_arg =
+    Arg.(value & opt string "TRIC+" & info [ "engine" ] ~docv:"NAME" ~doc:"Engine (TRIC, TRIC+, INV, INV+, INC, INC+).")
+  in
+  let shards_serve_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc:"Shard the trie engines over $(docv) domains (default 1).")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt int 10_000 & info [ "snapshot-every" ] ~docv:"N" ~doc:"Take a compacting snapshot once the journal holds $(docv) records (default 10000; 0 disables).")
+  in
+  let soft_arg =
+    Arg.(value & opt int 1024 & info [ "outbox-soft" ] ~docv:"N" ~doc:"Outbox depth where retraction/match coalescing starts (default 1024).")
+  in
+  let hard_arg =
+    Arg.(value & opt int 4096 & info [ "outbox-hard" ] ~docv:"N" ~doc:"Outbox depth where the slow consumer is evicted (default 4096).")
+  in
+  let metrics_serve_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the server's tric-metrics-v1 envelope to $(docv) at shutdown.")
+  in
+  let run socket journal engine_name shards snapshot_every soft hard metrics_out =
+    if shards < 1 then `Error (false, "--shards must be >= 1")
+    else if soft < 1 || hard < soft then
+      `Error (false, "need 1 <= --outbox-soft <= --outbox-hard")
+    else begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info);
+      let cfg =
+        {
+          (Srv.Server.default_config ~sock_path:socket ~journal_path:journal) with
+          Srv.Server.engine_name;
+          shards;
+          snapshot_every;
+          outbox_soft = soft;
+          outbox_hard = hard;
+          metrics_out;
+        }
+      in
+      match Srv.Server.create cfg with
+      | exception Failure msg -> `Error (false, msg)
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | t ->
+        let stop _ = Srv.Server.request_stop t in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Srv.Server.serve t;
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the subscription server: accept query registrations over a Unix-domain socket and stream match/retraction notifications to subscribers, with write-ahead journalling, compacting snapshots and exactly-once redelivery across crashes.")
+    Term.(
+      ret
+        (const run $ socket_arg $ journal_arg $ engine_arg $ shards_serve_arg
+       $ snapshot_every_arg $ soft_arg $ hard_arg $ metrics_serve_arg))
+
+let emb_str (e : Srv.Wire.emb) =
+  "{" ^ String.concat "," (List.map (fun (v, l) -> Printf.sprintf "%d=%s" v l) e) ^ "}"
+
+let msg_str = function
+  | Srv.Wire.Hello _ | Srv.Wire.Register _ | Srv.Wire.Unregister _ | Srv.Wire.Ack _
+  | Srv.Wire.Publish _ | Srv.Wire.Stats _ | Srv.Wire.Quit ->
+    "client-to-server message"
+  | Srv.Wire.Welcome { cid; cursor; useq; reset } ->
+    Printf.sprintf "welcome cid=%s cursor=%d useq=%d%s" cid cursor useq
+      (if reset = "" then "" else " reset=" ^ reset)
+  | Srv.Wire.Registered { qid } -> Printf.sprintf "registered qid=%d" qid
+  | Srv.Wire.Unregistered { qid; existed } ->
+    Printf.sprintf "unregistered qid=%d existed=%b" qid existed
+  | Srv.Wire.Notify { useq; entries } ->
+    let entry_str (en : Srv.Wire.entry) =
+      Printf.sprintf "q%d%s%s" en.Srv.Wire.qid
+        (String.concat "" (List.map (fun e -> " +" ^ emb_str e) en.Srv.Wire.matches))
+        (String.concat "" (List.map (fun e -> " -" ^ emb_str e) en.Srv.Wire.retractions))
+    in
+    Printf.sprintf "notify useq=%d %s" useq (String.concat " | " (List.map entry_str entries))
+  | Srv.Wire.Puback { pseq; useq } -> Printf.sprintf "puback pseq=%d useq=%d" pseq useq
+  | Srv.Wire.Stats_reply { body } -> body
+  | Srv.Wire.Bye { reason } -> "bye " ^ reason
+  | Srv.Wire.Err { reason } -> "err " ^ reason
+
+let client_cmd =
+  let run socket =
+    let c = Srv.Client.connect socket in
+    let drain ?(timeout_s = 0.3) () =
+      let rec go () =
+        match Srv.Client.recv ~timeout_s c with
+        | Some m ->
+          print_endline (msg_str m);
+          go ()
+        | None -> ()
+      in
+      try go () with End_of_file -> print_endline "connection closed by server"
+    in
+    let split_first s =
+      match String.index_opt s ' ' with
+      | Some i ->
+        ( String.sub s 0 i,
+          String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+      | None -> (s, "")
+    in
+    let rec loop pseq =
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop pseq
+        else begin
+          let cmd, rest = split_first line in
+          match cmd with
+          | "hello" ->
+            let cid, ls = split_first rest in
+            let last_seen = match int_of_string_opt ls with Some n -> n | None -> -1 in
+            Srv.Client.send c (Srv.Wire.Hello { cid; last_seen });
+            drain ();
+            loop pseq
+          | "register" ->
+            let name, pattern = split_first rest in
+            Srv.Client.send c (Srv.Wire.Register { name; pattern });
+            drain ();
+            loop pseq
+          | "unregister" -> (
+            match int_of_string_opt rest with
+            | Some qid ->
+              Srv.Client.send c (Srv.Wire.Unregister { qid });
+              drain ();
+              loop pseq
+            | None ->
+              print_endline "usage: unregister <qid>";
+              loop pseq)
+          | "publish" ->
+            Srv.Client.send c (Srv.Wire.Publish { pseq; update = rest });
+            drain ();
+            loop (pseq + 1)
+          | "ack" -> (
+            match int_of_string_opt rest with
+            | Some useq ->
+              Srv.Client.send c (Srv.Wire.Ack { useq });
+              drain ();
+              loop pseq
+            | None ->
+              print_endline "usage: ack <useq>";
+              loop pseq)
+          | "recv" ->
+            let timeout_s =
+              match float_of_string_opt rest with Some s -> s | None -> 1.0
+            in
+            drain ~timeout_s ();
+            loop pseq
+          | "stats" ->
+            Srv.Client.send c (Srv.Wire.Stats { format = (if rest = "" then "json" else rest) });
+            drain ~timeout_s:2.0 ();
+            loop pseq
+          | "quit" ->
+            Srv.Client.send c Srv.Wire.Quit;
+            drain ()
+          | "exit" -> ()
+          | _ ->
+            print_endline
+              "commands: hello <cid> [last_seen] | register <name> <pattern> | unregister <qid> | publish <update> | ack <useq> | recv [timeout] | stats [json|prometheus] | quit | exit";
+            loop pseq
+        end
+    in
+    (try loop 1 with End_of_file -> print_endline "connection closed by server");
+    Srv.Client.close c;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Line-protocol test client for the subscription server: type commands on stdin (hello, register, publish, ack, recv, stats, quit), see server messages as lines on stdout.")
+    Term.(ret (const run $ socket_arg))
 
 let main =
   Cmd.group
     (Cmd.info "tric_cli" ~version:"1.0.0"
        ~doc:"Continuous multi-query processing over graph streams (EDBT 2020 reproduction).")
-    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd; audit_cmd; stats_cmd ]
+    [ list_cmd; run_cmd; demo_cmd; generate_cmd; replay_cmd; audit_cmd; stats_cmd;
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

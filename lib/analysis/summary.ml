@@ -175,6 +175,10 @@ let mutator_index m x =
       | "truncate" ) ) -> Some 0
   | "Atomic", ("set" | "exchange" | "compare_and_set" | "fetch_and_add" | "incr" | "decr")
     -> Some 0
+  (* The server's per-client outboxes: single-writer by contract (the
+     event loop owns every outbox); any pool task reaching one is a
+     domain-ownership violation. *)
+  | "Outbox", ("push" | "ack" | "rewind" | "take_to_send") -> Some 0
   | "", (":=" | "incr" | "decr") -> Some 0
   | _ -> None
 
@@ -183,7 +187,8 @@ let mutator_index m x =
 let alloc_module m =
   match m with
   | "Hashtbl" | "Tbl" | "Queue" | "Buffer" | "Stack" | "Mutex" | "Condition" | "Atomic"
-  | "Array" | "Bytes" | "Weak" | "Registry" | "Span" | "Histogram" | "Dynarray" -> true
+  | "Array" | "Bytes" | "Weak" | "Registry" | "Span" | "Histogram" | "Dynarray" | "Outbox"
+    -> true
   | _ -> false
 
 let allocator m x =

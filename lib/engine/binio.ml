@@ -1,0 +1,85 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* CRC-32 (IEEE 802.3, reflected polynomial), bitwise — no precomputed
+   table, so the module carries no toplevel state.  Journal records and
+   snapshot bodies are short enough that the 8-shifts-per-byte cost is
+   irrelevant next to the I/O. *)
+let crc32 s =
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun c ->
+      crc := !crc lxor Char.code c;
+      for _ = 0 to 7 do
+        let mask = - (!crc land 1) in
+        crc := (!crc lsr 1) lxor (0xEDB88320 land mask)
+      done)
+    s;
+  !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Binio.put_u32: out of range";
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+let remaining r = String.length r.data - r.pos
+let eof r = remaining r = 0
+
+let need r n =
+  if n < 0 || remaining r < n then corrupt "truncated (need %d byte(s), have %d)" n (remaining r)
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u32 r =
+  need r 4;
+  let v =
+    (Char.code r.data.[r.pos] lsl 24)
+    lor (Char.code r.data.[r.pos + 1] lsl 16)
+    lor (Char.code r.data.[r.pos + 2] lsl 8)
+    lor Char.code r.data.[r.pos + 3]
+  in
+  r.pos <- r.pos + 4;
+  v
+
+let i64 r =
+  need r 8;
+  let v = String.get_int64_be r.data r.pos in
+  r.pos <- r.pos + 8;
+  (* The journal never stores values outside the 63-bit native range, so a
+     lossy conversion here is corruption, not overflow. *)
+  if Int64.compare v (Int64.of_int max_int) > 0 || Int64.compare v (Int64.of_int min_int) < 0
+  then corrupt "i64 out of native int range";
+  Int64.to_int v
+
+let str r =
+  let n = u32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let bool r =
+  match u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt "bad bool byte %d" v

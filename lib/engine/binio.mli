@@ -1,0 +1,43 @@
+(** Binary encode/decode primitives and a CRC-32, shared by the journal's
+    snapshot format and the server's wire protocol.
+
+    Writers append big-endian fields to a [Buffer.t]; readers consume a
+    string with explicit bounds checks, raising {!Corrupt} (never an
+    out-of-bounds exception) on truncated or malformed input — corrupt
+    bytes from disk or the network must surface as a typed, catchable
+    error. *)
+
+exception Corrupt of string
+
+val crc32 : string -> int
+(** CRC-32 (IEEE, the zlib/PNG polynomial) of the whole string, in
+    [\[0, 0xFFFFFFFF\]]. *)
+
+val put_u8 : Buffer.t -> int -> unit
+(** Low byte only. *)
+
+val put_u32 : Buffer.t -> int -> unit
+(** Big-endian; raises [Invalid_argument] outside [\[0, 0xFFFFFFFF\]]. *)
+
+val put_i64 : Buffer.t -> int -> unit
+(** Native int as a big-endian 64-bit field. *)
+
+val put_str : Buffer.t -> string -> unit
+(** u32 length prefix, then the bytes. *)
+
+val put_bool : Buffer.t -> bool -> unit
+
+type reader
+
+val reader : string -> reader
+val remaining : reader -> int
+val eof : reader -> bool
+
+val u8 : reader -> int
+val u32 : reader -> int
+
+val i64 : reader -> int
+(** Raises {!Corrupt} if the stored value does not fit a native int. *)
+
+val str : reader -> string
+val bool : reader -> bool

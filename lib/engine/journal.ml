@@ -1,3 +1,4 @@
+open Tric_graph
 open Tric_query
 
 let log_src = Logs.Src.create "tric.journal" ~doc:"write-ahead journal"
@@ -6,42 +7,204 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   inner : Matcher.t;
-  oc : out_channel;
+  path : string;
+  mutable oc : out_channel;
   mutable count : int;
   replayed : int;
+  restored : int;
+  live : int Edge.Tbl.t; (* live edge -> latest event timestamp *)
+  pats : (int, Pattern.t) Hashtbl.t;
+  aux_state : (unit -> string) option;
+  mutable snapid : int;
+  mutable snapshots : int;
 }
 
-(* Replay one line; [true] iff it held a record (blank and comment lines
-   are layout, not state).  Raises [Failure] on a malformed record. *)
-let replay_line engine lineno line =
-  if line = "" || line.[0] = '#' then false
+let snap_path path = path ^ ".snap"
+let snap_magic = "TRICSNP1"
+
+(* -- record framing ----------------------------------------------------------
+
+   Every record this version appends is CRC-framed: [!%08x\t<payload>],
+   the checksum covering the payload bytes.  Records without the [!]
+   prefix are legacy (pre-CRC) journals and replay unchecked.  A checksum
+   mismatch ANYWHERE but the final record is silent mid-file corruption —
+   flipped bits, a hole punched by another process — and fails loudly;
+   on the final record it is indistinguishable from a torn append and is
+   truncated away like any other tear. *)
+
+let frame payload = Printf.sprintf "!%08x\t%s" (Binio.crc32 payload) payload
+
+let payload_of_line lineno line =
+  if String.length line > 0 && line.[0] = '!' then begin
+    if String.length line < 10 || line.[9] <> '\t' then
+      failwith (Printf.sprintf "Journal: malformed CRC prefix on line %d" lineno);
+    let crc =
+      match int_of_string_opt ("0x" ^ String.sub line 1 8) with
+      | Some crc -> crc
+      | None -> failwith (Printf.sprintf "Journal: malformed CRC prefix on line %d" lineno)
+    in
+    let payload = String.sub line 10 (String.length line - 10) in
+    if Binio.crc32 payload <> crc then
+      failwith (Printf.sprintf "Journal: CRC mismatch on line %d" lineno);
+    payload
+  end
+  else line
+
+(* Replay one payload.  [`Record] counts toward {!entries}; [`Marker id]
+   is the post-compaction snapshot marker; [`Layout] is a blank or
+   comment line.  Raises [Failure] on a malformed record. *)
+let replay_payload ~engine ~live ~pats ~on_query ~on_replay ~on_remove ~on_aux lineno
+    payload =
+  if payload = "" || payload.[0] = '#' then `Layout
+  else if String.length payload >= 2 && payload.[0] = 'X' && payload.[1] = '\t' then begin
+    on_aux (String.sub payload 2 (String.length payload - 2));
+    `Record
+  end
   else
-    match String.split_on_char '\t' line with
+    match String.split_on_char '\t' payload with
     | [ "Q"; id; qname; pattern ] -> (
       match int_of_string_opt id with
       | Some id ->
-        engine.Matcher.add_query (Parse.pattern ~name:qname ~id pattern);
-        true
+        let p = Parse.pattern ~name:qname ~id pattern in
+        engine.Matcher.add_query p;
+        Hashtbl.replace pats id p;
+        on_query p;
+        `Record
       | None -> failwith (Printf.sprintf "Journal: bad query id on line %d" lineno))
     | [ "U"; u ] ->
-      ignore (engine.Matcher.handle_update (Parse.update u));
-      true
+      let u = Parse.update u in
+      let r = engine.Matcher.handle_update u in
+      (match u.Update.op with
+      | Update.Add e -> Edge.Tbl.replace live e (Update.ts u)
+      | Update.Remove e -> Edge.Tbl.remove live e);
+      on_replay u r;
+      `Record
+    | [ "W"; qid ] -> (
+      match int_of_string_opt qid with
+      | Some qid ->
+        ignore (engine.Matcher.remove_query qid);
+        Hashtbl.remove pats qid;
+        on_remove qid;
+        `Record
+      | None -> failwith (Printf.sprintf "Journal: bad query id on line %d" lineno))
+    | [ "S"; id ] -> (
+      match int_of_string_opt id with
+      | Some id -> `Marker id
+      | None -> failwith (Printf.sprintf "Journal: bad snapshot marker on line %d" lineno))
     | _ -> failwith (Printf.sprintf "Journal: malformed line %d" lineno)
 
-let open_ ~path make_engine =
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* -- snapshot ----------------------------------------------------------------
+
+   [<path>.snap] is a binary image of the journalled state: registered
+   queries, the live edge set with latest event timestamps, and an opaque
+   aux blob for the caller's own state (the server stores its client
+   table there).  Body is CRC-protected and written via tmp+rename, so a
+   crash mid-write never damages the previous snapshot.
+
+   Compaction protocol: write the snapshot (carrying a fresh id), then
+   truncate the journal and append an [S <id>] marker as its first
+   record.  On recovery, a journal whose first record is NOT the current
+   snapshot's marker predates the snapshot entirely (a crash landed
+   between rename and truncate): every record in it is already inside the
+   snapshot, so the whole file is discarded and rewritten as just the
+   marker.  Replay work is therefore always bounded by the genuine
+   post-snapshot tail. *)
+
+let load_snapshot ~engine ~live ~pats ~on_query ~restore_aux path =
+  let content = read_file path in
+  let mlen = String.length snap_magic in
+  if String.length content < mlen + 5 then failwith (Printf.sprintf "Journal: snapshot %s truncated" path);
+  if not (String.equal (String.sub content 0 mlen) snap_magic) then
+    failwith (Printf.sprintf "Journal: snapshot %s has a bad magic" path);
+  let body = String.sub content mlen (String.length content - mlen - 4) in
+  let stored_crc =
+    let r = Binio.reader (String.sub content (String.length content - 4) 4) in
+    Binio.u32 r
+  in
+  if Binio.crc32 body <> stored_crc then
+    failwith (Printf.sprintf "Journal: snapshot %s CRC mismatch" path);
+  match
+    let module B = Binio in
+    let r = B.reader body in
+    (match B.u8 r with
+    | 1 -> ()
+    | v -> raise (B.Corrupt (Printf.sprintf "unsupported snapshot version %d" v)));
+    let snapid = B.i64 r in
+    let restored = ref 0 in
+    let nq = B.i64 r in
+    for _ = 1 to nq do
+      let id = B.i64 r in
+      let name = B.str r in
+      let pattern = B.str r in
+      let p = Parse.pattern ~name ~id pattern in
+      engine.Matcher.add_query p;
+      Hashtbl.replace pats id p;
+      on_query p;
+      incr restored
+    done;
+    let ne = B.i64 r in
+    let batch = ref [] in
+    let flush_batch () =
+      match !batch with
+      | [] -> ()
+      | us ->
+        ignore (engine.Matcher.handle_batch (List.rev us));
+        batch := []
+    in
+    for _ = 1 to ne do
+      let label = B.str r in
+      let src = B.str r in
+      let dst = B.str r in
+      let ts = B.i64 r in
+      let e = Edge.of_strings label src dst in
+      Edge.Tbl.replace live e ts;
+      batch := Update.add ~ts e :: !batch;
+      incr restored;
+      if List.length !batch >= 4096 then flush_batch ()
+    done;
+    flush_batch ();
+    let aux = B.str r in
+    if not (B.eof r) then raise (B.Corrupt "trailing bytes");
+    restore_aux aux;
+    (snapid, !restored)
+  with
+  | result -> result
+  | exception Binio.Corrupt msg ->
+    failwith (Printf.sprintf "Journal: corrupt snapshot %s: %s" path msg)
+
+let open_ ~path ?(on_query = fun _ -> ()) ?(on_replay = fun _ _ -> ())
+    ?(on_remove = fun _ -> ()) ?(on_aux = fun _ -> ()) ?(restore_aux = fun _ -> ())
+    ?aux_state make_engine =
   let engine = make_engine () in
+  let live = Edge.Tbl.create 1024 in
+  let pats = Hashtbl.create 64 in
+  let snapid = ref 0 in
+  let restored = ref 0 in
+  if Sys.file_exists (snap_path path) then begin
+    let id, n =
+      load_snapshot ~engine ~live ~pats ~on_query ~restore_aux (snap_path path)
+    in
+    snapid := id;
+    restored := n;
+    Log.info (fun m -> m "restored snapshot %s (id %d, %d item(s))" (snap_path path) id n)
+  end;
   let records = ref 0 in
   (* [Some offset]: the journal ends in a torn partial record (a crash —
      kill -9, full disk — mid-append); everything from [offset] on is
      discarded and the file truncated back to the clean prefix. *)
   let torn = ref None in
+  (* Whether the journal's first record is the current snapshot's marker
+     (i.e. the file is the genuine post-compaction tail). *)
+  let marker_seen = ref false in
+  let stale_file = ref false in
   if Sys.file_exists path then begin
-    let content =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
+    let content = read_file path in
     let len = String.length content in
     (* The clean region ends at the last newline: every record append
        writes its newline last, so bytes past it are a torn tail. *)
@@ -51,12 +214,55 @@ let open_ ~path make_engine =
     if clean_len < len then torn := Some clean_len;
     let pos = ref 0 in
     let lineno = ref 0 in
+    let first_record = ref true in
     (try
        while !pos < clean_len do
          let nl = String.index_from content !pos '\n' in
          let line = String.sub content !pos (nl - !pos) in
          incr lineno;
-         (try if replay_line engine !lineno line then incr records with
+         (try
+            let payload = payload_of_line !lineno line in
+            let is_layout = payload = "" || payload.[0] = '#' in
+            (* Staleness must be decided from the FIRST record before any
+               replay: if it is not this snapshot's marker the whole file
+               predates the snapshot (crash between snapshot rename and
+               journal truncation) and replaying it on top of the restored
+               state would double-apply history. *)
+            if !first_record && not is_layout then begin
+              first_record := false;
+              if String.length payload >= 2 && payload.[0] = 'S' && payload.[1] = '\t'
+              then ()
+              else if !snapid > 0 then begin
+                stale_file := true;
+                Log.warn (fun m ->
+                    m "journal %s predates snapshot %d; discarding its records" path
+                      !snapid)
+              end
+            end;
+            let outcome =
+              if !stale_file then
+                (* Predates the snapshot: state already restored; only
+                   validate framing (done above) and move on. *)
+                `Layout
+              else
+                replay_payload ~engine ~live ~pats ~on_query ~on_replay ~on_remove
+                  ~on_aux !lineno payload
+            in
+            (match outcome with
+            | `Layout -> ()
+            | `Marker id ->
+              if !marker_seen || !records > 0 then
+                failwith
+                  (Printf.sprintf "Journal: unexpected snapshot marker on line %d"
+                     !lineno)
+              else if !snapid = 0 then
+                failwith
+                  (Printf.sprintf "Journal: %s references snapshot %d but %s is missing"
+                     path id (snap_path path))
+              else if id = !snapid then marker_seen := true
+              else stale_file := true
+            | `Record -> incr records)
+          with
          | (Failure _ | Parse.Syntax_error _) as exn ->
            if nl + 1 >= clean_len then begin
              (* The final record is malformed: a tear that happened to end
@@ -78,11 +284,37 @@ let open_ ~path make_engine =
   | None -> ());
   if !records > 0 then
     Log.info (fun m -> m "recovered %d journal records from %s" !records path);
+  if !stale_file then begin
+    (* Everything in the file is inside the snapshot; reset it so the
+       next recovery replays only the genuine tail. *)
+    Unix.truncate path 0;
+    records := 0
+  end;
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { inner = engine; oc; count = !records; replayed = !records }
+  let t =
+    {
+      inner = engine;
+      path;
+      oc;
+      count = !records;
+      replayed = !records;
+      restored = !restored;
+      live;
+      pats;
+      aux_state;
+      snapid = !snapid;
+      snapshots = 0;
+    }
+  in
+  if !snapid > 0 && not !marker_seen then begin
+    output_string t.oc (frame (Printf.sprintf "S\t%d" t.snapid));
+    output_char t.oc '\n';
+    flush t.oc
+  end;
+  t
 
-let log t line =
-  output_string t.oc line;
+let log t payload =
+  output_string t.oc (frame payload);
   output_char t.oc '\n';
   flush t.oc;
   t.count <- t.count + 1
@@ -91,13 +323,79 @@ let add_query t pattern =
   log t
     (Printf.sprintf "Q\t%d\t%s\t%s" (Pattern.id pattern) (Pattern.name pattern)
        (Parse.pattern_to_string pattern));
+  Hashtbl.replace t.pats (Pattern.id pattern) pattern;
   t.inner.Matcher.add_query pattern
+
+let remove_query t qid =
+  log t (Printf.sprintf "W\t%d" qid);
+  Hashtbl.remove t.pats qid;
+  t.inner.Matcher.remove_query qid
 
 let handle_update t (u : Tric_graph.Update.t) =
   log t (Printf.sprintf "U\t%s" (Parse.update_to_string u));
+  (match u.Update.op with
+  | Update.Add e -> Edge.Tbl.replace t.live e (Update.ts u)
+  | Update.Remove e -> Edge.Tbl.remove t.live e);
   t.inner.Matcher.handle_update u
+
+let log_aux t payload =
+  if String.contains payload '\n' then invalid_arg "Journal.log_aux: payload contains a newline";
+  log t ("X\t" ^ payload)
+
+let snapshot t =
+  flush t.oc;
+  let module B = Binio in
+  let body = Buffer.create 65536 in
+  B.put_u8 body 1;
+  B.put_i64 body (t.snapid + 1);
+  let qids = Hashtbl.fold (fun id _ acc -> id :: acc) t.pats [] |> List.sort Int.compare in
+  B.put_i64 body (List.length qids);
+  List.iter
+    (fun id ->
+      let p = Hashtbl.find t.pats id in
+      B.put_i64 body id;
+      B.put_str body (Pattern.name p);
+      B.put_str body (Parse.pattern_to_string p))
+    qids;
+  B.put_i64 body (Edge.Tbl.length t.live);
+  Edge.Tbl.iter
+    (fun (e : Edge.t) ts ->
+      B.put_str body (Label.to_string e.Edge.label);
+      B.put_str body (Label.to_string e.Edge.src);
+      B.put_str body (Label.to_string e.Edge.dst);
+      B.put_i64 body ts)
+    t.live;
+  B.put_str body (match t.aux_state with Some f -> f () | None -> "");
+  let body = Buffer.contents body in
+  let tmp = snap_path t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc snap_magic;
+      output_string oc body;
+      let crc = Buffer.create 4 in
+      B.put_u32 crc (B.crc32 body);
+      output_string oc (Buffer.contents crc));
+  Unix.rename tmp (snap_path t.path);
+  t.snapid <- t.snapid + 1;
+  t.snapshots <- t.snapshots + 1;
+  close_out t.oc;
+  t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.path;
+  t.count <- 0;
+  output_string t.oc (frame (Printf.sprintf "S\t%d" t.snapid));
+  output_char t.oc '\n';
+  flush t.oc;
+  Log.info (fun m ->
+      m "snapshot %d written to %s (%d quer(ies), %d live edge(s))" t.snapid
+        (snap_path t.path) (Hashtbl.length t.pats) (Edge.Tbl.length t.live))
 
 let engine t = t.inner
 let entries t = t.count
 let recovered t = t.replayed
+let restored t = t.restored
+let has_snapshot t = t.snapid > 0
+let snapshots t = t.snapshots
+let live_edges t = Edge.Tbl.length t.live
+let num_queries t = Hashtbl.length t.pats
 let close t = close_out t.oc

@@ -1,49 +1,106 @@
-(** Durable continuous-query state via a write-ahead journal.
+(** Durable continuous-query state via a write-ahead journal with
+    CRC-framed records and compacting binary snapshots.
 
     The engines keep everything in memory (as the paper's system does); a
     production deployment must survive restarts without losing its
     subscriptions or re-notifying for matches it already delivered.  The
-    journal logs every query registration and every stream update, in
-    order, to an append-only text file; recovery replays the journal into
-    a fresh engine, suppressing notifications for the replayed prefix.
+    journal logs every query registration/removal and every stream
+    update, in order, to an append-only text file; recovery replays the
+    journal into a fresh engine.  Each appended record carries a CRC-32
+    ([!<crc>\t<payload>]) so silent mid-file corruption is detected, not
+    replayed; unframed legacy records are still accepted.
 
-    Records use the same line format as {!Tric_workloads.Dataset}
-    persistence: [Q\t<id>\t<name>\t<pattern>] and [U\t<update>]. *)
+    Record payloads: [Q\t<id>\t<name>\t<pattern>] (register),
+    [W\t<qid>] (remove), [U\t<update>] (stream update), [X\t<blob>]
+    (opaque caller state, e.g. the server's client-cursor records), and
+    [S\t<id>] (snapshot marker, not counted as a record).
 
+    {!snapshot} compacts: it writes a binary image of the full state
+    (queries, live edges, aux blob) to [<path>.snap] via tmp+rename, then
+    truncates the journal, so recovery replay is bounded by the
+    post-snapshot tail however long the server has been running.  A crash
+    at any point between those two steps is safe — the journal's leading
+    snapshot marker tells recovery whether the file is the genuine tail
+    or a stale pre-snapshot image to discard. *)
 
 open Tric_graph
 open Tric_query
 
 type t
 
-val open_ : path:string -> (unit -> Matcher.t) -> t
+val open_ :
+  path:string ->
+  ?on_query:(Pattern.t -> unit) ->
+  ?on_replay:(Update.t -> Report.t -> unit) ->
+  ?on_remove:(int -> unit) ->
+  ?on_aux:(string -> unit) ->
+  ?restore_aux:(string -> unit) ->
+  ?aux_state:(unit -> string) ->
+  (unit -> Matcher.t) ->
+  t
 (** [open_ ~path make_engine] opens (creating if missing) the journal at
-    [path].  If it already holds records, a fresh engine from
-    [make_engine] is rebuilt by replay — queries re-registered, updates
-    re-applied, nothing re-notified.
+    [path].  If [<path>.snap] exists it is restored first (queries
+    re-registered, live edges re-applied in bulk, [restore_aux] called
+    with the stored blob), then the journal tail is replayed: [on_query]
+    fires per recovered registration (snapshot or tail), [on_replay] per
+    replayed update with the regenerated report, [on_remove] per [W]
+    record, [on_aux] per [X] record in order.  [aux_state] is retained
+    and queried at each {!snapshot}.
 
     A {e torn trailing record} — the partial last append a crash
     (kill -9, full disk) leaves behind, with or without its final
     newline — is tolerated: the tail is truncated away and recovery
     proceeds from the clean prefix, exactly the write-ahead contract
     (the torn update was never acknowledged).  Corruption {e before} the
-    final record still fails loudly.
-    @raise Failure on an interior corrupt record. *)
+    final record — malformed payload or CRC mismatch — still fails
+    loudly.
+    @raise Failure on an interior corrupt record or a corrupt snapshot. *)
 
 val add_query : t -> Pattern.t -> unit
 (** Log, flush, then register with the engine. *)
+
+val remove_query : t -> int -> bool
+(** Log a [W] record, flush, then remove from the engine.  Returns
+    whether the engine knew the query. *)
 
 val handle_update : t -> Update.t -> Report.t
 (** Log, flush, then apply — so a crash after the call can only replay
     the update, never lose it. *)
 
+val log_aux : t -> string -> unit
+(** Append an opaque [X] record (replayed through [on_aux]).  The payload
+    may contain tabs but not newlines.
+    @raise Invalid_argument on an embedded newline. *)
+
+val snapshot : t -> unit
+(** Write a binary snapshot of the current state (registered queries,
+    live edges with timestamps, and the [aux_state] blob) to
+    [<path>.snap] atomically, then truncate the journal.  {!entries}
+    resets to [0]. *)
+
 val engine : t -> Matcher.t
 
 val entries : t -> int
-(** Q/U records in the journal (including recovered ones) — blank and
-    comment lines are not records. *)
+(** Q/U/W/X records in the journal since the last snapshot (including
+    recovered ones) — blank lines, comments and snapshot markers are not
+    records. *)
 
 val recovered : t -> int
-(** How many Q/U records were replayed at open time. *)
+(** How many journal records were replayed at open time. *)
+
+val restored : t -> int
+(** How many items (queries + live edges) were restored from the
+    snapshot at open time; [0] when there was none. *)
+
+val has_snapshot : t -> bool
+
+val snapshots : t -> int
+(** Snapshots taken through this handle (not counting any restored). *)
+
+val live_edges : t -> int
+(** Current live-edge count (adds minus removes). *)
+
+val num_queries : t -> int
+(** Currently registered queries. *)
 
 val close : t -> unit

@@ -1,0 +1,66 @@
+module Binio = Tric_engine.Binio
+
+let header_len = 4
+let default_max_frame = 16 * 1024 * 1024
+
+let encode_into buf payload =
+  Binio.put_u32 buf (String.length payload);
+  Buffer.add_string buf payload
+
+let encode payload =
+  let b = Buffer.create (String.length payload + header_len) in
+  encode_into b payload;
+  Buffer.contents b
+
+type decoder = {
+  buf : Buffer.t;
+  mutable pos : int; (* consumed prefix of [buf] *)
+  max_frame : int;
+  mutable failed : string option;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { buf = Buffer.create 4096; pos = 0; max_frame; failed = None }
+
+let pending d = Buffer.length d.buf - d.pos
+
+let feed d bytes off len =
+  if d.failed = None then Buffer.add_subbytes d.buf bytes off len
+
+(* Reclaim the consumed prefix once it dominates the buffer; amortised
+   O(1) per byte. *)
+let compact d =
+  if d.pos > 4096 && d.pos * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.pos (pending d) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.pos <- 0
+  end
+
+let next d =
+  match d.failed with
+  | Some e -> Error e
+  | None ->
+    if pending d < header_len then begin
+      compact d;
+      Ok None
+    end
+    else begin
+      let byte i = Char.code (Buffer.nth d.buf (d.pos + i)) in
+      let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+      if n > d.max_frame then begin
+        let e = Printf.sprintf "frame of %d byte(s) exceeds the %d-byte limit" n d.max_frame in
+        d.failed <- Some e;
+        Error e
+      end
+      else if pending d < header_len + n then begin
+        compact d;
+        Ok None
+      end
+      else begin
+        let payload = Buffer.sub d.buf (d.pos + header_len) n in
+        d.pos <- d.pos + header_len + n;
+        compact d;
+        Ok (Some payload)
+      end
+    end

@@ -1,0 +1,35 @@
+(** Length-prefixed binary framing for the server's stream sockets.
+
+    A frame is a 4-byte big-endian payload length followed by the payload
+    bytes.  The decoder is incremental: feed it whatever chunks the
+    socket yields — frames split across reads, or several per read —
+    and pull complete payloads with {!next}.  An oversized length prefix
+    (malicious or garbage input) poisons the decoder permanently; the
+    connection must be dropped, since the byte stream can never
+    resynchronise. *)
+
+val header_len : int
+val default_max_frame : int
+
+val encode_into : Buffer.t -> string -> unit
+(** Append one frame (header + payload) to a buffer. *)
+
+val encode : string -> string
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** [max_frame] bounds the payload length {!next} will accept
+    (default {!default_max_frame}). *)
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** [feed d bytes off len] appends a received chunk.  No-op once the
+    decoder has failed. *)
+
+val next : decoder -> (string option, string) result
+(** Next complete payload: [Ok None] means more bytes are needed;
+    [Error _] means the stream is poisoned (oversized frame) and every
+    subsequent call returns the same error. *)
+
+val pending : decoder -> int
+(** Buffered bytes not yet returned as frames. *)

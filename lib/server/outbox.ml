@@ -1,0 +1,155 @@
+type item = { useq : int; entries : Wire.entry list }
+
+type t = {
+  mutable buf : item array;
+  mutable head : int; (* ring index of the oldest retained item *)
+  mutable len : int; (* retained (unacked) items *)
+  mutable send : int; (* offset from head of the next item to send, <= len *)
+  soft : int;
+  hard : int;
+  mutable hwm : int;
+  mutable coalesced : int;
+}
+
+let placeholder = { useq = -1; entries = [] }
+
+let create ~soft ~hard =
+  if soft < 1 || hard < soft then invalid_arg "Outbox.create: need 1 <= soft <= hard";
+  { buf = Array.make 8 placeholder; head = 0; len = 0; send = 0; soft; hard; hwm = 0; coalesced = 0 }
+
+let get t i = t.buf.((t.head + i) mod Array.length t.buf)
+let set t i v = t.buf.((t.head + i) mod Array.length t.buf) <- v
+
+let grow t =
+  let cap = Array.length t.buf in
+  let nbuf = Array.make (cap * 2) placeholder in
+  for i = 0 to t.len - 1 do
+    nbuf.(i) <- get t i
+  done;
+  t.buf <- nbuf;
+  t.head <- 0
+
+let enqueue t item =
+  if t.len = Array.length t.buf then grow t;
+  set t t.len item;
+  t.len <- t.len + 1;
+  if t.len > t.hwm then t.hwm <- t.len
+
+let emb_equal (a : Wire.emb) (b : Wire.emb) =
+  List.equal (fun (v1, l1) (v2, l2) -> Int.equal v1 v2 && String.equal l1 l2) a b
+
+let rec remove_first eq = function
+  | [] -> None
+  | x :: rest ->
+    if eq x then Some rest
+    else (
+      match remove_first eq rest with
+      | Some rest' -> Some (x :: rest')
+      | None -> None)
+
+(* Cancel one (qid, emb) match sitting in a not-yet-sent queued item
+   against an incoming retraction of the same embedding.  The queued item
+   is rewritten in place; a fully-hollowed item stays in the ring as a
+   placeholder that {!take_to_send} skips. *)
+let try_cancel t qid emb =
+  let rec scan i =
+    if i >= t.len then false
+    else begin
+      let it = get t i in
+      let hit = ref false in
+      let entries =
+        List.filter_map
+          (fun (en : Wire.entry) ->
+            if (not !hit) && Int.equal en.Wire.qid qid then begin
+              match remove_first (emb_equal emb) en.Wire.matches with
+              | Some matches ->
+                hit := true;
+                (match (matches, en.Wire.retractions) with
+                | [], [] -> None
+                | _ -> Some { en with Wire.matches })
+              | None -> Some en
+            end
+            else Some en)
+          it.entries
+      in
+      if !hit then begin
+        set t i { it with entries };
+        true
+      end
+      else scan (i + 1)
+    end
+  in
+  scan t.send
+
+let push t (item : item) =
+  if t.len >= t.hard then `Overflow
+  else begin
+    let item =
+      if t.len < t.soft then item
+      else begin
+        (* Over the soft cap: shed load by annihilating retraction/match
+           pairs the client has not seen yet — delivering both would be
+           a net no-op at the subscriber. *)
+        let entries =
+          List.filter_map
+            (fun (en : Wire.entry) ->
+              let retractions =
+                List.filter
+                  (fun emb ->
+                    if try_cancel t en.Wire.qid emb then begin
+                      t.coalesced <- t.coalesced + 1;
+                      false
+                    end
+                    else true)
+                  en.Wire.retractions
+              in
+              match (en.Wire.matches, retractions) with
+              | [], [] -> None
+              | _ -> Some { en with Wire.retractions })
+            item.entries
+        in
+        { item with entries }
+      end
+    in
+    (match item.entries with [] -> () | _ :: _ -> enqueue t item);
+    `Ok
+  end
+
+let ack t n =
+  let dropped = ref 0 in
+  while t.len > 0 && (get t 0).useq <= n do
+    set t 0 placeholder;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    incr dropped
+  done;
+  t.send <- max 0 (t.send - !dropped)
+
+let rewind t n =
+  let i = ref 0 in
+  while !i < t.len && (get t !i).useq <= n do
+    incr i
+  done;
+  t.send <- !i
+
+let rec take_to_send t =
+  if t.send >= t.len then None
+  else begin
+    let it = get t t.send in
+    t.send <- t.send + 1;
+    match it.entries with [] -> take_to_send t | _ :: _ -> Some it
+  end
+
+let depth t = t.len
+let unsent t = t.len - t.send
+let hwm t = t.hwm
+let coalesced t = t.coalesced
+
+let items t =
+  List.filter (fun it -> match it.entries with [] -> false | _ :: _ -> true)
+    (List.init t.len (get t))
+
+let of_items ~soft ~hard items =
+  let t = create ~soft ~hard in
+  List.iter (enqueue t) items;
+  t

@@ -1,0 +1,56 @@
+(** Per-client bounded notification outbox.
+
+    A ring of notification items, each stamped with the producing
+    update's global sequence number [useq].  Items are retained until the
+    client {e acks} them — the send pointer only tracks what has been
+    written to the socket — so a crash or disconnect between send and ack
+    loses nothing: {!rewind} re-aims the send pointer at the client's
+    resume cursor.
+
+    Backpressure is two-staged.  Past the {e soft} cap, each pushed
+    retraction is coalesced against a matching not-yet-sent match of the
+    same query (both vanish: delivering the pair is a net no-op at the
+    subscriber).  At the {e hard} cap, {!push} refuses with [`Overflow]
+    and the caller evicts the slow consumer. *)
+
+type item = { useq : int; entries : Wire.entry list }
+
+type t
+
+val create : soft:int -> hard:int -> t
+(** @raise Invalid_argument unless [1 <= soft <= hard]. *)
+
+val push : t -> item -> [ `Ok | `Overflow ]
+(** Enqueue, coalescing when depth is at or past [soft]; [`Overflow]
+    (item dropped) at [hard].  Items whose entries are (or become)
+    empty are not queued. *)
+
+val take_to_send : t -> item option
+(** Next unsent item, advancing the send pointer.  Skips items hollowed
+    out by coalescing.  Returns [None] when everything retained has been
+    sent. *)
+
+val ack : t -> int -> unit
+(** Drop retained items with [useq <=] the cursor. *)
+
+val rewind : t -> int -> unit
+(** Re-aim the send pointer at the first item with [useq >] the cursor —
+    everything after the client's resume token will be (re)sent. *)
+
+val depth : t -> int
+(** Retained (unacked) items, including sent-but-unacked. *)
+
+val unsent : t -> int
+
+val hwm : t -> int
+(** High-water mark of {!depth} over the outbox's lifetime. *)
+
+val coalesced : t -> int
+(** Retraction/match pairs annihilated under soft backpressure. *)
+
+val items : t -> item list
+(** Retained non-empty items, oldest first — snapshot support. *)
+
+val of_items : soft:int -> hard:int -> item list -> t
+(** Rebuild from {!items}, send pointer at the start (everything
+    unsent). *)

@@ -1,0 +1,78 @@
+(** The subscription server: a Unix-domain-socket front-end over a
+    journalled engine, turning the library into the paper's actual
+    deployment shape — long-lived subscribers registering standing
+    queries and receiving two-channel match notifications as the graph
+    stream flows.
+
+    {2 Architecture}
+
+    One single-threaded [select] event loop owns every connection and
+    all server state (the engine itself may still shard across domains
+    internally).  Each published update is journalled {e before} it is
+    applied, assigned a global sequence number [useq], fanned out to the
+    subscribed clients' bounded outboxes ({!Outbox}), and acknowledged
+    with a [Puback].
+
+    {2 Exactly-once delivery}
+
+    Per-client delivery cursors (highest acked [useq]) are journalled as
+    aux records; outbox items are retained until acked and persisted
+    inside snapshots.  After a crash, recovery replays snapshot + journal
+    tail — deterministic engines regenerate bit-identical reports, so the
+    outboxes rebuild exactly — and a reconnecting client's
+    [Hello last_seen] resume token acknowledges through what it durably
+    consumed and replays the rest: no gaps, no duplicates.  Publisher
+    resends of unacked updates are absorbed by the engine's set
+    semantics (duplicate add/remove is a no-op with an empty report).
+
+    {2 Backpressure and eviction}
+
+    Outboxes coalesce retraction/match pairs past their soft cap and
+    overflow at the hard cap, evicting the slow consumer (cause-tagged
+    counters: [overflow], [protocol], [oversize]).  An evicted client's
+    next [Hello] is answered with [Welcome.reset] naming the cause and a
+    clean slate. *)
+
+type config = {
+  sock_path : string;
+  journal_path : string;
+  engine_name : string;  (** {!Tric_engine.Engines.by_name} name. *)
+  shards : int;
+  snapshot_every : int;  (** Journal records between snapshots; [0] disables. *)
+  outbox_soft : int;  (** Outbox depth where coalescing starts. *)
+  outbox_hard : int;  (** Outbox depth where the client is evicted. *)
+  max_frame : int;
+  metrics_out : string option;  (** Envelope JSON written at shutdown. *)
+}
+
+val default_config : sock_path:string -> journal_path:string -> config
+(** TRIC+, 1 shard, snapshot every 10k records, outbox 1024/4096. *)
+
+type t
+
+val create : config -> t
+(** Bind the socket and open (recovering if non-empty) the journal.
+    @raise Failure on a corrupt journal or snapshot.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val serve : t -> unit
+(** Run the event loop until {!request_stop} or a client [Quit]; then
+    flush, write [metrics_out], close the journal and shut the engine
+    down. *)
+
+val run : config -> unit
+(** [create] + [serve]. *)
+
+val request_stop : t -> unit
+(** Signal-safe, callable from another domain: the loop notices within
+    its select timeout. *)
+
+val useq : t -> int
+val registry : t -> Tric_obs.Registry.t
+
+val stats_envelope : t -> Tric_obs.Json.t
+(** tric-metrics-v1 envelope over the server registry. *)
+
+val stats_body : t -> string -> string
+(** Stats serialized as ["prometheus"] text or (default) envelope
+    JSON. *)

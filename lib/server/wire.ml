@@ -1,0 +1,180 @@
+module Binio = Tric_engine.Binio
+
+let version = 1
+
+type emb = (int * string) list
+
+type entry = { qid : int; matches : emb list; retractions : emb list }
+
+type msg =
+  | Hello of { cid : string; last_seen : int }
+  | Register of { name : string; pattern : string }
+  | Unregister of { qid : int }
+  | Ack of { useq : int }
+  | Publish of { pseq : int; update : string }
+  | Stats of { format : string }
+  | Quit
+  | Welcome of { cid : string; cursor : int; useq : int; reset : string }
+  | Registered of { qid : int }
+  | Unregistered of { qid : int; existed : bool }
+  | Notify of { useq : int; entries : entry list }
+  | Puback of { pseq : int; useq : int }
+  | Stats_reply of { body : string }
+  | Bye of { reason : string }
+  | Err of { reason : string }
+
+let of_embedding e =
+  List.map (fun (v, l) -> (v, Tric_graph.Label.to_string l)) (Tric_rel.Embedding.to_alist e)
+
+let tag_of = function
+  | Hello _ -> 1
+  | Register _ -> 2
+  | Unregister _ -> 3
+  | Ack _ -> 4
+  | Publish _ -> 5
+  | Stats _ -> 6
+  | Quit -> 7
+  | Welcome _ -> 64
+  | Registered _ -> 65
+  | Unregistered _ -> 66
+  | Notify _ -> 67
+  | Puback _ -> 68
+  | Stats_reply _ -> 69
+  | Bye _ -> 70
+  | Err _ -> 71
+
+let put_emb b (e : emb) =
+  Binio.put_u32 b (List.length e);
+  List.iter
+    (fun (v, l) ->
+      Binio.put_i64 b v;
+      Binio.put_str b l)
+    e
+
+let put_emb_list b es =
+  Binio.put_u32 b (List.length es);
+  List.iter (put_emb b) es
+
+let put_entries b entries =
+  Binio.put_u32 b (List.length entries);
+  List.iter
+    (fun en ->
+      Binio.put_i64 b en.qid;
+      put_emb_list b en.matches;
+      put_emb_list b en.retractions)
+    entries
+
+let get_emb r : emb =
+  let n = Binio.u32 r in
+  List.init n (fun _ ->
+      let v = Binio.i64 r in
+      let l = Binio.str r in
+      (v, l))
+
+let get_emb_list r =
+  let n = Binio.u32 r in
+  List.init n (fun _ -> get_emb r)
+
+let get_entries r =
+  let n = Binio.u32 r in
+  List.init n (fun _ ->
+      let qid = Binio.i64 r in
+      let matches = get_emb_list r in
+      let retractions = get_emb_list r in
+      { qid; matches; retractions })
+
+let encode msg =
+  let b = Buffer.create 64 in
+  Binio.put_u8 b version;
+  Binio.put_u8 b (tag_of msg);
+  (match msg with
+  | Hello { cid; last_seen } ->
+    Binio.put_str b cid;
+    Binio.put_i64 b last_seen
+  | Register { name; pattern } ->
+    Binio.put_str b name;
+    Binio.put_str b pattern
+  | Unregister { qid } -> Binio.put_i64 b qid
+  | Ack { useq } -> Binio.put_i64 b useq
+  | Publish { pseq; update } ->
+    Binio.put_i64 b pseq;
+    Binio.put_str b update
+  | Stats { format } -> Binio.put_str b format
+  | Quit -> ()
+  | Welcome { cid; cursor; useq; reset } ->
+    Binio.put_str b cid;
+    Binio.put_i64 b cursor;
+    Binio.put_i64 b useq;
+    Binio.put_str b reset
+  | Registered { qid } -> Binio.put_i64 b qid
+  | Unregistered { qid; existed } ->
+    Binio.put_i64 b qid;
+    Binio.put_bool b existed
+  | Notify { useq; entries } ->
+    Binio.put_i64 b useq;
+    put_entries b entries
+  | Puback { pseq; useq } ->
+    Binio.put_i64 b pseq;
+    Binio.put_i64 b useq
+  | Stats_reply { body } -> Binio.put_str b body
+  | Bye { reason } -> Binio.put_str b reason
+  | Err { reason } -> Binio.put_str b reason);
+  Buffer.contents b
+
+let decode payload =
+  match
+    let r = Binio.reader payload in
+    let v = Binio.u8 r in
+    if v <> version then Error (Printf.sprintf "unsupported wire version %d" v)
+    else begin
+      let tag = Binio.u8 r in
+      let msg =
+        match tag with
+        | 1 ->
+          let cid = Binio.str r in
+          let last_seen = Binio.i64 r in
+          Ok (Hello { cid; last_seen })
+        | 2 ->
+          let name = Binio.str r in
+          let pattern = Binio.str r in
+          Ok (Register { name; pattern })
+        | 3 -> Ok (Unregister { qid = Binio.i64 r })
+        | 4 -> Ok (Ack { useq = Binio.i64 r })
+        | 5 ->
+          let pseq = Binio.i64 r in
+          let update = Binio.str r in
+          Ok (Publish { pseq; update })
+        | 6 -> Ok (Stats { format = Binio.str r })
+        | 7 -> Ok Quit
+        | 64 ->
+          let cid = Binio.str r in
+          let cursor = Binio.i64 r in
+          let useq = Binio.i64 r in
+          let reset = Binio.str r in
+          Ok (Welcome { cid; cursor; useq; reset })
+        | 65 -> Ok (Registered { qid = Binio.i64 r })
+        | 66 ->
+          let qid = Binio.i64 r in
+          let existed = Binio.bool r in
+          Ok (Unregistered { qid; existed })
+        | 67 ->
+          let useq = Binio.i64 r in
+          let entries = get_entries r in
+          Ok (Notify { useq; entries })
+        | 68 ->
+          let pseq = Binio.i64 r in
+          let useq = Binio.i64 r in
+          Ok (Puback { pseq; useq })
+        | 69 -> Ok (Stats_reply { body = Binio.str r })
+        | 70 -> Ok (Bye { reason = Binio.str r })
+        | 71 -> Ok (Err { reason = Binio.str r })
+        | t -> Error (Printf.sprintf "unknown message tag %d" t)
+      in
+      match msg with
+      | Ok _ when not (Binio.eof r) ->
+        Error (Printf.sprintf "%d trailing byte(s) after message" (Binio.remaining r))
+      | m -> m
+    end
+  with
+  | result -> result
+  | exception Binio.Corrupt e -> Error e

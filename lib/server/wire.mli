@@ -1,0 +1,61 @@
+(** Versioned binary wire protocol carried inside {!Frame} frames.
+
+    Every message starts with a version byte then a tag byte; client
+    tags are [1..63], server tags [64..127].  Notifications preserve the
+    engine's two-channel report shape: per query id, new matches and
+    retractions, each embedding a sorted [(variable, label)] alist.
+
+    Exactly-once delivery rests on three fields: [Notify.useq] (the
+    global update sequence number the notification was produced by),
+    [Ack.useq] (the client's delivery cursor — everything at or below it
+    is durably consumed), and [Hello.last_seen] (the resume token a
+    reconnecting client presents; the server acknowledges through it and
+    resends everything after it). *)
+
+val version : int
+
+type emb = (int * string) list
+(** One embedding, as a [(variable id, label)] alist sorted by variable. *)
+
+type entry = { qid : int; matches : emb list; retractions : emb list }
+
+type msg =
+  | Hello of { cid : string; last_seen : int }
+      (** Attach to (creating if new) durable client [cid]; [last_seen]
+          is the resume cursor, [-1] for "whatever the server has". *)
+  | Register of { name : string; pattern : string }
+  | Unregister of { qid : int }
+  | Ack of { useq : int }  (** Delivery cursor advance; no reply. *)
+  | Publish of { pseq : int; update : string }
+      (** Stream update in {!Tric_query.Parse.update} syntax; [pseq] is
+          echoed in the {!Puback}. *)
+  | Stats of { format : string }  (** ["json"] or ["prometheus"]. *)
+  | Quit  (** Graceful server shutdown. *)
+  | Welcome of { cid : string; cursor : int; useq : int; reset : string }
+      (** [cursor] is the server-side delivery cursor after applying
+          [last_seen]; [useq] the current global sequence; [reset] is
+          [""] normally, or the eviction cause when the client was
+          evicted and its subscription state has been reset. *)
+  | Registered of { qid : int }
+  | Unregistered of { qid : int; existed : bool }
+  | Notify of { useq : int; entries : entry list }
+  | Puback of { pseq : int; useq : int }
+  | Stats_reply of { body : string }
+  | Bye of { reason : string }
+  | Err of { reason : string }
+
+val of_embedding : Tric_rel.Embedding.t -> emb
+
+val encode : msg -> string
+
+val decode : string -> (msg, string) result
+(** Rejects unknown versions/tags, truncated fields and trailing
+    garbage. *)
+
+(**/**)
+
+val put_entries : Buffer.t -> entry list -> unit
+val get_entries : Tric_engine.Binio.reader -> entry list
+(** Shared with the server's snapshot blob, which persists pending
+    outbox entries in the same encoding.  Raises
+    [Tric_engine.Binio.Corrupt] on malformed input. *)

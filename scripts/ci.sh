@@ -112,6 +112,48 @@ TRIC_SHARD_ONLY=1 TRIC_SHARD_EDGES=1000 TRIC_SHARD_QDB=50 dune exec bench/main.e
 TRIC_WINDOW_ONLY=1 TRIC_WINDOW_EDGES=1000 TRIC_WINDOW_QDB=50 dune exec bench/main.exe
 dune exec test/test_main.exe -- test durability 3 > /dev/null
 
+# Subscription-server smoke, three layers: (1) the kill -9 torture from
+# the suite — subscribers over a churned stream, SIGKILL mid-stream,
+# restart, reconnect with resume tokens, and the combined streams must be
+# gapless and duplicate-free against a sequential oracle, with snapshot
+# compaction bounding the replayed tail and an audit-clean recovered
+# state; (2) a line-protocol client session against a background serve,
+# whose shutdown metrics envelope is schema-checked by the stats
+# validator; (3) the fan-out bench emission path (BENCH_server.json).
+dune exec test/test_main.exe -- test server 13 > /dev/null
+
+srvdir=$(mktemp -d)
+./_build/default/bin/tric_cli.exe serve --socket "$srvdir/s.sock" \
+  --journal "$srvdir/j.log" --shards 2 --metrics-out "$srvdir/metrics.json" \
+  > "$srvdir/server.log" 2>&1 &
+srvpid=$!
+# Capture the session before grepping: grep -q on the live pipe would
+# exit at the match and SIGPIPE the client before it sends quit, leaving
+# the server running forever.
+printf '%s\n' \
+    "hello ci" \
+    "register edges ?x -a-> ?y" \
+    "publish u -a-> v" \
+    "recv 1" \
+    "ack 1" \
+    "stats prometheus" \
+    "quit" \
+  | ./_build/default/bin/tric_cli.exe client --socket "$srvdir/s.sock" \
+  > "$srvdir/session.log"
+if grep -q 'notify useq=1' "$srvdir/session.log"; then
+  : # the session saw its notification
+else
+  echo "ci: server client session failed" >&2
+  kill "$srvpid" 2>/dev/null || true
+  exit 1
+fi
+wait "$srvpid"
+./_build/default/bin/tric_cli.exe stats --check "$srvdir/metrics.json"
+rm -rf "$srvdir"
+
+TRIC_SERVER_ONLY=1 TRIC_SERVER_SUBS=200 TRIC_SERVER_EDGES=500 \
+  dune exec bench/main.exe
+
 # Dispatch-fanout smoke: under a label-partitioned workload every update
 # affects exactly one shard, so the mean ops-dispatched-per-shard-per-update
 # must stay near 1.0 — the strict mode exits non-zero past TRIC_FANOUT_MAX

@@ -1,0 +1,8 @@
+(* Seeded violation: a pool task captures a module-level client outbox.
+   Outboxes are single-writer (the server event loop owns them); pushing
+   from a pool task is a cross-domain mutation. *)
+let shared = Outbox.create ~soft:4 ~hard:8
+
+let drive pool item =
+  let tasks = [| (fun () -> ignore (Outbox.push shared item)) |] in
+  Pool.run pool tasks

@@ -6,7 +6,38 @@ module E = Tric_engine
 let with_temp f =
   let path = Filename.temp_file "tric_journal" ".log" in
   Sys.remove path;
-  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".snap"; path ^ ".snap.tmp" ])
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.equal (String.sub s i m) sub then Some i else go (i + 1)
+  in
+  go 0
+
+let replace_first s sub by =
+  match find_sub s sub with
+  | None -> None
+  | Some i ->
+    Some
+      (String.sub s 0 i ^ by
+      ^ String.sub s (i + String.length sub) (String.length s - i - String.length sub))
 
 let test_journal_roundtrip () =
   with_temp (fun path ->
@@ -192,6 +223,187 @@ let test_journal_sharded_recovery () =
       E.Journal.close j2;
       recovered.E.Matcher.shutdown ())
 
+(* -- CRC framing ------------------------------------------------------------- *)
+
+(* Silent mid-file corruption: flip payload bytes of an interior record so
+   the line still PARSES (it stays a well-formed U record) — only the CRC
+   can tell the difference, and it must refuse loudly. *)
+let test_journal_crc_detects_bitflip () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y");
+      ignore (E.Journal.handle_update j (Helpers.update "u -a-> v"));
+      ignore (E.Journal.handle_update j (Helpers.update "w -a-> z"));
+      E.Journal.close j;
+      let content = read_file path in
+      (match replace_first content "u -a-> v" "q -a-> v" with
+      | Some mutated -> write_file path mutated
+      | None -> Alcotest.fail "expected the update text in the journal");
+      Alcotest.check_raises "bitflip detected" (Failure "Journal: CRC mismatch on line 2")
+        (fun () -> ignore (E.Journal.open_ ~path (fun () -> E.Engines.tric ()))))
+
+(* The same bitflip on the FINAL record is indistinguishable from a torn
+   append: truncated away, not fatal. *)
+let test_journal_crc_torn_final () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y");
+      ignore (E.Journal.handle_update j (Helpers.update "u -a-> v"));
+      ignore (E.Journal.handle_update j (Helpers.update "w -a-> z"));
+      E.Journal.close j;
+      let content = read_file path in
+      (match replace_first content "w -a-> z" "w -a-> q" with
+      | Some mutated -> write_file path mutated
+      | None -> Alcotest.fail "expected the update text in the journal");
+      let j2 = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      Alcotest.(check int) "clean prefix replayed" 2 (E.Journal.recovered j2);
+      (* The corrupt record was truncated: the update is genuinely new. *)
+      let r = E.Journal.handle_update j2 (Helpers.update "w -a-> z") in
+      Alcotest.(check int) "truncated update re-applies" 1 (E.Report.total_matches r);
+      E.Journal.close j2)
+
+(* -- snapshots & compaction --------------------------------------------------- *)
+
+let test_journal_snapshot_compaction () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+      E.Journal.add_query j (Helpers.pattern ~id:2 "?x -b-> ?y");
+      let st = Helpers.rng 11 in
+      let updates =
+        List.init 60 (fun i ->
+            let e = Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts in
+            if i mod 5 = 4 then Update.remove e else Update.add e)
+      in
+      List.iter (fun u -> ignore (E.Journal.handle_update j u)) updates;
+      Alcotest.(check int) "entries before snapshot" 62 (E.Journal.entries j);
+      E.Journal.snapshot j;
+      Alcotest.(check int) "journal compacted" 0 (E.Journal.entries j);
+      Alcotest.(check bool) "snapshot file exists" true (Sys.file_exists (path ^ ".snap"));
+      (* Post-snapshot tail. *)
+      let tail =
+        List.init 9 (fun _ ->
+            Update.add (Helpers.random_edge st ~elabels:Helpers.elabels ~vconsts:Helpers.vconsts))
+      in
+      List.iter (fun u -> ignore (E.Journal.handle_update j u)) tail;
+      E.Journal.close j;
+      (* Recovery: replay is bounded by the journal tail, not history. *)
+      let j2 = E.Journal.open_ ~path (fun () -> E.Engines.tric ~cache:true ()) in
+      Alcotest.(check int) "replay bounded by tail" 9 (E.Journal.recovered j2);
+      Alcotest.(check bool) "restored from snapshot" true (E.Journal.restored j2 > 0);
+      Alcotest.(check int) "queries restored" 2 (E.Journal.num_queries j2);
+      (* Differential: sequential full-history replay = snapshot + tail. *)
+      let seq = E.Engines.tric ~cache:true () in
+      seq.E.Matcher.add_query (Helpers.pattern ~id:1 "?x -a-> ?y -b-> ?z");
+      seq.E.Matcher.add_query (Helpers.pattern ~id:2 "?x -b-> ?y");
+      List.iter (fun u -> ignore (seq.E.Matcher.handle_update u)) (updates @ tail);
+      let recovered = E.Journal.engine j2 in
+      List.iter
+        (fun qid ->
+          let sort = List.sort Tric_rel.Embedding.compare in
+          Alcotest.(check bool)
+            (Printf.sprintf "query %d matches survive compaction" qid)
+            true
+            (List.equal Tric_rel.Embedding.equal
+               (sort (seq.E.Matcher.current_matches qid))
+               (sort (recovered.E.Matcher.current_matches qid))))
+        [ 1; 2 ];
+      (* The recovered state is audit-clean against its own live edges. *)
+      let findings = recovered.E.Matcher.audit None in
+      if not (Tric_audit.Audit.is_clean findings) then
+        Alcotest.failf "recovered state unclean:@.%a" Tric_audit.Audit.pp_report findings;
+      E.Journal.close j2)
+
+(* Crash window between snapshot rename and journal truncation: the whole
+   journal predates the snapshot and must be discarded, not replayed on
+   top of the restored state. *)
+let test_journal_snapshot_crash_window () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y");
+      ignore (E.Journal.handle_update j (Helpers.update "u -a-> v @7"));
+      ignore (E.Journal.handle_update j (Helpers.update "w -a-> z"));
+      let pre_snapshot = read_file path in
+      E.Journal.snapshot j;
+      E.Journal.close j;
+      (* The crash: snapshot on disk, journal never truncated. *)
+      write_file path pre_snapshot;
+      let j2 = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      Alcotest.(check int) "stale journal discarded" 0 (E.Journal.recovered j2);
+      Alcotest.(check int) "state restored once" 3 (E.Journal.restored j2);
+      (* Replaying the stale file would have made this a duplicate no-op;
+         after a correct recovery the remove retracts a live match. *)
+      let r = E.Journal.handle_update j2 (Helpers.update "- u -a-> v") in
+      Alcotest.(check int) "live edge retracts" 1 (E.Report.total_retractions r);
+      E.Journal.close j2)
+
+let test_journal_corrupt_snapshot () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y");
+      ignore (E.Journal.handle_update j (Helpers.update "u -a-> v"));
+      E.Journal.snapshot j;
+      E.Journal.close j;
+      let snap = read_file (path ^ ".snap") in
+      let mid = String.length snap / 2 in
+      let mutated =
+        String.mapi (fun i c -> if i = mid then Char.chr (Char.code c lxor 0x20) else c) snap
+      in
+      write_file (path ^ ".snap") mutated;
+      match E.Journal.open_ ~path (fun () -> E.Engines.tric ()) with
+      | _ -> Alcotest.fail "corrupt snapshot must not load"
+      | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "loud failure names the snapshot: %s" msg)
+          true
+          (Option.is_some (find_sub msg "snapshot")))
+
+(* -- W (remove) and X (aux) records ------------------------------------------- *)
+
+let test_journal_remove_and_aux () =
+  with_temp (fun path ->
+      let j = E.Journal.open_ ~path (fun () -> E.Engines.tric ()) in
+      E.Journal.add_query j (Helpers.pattern ~id:1 "?x -a-> ?y");
+      E.Journal.add_query j (Helpers.pattern ~id:2 "?x -b-> ?y");
+      E.Journal.log_aux j "C\talice\t0";
+      Alcotest.(check bool) "remove known" true (E.Journal.remove_query j 2);
+      E.Journal.log_aux j "A\talice\t5";
+      Alcotest.check_raises "aux newline rejected"
+        (Invalid_argument "Journal.log_aux: payload contains a newline") (fun () ->
+          E.Journal.log_aux j "bad\nrecord");
+      Alcotest.(check int) "Q/W/X all count" 5 (E.Journal.entries j);
+      E.Journal.close j;
+      let auxes = ref [] in
+      let removed = ref [] in
+      let j2 =
+        E.Journal.open_ ~path
+          ~on_aux:(fun s -> auxes := s :: !auxes)
+          ~on_remove:(fun qid -> removed := qid :: !removed)
+          (fun () -> E.Engines.tric ())
+      in
+      Alcotest.(check (list string)) "aux replayed in order" [ "C\talice\t0"; "A\talice\t5" ]
+        (List.rev !auxes);
+      Alcotest.(check (list int)) "removal replayed" [ 2 ] !removed;
+      Alcotest.(check int) "only query 1 left" 1 (E.Journal.num_queries j2);
+      (* Aux records survive snapshot compaction via the aux blob. *)
+      let j3 =
+        E.Journal.open_ ~path
+          ~aux_state:(fun () -> "blob-state")
+          (fun () -> E.Engines.tric ())
+      in
+      E.Journal.snapshot j3;
+      E.Journal.close j3;
+      let restored_blob = ref "" in
+      let j4 =
+        E.Journal.open_ ~path
+          ~restore_aux:(fun s -> restored_blob := s)
+          (fun () -> E.Engines.tric ())
+      in
+      Alcotest.(check string) "aux blob restored" "blob-state" !restored_blob;
+      Alcotest.(check int) "nothing to replay after compaction" 0 (E.Journal.recovered j4);
+      E.Journal.close j2;
+      E.Journal.close j4)
+
 let test_stream_combinators () =
   let e l s d = Update.add (Edge.of_strings l s d) in
   let s1 = Stream.of_updates [ e "a" "1" "2"; e "a" "3" "4" ] in
@@ -234,5 +446,11 @@ let suite =
     Alcotest.test_case "journal corruption detected" `Quick test_journal_corrupt;
     Alcotest.test_case "journal torn-tail recovery" `Quick test_journal_torn_tail;
     Alcotest.test_case "journal recovery with 4 shards" `Quick test_journal_sharded_recovery;
+    Alcotest.test_case "journal CRC detects bitflip" `Quick test_journal_crc_detects_bitflip;
+    Alcotest.test_case "journal CRC torn final record" `Quick test_journal_crc_torn_final;
+    Alcotest.test_case "journal snapshot compaction" `Quick test_journal_snapshot_compaction;
+    Alcotest.test_case "journal snapshot crash window" `Quick test_journal_snapshot_crash_window;
+    Alcotest.test_case "journal corrupt snapshot rejected" `Quick test_journal_corrupt_snapshot;
+    Alcotest.test_case "journal remove + aux records" `Quick test_journal_remove_and_aux;
     Alcotest.test_case "stream combinators" `Quick test_stream_combinators;
   ]
